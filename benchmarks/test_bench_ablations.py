@@ -1,0 +1,258 @@
+"""Ablations — the §3 design choices, measured.
+
+DESIGN.md calls out the heuristic's components (input-length penalty,
+2×replacement bonus, stack-size penalty, parents sign, path novelty) and
+the naive DFS/BFS searches the paper dismisses.  Each ablation runs the
+fuzzer on json with one component disabled and reports token coverage, plus
+the §3 Dyck-path analysis behind the closing problem.
+"""
+
+import pytest
+
+from repro.analysis.dyck import closed_path_probability, simulate_random_walk
+from repro.analysis.search import bfs_search, dfs_search
+from repro.core.config import FuzzerConfig, HeuristicWeights
+from repro.core.fuzzer import PFuzzer
+from repro.eval.token_cov import token_coverage
+from repro.subjects.registry import load_subject
+
+BUDGET = 2_000
+SEEDS = (0, 3)
+
+ABLATIONS = {
+    "full": HeuristicWeights(),
+    "no-length-penalty": HeuristicWeights(input_length=0.0),
+    "no-replacement-bonus": HeuristicWeights(replacement_length=0.0),
+    "no-stack-penalty": HeuristicWeights(stack_size=0.0),
+    "no-path-novelty": HeuristicWeights(path_repetition=0.0),
+    "paper-literal-parents": HeuristicWeights(parents=1.0),
+}
+
+
+def run_variant(weights: HeuristicWeights) -> float:
+    best = 0.0
+    for seed in SEEDS:
+        fuzzer = PFuzzer(
+            load_subject("json"),
+            FuzzerConfig(seed=seed, max_executions=BUDGET, weights=weights),
+        )
+        result = fuzzer.run()
+        coverage = token_coverage("json", result.valid_inputs)
+        best = max(best, coverage.percent())
+    return best
+
+
+@pytest.fixture(scope="module")
+def ablation_scores():
+    return {name: run_variant(weights) for name, weights in ABLATIONS.items()}
+
+
+def test_bench_heuristic_ablations(benchmark, ablation_scores):
+    benchmark.pedantic(run_variant, args=(HeuristicWeights(),), rounds=1, iterations=1)
+    print("\n\n=== Ablations: json token coverage (best of 2 seeds) ===")
+    for name, score in sorted(ablation_scores.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<24} {score:5.1f}%")
+    full = ablation_scores["full"]
+    assert full >= 75.0
+    # The replacement bonus is what finds keywords; dropping it must not
+    # *improve* things, and the full heuristic is never the worst variant.
+    assert full >= ablation_scores["no-replacement-bonus"] - 10.0
+    assert full >= min(ablation_scores.values())
+
+
+def test_bench_naive_searches(benchmark):
+    """§3: DFS opens what it cannot close; BFS drowns in breadth."""
+    subject = load_subject("expr")
+
+    def run_searches():
+        return (
+            dfs_search(subject, budget=600, seed=1),
+            bfs_search(subject, budget=600, seed=1),
+        )
+
+    dfs, bfs = benchmark.pedantic(run_searches, rounds=1, iterations=1)
+    pf = PFuzzer(load_subject("expr"), FuzzerConfig(seed=1, max_executions=600)).run()
+    print("\n\n=== Naive search vs heuristic (expr, 600 executions) ===")
+    print(f"  DFS: {len(dfs.valid_inputs)} valid, max depth {dfs.max_depth_reached}")
+    print(f"  BFS: {len(bfs.valid_inputs)} valid, max depth {bfs.max_depth_reached}")
+    print(f"  pFuzzer: {len(pf.all_valid)} valid")
+    assert dfs.max_depth_reached > bfs.max_depth_reached
+    assert pf.all_valid
+
+
+def test_bench_tokenization_bridge(benchmark):
+    """§7.2 future work: token-taint bridging on tinyc.
+
+    Without the bridge, tokenization destroys the data flow the fuzzer
+    needs to continue after a keyword; with it, the parser's token
+    expectations come back as string comparisons.  Measured as valid-input
+    yield at equal budgets.
+    """
+    from repro.subjects.tinyc import TinyCSubject
+
+    def run_with(bridge: bool) -> int:
+        total = 0
+        for seed in SEEDS:
+            result = PFuzzer(
+                TinyCSubject(token_bridge=bridge),
+                FuzzerConfig(seed=seed, max_executions=BUDGET),
+            ).run()
+            total += len(result.all_valid)
+        return total
+
+    bridged = benchmark.pedantic(run_with, args=(True,), rounds=1, iterations=1)
+    plain = run_with(False)
+    print("\n\n=== §7.2 ablation: token-taint bridging (tinyc) ===")
+    print(f"  plain   : {plain} valid inputs over {len(SEEDS)} seeds")
+    print(f"  bridged : {bridged} valid inputs over {len(SEEDS)} seeds")
+    assert bridged > plain
+
+
+def test_bench_table_driven(benchmark):
+    """§7.1 future work: table-element coverage for table-driven parsers.
+
+    The plain LL(1) engine gives the fuzzer neither coverage signal nor
+    expansion comparisons; instrumenting table-cell consultations restores
+    both.
+    """
+    from repro.tables import TableExprSubject
+
+    def run_with(instrumented: bool) -> int:
+        total = 0
+        for seed in SEEDS:
+            result = PFuzzer(
+                TableExprSubject(instrumented=instrumented),
+                FuzzerConfig(seed=seed, max_executions=800),
+            ).run()
+            total += len(result.all_valid)
+        return total
+
+    instrumented = benchmark.pedantic(run_with, args=(True,), rounds=1, iterations=1)
+    plain = run_with(False)
+    print("\n\n=== §7.1 ablation: table-element coverage (LL(1) expr) ===")
+    print(f"  plain table parser        : {plain} valid inputs")
+    print(f"  instrumented table parser : {instrumented} valid inputs")
+    assert instrumented > plain
+
+
+def test_bench_related_work_fuzzers(benchmark):
+    """§6.2 related work: AFL < Steelix/Driller < pFuzzer on keywords.
+
+    Steelix's comparison-progress feedback advances one byte per
+    generation; Driller's symbolic stints drill past keyword roadblocks on
+    stagnation; pFuzzer splices whole comparison values.  Same budget,
+    keyword tokens found on json.
+    """
+    from repro.eval.campaign import run_campaign
+
+    def keyword_count(tool: str) -> int:
+        best = 0
+        for seed in SEEDS:
+            output = run_campaign(tool, "json", 2_500, seed=seed)
+            coverage = token_coverage("json", output.valid_inputs)
+            best = max(best, len(coverage.found & {"true", "false", "null"}))
+        return best
+
+    steelix = benchmark.pedantic(keyword_count, args=("steelix",), rounds=1, iterations=1)
+    afl = keyword_count("afl")
+    driller = keyword_count("driller")
+    pfuzzer = keyword_count("pfuzzer")
+    print("\n\n=== §6.2: keyword tokens on json (of 3, best of seeds) ===")
+    print(f"  afl     : {afl}")
+    print(f"  steelix : {steelix}")
+    print(f"  driller : {driller}")
+    print(f"  pfuzzer : {pfuzzer}")
+    assert afl <= steelix <= pfuzzer
+    assert afl <= driller
+    assert pfuzzer == 3
+
+
+def test_bench_hybrid_pipeline(benchmark):
+    """§6.2's concluding suggestion: "start fuzzing with a fast lexical
+    fuzzer such as AFL, continue with syntactic fuzzing such as pFuzzer".
+
+    AFL's corpus seeds a pFuzzer campaign (via ``initial_inputs``); the
+    pipeline is compared against pFuzzer-from-scratch at the same total
+    budget.
+    """
+    from repro.baselines.afl import AFLConfig, AFLFuzzer
+    from repro.subjects.registry import load_subject
+
+    def pipeline() -> float:
+        afl = AFLFuzzer(
+            load_subject("json"), AFLConfig(seed=3, max_executions=1_000)
+        ).run()
+        seeded = PFuzzer(
+            load_subject("json"),
+            FuzzerConfig(
+                seed=3,
+                max_executions=1_500,
+                initial_inputs=tuple(afl.valid_inputs[:50]),
+            ),
+        ).run()
+        return token_coverage("json", seeded.valid_inputs).percent()
+
+    piped = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    scratch = token_coverage(
+        "json",
+        PFuzzer(
+            load_subject("json"), FuzzerConfig(seed=3, max_executions=2_500)
+        ).run().valid_inputs,
+    ).percent()
+    print("\n\n=== §6.2 hybrid pipeline (json token coverage) ===")
+    print(f"  AFL 1000 execs -> pFuzzer 1500 execs : {piped:.1f}%")
+    print(f"  pFuzzer 2500 execs from scratch       : {scratch:.1f}%")
+    assert piped >= 50.0
+
+
+def test_bench_semantic_checks(benchmark):
+    """§7.3 limitation: parser-valid inputs vs post-parse semantic checks."""
+    from repro.subjects.mjs import MjsSubject
+
+    sloppy = MjsSubject()
+    strict = MjsSubject(semantic_checks=True)
+    result = benchmark.pedantic(
+        lambda: PFuzzer(sloppy, FuzzerConfig(seed=5, max_executions=2_500)).run(),
+        rounds=1,
+        iterations=1,
+    )
+    parser_valid = len(result.all_valid)
+    also_semantic = sum(strict.accepts(text) for text in result.all_valid)
+    print("\n\n=== §7.3: semantic restrictions (mjs) ===")
+    print(f"  parser-valid inputs          : {parser_valid}")
+    print(f"  ... passing semantic checks  : {also_semantic}")
+    assert also_semantic < parser_valid
+
+
+def test_bench_guess_cost(benchmark):
+    """§2 cost claim: 'building a valid input of size n takes in worst
+    case 2n guesses'.  Measured as executions per emitted character on the
+    walkthrough subject."""
+    from repro.analysis.guesses import best_cost_per_length, measure_guess_costs
+    from repro.subjects.expr import ExprSubject
+
+    costs = benchmark.pedantic(
+        measure_guess_costs, args=(ExprSubject(), 600, 1), rounds=1, iterations=1
+    )
+    best = best_cost_per_length(costs)
+    print("\n\n=== §2: cheapest emission per input length (expr) ===")
+    for length in sorted(best):
+        cost = best[length]
+        print(f"  len {length:2d}: {cost.executions:4d} executions ({cost.text!r})")
+    assert costs
+    # The first emitted input arrives within a handful of guesses.
+    assert costs[0].executions <= 20
+
+
+def test_bench_dyck_closing_probability(benchmark):
+    """§3 footnote 2: P(closed after 2n steps) = 1/(n+1); ~1 % at n=100."""
+    probability = benchmark(simulate_random_walk, 40, 20_000, 1)
+    print("\n\n=== Dyck-path closing probabilities ===")
+    for steps in (4, 10, 40, 100, 200):
+        n = steps // 2
+        print(
+            f"  2n={steps:<4} analytic 1/(n+1)={closed_path_probability(n):.4f}"
+        )
+    print(f"  empirical (2n=40): {probability:.4f}")
+    assert closed_path_probability(100) < 0.01
+    assert probability < closed_path_probability(5)

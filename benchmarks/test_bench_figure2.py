@@ -1,0 +1,48 @@
+"""Figure 2 — code coverage per subject and tool.
+
+Runs the AFL / KLEE / pFuzzer campaigns (shared with the Figure 3 bench),
+re-executes each tool's valid inputs and reports line-coverage percentages.
+The asserted shape follows the paper's §5.2 findings:
+
+* AFL ≥ pFuzzer on the shallow subjects (ini, csv) — randomness wins where
+  any two characters cover everything;
+* pFuzzer > AFL on tinyC — complex-but-small code needs structured inputs;
+* KLEE collapses on mjs (path explosion).
+"""
+
+import pytest
+
+from bench_common import SUBJECTS, TOOLS, all_campaigns
+from repro.eval.code_cov import coverage_of_inputs
+from repro.eval.report import render_figure2
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return all_campaigns()
+
+
+def measure_grid(campaigns):
+    return {
+        (subject, tool): coverage_of_inputs(subject, inputs)
+        for (subject, tool), inputs in campaigns.items()
+    }
+
+
+def test_bench_figure2(benchmark, campaigns):
+    grid = benchmark.pedantic(measure_grid, args=(campaigns,), rounds=1, iterations=1)
+    print("\n\n=== Figure 2: coverage by each tool ===")
+    print(render_figure2(grid, SUBJECTS, TOOLS))
+
+    # Shape assertions (paper §5.2).
+    assert grid[("csv", "afl")] >= grid[("csv", "pfuzzer")]
+    assert grid[("tinyc", "pfuzzer")] > grid[("tinyc", "afl")]
+    assert grid[("mjs", "klee")] < grid[("mjs", "afl")]
+    assert grid[("mjs", "klee")] < grid[("mjs", "pfuzzer")]
+    # Everybody covers something on every subject except KLEE on mjs, which
+    # is allowed to be near-zero.
+    for subject in SUBJECTS:
+        for tool in TOOLS:
+            if (subject, tool) == ("mjs", "klee"):
+                continue
+            assert grid[(subject, tool)] > 0.0, (subject, tool)

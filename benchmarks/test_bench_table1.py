@@ -1,0 +1,24 @@
+"""Table 1 — the subjects used for the evaluation.
+
+Regenerates the subject-size table (paper C LoC vs this reproduction's
+Python SLoC) and benchmarks the size-accounting pass.
+"""
+
+from repro.eval.report import render_table1
+from repro.eval.tables import table1
+from repro.subjects.registry import PAPER_LOC
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1)
+    print("\n\n=== Table 1: evaluation subjects ===")
+    print(render_table1(rows))
+    names = [row.name for row in rows]
+    assert names == ["ini", "csv", "json", "tinyc", "mjs"]
+    for row in rows:
+        assert row.paper_loc == PAPER_LOC[row.name]
+        assert row.repro_sloc > 0
+    # Relative size ordering of the complex subjects is preserved: mjs is
+    # by far the largest, as in the paper.
+    by_name = {row.name: row.repro_sloc for row in rows}
+    assert by_name["mjs"] > 3 * by_name["json"]

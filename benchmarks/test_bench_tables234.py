@@ -1,0 +1,24 @@
+"""Tables 2, 3 and 4 — token inventories per subject.
+
+Regenerates the three token tables and asserts the per-length counts match
+the paper exactly (json 8/1/2/1, tinyC 11/2/1/1, mjs 27/24/13/10/9/7/3/3/2/1).
+"""
+
+import pytest
+
+from repro.eval.report import render_token_table
+from repro.eval.tables import check_against_paper, token_table
+from repro.eval.tokens import PAPER_TOKEN_COUNTS
+
+
+@pytest.mark.parametrize(
+    "subject,table_number",
+    [("json", 2), ("tinyc", 3), ("mjs", 4)],
+)
+def test_bench_token_tables(benchmark, subject, table_number):
+    table = benchmark(token_table, subject)
+    print(f"\n\n=== Table {table_number}: {subject} tokens by length ===")
+    print(render_token_table(subject))
+    counts = {length: count for length, (count, _) in table.items()}
+    assert counts == PAPER_TOKEN_COUNTS[subject]
+    assert check_against_paper(subject)

@@ -1,0 +1,36 @@
+"""§2 / Figure 1 — the walkthrough experiment.
+
+Fuzzes the arithmetic-expression parser from nothing and checks that the
+fuzzer derives the §2 feature set (digits, unary and binary +/-, balanced
+parentheses), producing only valid inputs along the way.
+"""
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.expr import ExprSubject
+
+
+def run_walkthrough():
+    subject = ExprSubject()
+    return subject, PFuzzer(
+        subject, FuzzerConfig(seed=1, max_executions=800)
+    ).run()
+
+
+def test_bench_section2_walkthrough(benchmark):
+    subject, result = benchmark.pedantic(run_walkthrough, rounds=1, iterations=1)
+    print("\n\n=== §2 walkthrough: fuzzing the expression parser ===")
+    print(f"executions: {result.executions}, emitted: {len(result.valid_inputs)}")
+    print("emitted inputs:", result.valid_inputs[:12])
+
+    corpus = " ".join(result.all_valid)
+    # The §2 token set: digits, signs, operators, parentheses.
+    assert any(char.isdigit() for char in corpus)
+    assert "+" in corpus and "-" in corpus
+    assert "(" in corpus and ")" in corpus
+    # Every output is valid by construction.
+    for text in result.valid_inputs:
+        assert subject.accepts(text), text
+    # Far fewer tests than blind search: a few hundred executions suffice
+    # for full feature coverage of this subject.
+    assert result.executions <= 800

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Tool comparison on one subject: a miniature of Figures 2 and 3.
+
+Runs pFuzzer, the AFL-style baseline and the KLEE-style baseline on the
+JSON subject with equal budgets, then prints the token-coverage grid and
+code-coverage bars the paper's evaluation reports.
+
+Run:
+    python examples/compare_tools.py [subject] [budget]
+"""
+
+import sys
+
+from repro.eval.campaign import run_campaign
+from repro.eval.code_cov import coverage_of_inputs
+from repro.eval.report import render_figure2, render_figure3
+from repro.eval.token_cov import figure3
+
+TOOLS = ("afl", "klee", "pfuzzer")
+
+
+def main() -> None:
+    subject = sys.argv[1] if len(sys.argv) > 1 else "json"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 2_500
+
+    corpora = {}
+    for tool in TOOLS:
+        output = run_campaign(tool, subject, budget, seed=3)
+        corpora[(subject, tool)] = output.valid_inputs
+        print(
+            f"{tool:<8} {output.executions:6d} executions -> "
+            f"{len(output.valid_inputs):4d} valid inputs "
+            f"({output.wall_time:.1f}s)"
+        )
+
+    print("\n--- token coverage (Figure 3 shape) ---")
+    coverages = figure3(corpora, [subject], TOOLS)
+    print(render_figure3(coverages, [subject], TOOLS))
+
+    print("\n--- code coverage (Figure 2 shape) ---")
+    grid = {
+        key: coverage_of_inputs(subject, inputs) for key, inputs in corpora.items()
+    }
+    print(render_figure2(grid, [subject], TOOLS))
+
+
+if __name__ == "__main__":
+    main()

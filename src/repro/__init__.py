@@ -1,0 +1,38 @@
+"""repro — a reproduction of *Parser-Directed Fuzzing* (PLDI 2019).
+
+Public API
+==========
+
+The primary contribution is :class:`~repro.core.fuzzer.PFuzzer`::
+
+    from repro import PFuzzer, FuzzerConfig, load_subject
+
+    subject = load_subject("tinyc")
+    fuzzer = PFuzzer(subject, FuzzerConfig(seed=1, max_executions=2000))
+    result = fuzzer.run()
+    print(result.valid_inputs)
+
+Baselines (:mod:`repro.baselines`), the evaluation harness
+(:mod:`repro.eval`) and the grammar miner (:mod:`repro.miner`) build on the
+same :func:`~repro.runtime.harness.run_subject` substrate.
+"""
+
+from repro.core.config import FuzzerConfig, HeuristicWeights
+from repro.core.fuzzer import FuzzingResult, PFuzzer
+from repro.runtime.harness import ExitStatus, RunResult, run_subject
+from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PFuzzer",
+    "FuzzerConfig",
+    "HeuristicWeights",
+    "FuzzingResult",
+    "load_subject",
+    "SUBJECT_NAMES",
+    "run_subject",
+    "RunResult",
+    "ExitStatus",
+    "__version__",
+]

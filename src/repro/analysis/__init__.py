@@ -1,0 +1,23 @@
+"""Supporting analyses from the paper's §3.
+
+* :mod:`repro.analysis.dyck` — the Dyck-path/Catalan argument for why random
+  choice between ``(`` and ``)`` almost never closes a prefix (footnote 2).
+* :mod:`repro.analysis.search` — the naive depth-first and breadth-first
+  substitution searches the paper dismisses, runnable against any subject
+  for comparison with pFuzzer's heuristic.
+"""
+
+from repro.analysis.dyck import closed_path_probability, simulate_random_walk
+from repro.analysis.guesses import GuessCost, best_cost_per_length, measure_guess_costs
+from repro.analysis.search import SearchResult, bfs_search, dfs_search
+
+__all__ = [
+    "closed_path_probability",
+    "simulate_random_walk",
+    "dfs_search",
+    "bfs_search",
+    "SearchResult",
+    "GuessCost",
+    "measure_guess_costs",
+    "best_cost_per_length",
+]

@@ -1,0 +1,61 @@
+"""The §3 Dyck-path argument.
+
+For the balanced-parenthesis language, a fuzzer that picks ``(`` or ``)``
+uniformly at random performs a random walk; the paper's footnote 2 notes
+that the probability that a walk of ``2n`` steps that never went negative
+ends at zero is ``1/(n+1)`` (the Catalan fraction), i.e. about 1 % after 100
+characters — random choice does not close prefixes in practice.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+def catalan(n: int) -> int:
+    """The nth Catalan number ``C(2n, n) / (n + 1)``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def closed_path_probability(n: int) -> float:
+    """Probability that a non-negative 2n-step walk ends at zero: 1/(n+1).
+
+    This is the paper's approximation (footnote 2: paths that touched zero
+    and rebounded are ignored "for convenience" in both numerator and
+    denominator).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return 1.0 / (n + 1)
+
+
+def simulate_random_walk(
+    steps: int,
+    trials: int,
+    seed: Optional[int] = None,
+) -> float:
+    """Empirical closing rate of the random ``(``/``)`` strategy.
+
+    Each trial draws ``steps`` characters uniformly from ``{'(', ')'}``,
+    aborting when the depth goes negative (the parser would reject).  Returns
+    the fraction of trials that end exactly balanced — the event the paper
+    argues becomes vanishingly rare.
+    """
+    if steps <= 0 or steps % 2:
+        raise ValueError("steps must be positive and even")
+    rng = random.Random(seed)
+    closed = 0
+    for _ in range(trials):
+        depth = 0
+        for _ in range(steps):
+            depth += 1 if rng.random() < 0.5 else -1
+            if depth < 0:
+                break
+        else:
+            if depth == 0:
+                closed += 1
+    return closed / trials if trials else 0.0

@@ -1,0 +1,66 @@
+"""The §2 cost claim: "building a valid input of size n takes in worst
+case 2n guesses".
+
+Each character position costs at most two executions — one rejection that
+reveals the comparisons, one run of the corrected prefix — assuming "the
+parser only checks for valid substitutions for the rejected character".
+This module measures the actual executions-per-character rate of a fuzzing
+campaign so the claim can be checked empirically (it holds as an amortised
+bound on parsers without search plateaus, like the §2 expression parser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.base import Subject
+
+
+@dataclass
+class GuessCost:
+    """Executions spent per emitted valid input."""
+
+    text: str
+    executions: int
+
+    @property
+    def length(self) -> int:
+        return len(self.text)
+
+    @property
+    def guesses_per_char(self) -> float:
+        """Executions per character (∞-safe: empty inputs report raw cost)."""
+        if not self.text:
+            return float(self.executions)
+        return self.executions / len(self.text)
+
+
+def measure_guess_costs(
+    subject: Subject,
+    budget: int = 1_000,
+    seed: Optional[int] = 1,
+) -> List[GuessCost]:
+    """Fuzz ``subject`` and report the cumulative cost of each emission.
+
+    The nth entry's ``executions`` is the total executions spent when the
+    nth valid input was emitted — the paper's "2n guesses" claim predicts
+    ``executions <= 2 * length`` for the *first* input of each length on a
+    plateau-free parser, and an O(n) trend overall.
+    """
+    result = PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=budget)).run()
+    return [
+        GuessCost(text, executions) for executions, text in result.emit_log
+    ]
+
+
+def best_cost_per_length(costs: List[GuessCost]) -> dict:
+    """Cheapest emission for each observed input length."""
+    best: dict = {}
+    for cost in costs:
+        current = best.get(cost.length)
+        if current is None or cost.executions < current.executions:
+            best[cost.length] = cost
+    return best

@@ -1,0 +1,93 @@
+"""Naive depth-first / breadth-first substitution search (§3).
+
+The paper motivates its heuristic by dismissing two obvious alternatives:
+
+* **depth-first** search "is fast in generating large prefixes of inputs but
+  may not be able to close them properly … and may therefore get stuck in a
+  generation loop";
+* **breadth-first** search "explores all combinations of possible inputs on
+  a shallow level" and drowns in combinatorial explosion before reaching
+  interesting depth.
+
+Both are implemented here on top of the same substitution machinery as
+pFuzzer (comparisons → substitutions), differing only in queue discipline.
+They are used by the ablation benchmarks to show what the §3.1 heuristic
+buys.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Set
+
+from repro.core.config import DEFAULT_CHARACTER_POOL
+from repro.core.substitute import substitutions_for
+from repro.runtime.harness import run_subject
+from repro.subjects.base import Subject
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a naive search campaign."""
+
+    valid_inputs: List[str] = field(default_factory=list)
+    executions: int = 0
+    max_depth_reached: int = 0
+
+
+def _search(
+    subject: Subject,
+    budget: int,
+    seed: Optional[int],
+    depth_first: bool,
+    max_length: int,
+) -> SearchResult:
+    rng = random.Random(seed)
+    result = SearchResult()
+    worklist: Deque[tuple] = deque([("", 0)])
+    seen: Set[str] = {""}
+    valid_seen: Set[str] = set()
+    while worklist and result.executions < budget:
+        if depth_first:
+            text, depth = worklist.pop()
+        else:
+            text, depth = worklist.popleft()
+        result.max_depth_reached = max(result.max_depth_reached, depth)
+        run = run_subject(subject, text, trace_coverage=False)
+        result.executions += 1
+        if run.valid and text not in valid_seen:
+            valid_seen.add(text)
+            result.valid_inputs.append(text)
+        children: List[str] = [
+            substitution.text for substitution in substitutions_for(run)
+        ]
+        if run.recorder.eof_accessed or run.valid:
+            children.append(text + rng.choice(DEFAULT_CHARACTER_POOL))
+        for child in children:
+            if child in seen or len(child) > max_length:
+                continue
+            seen.add(child)
+            worklist.append((child, depth + 1))
+    return result
+
+
+def dfs_search(
+    subject: Subject,
+    budget: int,
+    seed: Optional[int] = None,
+    max_length: int = 100,
+) -> SearchResult:
+    """Depth-first substitution search (LIFO worklist)."""
+    return _search(subject, budget, seed, depth_first=True, max_length=max_length)
+
+
+def bfs_search(
+    subject: Subject,
+    budget: int,
+    seed: Optional[int] = None,
+    max_length: int = 100,
+) -> SearchResult:
+    """Breadth-first substitution search (FIFO worklist)."""
+    return _search(subject, budget, seed, depth_first=False, max_length=max_length)

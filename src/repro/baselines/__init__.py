@@ -1,0 +1,35 @@
+"""Baseline test generators the paper compares against.
+
+* :mod:`repro.baselines.rand` — Miller-style blind random fuzzing.
+* :mod:`repro.baselines.afl` — an AFL-style coverage-guided mutational
+  fuzzer (bitmap coverage with bucketed hit counts, deterministic stages,
+  havoc/splice), seeded with a single space character as in §5.1.
+* :mod:`repro.baselines.klee` — a KLEE-style constraint-based explorer:
+  concolic runs collect per-character comparison constraints, a worklist
+  flips one decision at a time breadth-first, and path explosion emerges on
+  the larger subjects.
+
+All baselines run against the same instrumented subjects as pFuzzer and
+report the same :class:`~repro.baselines.common.CampaignResult`.
+"""
+
+from repro.baselines.afl import AFLFuzzer, AFLConfig
+from repro.baselines.common import CampaignResult
+from repro.baselines.driller import DrillerConfig, DrillerFuzzer
+from repro.baselines.klee import KleeConfig, KleeExplorer
+from repro.baselines.rand import RandomConfig, RandomFuzzer
+from repro.baselines.steelix import SteelixConfig, SteelixFuzzer
+
+__all__ = [
+    "CampaignResult",
+    "RandomFuzzer",
+    "RandomConfig",
+    "AFLFuzzer",
+    "AFLConfig",
+    "KleeExplorer",
+    "KleeConfig",
+    "SteelixFuzzer",
+    "SteelixConfig",
+    "DrillerFuzzer",
+    "DrillerConfig",
+]

@@ -1,0 +1,270 @@
+"""An AFL-style coverage-guided mutational fuzzer (§6.2, Zalewski).
+
+Reproduces the strategy of AFL as relevant to the paper's comparison:
+
+* **edge-coverage bitmap** — every branch (line arc) is hashed into a 64 KiB
+  bitmap; hit counts are bucketed into AFL's power-of-two classes, and an
+  input is "interesting" (added to the queue) iff it sets a byte/bucket the
+  global virgin map has not seen;
+* **deterministic stages** on each new queue entry — walking bit flips,
+  byte flips, 8-bit arithmetic, interesting-value substitution;
+* **havoc** — stacked random mutations (bit flips, random bytes, block
+  deletion/insertion/duplication) plus **splice** with another queue entry.
+
+The campaign is seeded with a single space character, exactly like the
+paper's evaluation setup (§5.1), and is budgeted by executions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.common import Arc, CampaignResult
+from repro.runtime.harness import ExitStatus, RunResult, run_subject
+from repro.subjects.base import Subject
+
+#: AFL's hit-count buckets: the bitmap stores the bucket, not the raw count.
+_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 1),
+    (2, 2),
+    (3, 3),
+    (4, 8),
+    (8, 16),
+    (16, 32),
+    (32, 128),
+    (128, 1 << 30),
+)
+
+#: AFL's "interesting" 8-bit values.
+_INTERESTING_8 = (0, 1, 16, 32, 64, 100, 127, 128, 255)
+
+MAP_SIZE = 1 << 16
+
+
+def classify_count(count: int) -> int:
+    """Map a raw hit count onto AFL's bucket id (0 for zero hits)."""
+    if count <= 0:
+        return 0
+    for bucket_id, (low, high) in enumerate(_BUCKETS, start=1):
+        if low <= count < high or (low == high == count):
+            return bucket_id
+    return len(_BUCKETS)
+
+
+def bitmap_of(arcs: Dict[Arc, int]) -> Dict[int, int]:
+    """AFL-style classified bitmap for one execution's arcs.
+
+    The tracer reports first-traversal clocks, not counts; every traversed
+    arc counts once per *occurrence set*, so the bitmap degenerates to
+    bucket 1 per edge — the part of AFL's semantics that matters for queue
+    culling is which *edges* are new, which is preserved exactly.
+    """
+    bitmap: Dict[int, int] = {}
+    for arc in arcs:
+        index = hash(arc) & (MAP_SIZE - 1)
+        bitmap[index] = classify_count(bitmap.get(index, 0) + 1)
+    return bitmap
+
+
+@dataclass
+class QueueEntry:
+    """One seed in AFL's queue."""
+
+    data: bytearray
+    valid: bool
+    det_done: bool = False
+
+
+@dataclass
+class AFLConfig:
+    """Knobs of the AFL-style baseline."""
+
+    seed: Optional[int] = None
+    max_executions: int = 20_000
+    #: Paper §5.1: AFL is started from a single space character.
+    seeds: Tuple[str, ...] = (" ",)
+    max_length: int = 200
+    havoc_iterations: int = 48
+    havoc_stack: int = 8
+    #: Deterministic stages are skipped for entries longer than this (AFL
+    #: itself spends most deterministic effort on small seeds).
+    det_max_length: int = 32
+    #: Cap on the distinct valid inputs kept as the output corpus.
+    max_valid_corpus: int = 20_000
+    trace_coverage: bool = True
+
+
+class AFLFuzzer:
+    """Coverage-guided mutational fuzzing over one subject."""
+
+    def __init__(self, subject: Subject, config: Optional[AFLConfig] = None) -> None:
+        self.subject = subject
+        self.config = config or AFLConfig()
+        self._rng = random.Random(self.config.seed)
+        self._virgin: Dict[int, Set[int]] = {}
+        self._queue: List[QueueEntry] = []
+        self._result = CampaignResult()
+        self._valid_branches: Set[Arc] = set()
+        self._seen_valid: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Coverage plumbing
+    # ------------------------------------------------------------------ #
+
+    def _has_new_bits(self, bitmap: Dict[int, int]) -> bool:
+        new = False
+        for index, bucket in bitmap.items():
+            seen = self._virgin.setdefault(index, set())
+            if bucket not in seen:
+                seen.add(bucket)
+                new = True
+        return new
+
+    def _execute(self, data: bytearray) -> Optional[RunResult]:
+        if self._result.executions >= self.config.max_executions:
+            return None
+        text = bytes(data).decode("latin-1")
+        run = run_subject(self.subject, text, trace_coverage=self.config.trace_coverage)
+        self._result.executions += 1
+        if run.status is ExitStatus.REJECTED:
+            self._result.rejected += 1
+        elif run.status is ExitStatus.HANG:
+            self._result.hangs += 1
+        return run
+
+    def _consider(self, data: bytearray, run: RunResult) -> None:
+        """Queue on new bitmap bits; keep every distinct valid input.
+
+        AFL's *queue* only holds coverage-increasing entries, but every
+        execution is a generated test; the paper's evaluation counts AFL's
+        brute-force breadth ("trying out millions of different possible
+        inputs", §5.2), so all distinct valid inputs join the output corpus
+        up to :attr:`AFLConfig.max_valid_corpus`.
+        """
+        if run.valid and run.text not in self._seen_valid:
+            if len(self._seen_valid) < self.config.max_valid_corpus:
+                self._seen_valid.add(run.text)
+                self._result.valid_inputs.append(run.text)
+                self._valid_branches |= run.branches
+        if not self._has_new_bits(bitmap_of(run.arcs)):
+            return
+        self._queue.append(QueueEntry(bytearray(data), valid=run.valid))
+
+    # ------------------------------------------------------------------ #
+    # Mutation stages
+    # ------------------------------------------------------------------ #
+
+    def _deterministic(self, entry: QueueEntry) -> bool:
+        """Walking bitflips / byteflips / arith / interesting values.
+
+        Returns False when the execution budget ran out mid-stage.
+        """
+        data = entry.data
+        for position in range(len(data)):
+            for bit in range(8):
+                mutant = bytearray(data)
+                mutant[position] ^= 1 << bit
+                if not self._run_and_consider(mutant):
+                    return False
+        for position in range(len(data)):
+            mutant = bytearray(data)
+            mutant[position] ^= 0xFF
+            if not self._run_and_consider(mutant):
+                return False
+        for position in range(len(data)):
+            for delta in (1, 2, 4, 8, 16, -1, -2, -4, -8, -16):
+                mutant = bytearray(data)
+                mutant[position] = (mutant[position] + delta) & 0xFF
+                if not self._run_and_consider(mutant):
+                    return False
+        for position in range(len(data)):
+            for value in _INTERESTING_8:
+                mutant = bytearray(data)
+                mutant[position] = value
+                if not self._run_and_consider(mutant):
+                    return False
+        return True
+
+    def _havoc_once(self, data: bytearray) -> bytearray:
+        rng = self._rng
+        mutant = bytearray(data)
+        for _ in range(rng.randint(1, self.config.havoc_stack)):
+            choice = rng.randrange(6)
+            if choice == 0 and mutant:
+                position = rng.randrange(len(mutant))
+                mutant[position] ^= 1 << rng.randrange(8)
+            elif choice == 1 and mutant:
+                position = rng.randrange(len(mutant))
+                mutant[position] = rng.randrange(256)
+            elif choice == 2 and mutant:
+                start = rng.randrange(len(mutant))
+                length = rng.randint(1, max(1, len(mutant) - start))
+                del mutant[start : start + length]
+            elif choice == 3 and len(mutant) < self.config.max_length:
+                position = rng.randint(0, len(mutant))
+                length = rng.randint(1, 4)
+                insert = bytes(rng.randrange(256) for _ in range(length))
+                mutant[position:position] = insert
+            elif choice == 4 and mutant and len(mutant) < self.config.max_length:
+                start = rng.randrange(len(mutant))
+                length = rng.randint(1, max(1, min(8, len(mutant) - start)))
+                block = mutant[start : start + length]
+                position = rng.randint(0, len(mutant))
+                mutant[position:position] = block
+            elif choice == 5 and self._queue:
+                other = self._rng.choice(self._queue).data
+                if other and mutant:
+                    cut_self = rng.randint(0, len(mutant))
+                    cut_other = rng.randint(0, len(other))
+                    mutant = bytearray(mutant[:cut_self] + other[cut_other:])
+        del mutant[self.config.max_length :]
+        return mutant
+
+    def _run_and_consider(self, data: bytearray) -> bool:
+        run = self._execute(data)
+        if run is None:
+            return False
+        self._consider(data, run)
+        return True
+
+    def _extra_stage(self) -> bool:
+        """Hook for derived fuzzers (e.g. Steelix's comparison-progress
+        stage), run once per queue cycle.  Returns False when the budget
+        ran out mid-stage."""
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> CampaignResult:
+        started = time.monotonic()
+        for seed in self.config.seeds:
+            data = bytearray(seed.encode("latin-1"))
+            run = self._execute(data)
+            if run is None:
+                break
+            # The first run's bitmap is always new, so the seed enters the
+            # queue through the ordinary path, as in AFL.
+            self._consider(data, run)
+        cursor = 0
+        while self._result.executions < self.config.max_executions and self._queue:
+            if not self._extra_stage():
+                break
+            entry = self._queue[cursor % len(self._queue)]
+            cursor += 1
+            if not entry.det_done and len(entry.data) <= self.config.det_max_length:
+                alive = self._deterministic(entry)
+                entry.det_done = True
+                if not alive:
+                    break
+            for _ in range(self.config.havoc_iterations):
+                mutant = self._havoc_once(entry.data)
+                if not self._run_and_consider(mutant):
+                    break
+        self._result.valid_branches = frozenset(self._valid_branches)
+        self._result.wall_time = time.monotonic() - started
+        return self._result

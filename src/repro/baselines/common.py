@@ -1,0 +1,31 @@
+"""Shared result type and helpers for baseline fuzzers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+Arc = Tuple[str, int, int]
+
+
+@dataclass
+class CampaignResult:
+    """What one baseline campaign produced.
+
+    Attributes:
+        valid_inputs: accepted inputs the tool chose to keep (its "output
+            corpus"), in discovery order.  The paper determines validity of
+            AFL's and KLEE's outputs by exit code; the baselines here check
+            the exit status of the very runs that produced the inputs.
+        executions: number of subject executions used.
+        valid_branches: branches covered by the valid inputs.
+        rejected: rejected executions.
+        hangs: step-budget exhaustions.
+    """
+
+    valid_inputs: List[str] = field(default_factory=list)
+    executions: int = 0
+    valid_branches: FrozenSet[Arc] = frozenset()
+    rejected: int = 0
+    hangs: int = 0
+    wall_time: float = 0.0

@@ -1,0 +1,121 @@
+"""A Driller-style hybrid fuzzer (§6.2, Stephens et al. 2016).
+
+Driller "relies on fuzzing to explore the input space initially, but
+switches to symbolic execution when the fuzzer stops making progress —
+typically, because it needs to satisfy input predicates such as magic
+bytes".  This implementation composes the two baselines accordingly:
+
+* the AFL engine runs as usual;
+* a *stagnation detector* watches how long ago the queue last grew;
+* on stagnation, a **symbolic stint** picks the most recent queue entries,
+  replays them under the taint instrumentation, flips their comparison
+  decisions with the shared concolic solver
+  (:func:`repro.baselines.klee.flip_decision`), and feeds the flipped
+  inputs back through the ordinary AFL path — exactly Driller's
+  "drilling past the roadblock, then handing control back to the fuzzer".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer
+from repro.baselines.klee import flip_decision
+from repro.runtime.harness import RunResult, run_subject
+
+
+@dataclass
+class DrillerConfig(AFLConfig):
+    """AFL knobs plus the stagnation/stint parameters."""
+
+    #: Executions without queue growth before a symbolic stint fires.
+    stagnation_threshold: int = 400
+    #: Queue entries used as symbolic starting points per stint.
+    stint_entries: int = 2
+    #: Flipped children generated per explored state.
+    stint_forks: int = 16
+    #: Executions one stint may spend exploring symbolically.
+    stint_budget: int = 200
+
+
+class DrillerFuzzer(AFLFuzzer):
+    """Fuzzing with selective symbolic execution on stagnation."""
+
+    def __init__(self, subject, config: Optional[DrillerConfig] = None) -> None:
+        super().__init__(subject, config or DrillerConfig())
+        self._executions_at_last_growth = 0
+        self._queue_size_seen = 0
+        self._stint_cursor = 0
+        self.stints = 0
+
+    # ------------------------------------------------------------------ #
+    # Stagnation detection
+    # ------------------------------------------------------------------ #
+
+    def _stagnated(self) -> bool:
+        if len(self._queue) != self._queue_size_seen:
+            self._queue_size_seen = len(self._queue)
+            self._executions_at_last_growth = self._result.executions
+            return False
+        elapsed = self._result.executions - self._executions_at_last_growth
+        return elapsed >= self.config.stagnation_threshold
+
+    # ------------------------------------------------------------------ #
+    # The symbolic stint
+    # ------------------------------------------------------------------ #
+
+    def _extra_stage(self) -> bool:
+        if not self._stagnated():
+            return True
+        self.stints += 1
+        self._executions_at_last_growth = self._result.executions
+        for _ in range(min(self.config.stint_entries, len(self._queue))):
+            entry = self._queue[self._stint_cursor % len(self._queue)]
+            self._stint_cursor += 1
+            if not self._drill(bytes(entry.data).decode("latin-1")):
+                return False
+        return True
+
+    def _drill(self, text: str) -> bool:
+        """Bounded symbolic exploration (breadth-first) from one seed.
+
+        Each explored state's comparison decisions are flipped with the
+        concolic solver and the children are explored transitively until
+        the stint budget is exhausted — one-level flipping cannot thread a
+        multi-character keyword, because the intermediate inputs rarely
+        show new coverage (the same observation that motivates AFL-CTP in
+        the paper's §6.2).  Everything executed also passes through the
+        AFL bitmap, so the fuzzer keeps whatever the stint unearths.
+        """
+        worklist: Deque[str] = deque([text])
+        seen: Set[str] = {text}
+        spent = 0
+        while worklist and spent < self.config.stint_budget:
+            current = worklist.popleft()
+            data = bytearray(current.encode("latin-1", "replace"))
+            del data[self.config.max_length :]
+            if not self._run_and_consider(data):
+                return False
+            spent += 1
+            # The taint replay is a second subject execution; it counts
+            # against the global budget like everything else.
+            replay: RunResult = run_subject(
+                self.subject, current, trace_coverage=False
+            )
+            self._result.executions += 1
+            children: List[str] = []
+            for event in replay.recorder.comparisons:
+                if len(children) >= self.config.stint_forks:
+                    break
+                child = flip_decision(current, event, self._rng)
+                if child is not None and child != current:
+                    children.append(child)
+            if replay.recorder.eof_accessed and len(current) < self.config.max_length:
+                children.append(current + "A")
+            for child in children:
+                if child not in seen and len(child) <= self.config.max_length:
+                    seen.add(child)
+                    worklist.append(child)
+        return True

@@ -1,0 +1,220 @@
+"""A KLEE-style constraint-based explorer (§6, Cadar et al. 2008).
+
+KLEE executes the program on symbolic input, forks an execution state at
+every input-dependent branch, and asks a constraint solver for concrete
+bytes that drive execution down the unexplored side.  This baseline
+reproduces that search shape with a *concolic generational* loop:
+
+1. run a concrete input under the taint instrumentation; the recorded
+   comparison events are exactly the input-dependent branch decisions KLEE
+   would have forked on;
+2. for every decision on the path, synthesise a child input that **flips**
+   that decision (the per-character/string "solver" below — trivially
+   complete for parser constraints, which is why KLEE finds keywords on the
+   small subjects easily);
+3. explore breadth-first with a bounded worklist.
+
+Path explosion is not simulated — it *happens*: on mjs each run produces
+hundreds of decisions, the frontier grows multiplicatively, and the
+breadth-first worklist exhausts its budget on shallow paths, matching the
+paper's observation that "KLEE, suffering from the path explosion problem,
+finds almost no valid inputs for mjs" (§5.2).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set
+
+from repro.baselines.common import Arc, CampaignResult
+from repro.runtime.harness import ExitStatus, RunResult, run_subject
+from repro.subjects.base import Subject
+from repro.taint.events import ComparisonEvent, ComparisonKind, SET_KINDS
+
+
+@dataclass
+class KleeConfig:
+    """Knobs of the KLEE-style baseline."""
+
+    seed: Optional[int] = None
+    max_executions: int = 20_000
+    #: Upper bound on children generated per state, the analogue of KLEE's
+    #: per-state forking limits.
+    max_forks_per_state: int = 64
+    #: Worklist capacity; enqueue beyond it drops states (KLEE's memory cap).
+    max_states: int = 50_000
+    max_length: int = 64
+    trace_coverage: bool = True
+
+
+@dataclass
+class _State:
+    """One worklist entry: a concrete input standing in for a path."""
+
+    text: str
+    depth: int
+
+
+# ---------------------------------------------------------------------- #
+# The "solver": satisfy or refute one comparison (shared with Driller)
+# ---------------------------------------------------------------------- #
+
+
+def splice(text: str, index: int, value: str) -> str:
+    """Overwrite ``text`` at ``index`` with ``value`` (no truncation)."""
+    return text[:index] + value + text[index + len(value) :]
+
+
+def different_char(char: str) -> str:
+    """Any character other than ``char``."""
+    return "A" if char != "A" else "B"
+
+
+def outside_class(members: str) -> str:
+    """A printable character not in ``members``."""
+    for code in range(0x21, 0x7F):
+        if chr(code) not in members:
+            return chr(code)
+    return "\x01"
+
+
+def flip_decision(text: str, event: ComparisonEvent, rng: random.Random) -> Optional[str]:
+    """An input that drives execution down the other side of ``event``.
+
+    Characters after the spliced constraint keep their old concrete values
+    — symbolic execution solves over a fixed buffer, it does not truncate
+    (a structural difference from pFuzzer's substitutions).
+    """
+    index = event.index
+    kind = event.kind
+    if kind is ComparisonKind.STRCMP:
+        # Symbolic execution forks at every character comparison inside
+        # strcmp's loop, not once per call: flipping advances ONE character
+        # toward (or away from) the expected string.
+        expected = event.other_value
+        if not expected:
+            return None
+        if event.result:
+            return splice(text, index, different_char(expected[0]))
+        concrete = event.tainted_value
+        mismatch = 0
+        while (
+            mismatch < len(expected)
+            and mismatch < len(concrete)
+            and concrete[mismatch] == expected[mismatch]
+        ):
+            mismatch += 1
+        if mismatch >= len(expected):
+            # Expected string is a prefix of the concrete buffer; the
+            # remaining constraint is about length, which the fixed-size
+            # model cannot express.
+            return None
+        return splice(text, index + mismatch, expected[mismatch])
+    if kind in SET_KINDS:
+        if event.result:
+            return splice(text, index, outside_class(event.other_value))
+        members = event.other_value
+        return splice(text, index, rng.choice(members)) if members else None
+    other = event.other_value
+    if not other:
+        return None
+    if kind in (ComparisonKind.EQ, ComparisonKind.NE):
+        want_equal = (kind is ComparisonKind.EQ) != event.result
+        if want_equal:
+            return splice(text, index, other)
+        return splice(text, index, different_char(other))
+    # Relational: satisfy the flipped relation with a boundary value.
+    code = ord(other)
+    if kind in (ComparisonKind.LT, ComparisonKind.LE):
+        flipped_true = not event.result
+        target = code - 1 if flipped_true and kind is ComparisonKind.LT else code
+        if not flipped_true:
+            target = code + 1
+    else:  # GT / GE
+        flipped_true = not event.result
+        target = code + 1 if flipped_true and kind is ComparisonKind.GT else code
+        if not flipped_true:
+            target = code - 1
+    if not 0 <= target < 0x110000:
+        return None
+    return splice(text, index, chr(target))
+
+
+class KleeExplorer:
+    """Breadth-first concolic exploration of one subject."""
+
+    def __init__(self, subject: Subject, config: Optional[KleeConfig] = None) -> None:
+        self.subject = subject
+        self.config = config or KleeConfig()
+        self._rng = random.Random(self.config.seed)
+        self._result = CampaignResult()
+        self._seen: Set[str] = set()
+        self._covered: Set[Arc] = set()
+        self._valid_branches: Set[Arc] = set()
+
+    def _flip(self, text: str, event: ComparisonEvent) -> Optional[str]:
+        """One flipped decision (see :func:`flip_decision`)."""
+        return flip_decision(text, event, self._rng)
+
+    # ------------------------------------------------------------------ #
+    # Exploration
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, text: str) -> Optional[RunResult]:
+        if self._result.executions >= self.config.max_executions:
+            return None
+        run = run_subject(self.subject, text, trace_coverage=self.config.trace_coverage)
+        self._result.executions += 1
+        if run.status is ExitStatus.REJECTED:
+            self._result.rejected += 1
+        elif run.status is ExitStatus.HANG:
+            self._result.hangs += 1
+        return run
+
+    def _emit_if_new_coverage(self, run: RunResult) -> None:
+        """Paper setup: KLEE only outputs tests that cover new code."""
+        new = set(run.branches) - self._covered
+        if not new:
+            return
+        self._covered |= new
+        if run.valid:
+            self._result.valid_inputs.append(run.text)
+            self._valid_branches |= run.branches
+
+    def run(self) -> CampaignResult:
+        started = time.monotonic()
+        worklist: Deque[_State] = deque([_State("", 0)])
+        self._seen.add("")
+        while worklist and self._result.executions < self.config.max_executions:
+            state = worklist.popleft()
+            run = self._execute(state.text)
+            if run is None:
+                break
+            self._emit_if_new_coverage(run)
+            children = self._expand(run)
+            for child in children:
+                if child in self._seen or len(child) > self.config.max_length:
+                    continue
+                if len(worklist) >= self.config.max_states:
+                    break
+                self._seen.add(child)
+                worklist.append(_State(child, state.depth + 1))
+        self._result.valid_branches = frozenset(self._valid_branches)
+        self._result.wall_time = time.monotonic() - started
+        return self._result
+
+    def _expand(self, run: RunResult) -> List[str]:
+        children: List[str] = []
+        for event in run.recorder.comparisons:
+            if len(children) >= self.config.max_forks_per_state:
+                break
+            child = self._flip(run.text, event)
+            if child is not None and child != run.text:
+                children.append(child)
+        if run.recorder.eof_accessed and len(run.text) < self.config.max_length:
+            # A larger symbolic stdin: extend by one unconstrained byte.
+            children.append(run.text + "A")
+        return children

@@ -1,0 +1,61 @@
+"""Miller-style blind random fuzzing (§6.1, Miller et al. 1990).
+
+Generates strings of random length and content, runs them, and keeps the
+accepted ones.  No feedback of any kind — the historical baseline that
+motivates everything else.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.baselines.common import Arc, CampaignResult
+from repro.core.config import DEFAULT_CHARACTER_POOL
+from repro.runtime.harness import ExitStatus, run_subject
+from repro.subjects.base import Subject
+
+
+@dataclass
+class RandomConfig:
+    """Knobs of the blind random fuzzer."""
+
+    seed: Optional[int] = None
+    max_executions: int = 2_000
+    max_length: int = 20
+    character_pool: str = DEFAULT_CHARACTER_POOL
+    trace_coverage: bool = True
+
+
+class RandomFuzzer:
+    """Blind random input generation."""
+
+    def __init__(self, subject: Subject, config: Optional[RandomConfig] = None) -> None:
+        self.subject = subject
+        self.config = config or RandomConfig()
+
+    def run(self) -> CampaignResult:
+        config = self.config
+        rng = random.Random(config.seed)
+        result = CampaignResult()
+        branches: Set[Arc] = set()
+        seen: Set[str] = set()
+        started = time.monotonic()
+        while result.executions < config.max_executions:
+            length = rng.randint(0, config.max_length)
+            text = "".join(rng.choice(config.character_pool) for _ in range(length))
+            run = run_subject(self.subject, text, trace_coverage=config.trace_coverage)
+            result.executions += 1
+            if run.status is ExitStatus.REJECTED:
+                result.rejected += 1
+            elif run.status is ExitStatus.HANG:
+                result.hangs += 1
+            elif text not in seen:
+                seen.add(text)
+                result.valid_inputs.append(text)
+                branches |= run.branches
+        result.valid_branches = frozenset(branches)
+        result.wall_time = time.monotonic() - started
+        return result

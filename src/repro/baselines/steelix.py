@@ -1,0 +1,94 @@
+"""A Steelix-style fuzzer: AFL plus comparison-progress feedback (§6.2).
+
+Steelix (Li et al., FSE 2017) augments coverage-guided mutational fuzzing
+with *comparison progress*: when a multi-byte comparison (a magic-byte or
+keyword check) partially matches, the fuzzer learns which offset to mutate
+next and applies local exhaustive mutations there, instead of waiting for
+havoc to guess the next byte.
+
+The paper positions pFuzzer against Steelix (§6.2): "the mutations for
+Steelix is primarily random, with local exhaustive mutations for solving
+magic bytes applied only if magic bytes are found.  pFuzzer on the other
+hand, uses comparisons as the main driver."  This implementation makes that
+comparison measurable: it inherits the AFL engine and adds exactly one
+thing — a worklist of inputs derived from partially-matching string
+comparisons, advanced one byte per generation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Set
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer
+from repro.runtime.harness import RunResult
+from repro.taint.events import ComparisonKind
+
+
+@dataclass
+class SteelixConfig(AFLConfig):
+    """AFL knobs plus the comparison-progress worklist bound."""
+
+    #: Maximum pending magic-byte mutants (oldest dropped beyond this).
+    magic_worklist_limit: int = 2_000
+
+
+class SteelixFuzzer(AFLFuzzer):
+    """AFL with Steelix's comparison-progress stage."""
+
+    def __init__(self, subject, config: SteelixConfig = None) -> None:
+        super().__init__(subject, config or SteelixConfig())
+        self._magic_worklist: Deque[bytearray] = deque()
+        self._magic_seen: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Comparison-progress extraction
+    # ------------------------------------------------------------------ #
+
+    def _consider(self, data: bytearray, run: RunResult) -> None:
+        super()._consider(data, run)
+        self._harvest_progress(run)
+
+    def _harvest_progress(self, run: RunResult) -> None:
+        """Derive next-byte mutants from partially-matching comparisons.
+
+        Unlike pFuzzer, Steelix only reacts to *multi-byte* comparisons
+        whose prefix already matches (its magic-byte detector); single
+        character comparisons stay invisible, and there is no search
+        heuristic — derived mutants just join a FIFO worklist.
+        """
+        text = run.text
+        for event in run.recorder.comparisons:
+            if event.kind is not ComparisonKind.STRCMP or event.result:
+                continue
+            expected = event.other_value
+            concrete = event.tainted_value
+            progress = 0
+            while (
+                progress < len(expected)
+                and progress < len(concrete)
+                and concrete[progress] == expected[progress]
+            ):
+                progress += 1
+            if progress == 0 or progress >= len(expected):
+                continue  # no partial match -> not a magic-byte site
+            position = event.index + progress
+            mutant = text[:position] + expected[progress] + text[position + 1 :]
+            if mutant == text or mutant in self._magic_seen:
+                continue
+            self._magic_seen.add(mutant)
+            if len(self._magic_worklist) >= self.config.magic_worklist_limit:
+                self._magic_worklist.popleft()
+            self._magic_worklist.append(bytearray(mutant.encode("latin-1", "replace")))
+
+    # ------------------------------------------------------------------ #
+    # Stage wiring
+    # ------------------------------------------------------------------ #
+
+    def _extra_stage(self) -> bool:
+        while self._magic_worklist:
+            mutant = self._magic_worklist.popleft()
+            if not self._run_and_consider(mutant):
+                return False
+        return True

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows in the paper's evaluation:
+
+* ``fuzz``     — run pFuzzer on a subject and print the valid inputs;
+* ``compare``  — run pFuzzer and the baselines with equal budgets and print
+  the Figure 2 / Figure 3 style reports for one subject;
+* ``tokens``   — print a subject's token inventory (Tables 2–4);
+* ``mine``     — fuzz, mine a grammar from the valid inputs, and print it;
+* ``subjects`` — list the available subjects (Table 1).
+
+Examples::
+
+    python -m repro fuzz json --budget 2000 --seed 3
+    python -m repro compare tinyc --budget 4000
+    python -m repro tokens mjs
+    python -m repro mine expr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.campaign import TOOLS, run_campaign
+from repro.eval.code_cov import coverage_of_inputs
+from repro.eval.report import (
+    render_figure2,
+    render_figure3,
+    render_table1,
+    render_token_table,
+)
+from repro.eval.token_cov import figure3
+from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parser-directed fuzzing (PLDI 2019) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run pFuzzer on a subject")
+    fuzz.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
+    fuzz.add_argument("--budget", type=int, default=2_000, help="execution budget")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--all-valid",
+        action="store_true",
+        help="print every accepted input, not only new-coverage ones",
+    )
+
+    compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
+    compare.add_argument("subject", choices=SUBJECT_NAMES)
+    compare.add_argument("--budget", type=int, default=2_000)
+    compare.add_argument("--seed", type=int, default=3)
+    compare.add_argument(
+        "--tools", nargs="+", choices=TOOLS, default=["afl", "klee", "pfuzzer"]
+    )
+
+    tokens = sub.add_parser("tokens", help="print a subject's token inventory")
+    tokens.add_argument("subject", choices=SUBJECT_NAMES)
+
+    mine = sub.add_parser("mine", help="fuzz, then mine a grammar (§7.4)")
+    mine.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
+    mine.add_argument("--budget", type=int, default=800)
+    mine.add_argument("--seed", type=int, default=1)
+    mine.add_argument("--generate", type=int, default=0, metavar="N",
+                      help="also generate N inputs from the mined grammar")
+
+    sub.add_parser("subjects", help="list available subjects (Table 1)")
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation and print a markdown report"
+    )
+    report.add_argument("--budget", type=int, default=None,
+                        help="override every subject's execution budget")
+    report.add_argument("--subjects", nargs="+", choices=SUBJECT_NAMES,
+                        default=list(SUBJECT_NAMES))
+    report.add_argument("--tools", nargs="+", choices=TOOLS,
+                        default=["afl", "klee", "pfuzzer"])
+    report.add_argument("--seeds", nargs="+", type=int, default=[0, 3, 8])
+    report.add_argument("--no-code-coverage", action="store_true")
+    return parser
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    subject = load_subject(args.subject)
+    config = FuzzerConfig(seed=args.seed, max_executions=args.budget)
+    result = PFuzzer(subject, config).run()
+    print(
+        f"# {result.executions} executions, {result.rejected} rejected, "
+        f"{result.hangs} hangs, {result.wall_time:.1f}s",
+        file=sys.stderr,
+    )
+    outputs = result.all_valid if args.all_valid else result.valid_inputs
+    for text in outputs:
+        print(repr(text))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    corpora = {}
+    for tool in args.tools:
+        output = run_campaign(tool, args.subject, args.budget, seed=args.seed)
+        corpora[(args.subject, tool)] = output.valid_inputs
+        print(
+            f"# {tool}: {output.executions} executions -> "
+            f"{len(output.valid_inputs)} valid inputs ({output.wall_time:.1f}s)",
+            file=sys.stderr,
+        )
+    coverages = figure3(corpora, [args.subject], args.tools)
+    print(render_figure3(coverages, [args.subject], args.tools))
+    grid = {
+        key: coverage_of_inputs(args.subject, inputs)
+        for key, inputs in corpora.items()
+    }
+    print()
+    print(render_figure2(grid, [args.subject], args.tools))
+    return 0
+
+
+def _cmd_tokens(args: argparse.Namespace) -> int:
+    print(render_token_table(args.subject, max_examples=30))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.miner.generate import GrammarFuzzer
+    from repro.miner.mine import mine_grammar
+
+    subject = load_subject(args.subject)
+    config = FuzzerConfig(seed=args.seed, max_executions=args.budget)
+    result = PFuzzer(subject, config).run()
+    corpus = sorted(set(result.all_valid), key=len)[-40:]
+    print(f"# mined from {len(corpus)} valid inputs", file=sys.stderr)
+    grammar = mine_grammar(subject, corpus)
+    print(grammar)
+    if args.generate:
+        generator = GrammarFuzzer(grammar, seed=args.seed)
+        print()
+        for text in generator.generate_many(args.generate):
+            marker = "ok " if subject.accepts(text) else "BAD"
+            print(f"# {marker} {text!r}")
+    return 0
+
+
+def _cmd_subjects(args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import render_markdown, run_all
+
+    budgets = None
+    if args.budget is not None:
+        budgets = {subject: args.budget for subject in args.subjects}
+    report = run_all(
+        budgets=budgets,
+        tools=args.tools,
+        subjects=args.subjects,
+        seeds=args.seeds,
+        measure_code_coverage=not args.no_code_coverage,
+    )
+    print(render_markdown(report))
+    return 0
+
+
+_COMMANDS = {
+    "fuzz": _cmd_fuzz,
+    "compare": _cmd_compare,
+    "tokens": _cmd_tokens,
+    "mine": _cmd_mine,
+    "subjects": _cmd_subjects,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

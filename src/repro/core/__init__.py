@@ -1,0 +1,27 @@
+"""The paper's primary contribution: the parser-directed fuzzer (pFuzzer).
+
+:class:`~repro.core.fuzzer.PFuzzer` implements Algorithm 1: run a candidate,
+derive substitutions from the comparisons made against the last compared
+input index, push them into a priority queue scored by the coverage/length/
+stack-size heuristic of §3.1, and emit every valid input that covers new
+branches.
+"""
+
+from repro.core.candidate import Candidate
+from repro.core.config import FuzzerConfig, HeuristicWeights
+from repro.core.fuzzer import FuzzingResult, PFuzzer
+from repro.core.heuristic import heuristic_score
+from repro.core.queue import CandidateQueue
+from repro.core.substitute import Substitution, substitutions_for
+
+__all__ = [
+    "PFuzzer",
+    "FuzzingResult",
+    "FuzzerConfig",
+    "HeuristicWeights",
+    "Candidate",
+    "CandidateQueue",
+    "heuristic_score",
+    "Substitution",
+    "substitutions_for",
+]

@@ -1,0 +1,45 @@
+"""Queue entries of the parser-directed fuzzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+Arc = Tuple[str, int, int]
+
+
+@dataclass
+class Candidate:
+    """One not-yet-executed input waiting in the priority queue.
+
+    A candidate is created from the execution of its *parent* input by
+    substituting one recorded comparison value (Algorithm 1 ``addInputs``).
+    Everything the heuristic needs is stored here so re-scoring after a new
+    valid input does **not** re-run anything (§3.2: "storing all relevant
+    information to compute the heuristic along with the already executed
+    input").
+
+    Attributes:
+        text: the input this candidate will execute.
+        replacement: the comparison value substituted in (the ``c`` of
+            ``heur``); empty for random seeds/appends.
+        parents: length of the substitution chain from the initial input.
+        parent_branches: branches covered by the parent's execution (up to
+            the first comparison of its last compared character).
+        avg_stack: the parent execution's ``avgStackSize()``.
+        path_signature: identity of the parent's branch path, used for the
+            path-novelty penalty.
+    """
+
+    text: str
+    replacement: str = ""
+    parents: int = 0
+    parent_branches: FrozenSet[Arc] = field(default_factory=frozenset)
+    avg_stack: float = 0.0
+    path_signature: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Candidate({self.text!r}, repl={self.replacement!r}, "
+            f"parents={self.parents})"
+        )

@@ -1,0 +1,85 @@
+"""Configuration of the parser-directed fuzzer."""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default pool the fuzzer appends random characters from: printable ASCII
+#: plus the common whitespace control characters.  The paper uses "the set of
+#: all ASCII characters"; restricting to printables only changes how often a
+#: random append is immediately useless.
+DEFAULT_CHARACTER_POOL = (
+    string.ascii_letters + string.digits + string.punctuation + " \t\n"
+)
+
+
+@dataclass
+class HeuristicWeights:
+    """Weights of the §3.1 search heuristic (Algorithm 1, Lines 47–51).
+
+    The paper's formula is::
+
+        cov  = |branches \\ vBr|
+        cov -= len(input)
+        cov += 2 * len(replacement)
+        cov -= avgStackSize()
+        cov += numParents          # but see `parents` below
+
+    Attributes:
+        new_branches: weight of newly covered branches (Line 48).
+        input_length: penalty per input character (Line 49) — avoids
+            coverage-driven depth-first blowup.
+        replacement_length: bonus per replacement character (Line 49) —
+            favours string-comparison substitutions, i.e. keywords.
+        stack_size: penalty on the average stack size between the last two
+            comparisons (Line 50) — favours inputs that close syntactic
+            features.
+        parents: weight of the substitution-chain length.  Algorithm 1
+            literally *adds* numParents, but the prose says inputs with
+            fewer parents should rank higher; we default to the prose
+            (negative weight).  The ablation bench measures both signs.
+        path_repetition: penalty per prior execution of the same branch
+            path (§3.2: inputs covering already-taken paths rank lower).
+    """
+
+    new_branches: float = 1.0
+    input_length: float = 1.0
+    replacement_length: float = 2.0
+    stack_size: float = 1.0
+    parents: float = -1.0
+    path_repetition: float = 1.0
+
+
+@dataclass
+class FuzzerConfig:
+    """Runtime knobs of one fuzzing campaign.
+
+    Attributes:
+        seed: PRNG seed; None draws entropy from the OS.
+        max_executions: execution budget (each loop iteration costs up to
+            two executions, §3.1).  The stand-in for the paper's 48 hours.
+        max_valid_inputs: stop early after emitting this many new-coverage
+            valid inputs (None = no cap).
+        max_input_length: safety cap; longer candidates are not extended.
+        queue_limit: maximum queue size; lowest-scored candidates are
+            dropped beyond it.
+        character_pool: characters used for random appends.
+        weights: heuristic weights.
+        trace_coverage: disable to skip branch tracing (the heuristic then
+            degrades to comparisons only; used by ablations).
+    """
+
+    seed: Optional[int] = None
+    max_executions: int = 2_000
+    max_valid_inputs: Optional[int] = None
+    max_input_length: int = 200
+    queue_limit: int = 5_000
+    character_pool: str = DEFAULT_CHARACTER_POOL
+    weights: HeuristicWeights = field(default_factory=HeuristicWeights)
+    trace_coverage: bool = True
+    #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
+    #: previous campaign's corpus can be resumed from here; seeds are
+    #: processed before the empty-string start.
+    initial_inputs: tuple = ()

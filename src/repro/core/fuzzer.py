@@ -1,0 +1,242 @@
+"""The parser-directed fuzzing loop (paper Algorithm 1).
+
+The loop alternates two executions per iteration, as in the paper:
+
+1. the candidate itself — a substitution never *appends*, so this run
+   checks whether the substitution completed a valid input;
+2. the candidate plus one random character — because "not all parsers use
+   an EOF check", the random extension probes whether the parser wanted
+   more input, and its comparison trace is what substitutions are derived
+   from when both runs fail.
+
+Every valid input that covers new branches is emitted, the valid-coverage
+set ``vBr`` grows, and the whole queue is re-scored without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.candidate import Candidate
+from repro.core.config import FuzzerConfig
+from repro.core.heuristic import heuristic_score
+from repro.core.queue import CandidateQueue
+from repro.core.substitute import substitutions_for
+from repro.runtime.harness import ExitStatus, RunResult, run_subject
+from repro.subjects.base import Subject
+
+Arc = Tuple[str, int, int]
+
+
+@dataclass
+class FuzzingResult:
+    """Outcome of one fuzzing campaign.
+
+    Attributes:
+        valid_inputs: inputs emitted because they were accepted *and*
+            covered new branches, in discovery order (the paper's printed
+            outputs).
+        all_valid: every accepted input encountered, including ones without
+            new coverage.
+        executions: number of subject executions performed.
+        valid_branches: union of branches covered by emitted valid inputs
+            (the final ``vBr``).
+        rejected: number of rejected executions.
+        hangs: number of step-budget exhaustions.
+        emit_log: (execution number, input) pairs for each emitted input.
+        wall_time: campaign duration in seconds.
+    """
+
+    valid_inputs: List[str] = field(default_factory=list)
+    all_valid: List[str] = field(default_factory=list)
+    executions: int = 0
+    valid_branches: FrozenSet[Arc] = frozenset()
+    rejected: int = 0
+    hangs: int = 0
+    emit_log: List[Tuple[int, str]] = field(default_factory=list)
+    wall_time: float = 0.0
+
+
+class PFuzzer:
+    """Parser-directed fuzzer for one subject.
+
+    Args:
+        subject: the program under test.
+        config: campaign configuration.
+        on_emit: optional callback invoked as ``on_emit(executions, text)``
+            for every emitted valid input — the streaming equivalent of the
+            paper's ``print(input)`` (Algorithm 1, Line 38).
+    """
+
+    def __init__(
+        self,
+        subject: Subject,
+        config: Optional[FuzzerConfig] = None,
+        on_emit=None,
+    ) -> None:
+        self.subject = subject
+        self.config = config or FuzzerConfig()
+        self.on_emit = on_emit
+        self._rng = random.Random(self.config.seed)
+        self._valid_branches: Set[Arc] = set()
+        self._path_counts: Dict[int, int] = {}
+        self._seen: Set[str] = set()
+        self._all_valid_seen: Set[str] = set()
+        self._result = FuzzingResult()
+        self._queue = CandidateQueue(self._score, limit=self.config.queue_limit)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def _score(self, candidate: Candidate) -> float:
+        return heuristic_score(
+            candidate,
+            frozenset(self._valid_branches),
+            self._path_counts,
+            self.config.weights,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, text: str) -> RunResult:
+        self._seen.add(text)
+        result = run_subject(
+            self.subject, text, trace_coverage=self.config.trace_coverage
+        )
+        self._result.executions += 1
+        signature = self._path_signature(result)
+        self._path_counts[signature] = self._path_counts.get(signature, 0) + 1
+        if result.status is ExitStatus.REJECTED:
+            self._result.rejected += 1
+        elif result.status is ExitStatus.HANG:
+            self._result.hangs += 1
+        elif result.valid and text not in self._all_valid_seen:
+            self._all_valid_seen.add(text)
+            self._result.all_valid.append(text)
+        return result
+
+    @staticmethod
+    def _path_signature(result: RunResult) -> int:
+        return hash(result.branches)
+
+    def _is_valid_new(self, result: RunResult) -> bool:
+        """Algorithm 1 ``runCheck``: exit 0 and new branch coverage."""
+        if not result.valid:
+            return False
+        if not self.config.trace_coverage:
+            # Without coverage the gate degrades to "first time seen":
+            # _execute deduplicates inputs, so any valid result here is new.
+            return True
+        return bool(result.branches - self._valid_branches)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 procedures
+    # ------------------------------------------------------------------ #
+
+    def _handle_valid(self, result: RunResult, parents: int) -> None:
+        """``validInp``: emit, grow vBr, re-score the queue, keep extending."""
+        self._result.valid_inputs.append(result.text)
+        self._result.emit_log.append((self._result.executions, result.text))
+        if self.on_emit is not None:
+            self.on_emit(self._result.executions, result.text)
+        self._valid_branches |= result.branches
+        self._queue.rescore()
+        self._add_candidates(result, parents)
+
+    def _add_candidates(self, result: RunResult, parents: int) -> None:
+        """``addInputs``: one queue entry per satisfiable comparison."""
+        parent_branches = result.branches_for_heuristic()
+        avg_stack = result.average_stack_size()
+        signature = self._path_signature(result)
+        for substitution in substitutions_for(result):
+            if substitution.text in self._seen:
+                continue
+            if len(substitution.text) > self.config.max_input_length:
+                continue
+            self._queue.push(
+                Candidate(
+                    text=substitution.text,
+                    replacement=substitution.replacement,
+                    parents=parents + 1,
+                    parent_branches=parent_branches,
+                    avg_stack=avg_stack,
+                    path_signature=signature,
+                )
+            )
+
+    def _random_char(self) -> str:
+        return self._rng.choice(self.config.character_pool)
+
+    def _next_candidate(self) -> Optional[Candidate]:
+        while True:
+            candidate = self._queue.pop()
+            if candidate is None:
+                return self._restart_candidate()
+            if candidate.text not in self._seen:
+                return candidate
+
+    def _restart_candidate(self) -> Optional[Candidate]:
+        """Fresh random seed when the queue runs dry."""
+        for _ in range(64):
+            text = self._random_char()
+            if text not in self._seen:
+                return Candidate(text)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def _budget_left(self) -> bool:
+        if self._result.executions >= self.config.max_executions:
+            return False
+        cap = self.config.max_valid_inputs
+        if cap is not None and len(self._result.valid_inputs) >= cap:
+            return False
+        return True
+
+    def run(self) -> FuzzingResult:
+        """Run the campaign until the execution budget is exhausted.
+
+        The loop starts from the empty input, exactly like Figure 1: the
+        empty string is rejected with an EOF access, the random extension
+        provides the first comparisons, and the queue takes over.
+        """
+        started = time.monotonic()
+        for text in self.config.initial_inputs:
+            if not self._budget_left() or text in self._seen:
+                continue
+            seeded = self._execute(text)
+            if self._is_valid_new(seeded):
+                self._handle_valid(seeded, parents=0)
+            else:
+                self._add_candidates(seeded, parents=0)
+        current: Optional[Candidate] = (
+            Candidate("") if "" not in self._seen else self._next_candidate()
+        )
+        while current is not None and self._budget_left():
+            result = self._execute(current.text)
+            if self._is_valid_new(result):
+                self._handle_valid(result, current.parents)
+            elif len(current.text) < self.config.max_input_length and self._budget_left():
+                extended = current.text + self._random_char()
+                if extended in self._seen:
+                    extended_result = None
+                else:
+                    extended_result = self._execute(extended)
+                if extended_result is not None:
+                    if self._is_valid_new(extended_result):
+                        self._handle_valid(extended_result, current.parents)
+                    else:
+                        self._add_candidates(extended_result, current.parents)
+            current = self._next_candidate()
+        self._result.valid_branches = frozenset(self._valid_branches)
+        self._result.wall_time = time.monotonic() - started
+        return self._result

@@ -1,0 +1,39 @@
+"""The §3.1 search heuristic (Algorithm 1, ``heur``, Lines 47–51)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.candidate import Candidate
+from repro.core.config import HeuristicWeights
+
+Arc = Tuple[str, int, int]
+
+
+def heuristic_score(
+    candidate: Candidate,
+    valid_branches: FrozenSet[Arc],
+    path_counts: Dict[int, int],
+    weights: HeuristicWeights,
+) -> float:
+    """Score a candidate; higher means "execute sooner".
+
+    Mirrors the paper's formula with configurable weights:
+
+    * newly covered branches of the parent w.r.t. the branches covered by
+      valid inputs so far (``branches \\ vBr``);
+    * minus the input length (anti-depth-first);
+    * plus twice the replacement length (pro-keyword);
+    * minus the average stack size (pro-closing);
+    * parents term (prose: fewer parents rank higher);
+    * minus a penalty for how often the parent's branch path was already
+      executed (§3.2 path novelty).
+    """
+    new_branches = len(candidate.parent_branches - valid_branches)
+    score = weights.new_branches * new_branches
+    score -= weights.input_length * len(candidate.text)
+    score += weights.replacement_length * len(candidate.replacement)
+    score -= weights.stack_size * candidate.avg_stack
+    score += weights.parents * candidate.parents
+    score -= weights.path_repetition * path_counts.get(candidate.path_signature, 0)
+    return score

@@ -1,0 +1,73 @@
+"""The fuzzer's priority queue with cheap re-scoring.
+
+After every newly emitted valid input the set of valid-covered branches
+``vBr`` grows, which changes every queued candidate's score.  Re-running
+queued inputs would be far too slow (§3.2), so candidates carry the
+information needed to re-compute their score and the queue re-scores from
+that stored metadata.
+
+Implementation: a binary heap (scores negated for max-priority).  Pushes
+and pops are O(log n); a re-score (which only happens when a new valid
+input is emitted) recomputes every priority and re-heapifies in O(n).  When
+the queue exceeds its capacity it is compacted to the best ``limit``
+candidates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.candidate import Candidate
+
+ScoreFn = Callable[[Candidate], float]
+
+#: Heap entries: (negated score, FIFO counter, candidate).
+_Entry = Tuple[float, int, Candidate]
+
+
+class CandidateQueue:
+    """Max-priority queue of :class:`~repro.core.candidate.Candidate`."""
+
+    def __init__(self, score_fn: ScoreFn, limit: int = 5_000) -> None:
+        self._score_fn = score_fn
+        self._limit = limit
+        self._heap: List[_Entry] = []
+        self._counter = 0  # FIFO tiebreak for equal scores
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Candidate]:
+        for _, _, candidate in self._heap:
+            yield candidate
+
+    def push(self, candidate: Candidate) -> None:
+        """Insert a candidate, scoring it with the current score function."""
+        self._counter += 1
+        heapq.heappush(
+            self._heap, (-self._score_fn(candidate), self._counter, candidate)
+        )
+        if len(self._heap) > 2 * self._limit:
+            self._compact()
+
+    def pop(self) -> Optional[Candidate]:
+        """Remove and return the highest-scored candidate (None if empty)."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def rescore(self) -> None:
+        """Re-compute every score (Algorithm 1, Lines 40–43)."""
+        self._heap = [
+            (-self._score_fn(candidate), order, candidate)
+            for _, order, candidate in self._heap
+        ]
+        heapq.heapify(self._heap)
+        if len(self._heap) > self._limit:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop everything beyond the best ``limit`` candidates."""
+        self._heap = heapq.nsmallest(self._limit, self._heap)
+        heapq.heapify(self._heap)

@@ -1,0 +1,59 @@
+"""Deriving substitution candidates from a comparison trace.
+
+This is the step the paper sketches as "replace the character that was
+lastly compared with one of the values it was compared to" (§3).  Given one
+execution's :class:`~repro.runtime.harness.RunResult`:
+
+1. find the last compared input index;
+2. collect every comparison whose span covers that index — single-character
+   relations, character-class checks, and ``strcmp``-style string
+   comparisons that *started* earlier but constrain the index;
+3. for every value such a comparison would accept, build a new input by
+   splicing the value in at the comparison's start index.  Everything after
+   the splice is dropped: those characters were never compared, so the
+   parser never looked at them.
+
+Comparisons at the EOF index (one past the end) produce *appends* — this is
+how prefixes such as ``"(2"`` get closed into ``"(2)"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.runtime.harness import RunResult
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """One derived input: ``text`` came from splicing ``replacement`` in."""
+
+    text: str
+    replacement: str
+    at_index: int
+
+
+def substitutions_for(result: RunResult) -> List[Substitution]:
+    """All substitution candidates derivable from one execution.
+
+    Returns an empty list when nothing was compared (the parser rejected
+    without looking at the input, or accepted without comparisons).
+    """
+    recorder = result.recorder
+    last = recorder.last_compared_index()
+    if last is None:
+        return []
+    text = result.text
+    seen = set()
+    out: List[Substitution] = []
+    for event in recorder.comparisons_touching(last):
+        for value in event.replacement_candidates():
+            if not value:
+                continue
+            new_text = text[: event.index] + value
+            if new_text == text or new_text in seen:
+                continue
+            seen.add(new_text)
+            out.append(Substitution(new_text, value, event.index))
+    return out

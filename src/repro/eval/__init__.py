@@ -1,0 +1,48 @@
+"""Evaluation harness: everything needed to regenerate the paper's
+tables and figures.
+
+* Table 1 — subject sizes (:mod:`repro.eval.tables`)
+* Figure 2 — code coverage per subject and tool (:mod:`repro.eval.code_cov`)
+* Tables 2–4 — token inventories (:mod:`repro.eval.tokens`)
+* Figure 3 — tokens generated, by token length (:mod:`repro.eval.token_cov`)
+
+Campaign plumbing (running a tool on a subject under a budget, best-of-N)
+lives in :mod:`repro.eval.campaign`; token extraction from generated valid
+inputs in :mod:`repro.eval.extract`; text rendering in
+:mod:`repro.eval.report`.
+"""
+
+from repro.eval.campaign import ToolOutput, best_of, run_campaign, run_campaigns
+from repro.eval.code_cov import coverage_of_inputs, figure2
+from repro.eval.corpus import load_corpus, revalidate, save_corpus
+from repro.eval.experiments import ExperimentReport, render_markdown, run_all
+from repro.eval.extract import extract_tokens
+from repro.eval.stats import CampaignStats, discovery_curve, summarize
+from repro.eval.token_cov import TokenCoverage, aggregate_by_length, figure3, token_coverage
+from repro.eval.tokens import TOKEN_INVENTORIES, TokenInfo, inventory_by_length
+
+__all__ = [
+    "run_campaign",
+    "run_campaigns",
+    "best_of",
+    "ToolOutput",
+    "extract_tokens",
+    "TOKEN_INVENTORIES",
+    "TokenInfo",
+    "inventory_by_length",
+    "token_coverage",
+    "TokenCoverage",
+    "aggregate_by_length",
+    "figure3",
+    "coverage_of_inputs",
+    "figure2",
+    "save_corpus",
+    "load_corpus",
+    "revalidate",
+    "discovery_curve",
+    "summarize",
+    "CampaignStats",
+    "run_all",
+    "render_markdown",
+    "ExperimentReport",
+]

@@ -1,0 +1,126 @@
+"""Campaign plumbing: run one tool on one subject under a budget.
+
+The paper runs every tool for 48 hours per subject, three repetitions, and
+reports the best run.  Here budgets are execution counts (see DESIGN.md §2)
+and repetitions vary the seed; :func:`best_of` picks the best repetition by
+a caller-supplied metric, mirroring the paper's "we report the best run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer
+from repro.baselines.klee import KleeConfig, KleeExplorer
+from repro.baselines.rand import RandomConfig, RandomFuzzer
+from repro.baselines.driller import DrillerConfig, DrillerFuzzer
+from repro.baselines.steelix import SteelixConfig, SteelixFuzzer
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.registry import load_subject
+
+#: Tool names accepted by :func:`run_campaign`.  "steelix" (AFL +
+#: comparison progress) and "driller" (AFL + symbolic stints) are the §6.2
+#: related-work baselines, not part of the paper's evaluation grid.
+TOOLS: Tuple[str, ...] = ("pfuzzer", "afl", "klee", "random", "steelix", "driller")
+
+
+@dataclass
+class ToolOutput:
+    """Normalised campaign output, whichever tool produced it."""
+
+    tool: str
+    subject: str
+    seed: int
+    valid_inputs: List[str] = field(default_factory=list)
+    executions: int = 0
+    wall_time: float = 0.0
+
+
+def run_campaign(
+    tool: str,
+    subject_name: str,
+    budget: int,
+    seed: int = 0,
+) -> ToolOutput:
+    """Run ``tool`` on ``subject_name`` with an execution ``budget``."""
+    subject = load_subject(subject_name)
+    if tool == "pfuzzer":
+        result = PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=budget)).run()
+        valid = list(result.valid_inputs)
+        executions = result.executions
+        wall = result.wall_time
+    elif tool == "afl":
+        outcome = AFLFuzzer(subject, AFLConfig(seed=seed, max_executions=budget)).run()
+        valid = list(outcome.valid_inputs)
+        executions = outcome.executions
+        wall = outcome.wall_time
+    elif tool == "klee":
+        outcome = KleeExplorer(subject, KleeConfig(seed=seed, max_executions=budget)).run()
+        valid = list(outcome.valid_inputs)
+        executions = outcome.executions
+        wall = outcome.wall_time
+    elif tool == "random":
+        outcome = RandomFuzzer(subject, RandomConfig(seed=seed, max_executions=budget)).run()
+        valid = list(outcome.valid_inputs)
+        executions = outcome.executions
+        wall = outcome.wall_time
+    elif tool == "steelix":
+        outcome = SteelixFuzzer(
+            subject, SteelixConfig(seed=seed, max_executions=budget)
+        ).run()
+        valid = list(outcome.valid_inputs)
+        executions = outcome.executions
+        wall = outcome.wall_time
+    elif tool == "driller":
+        outcome = DrillerFuzzer(
+            subject, DrillerConfig(seed=seed, max_executions=budget)
+        ).run()
+        valid = list(outcome.valid_inputs)
+        executions = outcome.executions
+        wall = outcome.wall_time
+    else:
+        raise ValueError(f"unknown tool {tool!r}; known tools: {', '.join(TOOLS)}")
+    return ToolOutput(
+        tool=tool,
+        subject=subject_name,
+        seed=seed,
+        valid_inputs=valid,
+        executions=executions,
+        wall_time=wall,
+    )
+
+
+def best_of(
+    tool: str,
+    subject_name: str,
+    budget: int,
+    metric: Callable[[ToolOutput], float],
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> ToolOutput:
+    """Best of N repetitions by ``metric`` (paper: "we report the best run")."""
+    outputs = [
+        run_campaign(tool, subject_name, budget, seed=base_seed + repetition)
+        for repetition in range(repetitions)
+    ]
+    return max(outputs, key=metric)
+
+
+def run_campaigns(
+    subjects: Sequence[str],
+    tools: Sequence[str],
+    budgets: Optional[Dict[str, int]] = None,
+    default_budget: int = 2_000,
+    seed: int = 0,
+) -> Dict[Tuple[str, str], ToolOutput]:
+    """Run every (subject, tool) pair once; key the results by the pair."""
+    results: Dict[Tuple[str, str], ToolOutput] = {}
+    for subject_name in subjects:
+        budget = (budgets or {}).get(subject_name, default_budget)
+        for tool in tools:
+            results[(subject_name, tool)] = run_campaign(
+                tool, subject_name, budget, seed=seed
+            )
+    return results

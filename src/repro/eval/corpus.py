@@ -1,0 +1,84 @@
+"""Corpus persistence: save and reload campaign outputs.
+
+Campaign corpora are plain lists of input strings; storing them as JSON
+Lines keeps them greppable and diff-friendly while surviving every control
+character a fuzzer can produce.  Each record carries the subject, tool and
+seed, so mixed corpora can be filtered on reload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.eval.campaign import ToolOutput
+
+PathLike = Union[str, Path]
+
+
+def save_corpus(path: PathLike, output: ToolOutput) -> int:
+    """Append one campaign's valid inputs to ``path``; returns count written."""
+    records = [
+        {
+            "subject": output.subject,
+            "tool": output.tool,
+            "seed": output.seed,
+            "input": text,
+        }
+        for text in output.valid_inputs
+    ]
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=True) + "\n")
+    return len(records)
+
+
+def iter_corpus(
+    path: PathLike,
+    subject: Optional[str] = None,
+    tool: Optional[str] = None,
+) -> Iterator[str]:
+    """Yield stored inputs, optionally filtered by subject and tool.
+
+    Malformed lines are skipped (a half-written trailing record after an
+    interrupted campaign must not poison the rest of the corpus).
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or "input" not in record:
+                continue
+            if subject is not None and record.get("subject") != subject:
+                continue
+            if tool is not None and record.get("tool") != tool:
+                continue
+            yield record["input"]
+
+
+def load_corpus(
+    path: PathLike,
+    subject: Optional[str] = None,
+    tool: Optional[str] = None,
+) -> List[str]:
+    """All stored inputs matching the filters, in file order."""
+    return list(iter_corpus(path, subject=subject, tool=tool))
+
+
+def revalidate(subject_name: str, inputs: Iterable[str]) -> List[str]:
+    """Re-run stored inputs and keep only the still-valid ones.
+
+    The paper re-checks exit codes when evaluating stored tool outputs;
+    this is the same safeguard for corpora that may predate subject
+    changes.
+    """
+    from repro.subjects.registry import load_subject
+
+    subject = load_subject(subject_name)
+    return [text for text in inputs if subject.accepts(text)]

@@ -1,0 +1,226 @@
+"""Token extraction: which inventory tokens appear in a generated input?
+
+The extractors tokenize with the *subjects' own lexers* where the subject
+has one (tinyC, mjs) so that token classification matches the program under
+test rather than a regex approximation; ini/csv/json use small dedicated
+scanners mirroring their parsers.  Inputs are expected to be valid for the
+subject; invalid inputs yield a best-effort (possibly partial) token set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.runtime.errors import SubjectError
+from repro.runtime.stream import InputStream
+from repro.eval.tokens import MJS_BUILTIN_NAME_TOKENS
+
+
+def extract_tokens(subject_name: str, text: str) -> Set[str]:
+    """Inventory-token names appearing in ``text`` for ``subject_name``."""
+    try:
+        extractor = _EXTRACTORS[subject_name]
+    except KeyError:
+        known = ", ".join(sorted(_EXTRACTORS))
+        raise KeyError(
+            f"no token extractor for {subject_name!r}; known: {known}"
+        ) from None
+    try:
+        return extractor(text)
+    except SubjectError:
+        return set()
+
+
+# ---------------------------------------------------------------------- #
+# ini
+# ---------------------------------------------------------------------- #
+
+
+def _extract_ini(text: str) -> Set[str]:
+    found: Set[str] = set()
+    for line in text.split("\n"):
+        stripped = line.strip(" \t")
+        if not stripped:
+            continue
+        if stripped.startswith(";"):
+            found.add(";")
+            continue
+        if stripped.startswith("#"):
+            continue
+        if stripped.startswith("["):
+            found.add("[")
+            closing = stripped.find("]")
+            if closing >= 0:
+                found.add("]")
+                if stripped[1:closing].strip(" \t"):
+                    found.add("name")
+            continue
+        separator = min(
+            (pos for pos in (stripped.find("="), stripped.find(":")) if pos >= 0),
+            default=-1,
+        )
+        if separator >= 0:
+            if stripped[separator] == "=":
+                found.add("=")
+            if stripped[:separator].strip(" \t") or stripped[separator + 1 :].strip(" \t"):
+                found.add("name")
+            if ";" in stripped[separator + 1 :]:
+                found.add(";")
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# csv
+# ---------------------------------------------------------------------- #
+
+
+def _extract_csv(text: str) -> Set[str]:
+    found: Set[str] = set()
+    in_quotes = False
+    field_has_content = False
+    for char in text:
+        if in_quotes:
+            if char == '"':
+                in_quotes = False
+            else:
+                field_has_content = True
+            continue
+        if char == '"':
+            in_quotes = True
+            field_has_content = True  # a quoted field is a field
+        elif char == ",":
+            found.add(",")
+            if field_has_content:
+                found.add("field")
+            field_has_content = False
+        elif char in "\n\r":
+            if field_has_content:
+                found.add("field")
+            field_has_content = False
+        else:
+            field_has_content = True
+    if field_has_content:
+        found.add("field")
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# json
+# ---------------------------------------------------------------------- #
+
+_JSON_PUNCT = "{}[]:,"
+
+
+def _extract_json(text: str) -> Set[str]:
+    found: Set[str] = set()
+    position = 0
+    while position < len(text):
+        char = text[position]
+        if char in _JSON_PUNCT:
+            found.add(char)
+            position += 1
+        elif char == '"':
+            found.add("string")
+            position += 1
+            while position < len(text):
+                if text[position] == "\\":
+                    position += 2
+                    continue
+                if text[position] == '"':
+                    position += 1
+                    break
+                position += 1
+        elif char == "-":
+            found.add("-")
+            position += 1
+        elif char.isdigit():
+            found.add("number")
+            while position < len(text) and text[position] in "0123456789.eE+-":
+                position += 1
+        elif text.startswith("null", position):
+            found.add("null")
+            position += 4
+        elif text.startswith("true", position):
+            found.add("true")
+            position += 4
+        elif text.startswith("false", position):
+            found.add("false")
+            position += 5
+        else:
+            position += 1
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# tinyc — reuse the subject's own lexer
+# ---------------------------------------------------------------------- #
+
+
+def _extract_tinyc(text: str) -> Set[str]:
+    from repro.subjects.tinyc import Sym, TinyCLexer
+
+    names = {
+        Sym.LESS: "<",
+        Sym.PLUS: "+",
+        Sym.MINUS: "-",
+        Sym.SEMI: ";",
+        Sym.EQUAL: "=",
+        Sym.LBRA: "{",
+        Sym.RBRA: "}",
+        Sym.LPAR: "(",
+        Sym.RPAR: ")",
+        Sym.ID: "identifier",
+        Sym.INT: "number",
+        Sym.IF: "if",
+        Sym.DO: "do",
+        Sym.ELSE: "else",
+        Sym.WHILE: "while",
+    }
+    found: Set[str] = set()
+    lexer = TinyCLexer(InputStream(text))
+    while lexer.token.sym is not Sym.EOI:
+        name = names.get(lexer.token.sym)
+        if name is not None:
+            found.add(name)
+        lexer.next_sym()
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# mjs — reuse the subject's own lexer
+# ---------------------------------------------------------------------- #
+
+
+def _extract_mjs(text: str) -> Set[str]:
+    from repro.subjects.mjs.lexer import MjsLexer
+    from repro.subjects.mjs.tokens import TokKind
+
+    found: Set[str] = set()
+    lexer = MjsLexer(InputStream(text))
+    while True:
+        token = lexer.next_token()
+        if token.nl_before:
+            found.add("newline")
+        if token.kind is TokKind.EOF:
+            break
+        if token.kind is TokKind.PUNCT or token.kind is TokKind.KEYWORD:
+            found.add(token.text)
+        elif token.kind is TokKind.NUMBER:
+            found.add("number")
+        elif token.kind is TokKind.STRING:
+            found.add("string")
+        elif token.kind is TokKind.IDENT:
+            if token.text in MJS_BUILTIN_NAME_TOKENS:
+                found.add(token.text)
+            else:
+                found.add("identifier")
+    return found
+
+
+_EXTRACTORS: Dict[str, Callable[[str], Set[str]]] = {
+    "ini": _extract_ini,
+    "csv": _extract_csv,
+    "json": _extract_json,
+    "tinyc": _extract_tinyc,
+    "mjs": _extract_mjs,
+}

@@ -1,0 +1,48 @@
+"""Tiny text plots for reports: sparklines and step curves.
+
+Keeps the benchmark output self-contained — no plotting dependency, every
+figure renders in a terminal or a text file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sparkline of ``values`` (empty string for no data)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _BLOCKS[4] * len(values)
+    span = high - low
+    return "".join(
+        _BLOCKS[1 + int((value - low) / span * (len(_BLOCKS) - 2))]
+        for value in values
+    )
+
+
+def step_curve(
+    points: Sequence[Tuple[int, int]],
+    width: int = 60,
+    label_x: str = "executions",
+    label_y: str = "tokens",
+) -> str:
+    """Render an (x, y) step curve as indented text rows.
+
+    Each row is one y level with the x position where it was first reached,
+    plus a proportional bar — enough to eyeball a discovery curve without a
+    plotting library.
+    """
+    if not points:
+        return "(no data)"
+    max_x = max(x for x, _ in points) or 1
+    lines: List[str] = [f"{label_y:>8} | reached at ({label_x})"]
+    for x, y in points:
+        bar = "#" * max(1, int(width * x / max_x))
+        lines.append(f"{y:8d} | {x:6d} {bar}")
+    return "\n".join(lines)

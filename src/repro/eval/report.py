@@ -1,0 +1,106 @@
+"""Text rendering of every table and figure the harness regenerates.
+
+Each ``render_*`` function returns a plain-text block with the same rows /
+series the paper reports, so benchmark runs print paper-shaped output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.tables import Table1Row, table1, token_table
+from repro.eval.token_cov import TokenCoverage
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "+".join("-" * (width + 2) for width in widths)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A simple aligned ASCII table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[Table1Row] = ()) -> str:
+    """Table 1: subjects and sizes (paper C LoC vs reproduction SLoC)."""
+    rows = rows or table1()
+    return render_table(
+        ("Name", "Paper LoC (C)", "Repro SLoC (Python)"),
+        [(row.name, str(row.paper_loc), str(row.repro_sloc)) for row in rows],
+    )
+
+
+def render_token_table(subject_name: str, max_examples: int = 6) -> str:
+    """Tables 2/3/4: token counts per length with examples."""
+    rows = []
+    for length, (count, names) in token_table(subject_name).items():
+        examples = " ".join(names[:max_examples])
+        if len(names) > max_examples:
+            examples += " ..."
+        rows.append((str(length), str(count), examples))
+    return render_table(("Length", "#", "Examples"), rows)
+
+
+def render_figure2(
+    coverage: Dict[Tuple[str, str], float],
+    subjects: Sequence[str],
+    tools: Sequence[str],
+    bar_width: int = 40,
+) -> str:
+    """Figure 2: coverage bars per subject and tool."""
+    lines: List[str] = ["Coverage by each tool (percent of executable lines)"]
+    for subject in subjects:
+        lines.append(f"\n{subject}:")
+        for tool in tools:
+            percent = coverage.get((subject, tool), 0.0)
+            bar = "#" * int(round(bar_width * percent / 100.0))
+            lines.append(f"  {tool:<8} {percent:5.1f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_figure3(
+    coverages: Dict[Tuple[str, str], TokenCoverage],
+    subjects: Sequence[str],
+    tools: Sequence[str],
+) -> str:
+    """Figure 3: tokens found per token length, per subject and tool."""
+    lengths = list(range(1, 11))
+    headers = ["Subject", "Tool"] + [str(length) for length in lengths] + ["Total"]
+    rows: List[Tuple[str, ...]] = []
+    for subject in subjects:
+        for tool in tools:
+            coverage = coverages.get((subject, tool))
+            cells: List[str] = [subject, tool]
+            for length in lengths:
+                if coverage is None or length not in coverage.by_length:
+                    cells.append("")
+                else:
+                    found, possible = coverage.by_length[length]
+                    cells.append(f"{found}/{possible}")
+            total = f"{coverage.total_found}/{coverage.total_possible}" if coverage else ""
+            cells.append(total)
+            rows.append(tuple(cells))
+    return render_table(headers, rows)
+
+
+def render_aggregates(
+    short: Dict[str, float], long_: Dict[str, float], split: int = 3
+) -> str:
+    """The §5.3 headline aggregates."""
+    rows = [
+        (tool, f"{short.get(tool, 0.0):.1f}%", f"{long_.get(tool, 0.0):.1f}%")
+        for tool in sorted(set(short) | set(long_))
+    ]
+    return render_table(
+        ("Tool", f"tokens len<={split}", f"tokens len>{split}"), rows
+    )

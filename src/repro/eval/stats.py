@@ -1,0 +1,96 @@
+"""Campaign statistics: discovery curves and efficiency summaries.
+
+The paper's "orders of magnitude fewer tests" claim (§1, §5.2) is about
+*efficiency*: how much token coverage a tool buys per execution.  These
+helpers turn a campaign's emission log into a token-discovery curve and a
+one-line efficiency summary, used by reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.eval.extract import extract_tokens
+from repro.eval.tokens import TOKEN_INVENTORIES
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Token coverage after ``executions`` subject executions."""
+
+    executions: int
+    tokens_found: int
+
+
+def discovery_curve(
+    subject_name: str, emit_log: Sequence[Tuple[int, str]]
+) -> List[CurvePoint]:
+    """Cumulative inventory tokens found over the emission log.
+
+    ``emit_log`` is :attr:`repro.core.fuzzer.FuzzingResult.emit_log` —
+    (execution count, emitted input) pairs in emission order.  The curve is
+    monotone; one point per emission that discovered at least one new
+    token, plus the initial point of the first emission.
+    """
+    inventory = {token.name for token in TOKEN_INVENTORIES[subject_name]}
+    found: Set[str] = set()
+    curve: List[CurvePoint] = []
+    for executions, text in emit_log:
+        new = (extract_tokens(subject_name, text) & inventory) - found
+        if new or not curve:
+            found |= new
+            curve.append(CurvePoint(executions, len(found)))
+    return curve
+
+
+def executions_to_reach(
+    curve: Sequence[CurvePoint], tokens: int
+) -> int:
+    """Executions needed to reach ``tokens`` coverage (-1 if never)."""
+    for point in curve:
+        if point.tokens_found >= tokens:
+            return point.executions
+    return -1
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """One-line efficiency summary of a campaign."""
+
+    subject: str
+    executions: int
+    valid_inputs: int
+    tokens_found: int
+
+    @property
+    def validity_rate(self) -> float:
+        """Valid inputs per execution."""
+        if not self.executions:
+            return 0.0
+        return self.valid_inputs / self.executions
+
+    @property
+    def executions_per_token(self) -> float:
+        """Cost of one inventory token, in executions."""
+        if not self.tokens_found:
+            return float("inf")
+        return self.executions / self.tokens_found
+
+
+def summarize(
+    subject_name: str, valid_inputs: Iterable[str], executions: int
+) -> CampaignStats:
+    """Build the summary for one tool's campaign output."""
+    inventory = {token.name for token in TOKEN_INVENTORIES[subject_name]}
+    found: Set[str] = set()
+    count = 0
+    for text in valid_inputs:
+        count += 1
+        found |= extract_tokens(subject_name, text) & inventory
+    return CampaignStats(
+        subject=subject_name,
+        executions=executions,
+        valid_inputs=count,
+        tokens_found=len(found),
+    )

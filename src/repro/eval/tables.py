@@ -1,0 +1,47 @@
+"""Tables 1–4: subject sizes and token inventories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.eval.tokens import PAPER_TOKEN_COUNTS, inventory_by_length
+from repro.subjects.registry import PAPER_LOC, SUBJECT_NAMES, load_subject, subject_sloc
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One subject's size: upstream C LoC (paper) vs this reproduction."""
+
+    name: str
+    paper_loc: int
+    repro_sloc: int
+
+
+def table1() -> List[Table1Row]:
+    """Table 1: the subjects used for the evaluation, with sizes."""
+    rows: List[Table1Row] = []
+    for name in SUBJECT_NAMES:
+        subject = load_subject(name)
+        rows.append(Table1Row(name, PAPER_LOC[name], subject_sloc(subject)))
+    return rows
+
+
+def token_table(subject_name: str) -> Dict[int, Tuple[int, Tuple[str, ...]]]:
+    """Tables 2/3/4 shape: length -> (count, token names).
+
+    ``token_table("json")`` reproduces Table 2, ``"tinyc"`` Table 3 and
+    ``"mjs"`` Table 4; for ini/csv it reports the (paper-implied) inventory
+    used in Figure 3.
+    """
+    grouped = inventory_by_length(subject_name)
+    return {length: (len(names), names) for length, names in grouped.items()}
+
+
+def check_against_paper(subject_name: str) -> bool:
+    """Do the inventory's per-length counts match the paper's table?"""
+    expected = PAPER_TOKEN_COUNTS.get(subject_name)
+    if expected is None:
+        return True
+    actual = {length: count for length, (count, _) in token_table(subject_name).items()}
+    return actual == expected

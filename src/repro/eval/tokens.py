@@ -1,0 +1,139 @@
+"""Token inventories of the five subjects (paper Tables 2, 3 and 4).
+
+Following the paper's §5.3 conventions: "Strings, numbers and identifiers
+are classified as one token as they can consist of many different characters
+but will all trigger the same behavior in the program.  Any non-token
+characters (e.g. whitespaces) are ignored."  A token's *length* is the
+length of its shortest spelling (``string`` is length 2 — two quotes;
+``number``/``identifier`` are length 1).
+
+The mjs inventory reconstructs Table 4's exact per-length counts
+(27/24/13/10/9/7/3/3/2/1 = 99 tokens).  The paper only prints examples per
+length, so the precise membership is a documented reconstruction from the
+mjs language surface; the counts match Table 4 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TokenInfo:
+    """One language token: evaluation name and classified length."""
+
+    name: str
+    length: int
+
+
+def _tokens(*groups: Tuple[int, Tuple[str, ...]]) -> Tuple[TokenInfo, ...]:
+    out: List[TokenInfo] = []
+    for length, names in groups:
+        for name in names:
+            out.append(TokenInfo(name, length))
+    return tuple(out)
+
+
+#: inih tokens: section brackets, the separator, the comment marker, and the
+#: name/value text class (Figure 3 shows five length-1 tokens for ini).
+INI_TOKENS = _tokens((1, ("[", "]", "=", ";", "name")))
+
+#: csvparser tokens: the field separator and the field text class (Figure 3
+#: shows two tokens for csv).
+CSV_TOKENS = _tokens((1, (",", "field")))
+
+#: cJSON tokens, exactly Table 2 (8 / 1 / 2 / 1 by length).
+JSON_TOKENS = _tokens(
+    (1, ("{", "}", "[", "]", "-", ":", ",", "number")),
+    (2, ("string",)),
+    (4, ("null", "true")),
+    (5, ("false",)),
+)
+
+#: tinyC tokens, exactly Table 3 (11 / 2 / 1 / 1 by length).
+TINYC_TOKENS = _tokens(
+    (1, ("<", "+", "-", ";", "=", "{", "}", "(", ")", "identifier", "number")),
+    (2, ("if", "do")),
+    (4, ("else",)),
+    (5, ("while",)),
+)
+
+#: mjs builtin names that count as their own tokens (they appear in
+#: Table 4's examples: ``Object``, ``indexOf``, ``stringify``, ...).
+MJS_BUILTIN_NAME_TOKENS = frozenset(
+    {
+        "JSON",
+        "load",
+        "print",
+        "slice",
+        "isNaN",
+        "Object",
+        "length",
+        "substr",
+        "indexOf",
+        "stringify",
+    }
+)
+
+#: mjs tokens; per-length counts match Table 4 exactly
+#: (27, 24, 13, 10, 9, 7, 3, 3, 2, 1).
+MJS_TOKENS = _tokens(
+    (
+        1,
+        (
+            "(", ")", "{", "}", "[", "]", ";", ",", ".",
+            "+", "-", "*", "/", "%", "<", ">", "=",
+            "&", "|", "^", "!", "~", "?", ":",
+            "identifier", "number", "newline",
+        ),
+    ),
+    (
+        2,
+        (
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+            "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+            "<<", ">>", "=>",
+            "if", "in", "do", "of",
+            "string",
+        ),
+    ),
+    (
+        3,
+        (
+            "===", "!==", "<<=", ">>=", ">>>", "&&=", "||=",
+            "for", "try", "let", "new", "var", "NaN",
+        ),
+    ),
+    (4, (">>>=", "true", "null", "void", "with", "else", "this", "case", "JSON", "load")),
+    (5, ("false", "throw", "while", "break", "catch", "const", "print", "slice", "isNaN")),
+    (6, ("return", "delete", "typeof", "Object", "switch", "length", "substr")),
+    (7, ("default", "finally", "indexOf")),
+    (8, ("continue", "function", "debugger")),
+    (9, ("undefined", "stringify")),
+    (10, ("instanceof",)),
+)
+
+#: Every subject's inventory, keyed by registry name.
+TOKEN_INVENTORIES: Dict[str, Tuple[TokenInfo, ...]] = {
+    "ini": INI_TOKENS,
+    "csv": CSV_TOKENS,
+    "json": JSON_TOKENS,
+    "tinyc": TINYC_TOKENS,
+    "mjs": MJS_TOKENS,
+}
+
+#: Paper Table 2/3/4 per-length counts, for the inventory self-checks.
+PAPER_TOKEN_COUNTS: Dict[str, Dict[int, int]] = {
+    "json": {1: 8, 2: 1, 4: 2, 5: 1},
+    "tinyc": {1: 11, 2: 2, 4: 1, 5: 1},
+    "mjs": {1: 27, 2: 24, 3: 13, 4: 10, 5: 9, 6: 7, 7: 3, 8: 3, 9: 2, 10: 1},
+}
+
+
+def inventory_by_length(subject: str) -> Dict[int, Tuple[str, ...]]:
+    """Token names grouped by classified length for one subject."""
+    grouped: Dict[int, List[str]] = {}
+    for token in TOKEN_INVENTORIES[subject]:
+        grouped.setdefault(token.length, []).append(token.name)
+    return {length: tuple(names) for length, names in sorted(grouped.items())}

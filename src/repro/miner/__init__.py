@@ -1,0 +1,40 @@
+"""Grammar mining from dynamic taints (the paper's §7.4 future work).
+
+The paper proposes closing the loop: use parser-directed fuzzing for
+initial exploration, mine a grammar from the valid inputs (AutoGram,
+Höschele & Zeller 2016), then use grammar-based generation for deep
+recursive structures.  This package implements that pipeline:
+
+* :mod:`repro.miner.mine` derives, for each valid input, a parse tree from
+  the (input index × call stack) access log the instrumentation records —
+  each parser function that consumed a span of input becomes a nonterminal;
+* :mod:`repro.miner.grammar` merges trees into a context-free grammar;
+* :mod:`repro.miner.generate` performs grammar-based random generation,
+  giving the recursive-structure coverage §7.4 says pFuzzer alone lacks;
+* :mod:`repro.miner.export` renders mined grammars as EBNF and converts
+  them to the :mod:`repro.tables` CFG format.
+
+Known limitation (tested, not hidden): mining works well on *scannerless*
+parsers (expr, ini, csv, json), where every character is consumed inside
+the grammar function that owns it.  Tokenized parsers (tinyc, mjs) consume
+characters one token of lookahead early, so spans get attributed to the
+previous grammar frame and the mined structure over-generalises — the
+miner-side face of the paper's §7.2 tokenization problem.
+"""
+
+from repro.miner.export import keyword_terminals, to_cfg, to_ebnf
+from repro.miner.generate import GrammarFuzzer
+from repro.miner.grammar import Grammar, NONTERM, TERM
+from repro.miner.mine import GrammarMiner, mine_grammar
+
+__all__ = [
+    "GrammarMiner",
+    "mine_grammar",
+    "Grammar",
+    "TERM",
+    "NONTERM",
+    "GrammarFuzzer",
+    "to_ebnf",
+    "to_cfg",
+    "keyword_terminals",
+]

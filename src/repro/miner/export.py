@@ -1,0 +1,83 @@
+"""Exporting mined grammars: EBNF text and conversion to table CFGs.
+
+Closing the loop between the two grammar worlds in this repository: a
+grammar mined from a recursive-descent subject (:mod:`repro.miner.mine`)
+can be converted to the :mod:`repro.tables` CFG format and — when the mined
+grammar happens to be LL(1) — driven through the table parser, connecting
+the §7.4 pipeline to the §7.1 machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.miner.grammar import Grammar, NONTERM, TERM
+from repro.tables.grammar import CFG
+
+
+def to_ebnf(grammar: Grammar) -> str:
+    """Render a mined grammar as EBNF-style text (one rule per line)."""
+    lines: List[str] = []
+    ordered = [grammar.start] + sorted(grammar.nonterminals() - {grammar.start})
+    for name in ordered:
+        if name not in grammar.rules:
+            continue
+        alternatives: List[str] = []
+        for expansion in sorted(grammar.rules[name]):
+            if not expansion:
+                alternatives.append("ε")
+                continue
+            parts = [
+                f'"{value}"' if kind == TERM else f"<{value}>"
+                for kind, value in expansion
+            ]
+            alternatives.append(" ".join(parts))
+        lines.append(f"<{name}> ::= " + "\n    | ".join(alternatives))
+    return "\n".join(lines)
+
+
+def to_cfg(grammar: Grammar, name: str = "mined") -> CFG:
+    """Convert a mined grammar to a :class:`repro.tables.grammar.CFG`.
+
+    Multi-character terminals are split into single characters (the table
+    engine consumes one character at a time).  The result is not guaranteed
+    to be LL(1) — pass it to :func:`repro.tables.grammar.build_table` and
+    catch :class:`repro.tables.grammar.LL1Conflict` to find out.
+    """
+    cfg = CFG(name=name, start=grammar.start)
+    for head in grammar.rules:
+        for expansion in sorted(grammar.rules[head]):
+            body: List[object] = []
+            for kind, value in expansion:
+                if kind == NONTERM:
+                    body.append(value)
+                else:
+                    body.extend(value)  # one terminal per character
+            cfg.add(head, *body)
+    return cfg
+
+
+def terminal_alphabet(grammar: Grammar) -> Set[str]:
+    """Every character that appears in the mined grammar's terminals."""
+    alphabet: Set[str] = set()
+    for expansions in grammar.rules.values():
+        for expansion in expansions:
+            for kind, value in expansion:
+                if kind == TERM:
+                    alphabet.update(value)
+    return alphabet
+
+
+def keyword_terminals(grammar: Grammar, min_length: int = 2) -> Set[str]:
+    """Multi-character terminals — the keywords the mining recovered.
+
+    A quick fidelity check for mined grammars: on tinyc these should
+    include the language keywords that appeared in the corpus.
+    """
+    keywords: Set[str] = set()
+    for expansions in grammar.rules.values():
+        for expansion in expansions:
+            for kind, value in expansion:
+                if kind == TERM and len(value.strip()) >= min_length:
+                    keywords.add(value.strip())
+    return keywords

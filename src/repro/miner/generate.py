@@ -1,0 +1,104 @@
+"""Grammar-based generation from mined grammars (§7.4).
+
+Once a grammar has been mined from pFuzzer's valid inputs, random expansion
+produces arbitrarily deep recursive structures — the regime where pure
+parser-directed search is inefficient ("it is more efficient to rely on
+parser-directed fuzzing for initial exploration, use a tool to mine the
+grammar ... and use the mined grammar for generating longer and more complex
+sequences").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.miner.grammar import Expansion, Grammar, NONTERM, TERM
+
+
+class GrammarFuzzer:
+    """Random-expansion generation from a mined grammar."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        seed: Optional[int] = None,
+        max_depth: int = 12,
+    ) -> None:
+        self.grammar = grammar
+        self.max_depth = max_depth
+        self._rng = random.Random(seed)
+        self._costs = self._min_costs()
+
+    def _min_costs(self) -> dict:
+        """Minimum expansion depth per nonterminal (fixpoint).
+
+        Standard grammar-fuzzing machinery: past the depth budget the
+        generator picks the alternative whose nonterminals all have finite,
+        minimal cost, guaranteeing termination on any mined grammar.
+        """
+        infinity = float("inf")
+        costs = {name: infinity for name in self.grammar.rules}
+        changed = True
+        while changed:
+            changed = False
+            for name, alternatives in self.grammar.rules.items():
+                for expansion in alternatives:
+                    cost = 1.0
+                    for kind, value in expansion:
+                        if kind == NONTERM:
+                            cost = max(cost, 1.0 + costs.get(value, infinity))
+                    if cost < costs[name]:
+                        costs[name] = cost
+                        changed = True
+        return costs
+
+    def _expansion_cost(self, expansion: Expansion) -> float:
+        cost = 1.0
+        for kind, value in expansion:
+            if kind == NONTERM:
+                cost = max(cost, 1.0 + self._costs.get(value, float("inf")))
+        return cost
+
+    def generate(self, start: Optional[str] = None) -> str:
+        """One random sentence from the grammar."""
+        name = start if start is not None else self.grammar.start
+        return "".join(self._expand(name, 0))
+
+    def generate_many(self, count: int, start: Optional[str] = None) -> List[str]:
+        """``count`` random sentences (duplicates possible)."""
+        return [self.generate(start) for _ in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+
+    def _expand(self, name: str, depth: int) -> List[str]:
+        alternatives = list(self.grammar.rules.get(name, ()))
+        if not alternatives:
+            return []
+        expansion = self._choose(alternatives, depth)
+        pieces: List[str] = []
+        for kind, value in expansion:
+            if kind == TERM:
+                pieces.append(value)
+            else:
+                pieces.extend(self._expand(value, depth + 1))
+        return pieces
+
+    def _choose(self, alternatives: List[Expansion], depth: int) -> Expansion:
+        """Pick an alternative; beyond max_depth prefer terminal-only ones.
+
+        The closing discipline that keeps random expansion from running
+        away — the grammar-level analogue of the paper's stack-size
+        heuristic.
+        """
+        if depth < self.max_depth:
+            return self._rng.choice(alternatives)
+        cheapest = min(self._expansion_cost(expansion) for expansion in alternatives)
+        closing = [
+            expansion
+            for expansion in alternatives
+            if self._expansion_cost(expansion) <= cheapest
+        ]
+        return self._rng.choice(closing)

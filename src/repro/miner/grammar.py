@@ -1,0 +1,84 @@
+"""Context-free grammar representation for the miner.
+
+A grammar maps nonterminal names to sets of alternative expansions.  An
+expansion is a tuple of symbols; each symbol is ``(TERM, text)`` or
+``(NONTERM, name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+TERM = "t"
+NONTERM = "n"
+
+Symbol = Tuple[str, str]
+Expansion = Tuple[Symbol, ...]
+
+
+class Grammar:
+    """A mined context-free grammar."""
+
+    def __init__(self, start: str) -> None:
+        self.start = start
+        self.rules: Dict[str, Set[Expansion]] = {}
+
+    def add_rule(self, name: str, expansion: Sequence[Symbol]) -> None:
+        """Record one alternative for ``name``."""
+        self.rules.setdefault(name, set()).add(tuple(expansion))
+
+    def nonterminals(self) -> Set[str]:
+        return set(self.rules)
+
+    def is_recursive(self, name: str) -> bool:
+        """Can ``name`` (transitively) expand to itself?
+
+        Recursion is what grammar-based generation adds on top of pFuzzer's
+        shallow exploration (§7.4).
+        """
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for expansion in self.rules.get(current, ()):
+                for kind, value in expansion:
+                    if kind is not NONTERM and kind != NONTERM:
+                        continue
+                    if value == name:
+                        return True
+                    if value not in seen:
+                        seen.add(value)
+                        frontier.append(value)
+        return False
+
+    def prune(self) -> None:
+        """Drop nonterminals with no rules by inlining them as terminals.
+
+        Mining partial traces can reference a child frame that never itself
+        consumed input; such references are replaced with nothing.
+        """
+        defined = set(self.rules)
+        for name, expansions in list(self.rules.items()):
+            cleaned: Set[Expansion] = set()
+            for expansion in expansions:
+                cleaned.add(
+                    tuple(
+                        symbol
+                        for symbol in expansion
+                        if symbol[0] == TERM or symbol[1] in defined
+                    )
+                )
+            self.rules[name] = cleaned
+
+    def __str__(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.rules):
+            alternatives = []
+            for expansion in sorted(self.rules[name]):
+                parts = [
+                    repr(value) if kind == TERM else f"<{value}>"
+                    for kind, value in expansion
+                ]
+                alternatives.append(" ".join(parts) if parts else "ε")
+            lines.append(f"<{name}> ::= " + " | ".join(alternatives))
+        return "\n".join(lines)

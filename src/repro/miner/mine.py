@@ -1,0 +1,132 @@
+"""Mining grammars from access traces (AutoGram-style, §7.4).
+
+For every valid input, the instrumentation records which subject function
+was on the call stack each time an input character was read.  Nesting of
+those (function, invocation) frames over contiguous input spans *is* a parse
+tree; merging the trees' expansions over many inputs yields a context-free
+grammar whose nonterminals are the parser's own function names — the same
+idea as AutoGram's "mining input grammars from dynamic taints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.miner.grammar import Grammar, NONTERM, TERM, Symbol
+from repro.runtime.harness import run_subject
+from repro.subjects.base import Subject
+
+Frame = Tuple[str, int]
+
+
+@dataclass
+class _Node:
+    """One frame's span in the parse tree of a single input."""
+
+    frame: Frame
+    lo: int
+    hi: int
+    children: List["_Node"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.frame[0]
+
+
+class GrammarMiner:
+    """Accumulates a grammar over many valid inputs of one subject."""
+
+    def __init__(self, subject: Subject, start: str = "start") -> None:
+        self.subject = subject
+        self.grammar = Grammar(start)
+
+    def add_input(self, text: str) -> bool:
+        """Mine one input; returns False when the subject rejects it."""
+        result = run_subject(self.subject, text)
+        if not result.valid:
+            return False
+        accesses = result.recorder.accesses
+        root = _build_tree(accesses)
+        if root is None:
+            return True
+        _emit_rules(self.grammar, root, text)
+        self.grammar.add_rule(
+            self.grammar.start, ((NONTERM, root.name),)
+        )
+        return True
+
+    def finish(self) -> Grammar:
+        """Prune and return the mined grammar."""
+        self.grammar.prune()
+        return self.grammar
+
+
+def mine_grammar(subject: Subject, inputs: Sequence[str], start: str = "start") -> Grammar:
+    """Convenience wrapper: mine a grammar from a corpus of valid inputs."""
+    miner = GrammarMiner(subject, start)
+    for text in inputs:
+        miner.add_input(text)
+    return miner.finish()
+
+
+# ---------------------------------------------------------------------- #
+# Tree construction from the access log
+# ---------------------------------------------------------------------- #
+
+
+def _build_tree(accesses: Sequence[Tuple[int, Tuple[Frame, ...]]]) -> Optional[_Node]:
+    """Nest (index, stack) samples into a single parse tree.
+
+    Every frame that was on the stack during an access covers that index;
+    parent/child structure follows stack order.  Frames are identified by
+    their invocation serial, so two calls of the same function stay
+    distinct.
+    """
+    nodes: Dict[Frame, _Node] = {}
+    root: Optional[_Node] = None
+    for index, stack in accesses:
+        if not stack:
+            continue
+        parent: Optional[_Node] = None
+        for frame in stack:
+            node = nodes.get(frame)
+            if node is None:
+                node = _Node(frame, index, index)
+                nodes[frame] = node
+                if parent is not None:
+                    parent.children.append(node)
+            else:
+                node.lo = min(node.lo, index)
+                node.hi = max(node.hi, index)
+            parent = node
+        outermost = nodes[stack[0]]
+        if root is None:
+            root = outermost
+        elif root.frame != outermost.frame:
+            # Multiple top-level frames (e.g. a parser driven by a loop in
+            # the subject's entry function): wrap them under a synthetic
+            # root covering everything.
+            if root.name != "__root__":
+                wrapper = _Node(("__root__", 0), root.lo, root.hi, [root])
+                root = wrapper
+            root.children.append(outermost)
+            root.lo = min(root.lo, outermost.lo)
+            root.hi = max(root.hi, outermost.hi)
+    return root
+
+
+def _emit_rules(grammar: Grammar, node: _Node, text: str) -> None:
+    """Turn one tree node into a grammar rule, recursing into children."""
+    children = sorted(node.children, key=lambda child: child.lo)
+    expansion: List[Symbol] = []
+    cursor = node.lo
+    for child in children:
+        if child.lo > cursor:
+            expansion.append((TERM, text[cursor : child.lo]))
+        expansion.append((NONTERM, child.name))
+        cursor = max(cursor, child.hi + 1)
+        _emit_rules(grammar, child, text)
+    if cursor <= node.hi:
+        expansion.append((TERM, text[cursor : node.hi + 1]))
+    grammar.add_rule(node.name, expansion)

@@ -1,0 +1,31 @@
+"""Execution substrate: input streams, coverage tracing, and the run harness.
+
+This package plays the role of the paper's LLVM instrumentation and driver:
+it feeds a candidate input to a subject parser character by character
+(:mod:`repro.runtime.stream`), records branch coverage and call-stack depth
+with a :mod:`sys.settrace`-based tracer (:mod:`repro.runtime.tracer`), and
+packages everything a fuzzer needs to know about one execution into a
+:class:`~repro.runtime.harness.RunResult` (:mod:`repro.runtime.harness`).
+"""
+
+from repro.runtime.errors import (
+    HangError,
+    ParseError,
+    SemanticError,
+    SubjectError,
+)
+from repro.runtime.harness import ExitStatus, RunResult, run_subject
+from repro.runtime.stream import InputStream
+from repro.runtime.tracer import CoverageTracer
+
+__all__ = [
+    "SubjectError",
+    "ParseError",
+    "SemanticError",
+    "HangError",
+    "InputStream",
+    "CoverageTracer",
+    "RunResult",
+    "ExitStatus",
+    "run_subject",
+]

@@ -1,0 +1,77 @@
+"""Coverage accounting utilities.
+
+Two views of coverage are needed:
+
+* the **heuristic** view used inside the fuzzer: sets of line arcs
+  ("branches") produced by :class:`~repro.runtime.tracer.CoverageTracer`;
+* the **reporting** view for Figure 2: a percentage relative to the total
+  executable lines of the subject, the analogue of the paper's gcov numbers.
+
+The universe of executable lines of a module is computed statically by
+walking its code objects, so percentages are stable across runs.
+"""
+
+from __future__ import annotations
+
+import dis
+import types
+from typing import FrozenSet, Iterable, Set, Tuple
+
+Line = Tuple[str, int]
+
+
+def code_lines(code: types.CodeType) -> Set[Line]:
+    """Executable lines of one code object (recursing into nested code)."""
+    lines: Set[Line] = set()
+    filename = code.co_filename
+    for _, line in dis.findlinestarts(code):
+        if line is not None:
+            lines.add((filename, line))
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            lines |= code_lines(const)
+    return lines
+
+
+def module_lines(module: types.ModuleType) -> FrozenSet[Line]:
+    """All executable lines of a module, from its functions and classes.
+
+    This is the denominator of Figure 2-style coverage percentages.  Module
+    top-level statements (imports, constant tables) are excluded: like the
+    paper's subjects, some code "cannot be covered" by parsing and we keep it
+    out of the universe only when it is clearly not runtime code.
+    """
+    lines: Set[Line] = set()
+    seen: Set[int] = set()
+    for value in vars(module).values():
+        lines |= _object_lines(value, module.__name__, seen)
+    return frozenset(lines)
+
+
+def _object_lines(value: object, module_name: str, seen: Set[int]) -> Set[Line]:
+    if id(value) in seen:
+        return set()
+    seen.add(id(value))
+    if isinstance(value, types.FunctionType) and value.__module__ == module_name:
+        return code_lines(value.__code__)
+    if isinstance(value, type) and value.__module__ == module_name:
+        lines: Set[Line] = set()
+        for attr in vars(value).values():
+            if isinstance(attr, (staticmethod, classmethod)):
+                attr = attr.__func__
+            if isinstance(attr, property):
+                for accessor in (attr.fget, attr.fset, attr.fdel):
+                    if accessor is not None:
+                        lines |= _object_lines(accessor, module_name, seen)
+                continue
+            lines |= _object_lines(attr, module_name, seen)
+        return lines
+    return set()
+
+
+def line_coverage_percent(covered: Iterable[Line], universe: FrozenSet[Line]) -> float:
+    """Percentage of ``universe`` lines present in ``covered``."""
+    if not universe:
+        return 0.0
+    hit = sum(1 for line in covered if line in universe)
+    return 100.0 * hit / len(universe)

@@ -1,0 +1,50 @@
+"""Exceptions raised by subject programs.
+
+The paper's subjects are set up to "abort parsing with a non-zero exit code
+on the first error" (§5.1).  In this reproduction a subject signals rejection
+by raising :class:`ParseError`; the harness converts exceptions into exit
+codes so the fuzzers see the same interface as the paper's tools.
+"""
+
+from __future__ import annotations
+
+
+class SubjectError(Exception):
+    """Base class for every error a subject program can signal."""
+
+
+class ParseError(SubjectError):
+    """The input was rejected by the parser (non-zero exit).
+
+    Attributes:
+        message: human-readable description.
+        index: input index at which the rejection happened, when known.
+    """
+
+    def __init__(self, message: str, index: int = -1) -> None:
+        super().__init__(message)
+        self.message = message
+        self.index = index
+
+
+class SemanticError(ParseError):
+    """The input parsed but failed a post-parse semantic check.
+
+    The paper disables semantic checking in mjs (§5.1); subjects here follow
+    suit by default, but the checks exist and can be enabled to study the
+    §7.3 limitation.
+    """
+
+
+class HangError(SubjectError):
+    """The subject exceeded its execution step budget.
+
+    The paper ran into this with a generated ``while(9);`` input (§5.2,
+    footnote 6) and had to patch the input by hand because gcov loses its
+    data on interrupt.  Our tracer has no such fragility, so hangs are simply
+    a distinct exit status.
+    """
+
+    def __init__(self, steps: int) -> None:
+        super().__init__(f"execution exceeded {steps} steps")
+        self.steps = steps

@@ -1,0 +1,146 @@
+"""Run one input against one subject under full instrumentation.
+
+:func:`run_subject` is the equivalent of one execution of the paper's
+instrumented binary: it installs a fresh comparison recorder and coverage
+tracer, feeds the input through an :class:`~repro.runtime.stream.InputStream`
+and returns a :class:`RunResult` carrying the exit status, the comparison
+trace, the covered branches (line arcs) and the information needed by the
+search heuristic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.runtime.errors import HangError, ParseError, SubjectError
+from repro.runtime.stream import InputStream
+from repro.runtime.tracer import Arc, CoverageTracer
+from repro.taint.recorder import Recorder, recording
+
+
+class ExitStatus(enum.Enum):
+    """Outcome of one subject execution (the paper's process exit code)."""
+
+    VALID = 0
+    REJECTED = 1
+    HANG = 2
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one instrumented execution.
+
+    Attributes:
+        text: the input that was executed.
+        status: exit status (VALID / REJECTED / HANG).
+        recorder: the full comparison + EOF trace.
+        arcs: all line arcs traversed, with first-traversal clocks.
+        value: the subject's parse result (None unless VALID).
+        error: rejection message (None when VALID).
+    """
+
+    text: str
+    status: ExitStatus
+    recorder: Recorder
+    arcs: Dict[Arc, int] = field(default_factory=dict)
+    value: object = None
+    error: Optional[str] = None
+
+    @property
+    def valid(self) -> bool:
+        """True when the subject accepted the input (exit code 0)."""
+        return self.status is ExitStatus.VALID
+
+    @property
+    def branches(self) -> FrozenSet[Arc]:
+        """All branches (line arcs) the execution covered."""
+        return frozenset(self.arcs)
+
+    def branches_for_heuristic(self) -> FrozenSet[Arc]:
+        """Branches counted by the search heuristic.
+
+        For rejected inputs the paper only counts coverage "up to the first
+        comparison of the last character of the input" (§3.1), so that error
+        handling reached after the rejection does not look like progress.
+        Valid inputs count everything.
+        """
+        if self.valid:
+            return self.branches
+        last = self.recorder.last_compared_index()
+        if last is None:
+            return self.branches
+        cutoff = self.recorder.first_comparison_clock(last)
+        if cutoff is None:
+            return self.branches
+        return frozenset(arc for arc, first in self.arcs.items() if first <= cutoff)
+
+    @property
+    def eof_accessed(self) -> bool:
+        """Did the subject try to read past the end of the input?"""
+        return self.recorder.eof_accessed
+
+    def average_stack_size(self) -> float:
+        """The heuristic's ``avgStackSize()`` for this execution."""
+        return self.recorder.average_stack_size()
+
+
+def run_subject(
+    subject,
+    text: str,
+    trace_coverage: bool = True,
+) -> RunResult:
+    """Execute ``subject`` on ``text`` under taint + coverage instrumentation.
+
+    Args:
+        subject: a :class:`~repro.subjects.base.Subject`.
+        text: the candidate input.
+        trace_coverage: disable to skip the settrace tracer (much faster;
+            used by baselines that only need comparison events or only an
+            exit code).
+    """
+    stream = InputStream(text)
+    if trace_coverage:
+        tracer: Optional[CoverageTracer] = CoverageTracer(subject.files)
+        recorder = Recorder(
+            depth_provider=tracer.current_depth,
+            clock_provider=tracer.current_clock,
+            stack_provider=tracer.current_stack,
+        )
+    else:
+        tracer = None
+        recorder = Recorder()
+
+    status = ExitStatus.VALID
+    value: object = None
+    error: Optional[str] = None
+    with recording(recorder):
+        try:
+            if tracer is not None:
+                with tracer:
+                    value = subject.parse(stream)
+            else:
+                value = subject.parse(stream)
+        except HangError as exc:
+            status = ExitStatus.HANG
+            error = str(exc)
+        except ParseError as exc:
+            status = ExitStatus.REJECTED
+            error = exc.message
+        except SubjectError as exc:
+            status = ExitStatus.REJECTED
+            error = str(exc)
+
+    arcs = dict(tracer.arcs) if tracer is not None else {}
+    # Table-driven parsers contribute table-element coverage (§7.1) through
+    # the recorder's auxiliary channel; merge it into the branch set.
+    arcs.update(recorder.aux_branches)
+    return RunResult(
+        text=text,
+        status=status,
+        recorder=recorder,
+        arcs=arcs,
+        value=value,
+        error=error,
+    )

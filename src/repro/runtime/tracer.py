@@ -1,0 +1,141 @@
+"""Branch-coverage and call-depth tracer.
+
+The paper instruments subjects with LLVM to track "(3) the sequence of
+function calls together with current stack contents, and (4) the sequence of
+basic blocks taken" (§4).  Here the same signals come from a
+:func:`sys.settrace` hook restricted to the subject's source files:
+
+* **branches** are line arcs ``(file, previous_line, line)`` — the dynamic
+  equivalent of basic-block transitions;
+* **call depth** is maintained by counting call/return events in subject
+  frames, giving the ``avgStackSize()`` input of the heuristic;
+* a monotonic **clock** (one tick per executed line) timestamps both arcs
+  and comparison events so the fuzzer can restrict coverage to "branches up
+  to the first comparison of the last character" (§3.1).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+Arc = Tuple[str, int, int]
+Line = Tuple[str, int]
+
+#: Pseudo previous-line used for a function's entry arc.
+ENTRY = 0
+
+
+class CoverageTracer:
+    """Records line arcs, lines, and call depth for a set of source files.
+
+    Use as a context manager around the subject execution::
+
+        tracer = CoverageTracer(subject.files)
+        with tracer:
+            subject.parse(stream)
+
+    Attributes:
+        files: absolute filenames whose frames are traced.
+        arcs: arc -> clock of first traversal.
+        clock: number of line events seen so far.
+        depth: current call-stack depth within traced code.
+    """
+
+    def __init__(self, files: Iterable[str]) -> None:
+        self.files: FrozenSet[str] = frozenset(files)
+        self.arcs: Dict[Arc, int] = {}
+        self.clock = 0
+        self.depth = 0
+        #: Active subject call stack as (function name, invocation serial)
+        #: pairs — consumed by the grammar miner (§7.4 extension).
+        self.call_stack: list = []
+        self._serial = 0
+        self._prev_line: Dict[int, Tuple[str, int]] = {}
+        self._saved_trace = None
+
+    # ------------------------------------------------------------------ #
+    # settrace plumbing
+    # ------------------------------------------------------------------ #
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if filename not in self.files:
+            return None
+        self.depth += 1
+        self._serial += 1
+        self.call_stack.append((frame.f_code.co_name, self._serial))
+        self._prev_line[id(frame)] = (filename, ENTRY)
+        return self._local_trace
+
+    def _local_trace(self, frame, event, arg):
+        if event == "line":
+            filename, previous = self._prev_line.get(
+                id(frame), (frame.f_code.co_filename, ENTRY)
+            )
+            line = frame.f_lineno
+            self.clock += 1
+            arc = (filename, previous, line)
+            if arc not in self.arcs:
+                self.arcs[arc] = self.clock
+            self._prev_line[id(frame)] = (filename, line)
+        elif event == "return":
+            self.depth -= 1
+            if self.call_stack:
+                self.call_stack.pop()
+            self._prev_line.pop(id(frame), None)
+        return self._local_trace
+
+    def __enter__(self) -> "CoverageTracer":
+        self._saved_trace = sys.gettrace()
+        sys.settrace(self._global_trace)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sys.settrace(self._saved_trace)
+        self._saved_trace = None
+        # Reset transient state so a reused tracer cannot drift.
+        self.depth = 0
+        self.call_stack.clear()
+        self._prev_line.clear()
+
+    # ------------------------------------------------------------------ #
+    # Providers handed to the taint recorder
+    # ------------------------------------------------------------------ #
+
+    def current_depth(self) -> int:
+        """Call-stack depth inside subject code right now."""
+        return self.depth
+
+    def current_clock(self) -> int:
+        """Monotonic line-event clock right now."""
+        return self.clock
+
+    def current_stack(self) -> Tuple[Tuple[str, int], ...]:
+        """Snapshot of the subject call stack (name, invocation serial)."""
+        return tuple(self.call_stack)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def arc_set(self) -> FrozenSet[Arc]:
+        """All arcs traversed during the traced execution."""
+        return frozenset(self.arcs)
+
+    def arcs_until(self, clock: Optional[int]) -> FrozenSet[Arc]:
+        """Arcs first traversed at or before ``clock`` (all arcs if None)."""
+        if clock is None:
+            return self.arc_set()
+        return frozenset(arc for arc, first in self.arcs.items() if first <= clock)
+
+    def line_set(self) -> FrozenSet[Line]:
+        """All executed lines (for gcov-style line-coverage reporting)."""
+        lines: Set[Line] = set()
+        for filename, previous, line in self.arcs:
+            lines.add((filename, line))
+            if previous != ENTRY:
+                lines.add((filename, previous))
+        return frozenset(lines)

@@ -1,0 +1,16 @@
+"""Evaluation subjects.
+
+The paper evaluates on five C parsers of increasing input complexity
+(Table 1): inih (INI files), csvparser (CSV), cJSON (JSON), tinyC (a C
+subset) and mjs (a JavaScript subset), plus the arithmetic-expression parser
+used for the §2 walkthrough.  Each is re-implemented here as a
+character-at-a-time recursive-descent parser over
+:class:`~repro.runtime.stream.InputStream`, mirroring the upstream control
+flow (same tokens, keywords and grammar subset) so that the comparison trace
+pFuzzer observes matches the one the paper's instrumentation produced.
+"""
+
+from repro.subjects.base import Subject
+from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+__all__ = ["Subject", "load_subject", "SUBJECT_NAMES"]

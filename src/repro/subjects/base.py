@@ -1,0 +1,74 @@
+"""Subject interface.
+
+A subject is a program with an input parser: it reads characters
+sequentially from an :class:`~repro.runtime.stream.InputStream`, raises
+:class:`~repro.runtime.errors.ParseError` on the first error (the paper's
+"abort parsing with a non-zero exit code"), and returns normally when the
+input is accepted.  Subjects that *execute* their input (tinyC, mjs) do so
+inside :meth:`Subject.parse`, under a step budget that turns infinite loops
+into :class:`~repro.runtime.errors.HangError`.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+import sys
+import types
+from typing import FrozenSet, Tuple
+
+from repro.runtime.stream import InputStream
+
+
+class Subject(abc.ABC):
+    """One program under test.
+
+    Class attributes:
+        name: registry key ("ini", "csv", "json", "tinyc", "mjs", "expr").
+        description: one-line description for reports.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    @abc.abstractmethod
+    def parse(self, stream: InputStream) -> object:
+        """Parse (and, where applicable, execute) one input.
+
+        Raises:
+            ParseError: the input was rejected.
+            HangError: execution exceeded the step budget.
+
+        Returns:
+            A subject-specific result object for accepted inputs.
+        """
+
+    def modules(self) -> Tuple[types.ModuleType, ...]:
+        """Modules whose code counts as "the subject" for coverage."""
+        return (sys.modules[type(self).__module__],)
+
+    @property
+    def files(self) -> FrozenSet[str]:
+        """Source files traced for branch coverage."""
+        return frozenset(
+            inspect.getsourcefile(module) or module.__file__
+            for module in self.modules()
+        )
+
+    def accepts(self, text: str) -> bool:
+        """Convenience oracle: does the subject accept ``text``?
+
+        Runs without instrumentation; used by tests and the evaluation
+        harness to validate stored inputs, like the paper re-runs AFL's and
+        KLEE's outputs to check exit codes.
+        """
+        from repro.runtime.errors import SubjectError
+
+        try:
+            self.parse(InputStream(text))
+        except SubjectError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Subject {self.name}>"

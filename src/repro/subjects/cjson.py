@@ -1,0 +1,287 @@
+"""cJSON-style JSON parser (subject "json", Table 1: 2,483 LoC upstream).
+
+Mirrors DaveGamble/cJSON's ``parse_value`` structure: keyword literals are
+matched with ``strncmp`` against ``"null"``, ``"false"`` and ``"true"``
+(which is exactly what lets pFuzzer synthesise those keywords from the
+recorded string comparisons), strings support the full escape set including
+``\\uXXXX`` with UTF-16 surrogate pairs, and numbers follow cJSON's
+"collect number-ish characters, then let strtod decide how much it eats"
+behaviour.
+
+The UTF-16 surrogate logic deliberately operates on *plain integers* derived
+from the hex digits — taint is lost there, reproducing the limitation the
+paper reports for cJSON ("we never reach the parts of the code comparing the
+input with the UTF16 encoding", §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import strncmp, switch_on
+
+JsonValue = Union[None, bool, float, str, List["JsonValue"], Dict[str, "JsonValue"]]
+
+#: Characters cJSON's parse_number collects before calling strtod.
+_NUMBER_CHARS = "0123456789+-eE."
+
+
+class CJsonSubject(Subject):
+    """Recursive-descent JSON parser following cJSON's control flow."""
+
+    name = "json"
+    description = "cJSON-style JSON parser"
+
+    #: Recursion limit, the analogue of CJSON_NESTING_LIMIT (default 1000;
+    #: kept small so runaway nesting fails fast instead of blowing the
+    #: Python stack).
+    nesting_limit = 100
+
+    def parse(self, stream: InputStream) -> JsonValue:
+        self._skip_whitespace(stream)
+        if stream.peek().is_eof:
+            # Whitespace-only input is accepted by the paper's driver setup
+            # (§5.1: the single-space AFL seed "is accepted by all
+            # programs as valid").
+            return None
+        value = self._parse_value(stream, 0)
+        self._skip_whitespace(stream)
+        lookahead = stream.peek()
+        if not lookahead.is_eof:
+            # cJSON with require_null_terminated: trailing bytes are an error.
+            raise ParseError(f"trailing input at {lookahead.index}", lookahead.index)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # parse_value: the cJSON dispatch
+    # ------------------------------------------------------------------ #
+
+    def _parse_value(self, stream: InputStream, depth: int) -> JsonValue:
+        if depth >= self.nesting_limit:
+            raise ParseError(f"nesting too deep at {stream.pos}", stream.pos)
+        if strncmp(self._peek_string(stream, 4), "null", 4) == 0:
+            stream.pos += 4
+            return None
+        if strncmp(self._peek_string(stream, 5), "false", 5) == 0:
+            stream.pos += 5
+            return False
+        if strncmp(self._peek_string(stream, 4), "true", 4) == 0:
+            stream.pos += 4
+            return True
+        lookahead = stream.peek()
+        if lookahead == '"':
+            return self._parse_string(stream)
+        if lookahead == "-" or lookahead.isdigit():
+            return self._parse_number(stream)
+        if lookahead == "[":
+            return self._parse_array(stream, depth)
+        if lookahead == "{":
+            return self._parse_object(stream, depth)
+        raise ParseError(f"invalid value at {lookahead.index}", lookahead.index)
+
+    def _peek_string(self, stream: InputStream, count: int) -> TaintedStr:
+        """Up to ``count`` upcoming characters as a tainted buffer.
+
+        cJSON checks ``can_read(buffer, n)`` before its strncmp calls, so no
+        EOF access is reported here; the clamped buffer simply compares
+        unequal.
+        """
+        chars: List[str] = []
+        taints: List[int] = []
+        for offset in range(count):
+            position = stream.pos + offset
+            if position >= len(stream.text):
+                break
+            chars.append(stream.text[position])
+            taints.append(position)
+        return TaintedStr("".join(chars), taints)
+
+    # ------------------------------------------------------------------ #
+    # Strings (cJSON parse_string)
+    # ------------------------------------------------------------------ #
+
+    def _parse_string(self, stream: InputStream) -> str:
+        opening = stream.next_char()
+        if opening != '"':
+            raise ParseError(f"expected '\"' at {opening.index}", opening.index)
+        output: List[str] = []
+        while True:
+            char = stream.next_char()
+            if char.is_eof:
+                raise ParseError(f"unterminated string at {char.index}", char.index)
+            if char == '"':
+                return "".join(output)
+            if char == "\\":
+                output.append(self._parse_escape(stream))
+                continue
+            if char < " ":
+                # cJSON rejects raw control characters inside strings.
+                raise ParseError(f"control character at {char.index}", char.index)
+            output.append(char.value)
+
+    def _parse_escape(self, stream: InputStream) -> str:
+        escape = stream.next_char()
+        if escape.is_eof:
+            raise ParseError(f"unterminated escape at {escape.index}", escape.index)
+        if escape == "b":
+            return "\b"
+        if escape == "f":
+            return "\f"
+        if escape == "n":
+            return "\n"
+        if escape == "r":
+            return "\r"
+        if escape == "t":
+            return "\t"
+        if escape == '"':
+            return '"'
+        if escape == "\\":
+            return "\\"
+        if escape == "/":
+            return "/"
+        if escape == "u":
+            return self._parse_utf16(stream)
+        raise ParseError(f"invalid escape at {escape.index}", escape.index)
+
+    def _parse_hex4(self, stream: InputStream) -> int:
+        """Four hex digits -> integer.  Taint ends here (implicit flow)."""
+        value = 0
+        for _ in range(4):
+            digit = stream.next_char()
+            if digit.is_eof or not digit.isxdigit():
+                raise ParseError(f"invalid \\u escape at {digit.index}", digit.index)
+            value = value * 16 + digit.hex_value()
+        return value
+
+    def _parse_utf16(self, stream: InputStream) -> str:
+        """cJSON utf16_literal_to_utf8, surrogate pairs included.
+
+        All comparisons below are over plain ints: the fuzzer cannot see
+        them, which reproduces the paper's missed-feature observation.
+        """
+        first = self._parse_hex4(stream)
+        if 0xDC00 <= first <= 0xDFFF:
+            raise ParseError(f"lone low surrogate at {stream.pos}", stream.pos)
+        if 0xD800 <= first <= 0xDBFF:
+            backslash = stream.next_char()
+            marker = stream.next_char()
+            if backslash != "\\" or marker != "u":
+                raise ParseError(
+                    f"missing low surrogate at {stream.pos}", stream.pos
+                )
+            second = self._parse_hex4(stream)
+            if not 0xDC00 <= second <= 0xDFFF:
+                raise ParseError(
+                    f"invalid low surrogate at {stream.pos}", stream.pos
+                )
+            codepoint = 0x10000 + (((first & 0x3FF) << 10) | (second & 0x3FF))
+            return chr(codepoint)
+        return chr(first)
+
+    # ------------------------------------------------------------------ #
+    # Numbers (cJSON parse_number)
+    # ------------------------------------------------------------------ #
+
+    def _parse_number(self, stream: InputStream) -> float:
+        collected = 0
+        while collected < 63:
+            char = stream.peek(collected)
+            if char.is_eof or not switch_on(char, _NUMBER_CHARS):
+                break
+            collected += 1
+        text = stream.text[stream.pos : stream.pos + collected]
+        consumed = self._strtod_prefix(text)
+        if consumed == 0:
+            raise ParseError(f"invalid number at {stream.pos}", stream.pos)
+        # strtod semantics: only the parseable prefix is consumed; whatever
+        # the switch collected beyond it stays in the stream and usually
+        # triggers a parse error one level up — exactly like cJSON.
+        value = float(text[:consumed])
+        stream.pos += consumed
+        return value
+
+    @staticmethod
+    def _strtod_prefix(text: str) -> int:
+        """Length of the longest prefix of ``text`` that C strtod accepts."""
+        best = 0
+        for end in range(1, len(text) + 1):
+            prefix = text[:end]
+            if prefix in ("+", "-"):
+                continue
+            try:
+                float(prefix)
+            except ValueError:
+                continue
+            # strtod does not accept trailing 'e'/'E'/sign; float() already
+            # rejects those, so any success here is a real prefix.
+            best = end
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Arrays and objects
+    # ------------------------------------------------------------------ #
+
+    def _parse_array(self, stream: InputStream, depth: int) -> List[JsonValue]:
+        opening = stream.next_char()
+        if opening != "[":
+            raise ParseError(f"expected '[' at {opening.index}", opening.index)
+        self._skip_whitespace(stream)
+        items: List[JsonValue] = []
+        if stream.peek() == "]":
+            stream.next_char()
+            return items
+        while True:
+            self._skip_whitespace(stream)
+            items.append(self._parse_value(stream, depth + 1))
+            self._skip_whitespace(stream)
+            separator = stream.next_char()
+            if separator == ",":
+                continue
+            if separator == "]":
+                return items
+            raise ParseError(
+                f"expected ',' or ']' at {separator.index}", separator.index
+            )
+
+    def _parse_object(self, stream: InputStream, depth: int) -> Dict[str, JsonValue]:
+        opening = stream.next_char()
+        if opening != "{":
+            raise ParseError(f"expected '{{' at {opening.index}", opening.index)
+        self._skip_whitespace(stream)
+        members: Dict[str, JsonValue] = {}
+        if stream.peek() == "}":
+            stream.next_char()
+            return members
+        while True:
+            self._skip_whitespace(stream)
+            key = self._parse_string(stream)
+            self._skip_whitespace(stream)
+            colon = stream.next_char()
+            if colon != ":":
+                raise ParseError(f"expected ':' at {colon.index}", colon.index)
+            self._skip_whitespace(stream)
+            members[key] = self._parse_value(stream, depth + 1)
+            self._skip_whitespace(stream)
+            separator = stream.next_char()
+            if separator == ",":
+                continue
+            if separator == "}":
+                return members
+            raise ParseError(
+                f"expected ',' or '}}' at {separator.index}", separator.index
+            )
+
+    # ------------------------------------------------------------------ #
+    # Whitespace (cJSON buffer_skip_whitespace: anything <= ' ')
+    # ------------------------------------------------------------------ #
+
+    def _skip_whitespace(self, stream: InputStream) -> None:
+        while True:
+            char = stream.peek()
+            if char.is_eof or not char <= " ":
+                return
+            stream.next_char()

@@ -1,0 +1,105 @@
+"""csvparser-style CSV parser (subject "csv", Table 1: 297 LoC upstream).
+
+Mirrors JamesRamm/csv_parser: comma-separated fields, newline-separated
+records, double-quoted fields that may contain commas, newlines and doubled
+quotes.  Rejections happen on the two classic CSV errors: an unterminated
+quoted field, and a bare ``"`` inside an unquoted field or trailing a closed
+quote (RFC 4180 discipline, which is what gives the subject its non-trivial
+— if shallow — input space; paper §5.2: "covering all combinations of two
+characters achieves perfect coverage").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.taint.tstr import TaintedStr
+
+
+class CsvSubject(Subject):
+    """Character-at-a-time CSV reader with quoted-field support.
+
+    ``delimiter`` mirrors csv_parser's configurable separator (the
+    evaluation uses the default comma).
+    """
+
+    name = "csv"
+    description = "csvparser-style CSV parser"
+
+    def __init__(self, delimiter: str = ",") -> None:
+        if len(delimiter) != 1 or delimiter in '"\n\r':
+            raise ValueError(f"invalid delimiter {delimiter!r}")
+        self.delimiter = delimiter
+
+    def parse(self, stream: InputStream) -> List[List[str]]:
+        """Parse all records; return rows of field strings."""
+        rows: List[List[str]] = []
+        while True:
+            lookahead = stream.peek()
+            if lookahead.is_eof:
+                return rows
+            rows.append(self._parse_record(stream))
+
+    def _parse_record(self, stream: InputStream) -> List[str]:
+        fields = [self._parse_field(stream)]
+        while True:
+            char = stream.peek()
+            if char.is_eof:
+                return fields
+            if char == self.delimiter:
+                stream.next_char()
+                fields.append(self._parse_field(stream))
+            elif char == "\n":
+                stream.next_char()
+                return fields
+            elif char == "\r":
+                stream.next_char()
+                if stream.peek() == "\n":
+                    stream.next_char()
+                return fields
+            else:
+                raise ParseError(
+                    f"unexpected character after field at {char.index}", char.index
+                )
+
+    def _parse_field(self, stream: InputStream) -> str:
+        lookahead = stream.peek()
+        if lookahead == '"':
+            stream.next_char()
+            return self._parse_quoted(stream)
+        return self._parse_bare(stream)
+
+    def _parse_quoted(self, stream: InputStream) -> str:
+        """A double-quoted field; ``""`` is an escaped quote."""
+        buffer = TaintedStr.empty()
+        while True:
+            char = stream.next_char()
+            if char.is_eof:
+                raise ParseError(
+                    f"unterminated quoted field at {char.index}", char.index
+                )
+            if char == '"':
+                follower = stream.peek()
+                if follower == '"':
+                    stream.next_char()
+                    buffer = buffer.append(follower)
+                    continue
+                return buffer.text
+            buffer = buffer.append(char)
+
+    def _parse_bare(self, stream: InputStream) -> str:
+        """An unquoted field: anything up to ``,``, newline or EOF."""
+        buffer = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char.is_eof or char == self.delimiter or char == "\n" or char == "\r":
+                return buffer.text
+            if char == '"':
+                raise ParseError(
+                    f"bare quote inside unquoted field at {char.index}", char.index
+                )
+            stream.next_char()
+            buffer = buffer.append(char)

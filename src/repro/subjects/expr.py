@@ -1,0 +1,105 @@
+"""The §2 walkthrough subject: an arithmetic-expression parser.
+
+This is the "mystery program P" of the paper's Section 2.  It accepts
+arithmetic expressions over integers with unary and binary ``+``/``-`` and
+parentheses — the language whose valid inputs include::
+
+    1   11   +1   -1   1+1   1-1   (1)   (2-94)
+
+The parser is written exactly the way the paper assumes parsers are written:
+character by character, with a single character of lookahead, comparing the
+next character against every acceptable alternative before rejecting.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+
+
+class ExprSubject(Subject):
+    """Recursive-descent parser for parenthesised integer arithmetic."""
+
+    name = "expr"
+    description = "Section 2 walkthrough: arithmetic expressions"
+
+    #: Recursion guard for pathological ``((((...`` nesting.
+    max_depth = 200
+
+    def __init__(self) -> None:
+        self._depth = 0
+
+    def parse(self, stream: InputStream) -> int:
+        self._depth = 0
+        value = self._expression(stream)
+        lookahead = stream.peek()
+        if not lookahead.is_eof:
+            raise ParseError(
+                f"trailing input at {lookahead.index}", lookahead.index
+            )
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Grammar:  expression := factor (('+' | '-') factor)*
+    #           factor     := ('+' | '-')? atom
+    #           atom       := number | '(' expression ')'
+    # ------------------------------------------------------------------ #
+
+    def _expression(self, stream: InputStream) -> int:
+        value = self._factor(stream)
+        while True:
+            operator = stream.peek()
+            if operator == "+":
+                stream.next_char()
+                value = value + self._factor(stream)
+            elif operator == "-":
+                stream.next_char()
+                value = value - self._factor(stream)
+            else:
+                return value
+
+    def _factor(self, stream: InputStream) -> int:
+        sign = 1
+        lookahead = stream.peek()
+        if lookahead == "+":
+            stream.next_char()
+        elif lookahead == "-":
+            stream.next_char()
+            sign = -1
+        return sign * self._atom(stream)
+
+    def _atom(self, stream: InputStream) -> int:
+        lookahead = stream.peek()
+        if lookahead == "(":
+            self._depth += 1
+            if self._depth > self.max_depth:
+                raise ParseError(f"nesting too deep at {lookahead.index}", lookahead.index)
+            stream.next_char()
+            value = self._expression(stream)
+            self._depth -= 1
+            closing = stream.peek()
+            if closing != ")":
+                raise ParseError(f"expected ')' at {closing.index}", closing.index)
+            stream.next_char()
+            return value
+        if lookahead.isdigit():
+            return self._number(stream)
+        raise ParseError(
+            f"expected digit, '(', '+' or '-' at {lookahead.index}",
+            lookahead.index,
+        )
+
+    def _number(self, stream: InputStream) -> int:
+        value = 0
+        digits = 0
+        while True:
+            lookahead = stream.peek()
+            if not lookahead.isdigit():
+                break
+            stream.next_char()
+            value = value * 10 + lookahead.digit_value()
+            digits += 1
+        if digits == 0:
+            raise ParseError(f"expected digit at {stream.peek().index}")
+        return value

@@ -1,0 +1,181 @@
+"""inih-style .INI parser (subject "ini", Table 1: 293 LoC upstream).
+
+Mirrors the behaviour of benhoyt/inih as configured in the paper's
+evaluation: line-oriented input, ``[section]`` headers, ``name = value`` /
+``name : value`` pairs, ``;`` and ``#`` comments, inline ``;`` comments, and
+a non-zero exit on the first malformed line (a section header without a
+closing ``]``, or a content line without a separator).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.taint.tstr import TaintedStr
+
+#: Characters inih treats as horizontal whitespace when stripping.
+_BLANK = " \t"
+
+
+class IniSubject(Subject):
+    """Line-oriented INI parser in the style of inih's ``ini_parse``.
+
+    ``multiline=True`` enables inih's ``INI_ALLOW_MULTILINE``: a line that
+    starts with whitespace continues the previous entry's value.  The
+    evaluation uses the default (off) so that leading-whitespace content
+    lines keep their ordinary meaning.
+    """
+
+    name = "ini"
+    description = "inih-style .INI file parser"
+
+    def __init__(self, multiline: bool = False) -> None:
+        self.multiline = multiline
+
+    def parse(self, stream: InputStream) -> List[Tuple[str, str, str]]:
+        """Parse the whole input; return ``(section, name, value)`` entries."""
+        entries: List[Tuple[str, str, str]] = []
+        section = ""
+        while True:
+            lookahead = stream.peek()
+            if lookahead.is_eof:
+                return entries
+            section = self._parse_line(stream, section, entries)
+
+    # ------------------------------------------------------------------ #
+    # One line at a time, the way ini_parse walks its buffer
+    # ------------------------------------------------------------------ #
+
+    def _parse_line(
+        self,
+        stream: InputStream,
+        section: str,
+        entries: List[Tuple[str, str, str]],
+    ) -> str:
+        if self.multiline and entries:
+            first = stream.peek()
+            if not first.is_eof and first.in_set(_BLANK):
+                # INI_ALLOW_MULTILINE: leading whitespace continues the
+                # previous value.
+                self._skip_blank(stream)
+                follower = stream.peek()
+                if not follower.is_eof and follower != "\n":
+                    continuation = self._read_to_eol(stream)
+                    prev_section, prev_name, prev_value = entries[-1]
+                    entries[-1] = (
+                        prev_section,
+                        prev_name,
+                        f"{prev_value}\n{continuation}".strip(_BLANK),
+                    )
+                    return section
+        self._skip_blank(stream)
+        lookahead = stream.peek()
+        if lookahead.is_eof:
+            return section
+        if lookahead == "\n":
+            stream.next_char()
+            return section
+        if lookahead == ";" or lookahead == "#":
+            self._skip_to_eol(stream)
+            return section
+        if lookahead == "[":
+            stream.next_char()
+            return self._parse_section(stream)
+        self._parse_pair(stream, section, entries)
+        return section
+
+    def _parse_section(self, stream: InputStream) -> str:
+        """``[section]``: inih errors when the ``]`` is missing."""
+        buffer = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char == "]":
+                stream.next_char()
+                self._skip_to_eol(stream)
+                return buffer.strip(_BLANK).text
+            if char.is_eof or char == "\n":
+                raise ParseError(
+                    f"section header without ']' at {char.index}", char.index
+                )
+            stream.next_char()
+            buffer = buffer.append(char)
+
+    def _parse_pair(
+        self,
+        stream: InputStream,
+        section: str,
+        entries: List[Tuple[str, str, str]],
+    ) -> None:
+        """``name = value`` / ``name : value``; error when no separator."""
+        name = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char == "=" or char == ":":
+                stream.next_char()
+                break
+            if char.is_eof or char == "\n":
+                raise ParseError(
+                    f"content line without '=' or ':' at {char.index}", char.index
+                )
+            if char == ";":
+                # inih: an inline comment before the separator still means
+                # the line has no separator -> error on this line.
+                raise ParseError(
+                    f"comment before separator at {char.index}", char.index
+                )
+            stream.next_char()
+            name = name.append(char)
+        value = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char.is_eof or char == "\n":
+                break
+            if char == ";":
+                # Inline comment: inih strips it (INI_ALLOW_INLINE_COMMENTS).
+                self._skip_to_eol(stream)
+                break
+            stream.next_char()
+            value = value.append(char)
+        if not stream.peek().is_eof:
+            # Consume the newline terminating this line, if still present.
+            if stream.peek() == "\n":
+                stream.next_char()
+        entries.append(
+            (section, name.strip(_BLANK).text, value.strip(_BLANK).text)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _skip_blank(self, stream: InputStream) -> None:
+        while True:
+            char = stream.peek()
+            if char.is_eof or not char.in_set(_BLANK):
+                return
+            stream.next_char()
+
+    def _read_to_eol(self, stream: InputStream) -> str:
+        """Consume and return the rest of the line (newline consumed)."""
+        buffer = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char.is_eof:
+                return buffer.text
+            stream.next_char()
+            if char == "\n":
+                return buffer.text
+            buffer = buffer.append(char)
+
+    def _skip_to_eol(self, stream: InputStream) -> None:
+        """Consume up to and including the next newline (or EOF)."""
+        while True:
+            char = stream.peek()
+            if char.is_eof:
+                return
+            stream.next_char()
+            if char == "\n":
+                return

@@ -1,0 +1,18 @@
+"""mjs-style JavaScript subset (subject "mjs", Table 1: 10,920 LoC upstream).
+
+The paper's most complex subject is cesanta/mjs, an embedded JavaScript
+engine.  This subpackage re-implements the corresponding *language surface* —
+the token inventory of Table 4 (99 tokens across lengths 1–10), a newline-
+sensitive lexer with a ``strcmp``-table keyword check, a recursive-descent
+parser with automatic semicolon insertion, and a tree-walking interpreter
+with the mjs builtins (``print``, ``load``, ``JSON.stringify``, ``Object``,
+string methods) dispatched through recorded string comparisons.
+
+Semantic checking is disabled, as in the paper's evaluation setup (§5.1):
+undeclared variables read as ``undefined``, runtime type errors never reject
+an input, and only *parse* errors produce a non-zero exit.
+"""
+
+from repro.subjects.mjs.subject import MjsSubject
+
+__all__ = ["MjsSubject"]

@@ -1,0 +1,290 @@
+"""AST node definitions for the mjs subset.
+
+Plain dataclasses; evaluation lives in :mod:`repro.subjects.mjs.interp` so
+the tree stays a passive description of the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.taint.tstr import TaintedStr
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------- #
+# Expressions
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class NumberLit(Node):
+    value: float
+
+
+@dataclass
+class StringLit(Node):
+    value: str
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass
+class NullLit(Node):
+    pass
+
+
+@dataclass
+class UndefinedLit(Node):
+    pass
+
+
+@dataclass
+class NanLit(Node):
+    pass
+
+
+@dataclass
+class ThisExpr(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    """A name reference; ``name`` keeps its taints for builtin dispatch."""
+
+    name: TaintedStr
+
+
+@dataclass
+class ArrayLit(Node):
+    items: List[Node]
+
+
+@dataclass
+class ObjectLit(Node):
+    #: (key, value) pairs; keys are plain strings (identifier / string /
+    #: number spellings).
+    members: List[Tuple[str, Node]]
+
+
+@dataclass
+class FunctionExpr(Node):
+    name: Optional[str]
+    params: List[str]
+    body: List[Node]
+
+
+@dataclass
+class ArrowExpr(Node):
+    param: str
+    #: Either a single expression body or a statement list.
+    expr_body: Optional[Node]
+    block_body: Optional[List[Node]] = None
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str
+    operand: Node
+
+
+@dataclass
+class UpdateExpr(Node):
+    """``++``/``--`` in prefix or postfix position."""
+
+    op: str
+    operand: Node
+    prefix: bool
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class LogicalExpr(Node):
+    op: str  # "&&" or "||"
+    left: Node
+    right: Node
+
+
+@dataclass
+class ConditionalExpr(Node):
+    test: Node
+    consequent: Node
+    alternate: Node
+
+
+@dataclass
+class AssignExpr(Node):
+    op: str  # "=", "+=", ..., "&&=", "||="
+    target: Node
+    value: Node
+
+
+@dataclass
+class SequenceExpr(Node):
+    items: List[Node]
+
+
+@dataclass
+class MemberExpr(Node):
+    """``obj.name`` — the property name keeps its taints."""
+
+    obj: Node
+    name: TaintedStr
+
+
+@dataclass
+class IndexExpr(Node):
+    obj: Node
+    index: Node
+
+
+@dataclass
+class CallExpr(Node):
+    callee: Node
+    args: List[Node]
+
+
+@dataclass
+class NewExpr(Node):
+    callee: Node
+    args: List[Node]
+
+
+# ---------------------------------------------------------------------- #
+# Statements
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ExpressionStmt(Node):
+    expr: Node
+
+
+@dataclass
+class VarDecl(Node):
+    kind: str  # "var" | "let" | "const"
+    #: (name, initialiser or None) pairs.
+    declarations: List[Tuple[str, Optional[Node]]]
+
+
+@dataclass
+class BlockStmt(Node):
+    body: List[Node]
+
+
+@dataclass
+class EmptyStmt(Node):
+    pass
+
+
+@dataclass
+class IfStmt(Node):
+    test: Node
+    consequent: Node
+    alternate: Optional[Node]
+
+
+@dataclass
+class WhileStmt(Node):
+    test: Node
+    body: Node
+
+
+@dataclass
+class DoWhileStmt(Node):
+    body: Node
+    test: Node
+
+
+@dataclass
+class ForStmt(Node):
+    init: Optional[Node]
+    test: Optional[Node]
+    update: Optional[Node]
+    body: Node
+
+
+@dataclass
+class ForInStmt(Node):
+    decl_kind: Optional[str]  # None for a bare identifier target
+    target: str
+    kind: str  # "in" or "of"
+    iterable: Node
+    body: Node
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional[Node]
+
+
+@dataclass
+class ThrowStmt(Node):
+    value: Node
+
+
+@dataclass
+class TryStmt(Node):
+    block: List[Node]
+    catch_param: Optional[str]
+    catch_body: Optional[List[Node]]
+    finally_body: Optional[List[Node]]
+
+
+@dataclass
+class SwitchCase(Node):
+    test: Optional[Node]  # None for "default"
+    body: List[Node]
+
+
+@dataclass
+class SwitchStmt(Node):
+    discriminant: Node
+    cases: List[SwitchCase]
+
+
+@dataclass
+class WithStmt(Node):
+    obj: Node
+    body: Node
+
+
+@dataclass
+class DebuggerStmt(Node):
+    pass
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str
+    params: List[str]
+    body: List[Node]
+
+
+@dataclass
+class Program(Node):
+    body: List[Node]

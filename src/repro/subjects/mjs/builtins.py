@@ -1,0 +1,261 @@
+"""Builtins of the mjs subset.
+
+Covers the builtin names from the paper's Table 4 token inventory:
+``print``, ``load``, ``JSON`` (with ``stringify``), ``Object``, ``isNaN``,
+string methods ``indexOf``/``slice``/``substr`` and the ``length`` property.
+Property dispatch on strings and arrays goes through
+:func:`repro.taint.wrappers.strcmp`, as in mjs's C property lookup, so the
+method names are discoverable by the fuzzer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Union
+
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import strcmp
+from repro.subjects.mjs.values import (
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    NativeNamespace,
+    format_number,
+    to_number,
+    to_string,
+)
+
+PropName = Union[TaintedStr, str]
+
+
+def _as_tstr(name: PropName) -> TaintedStr:
+    return name if isinstance(name, TaintedStr) else TaintedStr(name)
+
+
+# ---------------------------------------------------------------------- #
+# Property access (mjs_get_own_property analogue)
+# ---------------------------------------------------------------------- #
+
+
+def get_property(obj: object, name: PropName) -> object:
+    """``obj.name`` with mjs's strcmp-style builtin-method dispatch."""
+    prop = _as_tstr(name)
+    if isinstance(obj, JSObject):
+        if prop.text in obj.props:
+            return obj.props[prop.text]
+        return UNDEFINED
+    if isinstance(obj, NativeNamespace):
+        return obj.lookup(prop)
+    if isinstance(obj, str):
+        return _string_property(obj, prop)
+    if isinstance(obj, JSArray):
+        return _array_property(obj, prop)
+    return UNDEFINED
+
+
+def set_property(obj: object, name: PropName, value: object) -> None:
+    """``obj.name = value``; silently ignored on non-objects (sloppy)."""
+    prop = _as_tstr(name)
+    if isinstance(obj, JSObject):
+        obj.props[prop.text] = value
+    elif isinstance(obj, JSArray) and prop.text == "length":
+        length = int(to_number(value)) if not math.isnan(to_number(value)) else 0
+        del obj.items[max(0, length) :]
+
+
+def _string_property(text: str, prop: TaintedStr) -> object:
+    if strcmp(prop, "length") == 0:
+        return float(len(text))
+    if strcmp(prop, "indexOf") == 0:
+        return NativeFunction("indexOf", _bind_string_index_of(text))
+    if strcmp(prop, "slice") == 0:
+        return NativeFunction("slice", _bind_string_slice(text))
+    if strcmp(prop, "substr") == 0:
+        return NativeFunction("substr", _bind_string_substr(text))
+    return UNDEFINED
+
+
+def _array_property(array: JSArray, prop: TaintedStr) -> object:
+    if strcmp(prop, "length") == 0:
+        return float(len(array.items))
+    if strcmp(prop, "indexOf") == 0:
+        return NativeFunction("indexOf", _bind_array_index_of(array))
+    if strcmp(prop, "push") == 0:
+        return NativeFunction("push", _bind_array_push(array))
+    if strcmp(prop, "slice") == 0:
+        return NativeFunction("slice", _bind_array_slice(array))
+    return UNDEFINED
+
+
+def _clamp_index(value: object, length: int, default: int) -> int:
+    number = to_number(value)
+    if math.isnan(number):
+        return default
+    index = int(number)
+    if index < 0:
+        index += length
+    return max(0, min(length, index))
+
+
+def _bind_string_index_of(text: str):
+    def index_of(interp, this, args: List[object]) -> float:
+        needle = to_string(args[0]) if args else "undefined"
+        return float(text.find(needle))
+
+    return index_of
+
+
+def _bind_string_slice(text: str):
+    def slice_(interp, this, args: List[object]) -> str:
+        start = _clamp_index(args[0], len(text), 0) if args else 0
+        end = _clamp_index(args[1], len(text), len(text)) if len(args) > 1 else len(text)
+        return text[start:end]
+
+    return slice_
+
+
+def _bind_string_substr(text: str):
+    def substr(interp, this, args: List[object]) -> str:
+        start = _clamp_index(args[0], len(text), 0) if args else 0
+        if len(args) > 1:
+            count = to_number(args[1])
+            length = 0 if math.isnan(count) else max(0, int(count))
+            return text[start : start + length]
+        return text[start:]
+
+    return substr
+
+
+def _bind_array_index_of(array: JSArray):
+    def index_of(interp, this, args: List[object]) -> float:
+        from repro.subjects.mjs.values import strict_equals
+
+        needle = args[0] if args else UNDEFINED
+        for position, item in enumerate(array.items):
+            if strict_equals(item, needle):
+                return float(position)
+        return -1.0
+
+    return index_of
+
+
+def _bind_array_push(array: JSArray):
+    def push(interp, this, args: List[object]) -> float:
+        array.items.extend(args)
+        return float(len(array.items))
+
+    return push
+
+
+def _bind_array_slice(array: JSArray):
+    def slice_(interp, this, args: List[object]) -> JSArray:
+        length = len(array.items)
+        start = _clamp_index(args[0], length, 0) if args else 0
+        end = _clamp_index(args[1], length, length) if len(args) > 1 else length
+        return JSArray(array.items[start:end])
+
+    return slice_
+
+
+# ---------------------------------------------------------------------- #
+# JSON.stringify
+# ---------------------------------------------------------------------- #
+
+_JSON_ESCAPES = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+}
+
+
+def json_quote(text: str) -> str:
+    """Quote a string for JSON output."""
+    pieces = ['"']
+    for char in text:
+        if char in _JSON_ESCAPES:
+            pieces.append(_JSON_ESCAPES[char])
+        elif ord(char) < 0x20:
+            pieces.append(f"\\u{ord(char):04x}")
+        else:
+            pieces.append(char)
+    pieces.append('"')
+    return "".join(pieces)
+
+
+def json_stringify(value: object) -> str:
+    """A small JSON.stringify: functions and undefined become null."""
+    if value is UNDEFINED or isinstance(value, (JSFunction, NativeFunction, NativeNamespace)):
+        return "null"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return "null"
+        return format_number(value)
+    if isinstance(value, str):
+        return json_quote(value)
+    if isinstance(value, JSArray):
+        return "[" + ",".join(json_stringify(item) for item in value.items) + "]"
+    if isinstance(value, JSObject):
+        members = ",".join(
+            f"{json_quote(key)}:{json_stringify(item)}"
+            for key, item in value.props.items()
+        )
+        return "{" + members + "}"
+    return "null"
+
+
+# ---------------------------------------------------------------------- #
+# Global builtins
+# ---------------------------------------------------------------------- #
+
+
+def make_global_builtins(output: List[str]) -> NativeNamespace:
+    """The builtin namespace consulted when a name is not in any scope.
+
+    The lookup walks the member table with ``strcmp``, so reading an
+    undeclared identifier records comparisons against every builtin name —
+    this is how the fuzzer discovers ``print``, ``load`` and ``JSON``.
+    """
+
+    def native_print(interp, this, args: List[object]) -> object:
+        output.append(" ".join(to_string(arg) for arg in args))
+        return UNDEFINED
+
+    def native_load(interp, this, args: List[object]) -> object:
+        # mjs's load() executes a file; file access is out of scope for the
+        # fuzzing harness, so loading is a recorded no-op.
+        return UNDEFINED
+
+    def native_is_nan(interp, this, args: List[object]) -> bool:
+        return math.isnan(to_number(args[0] if args else UNDEFINED))
+
+    def native_object(interp, this, args: List[object]) -> object:
+        if args and isinstance(args[0], (JSObject, JSArray)):
+            return args[0]
+        return JSObject()
+
+    def json_stringify_native(interp, this, args: List[object]) -> str:
+        return json_stringify(args[0] if args else UNDEFINED)
+
+    json_namespace = NativeNamespace(
+        "JSON", {"stringify": NativeFunction("stringify", json_stringify_native)}
+    )
+    return NativeNamespace(
+        "globals",
+        {
+            "print": NativeFunction("print", native_print),
+            "load": NativeFunction("load", native_load),
+            "isNaN": NativeFunction("isNaN", native_is_nan),
+            "JSON": json_namespace,
+            "Object": NativeFunction("Object", native_object),
+        },
+    )

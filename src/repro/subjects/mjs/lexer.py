@@ -1,0 +1,281 @@
+"""Newline-sensitive lexer for the mjs subset.
+
+Everything the lexer decides is decided by *recorded* comparisons on tainted
+characters: punctuator extension (``>`` → ``>>`` → ``>>>`` → ``>>>=``) uses
+per-character equality tests, character classes go through the ``is*``
+predicates, and identifier spellings are checked against the reserved-word
+table with :func:`repro.taint.wrappers.strcmp` — the dynamic ``strcmp``
+monitoring the paper credits for pFuzzer's keyword discovery (§6).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.tokens import (
+    KEYWORDS,
+    MULTI_PUNCT,
+    SINGLE_PUNCT,
+    TokKind,
+    Token,
+)
+from repro.taint.tchar import TChar
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import strcmp
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "/": "/",
+}
+
+
+class MjsLexer:
+    """Produces one :class:`~repro.subjects.mjs.tokens.Token` at a time."""
+
+    def __init__(self, stream: InputStream) -> None:
+        self.stream = stream
+
+    # ------------------------------------------------------------------ #
+    # Whitespace and comments
+    # ------------------------------------------------------------------ #
+
+    def _skip_space(self) -> bool:
+        """Skip whitespace and comments; report whether a newline was seen."""
+        stream = self.stream
+        saw_newline = False
+        while True:
+            char = stream.peek()
+            if char.is_eof:
+                return saw_newline
+            if char == "\n":
+                saw_newline = True
+                stream.next_char()
+                continue
+            if char.in_set(" \t\r\v\f"):
+                stream.next_char()
+                continue
+            if char == "/":
+                follower = stream.peek(1)
+                if follower == "/":
+                    stream.next_char()
+                    stream.next_char()
+                    while True:
+                        char = stream.peek()
+                        if char.is_eof:
+                            break
+                        stream.next_char()
+                        if char == "\n":
+                            saw_newline = True
+                            break
+                    continue
+                if follower == "*":
+                    stream.next_char()
+                    stream.next_char()
+                    saw_newline |= self._skip_block_comment()
+                    continue
+            return saw_newline
+
+    def _skip_block_comment(self) -> bool:
+        stream = self.stream
+        saw_newline = False
+        while True:
+            char = stream.next_char()
+            if char.is_eof:
+                raise ParseError(f"unterminated comment at {char.index}", char.index)
+            if char == "\n":
+                saw_newline = True
+            if char == "*" and stream.peek() == "/":
+                stream.next_char()
+                return saw_newline
+
+    # ------------------------------------------------------------------ #
+    # Token dispatch
+    # ------------------------------------------------------------------ #
+
+    def next_token(self) -> Token:
+        nl_before = self._skip_space()
+        stream = self.stream
+        char = stream.peek()
+        if char.is_eof:
+            return Token(TokKind.EOF, "", char.index, nl_before=nl_before)
+        if char == '"' or char == "'":
+            token = self._string(char)
+        elif char.isdigit():
+            token = self._number()
+        elif self._is_ident_start(char):
+            token = self._word()
+        elif char.in_set(SINGLE_PUNCT):
+            token = self._punct()
+        else:
+            raise ParseError(f"unexpected character at {char.index}", char.index)
+        token.nl_before = nl_before
+        return token
+
+    # ------------------------------------------------------------------ #
+    # Punctuators
+    # ------------------------------------------------------------------ #
+
+    def _punct(self) -> Token:
+        stream = self.stream
+        first = stream.next_char()
+        index = first.index
+        # Greedy longest-match over the multi-character punctuators that
+        # start with this character; each attempted extension is a recorded
+        # per-character comparison.
+        for candidate in MULTI_PUNCT:
+            if candidate[0] != first.value:
+                continue
+            matched = True
+            for offset in range(1, len(candidate)):
+                follower = stream.peek(offset - 1)
+                if follower.is_eof or not follower == candidate[offset]:
+                    matched = False
+                    break
+            if matched:
+                for _ in range(len(candidate) - 1):
+                    stream.next_char()
+                return Token(TokKind.PUNCT, candidate, index)
+        return Token(TokKind.PUNCT, first.value, index)
+
+    # ------------------------------------------------------------------ #
+    # Literals
+    # ------------------------------------------------------------------ #
+
+    def _number(self) -> Token:
+        stream = self.stream
+        start = stream.peek()
+        index = start.index
+        if start == "0" and (stream.peek(1) == "x" or stream.peek(1) == "X"):
+            stream.next_char()
+            stream.next_char()
+            value = 0
+            digits = 0
+            while True:
+                char = stream.peek()
+                if char.is_eof or not char.isxdigit():
+                    break
+                stream.next_char()
+                value = value * 16 + char.hex_value()
+                digits += 1
+            if digits == 0:
+                raise ParseError(f"invalid hex literal at {index}", index)
+            return Token(TokKind.NUMBER, stream.text[index : stream.pos], index, number=float(value))
+        text = ""
+        while True:
+            char = stream.peek()
+            if char.is_eof or not char.isdigit():
+                break
+            stream.next_char()
+            text += char.value
+        if stream.peek() == ".":
+            stream.next_char()
+            text += "."
+            while True:
+                char = stream.peek()
+                if char.is_eof or not char.isdigit():
+                    break
+                stream.next_char()
+                text += char.value
+        char = stream.peek()
+        if char == "e" or char == "E":
+            stream.next_char()
+            text += "e"
+            char = stream.peek()
+            if char == "+" or char == "-":
+                stream.next_char()
+                text += char.value
+            digits = 0
+            while True:
+                char = stream.peek()
+                if char.is_eof or not char.isdigit():
+                    break
+                stream.next_char()
+                text += char.value
+                digits += 1
+            if digits == 0:
+                raise ParseError(f"invalid exponent at {stream.pos}", stream.pos)
+        return Token(TokKind.NUMBER, text, index, number=float(text))
+
+    def _string(self, quote: TChar) -> Token:
+        stream = self.stream
+        stream.next_char()
+        index = quote.index
+        value = ""
+        while True:
+            char = stream.next_char()
+            if char.is_eof:
+                raise ParseError(f"unterminated string at {char.index}", char.index)
+            if char == quote.value:
+                return Token(
+                    TokKind.STRING,
+                    stream.text[index : stream.pos],
+                    index,
+                    string=value,
+                )
+            if char == "\n":
+                raise ParseError(f"newline in string at {char.index}", char.index)
+            if char == "\\":
+                value += self._escape()
+                continue
+            value += char.value
+
+    def _escape(self) -> str:
+        stream = self.stream
+        escape = stream.next_char()
+        if escape.is_eof:
+            raise ParseError(f"unterminated escape at {escape.index}", escape.index)
+        for key, decoded in _ESCAPES.items():
+            if escape == key:
+                return decoded
+        if escape == "x":
+            return chr(self._hex_digits(2))
+        if escape == "u":
+            return chr(self._hex_digits(4))
+        raise ParseError(f"invalid escape at {escape.index}", escape.index)
+
+    def _hex_digits(self, count: int) -> int:
+        stream = self.stream
+        value = 0
+        for _ in range(count):
+            digit = stream.next_char()
+            if digit.is_eof or not digit.isxdigit():
+                raise ParseError(f"invalid hex escape at {digit.index}", digit.index)
+            value = value * 16 + digit.hex_value()
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Identifiers and keywords
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _is_ident_start(char: TChar) -> bool:
+        return char.isalpha() or char == "_" or char == "$"
+
+    @staticmethod
+    def _is_ident_part(char: TChar) -> bool:
+        return char.isalnum() or char == "_" or char == "$"
+
+    def _word(self) -> Token:
+        stream = self.stream
+        index = stream.peek().index
+        name = TaintedStr.empty()
+        while True:
+            char = stream.peek()
+            if char.is_eof or not self._is_ident_part(char):
+                break
+            stream.next_char()
+            name = name.append(char)
+        # The mjs keyword check: a strcmp scan over the reserved-word table.
+        for keyword in KEYWORDS:
+            if strcmp(name, keyword) == 0:
+                return Token(TokKind.KEYWORD, keyword, index)
+        return Token(TokKind.IDENT, name.text, index, name=name)

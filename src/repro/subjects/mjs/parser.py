@@ -1,0 +1,682 @@
+"""Recursive-descent parser for the mjs subset.
+
+A classic one-token-lookahead parser with automatic semicolon insertion: a
+statement may end with ``;``, with a line terminator before the next token,
+with ``}`` or with EOF — mirroring mjs's newline handling.  All rejection
+happens by raising :class:`~repro.runtime.errors.ParseError` at the first
+offending token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs import ast
+from repro.subjects.mjs.lexer import MjsLexer
+from repro.subjects.mjs.tokens import TokKind, Token
+from repro.taint.bridge import record_token_expectation
+
+#: Binary operator precedence, higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "|": 1,
+    "^": 2,
+    "&": 3,
+    "==": 4,
+    "!=": 4,
+    "===": 4,
+    "!==": 4,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "in": 5,
+    "instanceof": 5,
+    "<<": 6,
+    ">>": 6,
+    ">>>": 6,
+    "+": 7,
+    "-": 7,
+    "*": 8,
+    "/": 8,
+    "%": 8,
+}
+
+_ASSIGN_OPS = frozenset(
+    {
+        "=",
+        "+=",
+        "-=",
+        "*=",
+        "/=",
+        "%=",
+        "<<=",
+        ">>=",
+        ">>>=",
+        "&=",
+        "|=",
+        "^=",
+        "&&=",
+        "||=",
+    }
+)
+
+_UNARY_PUNCT = frozenset({"!", "~", "+", "-"})
+
+
+class MjsParser:
+    """Parses one program from an input stream."""
+
+    #: Recursion guard for pathological nesting such as ``((((((...`` —
+    #: the analogue of mjs's bounded parser stack.  Each expression level
+    #: costs ~10 Python frames, so this stays far below the interpreter's
+    #: recursion limit.
+    max_depth = 64
+
+    def __init__(self, stream: InputStream, token_bridge: bool = False) -> None:
+        self.lexer = MjsLexer(stream)
+        self.token_bridge = token_bridge
+        self.tok: Token = self.lexer.next_token()
+        self._peeked: Optional[Token] = None
+        self._depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Token plumbing
+    # ------------------------------------------------------------------ #
+
+    def _advance(self) -> Token:
+        consumed = self.tok
+        if self._peeked is not None:
+            self.tok = self._peeked
+            self._peeked = None
+        else:
+            self.tok = self.lexer.next_token()
+        return consumed
+
+    def _peek(self) -> Token:
+        if self._peeked is None:
+            self._peeked = self.lexer.next_token()
+        return self._peeked
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(f"{message} at {self.tok.index}", self.tok.index)
+
+    def _bridge(self, expected_spelling: str, matched: bool) -> None:
+        """§7.2 token-taint bridging (opt-in): report the token-kind check
+        as a string comparison at the current token's input index."""
+        if self.token_bridge:
+            record_token_expectation(
+                self.tok.index, self.tok.text, expected_spelling, matched
+            )
+
+    def _expect_punct(self, text: str) -> Token:
+        self._bridge(text, self.tok.is_punct(text))
+        if not self.tok.is_punct(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        self._bridge(text, self.tok.is_keyword(text))
+        if not self.tok.is_keyword(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        self._bridge("a", self.tok.kind is TokKind.IDENT)
+        if self.tok.kind is not TokKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _consume_semicolon(self) -> None:
+        """``;`` or an automatically inserted one (newline / ``}`` / EOF)."""
+        if self.tok.is_punct(";"):
+            self._advance()
+            return
+        if self.tok.kind is TokKind.EOF or self.tok.is_punct("}"):
+            return
+        if self.tok.nl_before:
+            return
+        self._bridge(";", False)
+        raise self._error("expected ';'")
+
+    # ------------------------------------------------------------------ #
+    # Program and statements
+    # ------------------------------------------------------------------ #
+
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Node] = []
+        while self.tok.kind is not TokKind.EOF:
+            body.append(self.parse_statement())
+        return ast.Program(body)
+
+    def parse_statement(self) -> ast.Node:
+        self._depth += 1
+        try:
+            if self._depth > self.max_depth:
+                raise self._error("statement nested too deeply")
+            return self._parse_statement_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_statement_inner(self) -> ast.Node:
+        tok = self.tok
+        if tok.kind is TokKind.PUNCT:
+            if tok.text == "{":
+                return self._block_statement()
+            if tok.text == ";":
+                self._advance()
+                return ast.EmptyStmt()
+        if tok.kind is TokKind.KEYWORD:
+            handler = {
+                "var": self._var_statement,
+                "let": self._var_statement,
+                "const": self._var_statement,
+                "if": self._if_statement,
+                "while": self._while_statement,
+                "do": self._do_statement,
+                "for": self._for_statement,
+                "break": self._break_statement,
+                "continue": self._continue_statement,
+                "return": self._return_statement,
+                "throw": self._throw_statement,
+                "try": self._try_statement,
+                "switch": self._switch_statement,
+                "with": self._with_statement,
+                "debugger": self._debugger_statement,
+                "function": self._function_declaration,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+        expr = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ExpressionStmt(expr)
+
+    def _block_statement(self) -> ast.BlockStmt:
+        self._expect_punct("{")
+        body: List[ast.Node] = []
+        while not self.tok.is_punct("}"):
+            if self.tok.kind is TokKind.EOF:
+                raise self._error("unterminated block")
+            body.append(self.parse_statement())
+        self._advance()
+        return ast.BlockStmt(body)
+
+    def _var_statement(self) -> ast.VarDecl:
+        kind = self._advance().text
+        declarations: List[Tuple[str, Optional[ast.Node]]] = []
+        while True:
+            name = self._expect_ident().text
+            init: Optional[ast.Node] = None
+            if self.tok.is_punct("="):
+                self._advance()
+                init = self.parse_assignment()
+            declarations.append((name, init))
+            if self.tok.is_punct(","):
+                self._advance()
+                continue
+            break
+        self._consume_semicolon()
+        return ast.VarDecl(kind, declarations)
+
+    def _if_statement(self) -> ast.IfStmt:
+        self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        consequent = self.parse_statement()
+        alternate: Optional[ast.Node] = None
+        if self.tok.is_keyword("else"):
+            self._advance()
+            alternate = self.parse_statement()
+        return ast.IfStmt(test, consequent, alternate)
+
+    def _while_statement(self) -> ast.WhileStmt:
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        return ast.WhileStmt(test, self.parse_statement())
+
+    def _do_statement(self) -> ast.DoWhileStmt:
+        self._expect_keyword("do")
+        body = self.parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        self._consume_semicolon()
+        return ast.DoWhileStmt(body, test)
+
+    def _for_statement(self) -> ast.Node:
+        self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Node] = None
+        if self.tok.kind is TokKind.KEYWORD and self.tok.text in ("var", "let", "const"):
+            decl_kind = self._advance().text
+            name = self._expect_ident().text
+            if self.tok.is_keyword("in") or self.tok.is_keyword("of"):
+                loop_kind = self._advance().text
+                iterable = self.parse_expression()
+                self._expect_punct(")")
+                return ast.ForInStmt(decl_kind, name, loop_kind, iterable, self.parse_statement())
+            init = self._finish_var_decl(decl_kind, name)
+        elif not self.tok.is_punct(";"):
+            # "for (x in obj)" / "for (x of arr)" without a declaration: the
+            # grammar's [NoIn] restriction, resolved with one token of
+            # lookahead before expression parsing would swallow the "in".
+            if self.tok.kind is TokKind.IDENT and (
+                self._peek().is_keyword("in") or self._peek().is_keyword("of")
+            ):
+                name = self._advance().text
+                loop_kind = self._advance().text
+                iterable = self.parse_expression()
+                self._expect_punct(")")
+                return ast.ForInStmt(None, name, loop_kind, iterable, self.parse_statement())
+            init = ast.ExpressionStmt(self.parse_expression())
+        self._expect_punct(";")
+        test: Optional[ast.Node] = None
+        if not self.tok.is_punct(";"):
+            test = self.parse_expression()
+        self._expect_punct(";")
+        update: Optional[ast.Node] = None
+        if not self.tok.is_punct(")"):
+            update = self.parse_expression()
+        self._expect_punct(")")
+        return ast.ForStmt(init, test, update, self.parse_statement())
+
+    def _finish_var_decl(self, kind: str, first_name: str) -> ast.VarDecl:
+        """Remaining declarators of a ``for (var x = ..`` style init."""
+        declarations: List[Tuple[str, Optional[ast.Node]]] = []
+        name = first_name
+        while True:
+            init: Optional[ast.Node] = None
+            if self.tok.is_punct("="):
+                self._advance()
+                init = self.parse_assignment()
+            declarations.append((name, init))
+            if self.tok.is_punct(","):
+                self._advance()
+                name = self._expect_ident().text
+                continue
+            return ast.VarDecl(kind, declarations)
+
+    def _break_statement(self) -> ast.BreakStmt:
+        self._expect_keyword("break")
+        self._consume_semicolon()
+        return ast.BreakStmt()
+
+    def _continue_statement(self) -> ast.ContinueStmt:
+        self._expect_keyword("continue")
+        self._consume_semicolon()
+        return ast.ContinueStmt()
+
+    def _return_statement(self) -> ast.ReturnStmt:
+        self._expect_keyword("return")
+        value: Optional[ast.Node] = None
+        if (
+            not self.tok.is_punct(";")
+            and not self.tok.is_punct("}")
+            and self.tok.kind is not TokKind.EOF
+            and not self.tok.nl_before
+        ):
+            value = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ReturnStmt(value)
+
+    def _throw_statement(self) -> ast.ThrowStmt:
+        self._expect_keyword("throw")
+        if self.tok.nl_before:
+            # Restricted production: no line terminator after "throw".
+            raise self._error("illegal newline after throw")
+        value = self.parse_expression()
+        self._consume_semicolon()
+        return ast.ThrowStmt(value)
+
+    def _try_statement(self) -> ast.TryStmt:
+        self._expect_keyword("try")
+        block = self._block_statement().body
+        catch_param: Optional[str] = None
+        catch_body: Optional[List[ast.Node]] = None
+        finally_body: Optional[List[ast.Node]] = None
+        if self.tok.is_keyword("catch"):
+            self._advance()
+            self._expect_punct("(")
+            catch_param = self._expect_ident().text
+            self._expect_punct(")")
+            catch_body = self._block_statement().body
+        if self.tok.is_keyword("finally"):
+            self._advance()
+            finally_body = self._block_statement().body
+        if catch_body is None and finally_body is None:
+            raise self._error("try without catch or finally")
+        return ast.TryStmt(block, catch_param, catch_body, finally_body)
+
+    def _switch_statement(self) -> ast.SwitchStmt:
+        self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminant = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        saw_default = False
+        while not self.tok.is_punct("}"):
+            if self.tok.is_keyword("case"):
+                self._advance()
+                test: Optional[ast.Node] = self.parse_expression()
+            elif self.tok.is_keyword("default"):
+                if saw_default:
+                    raise self._error("duplicate default")
+                saw_default = True
+                self._advance()
+                test = None
+            else:
+                raise self._error("expected 'case' or 'default'")
+            self._expect_punct(":")
+            body: List[ast.Node] = []
+            while (
+                not self.tok.is_punct("}")
+                and not self.tok.is_keyword("case")
+                and not self.tok.is_keyword("default")
+            ):
+                if self.tok.kind is TokKind.EOF:
+                    raise self._error("unterminated switch")
+                body.append(self.parse_statement())
+            cases.append(ast.SwitchCase(test, body))
+        self._advance()
+        return ast.SwitchStmt(discriminant, cases)
+
+    def _with_statement(self) -> ast.WithStmt:
+        self._expect_keyword("with")
+        self._expect_punct("(")
+        obj = self.parse_expression()
+        self._expect_punct(")")
+        return ast.WithStmt(obj, self.parse_statement())
+
+    def _debugger_statement(self) -> ast.DebuggerStmt:
+        self._expect_keyword("debugger")
+        self._consume_semicolon()
+        return ast.DebuggerStmt()
+
+    def _function_declaration(self) -> ast.FunctionDecl:
+        self._expect_keyword("function")
+        name = self._expect_ident().text
+        params = self._param_list()
+        body = self._block_statement().body
+        return ast.FunctionDecl(name, params, body)
+
+    def _param_list(self) -> List[str]:
+        self._expect_punct("(")
+        params: List[str] = []
+        if not self.tok.is_punct(")"):
+            while True:
+                params.append(self._expect_ident().text)
+                if self.tok.is_punct(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_punct(")")
+        return params
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def parse_expression(self) -> ast.Node:
+        first = self.parse_assignment()
+        if not self.tok.is_punct(","):
+            return first
+        items = [first]
+        while self.tok.is_punct(","):
+            self._advance()
+            items.append(self.parse_assignment())
+        return ast.SequenceExpr(items)
+
+    def parse_assignment(self) -> ast.Node:
+        self._depth += 1
+        try:
+            return self._parse_assignment_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_assignment_inner(self) -> ast.Node:
+        if self._depth > self.max_depth:
+            raise self._error("expression nested too deeply")
+        target = self._conditional()
+        if self.tok.kind is TokKind.PUNCT and self.tok.text in _ASSIGN_OPS:
+            if not isinstance(target, (ast.Identifier, ast.MemberExpr, ast.IndexExpr)):
+                raise self._error("invalid assignment target")
+            op = self._advance().text
+            value = self.parse_assignment()
+            return ast.AssignExpr(op, target, value)
+        return target
+
+    def _conditional(self) -> ast.Node:
+        test = self._logical_or()
+        if not self.tok.is_punct("?"):
+            return test
+        self._advance()
+        consequent = self.parse_assignment()
+        self._expect_punct(":")
+        alternate = self.parse_assignment()
+        return ast.ConditionalExpr(test, consequent, alternate)
+
+    def _logical_or(self) -> ast.Node:
+        left = self._logical_and()
+        while self.tok.is_punct("||"):
+            self._advance()
+            left = ast.LogicalExpr("||", left, self._logical_and())
+        return left
+
+    def _logical_and(self) -> ast.Node:
+        left = self._binary(1)
+        while self.tok.is_punct("&&"):
+            self._advance()
+            left = ast.LogicalExpr("&&", left, self._binary(1))
+        return left
+
+    def _binary(self, min_precedence: int) -> ast.Node:
+        left = self._unary()
+        while True:
+            op = self._binary_op()
+            if op is None:
+                return left
+            precedence = _BINARY_PRECEDENCE[op]
+            if precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._binary(precedence + 1)
+            left = ast.BinaryExpr(op, left, right)
+
+    def _binary_op(self) -> Optional[str]:
+        tok = self.tok
+        if tok.kind is TokKind.PUNCT and tok.text in _BINARY_PRECEDENCE:
+            return tok.text
+        if tok.kind is TokKind.KEYWORD and tok.text in ("in", "instanceof"):
+            return tok.text
+        return None
+
+    def _unary(self) -> ast.Node:
+        tok = self.tok
+        if tok.kind is TokKind.PUNCT:
+            if tok.text in _UNARY_PUNCT:
+                op = self._advance().text
+                return ast.UnaryExpr(op, self._unary())
+            if tok.text in ("++", "--"):
+                op = self._advance().text
+                operand = self._unary()
+                if not isinstance(operand, (ast.Identifier, ast.MemberExpr, ast.IndexExpr)):
+                    raise self._error("invalid increment target")
+                return ast.UpdateExpr(op, operand, prefix=True)
+        if tok.kind is TokKind.KEYWORD:
+            if tok.text in ("typeof", "void", "delete"):
+                op = self._advance().text
+                return ast.UnaryExpr(op, self._unary())
+            if tok.text == "new":
+                self._advance()
+                callee = self._postfix(self._primary(), allow_call=False)
+                args: List[ast.Node] = []
+                if self.tok.is_punct("("):
+                    args = self._arguments()
+                return self._postfix(ast.NewExpr(callee, args), allow_call=True)
+        return self._postfix_with_update()
+
+    def _postfix_with_update(self) -> ast.Node:
+        expr = self._postfix(self._primary(), allow_call=True)
+        tok = self.tok
+        if (
+            tok.kind is TokKind.PUNCT
+            and tok.text in ("++", "--")
+            and not tok.nl_before
+            and isinstance(expr, (ast.Identifier, ast.MemberExpr, ast.IndexExpr))
+        ):
+            op = self._advance().text
+            return ast.UpdateExpr(op, expr, prefix=False)
+        return expr
+
+    def _postfix(self, expr: ast.Node, allow_call: bool) -> ast.Node:
+        while True:
+            if self.tok.is_punct("."):
+                self._advance()
+                name_tok = self._expect_ident()
+                expr = ast.MemberExpr(expr, name_tok.name)
+            elif self.tok.is_punct("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.IndexExpr(expr, index)
+            elif allow_call and self.tok.is_punct("("):
+                expr = ast.CallExpr(expr, self._arguments())
+            else:
+                return expr
+
+    def _arguments(self) -> List[ast.Node]:
+        self._expect_punct("(")
+        args: List[ast.Node] = []
+        if not self.tok.is_punct(")"):
+            while True:
+                args.append(self.parse_assignment())
+                if self.tok.is_punct(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_punct(")")
+        return args
+
+    def _primary(self) -> ast.Node:
+        tok = self.tok
+        if tok.kind is TokKind.NUMBER:
+            self._advance()
+            return ast.NumberLit(tok.number)
+        if tok.kind is TokKind.STRING:
+            self._advance()
+            return ast.StringLit(tok.string)
+        if tok.kind is TokKind.IDENT:
+            if self._peek().is_punct("=>"):
+                return self._arrow(tok)
+            self._advance()
+            assert tok.name is not None
+            return ast.Identifier(tok.name)
+        if tok.kind is TokKind.KEYWORD:
+            keyword = tok.text
+            if keyword == "true":
+                self._advance()
+                return ast.BoolLit(True)
+            if keyword == "false":
+                self._advance()
+                return ast.BoolLit(False)
+            if keyword == "null":
+                self._advance()
+                return ast.NullLit()
+            if keyword == "undefined":
+                self._advance()
+                return ast.UndefinedLit()
+            if keyword == "NaN":
+                self._advance()
+                return ast.NanLit()
+            if keyword == "this":
+                self._advance()
+                return ast.ThisExpr()
+            if keyword == "function":
+                return self._function_expression()
+            raise self._error(f"unexpected keyword {keyword!r}")
+        if tok.is_punct("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        if tok.is_punct("["):
+            return self._array_literal()
+        if tok.is_punct("{"):
+            return self._object_literal()
+        raise self._error("unexpected token")
+
+    def _arrow(self, param_tok: Token) -> ast.Node:
+        """Single-parameter arrow function: ``x => expr`` / ``x => { ... }``."""
+        self._advance()  # identifier
+        self._expect_punct("=>")
+        if self.tok.is_punct("{"):
+            return ast.ArrowExpr(param_tok.text, None, self._block_statement().body)
+        return ast.ArrowExpr(param_tok.text, self.parse_assignment())
+
+    def _function_expression(self) -> ast.FunctionExpr:
+        self._expect_keyword("function")
+        name: Optional[str] = None
+        if self.tok.kind is TokKind.IDENT:
+            name = self._advance().text
+        params = self._param_list()
+        body = self._block_statement().body
+        return ast.FunctionExpr(name, params, body)
+
+    def _array_literal(self) -> ast.ArrayLit:
+        self._expect_punct("[")
+        items: List[ast.Node] = []
+        if not self.tok.is_punct("]"):
+            while True:
+                items.append(self.parse_assignment())
+                if self.tok.is_punct(","):
+                    self._advance()
+                    if self.tok.is_punct("]"):
+                        break
+                    continue
+                break
+        self._expect_punct("]")
+        return ast.ArrayLit(items)
+
+    def _object_literal(self) -> ast.ObjectLit:
+        self._expect_punct("{")
+        members: List[Tuple[str, ast.Node]] = []
+        if not self.tok.is_punct("}"):
+            while True:
+                key = self._object_key()
+                self._expect_punct(":")
+                members.append((key, self.parse_assignment()))
+                if self.tok.is_punct(","):
+                    self._advance()
+                    if self.tok.is_punct("}"):
+                        break
+                    continue
+                break
+        self._expect_punct("}")
+        return ast.ObjectLit(members)
+
+    def _object_key(self) -> str:
+        tok = self.tok
+        if tok.kind is TokKind.IDENT:
+            self._advance()
+            return tok.text
+        if tok.kind is TokKind.STRING:
+            self._advance()
+            return tok.string
+        if tok.kind is TokKind.NUMBER:
+            self._advance()
+            return tok.text
+        if tok.kind is TokKind.KEYWORD:
+            self._advance()
+            return tok.text
+        raise self._error("invalid object key")
+
+
+def parse_mjs(stream: InputStream) -> ast.Program:
+    """Parse a complete mjs program from ``stream``."""
+    return MjsParser(stream).parse_program()

@@ -1,0 +1,248 @@
+"""Post-parse semantic checking (the paper's §7.3 limitation, made testable).
+
+The paper disables semantic checking in mjs because pFuzzer "has no notion
+of a delayed constraint": an input that satisfies the parser may still
+reference undeclared names, and those context-sensitive checks run *after*
+parsing.  This module implements the canonical such check — every referenced
+name must be declared — so the limitation can be demonstrated and measured:
+enable it via ``MjsSubject(semantic_checks=True)`` and watch the fuzzer's
+parser-valid inputs get rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.runtime.errors import SemanticError
+from repro.subjects.mjs import ast
+
+#: Names the runtime provides; using them is never a semantic error.
+BUILTIN_NAMES = frozenset(
+    {"print", "load", "isNaN", "JSON", "Object", "this", "arguments"}
+)
+
+
+class _ScopeFrame:
+    def __init__(self, parent: "_ScopeFrame" = None) -> None:
+        self.names: Set[str] = set()
+        self.parent = parent
+
+    def declare(self, name: str) -> None:
+        self.names.add(name)
+
+    def knows(self, name: str) -> bool:
+        frame = self
+        while frame is not None:
+            if name in frame.names:
+                return True
+            frame = frame.parent
+        return name in BUILTIN_NAMES
+
+
+class SemanticChecker:
+    """Declare-before-use checking over a parsed program."""
+
+    def check(self, program: ast.Program) -> None:
+        """Raises :class:`SemanticError` on the first undeclared use."""
+        root = _ScopeFrame()
+        self._hoist(program.body, root)
+        for statement in program.body:
+            self._stmt(statement, root)
+
+    # ------------------------------------------------------------------ #
+    # Declarations (hoisted per scope, like var/function in JS)
+    # ------------------------------------------------------------------ #
+
+    def _hoist(self, body: List[ast.Node], scope: _ScopeFrame) -> None:
+        for node in body:
+            if isinstance(node, ast.VarDecl):
+                for name, _ in node.declarations:
+                    scope.declare(name)
+            elif isinstance(node, ast.FunctionDecl):
+                scope.declare(node.name)
+            elif isinstance(node, ast.BlockStmt):
+                self._hoist(node.body, scope)
+            elif isinstance(node, ast.IfStmt):
+                self._hoist([node.consequent], scope)
+                if node.alternate is not None:
+                    self._hoist([node.alternate], scope)
+            elif isinstance(node, (ast.WhileStmt, ast.DoWhileStmt, ast.ForStmt, ast.WithStmt)):
+                self._hoist([node.body], scope)
+            elif isinstance(node, ast.ForInStmt):
+                if node.decl_kind is not None:
+                    scope.declare(node.target)
+                self._hoist([node.body], scope)
+            elif isinstance(node, ast.TryStmt):
+                self._hoist(node.block, scope)
+                if node.catch_body is not None:
+                    self._hoist(node.catch_body, scope)
+                if node.finally_body is not None:
+                    self._hoist(node.finally_body, scope)
+            elif isinstance(node, ast.SwitchStmt):
+                for case in node.cases:
+                    self._hoist(case.body, scope)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    def _stmt(self, node: ast.Node, scope: _ScopeFrame) -> None:
+        if isinstance(node, ast.ExpressionStmt):
+            self._expr(node.expr, scope)
+        elif isinstance(node, ast.VarDecl):
+            for name, init in node.declarations:
+                if init is not None:
+                    self._expr(init, scope)
+                scope.declare(name)
+        elif isinstance(node, ast.BlockStmt):
+            for child in node.body:
+                self._stmt(child, scope)
+        elif isinstance(node, ast.IfStmt):
+            self._expr(node.test, scope)
+            self._stmt(node.consequent, scope)
+            if node.alternate is not None:
+                self._stmt(node.alternate, scope)
+        elif isinstance(node, ast.WhileStmt):
+            self._expr(node.test, scope)
+            self._stmt(node.body, scope)
+        elif isinstance(node, ast.DoWhileStmt):
+            self._stmt(node.body, scope)
+            self._expr(node.test, scope)
+        elif isinstance(node, ast.ForStmt):
+            if node.init is not None:
+                self._stmt(node.init, scope)
+            if node.test is not None:
+                self._expr(node.test, scope)
+            if node.update is not None:
+                self._expr(node.update, scope)
+            self._stmt(node.body, scope)
+        elif isinstance(node, ast.ForInStmt):
+            self._expr(node.iterable, scope)
+            # A bare target (`for (k in o)`) assigns, and plain assignment
+            # declares in sloppy mode — same rule as AssignExpr below.
+            scope.declare(node.target)
+            self._stmt(node.body, scope)
+        elif isinstance(node, ast.ReturnStmt):
+            if node.value is not None:
+                self._expr(node.value, scope)
+        elif isinstance(node, ast.ThrowStmt):
+            self._expr(node.value, scope)
+        elif isinstance(node, ast.TryStmt):
+            for child in node.block:
+                self._stmt(child, scope)
+            if node.catch_body is not None:
+                catch_scope = _ScopeFrame(scope)
+                if node.catch_param is not None:
+                    catch_scope.declare(node.catch_param)
+                for child in node.catch_body:
+                    self._stmt(child, catch_scope)
+            if node.finally_body is not None:
+                for child in node.finally_body:
+                    self._stmt(child, scope)
+        elif isinstance(node, ast.SwitchStmt):
+            self._expr(node.discriminant, scope)
+            for case in node.cases:
+                if case.test is not None:
+                    self._expr(case.test, scope)
+                for child in case.body:
+                    self._stmt(child, scope)
+        elif isinstance(node, ast.WithStmt):
+            self._expr(node.obj, scope)
+            # Inside `with`, any name may resolve to an object property;
+            # real engines cannot statically check this either.
+            permissive = _ScopeFrame(scope)
+            permissive.names = _Anything()
+            self._stmt(node.body, permissive)
+        elif isinstance(node, ast.FunctionDecl):
+            scope.declare(node.name)
+            self._function(node.params, node.body, scope)
+        elif isinstance(node, (ast.EmptyStmt, ast.BreakStmt, ast.ContinueStmt, ast.DebuggerStmt)):
+            pass
+
+    def _function(self, params: List[str], body: List[ast.Node], scope: _ScopeFrame) -> None:
+        frame = _ScopeFrame(scope)
+        for param in params:
+            frame.declare(param)
+        self._hoist(body, frame)
+        for statement in body:
+            self._stmt(statement, frame)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def _expr(self, node: ast.Node, scope: _ScopeFrame) -> None:
+        if isinstance(node, ast.Identifier):
+            if not scope.knows(node.name.text):
+                raise SemanticError(f"undeclared name {node.name.text!r}")
+        elif isinstance(node, ast.ArrayLit):
+            for item in node.items:
+                self._expr(item, scope)
+        elif isinstance(node, ast.ObjectLit):
+            for _, value in node.members:
+                self._expr(value, scope)
+        elif isinstance(node, ast.FunctionExpr):
+            inner = _ScopeFrame(scope)
+            if node.name:
+                inner.declare(node.name)
+            frame = _ScopeFrame(inner)
+            for param in node.params:
+                frame.declare(param)
+            self._hoist(node.body, frame)
+            for statement in node.body:
+                self._stmt(statement, frame)
+        elif isinstance(node, ast.ArrowExpr):
+            frame = _ScopeFrame(scope)
+            frame.declare(node.param)
+            if node.expr_body is not None:
+                self._expr(node.expr_body, frame)
+            if node.block_body:
+                self._hoist(node.block_body, frame)
+                for statement in node.block_body:
+                    self._stmt(statement, frame)
+        elif isinstance(node, ast.UnaryExpr):
+            if node.op == "typeof" and isinstance(node.operand, ast.Identifier):
+                return  # typeof is safe on undeclared names, as in JS
+            self._expr(node.operand, scope)
+        elif isinstance(node, ast.UpdateExpr):
+            self._expr(node.operand, scope)
+        elif isinstance(node, (ast.BinaryExpr, ast.LogicalExpr)):
+            self._expr(node.left, scope)
+            self._expr(node.right, scope)
+        elif isinstance(node, ast.ConditionalExpr):
+            self._expr(node.test, scope)
+            self._expr(node.consequent, scope)
+            self._expr(node.alternate, scope)
+        elif isinstance(node, ast.AssignExpr):
+            self._expr(node.value, scope)
+            if isinstance(node.target, ast.Identifier):
+                if node.op == "=":
+                    # Sloppy-mode global creation is a *runtime* behaviour;
+                    # the static check treats plain assignment as a
+                    # declaration, like mjs's own checks do.
+                    scope.declare(node.target.name.text)
+                elif not scope.knows(node.target.name.text):
+                    raise SemanticError(
+                        f"undeclared name {node.target.name.text!r}"
+                    )
+            else:
+                self._expr(node.target, scope)
+        elif isinstance(node, ast.SequenceExpr):
+            for item in node.items:
+                self._expr(item, scope)
+        elif isinstance(node, ast.MemberExpr):
+            self._expr(node.obj, scope)
+        elif isinstance(node, ast.IndexExpr):
+            self._expr(node.obj, scope)
+            self._expr(node.index, scope)
+        elif isinstance(node, (ast.CallExpr, ast.NewExpr)):
+            self._expr(node.callee, scope)
+            for arg in node.args:
+                self._expr(arg, scope)
+
+
+class _Anything(set):
+    """A name set that contains everything (used under ``with``)."""
+
+    def __contains__(self, name: object) -> bool:  # pragma: no cover - trivial
+        return True

@@ -1,0 +1,72 @@
+"""The mjs Subject: parse, then execute best-effort.
+
+Validity is decided by the *parser* (the paper's setup rejects inputs with a
+non-zero exit on the first parse error and disables semantic checking).
+Execution runs under a step budget; hangs surface as
+:class:`~repro.runtime.errors.HangError`, while runtime exceptions inside the
+interpreter never reject an input.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from typing import List, Tuple
+
+from repro.runtime.errors import HangError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.subjects.mjs.interp import Interpreter
+from repro.subjects.mjs.parser import MjsParser
+
+
+class MjsSubject(Subject):
+    """mjs-style JavaScript subset: lexer + parser + interpreter."""
+
+    name = "mjs"
+    description = "mjs-style JavaScript engine"
+
+    def __init__(
+        self,
+        max_steps: int = 200_000,
+        token_bridge: bool = False,
+        semantic_checks: bool = False,
+    ) -> None:
+        self.max_steps = max_steps
+        self.token_bridge = token_bridge
+        self.semantic_checks = semantic_checks
+
+    def parse(self, stream: InputStream) -> List[str]:
+        program = MjsParser(stream, token_bridge=self.token_bridge).parse_program()
+        if self.semantic_checks:
+            # §7.3: context-sensitive checks run after parsing; the paper
+            # disables them in the evaluation, but they are implemented so
+            # the limitation is demonstrable (see tests).
+            from repro.subjects.mjs.semantics import SemanticChecker
+
+            SemanticChecker().check(program)
+        interpreter = Interpreter(max_steps=self.max_steps)
+        try:
+            return interpreter.run(program)
+        except HangError:
+            raise
+        except RecursionError:
+            # Defensive: pathological programs that out-recurse the Python
+            # stack behave like hangs rather than crashing the harness.
+            raise HangError(self.max_steps)
+        except Exception:
+            # Semantic checking disabled: runtime failures in the engine do
+            # not reject a syntactically valid input.
+            return interpreter.output
+
+    def modules(self) -> Tuple[types.ModuleType, ...]:
+        names = (
+            "repro.subjects.mjs.lexer",
+            "repro.subjects.mjs.parser",
+            "repro.subjects.mjs.interp",
+            "repro.subjects.mjs.builtins",
+            "repro.subjects.mjs.values",
+            "repro.subjects.mjs.tokens",
+            "repro.subjects.mjs.ast",
+        )
+        return tuple(sys.modules[name] for name in names)

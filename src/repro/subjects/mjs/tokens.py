@@ -1,0 +1,134 @@
+"""Token kinds and the reserved-word table of the mjs subset.
+
+The reserved words are matched with a ``strcmp`` loop over :data:`KEYWORDS`
+(see :mod:`repro.subjects.mjs.lexer`), which is the pattern that lets
+pFuzzer synthesise whole keywords from one recorded string comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.taint.tstr import TaintedStr
+
+
+class TokKind(enum.Enum):
+    """Lexical token categories."""
+
+    PUNCT = "punct"
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+#: Reserved words of the mjs subset.  Every entry is also a Table 4 token.
+KEYWORDS: Tuple[str, ...] = (
+    "break",
+    "case",
+    "catch",
+    "const",
+    "continue",
+    "debugger",
+    "default",
+    "delete",
+    "do",
+    "else",
+    "false",
+    "finally",
+    "for",
+    "function",
+    "if",
+    "in",
+    "instanceof",
+    "let",
+    "NaN",
+    "new",
+    "null",
+    "of",
+    "return",
+    "switch",
+    "this",
+    "throw",
+    "true",
+    "try",
+    "typeof",
+    "undefined",
+    "var",
+    "void",
+    "while",
+    "with",
+)
+
+#: Multi-character punctuators, longest first per leading character; the
+#: lexer matches them with explicit per-character comparisons so every
+#: alternative is visible to the fuzzer.
+MULTI_PUNCT: Tuple[str, ...] = (
+    ">>>=",
+    "===",
+    "!==",
+    "<<=",
+    ">>=",
+    ">>>",
+    "&&=",
+    "||=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "=>",
+)
+
+#: Single-character punctuators.
+SINGLE_PUNCT = "(){}[];,.+-*/%<>=&|^!~?:"
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: token category.
+        text: the token spelling (keyword text, punctuator, raw literal).
+        index: input index of the token's first character.
+        number: numeric value for NUMBER tokens.
+        string: decoded value for STRING tokens.
+        name: identifier spelling *with taints* for IDENT tokens, so that
+            runtime property/builtin dispatch can record string comparisons.
+        nl_before: a line terminator occurred between the previous token and
+            this one (drives automatic semicolon insertion).
+    """
+
+    kind: TokKind
+    text: str
+    index: int
+    number: float = 0.0
+    string: str = ""
+    name: Optional[TaintedStr] = None
+    nl_before: bool = False
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}@{self.index})"

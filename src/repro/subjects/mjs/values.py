@@ -1,0 +1,330 @@
+"""Runtime values, scopes and JavaScript coercions for the mjs subset.
+
+Values map onto Python as: JS numbers are ``float``, strings are ``str``,
+booleans are ``bool``, ``null`` is ``None``, ``undefined`` is the
+:data:`UNDEFINED` singleton, and objects/arrays/functions are the wrapper
+classes below.  The coercion helpers implement the (sloppy, forgiving)
+semantics the paper's evaluation relies on: with semantic checking disabled,
+no runtime value combination rejects an input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import strcmp
+
+
+class _Undefined:
+    """The singleton ``undefined`` value."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _Undefined()
+
+
+class JSObject:
+    """A plain JavaScript object: ordered string-keyed properties."""
+
+    def __init__(self, props: Optional[Dict[str, object]] = None) -> None:
+        self.props: Dict[str, object] = dict(props or {})
+
+    def __repr__(self) -> str:
+        return f"JSObject({self.props!r})"
+
+
+class JSArray:
+    """A JavaScript array."""
+
+    def __init__(self, items: Optional[List[object]] = None) -> None:
+        self.items: List[object] = list(items or [])
+
+    def __repr__(self) -> str:
+        return f"JSArray({self.items!r})"
+
+
+@dataclass
+class JSFunction:
+    """A user-defined function closing over its defining scope."""
+
+    name: Optional[str]
+    params: List[str]
+    body: List[object]
+    closure: "Scope"
+    is_arrow: bool = False
+    #: Arrow functions with an expression body store it here.
+    expr_body: Optional[object] = None
+
+    def __repr__(self) -> str:
+        return f"<function {self.name or '(anonymous)'}>"
+
+
+@dataclass
+class NativeFunction:
+    """A builtin; ``fn(interp, this, args) -> value``."""
+
+    name: str
+    fn: Callable
+
+    def __repr__(self) -> str:
+        return f"<native {self.name}>"
+
+
+class NativeNamespace:
+    """A builtin object whose property lookup goes through ``strcmp``.
+
+    mjs resolves property names with C string comparisons; routing builtin
+    namespaces (``JSON``, the global builtins) through
+    :func:`repro.taint.wrappers.strcmp` makes names like ``stringify``
+    discoverable by the fuzzer, exactly as in the paper's subject.
+    """
+
+    def __init__(self, name: str, members: Dict[str, object]) -> None:
+        self.name = name
+        self.members = members
+
+    def lookup(self, prop: TaintedStr) -> object:
+        for member_name, value in self.members.items():
+            if strcmp(prop, member_name) == 0:
+                return value
+        return UNDEFINED
+
+    def __repr__(self) -> str:
+        return f"<namespace {self.name}>"
+
+
+class Scope:
+    """A lexical scope chain with JS-sloppy global assignment."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.vars: Dict[str, object] = {}
+        self.parent = parent
+
+    def declare(self, name: str, value: object) -> None:
+        self.vars[name] = value
+
+    # Chain traversal is recursive so that subclasses (ObjectScope) keep
+    # their behaviour when they appear in the *middle* of a scope chain.
+
+    def has(self, name: str) -> bool:
+        if name in self.vars:
+            return True
+        return self.parent.has(name) if self.parent is not None else False
+
+    def get(self, name: str) -> object:
+        if name in self.vars:
+            return self.vars[name]
+        return self.parent.get(name) if self.parent is not None else UNDEFINED
+
+    def set(self, name: str, value: object) -> None:
+        if name in self.vars:
+            self.vars[name] = value
+            return
+        if self.parent is None:
+            # Sloppy mode: assignment to an undeclared name creates a
+            # global (semantic checking disabled, §5.1).
+            self.vars[name] = value
+            return
+        self.parent.set(name, value)
+
+    def global_scope(self) -> "Scope":
+        scope = self
+        while scope.parent is not None:
+            scope = scope.parent
+        return scope
+
+
+class ObjectScope(Scope):
+    """The scope a ``with (obj)`` statement injects."""
+
+    def __init__(self, obj: object, parent: Scope) -> None:
+        super().__init__(parent)
+        self.obj = obj
+
+    def _props(self) -> Optional[Dict[str, object]]:
+        if isinstance(self.obj, JSObject):
+            return self.obj.props
+        return None
+
+    def has(self, name: str) -> bool:
+        props = self._props()
+        if props is not None and name in props:
+            return True
+        return super().has(name)
+
+    def get(self, name: str) -> object:
+        props = self._props()
+        if props is not None and name in props:
+            return props[name]
+        return super().get(name)
+
+    def set(self, name: str, value: object) -> None:
+        props = self._props()
+        if props is not None and name in props:
+            props[name] = value
+            return
+        super().set(name, value)
+
+
+# ---------------------------------------------------------------------- #
+# Coercions
+# ---------------------------------------------------------------------- #
+
+
+def truthy(value: object) -> bool:
+    """JavaScript ToBoolean."""
+    if value is UNDEFINED or value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0.0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    return True
+
+
+def to_number(value: object) -> float:
+    """JavaScript ToNumber (NaN-propagating, never raising)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if value is None:
+        return 0.0
+    if value is UNDEFINED:
+        return math.nan
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return math.nan
+    return math.nan
+
+
+def to_int32(value: object) -> int:
+    """JavaScript ToInt32 (for bitwise operators)."""
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    result = int(number) & 0xFFFFFFFF
+    if result >= 0x80000000:
+        result -= 0x100000000
+    return result
+
+
+def to_uint32(value: object) -> int:
+    """JavaScript ToUint32 (for ``>>>``)."""
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    return int(number) & 0xFFFFFFFF
+
+
+def format_number(number: float) -> str:
+    """JavaScript number-to-string."""
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == int(number) and abs(number) < 1e21:
+        return str(int(number))
+    return repr(number)
+
+
+def to_string(value: object) -> str:
+    """JavaScript ToString."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, JSArray):
+        return ",".join(
+            "" if item is UNDEFINED or item is None else to_string(item)
+            for item in value.items
+        )
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return f"function {getattr(value, 'name', '') or ''}() {{...}}"
+    return str(value)
+
+
+def type_of(value: object) -> str:
+    """JavaScript ``typeof``."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is None:
+        return "object"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    return "object"
+
+
+def strict_equals(left: object, right: object) -> bool:
+    """JavaScript ``===``."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, float) and isinstance(right, float):
+        return left == right  # NaN != NaN falls out of float semantics
+    if type(left) is not type(right):
+        if (left is UNDEFINED) != (right is UNDEFINED):
+            return False
+        if (left is None) != (right is None):
+            return False
+    if isinstance(left, (JSObject, JSArray, JSFunction, NativeFunction, NativeNamespace)):
+        return left is right
+    return left == right
+
+
+def loose_equals(left: object, right: object) -> bool:
+    """JavaScript ``==`` (the common coercion cases)."""
+    if (left is None or left is UNDEFINED) and (right is None or right is UNDEFINED):
+        return True
+    if left is None or left is UNDEFINED or right is None or right is UNDEFINED:
+        return False
+    if isinstance(left, bool):
+        return loose_equals(to_number(left), right)
+    if isinstance(right, bool):
+        return loose_equals(left, to_number(right))
+    if isinstance(left, float) and isinstance(right, str):
+        return left == to_number(right)
+    if isinstance(left, str) and isinstance(right, float):
+        return to_number(left) == right
+    if isinstance(left, (JSObject, JSArray)) and isinstance(right, (str, float)):
+        return loose_equals(to_string(left), right)
+    if isinstance(right, (JSObject, JSArray)) and isinstance(left, (str, float)):
+        return loose_equals(left, to_string(right))
+    return strict_equals(left, right)

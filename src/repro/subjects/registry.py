@@ -1,0 +1,101 @@
+"""Subject registry and size accounting (Table 1).
+
+``load_subject(name)`` builds a fresh subject instance; fresh instances keep
+fuzzing campaigns independent (subjects hold no cross-run state, but the
+registry still hands out new objects to be safe).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Tuple
+
+from repro.subjects.base import Subject
+
+
+def _make_expr() -> Subject:
+    from repro.subjects.expr import ExprSubject
+
+    return ExprSubject()
+
+
+def _make_ini() -> Subject:
+    from repro.subjects.ini import IniSubject
+
+    return IniSubject()
+
+
+def _make_csv() -> Subject:
+    from repro.subjects.csvp import CsvSubject
+
+    return CsvSubject()
+
+
+def _make_json() -> Subject:
+    from repro.subjects.cjson import CJsonSubject
+
+    return CJsonSubject()
+
+
+def _make_tinyc() -> Subject:
+    from repro.subjects.tinyc import TinyCSubject
+
+    return TinyCSubject()
+
+
+def _make_mjs() -> Subject:
+    from repro.subjects.mjs import MjsSubject
+
+    return MjsSubject()
+
+
+_FACTORIES: Dict[str, Callable[[], Subject]] = {
+    "expr": _make_expr,
+    "ini": _make_ini,
+    "csv": _make_csv,
+    "json": _make_json,
+    "tinyc": _make_tinyc,
+    "mjs": _make_mjs,
+}
+
+#: The five paper subjects, in Table 1 order, plus the §2 demo subject.
+SUBJECT_NAMES: Tuple[str, ...] = ("ini", "csv", "json", "tinyc", "mjs")
+
+#: Upstream C sizes from Table 1, for the size-comparison report.
+PAPER_LOC: Dict[str, int] = {
+    "ini": 293,
+    "csv": 297,
+    "json": 2483,
+    "tinyc": 191,
+    "mjs": 10920,
+}
+
+
+def load_subject(name: str) -> Subject:
+    """Instantiate a subject by registry name.
+
+    Raises:
+        KeyError: unknown subject name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown subject {name!r}; known subjects: {known}") from None
+    return factory()
+
+
+def subject_sloc(subject: Subject) -> int:
+    """Source lines of code of this reproduction's subject modules.
+
+    Counts non-blank, non-comment lines across all modules of the subject —
+    our side of Table 1.
+    """
+    total = 0
+    for module in subject.modules():
+        source = inspect.getsource(module)
+        for line in source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                total += 1
+    return total

@@ -1,0 +1,474 @@
+"""Tiny-C compiler and VM (subject "tinyc", Table 1: 191 LoC upstream).
+
+Mirrors Marc Feeley's tiny-c (the gist the paper cites): a lexer with the
+keywords ``do``/``else``/``if``/``while``, single-letter variables ``a``-``z``,
+non-negative integer literals, the operators ``+ - < =`` and the statement
+forms ``if``/``if-else``/``while``/``do-while``/blocks/expression
+statements/empty statements.  Like the original, the subject parses, compiles
+to a small stack bytecode and *runs* the program (paper §5.2: "tinyC and mjs
+also execute the program"); infinite loops such as the paper's ``while(9);``
+hit the step budget and raise :class:`~repro.runtime.errors.HangError`.
+
+The keyword check is a ``strcmp`` loop over the keyword table, exactly the
+pattern whose dynamic monitoring lets pFuzzer synthesise ``while`` in one
+substitution (paper §6, AFL-CTP discussion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.runtime.errors import HangError, ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.taint.bridge import record_token_expectation
+from repro.taint.tchar import TChar
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import strcmp
+
+KEYWORDS = ("do", "else", "if", "while")
+
+
+class Sym(enum.Enum):
+    """Lexer symbols, named after the original tiny-c enum."""
+
+    DO = "do"
+    ELSE = "else"
+    IF = "if"
+    WHILE = "while"
+    LBRA = "{"
+    RBRA = "}"
+    LPAR = "("
+    RPAR = ")"
+    PLUS = "+"
+    MINUS = "-"
+    LESS = "<"
+    SEMI = ";"
+    EQUAL = "="
+    INT = "int"
+    ID = "id"
+    EOI = "eoi"
+
+
+@dataclass
+class Token:
+    sym: Sym
+    index: int
+    int_val: int = 0
+    id_name: str = ""
+
+
+class TinyCLexer:
+    """tiny-c ``next_sym``: whitespace-separated, one token of lookahead."""
+
+    def __init__(self, stream: InputStream) -> None:
+        self.stream = stream
+        self.token = Token(Sym.EOI, 0)
+        self.next_sym()
+
+    def next_sym(self) -> None:
+        stream = self.stream
+        while True:
+            char = stream.peek()
+            if char.is_eof:
+                self.token = Token(Sym.EOI, char.index)
+                return
+            if char == " " or char == "\n" or char == "\t" or char == "\r":
+                stream.next_char()
+                continue
+            break
+        char = stream.peek()
+        index = char.index
+        for punct, sym in (
+            ("{", Sym.LBRA),
+            ("}", Sym.RBRA),
+            ("(", Sym.LPAR),
+            (")", Sym.RPAR),
+            ("+", Sym.PLUS),
+            ("-", Sym.MINUS),
+            ("<", Sym.LESS),
+            (";", Sym.SEMI),
+            ("=", Sym.EQUAL),
+        ):
+            if char == punct:
+                stream.next_char()
+                self.token = Token(sym, index)
+                return
+        if char.isdigit():
+            value = 0
+            while True:
+                char = stream.peek()
+                if char.is_eof or not char.isdigit():
+                    break
+                stream.next_char()
+                value = value * 10 + char.digit_value()
+            self.token = Token(Sym.INT, index, int_val=value)
+            return
+        if self._is_id_char(char):
+            name = TaintedStr.empty()
+            while True:
+                char = stream.peek()
+                if char.is_eof or not self._is_id_char(char):
+                    break
+                stream.next_char()
+                name = name.append(char)
+            for keyword in KEYWORDS:
+                if strcmp(name, keyword) == 0:
+                    self.token = Token(Sym(keyword), index)
+                    return
+            if len(name) == 1:
+                self.token = Token(Sym.ID, index, id_name=name.text)
+                return
+            raise ParseError(f"unknown identifier at {index}", index)
+        raise ParseError(f"unexpected character at {index}", index)
+
+    @staticmethod
+    def _is_id_char(char: TChar) -> bool:
+        """tiny-c identifiers: lowercase letters only (``'a' <= ch <= 'z'``)."""
+        return char >= "a" and char <= "z"
+
+
+# ---------------------------------------------------------------------- #
+# AST (node kinds follow the original's enum)
+# ---------------------------------------------------------------------- #
+
+Node = Tuple  # (kind, *children) with ints/strs at the leaves
+
+VAR, CST, ADD, SUB, LT, SET, IF1, IF2, WHILE, DO, EMPTY, SEQ, EXPR, PROG = range(14)
+
+
+class TinyCParser:
+    """tiny-c's recursive-descent parser, one production per method."""
+
+    #: Recursion guard; the original has a fixed-size C stack instead.  Kept
+    #: well below Python's recursion limit divided by the frames each
+    #: grammar level costs.
+    max_depth = 100
+
+    #: Representative spellings for token classes, used by the §7.2 token
+    #: bridge when the expected token has no fixed spelling.
+    _SPELLINGS = {Sym.INT: "0", Sym.ID: "a", Sym.EOI: ""}
+
+    def __init__(self, lexer: TinyCLexer, token_bridge: bool = False) -> None:
+        self.lexer = lexer
+        self.token_bridge = token_bridge
+        self._depth = 0
+
+    @property
+    def sym(self) -> Sym:
+        return self.lexer.token.sym
+
+    def _spelling(self, sym: Sym) -> str:
+        return self._SPELLINGS.get(sym, sym.value)
+
+    def _token_spelling(self, token: Token) -> str:
+        if token.sym is Sym.ID:
+            return token.id_name
+        if token.sym is Sym.INT:
+            return str(token.int_val)
+        return self._spelling(token.sym)
+
+    def _expect(self, sym: Sym) -> None:
+        matched = self.sym is sym
+        if self.token_bridge:
+            # §7.2 token-taint bridging: re-express the token-kind check as
+            # a string comparison at the token's input index, recovering the
+            # character comparison tokenization destroyed.
+            token = self.lexer.token
+            record_token_expectation(
+                token.index, self._token_spelling(token), self._spelling(sym), matched
+            )
+        if not matched:
+            index = self.lexer.token.index
+            raise ParseError(f"expected {sym.value!r} at {index}", index)
+        self.lexer.next_sym()
+
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > self.max_depth:
+            index = self.lexer.token.index
+            raise ParseError(f"nesting too deep at {index}", index)
+
+    def _leave(self) -> None:
+        self._depth -= 1
+
+    # <term> := <id> | <int> | <paren_expr>
+    def term(self) -> Node:
+        token = self.lexer.token
+        if token.sym is Sym.ID:
+            self.lexer.next_sym()
+            return (VAR, token.id_name)
+        if token.sym is Sym.INT:
+            self.lexer.next_sym()
+            return (CST, token.int_val)
+        return self.paren_expr()
+
+    # <sum> := <term> | <sum> '+' <term> | <sum> '-' <term>
+    def sum(self) -> Node:
+        node = self.term()
+        while self.sym is Sym.PLUS or self.sym is Sym.MINUS:
+            kind = ADD if self.sym is Sym.PLUS else SUB
+            self.lexer.next_sym()
+            node = (kind, node, self.term())
+        return node
+
+    # <test> := <sum> | <sum> '<' <sum>
+    def test(self) -> Node:
+        node = self.sum()
+        if self.sym is Sym.LESS:
+            self.lexer.next_sym()
+            node = (LT, node, self.sum())
+        return node
+
+    # <expr> := <test> | <id> '=' <expr>
+    def expr(self) -> Node:
+        if self.sym is not Sym.ID:
+            return self.test()
+        node = self.test()
+        if node[0] == VAR and self.sym is Sym.EQUAL:
+            self.lexer.next_sym()
+            return (SET, node[1], self.expr())
+        return node
+
+    # <paren_expr> := '(' <expr> ')'
+    def paren_expr(self) -> Node:
+        self._enter()
+        try:
+            self._expect(Sym.LPAR)
+            node = self.expr()
+            self._expect(Sym.RPAR)
+            return node
+        finally:
+            self._leave()
+
+    def statement(self) -> Node:
+        self._enter()
+        try:
+            return self._statement_inner()
+        finally:
+            self._leave()
+
+    def _statement_inner(self) -> Node:
+        if self.sym is Sym.IF:
+            self.lexer.next_sym()
+            condition = self.paren_expr()
+            then_branch = self.statement()
+            if self.sym is Sym.ELSE:
+                self.lexer.next_sym()
+                return (IF2, condition, then_branch, self.statement())
+            return (IF1, condition, then_branch)
+        if self.sym is Sym.WHILE:
+            self.lexer.next_sym()
+            return (WHILE, self.paren_expr(), self.statement())
+        if self.sym is Sym.DO:
+            self.lexer.next_sym()
+            body = self.statement()
+            self._expect(Sym.WHILE)
+            condition = self.paren_expr()
+            self._expect(Sym.SEMI)
+            return (DO, body, condition)
+        if self.sym is Sym.SEMI:
+            self.lexer.next_sym()
+            return (EMPTY,)
+        if self.sym is Sym.LBRA:
+            self.lexer.next_sym()
+            node: Node = (EMPTY,)
+            while self.sym is not Sym.RBRA:
+                if self.sym is Sym.EOI:
+                    index = self.lexer.token.index
+                    raise ParseError(f"unterminated block at {index}", index)
+                node = (SEQ, node, self.statement())
+            self.lexer.next_sym()
+            return node
+        node = (EXPR, self.expr())
+        self._expect(Sym.SEMI)
+        return node
+
+    # <program> := <statement> EOI | EOI
+    # An empty (or whitespace-only) program is accepted: the paper's driver
+    # setup treats a single space as valid for every subject (§5.1).
+    def program(self) -> Node:
+        if self.sym is Sym.EOI:
+            return (PROG, (EMPTY,))
+        node = (PROG, self.statement())
+        if self.sym is not Sym.EOI:
+            index = self.lexer.token.index
+            raise ParseError(f"trailing input at {index}", index)
+        return node
+
+
+# ---------------------------------------------------------------------- #
+# Code generation and VM (the original's IFETCH..HALT machine)
+# ---------------------------------------------------------------------- #
+
+IFETCH, ISTORE, IPUSH, IPOP, IADD, ISUB, ILT, JZ, JNZ, JMP, HALT = range(11)
+
+Code = List[Union[int, str]]
+
+
+class TinyCCompiler:
+    """Emit stack bytecode for an AST, following the original's ``c()``."""
+
+    def __init__(self) -> None:
+        self.code: Code = []
+
+    def _emit(self, op: Union[int, str]) -> int:
+        self.code.append(op)
+        return len(self.code) - 1
+
+    def _hole(self) -> int:
+        return self._emit(0)
+
+    def _fix(self, hole: int, target: Optional[int] = None) -> None:
+        self.code[hole] = target if target is not None else len(self.code)
+
+    def compile(self, node: Node) -> Code:
+        self._gen(node)
+        return self.code
+
+    def _gen(self, node: Node) -> None:
+        kind = node[0]
+        if kind == VAR:
+            self._emit(IFETCH)
+            self._emit(node[1])
+        elif kind == CST:
+            self._emit(IPUSH)
+            self._emit(node[1])
+        elif kind == ADD:
+            self._gen(node[1])
+            self._gen(node[2])
+            self._emit(IADD)
+        elif kind == SUB:
+            self._gen(node[1])
+            self._gen(node[2])
+            self._emit(ISUB)
+        elif kind == LT:
+            self._gen(node[1])
+            self._gen(node[2])
+            self._emit(ILT)
+        elif kind == SET:
+            self._gen(node[2])
+            self._emit(ISTORE)
+            self._emit(node[1])
+        elif kind == IF1:
+            self._gen(node[1])
+            self._emit(JZ)
+            hole = self._hole()
+            self._gen(node[2])
+            self._fix(hole)
+        elif kind == IF2:
+            self._gen(node[1])
+            self._emit(JZ)
+            hole_else = self._hole()
+            self._gen(node[2])
+            self._emit(JMP)
+            hole_end = self._hole()
+            self._fix(hole_else)
+            self._gen(node[3])
+            self._fix(hole_end)
+        elif kind == WHILE:
+            top = len(self.code)
+            self._gen(node[1])
+            self._emit(JZ)
+            hole = self._hole()
+            self._gen(node[2])
+            self._emit(JMP)
+            self._fix(self._hole(), top)
+            self._fix(hole)
+        elif kind == DO:
+            top = len(self.code)
+            self._gen(node[1])
+            self._gen(node[2])
+            self._emit(JNZ)
+            self._fix(self._hole(), top)
+        elif kind == EMPTY:
+            pass
+        elif kind == SEQ:
+            self._gen(node[1])
+            self._gen(node[2])
+        elif kind == EXPR:
+            self._gen(node[1])
+            self._emit(IPOP)
+        elif kind == PROG:
+            self._gen(node[1])
+            self._emit(HALT)
+        else:  # pragma: no cover - unreachable by construction
+            raise AssertionError(f"unknown node kind {kind}")
+
+
+class TinyCVM:
+    """The original's threaded-code interpreter with a step budget."""
+
+    def __init__(self, max_steps: int = 100_000) -> None:
+        self.max_steps = max_steps
+        self.globals = {chr(letter): 0 for letter in range(ord("a"), ord("z") + 1)}
+
+    def run(self, code: Code) -> None:
+        stack: List[int] = []
+        pc = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise HangError(self.max_steps)
+            op = code[pc]
+            pc += 1
+            if op == IFETCH:
+                stack.append(self.globals[code[pc]])
+                pc += 1
+            elif op == ISTORE:
+                self.globals[code[pc]] = stack[-1]
+                pc += 1
+            elif op == IPUSH:
+                stack.append(code[pc])
+                pc += 1
+            elif op == IPOP:
+                stack.pop()
+            elif op == IADD:
+                right = stack.pop()
+                stack[-1] = stack[-1] + right
+            elif op == ISUB:
+                right = stack.pop()
+                stack[-1] = stack[-1] - right
+            elif op == ILT:
+                right = stack.pop()
+                stack[-1] = 1 if stack[-1] < right else 0
+            elif op == JZ:
+                target = code[pc]
+                pc = target if stack.pop() == 0 else pc + 1
+            elif op == JNZ:
+                target = code[pc]
+                pc = target if stack.pop() != 0 else pc + 1
+            elif op == JMP:
+                pc = code[pc]
+            elif op == HALT:
+                return
+            else:  # pragma: no cover - unreachable by construction
+                raise AssertionError(f"unknown opcode {op}")
+
+
+class TinyCSubject(Subject):
+    """Parse, compile and execute one tiny-c program.
+
+    ``token_bridge=True`` enables §7.2 token-taint bridging: the parser's
+    token-kind expectations are reported back as string comparisons, which
+    lets the fuzzer make progress *after* a keyword.  Off by default, so the
+    paper's tokenization limitation stays reproducible.
+    """
+
+    name = "tinyc"
+    description = "tiny-c compiler + VM"
+
+    def __init__(self, max_steps: int = 100_000, token_bridge: bool = False) -> None:
+        self.max_steps = max_steps
+        self.token_bridge = token_bridge
+
+    def parse(self, stream: InputStream):
+        lexer = TinyCLexer(stream)
+        ast = TinyCParser(lexer, token_bridge=self.token_bridge).program()
+        code = TinyCCompiler().compile(ast)
+        vm = TinyCVM(self.max_steps)
+        vm.run(code)
+        return vm.globals

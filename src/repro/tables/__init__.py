@@ -1,0 +1,40 @@
+"""Table-driven parsers (the paper's §7.1 future work, implemented).
+
+The paper's coverage metric assumes the parser's *code* encodes its state;
+a table-driven parser instead "defines its state based on the table it
+reads", so branch coverage carries almost no signal.  The paper suggests the
+fix — "instead of code coverage, one could implement coverage of table
+elements" — and this package builds the whole pipeline:
+
+* :mod:`repro.tables.grammar` — context-free grammars with FIRST/FOLLOW
+  computation and LL(1) parse-table construction (conflicts detected);
+* :mod:`repro.tables.engine` — a stack-machine LL(1) parser over the tainted
+  input stream with two instrumentation modes: ``plain`` (the §7.1
+  limitation: table lookups are data accesses, invisible to the fuzzer)
+  and ``instrumented`` (table-element coverage + per-row comparison
+  recording, the proposed fix);
+* :mod:`repro.tables.subjects` — table-driven subjects over the same
+  languages as the recursive-descent ones, for direct ablation.
+"""
+
+from repro.tables.engine import TableParser
+from repro.tables.grammar import CFG, EPSILON, LL1Conflict, ParseTable, build_table
+from repro.tables.subjects import (
+    TableExprSubject,
+    TableJsonSubject,
+    expr_cfg,
+    json_cfg,
+)
+
+__all__ = [
+    "CFG",
+    "EPSILON",
+    "ParseTable",
+    "LL1Conflict",
+    "build_table",
+    "TableParser",
+    "TableExprSubject",
+    "TableJsonSubject",
+    "expr_cfg",
+    "json_cfg",
+]

@@ -1,0 +1,208 @@
+"""Context-free grammars, FIRST/FOLLOW sets, and LL(1) table construction.
+
+Terminals are single characters or named character classes
+(:class:`CharClass`, e.g. the digits); nonterminals are strings.  The table
+builder is the textbook algorithm: FIRST and FOLLOW by fixpoint, then one
+table cell per (nonterminal, lookahead terminal), with conflicts reported
+as :class:`LL1Conflict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set, Tuple, Union
+
+#: The empty production marker.
+EPSILON = "ε"
+
+#: End-of-input terminal used in FOLLOW sets and the table.
+END = "$"
+
+
+@dataclass(frozen=True)
+class CharClass:
+    """A named set of terminal characters treated as one table column.
+
+    LL(1) tables over raw characters would need one column per character;
+    classes such as "digit" keep the table small while the parser still
+    compares concrete characters (recorded) at runtime.
+    """
+
+    name: str
+    chars: str
+
+    def __contains__(self, char: str) -> bool:
+        return char in self.chars
+
+
+Terminal = Union[str, CharClass]
+Symbol = Union[str, CharClass]  # nonterminals are plain strings not in the grammar's terminal set
+
+
+@dataclass(frozen=True)
+class Production:
+    """One grammar rule ``head -> body`` (empty body = epsilon)."""
+
+    head: str
+    body: Tuple[Symbol, ...]
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head} -> {EPSILON}"
+        rendered = " ".join(
+            symbol.name if isinstance(symbol, CharClass) else symbol
+            for symbol in self.body
+        )
+        return f"{self.head} -> {rendered}"
+
+
+class LL1Conflict(ValueError):
+    """The grammar is not LL(1): two productions claim one table cell."""
+
+
+@dataclass
+class CFG:
+    """A context-free grammar with single-character terminals.
+
+    Attributes:
+        name: used to namespace table-cell coverage keys.
+        start: start nonterminal.
+        productions: the rules, in declaration order.
+    """
+
+    name: str
+    start: str
+    productions: List[Production] = field(default_factory=list)
+
+    def add(self, head: str, *body: Symbol) -> "CFG":
+        """Append a production (chainable)."""
+        self.productions.append(Production(head, tuple(body)))
+        return self
+
+    @property
+    def nonterminals(self) -> Set[str]:
+        return {production.head for production in self.productions}
+
+    def productions_of(self, head: str) -> List[Production]:
+        return [p for p in self.productions if p.head == head]
+
+    def is_nonterminal(self, symbol: Symbol) -> bool:
+        return isinstance(symbol, str) and symbol in self.nonterminals
+
+    # ------------------------------------------------------------------ #
+    # FIRST / FOLLOW
+    # ------------------------------------------------------------------ #
+
+    def first_sets(self) -> Dict[str, Set[Terminal]]:
+        """FIRST for every nonterminal; ``EPSILON`` marks nullability."""
+        first: Dict[str, Set[Terminal]] = {n: set() for n in self.nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                before = len(first[production.head])
+                first[production.head] |= self._first_of_body(production.body, first)
+                changed |= len(first[production.head]) != before
+        return first
+
+    def _first_of_body(
+        self, body: Sequence[Symbol], first: Mapping[str, Set[Terminal]]
+    ) -> Set[Terminal]:
+        out: Set[Terminal] = set()
+        for symbol in body:
+            if not self.is_nonterminal(symbol):
+                out.add(symbol)  # terminal (char or CharClass)
+                return out
+            out |= first[symbol] - {EPSILON}
+            if EPSILON not in first[symbol]:
+                return out
+        out.add(EPSILON)
+        return out
+
+    def follow_sets(self) -> Dict[str, Set[Terminal]]:
+        """FOLLOW for every nonterminal; ``END`` marks end of input."""
+        first = self.first_sets()
+        follow: Dict[str, Set[Terminal]] = {n: set() for n in self.nonterminals}
+        follow[self.start].add(END)
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                trailer: Set[Terminal] = set(follow[production.head])
+                for symbol in reversed(production.body):
+                    if self.is_nonterminal(symbol):
+                        before = len(follow[symbol])
+                        follow[symbol] |= trailer
+                        changed |= len(follow[symbol]) != before
+                        if EPSILON in first[symbol]:
+                            trailer = trailer | (first[symbol] - {EPSILON})
+                        else:
+                            trailer = first[symbol] - {EPSILON}
+                    else:
+                        trailer = {symbol}
+        return follow
+
+
+@dataclass
+class ParseTable:
+    """An LL(1) parse table: (nonterminal, terminal) -> production.
+
+    Terminal columns are concrete characters, character classes, or ``END``.
+    """
+
+    grammar: CFG
+    cells: Dict[Tuple[str, Terminal], Production]
+
+    def lookup(self, nonterminal: str, char: str, at_end: bool) -> Union[Production, None]:
+        """The production to expand ``nonterminal`` on lookahead ``char``.
+
+        Checks concrete-character columns first, then character classes,
+        then the ``END`` column when the input is exhausted.
+        """
+        if not at_end:
+            direct = self.cells.get((nonterminal, char))
+            if direct is not None:
+                return direct
+            for (head, terminal), production in self.cells.items():
+                if head == nonterminal and isinstance(terminal, CharClass) and char in terminal:
+                    return production
+            return None
+        return self.cells.get((nonterminal, END))
+
+    def expected_terminals(self, nonterminal: str) -> List[Terminal]:
+        """Every terminal column with an entry for ``nonterminal``."""
+        return [
+            terminal
+            for (head, terminal) in self.cells
+            if head == nonterminal and terminal != END
+        ]
+
+
+def build_table(grammar: CFG) -> ParseTable:
+    """The textbook LL(1) construction.
+
+    Raises:
+        LL1Conflict: two productions land in the same cell.
+    """
+    first = grammar.first_sets()
+    follow = grammar.follow_sets()
+    cells: Dict[Tuple[str, Terminal], Production] = {}
+
+    def claim(head: str, terminal: Terminal, production: Production) -> None:
+        key = (head, terminal)
+        existing = cells.get(key)
+        if existing is not None and existing != production:
+            raise LL1Conflict(
+                f"cell ({head}, {terminal}) claimed by both "
+                f"'{existing}' and '{production}'"
+            )
+        cells[key] = production
+
+    for production in grammar.productions:
+        body_first = grammar._first_of_body(production.body, first)
+        for terminal in body_first - {EPSILON}:
+            claim(production.head, terminal, production)
+        if EPSILON in body_first:
+            for terminal in follow[production.head]:
+                claim(production.head, terminal, production)
+    return ParseTable(grammar, cells)

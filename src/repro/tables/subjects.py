@@ -1,0 +1,129 @@
+"""Table-driven subjects for the §7.1 ablation.
+
+:class:`TableExprSubject` accepts (a superset of) the §2 arithmetic
+expression language, but through an LL(1) table instead of recursive
+descent — the same input space with a completely different code shape, so
+the effect of table-element coverage can be measured directly against the
+recursive-descent ``expr`` subject.  :class:`TableJsonSubject` does the
+same for a whitespace-free JSON core against the cJSON subject.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.tables.engine import TableParser
+from repro.tables.grammar import CFG, CharClass, build_table
+
+DIGIT = CharClass("digit", "0123456789")
+
+#: Characters allowed inside (table-)JSON strings: printable ASCII minus
+#: the quote and backslash (escapes are out of scope for the LL(1) core).
+STRING_CHAR = CharClass(
+    "strchar",
+    "".join(
+        c for c in string.printable[:-5] if c not in '"\\'
+    ),
+)
+
+
+def expr_cfg() -> CFG:
+    """An LL(1) grammar for arithmetic expressions.
+
+    ::
+
+        E  -> T E'
+        E' -> + T E' | - T E' | ε
+        T  -> ( E ) | + T | - T | N
+        N  -> digit N'
+        N' -> digit N' | ε
+    """
+    grammar = CFG(name="expr", start="E")
+    grammar.add("E", "T", "E'")
+    grammar.add("E'", "+", "T", "E'")
+    grammar.add("E'", "-", "T", "E'")
+    grammar.add("E'")
+    grammar.add("T", "(", "E", ")")
+    grammar.add("T", "+", "T")
+    grammar.add("T", "-", "T")
+    grammar.add("T", "N")
+    grammar.add("N", DIGIT, "N'")
+    grammar.add("N'", DIGIT, "N'")
+    grammar.add("N'")
+    return grammar
+
+
+def json_cfg() -> CFG:
+    """An LL(1) grammar for a whitespace-free JSON core.
+
+    Objects, arrays, escaped-free strings, integers and the three keyword
+    literals — enough surface to compare table-driven parsing against the
+    recursive-descent cJSON subject.  Keywords are spelled out character by
+    character, so even the instrumented table parser has to discover
+    ``true`` one table cell at a time (there is no ``strcmp`` to observe —
+    an honest structural difference of table-driven parsing).
+    """
+    grammar = CFG(name="json", start="V")
+    grammar.add("V", "O")
+    grammar.add("V", "A")
+    grammar.add("V", "S")
+    grammar.add("V", "N")
+    grammar.add("V", "t", "r", "u", "e")
+    grammar.add("V", "f", "a", "l", "s", "e")
+    grammar.add("V", "n", "u", "l", "l")
+    grammar.add("O", "{", "M", "}")
+    grammar.add("M")
+    grammar.add("M", "P", "M'")
+    grammar.add("M'")
+    grammar.add("M'", ",", "P", "M'")
+    grammar.add("P", "S", ":", "V")
+    grammar.add("A", "[", "E", "]")
+    grammar.add("E")
+    grammar.add("E", "V", "E'")
+    grammar.add("E'")
+    grammar.add("E'", ",", "V", "E'")
+    grammar.add("S", '"', "C", '"')
+    grammar.add("C")
+    grammar.add("C", STRING_CHAR, "C")
+    grammar.add("N", "-", "D")
+    grammar.add("N", "D")
+    grammar.add("D", DIGIT, "D'")
+    grammar.add("D'")
+    grammar.add("D'", DIGIT, "D'")
+    return grammar
+
+
+class TableJsonSubject(Subject):
+    """JSON core via a table-driven LL(1) parser (see :func:`json_cfg`)."""
+
+    name = "table-json"
+    description = "LL(1) table-driven JSON core"
+
+    def __init__(self, instrumented: bool = False) -> None:
+        self.instrumented = instrumented
+        self._parser = TableParser(build_table(json_cfg()), instrumented=instrumented)
+
+    def parse(self, stream: InputStream) -> int:
+        return self._parser.parse(stream)
+
+
+class TableExprSubject(Subject):
+    """Arithmetic expressions via a table-driven LL(1) parser.
+
+    ``instrumented=False`` reproduces the §7.1 limitation (the driver loop
+    gives branch coverage no signal and nonterminal expansion records no
+    comparisons); ``instrumented=True`` enables table-element coverage and
+    row-scan comparison recording, the paper's proposed fix.
+    """
+
+    name = "table-expr"
+    description = "LL(1) table-driven arithmetic expressions"
+
+    def __init__(self, instrumented: bool = False) -> None:
+        self.instrumented = instrumented
+        self._parser = TableParser(build_table(expr_cfg()), instrumented=instrumented)
+
+    def parse(self, stream: InputStream) -> int:
+        return self._parser.parse(stream)

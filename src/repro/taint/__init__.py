@@ -1,0 +1,33 @@
+"""Dynamic-tainting substrate.
+
+The paper instruments C programs with LLVM so that every input character
+carries a taint (its input index) and every comparison of a tainted value is
+recorded.  In this pure-Python reproduction the same information is obtained
+with proxy objects: :class:`~repro.taint.tchar.TChar` wraps a single input
+character and :class:`~repro.taint.tstr.TaintedStr` wraps character buffers
+built from input characters.  All comparison operators on these proxies
+report a :class:`~repro.taint.events.ComparisonEvent` to the ambient
+:class:`~repro.taint.recorder.Recorder` before returning their ordinary
+boolean result, and accesses past the end of the input report an
+:class:`~repro.taint.events.EOFEvent` (the paper's "EOF detection").
+
+Wrapped runtime functions (``strcmp``, ``isdigit``, ...) live in
+:mod:`repro.taint.wrappers` and mirror the paper's wrapped C library calls.
+"""
+
+from repro.taint.events import ComparisonEvent, ComparisonKind, EOFEvent
+from repro.taint.recorder import Recorder, current_recorder, recording
+from repro.taint.tchar import EOF_CHAR, TChar
+from repro.taint.tstr import TaintedStr
+
+__all__ = [
+    "ComparisonEvent",
+    "ComparisonKind",
+    "EOFEvent",
+    "Recorder",
+    "current_recorder",
+    "recording",
+    "TChar",
+    "EOF_CHAR",
+    "TaintedStr",
+]

@@ -1,0 +1,119 @@
+"""Event records produced by the tainting substrate.
+
+Two kinds of events drive parser-directed fuzzing:
+
+* :class:`ComparisonEvent` — a tainted value was compared against some other
+  value.  The fuzzer uses the events at the *last compared input index* to
+  derive substitutions (paper §3, Algorithm 1 ``addInputs``).
+* :class:`EOFEvent` — the program tried to access an input index past the end
+  of the current input.  The fuzzer interprets this as "the parser wants more
+  characters" and appends a random character (paper §2, Figure 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class ComparisonKind(enum.Enum):
+    """What sort of comparison was observed.
+
+    ``EQ``/``NE``/``LT``/``LE``/``GT``/``GE`` are single-character relational
+    comparisons; ``IN`` is membership in a character class (``isdigit`` and
+    friends, ``strchr``); ``STRCMP`` is a multi-character string comparison
+    (wrapped ``strcmp``/``strncmp``/``memcmp``); ``SWITCH`` marks a
+    multi-way character dispatch.
+    """
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    STRCMP = "strcmp"
+    SWITCH = "switch"
+
+
+#: Comparison kinds whose ``other_value`` is a *set* of acceptable characters.
+SET_KINDS = frozenset({ComparisonKind.IN, ComparisonKind.SWITCH})
+
+
+@dataclass(frozen=True)
+class ComparisonEvent:
+    """A single observed comparison of a tainted value.
+
+    Attributes:
+        kind: the comparison operator observed.
+        index: input index of the *first* character of the tainted operand.
+            For single-character comparisons this is the index of the
+            character itself; for ``STRCMP`` it is where the compared buffer
+            started in the input.
+        tainted_value: the concrete text of the tainted operand.
+        other_value: what it was compared against.  A single character for
+            relational kinds, a string for ``STRCMP``, a string of acceptable
+            characters for ``IN``/``SWITCH``.
+        result: the concrete outcome of the comparison (truth value, or the
+            sign for ``STRCMP``).
+        stack_depth: call-stack depth at the time of the comparison (feeds the
+            ``avgStackSize`` term of the paper's heuristic).
+        indices: input indices of every tainted character involved.  Empty
+            for the EOF sentinel, whose ``index`` equals ``len(input)``.
+        at_eof: True when the tainted operand is (or contains) the EOF
+            sentinel, i.e. the comparison happened past the end of the input.
+        clock: value of the coverage tracer's monotonic clock when the
+            comparison happened.  Lets the fuzzer count only the branches
+            covered *before* the first comparison of the last character
+            (paper §3.1).
+    """
+
+    kind: ComparisonKind
+    index: int
+    tainted_value: str
+    other_value: str
+    result: bool
+    stack_depth: int = 0
+    indices: Tuple[int, ...] = field(default=())
+    at_eof: bool = False
+    clock: int = 0
+
+    @property
+    def is_string_comparison(self) -> bool:
+        """True for multi-character (``strcmp``-style) comparisons."""
+        return self.kind is ComparisonKind.STRCMP
+
+    def replacement_candidates(self) -> Tuple[str, ...]:
+        """Values that would satisfy this comparison at :attr:`index`.
+
+        This is the core of the paper's substitution step: "replace the
+        character that was lastly compared with one of the values it was
+        compared to".  For character-class comparisons every member of the
+        class is a candidate; for string comparisons the whole expected
+        string is the (single) candidate.
+        """
+        if self.kind in SET_KINDS:
+            return tuple(dict.fromkeys(self.other_value))
+        if self.kind is ComparisonKind.STRCMP:
+            return (self.other_value,) if self.other_value else ()
+        if self.kind in (ComparisonKind.EQ, ComparisonKind.NE):
+            return (self.other_value,) if self.other_value else ()
+        # Relational comparisons (c <= '9', c >= 'a', ...) bound a range; the
+        # compared constant itself is always a satisfying witness.
+        return (self.other_value,) if self.other_value else ()
+
+
+@dataclass(frozen=True)
+class EOFEvent:
+    """The program accessed input index ``index`` past the end of the input.
+
+    The paper treats "any operation that tries to access past the end of a
+    given argument" as the parser encountering EOF before processing is
+    complete; the fuzzer responds by appending a character.
+    """
+
+    index: int
+    stack_depth: int = 0
+    clock: int = 0

@@ -1,0 +1,205 @@
+"""Tainted string proxy.
+
+Parsers accumulate input characters into buffers (identifiers, string
+literals, numbers) and then compare those buffers against expected values —
+typically keywords — using ``strcmp``.  :class:`TaintedStr` is the proxy for
+such buffers: it keeps, for every character, the input index it originated
+from (or ``None`` for characters the program synthesised itself), and records
+whole-buffer comparisons as ``STRCMP`` events.
+
+``STRCMP`` events are what let pFuzzer synthesise long keywords in one step:
+when the buffer ``"wh"`` built from input indices 3–4 is compared against
+``"while"``, the event says *"the input starting at index 3 was expected to
+be 'while'"*, and the fuzzer substitutes the full keyword (paper §6,
+discussion of AFL-CTP and Steelix).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.taint.events import ComparisonKind
+from repro.taint.recorder import current_recorder
+from repro.taint.tchar import TChar
+
+Appendable = Union["TaintedStr", TChar, str]
+
+
+class TaintedStr:
+    """An immutable string whose characters carry per-character taints.
+
+    Attributes:
+        text: the concrete string value.
+        taints: one entry per character: the originating input index, or
+            ``None`` for untainted characters.
+    """
+
+    __slots__ = ("text", "taints")
+
+    def __init__(self, text: str = "", taints: Optional[Iterable[Optional[int]]] = None) -> None:
+        self.text = text
+        if taints is None:
+            self.taints: Tuple[Optional[int], ...] = (None,) * len(text)
+        else:
+            self.taints = tuple(taints)
+        if len(self.taints) != len(self.text):
+            raise ValueError("taints must have one entry per character")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls) -> "TaintedStr":
+        """A fresh empty buffer (the parser idiom ``buf[0] = '\\0'``)."""
+        return cls("", ())
+
+    @classmethod
+    def from_char(cls, char: TChar) -> "TaintedStr":
+        """A one-character buffer from a tainted character."""
+        if char.is_eof:
+            return cls.empty()
+        return cls(char.value, (char.index,))
+
+    @staticmethod
+    def _coerce(value: Appendable) -> "TaintedStr":
+        if isinstance(value, TaintedStr):
+            return value
+        if isinstance(value, TChar):
+            return TaintedStr.from_char(value)
+        if isinstance(value, str):
+            return TaintedStr(value)
+        raise TypeError(f"cannot append {value!r} to TaintedStr")
+
+    def append(self, value: Appendable) -> "TaintedStr":
+        """Return a new buffer with ``value`` appended (taint accumulates)."""
+        other = self._coerce(value)
+        return TaintedStr(self.text + other.text, self.taints + other.taints)
+
+    def __add__(self, value: Appendable) -> "TaintedStr":
+        return self.append(value)
+
+    def __radd__(self, value: Appendable) -> "TaintedStr":
+        return self._coerce(value).append(self)
+
+    # ------------------------------------------------------------------ #
+    # Recording plumbing
+    # ------------------------------------------------------------------ #
+
+    def first_index(self) -> Optional[int]:
+        """Input index of the first tainted character, if any."""
+        for taint in self.taints:
+            if taint is not None:
+                return taint
+        return None
+
+    def tainted_indices(self) -> Tuple[int, ...]:
+        """All input indices present in the buffer, in buffer order."""
+        return tuple(t for t in self.taints if t is not None)
+
+    def _record_strcmp(self, other: str, result: bool) -> bool:
+        recorder = current_recorder()
+        index = self.first_index()
+        if recorder is not None and index is not None:
+            recorder.record(
+                ComparisonKind.STRCMP,
+                index,
+                self.text,
+                other,
+                result,
+                indices=self.tainted_indices(),
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TaintedStr):
+            return self._record_strcmp(other.text, self.text == other.text)
+        if isinstance(other, str):
+            return self._record_strcmp(other, self.text == other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return NotImplemented
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def startswith(self, prefix: str) -> bool:
+        """Recorded prefix check (the ``strncmp(buf, kw, n)`` idiom)."""
+        return self._record_strcmp(prefix, self.text.startswith(prefix))
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def __bool__(self) -> bool:
+        return bool(self.text)
+
+    def __getitem__(self, key: Union[int, slice]) -> Union[TChar, "TaintedStr"]:
+        if isinstance(key, slice):
+            return TaintedStr(self.text[key], self.taints[key])
+        taint = self.taints[key]
+        if taint is None:
+            # Untainted characters still flow through the parser; give them a
+            # harmless negative pseudo-index so comparisons do not crash but
+            # also never masquerade as real input positions.
+            return TChar(self.text[key], -1)
+        return TChar(self.text[key], taint)
+
+    def __iter__(self) -> Iterator[TChar]:
+        for position in range(len(self.text)):
+            yield self[position]
+
+    # ------------------------------------------------------------------ #
+    # Taint-preserving string operations
+    # ------------------------------------------------------------------ #
+
+    def strip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+        """Strip from both ends, keeping taints aligned."""
+        return self.lstrip(chars).rstrip(chars)
+
+    def lstrip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+        start = 0
+        while start < len(self.text) and self.text[start] in chars:
+            start += 1
+        return self[start:]
+
+    def rstrip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+        end = len(self.text)
+        while end > 0 and self.text[end - 1] in chars:
+            end -= 1
+        return self[:end]
+
+    def lower(self) -> "TaintedStr":
+        return TaintedStr(self.text.lower(), self.taints)
+
+    def upper(self) -> "TaintedStr":
+        return TaintedStr(self.text.upper(), self.taints)
+
+    def find_char(self, chars: str) -> int:
+        """Index (in the buffer) of the first character from ``chars``.
+
+        Each inspected character is recorded as an ``IN`` comparison, the
+        behaviour of a wrapped ``strpbrk``/``strchr`` scan.  Returns -1 when
+        no character matches.
+        """
+        for position, char in enumerate(self):
+            if char.in_set(chars):
+                return position
+        return -1
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"TaintedStr({self.text!r}, taints={list(self.taints)!r})"

@@ -1,0 +1,46 @@
+"""Dyck-path analysis (§3 footnote 2)."""
+
+import pytest
+
+from repro.analysis.dyck import catalan, closed_path_probability, simulate_random_walk
+
+
+def test_catalan_numbers():
+    assert [catalan(n) for n in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+
+
+def test_catalan_rejects_negative():
+    with pytest.raises(ValueError):
+        catalan(-1)
+
+
+def test_closed_probability_formula():
+    assert closed_path_probability(0) == 1.0
+    assert closed_path_probability(1) == 0.5
+    assert closed_path_probability(100) == pytest.approx(1 / 101)
+
+
+def test_paper_claim_one_percent_after_100():
+    """§3: 'After 100 characters, this probability is about 1%'."""
+    assert closed_path_probability(100) == pytest.approx(0.0099, abs=1e-4)
+
+
+def test_simulation_decreases_with_length():
+    short = simulate_random_walk(4, trials=20_000, seed=1)
+    long_ = simulate_random_walk(40, trials=20_000, seed=1)
+    assert short > long_
+
+
+def test_simulation_matches_catalan_fraction_roughly():
+    # For 2n steps, P(never negative AND ends at 0) = C_n / 2^(2n).
+    n = 3
+    expected = catalan(n) / 2 ** (2 * n)
+    observed = simulate_random_walk(2 * n, trials=60_000, seed=2)
+    assert observed == pytest.approx(expected, rel=0.1)
+
+
+def test_simulation_validates_input():
+    with pytest.raises(ValueError):
+        simulate_random_walk(3, trials=10)
+    with pytest.raises(ValueError):
+        simulate_random_walk(0, trials=10)

@@ -1,0 +1,33 @@
+"""§2 cost analysis: guesses per generated character."""
+
+from repro.analysis.guesses import best_cost_per_length, measure_guess_costs
+from repro.subjects.expr import ExprSubject
+
+
+def test_costs_are_cumulative_and_ordered():
+    costs = measure_guess_costs(ExprSubject(), budget=400, seed=1)
+    assert costs
+    executions = [cost.executions for cost in costs]
+    assert executions == sorted(executions)
+
+
+def test_first_valid_input_is_cheap():
+    """A first one-character valid input within a handful of guesses."""
+    costs = measure_guess_costs(ExprSubject(), budget=400, seed=1)
+    assert costs[0].executions <= 20
+
+
+def test_guesses_per_char_metric():
+    costs = measure_guess_costs(ExprSubject(), budget=400, seed=1)
+    for cost in costs:
+        if cost.text:
+            assert cost.guesses_per_char == cost.executions / len(cost.text)
+
+
+def test_best_cost_per_length_picks_minimum():
+    costs = measure_guess_costs(ExprSubject(), budget=400, seed=1)
+    best = best_cost_per_length(costs)
+    for length, cost in best.items():
+        assert cost.length == length
+        rivals = [c for c in costs if c.length == length]
+        assert cost.executions == min(r.executions for r in rivals)

@@ -1,0 +1,27 @@
+"""Naive DFS/BFS substitution searches (§3 motivations)."""
+
+from repro.analysis.search import bfs_search, dfs_search
+
+
+def test_both_find_trivial_valid_inputs(expr_subject):
+    for search in (dfs_search, bfs_search):
+        result = search(expr_subject, budget=200, seed=1)
+        assert result.valid_inputs
+        for text in result.valid_inputs:
+            assert expr_subject.accepts(text)
+
+
+def test_budget_respected(expr_subject):
+    result = bfs_search(expr_subject, budget=50, seed=1)
+    assert result.executions <= 50
+
+
+def test_dfs_goes_deep_bfs_stays_shallow(expr_subject):
+    dfs = dfs_search(expr_subject, budget=300, seed=1)
+    bfs = bfs_search(expr_subject, budget=300, seed=1)
+    assert dfs.max_depth_reached > bfs.max_depth_reached
+
+
+def test_max_length_respected(expr_subject):
+    result = dfs_search(expr_subject, budget=200, seed=1, max_length=10)
+    assert all(len(text) <= 10 for text in result.valid_inputs)

@@ -1,0 +1,79 @@
+"""AFL-style baseline: bitmap semantics and campaign behaviour."""
+
+from repro.baselines.afl import (
+    AFLConfig,
+    AFLFuzzer,
+    MAP_SIZE,
+    bitmap_of,
+    classify_count,
+)
+
+
+def test_classify_count_buckets():
+    assert classify_count(0) == 0
+    assert classify_count(1) == 1
+    assert classify_count(2) == 2
+    assert classify_count(3) == 3
+    assert classify_count(4) == 4
+    assert classify_count(7) == 4
+    assert classify_count(8) == 5
+    assert classify_count(16) == 6
+    assert classify_count(32) == 7
+    assert classify_count(128) == 8
+    assert classify_count(10_000) == 8
+
+
+def test_bitmap_indexes_within_map():
+    arcs = {("f", 1, 2): 1, ("f", 2, 3): 2, ("g", 1, 5): 3}
+    bitmap = bitmap_of(arcs)
+    assert all(0 <= index < MAP_SIZE for index in bitmap)
+    assert all(bucket >= 1 for bucket in bitmap.values())
+
+
+def test_seeded_with_space(ini_subject):
+    fuzzer = AFLFuzzer(ini_subject, AFLConfig(seed=1, max_executions=10))
+    result = fuzzer.run()
+    assert " " in result.valid_inputs  # the §5.1 seed is valid and kept
+
+
+def test_budget_respected(ini_subject):
+    result = AFLFuzzer(ini_subject, AFLConfig(seed=1, max_executions=150)).run()
+    assert result.executions <= 150
+
+
+def test_valid_outputs_are_valid(ini_subject):
+    result = AFLFuzzer(ini_subject, AFLConfig(seed=1, max_executions=600)).run()
+    assert result.valid_inputs
+    for text in result.valid_inputs:
+        assert ini_subject.accepts(text), repr(text)
+
+
+def test_queue_grows_beyond_seed(ini_subject):
+    fuzzer = AFLFuzzer(ini_subject, AFLConfig(seed=1, max_executions=800))
+    fuzzer.run()
+    assert len(fuzzer._queue) > 1
+
+
+def test_deterministic_with_seed(ini_subject):
+    first = AFLFuzzer(ini_subject, AFLConfig(seed=5, max_executions=300)).run()
+    second = AFLFuzzer(ini_subject, AFLConfig(seed=5, max_executions=300)).run()
+    assert first.valid_inputs == second.valid_inputs
+
+
+def test_havoc_respects_max_length(ini_subject):
+    config = AFLConfig(seed=1, max_executions=400, max_length=10)
+    fuzzer = AFLFuzzer(ini_subject, config)
+    result = fuzzer.run()
+    for entry in fuzzer._queue:
+        assert len(entry.data) <= config.max_length
+    for text in result.valid_inputs:
+        assert len(text) <= config.max_length
+
+
+def test_rarely_finds_keywords_on_json(json_subject):
+    """The paper's core AFL observation: no json keywords at modest budgets."""
+    result = AFLFuzzer(json_subject, AFLConfig(seed=1, max_executions=2000)).run()
+    corpus = " ".join(result.valid_inputs)
+    assert "true" not in corpus
+    assert "false" not in corpus
+    assert "null" not in corpus

@@ -1,0 +1,67 @@
+"""AFL deterministic stages and havoc mutation properties."""
+
+import random
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer, QueueEntry
+
+
+def make_fuzzer(ini_subject, **kwargs):
+    defaults = dict(seed=1, max_executions=10_000)
+    defaults.update(kwargs)
+    return AFLFuzzer(ini_subject, AFLConfig(**defaults))
+
+
+def test_deterministic_stage_covers_every_bit(ini_subject):
+    """Walking bitflips alone produce 8 mutants per byte."""
+    fuzzer = make_fuzzer(ini_subject, max_executions=10_000)
+    seen = []
+    original_run = fuzzer._run_and_consider
+
+    def spy(data):
+        seen.append(bytes(data))
+        return original_run(data)
+
+    fuzzer._run_and_consider = spy
+    entry = QueueEntry(bytearray(b"ab"), valid=True)
+    fuzzer._deterministic(entry)
+    # bitflips: 16, byteflip: 2, arith: 20, interesting: 18
+    assert len(seen) == 16 + 2 + 20 + 18
+    # Every single-bit flip of both bytes appears.
+    for position in range(2):
+        for bit in range(8):
+            expected = bytearray(b"ab")
+            expected[position] ^= 1 << bit
+            assert bytes(expected) in seen
+
+
+def test_deterministic_stage_stops_on_budget(ini_subject):
+    fuzzer = make_fuzzer(ini_subject, max_executions=5)
+    alive = fuzzer._deterministic(QueueEntry(bytearray(b"abcdef"), valid=True))
+    assert not alive
+    assert fuzzer._result.executions == 5
+
+
+def test_havoc_respects_length_bound(ini_subject):
+    fuzzer = make_fuzzer(ini_subject, max_length=16)
+    data = bytearray(b"0123456789")
+    for _ in range(300):
+        mutant = fuzzer._havoc_once(data)
+        assert len(mutant) <= 16
+
+
+def test_havoc_never_mutates_in_place(ini_subject):
+    fuzzer = make_fuzzer(ini_subject)
+    data = bytearray(b"stable")
+    for _ in range(100):
+        fuzzer._havoc_once(data)
+    assert data == bytearray(b"stable")
+
+
+def test_splice_uses_queue_material(ini_subject):
+    fuzzer = make_fuzzer(ini_subject, seed=3)
+    fuzzer._queue.append(QueueEntry(bytearray(b"[section]"), valid=True))
+    produced = set()
+    for _ in range(400):
+        produced.add(bytes(fuzzer._havoc_once(bytearray(b"a=1"))))
+    # At least one splice pulled bytes from the queued entry.
+    assert any(b"]" in mutant or b"[" in mutant for mutant in produced)

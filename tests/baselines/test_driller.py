@@ -1,0 +1,65 @@
+"""Driller-style hybrid: stagnation-triggered symbolic stints."""
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer
+from repro.baselines.driller import DrillerConfig, DrillerFuzzer
+
+
+def test_budget_respected(ini_subject):
+    result = DrillerFuzzer(
+        ini_subject, DrillerConfig(seed=1, max_executions=300)
+    ).run()
+    assert result.executions <= 300
+
+
+def test_outputs_are_valid(json_subject):
+    result = DrillerFuzzer(
+        json_subject, DrillerConfig(seed=1, max_executions=800)
+    ).run()
+    assert result.valid_inputs
+    for text in result.valid_inputs:
+        assert json_subject.accepts(text), repr(text)
+
+
+def test_stints_fire_on_stagnation(json_subject):
+    fuzzer = DrillerFuzzer(
+        json_subject,
+        DrillerConfig(seed=1, max_executions=3_000, stagnation_threshold=200),
+    )
+    fuzzer.run()
+    assert fuzzer.stints > 0
+
+
+def test_no_stints_before_threshold(ini_subject):
+    fuzzer = DrillerFuzzer(
+        ini_subject,
+        DrillerConfig(seed=1, max_executions=150, stagnation_threshold=10_000),
+    )
+    fuzzer.run()
+    assert fuzzer.stints == 0
+
+
+def test_drilling_finds_json_keywords(json_subject):
+    """The Driller pitch: symbolic stints get past keyword roadblocks the
+    havoc stage cannot guess."""
+    driller = DrillerFuzzer(
+        json_subject,
+        DrillerConfig(seed=1, max_executions=4_000, stagnation_threshold=300),
+    ).run()
+    afl = AFLFuzzer(json_subject, AFLConfig(seed=1, max_executions=4_000)).run()
+    driller_corpus = " ".join(driller.valid_inputs)
+    afl_corpus = " ".join(afl.valid_inputs)
+    found_by_driller = sum(
+        keyword in driller_corpus for keyword in ("true", "false", "null")
+    )
+    found_by_afl = sum(keyword in afl_corpus for keyword in ("true", "false", "null"))
+    assert found_by_driller > found_by_afl
+
+
+def test_deterministic_with_seed(json_subject):
+    first = DrillerFuzzer(
+        json_subject, DrillerConfig(seed=4, max_executions=400)
+    ).run()
+    second = DrillerFuzzer(
+        json_subject, DrillerConfig(seed=4, max_executions=400)
+    ).run()
+    assert first.valid_inputs == second.valid_inputs

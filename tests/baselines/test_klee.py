@@ -1,0 +1,102 @@
+"""KLEE-style baseline: decision flipping and exploration shape."""
+
+from repro.baselines.klee import KleeConfig, KleeExplorer
+from repro.taint.events import ComparisonEvent, ComparisonKind
+
+
+def explorer(subject, **kwargs):
+    defaults = dict(seed=1, max_executions=500)
+    defaults.update(kwargs)
+    return KleeExplorer(subject, KleeConfig(**defaults))
+
+
+def event(kind, index, other, result):
+    return ComparisonEvent(kind, index, "x", other, result)
+
+
+def test_flip_failed_eq_splices_value(json_subject):
+    klee = explorer(json_subject)
+    flipped = klee._flip("xyz", event(ComparisonKind.EQ, 1, "(", False))
+    assert flipped == "x(z"
+
+
+def test_flip_succeeded_eq_breaks_value(json_subject):
+    klee = explorer(json_subject)
+    flipped = klee._flip("x(z", event(ComparisonKind.EQ, 1, "(", True))
+    assert flipped is not None
+    assert flipped[1] != "("
+
+
+def strcmp_event(index, concrete, expected, result):
+    return ComparisonEvent(ComparisonKind.STRCMP, index, concrete, expected, result)
+
+
+def test_flip_strcmp_advances_one_character(json_subject):
+    # Symbolic execution forks per character of strcmp's loop: flipping the
+    # "nuXY" vs "null" decision fixes only the first mismatching character.
+    klee = explorer(json_subject)
+    flipped = klee._flip("nuXY", strcmp_event(0, "nuXY", "null", False))
+    assert flipped == "nulY"
+    # Next generation fixes the next character, and so on.
+    flipped = klee._flip("nulY", strcmp_event(0, "nulY", "null", False))
+    assert flipped == "null"
+
+
+def test_flip_strcmp_succeeded_breaks_first_char(json_subject):
+    klee = explorer(json_subject)
+    flipped = klee._flip("null", strcmp_event(0, "null", "null", True))
+    assert flipped is not None
+    assert flipped[0] != "n"
+
+
+def test_flip_class_membership(json_subject):
+    klee = explorer(json_subject)
+    flipped = klee._flip("x", event(ComparisonKind.IN, 0, "0123456789", False))
+    assert flipped is not None
+    assert flipped[0] in "0123456789"
+    flipped_out = klee._flip("5", event(ComparisonKind.IN, 0, "0123456789", True))
+    assert flipped_out is not None
+    assert flipped_out[0] not in "0123456789"
+
+
+def test_flip_relational_boundary(json_subject):
+    klee = explorer(json_subject)
+    # (c <= '9') was True; flipping wants c > '9'.
+    flipped = klee._flip("5", event(ComparisonKind.LE, 0, "9", True))
+    assert flipped is not None
+    assert flipped[0] > "9"
+
+
+def test_finds_json_keywords_quickly(json_subject):
+    """Constraint solving makes keywords easy (paper: KLEE covers most
+    json tokens)."""
+    result = explorer(json_subject, max_executions=2000).run()
+    corpus = set(result.valid_inputs)
+    assert any("null" in text for text in corpus)
+    assert any("true" in text for text in corpus)
+
+
+def test_budget_respected(json_subject):
+    result = explorer(json_subject, max_executions=120).run()
+    assert result.executions <= 120
+
+
+def test_valid_outputs_are_valid(ini_subject):
+    result = explorer(ini_subject, max_executions=800).run()
+    assert result.valid_inputs
+    for text in result.valid_inputs:
+        assert ini_subject.accepts(text), repr(text)
+
+
+def test_path_explosion_on_mjs(mjs_subject):
+    """§5.2: breadth-first exploration stays shallow on mjs."""
+    result = explorer(mjs_subject, max_executions=600).run()
+    # Almost all effort burns on short inputs; nothing beyond trivial
+    # lengths is reached within the budget.
+    assert all(len(text) <= 4 for text in result.valid_inputs)
+
+
+def test_deterministic_with_seed(json_subject):
+    first = explorer(json_subject, seed=2, max_executions=300).run()
+    second = explorer(json_subject, seed=2, max_executions=300).run()
+    assert first.valid_inputs == second.valid_inputs

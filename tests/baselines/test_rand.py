@@ -1,0 +1,36 @@
+"""Blind random fuzzer."""
+
+from repro.baselines.rand import RandomConfig, RandomFuzzer
+
+
+def test_budget_respected(ini_subject):
+    result = RandomFuzzer(ini_subject, RandomConfig(seed=1, max_executions=100)).run()
+    assert result.executions == 100
+
+
+def test_valid_inputs_are_valid(ini_subject):
+    result = RandomFuzzer(ini_subject, RandomConfig(seed=1, max_executions=300)).run()
+    for text in result.valid_inputs:
+        assert ini_subject.accepts(text)
+
+
+def test_deterministic_with_seed(csv_subject):
+    first = RandomFuzzer(csv_subject, RandomConfig(seed=3, max_executions=100)).run()
+    second = RandomFuzzer(csv_subject, RandomConfig(seed=3, max_executions=100)).run()
+    assert first.valid_inputs == second.valid_inputs
+
+
+def test_finds_shallow_inputs_on_permissive_subject(csv_subject):
+    # csv accepts most strings -> random fuzzing shines (paper §5.2).
+    result = RandomFuzzer(csv_subject, RandomConfig(seed=1, max_executions=200)).run()
+    assert len(result.valid_inputs) > 50
+
+
+def test_mostly_rejected_on_strict_subject(json_subject):
+    result = RandomFuzzer(json_subject, RandomConfig(seed=1, max_executions=200)).run()
+    assert result.rejected > 150
+
+
+def test_no_duplicate_valid_inputs(csv_subject):
+    result = RandomFuzzer(csv_subject, RandomConfig(seed=2, max_executions=200)).run()
+    assert len(result.valid_inputs) == len(set(result.valid_inputs))

@@ -1,0 +1,77 @@
+"""Steelix-style baseline: comparison-progress feedback."""
+
+from repro.baselines.afl import AFLConfig, AFLFuzzer
+from repro.baselines.steelix import SteelixConfig, SteelixFuzzer
+from repro.runtime.harness import run_subject
+
+
+def test_harvest_progress_advances_one_byte(json_subject):
+    fuzzer = SteelixFuzzer(json_subject, SteelixConfig(seed=1, max_executions=10))
+    run = run_subject(json_subject, "trXX")
+    fuzzer._harvest_progress(run)
+    mutants = {bytes(m).decode("latin-1") for m in fuzzer._magic_worklist}
+    # "tr" matched two bytes of "true": the next byte gets fixed, the rest
+    # stays (no truncation — Steelix mutates in place).
+    assert "truX" in mutants
+
+
+def test_no_progress_no_mutants(json_subject):
+    fuzzer = SteelixFuzzer(json_subject, SteelixConfig(seed=1, max_executions=10))
+    run = run_subject(json_subject, "XX")
+    fuzzer._harvest_progress(run)
+    assert not any(
+        bytes(m).decode("latin-1").startswith(("t", "f", "n"))
+        for m in fuzzer._magic_worklist
+    )
+
+
+def test_worklist_deduplicates(json_subject):
+    fuzzer = SteelixFuzzer(json_subject, SteelixConfig(seed=1, max_executions=10))
+    run = run_subject(json_subject, "trXX")
+    fuzzer._harvest_progress(run)
+    size = len(fuzzer._magic_worklist)
+    fuzzer._harvest_progress(run)
+    assert len(fuzzer._magic_worklist) == size
+
+
+def test_worklist_bounded(json_subject):
+    config = SteelixConfig(seed=1, max_executions=10, magic_worklist_limit=3)
+    fuzzer = SteelixFuzzer(json_subject, config)
+    for text in ("trAA", "trBB", "trCC", "trDD", "trEE"):
+        fuzzer._harvest_progress(run_subject(json_subject, text))
+    assert len(fuzzer._magic_worklist) <= 3
+
+
+def test_finds_json_keywords_where_afl_does_not(json_subject):
+    """The §6.2 comparison, made measurable."""
+    steelix = SteelixFuzzer(
+        json_subject, SteelixConfig(seed=1, max_executions=2_500)
+    ).run()
+    afl = AFLFuzzer(json_subject, AFLConfig(seed=1, max_executions=2_500)).run()
+    steelix_corpus = " ".join(steelix.valid_inputs)
+    afl_corpus = " ".join(afl.valid_inputs)
+    assert "true" in steelix_corpus or "null" in steelix_corpus
+    assert "true" not in afl_corpus and "null" not in afl_corpus
+
+
+def test_outputs_are_valid(json_subject):
+    result = SteelixFuzzer(
+        json_subject, SteelixConfig(seed=2, max_executions=800)
+    ).run()
+    for text in result.valid_inputs:
+        assert json_subject.accepts(text), repr(text)
+
+
+def test_budget_respected(ini_subject):
+    result = SteelixFuzzer(
+        ini_subject, SteelixConfig(seed=1, max_executions=200)
+    ).run()
+    assert result.executions <= 200
+
+
+def test_campaign_dispatch():
+    from repro.eval.campaign import run_campaign
+
+    output = run_campaign("steelix", "json", budget=150, seed=1)
+    assert output.tool == "steelix"
+    assert output.executions <= 150

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.subjects.registry import load_subject
+
+
+@pytest.fixture
+def expr_subject():
+    from repro.subjects.expr import ExprSubject
+
+    return ExprSubject()
+
+
+@pytest.fixture
+def ini_subject():
+    return load_subject("ini")
+
+
+@pytest.fixture
+def csv_subject():
+    return load_subject("csv")
+
+
+@pytest.fixture
+def json_subject():
+    return load_subject("json")
+
+
+@pytest.fixture
+def tinyc_subject():
+    return load_subject("tinyc")
+
+
+@pytest.fixture
+def mjs_subject():
+    return load_subject("mjs")

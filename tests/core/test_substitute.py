@@ -1,0 +1,61 @@
+"""Substitution derivation from comparison traces."""
+
+from repro.core.substitute import substitutions_for
+from repro.runtime.harness import run_subject
+
+
+def subs_texts(subject, text):
+    return {s.text for s in substitutions_for(run_subject(subject, text))}
+
+
+def test_first_char_substitutions_match_figure1(expr_subject):
+    texts = subs_texts(expr_subject, "A")
+    assert "(" in texts
+    assert "+" in texts and "-" in texts
+    assert {"0", "5", "9"} <= texts  # digit-class members
+
+
+def test_substitution_truncates_tail(expr_subject):
+    # "1A9": rejection at index 1; the '9' was never compared -> dropped.
+    texts = subs_texts(expr_subject, "1A9")
+    assert all(not t.startswith("1A") for t in texts)
+    assert "1+" in texts
+
+
+def test_eof_comparisons_append(expr_subject):
+    # "(2" runs out of input; substitutions extend the prefix.
+    texts = subs_texts(expr_subject, "(2")
+    assert "(2)" in texts
+    assert "(2+" in texts and "(2-" in texts
+
+
+def test_string_comparison_substitutes_whole_keyword(tinyc_subject):
+    texts = subs_texts(tinyc_subject, "wq")
+    assert "while" in texts
+    assert "do" in texts  # the whole keyword table was scanned
+
+
+def test_no_comparisons_no_substitutions(ini_subject):
+    # Valid empty input: ini never compares anything.
+    result = run_subject(ini_subject, "")
+    assert substitutions_for(result) == []
+
+
+def test_no_duplicate_texts(expr_subject):
+    result = run_subject(expr_subject, "A")
+    texts = [s.text for s in substitutions_for(result)]
+    assert len(texts) == len(set(texts))
+
+
+def test_substitution_records_metadata(expr_subject):
+    result = run_subject(expr_subject, "A")
+    substitutions = substitutions_for(result)
+    paren = next(s for s in substitutions if s.text == "(")
+    assert paren.replacement == "("
+    assert paren.at_index == 0
+
+
+def test_valid_input_substitutions_extend(expr_subject):
+    # A valid "1" still yields extension candidates from its EOF checks.
+    texts = subs_texts(expr_subject, "1")
+    assert "1+" in texts and "1-" in texts

@@ -1,0 +1,56 @@
+"""Campaign plumbing: tool dispatch, budgets, best-of-N."""
+
+import pytest
+
+from repro.eval.campaign import ToolOutput, best_of, run_campaign, run_campaigns
+
+
+def test_run_campaign_every_tool():
+    from repro.eval.campaign import TOOLS
+
+    assert set(TOOLS) == {"pfuzzer", "afl", "klee", "random", "steelix", "driller"}
+    for tool in TOOLS:
+        output = run_campaign(tool, "ini", budget=120, seed=1)
+        assert isinstance(output, ToolOutput)
+        assert output.tool == tool
+        assert output.subject == "ini"
+        assert output.executions <= 130  # driller's replay may overshoot by a few
+
+
+def test_unknown_tool_rejected():
+    with pytest.raises(ValueError, match="pfuzzer"):
+        run_campaign("libfuzzer", "ini", budget=10)
+
+
+def test_outputs_are_valid_inputs():
+    from repro.subjects.registry import load_subject
+
+    output = run_campaign("pfuzzer", "expr", budget=200, seed=1)
+    subject = load_subject("expr")
+    for text in output.valid_inputs:
+        assert subject.accepts(text)
+
+
+def test_best_of_picks_metric_max():
+    best = best_of(
+        "pfuzzer",
+        "expr",
+        budget=150,
+        metric=lambda output: len(output.valid_inputs),
+        repetitions=2,
+        base_seed=0,
+    )
+    other = run_campaign("pfuzzer", "expr", budget=150, seed=0)
+    assert len(best.valid_inputs) >= len(other.valid_inputs)
+
+
+def test_run_campaigns_grid():
+    grid = run_campaigns(["ini"], ["random", "klee"], default_budget=80, seed=1)
+    assert set(grid) == {("ini", "random"), ("ini", "klee")}
+
+
+def test_run_campaigns_budget_override():
+    grid = run_campaigns(
+        ["ini"], ["random"], budgets={"ini": 30}, default_budget=500, seed=1
+    )
+    assert grid[("ini", "random")].executions <= 30

@@ -1,0 +1,34 @@
+"""Code-coverage measurement (Figure 2 machinery)."""
+
+from repro.eval.code_cov import coverage_of_inputs, figure2
+
+
+def test_no_inputs_no_coverage():
+    assert coverage_of_inputs("expr", []) == 0.0
+
+
+def test_coverage_monotone_in_corpus():
+    small = coverage_of_inputs("expr", ["1"])
+    large = coverage_of_inputs("expr", ["1", "(1+2)-3"])
+    assert 0.0 < small <= large <= 100.0
+
+
+def test_richer_inputs_cover_more():
+    plain = coverage_of_inputs("json", ["1"])
+    rich = coverage_of_inputs("json", ['{"a":[true,false,null,"s",-1.5e2]}'])
+    assert rich > plain
+
+
+def test_coverage_bounded_by_100():
+    inputs = ["1", "(1)", "-2+3", "((4))-5"]
+    assert coverage_of_inputs("expr", inputs) <= 100.0
+
+
+def test_figure2_grid_shape():
+    valid = {
+        ("expr", "toolA"): ["1"],
+        ("expr", "toolB"): [],
+    }
+    grid = figure2(valid, subjects=["expr"], tools=["toolA", "toolB"])
+    assert set(grid) == {("expr", "toolA"), ("expr", "toolB")}
+    assert grid[("expr", "toolA")] > grid[("expr", "toolB")] == 0.0

@@ -1,0 +1,64 @@
+"""Corpus persistence round trips."""
+
+from repro.eval.campaign import ToolOutput, run_campaign
+from repro.eval.corpus import iter_corpus, load_corpus, revalidate, save_corpus
+
+
+def make_output(subject="ini", tool="pfuzzer", inputs=("a=1", "[s]\n")):
+    return ToolOutput(
+        tool=tool, subject=subject, seed=0, valid_inputs=list(inputs), executions=10
+    )
+
+
+def test_save_and_load_round_trip(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    written = save_corpus(path, make_output())
+    assert written == 2
+    assert load_corpus(path) == ["a=1", "[s]\n"]
+
+
+def test_control_characters_survive(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    nasty = ["\x00\x01", "line\nbreak", 'quote"inside', "tab\there"]
+    save_corpus(path, make_output(inputs=nasty))
+    assert load_corpus(path) == nasty
+
+
+def test_append_and_filter(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    save_corpus(path, make_output(subject="ini", tool="afl", inputs=("x=1",)))
+    save_corpus(path, make_output(subject="csv", tool="pfuzzer", inputs=("a,b",)))
+    assert load_corpus(path, subject="ini") == ["x=1"]
+    assert load_corpus(path, tool="pfuzzer") == ["a,b"]
+    assert load_corpus(path) == ["x=1", "a,b"]
+
+
+def test_malformed_lines_skipped(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    save_corpus(path, make_output(inputs=("good",)))
+    with open(path, "a") as handle:
+        handle.write("{not json\n")
+        handle.write('{"no_input_key": 1}\n')
+        handle.write("\n")
+    assert load_corpus(path) == ["good"]
+
+
+def test_iter_is_lazy(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    save_corpus(path, make_output(inputs=[f"i{i}" for i in range(100)]))
+    iterator = iter_corpus(path)
+    assert next(iterator) == "i0"
+
+
+def test_revalidate_drops_invalid():
+    kept = revalidate("ini", ["a=1", "no separator line", "[ok]"])
+    assert kept == ["a=1", "[ok]"]
+
+
+def test_real_campaign_round_trip(tmp_path):
+    output = run_campaign("pfuzzer", "expr", budget=150, seed=1)
+    path = tmp_path / "expr.jsonl"
+    save_corpus(path, output)
+    reloaded = load_corpus(path, subject="expr")
+    assert reloaded == output.valid_inputs
+    assert revalidate("expr", reloaded) == reloaded

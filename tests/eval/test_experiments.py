@@ -1,0 +1,46 @@
+"""End-to-end experiment runner (miniature budgets)."""
+
+import pytest
+
+from repro.eval.experiments import ExperimentReport, render_markdown, run_all
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_all(
+        budgets={"ini": 150, "csv": 150},
+        tools=("random", "pfuzzer"),
+        subjects=("ini", "csv"),
+        seeds=(1,),
+        measure_code_coverage=True,
+    )
+
+
+def test_report_grid_complete(tiny_report):
+    assert set(tiny_report.valid_inputs) == {
+        ("ini", "random"),
+        ("ini", "pfuzzer"),
+        ("csv", "random"),
+        ("csv", "pfuzzer"),
+    }
+    assert all(execs <= 150 for execs in tiny_report.executions.values())
+
+
+def test_report_aggregates_present(tiny_report):
+    assert set(tiny_report.aggregate_short) == {"random", "pfuzzer"}
+    for value in tiny_report.aggregate_short.values():
+        assert 0.0 <= value <= 100.0
+
+
+def test_render_markdown(tiny_report):
+    text = render_markdown(tiny_report)
+    assert "# Evaluation report" in text
+    assert "Table 1" in text
+    assert "Figure 3" in text
+    assert "instanceof" in text  # mjs token table rendered regardless
+
+
+def test_render_without_code_coverage():
+    report = ExperimentReport(("ini",), ("random",))
+    text = render_markdown(report)
+    assert "Figure 2" not in text

@@ -1,0 +1,138 @@
+"""Token extraction from generated inputs."""
+
+import pytest
+
+from repro.eval.extract import extract_tokens
+
+
+# ---------------------------------------------------------------------- #
+# ini
+# ---------------------------------------------------------------------- #
+
+
+def test_ini_section_tokens():
+    assert extract_tokens("ini", "[sec]\n") == {"[", "]", "name"}
+
+
+def test_ini_pair_tokens():
+    assert extract_tokens("ini", "a=1") == {"=", "name"}
+
+
+def test_ini_comment():
+    assert extract_tokens("ini", "; note") == {";"}
+
+
+def test_ini_inline_comment():
+    found = extract_tokens("ini", "a=1 ; note")
+    assert {";", "=", "name"} <= found
+
+
+def test_ini_colon_pair_has_no_equals_token():
+    assert "=" not in extract_tokens("ini", "a: 1")
+
+
+def test_ini_empty():
+    assert extract_tokens("ini", "  \n") == set()
+
+
+# ---------------------------------------------------------------------- #
+# csv
+# ---------------------------------------------------------------------- #
+
+
+def test_csv_fields_and_commas():
+    assert extract_tokens("csv", "a,b") == {",", "field"}
+    assert extract_tokens("csv", "abc") == {"field"}
+    assert extract_tokens("csv", ",") == {","}
+    assert extract_tokens("csv", "") == set()
+
+
+def test_csv_quoted_field():
+    assert extract_tokens("csv", '"a,b"') == {"field"}
+
+
+# ---------------------------------------------------------------------- #
+# json
+# ---------------------------------------------------------------------- #
+
+
+def test_json_structural():
+    assert extract_tokens("json", '{"a":[1,-2]}') == {
+        "{", "}", "[", "]", ":", ",", "-", "string", "number",
+    }
+
+
+def test_json_keywords():
+    assert extract_tokens("json", "[true,false,null]") == {
+        "[", "]", ",", "true", "false", "null",
+    }
+
+
+def test_json_string_with_escaped_quote():
+    assert extract_tokens("json", '"a\\"b"') == {"string"}
+
+
+def test_json_negative_number():
+    assert extract_tokens("json", "-5") == {"-", "number"}
+
+
+# ---------------------------------------------------------------------- #
+# tinyc
+# ---------------------------------------------------------------------- #
+
+
+def test_tinyc_full_statement():
+    found = extract_tokens("tinyc", "while (a<1) {b=b+2;}")
+    assert found == {
+        "while", "(", ")", "<", "{", "}", "=", "+", ";", "identifier", "number",
+    }
+
+
+def test_tinyc_keywords_not_identifiers():
+    assert extract_tokens("tinyc", "if (a) ; else ;") == {
+        "if", "else", "(", ")", ";", "identifier",
+    }
+
+
+def test_tinyc_invalid_input_best_effort():
+    # Extraction of a lexically broken input returns what was scanned.
+    assert extract_tokens("tinyc", "a=!") <= {"identifier", "=", "!"}
+
+
+# ---------------------------------------------------------------------- #
+# mjs
+# ---------------------------------------------------------------------- #
+
+
+def test_mjs_keywords_and_operators():
+    found = extract_tokens("mjs", "while (x >= 1) { x >>>= 2 }")
+    assert {"while", "(", ")", ">=", "{", "}", ">>>=", "identifier", "number"} <= found
+
+
+def test_mjs_builtin_names_are_their_own_tokens():
+    found = extract_tokens("mjs", "print(JSON.stringify(x))")
+    assert {"print", "JSON", "stringify", ".", "(", ")"} <= found
+    assert "identifier" in found  # x
+
+
+def test_mjs_plain_identifier_class():
+    assert "identifier" in extract_tokens("mjs", "someName")
+    assert "print" not in extract_tokens("mjs", "someName")
+
+
+def test_mjs_newline_token():
+    assert "newline" in extract_tokens("mjs", "a = 1\nb = 2")
+    assert "newline" not in extract_tokens("mjs", "a = 1; b = 2")
+
+
+def test_mjs_string_and_number():
+    assert {"string", "number"} <= extract_tokens("mjs", "'x' + 0x1F")
+
+
+def test_unknown_subject_raises():
+    with pytest.raises(KeyError, match="ini"):
+        extract_tokens("nope", "x")
+
+
+def test_invalid_input_returns_empty_or_partial():
+    assert extract_tokens("mjs", "'unterminated") == set()

@@ -1,0 +1,32 @@
+"""Text plots."""
+
+from repro.eval.plots import sparkline, step_curve
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] < line[-1]
+
+
+def test_sparkline_constant_and_empty():
+    assert sparkline([]) == ""
+    assert len(set(sparkline([5, 5, 5]))) == 1
+
+
+def test_sparkline_monotone_mapping():
+    line = sparkline([0, 10, 5])
+    assert line[1] == max(line)
+
+
+def test_step_curve_rows():
+    text = step_curve([(10, 1), (50, 2), (100, 3)])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + 3 points
+    assert "100" in lines[-1]
+    # Bars grow with x.
+    assert lines[-1].count("#") > lines[1].count("#")
+
+
+def test_step_curve_empty():
+    assert step_curve([]) == "(no data)"

@@ -1,0 +1,55 @@
+"""Report rendering produces paper-shaped text blocks."""
+
+from repro.eval.report import (
+    render_aggregates,
+    render_figure2,
+    render_figure3,
+    render_table,
+    render_table1,
+    render_token_table,
+)
+from repro.eval.token_cov import token_coverage
+
+
+def test_render_table_alignment():
+    text = render_table(("A", "Long"), [("x", "y"), ("longer", "z")])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines if "|" in line)) == 1
+
+
+def test_render_table1_contains_subjects():
+    text = render_table1()
+    for name in ("ini", "csv", "json", "tinyc", "mjs", "10920"):
+        assert name in text
+
+
+def test_render_token_table_examples_truncated():
+    text = render_token_table("mjs", max_examples=3)
+    assert "..." in text
+    assert "Length" in text
+
+
+def test_render_figure2_bars():
+    text = render_figure2(
+        {("ini", "afl"): 75.0, ("ini", "pfuzzer"): 50.0},
+        subjects=["ini"],
+        tools=["afl", "pfuzzer"],
+    )
+    assert "ini" in text
+    afl_line = next(line for line in text.splitlines() if "afl" in line)
+    pf_line = next(line for line in text.splitlines() if "pfuzzer" in line)
+    assert afl_line.count("#") > pf_line.count("#")
+
+
+def test_render_figure3_grid():
+    coverages = {("json", "pfuzzer"): token_coverage("json", ["[true]"])}
+    text = render_figure3(coverages, subjects=["json"], tools=["pfuzzer", "afl"])
+    assert "2/8" in text  # length-1 tokens found
+    assert "pfuzzer" in text and "afl" in text
+
+
+def test_render_aggregates():
+    text = render_aggregates({"afl": 91.5, "pfuzzer": 81.9}, {"afl": 5.0, "pfuzzer": 52.5})
+    assert "91.5%" in text
+    assert "52.5%" in text

@@ -1,0 +1,36 @@
+"""Report rendering edge cases."""
+
+from repro.eval.report import render_figure2, render_figure3, render_token_table
+from repro.eval.token_cov import token_coverage
+
+
+def test_token_table_for_flat_subjects():
+    for subject in ("ini", "csv"):
+        text = render_token_table(subject, max_examples=10)
+        assert "Length" in text
+        assert "1" in text
+
+
+def test_figure2_missing_cells_render_as_zero():
+    text = render_figure2({}, subjects=["ini"], tools=["afl"])
+    assert "0.0" in text
+
+
+def test_figure3_missing_coverage_renders_blank_row():
+    text = render_figure3({}, subjects=["ini"], tools=["afl"])
+    lines = [line for line in text.splitlines() if "afl" in line]
+    assert lines  # row exists even with no data
+
+
+def test_figure3_total_column_consistent():
+    coverage = token_coverage("tinyc", ["while (1<a) ;", "a=b+1;"])
+    text = render_figure3(
+        {("tinyc", "pfuzzer"): coverage}, subjects=["tinyc"], tools=["pfuzzer"]
+    )
+    total = f"{coverage.total_found}/{coverage.total_possible}"
+    assert total in text
+
+
+def test_zero_width_inputs_do_not_crash():
+    coverage = token_coverage("json", [""])
+    assert coverage.total_found == 0

@@ -1,0 +1,76 @@
+"""Discovery curves and efficiency summaries."""
+
+import math
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.stats import (
+    CampaignStats,
+    discovery_curve,
+    executions_to_reach,
+    summarize,
+)
+from repro.subjects.registry import load_subject
+
+
+def test_curve_is_monotone():
+    curve = discovery_curve(
+        "json", [(10, "1"), (20, "[1]"), (30, "true"), (40, "2")]
+    )
+    counts = [point.tokens_found for point in curve]
+    assert counts == sorted(counts)
+    executions = [point.executions for point in curve]
+    assert executions == sorted(executions)
+
+
+def test_curve_skips_no_discovery_emissions():
+    curve = discovery_curve("json", [(5, "1"), (9, "2"), (12, "[3]")])
+    # "2" discovers nothing new -> no point (after the initial one).
+    assert [point.executions for point in curve] == [5, 12]
+
+
+def test_curve_empty_log():
+    assert discovery_curve("json", []) == []
+
+
+def test_executions_to_reach():
+    curve = discovery_curve("json", [(5, "1"), (50, "[true]")])
+    assert executions_to_reach(curve, 1) == 5
+    assert executions_to_reach(curve, 3) == 50
+    assert executions_to_reach(curve, 99) == -1
+
+
+def test_summarize_counts():
+    stats = summarize("json", ["1", "[true]"], executions=100)
+    assert stats.valid_inputs == 2
+    assert stats.tokens_found == 4  # number, [, ], true
+    assert stats.validity_rate == 0.02
+    assert stats.executions_per_token == 25.0
+
+
+def test_summarize_empty():
+    stats = summarize("json", [], executions=0)
+    assert stats.validity_rate == 0.0
+    assert math.isinf(stats.executions_per_token)
+
+
+def test_real_campaign_curve():
+    result = PFuzzer(
+        load_subject("json"), FuzzerConfig(seed=3, max_executions=1_500)
+    ).run()
+    curve = discovery_curve("json", result.emit_log)
+    assert curve
+    assert curve[-1].tokens_found >= 5
+    keyword_cost = executions_to_reach(curve, curve[-1].tokens_found)
+    assert 0 < keyword_cost <= result.executions
+
+
+def test_pfuzzer_cheaper_per_token_than_random():
+    """§5.2 'fewer tests by orders of magnitude', as executions/token."""
+    from repro.eval.campaign import run_campaign
+
+    pf = run_campaign("pfuzzer", "json", 1_500, seed=3)
+    rand = run_campaign("random", "json", 1_500, seed=3)
+    pf_stats = summarize("json", pf.valid_inputs, pf.executions)
+    rand_stats = summarize("json", rand.valid_inputs, rand.executions)
+    assert pf_stats.executions_per_token < rand_stats.executions_per_token

@@ -1,0 +1,43 @@
+"""Tables 1-4 generation."""
+
+from repro.eval.tables import Table1Row, check_against_paper, table1, token_table
+
+
+def test_table1_rows():
+    rows = table1()
+    assert [row.name for row in rows] == ["ini", "csv", "json", "tinyc", "mjs"]
+    for row in rows:
+        assert isinstance(row, Table1Row)
+        assert row.paper_loc > 0
+        assert row.repro_sloc > 0
+
+
+def test_table1_mjs_largest():
+    rows = {row.name: row for row in table1()}
+    assert rows["mjs"].repro_sloc == max(row.repro_sloc for row in table1())
+    assert rows["mjs"].paper_loc == 10920
+
+
+def test_token_table_json():
+    table = token_table("json")
+    assert table[1][0] == 8
+    assert "number" in table[1][1]
+    assert table[2] == (1, ("string",))
+    assert set(table[4][1]) == {"null", "true"}
+    assert table[5] == (1, ("false",))
+
+
+def test_token_table_tinyc():
+    table = token_table("tinyc")
+    assert table[1][0] == 11
+    assert set(table[2][1]) == {"if", "do"}
+
+
+def test_check_against_paper_all_tabled_subjects():
+    for subject in ("json", "tinyc", "mjs"):
+        assert check_against_paper(subject), subject
+
+
+def test_check_against_paper_untabled_subjects_pass():
+    assert check_against_paper("ini")
+    assert check_against_paper("csv")

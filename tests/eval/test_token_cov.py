@@ -1,0 +1,53 @@
+"""Token coverage accounting (Figure 3 machinery)."""
+
+from repro.eval.token_cov import TokenCoverage, aggregate_by_length, token_coverage
+
+
+def test_token_coverage_counts_by_length():
+    coverage = token_coverage("json", ["[true]", '"x"'])
+    assert coverage.found == {"[", "]", "true", "string"}
+    assert coverage.by_length[1] == (2, 8)
+    assert coverage.by_length[2] == (1, 1)
+    assert coverage.by_length[4] == (1, 2)
+    assert coverage.by_length[5] == (0, 1)
+
+
+def test_totals_and_percent():
+    coverage = token_coverage("json", ["[true]"])
+    assert coverage.total_found == 3
+    assert coverage.total_possible == 12
+    assert coverage.percent() == 25.0
+
+
+def test_missing_tokens():
+    coverage = token_coverage("json", ["[true]"])
+    assert "false" in coverage.missing()
+    assert "true" not in coverage.missing()
+
+
+def test_empty_inputs_cover_nothing():
+    coverage = token_coverage("tinyc", [])
+    assert coverage.total_found == 0
+    assert coverage.percent() == 0.0
+
+
+def test_aggregate_by_length_pools_over_subjects():
+    json_cov = token_coverage("json", ["[true,false,null]", '{"a":-1}'])
+    tinyc_cov = token_coverage("tinyc", ["while (a<1) ;", "if (b) ; else ;", "do ; while (1);"])
+    short, long_ = aggregate_by_length([json_cov, tinyc_cov])
+    assert 0.0 < short <= 100.0
+    assert long_ == 100.0  # true false null else while do(if len2)... see below
+
+
+def test_aggregate_split_boundary():
+    json_cov = token_coverage("json", ["true"])
+    short, long_ = aggregate_by_length([json_cov], split=3)
+    assert short == 0.0
+    assert long_ == 100.0 / 3  # true of {true, null, false}
+
+
+def test_full_coverage_is_100():
+    inputs = ['{"k":[1,-2,true,false,null]}', '"s"']
+    coverage = token_coverage("json", inputs)
+    assert coverage.percent() == 100.0
+    assert coverage.missing() == set()

@@ -1,0 +1,85 @@
+"""Token inventories match the paper's tables exactly."""
+
+from repro.eval.tokens import (
+    MJS_BUILTIN_NAME_TOKENS,
+    PAPER_TOKEN_COUNTS,
+    TOKEN_INVENTORIES,
+    inventory_by_length,
+)
+
+
+def counts(subject):
+    return {length: len(names) for length, names in inventory_by_length(subject).items()}
+
+
+def test_json_matches_table2():
+    assert counts("json") == {1: 8, 2: 1, 4: 2, 5: 1}
+
+
+def test_tinyc_matches_table3():
+    assert counts("tinyc") == {1: 11, 2: 2, 4: 1, 5: 1}
+
+
+def test_mjs_matches_table4():
+    assert counts("mjs") == {1: 27, 2: 24, 3: 13, 4: 10, 5: 9, 6: 7, 7: 3, 8: 3, 9: 2, 10: 1}
+
+
+def test_mjs_total_99():
+    assert len(TOKEN_INVENTORIES["mjs"]) == 99
+
+
+def test_ini_has_five_csv_has_two():
+    assert len(TOKEN_INVENTORIES["ini"]) == 5
+    assert len(TOKEN_INVENTORIES["csv"]) == 2
+
+
+def test_token_lengths_consistent():
+    """A concrete token's classified length equals its spelling length."""
+    classes = {"number", "string", "identifier", "name", "field", "newline"}
+    for subject, inventory in TOKEN_INVENTORIES.items():
+        for token in inventory:
+            if token.name in classes:
+                continue
+            assert token.length == len(token.name), (subject, token)
+
+
+def test_no_duplicate_tokens():
+    for subject, inventory in TOKEN_INVENTORIES.items():
+        names = [token.name for token in inventory]
+        assert len(names) == len(set(names)), subject
+
+
+def test_paper_table_examples_present():
+    mjs = {token.name for token in TOKEN_INVENTORIES["mjs"]}
+    # Every example the paper prints in Table 4 appears in the inventory.
+    for example in (
+        "{", "[", "(", "+", "&", "?", "identifier", "number",
+        "+=", "==", "++", "/=", "&=", "|=", "!=", "if", "in", "string",
+        "===", "!==", "<<=", ">>>", "for", "try", "let",
+        ">>>=", "true", "null", "void", "with", "else",
+        "false", "throw", "while", "break", "catch",
+        "return", "delete", "typeof", "Object",
+        "default", "finally", "indexOf",
+        "continue", "function", "debugger",
+        "undefined", "stringify",
+        "instanceof",
+    ):
+        assert example in mjs, example
+
+
+def test_mjs_keywords_are_lexer_keywords():
+    from repro.subjects.mjs.tokens import KEYWORDS
+
+    mjs = {token.name for token in TOKEN_INVENTORIES["mjs"]}
+    for keyword in KEYWORDS:
+        assert keyword in mjs, keyword
+
+
+def test_builtin_name_tokens_in_inventory():
+    mjs = {token.name for token in TOKEN_INVENTORIES["mjs"]}
+    assert MJS_BUILTIN_NAME_TOKENS <= mjs
+
+
+def test_paper_counts_constant_agrees():
+    for subject, expected in PAPER_TOKEN_COUNTS.items():
+        assert counts(subject) == expected, subject

@@ -1,0 +1,62 @@
+"""Cross-cutting invariants of the whole pipeline, per subject."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.extract import extract_tokens
+from repro.eval.tokens import TOKEN_INVENTORIES
+from repro.runtime.harness import run_subject
+from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+BUDGETS = {"ini": 300, "csv": 300, "json": 500, "tinyc": 500, "mjs": 600}
+
+
+@pytest.fixture(scope="module", params=SUBJECT_NAMES)
+def campaign(request):
+    name = request.param
+    subject = load_subject(name)
+    result = PFuzzer(
+        subject, FuzzerConfig(seed=3, max_executions=BUDGETS[name])
+    ).run()
+    return name, subject, result
+
+
+def test_every_emitted_input_is_valid(campaign):
+    name, subject, result = campaign
+    for text in result.valid_inputs:
+        assert subject.accepts(text), (name, text)
+
+
+def test_extracted_tokens_come_from_inventory(campaign):
+    name, _, result = campaign
+    inventory = {token.name for token in TOKEN_INVENTORIES[name]}
+    for text in result.valid_inputs:
+        assert extract_tokens(name, text) <= inventory, (name, text)
+
+
+def test_valid_branch_union_matches_reruns(campaign):
+    """vBr is exactly the union of the emitted inputs' branches: the
+    tracer must be deterministic for the claim to hold."""
+    name, subject, result = campaign
+    rerun_union = frozenset()
+    for text in result.valid_inputs:
+        rerun_union |= run_subject(subject, text).branches
+    assert rerun_union == result.valid_branches, name
+
+
+def test_execution_accounting(campaign):
+    _, _, result = campaign
+    assert result.executions <= max(BUDGETS.values())
+    assert result.rejected + result.hangs <= result.executions
+
+
+def test_emitted_inputs_have_increasing_coverage(campaign):
+    """Each emission covered something new at its time: replaying the
+    emission order must grow the union strictly at every step."""
+    name, subject, result = campaign
+    union = frozenset()
+    for text in result.valid_inputs:
+        branches = run_subject(subject, text).branches
+        assert branches - union, (name, text)
+        union |= branches

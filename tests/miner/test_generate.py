@@ -1,0 +1,59 @@
+"""Grammar-based generation from mined grammars."""
+
+from repro.miner.generate import GrammarFuzzer
+from repro.miner.grammar import Grammar, NONTERM, TERM
+from repro.miner.mine import mine_grammar
+
+
+def paren_grammar():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "x"),))
+    grammar.add_rule("s", ((TERM, "("), (NONTERM, "s"), (TERM, ")")))
+    return grammar
+
+
+def test_generation_terminates_on_recursive_grammar():
+    fuzzer = GrammarFuzzer(paren_grammar(), seed=1, max_depth=5)
+    for _ in range(50):
+        sentence = fuzzer.generate()
+        assert sentence.count("(") == sentence.count(")")
+        assert sentence.endswith("x") or "x" in sentence
+
+
+def test_depth_budget_bounds_nesting():
+    fuzzer = GrammarFuzzer(paren_grammar(), seed=2, max_depth=4)
+    assert all(s.count("(") <= 5 for s in fuzzer.generate_many(100))
+
+
+def test_terminates_without_terminal_only_alternative():
+    grammar = Grammar("a")
+    grammar.add_rule("a", ((TERM, "x"), (NONTERM, "b")))
+    grammar.add_rule("a", ((NONTERM, "a"),))
+    grammar.add_rule("b", ((TERM, "y"),))
+    fuzzer = GrammarFuzzer(grammar, seed=3, max_depth=3)
+    assert fuzzer.generate() in ("xy",)
+
+
+def test_deterministic_with_seed():
+    first = GrammarFuzzer(paren_grammar(), seed=7).generate_many(10)
+    second = GrammarFuzzer(paren_grammar(), seed=7).generate_many(10)
+    assert first == second
+
+
+def test_mine_then_generate_round_trip(expr_subject):
+    """The §7.4 pipeline: pFuzzer corpus -> grammar -> deep valid inputs."""
+    corpus = ["1", "1+1", "(2-94)", "-1", "(1)", "12"]
+    grammar = mine_grammar(expr_subject, corpus)
+    fuzzer = GrammarFuzzer(grammar, seed=5, max_depth=8)
+    generated = fuzzer.generate_many(30)
+    accepted = sum(expr_subject.accepts(text) for text in generated)
+    assert accepted == len(generated)
+    # And the generated corpus reaches deeper nesting than the mined one.
+    assert max(text.count("(") for text in generated) > max(
+        text.count("(") for text in corpus
+    )
+
+
+def test_unknown_start_yields_empty():
+    fuzzer = GrammarFuzzer(paren_grammar(), seed=1)
+    assert fuzzer.generate("missing") == ""

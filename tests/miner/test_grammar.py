@@ -1,0 +1,42 @@
+"""Grammar representation."""
+
+from repro.miner.grammar import Grammar, NONTERM, TERM
+
+
+def make():
+    grammar = Grammar("start")
+    grammar.add_rule("start", ((NONTERM, "expr"),))
+    grammar.add_rule("expr", ((TERM, "1"),))
+    grammar.add_rule("expr", ((TERM, "("), (NONTERM, "expr"), (TERM, ")")))
+    return grammar
+
+
+def test_add_rule_dedupes():
+    grammar = make()
+    grammar.add_rule("expr", ((TERM, "1"),))
+    assert len(grammar.rules["expr"]) == 2
+
+
+def test_nonterminals():
+    assert make().nonterminals() == {"start", "expr"}
+
+
+def test_is_recursive():
+    grammar = make()
+    assert grammar.is_recursive("expr")
+    assert not grammar.is_recursive("start")
+
+
+def test_prune_drops_dangling_references():
+    grammar = make()
+    grammar.add_rule("expr", ((NONTERM, "ghost"), (TERM, "x")))
+    grammar.prune()
+    for expansion in grammar.rules["expr"]:
+        for kind, value in expansion:
+            assert kind == TERM or value in grammar.rules
+
+
+def test_str_rendering():
+    text = str(make())
+    assert "<expr> ::=" in text
+    assert "'('" in text

@@ -1,0 +1,54 @@
+"""Grammar mining from instrumented runs."""
+
+from repro.miner.grammar import NONTERM, TERM
+from repro.miner.mine import GrammarMiner, mine_grammar
+
+
+def test_mined_grammar_has_parser_function_nonterminals(expr_subject):
+    grammar = mine_grammar(expr_subject, ["1+1", "(2)"])
+    names = grammar.nonterminals()
+    assert "_expression" in names
+    assert "_factor" in names
+    assert "_number" in names
+
+
+def test_mined_terminals_are_clean(expr_subject):
+    # Number rules must contain digits only — peeked delimiters belong to
+    # the consuming frame, not the peeking one.
+    grammar = mine_grammar(expr_subject, ["1+1", "(2-94)"])
+    for expansion in grammar.rules["_number"]:
+        for kind, value in expansion:
+            assert kind == TERM
+            assert value.isdigit(), value
+
+
+def test_mined_grammar_is_recursive(expr_subject):
+    grammar = mine_grammar(expr_subject, ["(1)", "((2))"])
+    assert grammar.is_recursive("_expression")
+
+
+def test_rejected_inputs_skipped(expr_subject):
+    miner = GrammarMiner(expr_subject)
+    assert miner.add_input("1")
+    assert not miner.add_input("A")
+    grammar = miner.finish()
+    assert "_number" in grammar.nonterminals()
+
+
+def test_alternatives_accumulate_across_inputs(expr_subject):
+    grammar = mine_grammar(expr_subject, ["1", "1+1", "1-1"])
+    expansions = grammar.rules["_expression"]
+    assert len(expansions) >= 3  # plain, plus, minus
+
+
+def test_mining_tinyc_keywords(tinyc_subject):
+    grammar = mine_grammar(tinyc_subject, ["while (1<a) ;", "a=1;"])
+    rendered = str(grammar)
+    assert "while" in rendered
+    assert "statement" in rendered or "_statement" in rendered
+
+
+def test_start_rule_links_to_root(expr_subject):
+    grammar = mine_grammar(expr_subject, ["1"], start="S")
+    assert grammar.start == "S"
+    assert grammar.rules["S"]

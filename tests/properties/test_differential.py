@@ -1,0 +1,104 @@
+"""Differential property tests: subjects vs reference implementations."""
+
+import json as json_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.stream import InputStream
+from repro.subjects.cjson import CJsonSubject
+from repro.subjects.expr import ExprSubject
+from repro.tables.subjects import TableExprSubject
+
+# ---------------------------------------------------------------------- #
+# Random expression ASTs rendered to text
+# ---------------------------------------------------------------------- #
+
+expr_asts = st.recursive(
+    st.integers(min_value=0, max_value=999).map(str),
+    lambda children: st.one_of(
+        st.tuples(children, st.sampled_from("+-"), children).map(
+            lambda t: f"{t[0]}{t[1]}{t[2]}"
+        ),
+        children.map(lambda e: f"({e})"),
+        st.tuples(st.sampled_from("+-"), children).map(lambda t: f"({t[0]}{t[1]})"),
+    ),
+    max_leaves=8,
+)
+
+
+@given(expr_asts)
+@settings(max_examples=80, deadline=None)
+def test_expr_value_matches_python_eval(text):
+    subject = ExprSubject()
+    value = subject.parse(InputStream(text))
+    # Python evaluates the same surface syntax identically (no leading-zero
+    # literals: our renderer emits plain decimal integers).
+    expected = eval(text.replace("(", "( ").replace(")", " )"))  # noqa: S307
+    assert value == expected
+
+
+@given(expr_asts)
+@settings(max_examples=60, deadline=None)
+def test_table_parser_accepts_expr_language(text):
+    """The LL(1) table grammar accepts everything the recursive-descent
+    expr subject accepts (it is a superset: extra unary signs allowed)."""
+    recursive = ExprSubject()
+    table = TableExprSubject()
+    assert recursive.accepts(text)
+    assert table.accepts(text)
+
+
+# ---------------------------------------------------------------------- #
+# JSON acceptance agrees with the stdlib on its common surface
+# ---------------------------------------------------------------------- #
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.text(alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+@given(json_values)
+@settings(max_examples=60, deadline=None)
+def test_json_accepts_everything_stdlib_emits(value):
+    subject = CJsonSubject()
+    encoded = json_module.dumps(value)
+    assert subject.accepts(encoded), encoded
+
+
+@given(st.text(alphabet="{}[],:truefalsn01-. \"", max_size=12))
+@settings(max_examples=120, deadline=None)
+def test_json_rejection_agrees_with_stdlib(text):
+    """Near-JSON garbage: whenever the stdlib rejects, so do we.
+
+    (The converse is not asserted: cJSON is stricter in a few corners,
+    e.g. strtod number prefixes and nesting limits.)
+    """
+    subject = CJsonSubject()
+    try:
+        json_module.loads(text)
+        stdlib_accepts = True
+    except (ValueError, RecursionError):
+        stdlib_accepts = False
+    if not stdlib_accepts and subject.accepts(text):
+        stripped = text.strip()
+        # Documented divergences where cJSON is *more* lenient:
+        #   - whitespace-only input (§5.1 driver setup);
+        #   - strtod-style numbers the stdlib rejects ("00", "1.", "-0.").
+        if stripped and not all(ord(c) <= 0x20 for c in text):
+            try:
+                float(stripped)
+            except ValueError:
+                raise AssertionError(
+                    f"accepted non-number input the stdlib rejects: {text!r}"
+                )

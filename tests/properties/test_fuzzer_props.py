@@ -1,0 +1,64 @@
+"""Property tests on the fuzzer and its data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import Candidate
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.core.queue import CandidateQueue
+from repro.subjects.expr import ExprSubject
+from repro.subjects.registry import load_subject
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_pfuzzer_outputs_always_valid_expr(seed):
+    """The paper's by-construction guarantee, for arbitrary seeds."""
+    subject = ExprSubject()
+    result = PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=120)).run()
+    for text in result.valid_inputs:
+        assert subject.accepts(text), (seed, text)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=4, deadline=None)
+def test_pfuzzer_outputs_always_valid_ini(seed):
+    subject = load_subject("ini")
+    result = PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=80)).run()
+    for text in result.valid_inputs:
+        assert subject.accepts(text), (seed, text)
+
+
+@given(
+    scores=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=16), max_size=40
+    )
+)
+def test_queue_pops_in_score_order(scores):
+    table = {f"c{i}": score for i, score in enumerate(scores)}
+    queue = CandidateQueue(lambda c: table[c.text])
+    for name in table:
+        queue.push(Candidate(name))
+    popped = []
+    while True:
+        candidate = queue.pop()
+        if candidate is None:
+            break
+        popped.append(table[candidate.text])
+    assert popped == sorted(popped, reverse=True)
+
+
+@given(
+    scores=st.lists(st.integers(min_value=-100, max_value=100), max_size=30),
+    limit=st.integers(min_value=1, max_value=10),
+)
+def test_queue_limit_keeps_best(scores, limit):
+    table = {f"c{i}": float(score) for i, score in enumerate(scores)}
+    queue = CandidateQueue(lambda c: table[c.text], limit=limit)
+    for name in table:
+        queue.push(Candidate(name))
+    first = queue.pop()
+    if table:
+        assert first is not None
+        assert table[first.text] == max(table.values())

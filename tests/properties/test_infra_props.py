@@ -1,0 +1,96 @@
+"""Property tests on infrastructure: AFL bitmap, substitutions, miner."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.afl import MAP_SIZE, bitmap_of, classify_count
+from repro.core.substitute import substitutions_for
+from repro.miner.generate import GrammarFuzzer
+from repro.miner.mine import mine_grammar
+from repro.runtime.harness import run_subject
+from repro.subjects.expr import ExprSubject
+
+# ---------------------------------------------------------------------- #
+# AFL bitmap
+# ---------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_classify_count_monotone_and_bounded(count):
+    bucket = classify_count(count)
+    assert 0 <= bucket <= 8
+    if count > 0:
+        assert bucket >= 1
+        assert classify_count(count + 1) >= bucket or count in (3, 7, 15, 31, 127)
+
+
+arcs_strategy = st.dictionaries(
+    st.tuples(
+        st.sampled_from(["f", "g"]),
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=400),
+    ),
+    st.integers(min_value=1, max_value=10),
+    max_size=60,
+)
+
+
+@given(arcs_strategy)
+def test_bitmap_within_map_and_deterministic(arcs):
+    first = bitmap_of(arcs)
+    second = bitmap_of(arcs)
+    assert first == second
+    assert all(0 <= index < MAP_SIZE for index in first)
+    assert len(first) <= len(arcs)
+
+
+# ---------------------------------------------------------------------- #
+# Substitutions
+# ---------------------------------------------------------------------- #
+
+short_inputs = st.text(alphabet=string.printable[:70], max_size=8)
+
+
+@given(short_inputs)
+@settings(max_examples=60, deadline=None)
+def test_substitutions_are_unique_and_differ_from_input(text):
+    subject = ExprSubject()
+    result = run_subject(subject, text)
+    substitutions = substitutions_for(result)
+    texts = [s.text for s in substitutions]
+    assert len(texts) == len(set(texts))
+    assert text not in texts
+
+
+@given(short_inputs)
+@settings(max_examples=60, deadline=None)
+def test_substitutions_splice_claimed_replacement(text):
+    subject = ExprSubject()
+    result = run_subject(subject, text)
+    for substitution in substitutions_for(result):
+        assert substitution.text.endswith(substitution.replacement)
+        assert substitution.text[: substitution.at_index] == text[: substitution.at_index]
+
+
+# ---------------------------------------------------------------------- #
+# Miner round trip
+# ---------------------------------------------------------------------- #
+
+expr_corpora = st.lists(
+    st.sampled_from(["1", "12", "1+1", "2-3", "(4)", "(1+2)", "-5", "+6", "((7))"]),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+@given(expr_corpora, st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_mined_grammar_generates_only_valid_inputs(corpus, seed):
+    subject = ExprSubject()
+    grammar = mine_grammar(subject, corpus)
+    fuzzer = GrammarFuzzer(grammar, seed=seed, max_depth=6)
+    for text in fuzzer.generate_many(5):
+        assert subject.accepts(text), (corpus, text)

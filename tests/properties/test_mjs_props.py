@@ -1,0 +1,76 @@
+"""Property tests on the mjs engine: no-crash lexing/parsing, and
+interpreter arithmetic agrees with Python float semantics."""
+
+import math
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.errors import SubjectError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs import MjsSubject
+from repro.subjects.mjs.interp import Interpreter
+from repro.subjects.mjs.lexer import MjsLexer
+from repro.subjects.mjs.parser import parse_mjs
+from repro.subjects.mjs.tokens import TokKind
+from repro.subjects.mjs.values import to_int32, to_number, to_uint32
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F), max_size=16))
+@settings(max_examples=80, deadline=None)
+def test_lexer_never_crashes(text):
+    lexer = MjsLexer(InputStream(text))
+    try:
+        for _ in range(40):
+            if lexer.next_token().kind is TokKind.EOF:
+                break
+    except SubjectError:
+        pass
+
+
+@given(st.text(alphabet=string.printable, max_size=16))
+@settings(max_examples=80, deadline=None)
+def test_parser_never_crashes(text):
+    try:
+        parse_mjs(InputStream(text))
+    except SubjectError:
+        pass
+
+
+@given(st.text(alphabet=string.printable, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_subject_never_crashes(text):
+    MjsSubject(max_steps=2_000).accepts(text)
+
+
+numbers = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@given(numbers, numbers)
+@settings(max_examples=60, deadline=None)
+def test_interpreter_addition_matches_python(a, b):
+    interpreter = Interpreter()
+    program = parse_mjs(InputStream(f"r = ({a!r}) + ({b!r})"))
+    interpreter.run(program)
+    result = interpreter.globals.get("r")
+    assert result == a + b or (math.isnan(result) and math.isnan(a + b))
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_to_int32_wraps_like_js(value):
+    wrapped = to_int32(float(value))
+    assert -(2**31) <= wrapped < 2**31
+    assert (wrapped - value) % (2**32) == 0
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_to_uint32_wraps_like_js(value):
+    wrapped = to_uint32(float(value))
+    assert 0 <= wrapped < 2**32
+    assert (wrapped - value) % (2**32) == 0
+
+
+@given(numbers)
+def test_to_number_identity_on_floats(value):
+    assert to_number(value) == value

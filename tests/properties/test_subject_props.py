@@ -1,0 +1,105 @@
+"""Property tests on the subjects: generated-valid round trips and
+no-crash guarantees."""
+
+import json as json_module
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.errors import SubjectError
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+# ---------------------------------------------------------------------- #
+# Generators
+# ---------------------------------------------------------------------- #
+
+plain_field = st.text(
+    alphabet=string.ascii_letters + string.digits + " ._-", max_size=8
+)
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(alphabet=string.ascii_letters + string.digits + " ", max_size=6),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet=string.ascii_lowercase, max_size=4), children, max_size=4
+        ),
+    ),
+    max_leaves=10,
+)
+
+arbitrary_short = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F), max_size=12
+)
+
+
+# ---------------------------------------------------------------------- #
+# Round trips: anything we serialise must be accepted and parse back
+# ---------------------------------------------------------------------- #
+
+
+@given(json_values)
+@settings(max_examples=60, deadline=None)
+def test_json_round_trip(value):
+    subject = load_subject("json")
+    encoded = json_module.dumps(value)
+    parsed = subject.parse(InputStream(encoded))
+    assert json_module.loads(json_module.dumps(parsed)) == json_module.loads(encoded)
+
+
+@given(st.lists(st.lists(plain_field, min_size=2, max_size=4), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_csv_round_trip(rows):
+    subject = load_subject("csv")
+    encoded = "\n".join(",".join(row) for row in rows)
+    parsed = subject.parse(InputStream(encoded))
+    assert parsed == rows
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+            st.text(alphabet=string.ascii_letters + string.digits, max_size=6),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ini_round_trip(pairs):
+    subject = load_subject("ini")
+    encoded = "\n".join(f"{name}={value}" for name, value in pairs)
+    parsed = subject.parse(InputStream(encoded))
+    assert [(name, value) for _, name, value in parsed] == pairs
+
+
+# ---------------------------------------------------------------------- #
+# Robustness: arbitrary input never crashes the harness
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES + ("expr",))
+@given(text=arbitrary_short)
+@settings(max_examples=40, deadline=None)
+def test_subjects_never_crash(name, text):
+    subject = load_subject(name)
+    result = run_subject(subject, text)
+    assert result.status is not None
+
+
+@given(text=arbitrary_short)
+@settings(max_examples=40, deadline=None)
+def test_acceptance_is_deterministic(text):
+    subject = load_subject("json")
+    assert subject.accepts(text) == subject.accepts(text)

@@ -1,0 +1,73 @@
+"""Differential property tests: the tiny-c VM vs a Python reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.stream import InputStream
+from repro.subjects.tinyc import TinyCSubject
+
+# ---------------------------------------------------------------------- #
+# Straight-line programs: sequences of assignments over +, -, <
+# ---------------------------------------------------------------------- #
+
+names = st.sampled_from("abcde")
+constants = st.integers(min_value=0, max_value=99)
+
+
+@st.composite
+def straight_line_program(draw):
+    """A block of assignments whose effect is computable in Python."""
+    statements = []
+    env = {name: 0 for name in "abcdefghijklmnopqrstuvwxyz"}
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        target = draw(names)
+        left_is_var = draw(st.booleans())
+        left_name = draw(names)
+        left = left_name if left_is_var else str(draw(constants))
+        operator = draw(st.sampled_from(["+", "-", "<", ""]))
+        if operator:
+            right_is_var = draw(st.booleans())
+            right_name = draw(names)
+            right = right_name if right_is_var else str(draw(constants))
+            expression = f"{left}{operator}{right}"
+            left_value = env[left] if left_is_var else int(left)
+            right_value = env[right] if right_is_var else int(right)
+            if operator == "+":
+                value = left_value + right_value
+            elif operator == "-":
+                value = left_value - right_value
+            else:
+                value = 1 if left_value < right_value else 0
+        else:
+            expression = left
+            value = env[left] if left_is_var else int(left)
+        statements.append(f"{target}={expression};")
+        env[target] = value
+    return "{" + " ".join(statements) + "}", env
+
+
+@given(straight_line_program())
+@settings(max_examples=60, deadline=None)
+def test_vm_matches_python_semantics(program_and_env):
+    source, expected = program_and_env
+    subject = TinyCSubject()
+    globals_ = subject.parse(InputStream(source))
+    for name in "abcde":
+        assert globals_[name] == expected[name], (source, name)
+
+
+@given(straight_line_program())
+@settings(max_examples=30, deadline=None)
+def test_bridged_subject_same_semantics(program_and_env):
+    source, expected = program_and_env
+    subject = TinyCSubject(token_bridge=True)
+    globals_ = subject.parse(InputStream(source))
+    for name in "abcde":
+        assert globals_[name] == expected[name]
+
+
+@given(st.text(alphabet="abcz={}()<+-;0123456789 \n", max_size=14))
+@settings(max_examples=80, deadline=None)
+def test_tinyc_never_crashes_on_near_misses(text):
+    subject = TinyCSubject(max_steps=5_000)
+    subject.accepts(text)  # must terminate without internal errors

@@ -1,0 +1,87 @@
+"""Property tests: tainted proxies behave exactly like plain strings."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taint.tchar import TChar
+from repro.taint.tstr import TaintedStr
+
+chars = st.text(alphabet=string.printable, min_size=1, max_size=1)
+texts = st.text(alphabet=string.printable, max_size=30)
+
+
+def tainted(text, start=0):
+    return TaintedStr(text, range(start, start + len(text)))
+
+
+@given(chars, chars)
+def test_tchar_relations_match_str(a, b):
+    left = TChar(a, 0)
+    assert (left == b) == (a == b)
+    assert (left != b) == (a != b)
+    assert (left < b) == (a < b)
+    assert (left <= b) == (a <= b)
+    assert (left > b) == (a > b)
+    assert (left >= b) == (a >= b)
+
+
+@given(chars)
+def test_tchar_classes_match_ascii_ctype(c):
+    char = TChar(c, 0)
+    assert char.isdigit() == (c in string.digits)
+    assert char.isalpha() == (c in string.ascii_letters)
+    assert char.isalnum() == (c in string.ascii_letters + string.digits)
+    assert char.isspace() == (c in " \t\n\r\v\f")
+
+
+@given(texts, texts)
+def test_concat_matches_str(a, b):
+    assert (tainted(a) + tainted(b, len(a))).text == a + b
+
+
+@given(texts, texts)
+def test_equality_matches_str(a, b):
+    assert (tainted(a) == b) == (a == b)
+    assert (tainted(a) != b) == (a != b)
+
+
+@given(texts, st.integers(min_value=-35, max_value=35), st.integers(min_value=-35, max_value=35))
+def test_slicing_matches_str(text, start, stop):
+    sliced = tainted(text)[start:stop]
+    assert sliced.text == text[start:stop]
+    assert len(sliced.taints) == len(sliced.text)
+
+
+@given(texts)
+def test_taints_track_positions_through_slicing(text):
+    buffer = tainted(text)
+    for position, char in enumerate(buffer):
+        assert char.index == position
+        assert char.value == text[position]
+
+
+@given(texts)
+def test_strip_matches_str(text):
+    assert tainted(text).strip().text == text.strip(" \t\n\r\v\f")
+    assert tainted(text).lstrip().text == text.lstrip(" \t\n\r\v\f")
+    assert tainted(text).rstrip().text == text.rstrip(" \t\n\r\v\f")
+
+
+@given(texts)
+def test_strip_taints_are_original_positions(text):
+    stripped = tainted(text).strip()
+    for char in stripped:
+        assert text[char.index] == char.value
+
+
+@given(texts)
+def test_case_transforms_match_str(text):
+    assert tainted(text).lower().text == text.lower()
+    assert tainted(text).upper().text == text.upper()
+
+
+@given(texts, texts)
+def test_startswith_matches_str(text, prefix):
+    assert tainted(text).startswith(prefix) == text.startswith(prefix)

@@ -1,0 +1,54 @@
+"""Static line universes and coverage percentages."""
+
+import repro.subjects.expr as expr_module
+from repro.runtime.coverage import (
+    code_lines,
+    line_coverage_percent,
+    module_lines,
+)
+
+
+def test_code_lines_of_function():
+    def sample(x):
+        if x:
+            return 1
+        return 2
+
+    lines = code_lines(sample.__code__)
+    assert len(lines) >= 3
+    assert all(filename == __file__ for filename, _ in lines)
+
+
+def test_code_lines_recurses_into_nested():
+    def outer():
+        def inner():
+            return 1
+
+        return inner
+
+    lines = code_lines(outer.__code__)
+    source_lines = {line for _, line in lines}
+    assert len(source_lines) >= 3
+
+
+def test_module_lines_covers_subject_methods():
+    lines = module_lines(expr_module)
+    assert len(lines) > 20
+    filenames = {filename for filename, _ in lines}
+    assert len(filenames) == 1
+
+
+def test_module_lines_excludes_other_modules():
+    lines = module_lines(expr_module)
+    import repro.subjects.base as base_module
+
+    base_file = base_module.__file__
+    assert all(filename != base_file for filename, _ in lines)
+
+
+def test_line_coverage_percent():
+    universe = frozenset({("f", 1), ("f", 2), ("f", 3), ("f", 4)})
+    assert line_coverage_percent([("f", 1), ("f", 2)], universe) == 50.0
+    assert line_coverage_percent([], universe) == 0.0
+    assert line_coverage_percent([("f", 9)], universe) == 0.0
+    assert line_coverage_percent([("f", 1)], frozenset()) == 0.0

@@ -1,0 +1,38 @@
+"""Error hierarchy used by subjects."""
+
+import pytest
+
+from repro.runtime.errors import HangError, ParseError, SemanticError, SubjectError
+
+
+def test_parse_error_is_subject_error():
+    error = ParseError("bad", index=4)
+    assert isinstance(error, SubjectError)
+    assert error.message == "bad"
+    assert error.index == 4
+
+
+def test_parse_error_default_index():
+    assert ParseError("x").index == -1
+
+
+def test_semantic_error_is_parse_error():
+    # Semantic rejections count as rejections (non-zero exit), §7.3.
+    assert isinstance(SemanticError("undeclared"), ParseError)
+
+
+def test_hang_error_carries_steps():
+    error = HangError(500)
+    assert error.steps == 500
+    assert "500" in str(error)
+    assert isinstance(error, SubjectError)
+    assert not isinstance(error, ParseError)  # hangs are not rejections
+
+
+def test_harness_distinguishes_semantic_rejection():
+    from repro.runtime.harness import ExitStatus, run_subject
+    from repro.subjects.mjs import MjsSubject
+
+    strict = MjsSubject(semantic_checks=True)
+    result = run_subject(strict, "undeclaredName + 1")
+    assert result.status is ExitStatus.REJECTED

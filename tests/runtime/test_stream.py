@@ -1,0 +1,106 @@
+"""Input stream: sequential access, EOF events, putback."""
+
+from repro.runtime.stream import InputStream
+from repro.taint.recorder import Recorder, recording
+
+
+def test_next_char_sequence():
+    stream = InputStream("ab")
+    first = stream.next_char()
+    second = stream.next_char()
+    assert (first.value, first.index) == ("a", 0)
+    assert (second.value, second.index) == ("b", 1)
+
+
+def test_next_past_end_returns_eof_repeatedly():
+    stream = InputStream("a")
+    stream.next_char()
+    assert stream.next_char().is_eof
+    assert stream.next_char().is_eof
+    assert stream.pos == 1
+
+
+def test_eof_access_recorded():
+    stream = InputStream("a")
+    recorder = Recorder()
+    with recording(recorder):
+        stream.next_char()
+        stream.next_char()
+    assert recorder.eof_accessed
+    assert recorder.eof_events[0].index == 1
+
+
+def test_peek_does_not_consume():
+    stream = InputStream("xy")
+    assert stream.peek().value == "x"
+    assert stream.peek(1).value == "y"
+    assert stream.pos == 0
+    assert stream.peek(2).is_eof
+
+
+def test_unread():
+    stream = InputStream("abc")
+    stream.next_char()
+    stream.next_char()
+    stream.unread()
+    assert stream.peek().value == "b"
+    stream.unread(1)
+    assert stream.peek().value == "a"
+
+
+def test_unread_beyond_start_rejected():
+    stream = InputStream("a")
+    try:
+        stream.unread(1)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_read_while():
+    stream = InputStream("123ab")
+    digits = stream.read_while(lambda c: c.isdigit())
+    assert digits.text == "123"
+    assert digits.taints == (0, 1, 2)
+    assert stream.peek().value == "a"
+
+
+def test_read_while_stops_at_eof():
+    stream = InputStream("12")
+    assert stream.read_while(lambda c: c.isdigit()).text == "12"
+
+
+def test_at_end_and_remaining():
+    stream = InputStream("ab")
+    assert not stream.at_end
+    assert stream.remaining() == "ab"
+    stream.next_char()
+    stream.next_char()
+    assert stream.at_end
+    assert stream.remaining() == ""
+
+
+def test_max_accessed_tracks_peeks_and_eof():
+    stream = InputStream("abc")
+    assert stream.max_accessed == -1
+    stream.peek(1)
+    assert stream.max_accessed == 1
+    stream.peek(5)
+    assert stream.max_accessed == 3  # clamped to len(text) for EOF
+
+
+def test_consumption_logged_for_miner():
+    stream = InputStream("ab")
+    recorder = Recorder()
+    with recording(recorder):
+        stream.peek()       # peeks are not consumption
+        stream.next_char()
+        stream.read_while(lambda c: c == "b")
+    assert [index for index, _ in recorder.accesses] == [0, 1]
+
+
+def test_len_and_repr():
+    stream = InputStream("abc")
+    assert len(stream) == 3
+    assert "abc" in repr(stream)

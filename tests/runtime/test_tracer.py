@@ -1,0 +1,126 @@
+"""Coverage tracer: arcs, clock, depth and call stack."""
+
+import sys
+
+from repro.runtime.tracer import CoverageTracer
+
+THIS_FILE = __file__
+
+
+def helper_a(n):
+    if n > 0:
+        return helper_b(n)
+    return 0
+
+
+def helper_b(n):
+    return n + 1
+
+
+def test_traces_only_listed_files():
+    tracer = CoverageTracer([THIS_FILE])
+    with tracer:
+        helper_a(1)
+        sorted([3, 1])  # stdlib frames must not be traced
+    files = {arc[0] for arc in tracer.arcs}
+    assert files == {THIS_FILE}
+
+
+def test_arcs_capture_branching():
+    tracer_true = CoverageTracer([THIS_FILE])
+    with tracer_true:
+        helper_a(1)
+    tracer_false = CoverageTracer([THIS_FILE])
+    with tracer_false:
+        helper_a(0)
+    assert tracer_true.arc_set() != tracer_false.arc_set()
+
+
+def test_clock_monotone_and_arc_stamps():
+    tracer = CoverageTracer([THIS_FILE])
+    with tracer:
+        helper_a(1)
+    assert tracer.clock > 0
+    stamps = sorted(tracer.arcs.values())
+    assert stamps[0] >= 1
+    assert stamps[-1] <= tracer.clock
+
+
+def test_arcs_until_cutoff():
+    tracer = CoverageTracer([THIS_FILE])
+    with tracer:
+        helper_a(1)
+        helper_a(0)
+    full = tracer.arc_set()
+    assert tracer.arcs_until(None) == full
+    early = tracer.arcs_until(1)
+    assert early < full
+    assert tracer.arcs_until(tracer.clock) == full
+
+
+def test_depth_tracking():
+    depths = []
+    tracer = CoverageTracer([THIS_FILE])
+
+    def probe():
+        depths.append(tracer.current_depth())
+
+    with tracer:
+        helper_with_probe(probe)
+    assert max(depths) >= 2  # helper_with_probe -> inner
+    assert tracer.current_depth() == 0  # reset on exit
+
+
+def helper_with_probe(probe):
+    def inner():
+        probe()
+
+    inner()
+
+
+def test_call_stack_names_and_serials():
+    stacks = []
+    tracer = CoverageTracer([THIS_FILE])
+
+    def probe():
+        stacks.append(tracer.current_stack())
+
+    with tracer:
+        helper_with_probe(probe)
+    names = [name for name, _ in stacks[-1]]
+    assert names[0] == "helper_with_probe"
+    assert "inner" in names  # probe itself is also traced (same file)
+    serials = [serial for _, serial in stacks[-1]]
+    assert serials == sorted(serials)
+
+
+def test_depth_resets_after_exception():
+    tracer = CoverageTracer([THIS_FILE])
+
+    def boom():
+        raise RuntimeError("x")
+
+    try:
+        with tracer:
+            boom()
+    except RuntimeError:
+        pass
+    assert tracer.current_depth() == 0
+    assert tracer.current_stack() == ()
+
+
+def test_line_set_derives_from_arcs():
+    tracer = CoverageTracer([THIS_FILE])
+    with tracer:
+        helper_b(1)
+    lines = tracer.line_set()
+    assert all(filename == THIS_FILE for filename, _ in lines)
+    assert lines
+
+
+def test_previous_trace_restored():
+    sentinel = sys.gettrace()
+    tracer = CoverageTracer([THIS_FILE])
+    with tracer:
+        pass
+    assert sys.gettrace() is sentinel

@@ -1,0 +1,253 @@
+"""mjs interpreter: semantics of the executed subset."""
+
+import math
+
+import pytest
+
+from repro.runtime.errors import HangError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.interp import Interpreter
+from repro.subjects.mjs.parser import parse_mjs
+
+
+def run(text, max_steps=100_000):
+    program = parse_mjs(InputStream(text))
+    interpreter = Interpreter(max_steps=max_steps)
+    return interpreter.run(program)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("print(1 + 2)", "3"),
+        ("print('a' + 1)", "a1"),
+        ("print(1 + '2')", "12"),
+        ("print(10 / 4)", "2.5"),
+        ("print(7 % 3)", "1"),
+        ("print(2 * 3 - 1)", "5"),
+        ("print(1 / 0)", "Infinity"),
+        ("print(-1 / 0)", "-Infinity"),
+        ("print(0 / 0)", "NaN"),
+        ("print('x' * 2)", "NaN"),
+    ],
+)
+def test_arithmetic(text, expected):
+    assert run(text) == [expected]
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4)", "true true false true"),
+        ("print('a' < 'b')", "true"),
+        ("print(1 == '1', 1 === '1')", "true false"),
+        ("print(null == undefined, null === undefined)", "true false"),
+        ("print(NaN == NaN)", "false"),
+        ("print(true == 1, true === 1)", "true false"),
+        ("print(1 != 2, 1 !== '1')", "true true"),
+    ],
+)
+def test_comparisons(text, expected):
+    assert run(text) == [expected]
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("print(5 & 3, 5 | 2, 5 ^ 1)", "1 7 4"),
+        ("print(1 << 4, 256 >> 4)", "16 16"),
+        ("print(-1 >>> 28)", "15"),
+        ("print(~0)", "-1"),
+    ],
+)
+def test_bitwise(text, expected):
+    assert run(text) == [expected]
+
+
+def test_variables_and_scoping():
+    assert run("var x = 1; { let x = 2; print(x) } print(x)") == ["2", "1"]
+
+
+def test_undeclared_read_is_undefined():
+    assert run("print(neverDeclared)") == ["undefined"]
+
+
+def test_sloppy_global_assignment():
+    assert run("function f() { g = 7 } f(); print(g)") == ["7"]
+
+
+def test_functions_and_closures():
+    script = """
+    function adder(n) { return function(x) { return x + n } }
+    var add2 = adder(2);
+    print(add2(40));
+    """
+    assert run(script) == ["42"]
+
+
+def test_arrow_functions():
+    assert run("var f = x => x * 2; print(f(21))") == ["42"]
+    assert run("var g = x => { return x + 1 }; print(g(1))") == ["2"]
+
+
+def test_recursion_named_function_expression():
+    script = "var f = function fact(n) { return n < 2 ? 1 : n * fact(n - 1) }; print(f(5))"
+    assert run(script) == ["120"]
+
+
+def test_deep_recursion_throws_not_crashes():
+    # The RangeError aborts execution like any uncaught throw (no Python
+    # crash, and the input still counts as valid — parse succeeded).
+    assert run("function f() { return f() } f(); print('after')") == []
+    # A caught RangeError lets the program continue.
+    assert run(
+        "function f() { return f() } try { f() } catch (e) { print('caught') }"
+    ) == ["caught"]
+
+
+def test_control_flow_loops():
+    assert run("var s = 0; for (var i = 1; i <= 4; i++) s += i; print(s)") == ["10"]
+    assert run("var i = 0; while (i < 3) i++; print(i)") == ["3"]
+    assert run("var i = 10; do i++; while (false); print(i)") == ["11"]
+
+
+def test_break_continue():
+    script = """
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+        if (i == 2) continue;
+        if (i == 5) break;
+        s += i;
+    }
+    print(s);
+    """
+    assert run(script) == ["8"]  # 0 + 1 + 3 + 4
+
+
+def test_for_in_and_for_of():
+    assert run("for (k in {a: 1, b: 2}) print(k)") == ["a", "b"]
+    assert run("for (v of [10, 20]) print(v)") == ["10", "20"]
+    assert run("for (c of 'ab') print(c)") == ["a", "b"]
+
+
+def test_try_catch_finally_order():
+    script = """
+    try { throw 'boom' } catch (e) { print('caught', e) } finally { print('finally') }
+    print('after');
+    """
+    assert run(script) == ["caught boom", "finally", "after"]
+
+
+def test_uncaught_throw_does_not_reject():
+    assert run("print('a'); throw 1; print('never')") == ["a"]
+
+
+def test_finally_runs_on_throw():
+    assert run("try { try { throw 1 } finally { print('f') } } catch (e) { print('c') }") == [
+        "f",
+        "c",
+    ]
+
+
+def test_switch_fallthrough_and_default():
+    script = """
+    function pick(x) {
+        switch (x) {
+            case 1: print('one');
+            case 2: print('two'); break;
+            default: print('other');
+        }
+    }
+    pick(1); pick(2); pick(9);
+    """
+    assert run(script) == ["one", "two", "two", "other"]
+
+
+def test_objects_and_arrays():
+    assert run("var o = {a: 1}; o.b = 2; print(o.a + o.b)") == ["3"]
+    assert run("var a = [1, 2]; a[3] = 9; print(a.length, a[2])") == ["4 undefined"]
+    assert run("var a = []; a.push(5); print(a.indexOf(5))") == ["0"]
+
+
+def test_string_methods():
+    assert run("var s = 'hello'; print(s.length, s.indexOf('l'), s.slice(1, 3), s.substr(1, 2))") == [
+        "5 2 el el"
+    ]
+
+
+def test_member_access_on_undefined_is_undefined():
+    assert run("print(undef.prop)") == ["undefined"]
+
+
+def test_calling_non_function_is_noop():
+    assert run("var x = 1; print(x())") == ["undefined"]
+
+
+def test_typeof():
+    assert run(
+        "print(typeof 1, typeof 'a', typeof true, typeof undefined, typeof null, typeof print, typeof {})"
+    ) == ["number string boolean undefined object function object"]
+
+
+def test_typeof_undeclared_no_error():
+    assert run("print(typeof nope)") == ["undefined"]
+
+
+def test_delete():
+    assert run("var o = {a: 1}; delete o.a; print(o.a)") == ["undefined"]
+    assert run("var o = {a: 1}; print(delete o['a'], 'a' in o)") == ["true false"]
+
+
+def test_in_and_instanceof():
+    assert run("print('a' in {a: 1}, 0 in [5], 2 in [5])") == ["true true false"]
+    assert run("print({} instanceof Object, 1 instanceof Object)") == ["true false"]
+
+
+def test_void_and_sequence():
+    assert run("print(void 1, (1, 2, 3))") == ["undefined 3"]
+
+
+def test_ternary_and_logical_short_circuit():
+    assert run("print(1 ? 'y' : 'n', 0 && boom(), 0 || 'dflt')") == ["y 0 dflt"]
+
+
+def test_update_expressions():
+    assert run("var i = 5; print(i++, i, ++i, i--, --i)") == ["5 6 7 7 5"]
+
+
+def test_with_statement():
+    assert run("var o = {a: 7}; with (o) { print(a); a = 8 } print(o.a)") == ["7", "8"]
+
+
+def test_this_and_new():
+    script = """
+    function Point(x) { this.x = x }
+    var p = new Point(4);
+    print(p.x);
+    """
+    assert run(script) == ["4"]
+
+
+def test_json_stringify():
+    assert run("print(JSON.stringify({a: [1, 'x', true, null], b: 1.5}))") == [
+        '{"a":[1,"x",true,null],"b":1.5}'
+    ]
+
+
+def test_json_stringify_escapes():
+    assert run("print(JSON.stringify('a\"b'))") == ['"a\\"b"']
+
+
+def test_builtins_isnan_object_load():
+    assert run("print(isNaN(NaN), isNaN(1))") == ["true false"]
+    assert run("var o = new Object(); o.k = 1; print(o.k)") == ["1"]
+    assert run("print(load('x.js'))") == ["undefined"]
+
+
+def test_hang_on_infinite_loop():
+    with pytest.raises(HangError):
+        run("while (true) ;", max_steps=500)
+
+
+def test_number_formatting():
+    assert run("print(1.0, 2.5, 1e21)") == ["1 2.5 1e+21"]

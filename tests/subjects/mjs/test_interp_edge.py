@@ -1,0 +1,240 @@
+"""mjs interpreter: edge cases and coercion corners."""
+
+import pytest
+
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.interp import Interpreter
+from repro.subjects.mjs.parser import parse_mjs
+
+
+def run(text, max_steps=100_000):
+    program = parse_mjs(InputStream(text))
+    interpreter = Interpreter(max_steps=max_steps)
+    return interpreter.run(program)
+
+
+# ---------------------------------------------------------------------- #
+# Coercions
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("print('' + [])", ""),
+        ("print('' + [1,2])", "1,2"),
+        ("print('' + {})", "[object Object]"),
+        ("print(+'42')", "42"),
+        ("print(+'0x10')", "16"),
+        ("print(+'  ')", "0"),
+        ("print(+'x')", "NaN"),
+        ("print(-true)", "-1"),
+        ("print(!0, !'', !null, !undefined, !NaN)", "true true true true true"),
+        ("print(!1, !'a', ![])", "false false false"),
+    ],
+)
+def test_coercions(text, expected):
+    assert run(text) == [expected]
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("print([] == '')", "true"),
+        ("print([1] == 1)", "true"),
+        ("print(0 == false, '' == false)", "true true"),
+        ("print(null == 0)", "false"),
+        ("print(undefined == 0)", "false"),
+    ],
+)
+def test_loose_equality_corners(text, expected):
+    assert run(text) == [expected]
+
+
+def test_string_comparison_is_lexicographic():
+    assert run("print('abc' < 'abd', 'Z' < 'a', '10' < '9')") == ["true true true"]
+
+
+def test_mixed_comparison_coerces_to_number():
+    assert run("print('10' < 9, 10 < '9')") == ["false false"]
+
+
+def test_nan_comparisons_all_false():
+    assert run("print(NaN < 1, NaN > 1, NaN <= NaN)") == ["false false false"]
+
+
+# ---------------------------------------------------------------------- #
+# Data structures
+# ---------------------------------------------------------------------- #
+
+
+def test_array_holes_and_growth():
+    assert run("var a = []; a[2] = 'x'; print(a.length, a[0], a[2])") == [
+        "3 undefined x"
+    ]
+
+
+def test_array_length_truncation():
+    assert run("var a = [1,2,3,4]; a.length = 2; print(a.length, '' + a)") == [
+        "2 1,2"
+    ]
+
+
+def test_array_slice_negative_indices():
+    assert run("print('' + [1,2,3,4].slice(-2))") == ["3,4"]
+
+
+def test_string_indexing_and_methods():
+    assert run("var s = 'hello'; print(s[1], s[99], s.slice(-3))") == [
+        "e undefined llo"
+    ]
+
+
+def test_object_numeric_and_keyword_keys():
+    assert run("var o = {1: 'a', if: 'b'}; print(o['1'], o['if'])") == ["a b"]
+
+
+def test_object_property_via_index_expression():
+    assert run("var o = {}; o['k' + 1] = 7; print(o.k1)") == ["7"]
+
+
+def test_nested_object_mutation():
+    assert run("var o = {a: {b: [0]}}; o.a.b[0] = 5; print(o.a.b[0])") == ["5"]
+
+
+def test_delete_array_element_leaves_hole():
+    assert run("var a = [1,2,3]; delete a[1]; print(a.length, a[1])") == [
+        "3 undefined"
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Functions and control flow
+# ---------------------------------------------------------------------- #
+
+
+def test_missing_and_extra_arguments():
+    assert run("function f(a, b) { return '' + a + b } print(f(1), f(1,2,3))") == [
+        "1undefined 12"
+    ]
+
+
+def test_closures_share_state():
+    script = """
+    function counter() { var n = 0; return function() { n += 1; return n } }
+    var c = counter();
+    print(c(), c(), c());
+    """
+    assert run(script) == ["1 2 3"]
+
+
+def test_this_method_call():
+    assert run("var o = {x: 5, get: function() { return this.x }}; print(o.get())") == [
+        "5"
+    ]
+
+
+def test_arrow_has_no_own_this():
+    script = """
+    var o = {x: 1, f: function() { var g = y => this.x + y; return g(1) }};
+    print(o.f());
+    """
+    assert run(script) == ["2"]
+
+
+def test_switch_break_only_exits_switch():
+    script = """
+    for (var i = 0; i < 2; i++) {
+        switch (i) { case 0: print('zero'); break; case 1: print('one'); break; }
+    }
+    print('done');
+    """
+    assert run(script) == ["zero", "one", "done"]
+
+
+def test_nested_loops_break_inner_only():
+    script = """
+    var count = 0;
+    for (var i = 0; i < 2; i++) {
+        for (var j = 0; j < 10; j++) { if (j == 1) break; count++; }
+    }
+    print(count);
+    """
+    assert run(script) == ["2"]
+
+
+def test_continue_in_while():
+    script = """
+    var i = 0, s = 0;
+    while (i < 5) { i++; if (i % 2) continue; s += i; }
+    print(s);
+    """
+    assert run(script) == ["6"]
+
+
+def test_for_loop_without_clauses():
+    assert run("var i = 0; for (;;) { i++; if (i > 2) break } print(i)") == ["3"]
+
+
+def test_comma_in_for_update():
+    assert run("for (var i = 0, j = 9; i < 2; i++, j--) ; print(i, j)") == ["2 7"]
+
+
+def test_try_finally_preserves_return():
+    script = """
+    function f() { try { return 'r' } finally { print('fin') } }
+    print(f());
+    """
+    assert run(script) == ["fin", "r"]
+
+
+def test_throw_object_caught():
+    assert run("try { throw {code: 7} } catch (e) { print(e.code) }") == ["7"]
+
+
+# ---------------------------------------------------------------------- #
+# Operators
+# ---------------------------------------------------------------------- #
+
+
+def test_shift_counts_are_masked():
+    assert run("print(1 << 33, 256 >> 33)") == ["2 128"]
+
+
+def test_compound_assignment_on_member():
+    assert run("var o = {n: 1}; o.n += 2; o.n *= 3; print(o.n)") == ["9"]
+
+
+def test_logical_assignment_short_circuits():
+    script = """
+    var calls = 0;
+    function boom() { calls++; return 'x' }
+    var a = 1; a ||= boom();
+    var b = 0; b &&= boom();
+    print(a, b, calls);
+    """
+    assert run(script) == ["1 0 0"]
+
+
+def test_ternary_nested():
+    assert run("print(1 ? 2 ? 'a' : 'b' : 'c')") == ["a"]
+
+
+def test_typeof_results_exhaustive():
+    assert run("print(typeof [], typeof NaN, typeof (x => x))") == [
+        "object number function"
+    ]
+
+
+def test_void_discards_side_effect_value():
+    assert run("var i = 0; print(void (i = 5), i)") == ["undefined 5"]
+
+
+def test_json_stringify_nested_and_nan():
+    assert run("print(JSON.stringify({a: NaN, b: [undefined]}))") == [
+        '{"a":null,"b":[null]}'
+    ]
+
+
+def test_modulo_sign_follows_dividend():
+    assert run("print(-7 % 3, 7 % -3)") == ["-1 1"]

@@ -1,0 +1,85 @@
+"""Every Table 4 keyword is reachable in a valid program.
+
+The token inventory is only a fair evaluation target if every inventory
+token can actually appear in some accepted input; this matrix proves it for
+all 34 reserved words and the 10 builtin-name tokens.
+"""
+
+import pytest
+
+from repro.eval.extract import extract_tokens
+from repro.eval.tokens import MJS_BUILTIN_NAME_TOKENS
+from repro.subjects.mjs.tokens import KEYWORDS
+
+#: One witness program per keyword.
+WITNESSES = {
+    "break": "while (true) { break }",
+    "case": "switch (1) { case 1: break }",
+    "catch": "try { throw 1 } catch (e) {}",
+    "const": "const c = 1",
+    "continue": "for (var i = 0; i < 1; i++) { continue }",
+    "debugger": "debugger",
+    "default": "switch (1) { default: break }",
+    "delete": "delete ({a: 1}).a",
+    "do": "do ; while (false)",
+    "else": "if (1) ; else ;",
+    "false": "false",
+    "finally": "try {} finally {}",
+    "for": "for (;;) break;",
+    "function": "function f() {}",
+    "if": "if (1) ;",
+    "in": "'a' in {a: 1}",
+    "instanceof": "1 instanceof Object",
+    "let": "let l = 1",
+    "NaN": "NaN",
+    "new": "new Object()",
+    "null": "null",
+    "of": "for (v of [1]) ;",
+    "return": "function g() { return }",
+    "switch": "switch (1) {}",
+    "this": "this",
+    "throw": "try { throw 1 } catch (e) {}",
+    "true": "true",
+    "try": "try {} finally {}",
+    "typeof": "typeof 1",
+    "undefined": "undefined",
+    "var": "var v",
+    "void": "void 0",
+    "while": "while (false) ;",
+    "with": "with ({}) ;",
+}
+
+BUILTIN_WITNESSES = {
+    "print": "print(1)",
+    "load": "load('x')",
+    "isNaN": "isNaN(1)",
+    "JSON": "JSON.stringify(1)",
+    "stringify": "JSON.stringify(1)",
+    "Object": "new Object()",
+    "length": "'ab'.length",
+    "indexOf": "'ab'.indexOf('a')",
+    "slice": "'ab'.slice(1)",
+    "substr": "'ab'.substr(1)",
+}
+
+
+def test_every_keyword_has_a_witness():
+    assert set(WITNESSES) == set(KEYWORDS)
+
+
+def test_every_builtin_token_has_a_witness():
+    assert set(BUILTIN_WITNESSES) == set(MJS_BUILTIN_NAME_TOKENS)
+
+
+@pytest.mark.parametrize("keyword", sorted(WITNESSES))
+def test_keyword_witness_accepted_and_extracted(mjs_subject, keyword):
+    program = WITNESSES[keyword]
+    assert mjs_subject.accepts(program), program
+    assert keyword in extract_tokens("mjs", program), program
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_WITNESSES))
+def test_builtin_witness_accepted_and_extracted(mjs_subject, name):
+    program = BUILTIN_WITNESSES[name]
+    assert mjs_subject.accepts(program), program
+    assert name in extract_tokens("mjs", program), program

@@ -1,0 +1,141 @@
+"""mjs lexer: tokens, punctuator maximal munch, ASI newline flags."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.lexer import MjsLexer
+from repro.subjects.mjs.tokens import KEYWORDS, TokKind
+from repro.taint.events import ComparisonKind
+
+
+def lex(text):
+    lexer = MjsLexer(InputStream(text))
+    tokens = []
+    while True:
+        token = lexer.next_token()
+        if token.kind is TokKind.EOF:
+            return tokens
+        tokens.append(token)
+
+
+def texts(text):
+    return [token.text for token in lex(text)]
+
+
+def test_single_punctuators():
+    assert texts("( ) { } [ ] ; , .") == ["(", ")", "{", "}", "[", "]", ";", ",", "."]
+
+
+def test_maximal_munch():
+    assert texts(">>>=") == [">>>="]
+    assert texts(">>>") == [">>>"]
+    assert texts(">>") == [">>"]
+    assert texts(">=") == [">="]
+    assert texts("===") == ["==="]
+    assert texts("==") == ["=="]
+    assert texts("=>") == ["=>"]
+    assert texts("&&=") == ["&&="]
+    assert texts("!==!=!") == ["!==", "!=", "!"]
+
+
+def test_adjacent_operators_split_correctly():
+    assert texts("a+++b") == ["a", "++", "+", "b"]
+    assert texts("x>>>=y") == ["x", ">>>=", "y"]
+
+
+def test_numbers():
+    tokens = lex("1 2.5 0x1F 1e3 1.5e-2")
+    values = [token.number for token in tokens]
+    assert values == [1.0, 2.5, 31.0, 1000.0, 0.015]
+
+
+def test_bad_exponent_rejected():
+    with pytest.raises(ParseError):
+        lex("1e")
+
+
+def test_bad_hex_rejected():
+    with pytest.raises(ParseError):
+        lex("0x")
+
+
+def test_strings_both_quotes():
+    tokens = lex("'abc' \"def\"")
+    assert [token.string for token in tokens] == ["abc", "def"]
+
+
+def test_string_escapes():
+    (token,) = lex(r"'a\n\t\x41B\\'")
+    assert token.string == "a\n\tAB\\"
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(ParseError):
+        lex("'abc")
+
+
+def test_newline_in_string_rejected():
+    with pytest.raises(ParseError):
+        lex("'ab\ncd'")
+
+
+def test_identifiers_and_keywords():
+    tokens = lex("foo while $bar _x Nan")
+    kinds = [token.kind for token in tokens]
+    assert kinds == [
+        TokKind.IDENT,
+        TokKind.KEYWORD,
+        TokKind.IDENT,
+        TokKind.IDENT,
+        TokKind.IDENT,  # "Nan" is not the "NaN" keyword
+    ]
+
+
+def test_every_keyword_recognised():
+    for keyword in KEYWORDS:
+        (token,) = lex(keyword)
+        assert token.kind is TokKind.KEYWORD, keyword
+        assert token.text == keyword
+
+
+def test_identifier_keeps_taints():
+    (token,) = lex("abc")
+    assert token.name is not None
+    assert token.name.taints == (0, 1, 2)
+
+
+def test_comments_skipped():
+    assert texts("a // line comment\n b /* block */ c") == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(ParseError):
+        lex("/* never closed")
+
+
+def test_nl_before_flag():
+    tokens = lex("a\nb c")
+    assert [token.nl_before for token in tokens] == [False, True, False]
+
+
+def test_newline_inside_comment_counts():
+    tokens = lex("a /* x\ny */ b")
+    assert tokens[1].nl_before
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(ParseError):
+        lex("#")
+
+
+def test_keyword_scan_recorded_as_strcmp(mjs_subject):
+    result = run_subject(mjs_subject, "wh")
+    expected = {
+        event.other_value
+        for event in result.recorder.comparisons
+        if event.kind is ComparisonKind.STRCMP
+    }
+    assert "while" in expected
+    assert "with" in expected

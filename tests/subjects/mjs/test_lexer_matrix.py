@@ -1,0 +1,65 @@
+"""Exhaustive lexer matrices: every punctuator and keyword round trips."""
+
+import pytest
+
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.lexer import MjsLexer
+from repro.subjects.mjs.tokens import KEYWORDS, MULTI_PUNCT, SINGLE_PUNCT, TokKind
+
+
+def lex_one(text):
+    lexer = MjsLexer(InputStream(text))
+    token = lexer.next_token()
+    assert lexer.next_token().kind is TokKind.EOF, text
+    return token
+
+
+@pytest.mark.parametrize("punct", sorted(MULTI_PUNCT))
+def test_every_multichar_punctuator(punct):
+    token = lex_one(punct)
+    assert token.kind is TokKind.PUNCT
+    assert token.text == punct
+
+
+@pytest.mark.parametrize("punct", sorted(SINGLE_PUNCT.replace("/", "")))
+def test_every_single_punctuator(punct):
+    token = lex_one(punct)
+    assert token.kind is TokKind.PUNCT
+    assert token.text == punct
+
+
+def test_division_punctuator():
+    # '/' needs surrounding context so it is not taken as a comment start.
+    lexer = MjsLexer(InputStream("a/b"))
+    lexer.next_token()
+    token = lexer.next_token()
+    assert token.is_punct("/")
+
+
+@pytest.mark.parametrize("keyword", KEYWORDS)
+def test_every_keyword(keyword):
+    token = lex_one(keyword)
+    assert token.kind is TokKind.KEYWORD
+    assert token.text == keyword
+
+
+@pytest.mark.parametrize("keyword", KEYWORDS)
+def test_keyword_prefix_is_identifier(keyword):
+    prefix = keyword[:-1]
+    if not prefix or prefix in KEYWORDS:
+        pytest.skip("prefix empty or itself a keyword")
+    token = lex_one(prefix)
+    assert token.kind is TokKind.IDENT, prefix
+
+
+@pytest.mark.parametrize("keyword", KEYWORDS)
+def test_keyword_extension_is_identifier(keyword):
+    token = lex_one(keyword + "x")
+    assert token.kind is TokKind.IDENT
+
+
+def test_punctuators_index_positions():
+    lexer = MjsLexer(InputStream("  >>>="))
+    token = lexer.next_token()
+    assert token.index == 2
+    assert token.text == ">>>="

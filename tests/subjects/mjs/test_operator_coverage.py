@@ -1,0 +1,80 @@
+"""Every Table 4 operator/punctuator token is reachable in a valid program."""
+
+import pytest
+
+from repro.eval.extract import extract_tokens
+from repro.eval.tokens import TOKEN_INVENTORIES
+
+#: One witness program per punctuator-ish inventory token.
+WITNESSES = {
+    "(": "(1)",
+    ")": "(1)",
+    "{": "{ }",
+    "}": "{ }",
+    "[": "[1]",
+    "]": "[1]",
+    ";": ";",
+    ",": "1, 2",
+    ".": "JSON.stringify",
+    "+": "1 + 1",
+    "-": "1 - 1",
+    "*": "1 * 1",
+    "/": "1 / 1",
+    "%": "1 % 1",
+    "<": "1 < 1",
+    ">": "1 > 1",
+    "=": "x = 1",
+    "&": "1 & 1",
+    "|": "1 | 1",
+    "^": "1 ^ 1",
+    "!": "!1",
+    "~": "~1",
+    "?": "1 ? 2 : 3",
+    ":": "1 ? 2 : 3",
+    "identifier": "someName",
+    "number": "42",
+    "newline": "1\n2",
+    "+=": "x += 1",
+    "-=": "x -= 1",
+    "*=": "x *= 1",
+    "/=": "x /= 1",
+    "%=": "x %= 1",
+    "&=": "x &= 1",
+    "|=": "x |= 1",
+    "^=": "x ^= 1",
+    "==": "1 == 1",
+    "!=": "1 != 1",
+    "<=": "1 <= 1",
+    ">=": "1 >= 1",
+    "&&": "1 && 1",
+    "||": "1 || 1",
+    "++": "x++",
+    "--": "x--",
+    "<<": "1 << 1",
+    ">>": "1 >> 1",
+    "=>": "f = x => x",
+    "string": "'s'",
+    "===": "1 === 1",
+    "!==": "1 !== 1",
+    "<<=": "x <<= 1",
+    ">>=": "x >>= 1",
+    ">>>": "1 >>> 1",
+    "&&=": "x &&= 1",
+    "||=": "x ||= 1",
+    ">>>=": "x >>>= 1",
+}
+
+def test_witness_table_covers_every_non_keyword_token():
+    from repro.eval.tokens import MJS_BUILTIN_NAME_TOKENS
+    from repro.subjects.mjs.tokens import KEYWORDS
+
+    inventory = {token.name for token in TOKEN_INVENTORIES["mjs"]}
+    covered_elsewhere = set(KEYWORDS) | MJS_BUILTIN_NAME_TOKENS
+    assert set(WITNESSES) == inventory - covered_elsewhere
+
+
+@pytest.mark.parametrize("token", sorted(WITNESSES))
+def test_operator_witness_accepted_and_extracted(mjs_subject, token):
+    program = WITNESSES[token]
+    assert mjs_subject.accepts(program), program
+    assert token in extract_tokens("mjs", program), (token, program)

@@ -1,0 +1,246 @@
+"""mjs parser: statement forms, expression precedence, ASI."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs import ast
+from repro.subjects.mjs.parser import parse_mjs
+
+
+def parse(text):
+    return parse_mjs(InputStream(text))
+
+
+def first_stmt(text):
+    return parse(text).body[0]
+
+
+def first_expr(text):
+    statement = first_stmt(text)
+    assert isinstance(statement, ast.ExpressionStmt)
+    return statement.expr
+
+
+# ---------------------------------------------------------------------- #
+# Statements
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "text,node_type",
+    [
+        (";", ast.EmptyStmt),
+        ("{}", ast.BlockStmt),
+        ("var x = 1;", ast.VarDecl),
+        ("let x;", ast.VarDecl),
+        ("const k = 0;", ast.VarDecl),
+        ("if (1) ;", ast.IfStmt),
+        ("while (1) break;", ast.WhileStmt),
+        ("do ; while (0);", ast.DoWhileStmt),
+        ("for (;;) break;", ast.ForStmt),
+        ("for (var i = 0; i < 3; i++) ;", ast.ForStmt),
+        ("for (k in o) ;", ast.ForInStmt),
+        ("for (let v of a) ;", ast.ForInStmt),
+        ("return;", ast.ReturnStmt),
+        ("throw 1;", ast.ThrowStmt),
+        ("try {} catch (e) {}", ast.TryStmt),
+        ("try {} finally {}", ast.TryStmt),
+        ("switch (x) {}", ast.SwitchStmt),
+        ("with (o) ;", ast.WithStmt),
+        ("debugger;", ast.DebuggerStmt),
+        ("function f() {}", ast.FunctionDecl),
+    ],
+)
+def test_statement_forms(text, node_type):
+    assert isinstance(first_stmt(text), node_type)
+
+
+def test_var_decl_multiple():
+    decl = first_stmt("var a = 1, b, c = 3;")
+    assert [name for name, _ in decl.declarations] == ["a", "b", "c"]
+    assert decl.declarations[1][1] is None
+
+
+def test_if_else_binding():
+    statement = first_stmt("if (a) ; else if (b) ; else ;")
+    assert isinstance(statement.alternate, ast.IfStmt)
+
+
+def test_for_in_vs_binary_in():
+    loop = first_stmt("for (k in o) ;")
+    assert loop.kind == "in"
+    expr = first_expr("k in o")
+    assert isinstance(expr, ast.BinaryExpr)
+    assert expr.op == "in"
+
+
+def test_switch_cases_and_default():
+    switch = first_stmt("switch (x) { case 1: a; break; default: b; case 2: c; }")
+    tests = [case.test for case in switch.cases]
+    assert tests[0] is not None and tests[1] is None and tests[2] is not None
+
+
+def test_duplicate_default_rejected():
+    with pytest.raises(ParseError):
+        parse("switch (x) { default: ; default: ; }")
+
+
+def test_try_requires_catch_or_finally():
+    with pytest.raises(ParseError):
+        parse("try {}")
+
+
+# ---------------------------------------------------------------------- #
+# ASI
+# ---------------------------------------------------------------------- #
+
+
+def test_asi_on_newline():
+    program = parse("a = 1\nb = 2")
+    assert len(program.body) == 2
+
+
+def test_asi_before_closing_brace():
+    parse("{ a = 1 }")
+
+
+def test_missing_separator_rejected():
+    with pytest.raises(ParseError):
+        parse("a = 1 b = 2")
+
+
+def test_return_restricted_production():
+    # "return\nx" parses as return; then expression statement x.
+    program = parse("function f() { return\n1 }")
+    body = program.body[0].body
+    assert isinstance(body[0], ast.ReturnStmt)
+    assert body[0].value is None
+    assert isinstance(body[1], ast.ExpressionStmt)
+
+
+def test_throw_newline_rejected():
+    with pytest.raises(ParseError):
+        parse("throw\n1")
+
+
+def test_postfix_increment_not_across_newline():
+    program = parse("a\n++b")
+    assert len(program.body) == 2
+    assert isinstance(program.body[1].expr, ast.UpdateExpr)
+
+
+# ---------------------------------------------------------------------- #
+# Expressions
+# ---------------------------------------------------------------------- #
+
+
+def test_precedence_multiplication_over_addition():
+    expr = first_expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_comparison_over_logical():
+    expr = first_expr("a < b && c > d")
+    assert isinstance(expr, ast.LogicalExpr)
+    assert expr.op == "&&"
+
+
+def test_assignment_right_associative():
+    expr = first_expr("a = b = 1")
+    assert isinstance(expr.value, ast.AssignExpr)
+
+
+def test_compound_assignment_ops():
+    for op in ("+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^=", "&&=", "||="):
+        expr = first_expr(f"a {op} 1")
+        assert isinstance(expr, ast.AssignExpr)
+        assert expr.op == op
+
+
+def test_invalid_assignment_target_rejected():
+    with pytest.raises(ParseError):
+        parse("1 = 2")
+    with pytest.raises(ParseError):
+        parse("a + b = 2")
+
+
+def test_conditional_expression():
+    expr = first_expr("a ? b : c")
+    assert isinstance(expr, ast.ConditionalExpr)
+
+
+def test_sequence_expression():
+    expr = first_expr("1, 2, 3")
+    assert isinstance(expr, ast.SequenceExpr)
+    assert len(expr.items) == 3
+
+
+def test_member_index_call_chain():
+    expr = first_expr("a.b[0](1).c")
+    assert isinstance(expr, ast.MemberExpr)
+    assert isinstance(expr.obj, ast.CallExpr)
+
+
+def test_new_expression():
+    expr = first_expr("new Object(1)")
+    assert isinstance(expr, ast.NewExpr)
+    assert len(expr.args) == 1
+
+
+def test_new_without_arguments():
+    expr = first_expr("new Object")
+    assert isinstance(expr, ast.NewExpr)
+    assert expr.args == []
+
+
+def test_unary_operators():
+    for op in ("!", "~", "+", "-", "typeof", "void", "delete"):
+        expr = first_expr(f"{op} a")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == op
+
+
+def test_prefix_and_postfix_update():
+    assert first_expr("++a").prefix
+    assert not first_expr("a++").prefix
+
+
+def test_invalid_update_target_rejected():
+    with pytest.raises(ParseError):
+        parse("++1")
+
+
+def test_array_and_object_literals():
+    array = first_expr("[1, 2, 3,]")
+    assert isinstance(array, ast.ArrayLit)
+    assert len(array.items) == 3
+    obj = first_expr("({a: 1, 'b': 2, 3: 4, if: 5})")
+    assert isinstance(obj, ast.ObjectLit)
+    assert [key for key, _ in obj.members] == ["a", "b", "3", "if"]
+
+
+def test_function_expression_and_arrow():
+    func = first_expr("(function named(a, b) { return a })")
+    assert isinstance(func, ast.FunctionExpr)
+    assert func.name == "named"
+    arrow = first_expr("x => x + 1")
+    assert isinstance(arrow, ast.ArrowExpr)
+    assert arrow.param == "x"
+    arrow_block = first_expr("x => { return x }")
+    assert arrow_block.block_body is not None
+
+
+def test_depth_guard():
+    with pytest.raises(ParseError):
+        parse("(" * 400 + "1" + ")" * 400)
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["var;", "let 1;", "if", "while (", "for (;;", "a.", "a[1", "f(", "{,}", "case 1:"],
+)
+def test_malformed_rejected(text):
+    with pytest.raises(ParseError):
+        parse(text)

@@ -1,0 +1,128 @@
+"""mjs parser: ASI corners and grammar interactions."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs import ast
+from repro.subjects.mjs.parser import parse_mjs
+
+
+def parse(text):
+    return parse_mjs(InputStream(text))
+
+
+def test_asi_does_not_split_expressions():
+    # A newline inside a parenthesised expression is plain whitespace.
+    program = parse("(1 +\n 2)")
+    assert len(program.body) == 1
+
+
+def test_asi_after_block_statement():
+    program = parse("{ } 1")
+    assert len(program.body) == 2
+
+
+def test_semicolonless_function_declaration():
+    program = parse("function f() {} f()")
+    assert isinstance(program.body[0], ast.FunctionDecl)
+    assert isinstance(program.body[1], ast.ExpressionStmt)
+
+
+def test_break_with_newline_still_one_statement():
+    program = parse("while (0) { break\n }")
+    body = program.body[0].body.body
+    assert isinstance(body[0], ast.BreakStmt)
+
+
+def test_else_binds_to_nearest_if():
+    statement = parse("if (a) if (b) ; else ;").body[0]
+    assert statement.alternate is None
+    assert statement.consequent.alternate is not None
+
+
+def test_do_while_condition_parenthesised():
+    with pytest.raises(ParseError):
+        parse("do ; while 1;")
+
+
+def test_trailing_comma_in_array_and_object():
+    array = parse("[1, 2,]").body[0].expr
+    assert len(array.items) == 2
+    obj = parse("({a: 1,})").body[0].expr
+    assert len(obj.members) == 1
+
+
+def test_empty_array_and_object():
+    assert parse("[]").body[0].expr.items == []
+    assert parse("({})").body[0].expr.members == []
+
+
+def test_keyword_cannot_be_identifier():
+    with pytest.raises(ParseError):
+        parse("var while = 1;")
+    with pytest.raises(ParseError):
+        parse("function if() {}")
+
+
+def test_chained_member_after_call_result():
+    expr = parse("f()()[0].x").body[0].expr
+    assert isinstance(expr, ast.MemberExpr)
+
+
+def test_new_member_expression_callee():
+    expr = parse("new a.b()").body[0].expr
+    assert isinstance(expr, ast.NewExpr)
+    assert isinstance(expr.callee, ast.MemberExpr)
+
+
+def test_in_allowed_in_for_test_clause():
+    # Only the init clause restricts `in`.
+    program = parse("for (var i = 0; 'a' in o; i++) break;")
+    assert isinstance(program.body[0], ast.ForStmt)
+
+
+def test_sequence_in_parentheses_as_argument():
+    call = parse("f((1, 2))").body[0].expr
+    assert len(call.args) == 1
+    assert isinstance(call.args[0], ast.SequenceExpr)
+
+
+def test_var_in_for_in_with_initializer_rejected():
+    with pytest.raises(ParseError):
+        parse("for (var x = 1 in o) ;")
+
+
+def test_labels_not_supported():
+    # Labelled statements are outside the subset, like several mjs builds.
+    with pytest.raises(ParseError):
+        parse("loop: while (1) break loop;")
+
+
+def test_getter_syntax_not_supported():
+    with pytest.raises(ParseError):
+        parse("({get x() { return 1 }})")
+
+
+def test_regex_literals_not_supported():
+    # '/' always means division in this subset (mjs also has no regex).
+    with pytest.raises(ParseError):
+        parse("var r = /ab+/")
+
+
+def test_deeply_chained_operators_respect_associativity():
+    expr = parse("1 - 2 - 3").body[0].expr
+    # ((1-2)-3): left operand is itself a subtraction.
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.BinaryExpr)
+
+
+def test_mixed_logical_precedence():
+    expr = parse("a || b && c").body[0].expr
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+
+
+def test_assignment_inside_condition():
+    program = parse("if (x = 1) ;")
+    assert isinstance(program.body[0].test, ast.AssignExpr)

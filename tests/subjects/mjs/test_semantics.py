@@ -1,0 +1,74 @@
+"""§7.3 semantic restrictions: declare-before-use checking."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.mjs import MjsSubject
+
+
+@pytest.fixture
+def strict():
+    return MjsSubject(semantic_checks=True)
+
+
+@pytest.fixture
+def sloppy():
+    return MjsSubject()
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "var x = 1; print(x)",
+        "let a = 1, b = a; b += a",
+        "function f(p) { return p } f(1)",
+        "x = 1; x + 1",  # plain assignment declares (sloppy globals)
+        "for (let i = 0; i < 2; i++) print(i)",
+        "for (k in {a:1}) print(k)",
+        "try { throw 1 } catch (e) { print(e) }",
+        "typeof neverDeclared",  # typeof is safe, as in JS
+        "with ({a: 1}) a + 1",   # `with` defeats static checking
+        "var f = function g() { return g }",
+        "var h = x => x + 1; h(1)",
+        "function outer() { return inner() } function inner() { return 1 } outer()",
+    ],
+)
+def test_semantically_valid(strict, text):
+    assert strict.accepts(text), text
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "print(noSuchName)",
+        "a + 1",
+        "noSuch += 1",
+        "f(1)",
+        "for (k2 of [1]) print(k2x)",
+        "function f() { return missing } f()",
+    ],
+)
+def test_semantically_invalid(strict, sloppy, text):
+    assert not strict.accepts(text), text
+    # ... while the paper's (sloppy) configuration accepts all of them.
+    assert sloppy.accepts(text), text
+
+
+def test_paper_limitation_demonstrated():
+    """§7.3: pFuzzer's parser-valid inputs often fail semantic checks.
+
+    Fuzz the sloppy subject (the paper's setup), then re-validate the
+    outputs under semantic checking — a measurable fraction must fail,
+    because the fuzzer "assumes that if a character was accepted by the
+    parser, the character is correct".
+    """
+    sloppy = MjsSubject()
+    strict = MjsSubject(semantic_checks=True)
+    result = PFuzzer(sloppy, FuzzerConfig(seed=5, max_executions=2500)).run()
+    identifier_inputs = [
+        text
+        for text in result.all_valid
+        if any(c.isalpha() for c in text) and strict.accepts(text) != sloppy.accepts(text)
+    ]
+    assert identifier_inputs, "expected some parser-valid inputs to fail semantics"

@@ -1,0 +1,76 @@
+"""Semantic checker unit behaviour (§7.3 machinery)."""
+
+import pytest
+
+from repro.runtime.errors import SemanticError
+from repro.runtime.stream import InputStream
+from repro.subjects.mjs.parser import parse_mjs
+from repro.subjects.mjs.semantics import SemanticChecker
+
+
+def check(text):
+    SemanticChecker().check(parse_mjs(InputStream(text)))
+
+
+def rejects(text):
+    with pytest.raises(SemanticError):
+        check(text)
+
+
+def test_var_hoisting_allows_use_before_decl():
+    check("x = y; var y = 1;")  # y is hoisted
+
+
+def test_function_hoisting():
+    check("f(); function f() {}")
+
+
+def test_mutual_recursion():
+    check("function a() { return b() } function b() { return a() }")
+
+
+def test_params_and_catch_params_visible():
+    check("function f(p) { return p + 1 }")
+    check("try {} catch (err) { err }")
+
+
+def test_catch_param_scoped_to_catch():
+    rejects("try {} catch (err) {} err")
+
+
+def test_function_expression_name_self_visible_only_inside():
+    check("var f = function g() { return g };")
+    rejects("var f = function g() {}; g")
+
+
+def test_builtins_allowed():
+    check("print(JSON); Object(); isNaN(1); load('x')")
+
+
+def test_assignment_declares_but_compound_does_not():
+    check("q = 1; q += 1")
+    rejects("q2 += 1")
+
+
+def test_nested_scopes_see_outer_declarations():
+    check("var x = 1; function f() { return function() { return x } }")
+
+
+def test_switch_and_loops_checked():
+    rejects("switch (missing) {}")
+    rejects("while (missing) ;")
+    rejects("for (var i = 0; i < missing2; i++) ;")
+
+
+def test_object_members_checked():
+    rejects("var o = {a: missing}")
+    check("var v = 1; var o = {a: v}")
+
+
+def test_typeof_guard_exemption():
+    check("if (typeof maybeGlobal) ;")
+    rejects("if (typeof (maybeGlobal + 1)) ;")
+
+
+def test_hoisting_inside_nested_blocks():
+    check("x = 1; { if (x) { var deep = 2 } } deep")

@@ -1,0 +1,48 @@
+"""mjs Subject wrapper: validity semantics and coverage files."""
+
+import pytest
+
+from repro.runtime.harness import ExitStatus, run_subject
+from repro.subjects.mjs import MjsSubject
+
+
+@pytest.fixture
+def subject():
+    return MjsSubject()
+
+
+def test_valid_means_parsed(subject):
+    assert subject.accepts("var x = 1;")
+    assert subject.accepts("")
+    assert not subject.accepts("var = 1;")
+
+
+def test_runtime_errors_do_not_reject(subject):
+    # Uncaught throw, bad calls, NaN arithmetic: all still exit 0.
+    assert subject.accepts("throw 'x'")
+    assert subject.accepts("(1)(2)")
+    assert subject.accepts("undefinedName.member.chain")
+
+
+def test_hang_reported(subject):
+    fast = MjsSubject(max_steps=500)
+    result = run_subject(fast, "for (;;) ;")
+    assert result.status is ExitStatus.HANG
+
+
+def test_output_is_print_lines(subject):
+    result = run_subject(subject, "print('a'); print(1, 2)")
+    assert result.value == ["a", "1 2"]
+
+
+def test_files_cover_all_mjs_modules(subject):
+    names = {filename.rsplit("/", 1)[-1] for filename in subject.files}
+    assert {"lexer.py", "parser.py", "interp.py", "builtins.py", "values.py"} <= names
+
+
+def test_deeply_nested_functions_behave_like_hang_not_crash(subject):
+    # A parse that is fine but whose execution out-recurses Python must not
+    # crash the harness.
+    source = "function f(n) { return f(n) } f(0)"
+    result = run_subject(subject, source)
+    assert result.status in (ExitStatus.VALID, ExitStatus.HANG)

@@ -1,0 +1,168 @@
+"""mjs value model: coercions, scopes, and equality in isolation."""
+
+import math
+
+import pytest
+
+from repro.subjects.mjs.values import (
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeNamespace,
+    ObjectScope,
+    Scope,
+    format_number,
+    loose_equals,
+    strict_equals,
+    to_int32,
+    to_number,
+    to_string,
+    to_uint32,
+    truthy,
+    type_of,
+)
+from repro.taint.tstr import TaintedStr
+
+
+def test_undefined_is_singleton():
+    from repro.subjects.mjs.values import _Undefined
+
+    assert _Undefined() is UNDEFINED
+    assert not UNDEFINED
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (UNDEFINED, False),
+        (None, False),
+        (0.0, False),
+        (math.nan, False),
+        ("", False),
+        (False, False),
+        (1.0, True),
+        ("x", True),
+        (True, True),
+    ],
+)
+def test_truthy(value, expected):
+    assert truthy(value) is expected
+
+
+def test_truthy_objects_always():
+    assert truthy(JSObject())
+    assert truthy(JSArray())
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (True, 1.0),
+        (False, 0.0),
+        (None, 0.0),
+        ("", 0.0),
+        (" 42 ", 42.0),
+        ("0x10", 16.0),
+        ("1e2", 100.0),
+    ],
+)
+def test_to_number(value, expected):
+    assert to_number(value) == expected
+
+
+def test_to_number_nan_cases():
+    assert math.isnan(to_number(UNDEFINED))
+    assert math.isnan(to_number("xyz"))
+    assert math.isnan(to_number(JSObject()))
+
+
+@pytest.mark.parametrize(
+    "number,expected",
+    [(0.0, "0"), (-0.0, "0"), (2.5, "2.5"), (1e21, "1e+21"), (math.inf, "Infinity"),
+     (-math.inf, "-Infinity"), (math.nan, "NaN"), (42.0, "42")],
+)
+def test_format_number(number, expected):
+    assert format_number(number) == expected
+
+
+def test_to_string_structures():
+    assert to_string(JSArray([1.0, None, UNDEFINED, "x"])) == "1,,,x"
+    assert to_string(JSObject({"a": 1})) == "[object Object]"
+    assert "function" in to_string(JSFunction("f", [], [], Scope()))
+
+
+def test_type_of_table():
+    assert type_of(None) == "object"
+    assert type_of(JSArray()) == "object"
+    assert type_of(NativeNamespace("x", {})) == "object"
+
+
+def test_strict_equals_discriminates_bool_and_number():
+    assert not strict_equals(True, 1.0)
+    assert strict_equals(1.0, 1.0)
+    assert not strict_equals(math.nan, math.nan)
+    obj = JSObject()
+    assert strict_equals(obj, obj)
+    assert not strict_equals(JSObject(), JSObject())
+
+
+def test_loose_equals_coercion_chains():
+    assert loose_equals(None, UNDEFINED)
+    assert loose_equals("1", 1.0)
+    assert loose_equals(True, "1")
+    assert loose_equals(JSArray([1.0]), 1.0)
+    assert not loose_equals(None, 0.0)
+
+
+def test_int32_uint32_edges():
+    assert to_int32(2.0**31) == -(2**31)
+    assert to_uint32(-1.0) == 2**32 - 1
+    assert to_int32(math.nan) == 0
+    assert to_uint32(math.inf) == 0
+
+
+def test_scope_shadowing():
+    outer = Scope()
+    outer.declare("x", 1)
+    inner = Scope(outer)
+    inner.declare("x", 2)
+    assert inner.get("x") == 2
+    assert outer.get("x") == 1
+
+
+def test_scope_set_walks_to_declaration():
+    outer = Scope()
+    outer.declare("x", 1)
+    inner = Scope(outer)
+    inner.set("x", 9)
+    assert outer.get("x") == 9
+
+
+def test_scope_set_undeclared_creates_global():
+    root = Scope()
+    leaf = Scope(Scope(root))
+    leaf.set("g", 7)
+    assert root.get("g") == 7
+
+
+def test_object_scope_in_chain():
+    root = Scope()
+    root.declare("x", "outer")
+    with_scope = ObjectScope(JSObject({"x": "inner"}), root)
+    leaf = Scope(with_scope)
+    assert leaf.get("x") == "inner"
+    leaf.set("x", "updated")
+    assert with_scope.obj.props["x"] == "updated"
+    assert root.get("x") == "outer"
+
+
+def test_native_namespace_lookup_records(monkeypatch):
+    from repro.taint.recorder import Recorder, recording
+
+    namespace = NativeNamespace("g", {"print": 1, "load": 2})
+    recorder = Recorder()
+    with recording(recorder):
+        value = namespace.lookup(TaintedStr("load", (0, 1, 2, 3)))
+    assert value == 2
+    assert {event.other_value for event in recorder.comparisons} == {"print", "load"}

@@ -1,0 +1,47 @@
+"""Subject base-class behaviour."""
+
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+from repro.subjects.expr import ExprSubject
+
+
+def test_accepts_true_false():
+    subject = ExprSubject()
+    assert subject.accepts("1")
+    assert not subject.accepts("A")
+
+
+def test_accepts_does_not_leak_exceptions():
+    # accepts() is the exit-code oracle: all SubjectErrors become False.
+    from repro.subjects.tinyc import TinyCSubject
+
+    assert not TinyCSubject(max_steps=100).accepts("while(9);")  # hang
+    assert not TinyCSubject().accepts("!")  # lex error
+
+
+def test_default_files_is_defining_module():
+    subject = ExprSubject()
+    (filename,) = subject.files
+    assert filename.endswith("subjects/expr.py")
+
+
+def test_default_modules_is_defining_module():
+    subject = ExprSubject()
+    (module,) = subject.modules()
+    assert module.__name__ == "repro.subjects.expr"
+
+
+def test_repr_names_subject():
+    assert "expr" in repr(ExprSubject())
+
+
+def test_custom_subject_minimal_surface():
+    class Echo(Subject):
+        name = "echo"
+
+        def parse(self, stream: InputStream):
+            return stream.read_while(lambda c: True).text
+
+    subject = Echo()
+    assert subject.accepts("anything")
+    assert subject.parse(InputStream("ab")) == "ab"

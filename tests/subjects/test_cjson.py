@@ -1,0 +1,149 @@
+"""cJSON-style JSON subject."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.subjects.cjson import CJsonSubject
+from repro.taint.events import ComparisonKind
+
+
+@pytest.fixture
+def subject():
+    return CJsonSubject()
+
+
+def parse(subject, text):
+    return subject.parse(InputStream(text))
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("null", None),
+        ("true", True),
+        ("false", False),
+        ("0", 0.0),
+        ("-12.5", -12.5),
+        ("1e3", 1000.0),
+        ("2.5E-1", 0.25),
+        ('""', ""),
+        ('"abc"', "abc"),
+        ("[]", []),
+        ("[1,2]", [1.0, 2.0]),
+        ("{}", {}),
+        ('{"a":1}', {"a": 1.0}),
+        ('  {"a" : [true, null] } ', {"a": [True, None]}),
+        ('[{"x":"y"},-3]', [{"x": "y"}, -3.0]),
+    ],
+)
+def test_accepts(subject, text, expected):
+    assert parse(subject, text) == expected
+
+
+def test_whitespace_only_valid(subject):
+    # §5.1 driver setup: the single-space AFL seed is valid everywhere.
+    assert parse(subject, "") is None
+    assert parse(subject, "  \n ") is None
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "nul",
+        "tru",
+        "falsy",
+        "{",
+        "[",
+        "[1,]",
+        '{"a"}',
+        '{"a":}',
+        '{a:1}',
+        '"unterminated',
+        '"bad \\q escape"',
+        "01x",  # trailing junk after strtod prefix
+        "--1",
+        "[1 2]",
+        "{} {}",
+        '"\x01"',  # raw control character
+    ],
+)
+def test_rejects(subject, text):
+    with pytest.raises(ParseError):
+        parse(subject, text)
+
+
+def test_number_strtod_prefix_behaviour(subject):
+    # cJSON consumes only what strtod accepts; '1e+' leaves 'e+' behind and
+    # the trailing junk is rejected at top level.
+    with pytest.raises(ParseError):
+        parse(subject, "1e+")
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ('"\\n\\t\\r\\b\\f"', "\n\t\r\b\f"),
+        ('"\\""', '"'),
+        ('"\\\\"', "\\"),
+        ('"\\/"', "/"),
+        ('"\\u0041"', "A"),
+        ('"\\u00e9"', "é"),
+    ],
+)
+def test_escapes(subject, text, expected):
+    assert parse(subject, text) == expected
+
+
+def test_utf16_surrogate_pair(subject):
+    assert parse(subject, '"\\ud83d\\ude00"') == "\U0001f600"
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        '"\\ud800"',        # lone high surrogate
+        '"\\udc00"',        # lone low surrogate
+        '"\\ud800\\u0041"', # high surrogate followed by non-surrogate
+        '"\\ud800\\ud800"', # two high surrogates
+        '"\\uZZZZ"',
+    ],
+)
+def test_invalid_utf16_rejected(subject, text):
+    with pytest.raises(ParseError):
+        parse(subject, text)
+
+
+def test_keyword_strncmp_recorded(subject):
+    """The 'nu' prefix comparison against 'null' is visible to the fuzzer."""
+    result = run_subject(subject, "nu")
+    strcmps = [
+        event
+        for event in result.recorder.comparisons
+        if event.kind is ComparisonKind.STRCMP
+    ]
+    assert any(event.other_value == "null" for event in strcmps)
+
+
+def test_utf16_range_checks_invisible(subject):
+    """§5.2 limitation: surrogate-range comparisons happen on untainted ints.
+
+    No recorded comparison mentions the 0xD800 boundary, so pFuzzer cannot
+    learn the surrogate structure — reproduced, not fixed.
+    """
+    result = run_subject(subject, '"\\ud800"')
+    assert not result.valid
+    for event in result.recorder.comparisons:
+        assert "\ud800" not in event.other_value
+
+
+def test_nesting_limit(subject):
+    deep = "[" * 200
+    with pytest.raises(ParseError):
+        parse(subject, deep)
+
+
+def test_control_chars_before_value_skipped(subject):
+    # cJSON treats all bytes <= 32 as skippable whitespace.
+    assert parse(subject, "\x0b\x0c 7 \x1f") == 7.0

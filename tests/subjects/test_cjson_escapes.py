@@ -1,0 +1,79 @@
+"""cJSON string-escape matrix and number-grammar corners."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.cjson import CJsonSubject
+
+
+@pytest.fixture
+def subject():
+    return CJsonSubject()
+
+
+def parse(subject, text):
+    return subject.parse(InputStream(text))
+
+
+@pytest.mark.parametrize(
+    "escape,decoded",
+    [("b", "\b"), ("f", "\f"), ("n", "\n"), ("r", "\r"), ("t", "\t"),
+     ('"', '"'), ("\\", "\\"), ("/", "/")],
+)
+def test_simple_escape_matrix(subject, escape, decoded):
+    assert parse(subject, f'"\\{escape}"') == decoded
+
+
+@pytest.mark.parametrize("bad", ["a", "q", "0", " ", "x"])
+def test_unknown_escapes_rejected(subject, bad):
+    with pytest.raises(ParseError):
+        parse(subject, f'"\\{bad}"')
+
+
+@pytest.mark.parametrize(
+    "literal,codepoint",
+    [("0041", 0x41), ("00e9", 0xE9), ("20AC", 0x20AC), ("ffff", 0xFFFF)],
+)
+def test_unicode_escape_matrix(subject, literal, codepoint):
+    assert parse(subject, f'"\\u{literal}"') == chr(codepoint)
+
+
+@pytest.mark.parametrize("truncated", ['"\\u"', '"\\u1"', '"\\u12"', '"\\u123"'])
+def test_truncated_unicode_rejected(subject, truncated):
+    with pytest.raises(ParseError):
+        parse(subject, truncated)
+
+
+@pytest.mark.parametrize(
+    "text,value",
+    [
+        ("0", 0.0),
+        ("-0", -0.0),
+        ("00", 0.0),          # strtod leniency (stricter stdlib rejects)
+        ("1.", 1.0),          # ditto
+        ("0.5", 0.5),
+        ("1e0", 1.0),
+        ("1E+2", 100.0),
+        ("1e-2", 0.01),
+        ("123456789", 123456789.0),
+    ],
+)
+def test_number_grammar(subject, text, value):
+    assert parse(subject, text) == value
+
+
+@pytest.mark.parametrize("bad", ["-", "+1", ".5", "e1", "1e", "1e+", "--1", "1..2"])
+def test_malformed_numbers_rejected(subject, bad):
+    with pytest.raises(ParseError):
+        parse(subject, bad)
+
+
+def test_deep_but_legal_nesting(subject):
+    depth = 50
+    text = "[" * depth + "1" + "]" * depth
+    value = parse(subject, text)
+    for _ in range(depth):
+        assert isinstance(value, list) and len(value) == 1
+        value = value[0]
+    assert value == 1.0

@@ -1,0 +1,83 @@
+"""csvparser-style CSV subject."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.csvp import CsvSubject
+
+
+@pytest.fixture
+def subject():
+    return CsvSubject()
+
+
+def parse(subject, text):
+    return subject.parse(InputStream(text))
+
+
+def test_empty_input(subject):
+    assert parse(subject, "") == []
+
+
+def test_single_row(subject):
+    assert parse(subject, "a,b,c") == [["a", "b", "c"]]
+
+
+def test_rows_split_on_newline(subject):
+    assert parse(subject, "a,b\nc,d\n") == [["a", "b"], ["c", "d"]]
+
+
+def test_crlf_line_endings(subject):
+    assert parse(subject, "a,b\r\nc,d") == [["a", "b"], ["c", "d"]]
+
+
+def test_bare_cr_ends_record(subject):
+    assert parse(subject, "a\rb") == [["a"], ["b"]]
+
+
+def test_empty_fields(subject):
+    assert parse(subject, ",,") == [["", "", ""]]
+
+
+def test_quoted_field_with_comma(subject):
+    assert parse(subject, '"x,y",z') == [["x,y", "z"]]
+
+
+def test_quoted_field_with_newline(subject):
+    assert parse(subject, '"line1\nline2",b') == [["line1\nline2", "b"]]
+
+
+def test_doubled_quote_escape(subject):
+    assert parse(subject, '"say ""hi"""') == [['say "hi"']]
+
+
+def test_empty_quoted_field(subject):
+    assert parse(subject, '""') == [[""]]
+
+
+def test_unterminated_quote_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, '"abc')
+
+
+def test_bare_quote_in_field_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, 'ab"c')
+
+
+def test_garbage_after_closed_quote_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, '"ab"x')
+
+
+def test_quote_then_separator_ok(subject):
+    assert parse(subject, '"ab",c\n"d"') == [["ab", "c"], ["d"]]
+
+
+def test_trailing_newline_no_phantom_row(subject):
+    assert parse(subject, "a\n") == [["a"]]
+
+
+def test_whitespace_is_field_content(subject):
+    assert parse(subject, " a , b ") == [[" a ", " b "]]

@@ -1,0 +1,83 @@
+"""The §2 expression subject: acceptance, values, and the Figure 1 trace."""
+
+import pytest
+
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.runtime.errors import ParseError
+from repro.subjects.expr import ExprSubject
+
+
+@pytest.fixture
+def subject():
+    return ExprSubject()
+
+
+@pytest.mark.parametrize(
+    "text,value",
+    [
+        ("1", 1),
+        ("11", 11),
+        ("+1", 1),
+        ("-1", -1),
+        ("1+1", 2),
+        ("1-1", 0),
+        ("(1)", 1),
+        ("(2-94)", -92),
+        ("((3))", 3),
+        ("1+2+3", 6),
+        ("-(2)", -2),
+        ("10-+3", 7),
+    ],
+)
+def test_accepts_paper_examples(subject, text, value):
+    assert subject.parse(InputStream(text)) == value
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", "A", "(", "(2", "1+", "()", "1)", "(2-94", "+-", "1 + 1", "--"],
+)
+def test_rejects(subject, text):
+    with pytest.raises(ParseError):
+        subject.parse(InputStream(text))
+
+
+def test_figure1_comparisons_on_first_char(subject):
+    """On 'A' the parser checks digit, '(', '+' and '-' before rejecting."""
+    result = run_subject(subject, "A")
+    candidates = set()
+    for event in result.recorder.comparisons_at(0):
+        candidates.update(event.replacement_candidates())
+    assert "(" in candidates
+    assert "+" in candidates
+    assert "-" in candidates
+    assert {"0", "9"} <= candidates  # digits via isdigit class
+
+
+def test_figure1_prefix_extension(subject):
+    """After '(2' the parser wants ')', an operator or more digits at EOF."""
+    result = run_subject(subject, "(2")
+    assert not result.valid
+    eof_index = 2
+    candidates = set()
+    for event in result.recorder.comparisons_at(eof_index):
+        candidates.update(event.replacement_candidates())
+    assert ")" in candidates
+    assert "+" in candidates and "-" in candidates
+
+
+def test_nesting_guard(subject):
+    deep = "(" * 500
+    with pytest.raises(ParseError):
+        subject.parse(InputStream(deep))
+
+
+def test_accepts_helper(subject):
+    assert subject.accepts("42")
+    assert not subject.accepts("4 2")
+
+
+def test_files_point_to_module(subject):
+    (filename,) = subject.files
+    assert filename.endswith("expr.py")

@@ -1,0 +1,97 @@
+"""inih-style INI subject."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.ini import IniSubject
+
+
+@pytest.fixture
+def subject():
+    return IniSubject()
+
+
+def parse(subject, text):
+    return subject.parse(InputStream(text))
+
+
+def test_empty_input_valid(subject):
+    assert parse(subject, "") == []
+
+
+def test_blank_lines_and_whitespace(subject):
+    assert parse(subject, "\n  \n\t\n") == []
+
+
+def test_simple_pair(subject):
+    assert parse(subject, "key=value") == [("", "key", "value")]
+
+
+def test_colon_separator(subject):
+    assert parse(subject, "key: value") == [("", "key", "value")]
+
+
+def test_whitespace_stripped(subject):
+    assert parse(subject, "  key  =  value  \n") == [("", "key", "value")]
+
+
+def test_section_assignment(subject):
+    entries = parse(subject, "[sec]\na=1\n[other]\nb=2\n")
+    assert entries == [("sec", "a", "1"), ("other", "b", "2")]
+
+
+def test_section_name_stripped(subject):
+    assert parse(subject, "[ s ]\nx=1") == [("s", "x", "1")]
+
+
+def test_comments_skipped(subject):
+    assert parse(subject, "; comment\n# also comment\na=1") == [("", "a", "1")]
+
+
+def test_inline_comment_stripped(subject):
+    assert parse(subject, "a=1 ; trailing") == [("", "a", "1")]
+
+
+def test_empty_name_and_value_allowed(subject):
+    assert parse(subject, "=") == [("", "", "")]
+
+
+def test_section_without_closing_bracket_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, "[section\n")
+    with pytest.raises(ParseError):
+        parse(subject, "[section")
+
+
+def test_line_without_separator_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, "just some text\n")
+
+
+def test_comment_before_separator_rejected(subject):
+    with pytest.raises(ParseError):
+        parse(subject, "name;=value\n")
+
+
+def test_error_reports_index(subject):
+    try:
+        parse(subject, "bad\n")
+    except ParseError as error:
+        assert error.index == 3
+    else:
+        raise AssertionError("expected ParseError")
+
+
+def test_value_after_section_junk_ignored(subject):
+    # inih ignores trailing characters after "]".
+    assert parse(subject, "[s] trailing\na=1") == [("s", "a", "1")]
+
+
+def test_multiple_pairs_same_section(subject):
+    entries = parse(subject, "[s]\na=1\nb=2")
+    assert entries == [("s", "a", "1"), ("s", "b", "2")]
+
+
+def test_last_line_without_newline(subject):
+    assert parse(subject, "a=1") == [("", "a", "1")]

@@ -1,0 +1,50 @@
+"""Subject registry and Table 1 size accounting."""
+
+import pytest
+
+from repro.subjects.base import Subject
+from repro.subjects.registry import (
+    PAPER_LOC,
+    SUBJECT_NAMES,
+    load_subject,
+    subject_sloc,
+)
+
+
+def test_all_paper_subjects_registered():
+    assert SUBJECT_NAMES == ("ini", "csv", "json", "tinyc", "mjs")
+    for name in SUBJECT_NAMES:
+        subject = load_subject(name)
+        assert isinstance(subject, Subject)
+        assert subject.name == name
+
+
+def test_demo_subject_available():
+    assert load_subject("expr").name == "expr"
+
+
+def test_unknown_subject_raises_with_known_names():
+    with pytest.raises(KeyError, match="tinyc"):
+        load_subject("nope")
+
+
+def test_fresh_instances():
+    assert load_subject("ini") is not load_subject("ini")
+
+
+def test_paper_loc_table():
+    assert PAPER_LOC["mjs"] == 10920
+    assert set(PAPER_LOC) == set(SUBJECT_NAMES)
+
+
+def test_subject_sloc_positive_and_ordered():
+    sizes = {name: subject_sloc(load_subject(name)) for name in SUBJECT_NAMES}
+    assert all(size > 30 for size in sizes.values())
+    # mjs is by far the largest subject here, as in the paper.
+    assert sizes["mjs"] == max(sizes.values())
+
+
+def test_every_subject_accepts_space():
+    """§5.1: a single space character is valid for all subjects (AFL seed)."""
+    for name in SUBJECT_NAMES:
+        assert load_subject(name).accepts(" "), name

@@ -1,0 +1,72 @@
+"""Upstream configuration options mirrored by the subjects."""
+
+import pytest
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.csvp import CsvSubject
+from repro.subjects.ini import IniSubject
+
+
+# ---------------------------------------------------------------------- #
+# inih INI_ALLOW_MULTILINE
+# ---------------------------------------------------------------------- #
+
+
+def test_multiline_continuation_joins_values():
+    subject = IniSubject(multiline=True)
+    entries = subject.parse(InputStream("key=first\n  second\n"))
+    assert entries == [("", "key", "first\nsecond")]
+
+
+def test_multiline_multiple_continuations():
+    subject = IniSubject(multiline=True)
+    entries = subject.parse(InputStream("k=a\n b\n c"))
+    assert entries == [("", "k", "a\nb\nc")]
+
+
+def test_multiline_off_by_default():
+    subject = IniSubject()
+    with pytest.raises(ParseError):
+        subject.parse(InputStream("key=first\n  second\n"))
+
+
+def test_multiline_needs_previous_entry():
+    subject = IniSubject(multiline=True)
+    with pytest.raises(ParseError):
+        subject.parse(InputStream("  orphan continuation\n"))
+
+
+def test_multiline_blank_line_is_not_continuation():
+    subject = IniSubject(multiline=True)
+    entries = subject.parse(InputStream("k=v\n   \nx=1"))
+    assert entries == [("", "k", "v"), ("", "x", "1")]
+
+
+# ---------------------------------------------------------------------- #
+# csv_parser custom delimiter
+# ---------------------------------------------------------------------- #
+
+
+def test_semicolon_delimiter():
+    subject = CsvSubject(delimiter=";")
+    rows = subject.parse(InputStream("a;b\nc;d"))
+    assert rows == [["a", "b"], ["c", "d"]]
+
+
+def test_custom_delimiter_frees_comma():
+    subject = CsvSubject(delimiter="|")
+    rows = subject.parse(InputStream("a,b|c"))
+    assert rows == [["a,b", "c"]]
+
+
+def test_tab_delimiter():
+    subject = CsvSubject(delimiter="\t")
+    rows = subject.parse(InputStream("a\tb"))
+    assert rows == [["a", "b"]]
+
+
+@pytest.mark.parametrize("bad", ["", ",,", '"', "\n", "\r"])
+def test_invalid_delimiters_rejected(bad):
+    with pytest.raises(ValueError):
+        CsvSubject(delimiter=bad)

@@ -1,0 +1,225 @@
+"""tiny-c subject: lexer, parser, compiler and VM."""
+
+import pytest
+
+from repro.runtime.errors import HangError, ParseError
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.subjects.tinyc import (
+    Sym,
+    TinyCCompiler,
+    TinyCLexer,
+    TinyCParser,
+    TinyCSubject,
+    TinyCVM,
+)
+from repro.taint.events import ComparisonKind
+
+
+@pytest.fixture
+def subject():
+    return TinyCSubject()
+
+
+def run_program(subject, text):
+    return subject.parse(InputStream(text))
+
+
+# ---------------------------------------------------------------------- #
+# Lexer
+# ---------------------------------------------------------------------- #
+
+
+def lex_all(text):
+    lexer = TinyCLexer(InputStream(text))
+    symbols = []
+    while lexer.token.sym is not Sym.EOI:
+        symbols.append(lexer.token.sym)
+        lexer.next_sym()
+    return symbols
+
+
+def test_lexer_punctuation():
+    assert lex_all("{}()+-<;=") == [
+        Sym.LBRA,
+        Sym.RBRA,
+        Sym.LPAR,
+        Sym.RPAR,
+        Sym.PLUS,
+        Sym.MINUS,
+        Sym.LESS,
+        Sym.SEMI,
+        Sym.EQUAL,
+    ]
+
+
+def test_lexer_keywords_and_ids():
+    assert lex_all("if a while do else b") == [
+        Sym.IF,
+        Sym.ID,
+        Sym.WHILE,
+        Sym.DO,
+        Sym.ELSE,
+        Sym.ID,
+    ]
+
+
+def test_lexer_numbers():
+    lexer = TinyCLexer(InputStream("123"))
+    assert lexer.token.sym is Sym.INT
+    assert lexer.token.int_val == 123
+
+
+def test_lexer_multichar_identifier_rejected():
+    with pytest.raises(ParseError):
+        lex_all("ab")
+
+
+def test_lexer_uppercase_rejected():
+    with pytest.raises(ParseError):
+        lex_all("A")
+
+
+def test_lexer_unknown_char_rejected():
+    with pytest.raises(ParseError):
+        lex_all("!")
+
+
+def test_keyword_strcmp_recorded(subject):
+    """The keyword table scan is visible as strcmp events."""
+    result = run_subject(subject, "wh")
+    expected = {
+        event.other_value
+        for event in result.recorder.comparisons
+        if event.kind is ComparisonKind.STRCMP
+    }
+    assert "while" in expected
+    assert "do" in expected
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        ";",
+        "a=1;",
+        "{}",
+        "{a=1; b=2;}",
+        "if (a<b) a=b;",
+        "if (1) ; else ;",
+        "while (a<10) a=a+1;",
+        "do a=a+1; while (a<5);",
+        "a=b=c=3;",
+        "(1+2);",
+        "a=1-2+3;",
+        "if (a) if (b) ; else ;",
+    ],
+)
+def test_parses(subject, text):
+    run_program(subject, text)
+
+
+def test_whitespace_only_valid(subject):
+    # §5.1 driver setup: the single-space AFL seed is valid everywhere.
+    run_program(subject, "")
+    run_program(subject, "  \n")
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "a=1",
+        "a=;",
+        "if a<b ;",
+        "while () ;",
+        "do ; while (1)",
+        "{",
+        "} ",
+    ],
+)
+def test_rejects(subject, text):
+    with pytest.raises(ParseError):
+        run_program(subject, text)
+
+
+def test_program_is_one_statement(subject):
+    # <program> ::= <statement>; a second statement is trailing input.
+    with pytest.raises(ParseError):
+        run_program(subject, "a=1; b=2;")
+    # ... unless wrapped in a block.
+    run_program(subject, "{a=1; b=2;}")
+
+
+# ---------------------------------------------------------------------- #
+# Compiler + VM semantics
+# ---------------------------------------------------------------------- #
+
+
+def test_assignment_executes(subject):
+    globals_ = run_program(subject, "a=42;")
+    assert globals_["a"] == 42
+
+
+def test_arithmetic(subject):
+    globals_ = run_program(subject, "{a=2+3-1; b=a+a;}")
+    assert globals_["a"] == 4
+    assert globals_["b"] == 8
+
+
+def test_less_than(subject):
+    globals_ = run_program(subject, "{a=1<2; b=2<1;}")
+    assert globals_["a"] == 1
+    assert globals_["b"] == 0
+
+
+def test_if_else(subject):
+    globals_ = run_program(subject, "if (0) a=1; else a=2;")
+    assert globals_["a"] == 2
+
+
+def test_while_loop(subject):
+    globals_ = run_program(subject, "{i=0; while (i<10) i=i+1;}")
+    assert globals_["i"] == 10
+
+
+def test_do_while(subject):
+    globals_ = run_program(subject, "{i=9; do i=i+1; while (i<5);}")
+    assert globals_["i"] == 10
+
+
+def test_paper_gcd_style_program(subject):
+    # The classic tiny-c demo: compute something with nested control flow.
+    globals_ = run_program(
+        subject, "{a=17; b=5; while (b<a) a=a-b; }"
+    )
+    assert globals_["a"] == 2
+
+
+def test_infinite_loop_hangs():
+    subject = TinyCSubject(max_steps=1_000)
+    with pytest.raises(HangError):
+        run_program(subject, "while(9);")
+
+
+def test_vm_step_budget_configurable():
+    fast = TinyCSubject(max_steps=50)
+    with pytest.raises(HangError):
+        run_program(fast, "{i=0; while (i<1000) i=i+1;}")
+
+
+def test_compiler_emits_halt():
+    from repro.subjects.tinyc import HALT
+
+    lexer = TinyCLexer(InputStream(";"))
+    ast = TinyCParser(lexer).program()
+    code = TinyCCompiler().compile(ast)
+    assert code[-1] == HALT
+
+
+def test_nesting_guard(subject):
+    with pytest.raises(ParseError):
+        run_program(subject, "(" * 1000 + "1;")

@@ -1,0 +1,61 @@
+"""Exhaustive tiny-c lexer matrix."""
+
+import pytest
+
+from repro.runtime.stream import InputStream
+from repro.subjects.tinyc import KEYWORDS, Sym, TinyCLexer
+
+PUNCT = {
+    "{": Sym.LBRA,
+    "}": Sym.RBRA,
+    "(": Sym.LPAR,
+    ")": Sym.RPAR,
+    "+": Sym.PLUS,
+    "-": Sym.MINUS,
+    "<": Sym.LESS,
+    ";": Sym.SEMI,
+    "=": Sym.EQUAL,
+}
+
+
+@pytest.mark.parametrize("text,sym", sorted(PUNCT.items()))
+def test_every_punctuator(text, sym):
+    lexer = TinyCLexer(InputStream(text))
+    assert lexer.token.sym is sym
+    lexer.next_sym()
+    assert lexer.token.sym is Sym.EOI
+
+
+@pytest.mark.parametrize("keyword", KEYWORDS)
+def test_every_keyword(keyword):
+    lexer = TinyCLexer(InputStream(keyword))
+    assert lexer.token.sym is Sym(keyword)
+
+
+@pytest.mark.parametrize("letter", "abcmz")
+def test_single_letters_are_identifiers(letter):
+    lexer = TinyCLexer(InputStream(letter))
+    assert lexer.token.sym is Sym.ID
+    assert lexer.token.id_name == letter
+
+
+@pytest.mark.parametrize("text,value", [("0", 0), ("7", 7), ("42", 42), ("007", 7)])
+def test_integers(text, value):
+    lexer = TinyCLexer(InputStream(text))
+    assert lexer.token.sym is Sym.INT
+    assert lexer.token.int_val == value
+
+
+def test_whitespace_between_tokens():
+    lexer = TinyCLexer(InputStream("  a \n  = \t 1  "))
+    symbols = []
+    while lexer.token.sym is not Sym.EOI:
+        symbols.append(lexer.token.sym)
+        lexer.next_sym()
+    assert symbols == [Sym.ID, Sym.EQUAL, Sym.INT]
+
+
+def test_token_indices_point_into_input():
+    lexer = TinyCLexer(InputStream("  while"))
+    assert lexer.token.sym is Sym.WHILE
+    assert lexer.token.index == 2

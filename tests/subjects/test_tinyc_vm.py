@@ -1,0 +1,103 @@
+"""tiny-c bytecode compiler and VM internals."""
+
+import pytest
+
+from repro.runtime.errors import HangError
+from repro.runtime.stream import InputStream
+from repro.subjects.tinyc import (
+    HALT,
+    IADD,
+    IFETCH,
+    ILT,
+    IPUSH,
+    ISTORE,
+    ISUB,
+    JMP,
+    JNZ,
+    JZ,
+    TinyCCompiler,
+    TinyCLexer,
+    TinyCParser,
+    TinyCVM,
+)
+
+
+def compile_program(text):
+    lexer = TinyCLexer(InputStream(text))
+    ast = TinyCParser(lexer).program()
+    return TinyCCompiler().compile(ast)
+
+
+def run_code(code, max_steps=10_000):
+    vm = TinyCVM(max_steps)
+    vm.run(code)
+    return vm.globals
+
+
+def test_constant_assignment_bytecode():
+    code = compile_program("a=7;")
+    assert code[:4] == [IPUSH, 7, ISTORE, "a"]
+    assert code[-1] == HALT
+
+
+def test_fetch_and_add_bytecode():
+    code = compile_program("a=b+1;")
+    assert IFETCH in code and IADD in code
+
+
+def test_if_compiles_to_jz():
+    code = compile_program("if (a<b) c=1;")
+    assert JZ in code and ILT in code
+
+
+def test_if_else_compiles_to_jz_and_jmp():
+    code = compile_program("if (a) b=1; else b=2;")
+    assert JZ in code and JMP in code
+
+
+def test_do_while_compiles_to_jnz():
+    code = compile_program("do a=a-1; while (0<a);")
+    assert JNZ in code and ISUB in code
+
+
+def test_jump_targets_in_range():
+    code = compile_program("{ i=0; while (i<3) { i=i+1; if (i<2) ; else ; } }")
+    for position, op in enumerate(code):
+        if op in (JZ, JNZ, JMP):
+            target = code[position + 1]
+            assert isinstance(target, int)
+            assert 0 <= target <= len(code)
+
+
+def test_vm_executes_compiled_if_else():
+    globals_ = run_code(compile_program("if (0<1) a=10; else a=20;"))
+    assert globals_["a"] == 10
+
+
+def test_vm_globals_start_at_zero():
+    vm = TinyCVM()
+    assert vm.globals["a"] == 0
+    assert vm.globals["z"] == 0
+    assert len(vm.globals) == 26
+
+
+def test_vm_step_budget():
+    code = compile_program("while (0<1) a=a+1;")
+    with pytest.raises(HangError):
+        run_code(code, max_steps=100)
+
+
+def test_nested_assignment_value_propagates():
+    globals_ = run_code(compile_program("a=b=c=5;"))
+    assert globals_["a"] == globals_["b"] == globals_["c"] == 5
+
+
+def test_comparison_produces_zero_or_one():
+    globals_ = run_code(compile_program("{a=3<4; b=4<3;}"))
+    assert (globals_["a"], globals_["b"]) == (1, 0)
+
+
+def test_fibonacci_program():
+    source = "{ a=0; b=1; i=0; while (i<10) { c=a+b; a=b; b=c; i=i+1; } }"
+    globals_ = run_code(compile_program(source))
+    assert globals_["a"] == 55

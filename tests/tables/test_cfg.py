@@ -1,0 +1,83 @@
+"""CFG machinery: FIRST/FOLLOW and LL(1) table construction."""
+
+import pytest
+
+from repro.tables.grammar import (
+    CFG,
+    CharClass,
+    END,
+    EPSILON,
+    LL1Conflict,
+    build_table,
+)
+from repro.tables.subjects import DIGIT, expr_cfg
+
+
+def toy_cfg():
+    # S -> a S | b
+    return CFG(name="toy", start="S").add("S", "a", "S").add("S", "b")
+
+
+def test_nonterminals_and_productions():
+    grammar = expr_cfg()
+    assert {"E", "E'", "T", "N", "N'"} == grammar.nonterminals
+    assert len(grammar.productions_of("T")) == 4
+
+
+def test_first_sets():
+    first = expr_cfg().first_sets()
+    assert first["E'"] == {"+", "-", EPSILON}
+    assert first["T"] == {"(", "+", "-", DIGIT}
+    assert first["N"] == {DIGIT}
+    assert EPSILON in first["N'"]
+
+
+def test_follow_sets():
+    follow = expr_cfg().follow_sets()
+    assert follow["E"] == {END, ")"}
+    assert follow["E'"] == {END, ")"}
+    assert "+" in follow["N"] and "-" in follow["N"]
+
+
+def test_build_table_cells():
+    table = build_table(expr_cfg())
+    production = table.cells[("T", "(")]
+    assert production.body[0] == "("
+    # Epsilon production lands in FOLLOW columns.
+    assert ("E'", END) in table.cells
+    assert ("E'", ")") in table.cells
+
+
+def test_lookup_direct_class_and_end():
+    table = build_table(expr_cfg())
+    assert table.lookup("T", "(", at_end=False).body[0] == "("
+    assert table.lookup("T", "7", at_end=False).body[0] == "N"
+    assert table.lookup("N", "7", at_end=False).body[0] == DIGIT
+    assert table.lookup("E'", "", at_end=True).body == ()
+    assert table.lookup("T", "x", at_end=False) is None
+
+
+def test_expected_terminals_excludes_end():
+    table = build_table(expr_cfg())
+    expected = table.expected_terminals("T")
+    assert END not in expected
+    assert "(" in expected and DIGIT in expected
+
+
+def test_conflict_detection():
+    # S -> a | a b is not LL(1).
+    grammar = CFG(name="bad", start="S").add("S", "a").add("S", "a", "b")
+    with pytest.raises(LL1Conflict):
+        build_table(grammar)
+
+
+def test_char_class_membership():
+    assert "5" in DIGIT
+    assert "x" not in DIGIT
+
+
+def test_production_str():
+    grammar = toy_cfg()
+    assert str(grammar.productions[0]) == "S -> a S"
+    empty = CFG(name="e", start="S").add("S")
+    assert EPSILON in str(empty.productions[0])

@@ -1,0 +1,90 @@
+"""Table-driven parser engine and the §7.1 instrumentation modes."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.runtime.errors import ParseError
+from repro.runtime.harness import run_subject
+from repro.runtime.stream import InputStream
+from repro.tables.subjects import TableExprSubject
+
+
+@pytest.fixture
+def plain():
+    return TableExprSubject(instrumented=False)
+
+
+@pytest.fixture
+def instrumented():
+    return TableExprSubject(instrumented=True)
+
+
+@pytest.mark.parametrize(
+    "text", ["1", "42", "1+1", "(2-94)", "+-3", "((7))", "1+2-3", "-(1)"]
+)
+def test_accepts(plain, instrumented, text):
+    assert plain.accepts(text)
+    assert instrumented.accepts(text)
+
+
+@pytest.mark.parametrize("text", ["", "A", "(2", "1+", "()", "1)", "1 + 1"])
+def test_rejects(plain, instrumented, text):
+    assert not plain.accepts(text)
+    assert not instrumented.accepts(text)
+
+
+def test_stack_overflow_guard(plain):
+    with pytest.raises(ParseError):
+        plain.parse(InputStream("(" * 2000))
+
+
+def test_plain_mode_records_no_cells(plain):
+    result = run_subject(plain, "1+1")
+    assert not result.recorder.aux_branches
+
+
+def test_instrumented_mode_records_cells(instrumented):
+    result = run_subject(instrumented, "1+1")
+    cells = set(result.recorder.aux_branches)
+    assert ("table:expr", "E", "digit") in cells
+    assert ("table:expr", "E'", "+") in cells
+
+
+def test_cells_merge_into_branches(instrumented):
+    result = run_subject(instrumented, "1")
+    assert any(arc[0] == "table:expr" for arc in result.branches)
+
+
+def test_instrumented_row_scan_gives_substitutions(instrumented):
+    from repro.core.substitute import substitutions_for
+
+    result = run_subject(instrumented, "A")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "(" in texts
+    assert "+" in texts and "-" in texts
+    assert "5" in texts  # digit class member
+
+
+def test_plain_mode_blind_on_expansion(plain):
+    """§7.1 limitation: the rejected lookahead was never compared."""
+    from repro.core.substitute import substitutions_for
+
+    result = run_subject(plain, "A")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "(" not in texts
+
+
+def test_ablation_instrumented_beats_plain():
+    """The paper's proposed fix measurably helps the fuzzer."""
+    plain_result = PFuzzer(
+        TableExprSubject(False), FuzzerConfig(seed=0, max_executions=500)
+    ).run()
+    inst_result = PFuzzer(
+        TableExprSubject(True), FuzzerConfig(seed=0, max_executions=500)
+    ).run()
+    assert len(inst_result.all_valid) > len(plain_result.all_valid)
+
+
+def test_parse_returns_reduction_count(plain):
+    assert plain.parse(InputStream("1")) >= 3  # E, T, N at minimum

@@ -1,0 +1,89 @@
+"""The LL(1) JSON-core table subject."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.tables.grammar import build_table
+from repro.tables.subjects import TableJsonSubject, json_cfg
+
+
+@pytest.fixture
+def subject():
+    return TableJsonSubject(instrumented=True)
+
+
+def test_grammar_is_ll1():
+    build_table(json_cfg())  # raises LL1Conflict if not
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "1",
+        "-42",
+        '""',
+        '"abc"',
+        "[]",
+        "[1,2]",
+        "{}",
+        '{"k":1}',
+        '{"a":[true,false,null],"b":"x"}',
+        "true",
+        "false",
+        "null",
+        '[[["deep"]]]',
+    ],
+)
+def test_accepts(subject, text):
+    assert subject.accepts(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "tru",
+        "truex",
+        "[1,]",
+        '{"a"}',
+        '{"a":}',
+        "{1:2}",
+        '"unterminated',
+        "01x",
+        " 1",  # whitespace is outside the LL(1) core
+        "1 ",
+    ],
+)
+def test_rejects(subject, text):
+    assert not subject.accepts(text)
+
+
+def test_plain_and_instrumented_agree_on_language():
+    plain = TableJsonSubject(instrumented=False)
+    instrumented = TableJsonSubject(instrumented=True)
+    for text in ("1", "[]", '{"a":1}', "tru", "", "[1,"):
+        assert plain.accepts(text) == instrumented.accepts(text), text
+
+
+def test_instrumented_fuzzer_finds_structure():
+    result = PFuzzer(
+        TableJsonSubject(instrumented=True),
+        FuzzerConfig(seed=1, max_executions=2_000),
+    ).run()
+    corpus = result.all_valid
+    assert any("[" in text for text in corpus)
+    assert any('"' in text for text in corpus)
+
+
+def test_keywords_need_cell_by_cell_discovery():
+    """Unlike cJSON's strcmp, the table spells keywords one char at a time:
+    the fuzzer can still walk there, but no single substitution jumps to
+    'true' (an honest structural property of table-driven parsing)."""
+    from repro.core.substitute import substitutions_for
+    from repro.runtime.harness import run_subject
+
+    result = run_subject(TableJsonSubject(instrumented=True), "t")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "true" not in texts
+    assert "tr" in texts

@@ -1,0 +1,74 @@
+"""Token-taint bridging (§7.2 future work)."""
+
+from repro.core.substitute import substitutions_for
+from repro.runtime.harness import run_subject
+from repro.subjects.mjs import MjsSubject
+from repro.subjects.tinyc import TinyCSubject
+from repro.taint.bridge import record_token_expectation
+from repro.taint.events import ComparisonKind
+from repro.taint.recorder import Recorder, recording
+
+
+def test_record_token_expectation():
+    recorder = Recorder()
+    with recording(recorder):
+        record_token_expectation(5, "}", "(", False)
+    (event,) = recorder.comparisons
+    assert event.kind is ComparisonKind.STRCMP
+    assert event.index == 5
+    assert event.other_value == "("
+    assert not event.result
+
+
+def test_eof_token_marked():
+    recorder = Recorder()
+    with recording(recorder):
+        record_token_expectation(3, "", ")", False)
+    (event,) = recorder.comparisons
+    assert event.at_eof
+    assert event.indices == ()
+
+
+def test_no_recorder_no_crash():
+    record_token_expectation(0, "x", "y", False)
+
+
+def test_empty_expected_not_recorded():
+    recorder = Recorder()
+    with recording(recorder):
+        record_token_expectation(0, "x", "", False)
+    assert recorder.comparisons == []
+
+
+def test_default_subjects_reproduce_the_limitation():
+    """Without bridging, 'while' gives the fuzzer nothing to go on (§7.2)."""
+    result = run_subject(TinyCSubject(), "while")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "while(" not in texts
+
+
+def test_bridged_tinyc_recovers_the_expectation():
+    """With bridging, the '(' expectation after 'while' becomes a
+    substitution candidate."""
+    result = run_subject(TinyCSubject(token_bridge=True), "while")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "while(" in texts
+
+
+def test_bridged_tinyc_closes_paren_expr():
+    result = run_subject(TinyCSubject(token_bridge=True), "while(1")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "while(1)" in texts
+
+
+def test_bridged_mjs_expectations():
+    result = run_subject(MjsSubject(token_bridge=True), "if")
+    texts = {s.text for s in substitutions_for(result)}
+    assert "if(" in texts
+
+
+def test_bridge_does_not_change_acceptance():
+    plain = TinyCSubject()
+    bridged = TinyCSubject(token_bridge=True)
+    for text in ("a=1;", "while", "if (a) ; else ;", "{", ""):
+        assert plain.accepts(text) == bridged.accepts(text), text

@@ -1,0 +1,57 @@
+"""Comparison events: replacement-candidate derivation per kind."""
+
+import pytest
+
+from repro.taint.events import ComparisonEvent, ComparisonKind, EOFEvent
+
+
+def event(kind, other, result=False):
+    return ComparisonEvent(kind, 0, "a", other, result)
+
+
+def test_eq_candidate_is_the_compared_value():
+    assert event(ComparisonKind.EQ, "(").replacement_candidates() == ("(",)
+
+
+def test_ne_candidate():
+    assert event(ComparisonKind.NE, ")").replacement_candidates() == (")",)
+
+
+def test_in_candidates_are_class_members_deduped():
+    candidates = event(ComparisonKind.IN, "aab").replacement_candidates()
+    assert candidates == ("a", "b")
+
+
+def test_switch_candidates():
+    candidates = event(ComparisonKind.SWITCH, "xy").replacement_candidates()
+    assert candidates == ("x", "y")
+
+
+def test_strcmp_candidate_is_whole_string():
+    assert event(ComparisonKind.STRCMP, "while").replacement_candidates() == ("while",)
+
+
+def test_relational_candidate_is_boundary():
+    assert event(ComparisonKind.LE, "9").replacement_candidates() == ("9",)
+    assert event(ComparisonKind.GT, "a").replacement_candidates() == ("a",)
+
+
+def test_empty_other_value_yields_nothing():
+    assert event(ComparisonKind.EQ, "").replacement_candidates() == ()
+    assert event(ComparisonKind.STRCMP, "").replacement_candidates() == ()
+
+
+def test_is_string_comparison():
+    assert event(ComparisonKind.STRCMP, "x").is_string_comparison
+    assert not event(ComparisonKind.EQ, "x").is_string_comparison
+
+
+def test_events_are_frozen():
+    frozen = event(ComparisonKind.EQ, "x")
+    with pytest.raises(AttributeError):
+        frozen.index = 3
+
+
+def test_eof_event_fields():
+    eof = EOFEvent(index=7, stack_depth=2, clock=9)
+    assert (eof.index, eof.stack_depth, eof.clock) == (7, 2, 9)

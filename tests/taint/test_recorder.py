@@ -1,0 +1,114 @@
+"""Recorder: trace collection, queries, and context isolation."""
+
+from repro.taint.events import ComparisonKind
+from repro.taint.recorder import Recorder, current_recorder, recording
+
+
+def record(recorder, index, other="x", kind=ComparisonKind.EQ, result=False):
+    recorder.record(kind, index, "a", other, result, indices=(index,))
+
+
+def test_no_recorder_by_default():
+    assert current_recorder() is None
+
+
+def test_recording_installs_and_restores():
+    with recording() as recorder:
+        assert current_recorder() is recorder
+    assert current_recorder() is None
+
+
+def test_recording_nests():
+    with recording() as outer:
+        with recording() as inner:
+            assert current_recorder() is inner
+        assert current_recorder() is outer
+
+
+def test_last_compared_index():
+    recorder = Recorder()
+    assert recorder.last_compared_index() is None
+    record(recorder, 2)
+    record(recorder, 5)
+    record(recorder, 3)
+    assert recorder.last_compared_index() == 5
+
+
+def test_comparisons_at():
+    recorder = Recorder()
+    record(recorder, 1, "a")
+    record(recorder, 1, "b")
+    record(recorder, 2, "c")
+    assert [e.other_value for e in recorder.comparisons_at(1)] == ["a", "b"]
+
+
+def test_comparisons_touching_includes_string_spans():
+    recorder = Recorder()
+    # strcmp at index 3 comparing "wh" against "while": indices 3..7 touched.
+    recorder.record(
+        ComparisonKind.STRCMP, 3, "wh", "while", False, indices=(3, 4)
+    )
+    record(recorder, 6, "x")
+    touching = recorder.comparisons_touching(6)
+    assert len(touching) == 2
+    assert any(e.kind is ComparisonKind.STRCMP for e in touching)
+
+
+def test_eof_tracking():
+    recorder = Recorder()
+    assert not recorder.eof_accessed
+    recorder.record_eof(4)
+    assert recorder.eof_accessed
+    assert recorder.eof_events[0].index == 4
+
+
+def test_average_stack_size_of_last_two():
+    recorder = Recorder(depth_provider=lambda: 0)
+    depths = iter([2, 4, 6])
+    recorder.depth_provider = lambda: next(depths)
+    record(recorder, 0)
+    record(recorder, 1)
+    record(recorder, 2)
+    assert recorder.average_stack_size() == 5.0  # (4 + 6) / 2
+
+
+def test_average_stack_size_empty_and_single():
+    recorder = Recorder()
+    assert recorder.average_stack_size() == 0.0
+    recorder.depth_provider = lambda: 8
+    record(recorder, 0)
+    assert recorder.average_stack_size() == 8.0
+
+
+def test_clock_provider_stamps_events():
+    clock = iter([10, 20])
+    recorder = Recorder(clock_provider=lambda: next(clock))
+    record(recorder, 0)
+    record(recorder, 1)
+    assert [e.clock for e in recorder.comparisons] == [10, 20]
+
+
+def test_first_comparison_clock():
+    clock = iter([5, 7, 9])
+    recorder = Recorder(clock_provider=lambda: next(clock))
+    record(recorder, 0)
+    record(recorder, 1)
+    record(recorder, 1)
+    assert recorder.first_comparison_clock(1) == 7
+    assert recorder.first_comparison_clock(99) is None
+
+
+def test_by_index_groups():
+    recorder = Recorder()
+    record(recorder, 0)
+    record(recorder, 1)
+    record(recorder, 0)
+    grouped = recorder.by_index()
+    assert len(grouped[0]) == 2
+    assert len(grouped[1]) == 1
+
+
+def test_record_access_uses_stack_provider():
+    recorder = Recorder(stack_provider=lambda: (("f", 1),))
+    recorder.record_access(3)
+    assert recorder.accesses == [(3, (("f", 1),))]

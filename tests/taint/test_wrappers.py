@@ -1,0 +1,114 @@
+"""Wrapped runtime functions: C-style semantics plus recording."""
+
+import pytest
+
+from repro.taint.events import ComparisonKind
+from repro.taint.recorder import Recorder, recording
+from repro.taint.tchar import TChar
+from repro.taint.tstr import TaintedStr
+from repro.taint.wrappers import (
+    atof,
+    atoi,
+    memcmp,
+    strchr,
+    strcmp,
+    strcpy,
+    strncmp,
+    switch_on,
+)
+
+
+def tainted(text, start=0):
+    return TaintedStr(text, range(start, start + len(text)))
+
+
+def test_strcmp_sign():
+    assert strcmp(tainted("abc"), "abc") == 0
+    assert strcmp(tainted("abb"), "abc") == -1
+    assert strcmp(tainted("abd"), "abc") == 1
+
+
+def test_strcmp_records_full_expected_string():
+    recorder = Recorder()
+    with recording(recorder):
+        strcmp(tainted("wh", 2), "while")
+    (event,) = recorder.comparisons
+    assert event.kind is ComparisonKind.STRCMP
+    assert event.other_value == "while"
+    assert event.index == 2
+
+
+def test_strcmp_accepts_tchar_and_plain_str():
+    assert strcmp(TChar("a", 0), "a") == 0
+    assert strcmp("plain", "plain") == 0
+
+
+def test_strncmp_prefix_only():
+    assert strncmp(tainted("while loop"), "while", 5) == 0
+    assert strncmp(tainted("whale"), "while", 2) == 0
+    assert strncmp(tainted("whale"), "while", 3) == -1
+
+
+def test_memcmp_matches_strncmp():
+    assert memcmp(tainted("abc"), "abd", 2) == 0
+    assert memcmp(tainted("abc"), "abd", 3) == -1
+
+
+def test_strchr():
+    assert strchr("()", TChar("(", 0))
+    assert not strchr("()", TChar("x", 0))
+    assert strchr("()", "(")
+
+
+def test_switch_on_records_all_cases():
+    recorder = Recorder()
+    with recording(recorder):
+        assert switch_on(TChar("3", 1), "0123456789")
+        assert not switch_on(TChar("x", 2), "0123456789")
+    kinds = {event.kind for event in recorder.comparisons}
+    assert kinds == {ComparisonKind.SWITCH}
+    assert recorder.comparisons[0].other_value == "0123456789"
+
+
+def test_switch_on_eof():
+    assert not switch_on(TChar.eof(0), "abc")
+
+
+def test_switch_on_plain_char():
+    assert switch_on("a", "abc")
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("42", 42),
+        ("  -17", -17),
+        ("+3x", 3),
+        ("x", 0),
+        ("", 0),
+        ("12.9", 12),
+    ],
+)
+def test_atoi(text, expected):
+    assert atoi(text) == expected
+    assert atoi(tainted(text)) == expected
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1.5", 1.5),
+        ("-2e2", -200.0),
+        ("3abc", 3.0),
+        ("abc", 0.0),
+    ],
+)
+def test_atof(text, expected):
+    assert atof(text) == expected
+
+
+def test_strcpy_preserves_taints():
+    copy = strcpy(tainted("ab", 4))
+    assert copy.taints == (4, 5)
+    assert strcpy(TChar("x", 1)).taints == (1,)
+    assert strcpy("plain").taints == (None,) * 5

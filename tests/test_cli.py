@@ -1,0 +1,76 @@
+"""CLI: every subcommand runs and produces the documented output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_subjects(capsys):
+    assert main(["subjects"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ini", "csv", "json", "tinyc", "mjs"):
+        assert name in out
+
+
+def test_tokens(capsys):
+    assert main(["tokens", "mjs"]) == 0
+    out = capsys.readouterr().out
+    assert "instanceof" in out
+    assert "Length" in out
+
+
+def test_fuzz(capsys):
+    assert main(["fuzz", "expr", "--budget", "150", "--seed", "1"]) == 0
+    captured = capsys.readouterr()
+    assert "executions" in captured.err
+    assert captured.out.strip()
+
+
+def test_fuzz_all_valid_prints_more(capsys):
+    main(["fuzz", "expr", "--budget", "150", "--seed", "1"])
+    emitted = capsys.readouterr().out.strip().splitlines()
+    main(["fuzz", "expr", "--budget", "150", "--seed", "1", "--all-valid"])
+    all_valid = capsys.readouterr().out.strip().splitlines()
+    assert len(all_valid) >= len(emitted)
+
+
+def test_compare(capsys):
+    assert main(
+        ["compare", "ini", "--budget", "120", "--tools", "random", "pfuzzer"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pfuzzer" in out
+    assert "Coverage by each tool" in out
+
+
+def test_mine(capsys):
+    assert main(["mine", "expr", "--budget", "200", "--generate", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "::=" in out
+    assert out.count("# ok") + out.count("# BAD") == 3
+
+
+def test_report(capsys):
+    assert main(
+        [
+            "report",
+            "--budget", "80",
+            "--subjects", "ini",
+            "--tools", "random",
+            "--seeds", "1",
+            "--no-code-coverage",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "# Evaluation report" in out
+    assert "Figure 3" in out
+
+
+def test_unknown_subject_rejected():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "nope"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
