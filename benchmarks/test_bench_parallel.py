@@ -1,0 +1,81 @@
+"""Parallel campaign executor — sequential vs parallel wall time.
+
+The evaluation grid is embarrassingly parallel (every (tool, subject, seed)
+cell is independent), so wall time should scale with worker count.  This
+bench runs a small grid both ways, records both timings in the bench JSON
+(``extra_info``) and, on machines with enough cores, asserts the >= 2x
+speedup at 4 workers.  On starved CI boxes (< 4 CPUs) the speedup is
+physically impossible, so only equivalence is asserted there.
+"""
+
+import os
+import time
+
+from repro.eval.campaign import run_campaign
+from repro.eval.parallel import RunSpec, RunStatus, run_grid
+from repro.eval.stats import summarize_grid
+
+JOBS = 4
+
+#: Small grid: 2 tools x 2 subjects x 2 seeds, budgets sized for seconds
+#: of sequential wall time so pool overhead is amortised.
+SPECS = tuple(
+    RunSpec(tool, subject, budget, seed)
+    for tool, subject, budget in (
+        ("pfuzzer", "json", 2_000),
+        ("pfuzzer", "tinyc", 2_000),
+        ("afl", "json", 2_000),
+        ("afl", "tinyc", 2_000),
+    )
+    for seed in (0, 3)
+)
+
+
+def _run_sequential():
+    return [
+        run_campaign(spec.tool, spec.subject, spec.budget, seed=spec.seed)
+        for spec in SPECS
+    ]
+
+
+def _run_parallel():
+    return run_grid(list(SPECS), jobs=JOBS)
+
+
+def test_bench_parallel_speedup(benchmark):
+    sequential_start = time.monotonic()
+    sequential = _run_sequential()
+    sequential_seconds = time.monotonic() - sequential_start
+
+    parallel_start = time.monotonic()
+    records = benchmark.pedantic(_run_parallel, rounds=1, iterations=1)
+    parallel_seconds = time.monotonic() - parallel_start
+
+    speedup = sequential_seconds / parallel_seconds if parallel_seconds else 0.0
+    benchmark.extra_info["grid_cells"] = len(SPECS)
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["sequential_seconds"] = round(sequential_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    summary = summarize_grid(record.metrics for record in records)
+    print("\n\n=== Parallel executor: sequential vs parallel wall time ===")
+    print(f"  grid cells            {len(SPECS)}")
+    print(f"  sequential            {sequential_seconds:6.2f}s")
+    print(f"  parallel (--jobs {JOBS})   {parallel_seconds:6.2f}s")
+    print(f"  speedup               {speedup:6.2f}x on {os.cpu_count()} CPU(s)")
+    print(f"  total executions      {summary.total_executions}")
+    print(f"  mean throughput       {summary.mean_executions_per_second:,.0f} exec/s")
+
+    # Equivalence: the parallel grid is the sequential grid, cell for cell.
+    assert all(record.status is RunStatus.OK for record in records)
+    for record, expected in zip(records, sequential):
+        assert record.output.valid_inputs == expected.valid_inputs
+        assert record.output.executions == expected.executions
+
+    # Speedup: only claimable when the hardware can physically deliver it.
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {JOBS} workers, got {speedup:.2f}x"
+        )

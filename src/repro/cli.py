@@ -13,8 +13,13 @@ Examples::
 
     python -m repro fuzz json --budget 2000 --seed 3
     python -m repro compare tinyc --budget 4000
+    python -m repro compare json --jobs 4 --metrics metrics.jsonl
     python -m repro tokens mjs
     python -m repro mine expr
+
+Exit codes: 0 on success, 1 when a parallel campaign cell failed or timed
+out (the rest of the grid still completes and prints), 2 on usage errors
+(argparse).
 """
 
 from __future__ import annotations
@@ -35,6 +40,28 @@ from repro.eval.report import (
 )
 from repro.eval.token_cov import figure3
 from repro.subjects.registry import SUBJECT_NAMES, load_subject
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the campaign grid (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write one JSONL metrics record per campaign run to PATH",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock limit; timed-out runs are reported, not fatal",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--tools", nargs="+", choices=TOOLS, default=["afl", "klee", "pfuzzer"]
     )
+    _add_parallel_options(compare)
 
     tokens = sub.add_parser("tokens", help="print a subject's token inventory")
     tokens.add_argument("subject", choices=SUBJECT_NAMES)
@@ -85,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=["afl", "klee", "pfuzzer"])
     report.add_argument("--seeds", nargs="+", type=int, default=[0, 3, 8])
     report.add_argument("--no-code-coverage", action="store_true")
+    _add_parallel_options(report)
     return parser
 
 
@@ -105,14 +134,43 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     corpora = {}
-    for tool in args.tools:
-        output = run_campaign(tool, args.subject, args.budget, seed=args.seed)
-        corpora[(args.subject, tool)] = output.valid_inputs
-        print(
-            f"# {tool}: {output.executions} executions -> "
-            f"{len(output.valid_inputs)} valid inputs ({output.wall_time:.1f}s)",
-            file=sys.stderr,
+    failed = 0
+    if args.jobs > 1 or args.metrics or args.timeout:
+        from repro.eval.parallel import RunSpec, run_grid
+
+        specs = [
+            RunSpec(tool, args.subject, args.budget, args.seed)
+            for tool in args.tools
+        ]
+        records = run_grid(
+            specs, jobs=args.jobs, timeout=args.timeout, metrics_path=args.metrics
         )
+        for record in records:
+            tool = record.spec.tool
+            if record.output is None:
+                failed += 1
+                corpora[(args.subject, tool)] = []
+                print(
+                    f"# {tool}: {record.status.value} ({record.error})",
+                    file=sys.stderr,
+                )
+                continue
+            output = record.output
+            corpora[(args.subject, tool)] = output.valid_inputs
+            print(
+                f"# {tool}: {output.executions} executions -> "
+                f"{len(output.valid_inputs)} valid inputs ({output.wall_time:.1f}s)",
+                file=sys.stderr,
+            )
+    else:
+        for tool in args.tools:
+            output = run_campaign(tool, args.subject, args.budget, seed=args.seed)
+            corpora[(args.subject, tool)] = output.valid_inputs
+            print(
+                f"# {tool}: {output.executions} executions -> "
+                f"{len(output.valid_inputs)} valid inputs ({output.wall_time:.1f}s)",
+                file=sys.stderr,
+            )
     coverages = figure3(corpora, [args.subject], args.tools)
     print(render_figure3(coverages, [args.subject], args.tools))
     grid = {
@@ -121,7 +179,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     }
     print()
     print(render_figure2(grid, [args.subject], args.tools))
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_tokens(args: argparse.Namespace) -> int:
@@ -166,6 +224,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         subjects=args.subjects,
         seeds=args.seeds,
         measure_code_coverage=not args.no_code_coverage,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        metrics_path=args.metrics,
     )
     print(render_markdown(report))
     return 0

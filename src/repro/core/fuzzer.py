@@ -49,6 +49,8 @@ class FuzzingResult:
         hangs: number of step-budget exhaustions.
         emit_log: (execution number, input) pairs for each emitted input.
         wall_time: campaign duration in seconds.
+        queue_depth: candidates left in the priority queue when the budget
+            ran out (observability: how much frontier the campaign had).
     """
 
     valid_inputs: List[str] = field(default_factory=list)
@@ -59,6 +61,7 @@ class FuzzingResult:
     hangs: int = 0
     emit_log: List[Tuple[int, str]] = field(default_factory=list)
     wall_time: float = 0.0
+    queue_depth: int = 0
 
 
 class PFuzzer:
@@ -239,4 +242,5 @@ class PFuzzer:
             current = self._next_candidate()
         self._result.valid_branches = frozenset(self._valid_branches)
         self._result.wall_time = time.monotonic() - started
+        self._result.queue_depth = len(self._queue)
         return self._result

@@ -18,7 +18,44 @@ from repro.baselines.driller import DrillerConfig, DrillerFuzzer
 from repro.baselines.steelix import SteelixConfig, SteelixFuzzer
 from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import PFuzzer
-from repro.subjects.registry import load_subject
+from repro.subjects.base import Subject
+from repro.subjects.registry import ALL_SUBJECT_NAMES, load_subject
+
+
+def _run_pfuzzer(subject: Subject, seed: int, budget: int):
+    return PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=budget)).run()
+
+
+def _run_afl(subject: Subject, seed: int, budget: int):
+    return AFLFuzzer(subject, AFLConfig(seed=seed, max_executions=budget)).run()
+
+
+def _run_klee(subject: Subject, seed: int, budget: int):
+    return KleeExplorer(subject, KleeConfig(seed=seed, max_executions=budget)).run()
+
+
+def _run_random(subject: Subject, seed: int, budget: int):
+    return RandomFuzzer(subject, RandomConfig(seed=seed, max_executions=budget)).run()
+
+
+def _run_steelix(subject: Subject, seed: int, budget: int):
+    return SteelixFuzzer(subject, SteelixConfig(seed=seed, max_executions=budget)).run()
+
+
+def _run_driller(subject: Subject, seed: int, budget: int):
+    return DrillerFuzzer(subject, DrillerConfig(seed=seed, max_executions=budget)).run()
+
+
+#: tool name -> runner.  Every runner returns an object with
+#: ``valid_inputs`` / ``executions`` / ``wall_time`` attributes.
+_RUNNERS = {
+    "pfuzzer": _run_pfuzzer,
+    "afl": _run_afl,
+    "klee": _run_klee,
+    "random": _run_random,
+    "steelix": _run_steelix,
+    "driller": _run_driller,
+}
 
 #: Tool names accepted by :func:`run_campaign`.  "steelix" (AFL +
 #: comparison progress) and "driller" (AFL + symbolic stints) are the §6.2
@@ -36,6 +73,27 @@ class ToolOutput:
     valid_inputs: List[str] = field(default_factory=list)
     executions: int = 0
     wall_time: float = 0.0
+    #: Final pFuzzer queue depth; ``None`` for tools without a queue.
+    queue_depth: Optional[int] = None
+
+
+def validate_campaign(tool: str, subject_name: str) -> None:
+    """Reject unknown tools/subjects up front, naming the valid choices.
+
+    Raises:
+        ValueError: unknown ``tool`` or ``subject_name``; the message lists
+            every valid choice for whichever argument was wrong.
+    """
+    problems = []
+    if tool not in _RUNNERS:
+        problems.append(f"unknown tool {tool!r}; valid tools: {', '.join(TOOLS)}")
+    if subject_name not in ALL_SUBJECT_NAMES:
+        problems.append(
+            f"unknown subject {subject_name!r}; valid subjects: "
+            f"{', '.join(ALL_SUBJECT_NAMES)}"
+        )
+    if problems:
+        raise ValueError("; ".join(problems))
 
 
 def run_campaign(
@@ -45,50 +103,17 @@ def run_campaign(
     seed: int = 0,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``."""
+    validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
-    if tool == "pfuzzer":
-        result = PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=budget)).run()
-        valid = list(result.valid_inputs)
-        executions = result.executions
-        wall = result.wall_time
-    elif tool == "afl":
-        outcome = AFLFuzzer(subject, AFLConfig(seed=seed, max_executions=budget)).run()
-        valid = list(outcome.valid_inputs)
-        executions = outcome.executions
-        wall = outcome.wall_time
-    elif tool == "klee":
-        outcome = KleeExplorer(subject, KleeConfig(seed=seed, max_executions=budget)).run()
-        valid = list(outcome.valid_inputs)
-        executions = outcome.executions
-        wall = outcome.wall_time
-    elif tool == "random":
-        outcome = RandomFuzzer(subject, RandomConfig(seed=seed, max_executions=budget)).run()
-        valid = list(outcome.valid_inputs)
-        executions = outcome.executions
-        wall = outcome.wall_time
-    elif tool == "steelix":
-        outcome = SteelixFuzzer(
-            subject, SteelixConfig(seed=seed, max_executions=budget)
-        ).run()
-        valid = list(outcome.valid_inputs)
-        executions = outcome.executions
-        wall = outcome.wall_time
-    elif tool == "driller":
-        outcome = DrillerFuzzer(
-            subject, DrillerConfig(seed=seed, max_executions=budget)
-        ).run()
-        valid = list(outcome.valid_inputs)
-        executions = outcome.executions
-        wall = outcome.wall_time
-    else:
-        raise ValueError(f"unknown tool {tool!r}; known tools: {', '.join(TOOLS)}")
+    outcome = _RUNNERS[tool](subject, seed, budget)
     return ToolOutput(
         tool=tool,
         subject=subject_name,
         seed=seed,
-        valid_inputs=valid,
-        executions=executions,
-        wall_time=wall,
+        valid_inputs=list(outcome.valid_inputs),
+        executions=outcome.executions,
+        wall_time=outcome.wall_time,
+        queue_depth=getattr(outcome, "queue_depth", None),
     )
 
 

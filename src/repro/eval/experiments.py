@@ -66,17 +66,62 @@ def run_all(
     subjects: Sequence[str] = SUBJECT_NAMES,
     seeds: Sequence[int] = (0, 3, 8),
     measure_code_coverage: bool = True,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    metrics_path: Optional[str] = None,
+    progress=None,
 ) -> ExperimentReport:
-    """Run the whole evaluation grid; best-of-``seeds`` per campaign."""
+    """Run the whole evaluation grid; best-of-``seeds`` per campaign.
+
+    With ``jobs > 1`` (or ``metrics_path``/``timeout``/``progress`` set)
+    the (subject, tool, seed) grid runs on the fault-isolated pool of
+    :mod:`repro.eval.parallel`; per-run determinism makes the report
+    identical to the sequential path for the same seeds.  Failed or
+    timed-out cells contribute an empty corpus instead of aborting the
+    grid.
+    """
     budgets = {**DEFAULT_BUDGETS, **(budgets or {})}
     report = ExperimentReport(tuple(subjects), tuple(tools))
+    parallel_outputs = None
+    if jobs > 1 or metrics_path is not None or timeout is not None or progress:
+        from repro.eval.campaign import ToolOutput
+        from repro.eval.parallel import RunSpec, run_grid
+
+        specs = [
+            RunSpec(tool, subject, budgets[subject], seed)
+            for subject in subjects
+            for tool in tools
+            for seed in seeds
+        ]
+        records = run_grid(
+            specs,
+            jobs=jobs,
+            timeout=timeout,
+            metrics_path=metrics_path,
+            progress=progress,
+        )
+        parallel_outputs = {
+            (record.spec.subject, record.spec.tool, record.spec.seed): (
+                record.output
+                if record.output is not None
+                else ToolOutput(
+                    tool=record.spec.tool,
+                    subject=record.spec.subject,
+                    seed=record.spec.seed,
+                )
+            )
+            for record in records
+        }
     for subject in subjects:
         for tool in tools:
             best: Optional[TokenCoverage] = None
             best_inputs: List[str] = []
             best_execs = 0
             for seed in seeds:
-                output = run_campaign(tool, subject, budgets[subject], seed=seed)
+                if parallel_outputs is not None:
+                    output = parallel_outputs[(subject, tool, seed)]
+                else:
+                    output = run_campaign(tool, subject, budgets[subject], seed=seed)
                 coverage = token_coverage(subject, output.valid_inputs)
                 if best is None or coverage.total_found > best.total_found:
                     best = coverage

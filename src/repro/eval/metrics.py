@@ -1,0 +1,184 @@
+"""Campaign observability: per-run metrics records and JSONL persistence.
+
+Every run in the evaluation grid — sequential or parallel — can be
+summarised as one :class:`CampaignMetrics` record: throughput
+(executions/sec), valid-input rate, final pFuzzer queue depth, peak RSS and
+wall time.  Records serialise to one JSON object per line so a campaign's
+metrics file can be streamed, tailed and appended without rewriting
+(`python -m repro compare --jobs N --metrics out.jsonl`).
+
+The schema is versioned (:data:`SCHEMA_VERSION`); readers reject records
+from a different major schema rather than misinterpreting fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.eval.campaign import ToolOutput
+
+#: Bumped on any field rename/retyping; additions keep the version.
+SCHEMA_VERSION = 1
+
+#: Field order is part of the schema: JSONL lines keep this key order.
+FIELD_NAMES = (
+    "schema",
+    "tool",
+    "subject",
+    "seed",
+    "budget",
+    "status",
+    "attempts",
+    "executions",
+    "valid_inputs",
+    "executions_per_second",
+    "valid_rate",
+    "queue_depth",
+    "peak_rss_bytes",
+    "wall_time",
+)
+
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """One grid cell's observability record.
+
+    ``status`` is ``"ok"``, ``"failed"`` or ``"timeout"`` (matching
+    :class:`repro.eval.parallel.RunStatus` values); failed/timed-out runs
+    carry zero counters but keep their identity fields so the grid stays
+    auditable.
+    """
+
+    schema: int
+    tool: str
+    subject: str
+    seed: int
+    budget: int
+    status: str
+    attempts: int
+    executions: int
+    valid_inputs: int
+    executions_per_second: float
+    valid_rate: float
+    queue_depth: Optional[int]
+    peak_rss_bytes: int
+    wall_time: float
+
+    @classmethod
+    def from_output(
+        cls,
+        output: ToolOutput,
+        budget: int,
+        *,
+        status: str = "ok",
+        attempts: int = 1,
+        peak_rss_bytes: int = 0,
+    ) -> "CampaignMetrics":
+        """Summarise one campaign's :class:`ToolOutput`."""
+        wall = max(output.wall_time, 0.0)
+        per_second = output.executions / wall if wall > 0 else 0.0
+        rate = (
+            len(output.valid_inputs) / output.executions if output.executions else 0.0
+        )
+        return cls(
+            schema=SCHEMA_VERSION,
+            tool=output.tool,
+            subject=output.subject,
+            seed=output.seed,
+            budget=budget,
+            status=status,
+            attempts=attempts,
+            executions=output.executions,
+            valid_inputs=len(output.valid_inputs),
+            executions_per_second=per_second,
+            valid_rate=rate,
+            queue_depth=output.queue_depth,
+            peak_rss_bytes=peak_rss_bytes,
+            wall_time=wall,
+        )
+
+    @classmethod
+    def for_failure(
+        cls,
+        tool: str,
+        subject: str,
+        seed: int,
+        budget: int,
+        *,
+        status: str,
+        attempts: int,
+        wall_time: float = 0.0,
+    ) -> "CampaignMetrics":
+        """Record for a run that produced no output (crash / timeout)."""
+        return cls(
+            schema=SCHEMA_VERSION,
+            tool=tool,
+            subject=subject,
+            seed=seed,
+            budget=budget,
+            status=status,
+            attempts=attempts,
+            executions=0,
+            valid_inputs=0,
+            executions_per_second=0.0,
+            valid_rate=0.0,
+            queue_depth=None,
+            peak_rss_bytes=0,
+            wall_time=wall_time,
+        )
+
+    def to_json_line(self) -> str:
+        """One compact JSON object, keys in :data:`FIELD_NAMES` order."""
+        record = asdict(self)
+        ordered = {name: record[name] for name in FIELD_NAMES}
+        return json.dumps(ordered, separators=(",", ":"), sort_keys=False)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "CampaignMetrics":
+        """Parse one JSONL line, rejecting unknown schema versions.
+
+        Raises:
+            ValueError: malformed JSON, wrong schema version, or missing
+                fields.
+        """
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed metrics line: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"metrics line is not an object: {line!r}")
+        version = record.get("schema")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported metrics schema {version!r} (expected {SCHEMA_VERSION})"
+            )
+        missing = [name for name in FIELD_NAMES if name not in record]
+        if missing:
+            raise ValueError(f"metrics line missing fields: {', '.join(missing)}")
+        return cls(**{name: record[name] for name in FIELD_NAMES})
+
+
+def write_jsonl(
+    path: Union[str, Path], records: Iterable[CampaignMetrics]
+) -> None:
+    """Write ``records`` to ``path``, one JSON object per line."""
+    text = "".join(record.to_json_line() + "\n" for record in records)
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def append_jsonl(path: Union[str, Path], record: CampaignMetrics) -> None:
+    """Append one record to ``path`` (streaming emission)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(record.to_json_line() + "\n")
+
+
+def read_jsonl(path: Union[str, Path]) -> List[CampaignMetrics]:
+    """Read every record from ``path``, skipping blank lines."""
+    records: List[CampaignMetrics] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(CampaignMetrics.from_json_line(line))
+    return records

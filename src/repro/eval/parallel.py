@@ -1,0 +1,584 @@
+"""Parallel campaign executor: the evaluation grid as a fault-isolated pool.
+
+The paper's evaluation grid (3 tools x 5 subjects x N repetitions) is
+embarrassingly parallel — every run is independent, "48 CPU-hours per
+subject/tool, 3 repetitions, best run".  :func:`run_grid` fans a list of
+:class:`RunSpec` cells out across worker processes and guarantees:
+
+* **fault isolation** — a worker that crashes or stalls marks only its own
+  cell ``FAILED``/``TIMEOUT``; the rest of the grid completes;
+* **per-run wall-clock timeouts** — enforced in-worker by
+  :func:`repro.runtime.limits.time_limit`, with a parent-side watchdog as
+  the backstop for hard hangs (workers past their deadline are killed and
+  replaced);
+* **bounded retry with backoff** — crashed runs are retried up to
+  ``retries`` times with exponential backoff (timeouts are not retried:
+  a run that exhausted its budget once will again);
+* **deterministic ordering** — results come back in spec order regardless
+  of completion order, so :func:`parallel_best_of` and the table/figure
+  pipelines are byte-identical to the sequential path for the same seeds.
+
+Observability rides along: every resolved cell yields a
+:class:`repro.eval.metrics.CampaignMetrics` record (written as JSONL when
+``metrics_path`` is given) and an optional ``progress`` callback streams
+records in completion order.
+
+Fault injection for the test suite goes through the ``_test_fail_on``
+hook: a mapping from ``(tool, subject, seed)`` to one of ``"crash"``
+(always die), ``"flaky"`` (die on the first attempt only), ``"hang"``
+(stall until the in-worker alarm fires) or ``"hang-hard"`` (stall with the
+alarm blocked, so only the parent watchdog can recover).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.eval.campaign import ToolOutput, run_campaign, validate_campaign
+from repro.eval.metrics import CampaignMetrics, write_jsonl
+from repro.runtime.limits import RunTimeout, peak_rss_bytes, time_limit
+
+#: Exit code used by injected crashes, distinguishable from real signals.
+_CRASH_EXIT_CODE = 23
+
+#: Key identifying a run for fault injection: (tool, subject, seed).
+FaultKey = Tuple[str, str, int]
+
+
+class RunStatus(Enum):
+    """Terminal state of one grid cell."""
+
+    OK = "ok"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the evaluation grid."""
+
+    tool: str
+    subject: str
+    budget: int
+    seed: int = 0
+
+    def fault_key(self) -> FaultKey:
+        return (self.tool, self.subject, self.seed)
+
+
+@dataclass
+class RunRecord:
+    """Resolved outcome of one grid cell.
+
+    ``output`` is ``None`` exactly when ``status`` is not ``OK``; the
+    ``metrics`` record is always present so failed cells stay auditable.
+    """
+
+    spec: RunSpec
+    status: RunStatus
+    output: Optional[ToolOutput]
+    metrics: CampaignMetrics
+    attempts: int = 1
+    error: Optional[str] = None
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+def _inject_fault(mode: str, attempt: int, timeout: Optional[float]) -> None:
+    """Simulate a worker failure (test hook; see module docstring)."""
+    if mode == "crash" or (mode == "flaky" and attempt == 0):
+        os._exit(_CRASH_EXIT_CODE)
+    if mode in ("hang", "hang-hard"):
+        if mode == "hang-hard" and hasattr(signal, "pthread_sigmask"):
+            signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        stall = min(300.0, (timeout or 1.0) * 50)
+        deadline = time.monotonic() + stall
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+
+
+def _worker_main(
+    worker_id: int,
+    inbox,
+    results,
+    timeout: Optional[float],
+    fail_on: Optional[Dict[FaultKey, str]],
+) -> None:
+    """Worker loop: take (task_id, spec, attempt) tasks until sentinel.
+
+    ``inbox``/``results`` are :class:`multiprocessing.connection.Connection`
+    ends of per-worker pipes, not shared queues: sends complete synchronously
+    in this thread, so a worker dying between tasks (crash injection, a real
+    segfault, the parent watchdog's SIGTERM) can never orphan a lock or leave
+    a half-written frame that would wedge its siblings.  The parent sees a
+    dead worker's pipe as EOF and re-dispatches whatever it was assigned.
+    """
+    while True:
+        try:
+            item = inbox.recv()
+        except EOFError:
+            return
+        if item is None:
+            return
+        task_id, (tool, subject, budget, seed), attempt = item
+        started = time.monotonic()
+        try:
+            with time_limit(timeout):
+                mode = (fail_on or {}).get((tool, subject, seed))
+                if mode:
+                    _inject_fault(mode, attempt, timeout)
+                output = run_campaign(tool, subject, budget, seed=seed)
+            results.send(
+                (
+                    "ok",
+                    worker_id,
+                    task_id,
+                    attempt,
+                    output,
+                    peak_rss_bytes(),
+                    time.monotonic() - started,
+                )
+            )
+        except RunTimeout:
+            results.send(
+                ("timeout", worker_id, task_id, attempt, time.monotonic() - started)
+            )
+        except BaseException as exc:  # noqa: BLE001 - isolate, report, survive
+            results.send(
+                (
+                    "error",
+                    worker_id,
+                    task_id,
+                    attempt,
+                    f"{type(exc).__name__}: {exc}",
+                    time.monotonic() - started,
+                )
+            )
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Worker:
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    task_conn: multiprocessing.connection.Connection  # parent -> worker
+    result_conn: multiprocessing.connection.Connection  # worker -> parent
+
+
+class _GridExecutor:
+    """One run_grid invocation: pool, dispatch, watchdog, retry, collect."""
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        jobs: int,
+        timeout: Optional[float],
+        retries: int,
+        backoff: float,
+        watchdog_grace: float,
+        progress: Optional[Callable[[RunRecord], None]],
+        fail_on: Optional[Dict[FaultKey, str]],
+    ) -> None:
+        self.specs = list(specs)
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.watchdog_grace = watchdog_grace
+        self.progress = progress
+        self.fail_on = dict(fail_on) if fail_on else None
+        # fork keeps the child's hash seed identical to the parent's, which
+        # the sequential-equivalence guarantee relies on (path signatures
+        # hash branch sets); fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        self.ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self.records: List[Optional[RunRecord]] = [None] * len(self.specs)
+        self.pending = deque(
+            (task_id, 0) for task_id in range(len(self.specs))
+        )
+        self.retry_heap: List[Tuple[float, int, int]] = []
+        self.workers: Dict[int, _Worker] = {}
+        self.assignments: Dict[int, Tuple[int, int, Optional[float]]] = {}
+        self.unresolved = len(self.specs)
+        self._next_worker_id = 0
+
+    # -- pool management ------------------------------------------------ #
+
+    def _spawn_worker(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_recv, task_send = self.ctx.Pipe(duplex=False)
+        result_recv, result_send = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_recv, result_send, self.timeout, self.fail_on),
+            daemon=True,
+        )
+        process.start()
+        # Close the child's ends immediately: the parent must not hold a
+        # duplicate of result_send, or a dead worker's pipe would never
+        # reach EOF (and later forks must not inherit this worker's ends).
+        task_recv.close()
+        result_send.close()
+        self.workers[worker_id] = _Worker(worker_id, process, task_send, result_recv)
+
+    def _remove_worker(self, worker_id: int, terminate: bool) -> None:
+        worker = self.workers.pop(worker_id)
+        self.assignments.pop(worker_id, None)
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():  # pragma: no cover - stubborn child
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
+        for conn in (worker.task_conn, worker.result_conn):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _shutdown(self) -> None:
+        for worker in self.workers.values():
+            try:
+                worker.task_conn.send(None)
+            except (OSError, ValueError):  # pragma: no cover - worker gone
+                pass
+        for worker_id in list(self.workers):
+            self._remove_worker(worker_id, terminate=True)
+
+    # -- task resolution ------------------------------------------------ #
+
+    def _finish(self, task_id: int, record: RunRecord) -> None:
+        if self.records[task_id] is not None:  # pragma: no cover - raced twice
+            return
+        self.records[task_id] = record
+        self.unresolved -= 1
+        if self.progress is not None:
+            self.progress(record)
+
+    def _retry_or_fail(
+        self, task_id: int, attempt: int, error: str, wall: float
+    ) -> None:
+        """Crash/exception path: bounded retry with exponential backoff."""
+        if self.records[task_id] is not None:  # pragma: no cover - raced twice
+            return
+        spec = self.specs[task_id]
+        if attempt < self.retries:
+            delay = self.backoff * (2**attempt)
+            heapq.heappush(
+                self.retry_heap, (time.monotonic() + delay, task_id, attempt + 1)
+            )
+            return
+        metrics = CampaignMetrics.for_failure(
+            spec.tool,
+            spec.subject,
+            spec.seed,
+            spec.budget,
+            status=RunStatus.FAILED.value,
+            attempts=attempt + 1,
+            wall_time=wall,
+        )
+        self._finish(
+            task_id,
+            RunRecord(spec, RunStatus.FAILED, None, metrics, attempt + 1, error),
+        )
+
+    def _timeout_task(self, task_id: int, attempt: int, wall: float) -> None:
+        """Timeouts are deterministic, so they are never retried."""
+        if self.records[task_id] is not None:  # pragma: no cover - raced twice
+            return
+        spec = self.specs[task_id]
+        metrics = CampaignMetrics.for_failure(
+            spec.tool,
+            spec.subject,
+            spec.seed,
+            spec.budget,
+            status=RunStatus.TIMEOUT.value,
+            attempts=attempt + 1,
+            wall_time=wall,
+        )
+        self._finish(
+            task_id,
+            RunRecord(
+                spec,
+                RunStatus.TIMEOUT,
+                None,
+                metrics,
+                attempt + 1,
+                f"exceeded {self.timeout:g}s wall-clock limit"
+                if self.timeout
+                else "timed out",
+            ),
+        )
+
+    # -- event loop ----------------------------------------------------- #
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        while self.retry_heap and self.retry_heap[0][0] <= now:
+            _, task_id, attempt = heapq.heappop(self.retry_heap)
+            self.pending.append((task_id, attempt))
+        idle = [
+            worker_id
+            for worker_id in self.workers
+            if worker_id not in self.assignments
+        ]
+        for worker_id in idle:
+            if not self.pending:
+                break
+            task_id, attempt = self.pending.popleft()
+            spec = self.specs[task_id]
+            deadline = (
+                now + self.timeout + self.watchdog_grace
+                if self.timeout is not None
+                else None
+            )
+            self.assignments[worker_id] = (task_id, attempt, deadline)
+            try:
+                self.workers[worker_id].task_conn.send(
+                    (
+                        task_id,
+                        (spec.tool, spec.subject, spec.budget, spec.seed),
+                        attempt,
+                    )
+                )
+            except (OSError, ValueError):
+                # Worker died between spawn and dispatch; leave the
+                # assignment in place — _reap_dead_workers re-queues it.
+                pass
+
+    def _handle_message(self, message: Tuple) -> None:
+        kind, worker_id = message[0], message[1]
+        self.assignments.pop(worker_id, None)
+        if kind == "ok":
+            _, _, task_id, attempt, output, rss, wall = message
+            spec = self.specs[task_id]
+            metrics = CampaignMetrics.from_output(
+                output,
+                spec.budget,
+                status=RunStatus.OK.value,
+                attempts=attempt + 1,
+                peak_rss_bytes=rss,
+            )
+            self._finish(
+                task_id, RunRecord(spec, RunStatus.OK, output, metrics, attempt + 1)
+            )
+        elif kind == "timeout":
+            _, _, task_id, attempt, wall = message
+            self._timeout_task(task_id, attempt, wall)
+        else:  # "error"
+            _, _, task_id, attempt, error, wall = message
+            self._retry_or_fail(task_id, attempt, error, wall)
+
+    def _drain_results(self) -> None:
+        conns = [worker.result_conn for worker in self.workers.values()]
+        if not conns:  # pragma: no cover - only between respawns
+            time.sleep(0.01)
+            return
+        for conn in multiprocessing.connection.wait(conns, timeout=0.05):
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Worker died, possibly mid-send; its pipe is at EOF (or
+                # holds a truncated frame).  _reap_dead_workers re-queues
+                # whatever it was assigned and closes the connection.
+                continue
+            self._handle_message(message)
+
+    def _reap_dead_workers(self) -> None:
+        for worker_id in list(self.workers):
+            worker = self.workers[worker_id]
+            if worker.process.is_alive():
+                continue
+            assignment = self.assignments.get(worker_id)
+            exit_code = worker.process.exitcode
+            self._remove_worker(worker_id, terminate=False)
+            if assignment is not None:
+                task_id, attempt, _ = assignment
+                self._retry_or_fail(
+                    task_id,
+                    attempt,
+                    f"worker died (exit code {exit_code})",
+                    0.0,
+                )
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker_id in list(self.workers):
+            assignment = self.assignments.get(worker_id)
+            if assignment is None:
+                continue
+            task_id, attempt, deadline = assignment
+            if deadline is None or now < deadline:
+                continue
+            self._remove_worker(worker_id, terminate=True)
+            self._timeout_task(task_id, attempt, self.timeout or 0.0)
+
+    def _ensure_capacity(self) -> None:
+        wanted = min(self.jobs, self.unresolved)
+        while len(self.workers) < wanted:
+            self._spawn_worker()
+
+    def run(self) -> List[RunRecord]:
+        try:
+            self._ensure_capacity()
+            while self.unresolved:
+                self._dispatch_ready()
+                self._drain_results()
+                self._reap_dead_workers()
+                self._enforce_deadlines()
+                self._ensure_capacity()
+        finally:
+            self._shutdown()
+        return [record for record in self.records if record is not None]
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.05,
+    watchdog_grace: float = 5.0,
+    metrics_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+    _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
+) -> List[RunRecord]:
+    """Execute every spec across a worker pool; records come back in order.
+
+    Args:
+        specs: grid cells to run; results are returned in this order.
+        jobs: worker processes (default ``os.cpu_count()``).
+        timeout: per-run wall-clock limit in seconds (``None`` = unlimited).
+        retries: extra attempts for crashed runs (timeouts never retry).
+        backoff: base delay before a retry; doubles per attempt.
+        watchdog_grace: extra seconds past ``timeout`` before the parent
+            kills a hung worker (the in-worker alarm normally fires first).
+        metrics_path: write one metrics JSONL line per cell, in spec order.
+        progress: callback invoked with each :class:`RunRecord` as it
+            resolves, in completion order (the live results stream).
+        _test_fail_on: fault-injection hook for the test suite; see the
+            module docstring.
+
+    Raises:
+        ValueError: any spec names an unknown tool or subject (checked up
+            front, before any worker starts).
+    """
+    specs = [
+        spec if isinstance(spec, RunSpec) else RunSpec(*spec) for spec in specs
+    ]
+    for spec in specs:
+        validate_campaign(spec.tool, spec.subject)
+    if metrics_path is not None:
+        from pathlib import Path
+
+        parent = Path(metrics_path).parent
+        if not parent.is_dir():
+            raise ValueError(
+                f"metrics path {str(metrics_path)!r}: directory {str(parent)!r} "
+                "does not exist"
+            )
+    if not specs:
+        if metrics_path is not None:
+            write_jsonl(metrics_path, [])
+        return []
+    effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+    effective_jobs = min(effective_jobs, len(specs))
+    executor = _GridExecutor(
+        specs,
+        effective_jobs,
+        timeout,
+        retries,
+        backoff,
+        watchdog_grace,
+        progress,
+        dict(_test_fail_on) if _test_fail_on else None,
+    )
+    records = executor.run()
+    if metrics_path is not None:
+        write_jsonl(metrics_path, [record.metrics for record in records])
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Sequential-API mirrors
+# --------------------------------------------------------------------- #
+
+
+def parallel_campaigns(
+    subjects: Sequence[str],
+    tools: Sequence[str],
+    budgets: Optional[Dict[str, int]] = None,
+    default_budget: int = 2_000,
+    seed: int = 0,
+    **grid_options,
+) -> Dict[Tuple[str, str], ToolOutput]:
+    """Parallel mirror of :func:`repro.eval.campaign.run_campaigns`.
+
+    Failed/timed-out cells map to an empty :class:`ToolOutput` (zero
+    executions, no valid inputs) so downstream tables keep their shape.
+    """
+    specs = [
+        RunSpec(tool, subject, (budgets or {}).get(subject, default_budget), seed)
+        for subject in subjects
+        for tool in tools
+    ]
+    records = run_grid(specs, **grid_options)
+    results: Dict[Tuple[str, str], ToolOutput] = {}
+    for record in records:
+        spec = record.spec
+        output = record.output
+        if output is None:
+            output = ToolOutput(tool=spec.tool, subject=spec.subject, seed=spec.seed)
+        results[(spec.subject, spec.tool)] = output
+    return results
+
+
+def parallel_best_of(
+    tool: str,
+    subject_name: str,
+    budget: int,
+    metric: Callable[[ToolOutput], float],
+    repetitions: int = 3,
+    base_seed: int = 0,
+    **grid_options,
+) -> ToolOutput:
+    """Parallel mirror of :func:`repro.eval.campaign.best_of`.
+
+    Repetitions run concurrently but are compared in seed order, so the
+    selected repetition is identical to the sequential path (``max`` keeps
+    the earliest maximum in both).
+
+    Raises:
+        RuntimeError: every repetition failed.
+    """
+    specs = [
+        RunSpec(tool, subject_name, budget, base_seed + repetition)
+        for repetition in range(repetitions)
+    ]
+    records = run_grid(specs, **grid_options)
+    outputs = [record.output for record in records if record.output is not None]
+    if not outputs:
+        raise RuntimeError(
+            f"all {repetitions} repetitions of {tool} on {subject_name} failed"
+        )
+    return max(outputs, key=metric)

@@ -9,9 +9,10 @@ one-line efficiency summary, used by reports and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.eval.extract import extract_tokens
+from repro.eval.metrics import CampaignMetrics
 from repro.eval.tokens import TOKEN_INVENTORIES
 
 
@@ -76,6 +77,57 @@ class CampaignStats:
         if not self.tokens_found:
             return float("inf")
         return self.executions / self.tokens_found
+
+
+@dataclass(frozen=True)
+class GridSummary:
+    """Fleet-level rollup of a campaign grid's metrics records.
+
+    The parallel executor emits one :class:`CampaignMetrics` per cell;
+    this is the one-screen view of the whole grid — how much ran, how
+    fast, and how much of it failed.
+    """
+
+    runs: int
+    status_counts: Tuple[Tuple[str, int], ...]
+    total_executions: int
+    total_valid_inputs: int
+    total_wall_time: float
+    mean_executions_per_second: float
+    max_peak_rss_bytes: int
+
+    @property
+    def ok_rate(self) -> float:
+        """Fraction of cells that finished cleanly."""
+        if not self.runs:
+            return 0.0
+        ok = dict(self.status_counts).get("ok", 0)
+        return ok / self.runs
+
+
+def summarize_grid(records: Iterable[CampaignMetrics]) -> GridSummary:
+    """Roll a grid's per-run metrics up into one :class:`GridSummary`."""
+    records = list(records)
+    statuses: Dict[str, int] = {}
+    for record in records:
+        statuses[record.status] = statuses.get(record.status, 0) + 1
+    ok_records = [record for record in records if record.status == "ok"]
+    mean_rate = (
+        sum(record.executions_per_second for record in ok_records) / len(ok_records)
+        if ok_records
+        else 0.0
+    )
+    return GridSummary(
+        runs=len(records),
+        status_counts=tuple(sorted(statuses.items())),
+        total_executions=sum(record.executions for record in records),
+        total_valid_inputs=sum(record.valid_inputs for record in records),
+        total_wall_time=sum(record.wall_time for record in records),
+        mean_executions_per_second=mean_rate,
+        max_peak_rss_bytes=max(
+            (record.peak_rss_bytes for record in records), default=0
+        ),
+    )
 
 
 def summarize(

@@ -1,0 +1,105 @@
+"""Per-run resource limits: wall-clock timeouts and rlimit/RSS plumbing.
+
+The parallel campaign executor (:mod:`repro.eval.parallel`) gives every
+grid cell its own worker process; this module is the in-worker half of the
+fault-isolation story.  :func:`time_limit` arms a wall-clock alarm so a
+stalled subject run raises :class:`RunTimeout` instead of hanging the
+worker, :func:`apply_rlimits` caps the worker's address space, and
+:func:`peak_rss_bytes` reads the high-water RSS that campaign metrics
+report.
+
+Everything degrades gracefully: on platforms without ``SIGALRM`` or the
+``resource`` module (Windows), :func:`time_limit` is a no-op and the
+parent-side watchdog in :mod:`repro.eval.parallel` remains the backstop.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+try:  # POSIX only; absent on Windows.
+    import resource
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    resource = None  # type: ignore[assignment]
+
+
+class RunTimeout(Exception):
+    """A run exceeded its wall-clock limit (see :func:`time_limit`)."""
+
+
+@dataclass(frozen=True)
+class RunLimits:
+    """Limits applied to one campaign run.
+
+    Attributes:
+        wall_seconds: wall-clock budget for the run; ``None`` disables the
+            alarm.
+        address_space_bytes: ``RLIMIT_AS`` cap for the process; ``None``
+            leaves the inherited limit in place.
+    """
+
+    wall_seconds: Optional[float] = None
+    address_space_bytes: Optional[int] = None
+
+
+def _alarm_usable() -> bool:
+    """Alarms need SIGALRM and the main thread (signal-module contract)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`RunTimeout` if the body runs longer than ``seconds``.
+
+    Uses ``setitimer``; a no-op when ``seconds`` is ``None``/non-positive
+    or when alarms are unavailable (non-POSIX, non-main thread).
+    """
+    if seconds is None or seconds <= 0 or not _alarm_usable():
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise RunTimeout(f"run exceeded {seconds:g}s wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def apply_rlimits(limits: RunLimits) -> None:
+    """Apply the process-wide pieces of ``limits`` (currently RLIMIT_AS)."""
+    if limits.address_space_bytes is None or resource is None:
+        return
+    soft = limits.address_space_bytes
+    _, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY:
+        soft = min(soft, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    except (ValueError, OSError):  # pragma: no cover - container-dependent
+        pass
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    if resource is None:  # pragma: no cover - exercised only off-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return int(peak)
+    return int(peak) * 1024

@@ -61,6 +61,9 @@ _FACTORIES: Dict[str, Callable[[], Subject]] = {
 #: The five paper subjects, in Table 1 order, plus the §2 demo subject.
 SUBJECT_NAMES: Tuple[str, ...] = ("ini", "csv", "json", "tinyc", "mjs")
 
+#: Every loadable subject, including the §2 demo subject ``expr``.
+ALL_SUBJECT_NAMES: Tuple[str, ...] = ("expr",) + SUBJECT_NAMES
+
 #: Upstream C sizes from Table 1, for the size-comparison report.
 PAPER_LOC: Dict[str, int] = {
     "ini": 293,

@@ -22,6 +22,32 @@ def test_unknown_tool_rejected():
         run_campaign("libfuzzer", "ini", budget=10)
 
 
+def test_unknown_tool_message_lists_choices():
+    from repro.eval.campaign import TOOLS
+
+    with pytest.raises(ValueError) as excinfo:
+        run_campaign("libfuzzer", "ini", budget=10)
+    message = str(excinfo.value)
+    for tool in TOOLS:
+        assert tool in message
+
+
+def test_unknown_subject_rejected_up_front():
+    with pytest.raises(ValueError, match="valid subjects"):
+        run_campaign("pfuzzer", "nope", budget=10)
+
+
+def test_unknown_tool_and_subject_both_reported():
+    """Both arguments are validated before any work happens."""
+    with pytest.raises(ValueError) as excinfo:
+        run_campaign("libfuzzer", "nope", budget=10)
+    message = str(excinfo.value)
+    assert "unknown tool" in message
+    assert "unknown subject" in message
+    assert "pfuzzer" in message
+    assert "ini" in message
+
+
 def test_outputs_are_valid_inputs():
     from repro.subjects.registry import load_subject
 

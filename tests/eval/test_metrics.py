@@ -1,0 +1,144 @@
+"""Campaign metrics: JSONL round-trip, schema stability, sanity bounds."""
+
+import json
+
+import pytest
+
+from repro.eval.campaign import run_campaign
+from repro.eval.metrics import (
+    FIELD_NAMES,
+    SCHEMA_VERSION,
+    CampaignMetrics,
+    append_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def expr_metrics():
+    output = run_campaign("pfuzzer", "expr", budget=150, seed=1)
+    return CampaignMetrics.from_output(output, budget=150), output
+
+
+# --------------------------------------------------------------------- #
+# Round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_json_line_round_trip(expr_metrics):
+    metrics, _ = expr_metrics
+    assert CampaignMetrics.from_json_line(metrics.to_json_line()) == metrics
+
+
+def test_jsonl_file_round_trip(tmp_path, expr_metrics):
+    metrics, _ = expr_metrics
+    failure = CampaignMetrics.for_failure(
+        "afl", "ini", 2, 500, status="timeout", attempts=1, wall_time=1.5
+    )
+    path = tmp_path / "metrics.jsonl"
+    write_jsonl(path, [metrics, failure])
+    assert read_jsonl(path) == [metrics, failure]
+
+
+def test_append_streams_records(tmp_path, expr_metrics):
+    metrics, _ = expr_metrics
+    path = tmp_path / "metrics.jsonl"
+    append_jsonl(path, metrics)
+    append_jsonl(path, metrics)
+    assert read_jsonl(path) == [metrics, metrics]
+
+
+def test_read_skips_blank_lines(tmp_path, expr_metrics):
+    metrics, _ = expr_metrics
+    path = tmp_path / "metrics.jsonl"
+    path.write_text(metrics.to_json_line() + "\n\n\n" + metrics.to_json_line() + "\n")
+    assert len(read_jsonl(path)) == 2
+
+
+# --------------------------------------------------------------------- #
+# Schema stability
+# --------------------------------------------------------------------- #
+
+
+def test_schema_field_order_is_stable(expr_metrics):
+    """The JSONL key order is part of the schema contract."""
+    metrics, _ = expr_metrics
+    assert FIELD_NAMES == (
+        "schema",
+        "tool",
+        "subject",
+        "seed",
+        "budget",
+        "status",
+        "attempts",
+        "executions",
+        "valid_inputs",
+        "executions_per_second",
+        "valid_rate",
+        "queue_depth",
+        "peak_rss_bytes",
+        "wall_time",
+    )
+    assert tuple(json.loads(metrics.to_json_line()).keys()) == FIELD_NAMES
+
+
+def test_wrong_schema_version_rejected(expr_metrics):
+    metrics, _ = expr_metrics
+    record = json.loads(metrics.to_json_line())
+    record["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        CampaignMetrics.from_json_line(json.dumps(record))
+
+
+def test_missing_field_rejected(expr_metrics):
+    metrics, _ = expr_metrics
+    record = json.loads(metrics.to_json_line())
+    del record["executions"]
+    with pytest.raises(ValueError, match="executions"):
+        CampaignMetrics.from_json_line(json.dumps(record))
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ValueError, match="malformed"):
+        CampaignMetrics.from_json_line("{not json")
+    with pytest.raises(ValueError, match="not an object"):
+        CampaignMetrics.from_json_line("[1, 2]")
+
+
+# --------------------------------------------------------------------- #
+# Sanity bounds (expr subject)
+# --------------------------------------------------------------------- #
+
+
+def test_expr_throughput_sane(expr_metrics):
+    metrics, output = expr_metrics
+    assert metrics.executions == output.executions == 150
+    assert metrics.valid_inputs == len(output.valid_inputs)
+    # expr runs in-process: faster than 1 exec/s, slower than 10M exec/s.
+    assert 1.0 < metrics.executions_per_second < 1e7
+    assert metrics.executions_per_second == pytest.approx(
+        output.executions / output.wall_time
+    )
+    assert 0.0 <= metrics.valid_rate <= 1.0
+    assert metrics.queue_depth is not None and metrics.queue_depth >= 0
+    assert metrics.status == "ok"
+
+
+def test_failure_record_has_zero_counters():
+    record = CampaignMetrics.for_failure(
+        "klee", "mjs", 0, 1000, status="failed", attempts=3
+    )
+    assert record.executions == 0
+    assert record.valid_inputs == 0
+    assert record.executions_per_second == 0.0
+    assert record.queue_depth is None
+    assert record.attempts == 3
+
+
+def test_peak_rss_recorded_by_parallel_runs():
+    from repro.eval.parallel import RunSpec, run_grid
+
+    (record,) = run_grid([RunSpec("random", "ini", 40, 0)], jobs=1)
+    # A Python worker occupies at least a few MB; under 100 GB is "sane".
+    assert 1_000_000 < record.metrics.peak_rss_bytes < 100_000_000_000

@@ -11,6 +11,8 @@ from repro.eval.code_cov import coverage_of_inputs
 from repro.eval.report import render_figure2, render_figure3
 from repro.eval.token_cov import figure3, token_coverage
 
+pytestmark = pytest.mark.slow  # campaign-grid integration tests
+
 
 @pytest.fixture(scope="module")
 def json_campaigns():

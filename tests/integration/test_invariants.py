@@ -9,6 +9,8 @@ from repro.eval.tokens import TOKEN_INVENTORIES
 from repro.runtime.harness import run_subject
 from repro.subjects.registry import SUBJECT_NAMES, load_subject
 
+pytestmark = pytest.mark.slow  # campaign-grid integration tests
+
 BUDGETS = {"ini": 300, "csv": 300, "json": 500, "tinyc": 500, "mjs": 600}
 
 

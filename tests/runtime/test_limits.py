@@ -1,0 +1,68 @@
+"""Timeout and rlimit plumbing for campaign workers."""
+
+import time
+
+import pytest
+
+from repro.runtime.limits import (
+    RunLimits,
+    RunTimeout,
+    apply_rlimits,
+    peak_rss_bytes,
+    time_limit,
+)
+
+
+def test_time_limit_raises_on_overrun():
+    with pytest.raises(RunTimeout, match="wall-clock"):
+        with time_limit(0.05):
+            time.sleep(5.0)
+
+
+def test_time_limit_noop_when_fast_enough():
+    with time_limit(5.0):
+        value = 1 + 1
+    assert value == 2
+
+
+@pytest.mark.parametrize("seconds", [None, 0, -1.0])
+def test_time_limit_disabled(seconds):
+    with time_limit(seconds):
+        time.sleep(0.01)
+
+
+def test_time_limit_restores_previous_timer():
+    import signal
+
+    with time_limit(5.0):
+        pass
+    # The itimer is disarmed afterwards: no residual alarm pending.
+    remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert remaining == 0.0
+
+
+def test_time_limit_nested_body_exception_propagates():
+    with pytest.raises(KeyError):
+        with time_limit(5.0):
+            raise KeyError("inner")
+
+
+def test_peak_rss_is_plausible():
+    peak = peak_rss_bytes()
+    assert 1_000_000 < peak < 1_000_000_000_000  # >1 MB, <1 TB
+
+
+def test_apply_rlimits_noop_without_cap():
+    apply_rlimits(RunLimits())  # must not raise
+
+
+def test_apply_rlimits_with_generous_cap():
+    import resource
+
+    before = resource.getrlimit(resource.RLIMIT_AS)
+    try:
+        apply_rlimits(RunLimits(address_space_bytes=1 << 40))  # 1 TB: harmless
+        soft, _ = resource.getrlimit(resource.RLIMIT_AS)
+        assert soft in (1 << 40, before[0])  # applied, or clamped to hard cap
+    finally:
+        resource.setrlimit(resource.RLIMIT_AS, before)

@@ -74,3 +74,96 @@ def test_unknown_subject_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+# --------------------------------------------------------------------- #
+# Exit codes and --jobs / --metrics regression coverage
+# --------------------------------------------------------------------- #
+
+
+def test_fuzz_success_exit_code_is_zero():
+    assert main(["fuzz", "expr", "--budget", "100", "--seed", "1"]) == 0
+
+
+def test_compare_success_exit_code_is_zero():
+    assert (
+        main(["compare", "ini", "--budget", "80", "--tools", "random"]) == 0
+    )
+
+
+def test_usage_errors_exit_with_code_two():
+    for argv in (
+        ["compare", "ini", "--jobs", "0"],        # jobs must be >= 1
+        ["compare", "ini", "--jobs", "two"],      # jobs must be an int
+        ["compare", "ini", "--tools", "nope"],    # unknown tool
+        ["fuzz"],                                 # missing subject
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2, argv
+
+
+def test_compare_parallel_jobs_and_metrics(tmp_path, capsys):
+    from repro.eval.metrics import read_jsonl
+
+    metrics_path = tmp_path / "metrics.jsonl"
+    code = main(
+        [
+            "compare", "ini",
+            "--budget", "100",
+            "--tools", "random", "pfuzzer",
+            "--jobs", "2",
+            "--metrics", str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Coverage by each tool" in out
+    records = read_jsonl(metrics_path)
+    assert [record.tool for record in records] == ["random", "pfuzzer"]
+    assert all(record.status == "ok" for record in records)
+
+
+def test_compare_parallel_matches_sequential_report(capsys):
+    argv = ["compare", "ini", "--budget", "100", "--tools", "random", "pfuzzer"]
+    assert main(argv) == 0
+    sequential = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+
+
+def test_compare_timeout_reports_failure_and_exits_nonzero(capsys):
+    code = main(
+        [
+            "compare", "ini",
+            "--budget", "100000",
+            "--tools", "pfuzzer",
+            "--jobs", "1",
+            "--timeout", "0.05",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "timeout" in captured.err
+
+
+def test_report_accepts_jobs_and_metrics(tmp_path, capsys):
+    from repro.eval.metrics import read_jsonl
+
+    metrics_path = tmp_path / "report.jsonl"
+    code = main(
+        [
+            "report",
+            "--budget", "60",
+            "--subjects", "ini",
+            "--tools", "random",
+            "--seeds", "1", "2",
+            "--no-code-coverage",
+            "--jobs", "2",
+            "--metrics", str(metrics_path),
+        ]
+    )
+    assert code == 0
+    assert "# Evaluation report" in capsys.readouterr().out
+    assert [record.seed for record in read_jsonl(metrics_path)] == [1, 2]
