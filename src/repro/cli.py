@@ -39,6 +39,7 @@ from repro.eval.report import (
     render_token_table,
 )
 from repro.eval.token_cov import figure3
+from repro.runtime.harness import COVERAGE_BACKENDS
 from repro.subjects.registry import SUBJECT_NAMES, load_subject
 
 
@@ -80,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every accepted input, not only new-coverage ones",
     )
+    fuzz.add_argument(
+        "--coverage-backend",
+        choices=COVERAGE_BACKENDS,
+        default="settrace",
+        help="coverage tracer: settrace (reference) or ast (compiled-in, faster)",
+    )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
@@ -99,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--seed", type=int, default=1)
     mine.add_argument("--generate", type=int, default=0, metavar="N",
                       help="also generate N inputs from the mined grammar")
+    mine.add_argument(
+        "--coverage-backend",
+        choices=COVERAGE_BACKENDS,
+        default="settrace",
+        help="coverage tracer: settrace (reference) or ast (compiled-in, faster)",
+    )
 
     sub.add_parser("subjects", help="list available subjects (Table 1)")
 
@@ -119,7 +132,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     subject = load_subject(args.subject)
-    config = FuzzerConfig(seed=args.seed, max_executions=args.budget)
+    config = FuzzerConfig(
+        seed=args.seed,
+        max_executions=args.budget,
+        coverage_backend=args.coverage_backend,
+    )
     result = PFuzzer(subject, config).run()
     print(
         f"# {result.executions} executions, {result.rejected} rejected, "
@@ -192,7 +209,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.miner.mine import mine_grammar
 
     subject = load_subject(args.subject)
-    config = FuzzerConfig(seed=args.seed, max_executions=args.budget)
+    config = FuzzerConfig(
+        seed=args.seed,
+        max_executions=args.budget,
+        coverage_backend=args.coverage_backend,
+    )
     result = PFuzzer(subject, config).run()
     corpus = sorted(set(result.all_valid), key=len)[-40:]
     print(f"# mined from {len(corpus)} valid inputs", file=sys.stderr)

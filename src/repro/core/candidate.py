@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
-
-Arc = Tuple[str, int, int]
+from typing import FrozenSet, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Candidate:
     """One not-yet-executed input waiting in the priority queue.
 
@@ -17,26 +15,36 @@ class Candidate:
     Everything the heuristic needs is stored here so re-scoring after a new
     valid input does **not** re-run anything (§3.2: "storing all relevant
     information to compute the heuristic along with the already executed
-    input").
+    input").  ``slots=True``: campaigns hold thousands of candidates, and
+    slot access is also slightly faster on the scoring path.
 
     Attributes:
         text: the input this candidate will execute.
         replacement: the comparison value substituted in (the ``c`` of
             ``heur``); empty for random seeds/appends.
         parents: length of the substitution chain from the initial input.
-        parent_branches: branches covered by the parent's execution (up to
-            the first comparison of its last compared character).
+        parent_branches: branches (interned arc ids) covered by the parent's
+            execution, up to the first comparison of its last compared
+            character.
         avg_stack: the parent execution's ``avgStackSize()``.
         path_signature: identity of the parent's branch path, used for the
             path-novelty penalty.
+        static_score: cached vBr-independent part of the heuristic score
+            (input length, replacement, stack, parents terms); filled on
+            first scoring.
+        new_count: cached ``len(parent_branches - vBr)``.  Filled on first
+            scoring and decremented incrementally as ``vBr`` grows, so a
+            re-score never redoes the set difference.
     """
 
     text: str
     replacement: str = ""
     parents: int = 0
-    parent_branches: FrozenSet[Arc] = field(default_factory=frozenset)
+    parent_branches: FrozenSet[int] = field(default_factory=frozenset)
     avg_stack: float = 0.0
     path_signature: int = 0
+    static_score: Optional[float] = field(default=None, compare=False)
+    new_count: Optional[int] = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return (

@@ -69,6 +69,10 @@ class FuzzerConfig:
         weights: heuristic weights.
         trace_coverage: disable to skip branch tracing (the heuristic then
             degrades to comparisons only; used by ablations).
+        coverage_backend: ``"settrace"`` (reference tracer) or ``"ast"``
+            (compiled-in AST instrumentation, several times faster; see
+            :mod:`repro.runtime.instrument`).  Both backends produce
+            identical campaigns for the same seed.
     """
 
     seed: Optional[int] = None
@@ -79,6 +83,7 @@ class FuzzerConfig:
     character_pool: str = DEFAULT_CHARACTER_POOL
     weights: HeuristicWeights = field(default_factory=HeuristicWeights)
     trace_coverage: bool = True
+    coverage_backend: str = "settrace"
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

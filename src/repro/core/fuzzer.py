@@ -12,6 +12,13 @@ The loop alternates two executions per iteration, as in the paper:
 Every valid input that covers new branches is emitted, the valid-coverage
 set ``vBr`` grows, and the whole queue is re-scored without re-running
 anything.
+
+Branches are interned arc ids (small ints, see
+:mod:`repro.runtime.arcs`), so ``vBr`` and the heuristic's set differences
+operate on int sets.  Scoring uses the caches on
+:class:`~repro.core.candidate.Candidate` (``static_score``, ``new_count``)
+plus one cached ``vBr`` frozenset, making a queue re-score O(queue) with
+O(1) work per candidate instead of a set difference per candidate.
 """
 
 from __future__ import annotations
@@ -23,13 +30,11 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.candidate import Candidate
 from repro.core.config import FuzzerConfig
-from repro.core.heuristic import heuristic_score
+from repro.core.heuristic import static_score
 from repro.core.queue import CandidateQueue
 from repro.core.substitute import substitutions_for
 from repro.runtime.harness import ExitStatus, RunResult, run_subject
 from repro.subjects.base import Subject
-
-Arc = Tuple[str, int, int]
 
 
 @dataclass
@@ -43,25 +48,30 @@ class FuzzingResult:
         all_valid: every accepted input encountered, including ones without
             new coverage.
         executions: number of subject executions performed.
-        valid_branches: union of branches covered by emitted valid inputs
-            (the final ``vBr``).
+        valid_branches: union of branches (interned arc ids) covered by
+            emitted valid inputs (the final ``vBr``).
         rejected: number of rejected executions.
         hangs: number of step-budget exhaustions.
         emit_log: (execution number, input) pairs for each emitted input.
         wall_time: campaign duration in seconds.
         queue_depth: candidates left in the priority queue when the budget
             ran out (observability: how much frontier the campaign had).
+        phase_times: seconds spent per campaign phase — ``"execute"``
+            (subject runs under instrumentation), ``"rescore"`` (queue
+            re-scoring after emits) and ``"substitute"`` (deriving and
+            queueing substitution candidates).
     """
 
     valid_inputs: List[str] = field(default_factory=list)
     all_valid: List[str] = field(default_factory=list)
     executions: int = 0
-    valid_branches: FrozenSet[Arc] = frozenset()
+    valid_branches: FrozenSet[int] = frozenset()
     rejected: int = 0
     hangs: int = 0
     emit_log: List[Tuple[int, str]] = field(default_factory=list)
     wall_time: float = 0.0
     queue_depth: int = 0
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
 
 class PFuzzer:
@@ -85,24 +95,44 @@ class PFuzzer:
         self.config = config or FuzzerConfig()
         self.on_emit = on_emit
         self._rng = random.Random(self.config.seed)
-        self._valid_branches: Set[Arc] = set()
+        self._valid_branches: Set[int] = set()
+        #: Cached ``frozenset(vBr)``, refreshed only when vBr grows —
+        #: scoring must not rebuild it per candidate.
+        self._vbr_frozen: FrozenSet[int] = frozenset()
         self._path_counts: Dict[int, int] = {}
         self._seen: Set[str] = set()
         self._all_valid_seen: Set[str] = set()
         self._result = FuzzingResult()
         self._queue = CandidateQueue(self._score, limit=self.config.queue_limit)
+        self._phase_times = {"execute": 0.0, "rescore": 0.0, "substitute": 0.0}
 
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
 
     def _score(self, candidate: Candidate) -> float:
-        return heuristic_score(
-            candidate,
-            frozenset(self._valid_branches),
-            self._path_counts,
-            self.config.weights,
+        """O(1) per candidate once the caches are warm.
+
+        Equivalent to :func:`repro.core.heuristic.heuristic_score`: the
+        vBr-independent terms live in ``candidate.static_score``, the
+        new-branches count in ``candidate.new_count`` (kept current by
+        :meth:`CandidateQueue.rescore`), and only the path-repetition
+        penalty is looked up fresh.
+        """
+        weights = self.config.weights
+        new_count = candidate.new_count
+        if new_count is None:
+            new_count = len(candidate.parent_branches - self._vbr_frozen)
+            candidate.new_count = new_count
+        cached_static = candidate.static_score
+        if cached_static is None:
+            cached_static = static_score(candidate, weights)
+            candidate.static_score = cached_static
+        score = weights.new_branches * new_count + cached_static
+        score -= weights.path_repetition * self._path_counts.get(
+            candidate.path_signature, 0
         )
+        return score
 
     # ------------------------------------------------------------------ #
     # Execution bookkeeping
@@ -110,11 +140,16 @@ class PFuzzer:
 
     def _execute(self, text: str) -> RunResult:
         self._seen.add(text)
+        started = time.perf_counter()
         result = run_subject(
-            self.subject, text, trace_coverage=self.config.trace_coverage
+            self.subject,
+            text,
+            trace_coverage=self.config.trace_coverage,
+            coverage_backend=self.config.coverage_backend,
         )
+        self._phase_times["execute"] += time.perf_counter() - started
         self._result.executions += 1
-        signature = self._path_signature(result)
+        signature = result.path_signature()
         self._path_counts[signature] = self._path_counts.get(signature, 0) + 1
         if result.status is ExitStatus.REJECTED:
             self._result.rejected += 1
@@ -124,10 +159,6 @@ class PFuzzer:
             self._all_valid_seen.add(text)
             self._result.all_valid.append(text)
         return result
-
-    @staticmethod
-    def _path_signature(result: RunResult) -> int:
-        return hash(result.branches)
 
     def _is_valid_new(self, result: RunResult) -> bool:
         """Algorithm 1 ``runCheck``: exit 0 and new branch coverage."""
@@ -149,15 +180,20 @@ class PFuzzer:
         self._result.emit_log.append((self._result.executions, result.text))
         if self.on_emit is not None:
             self.on_emit(self._result.executions, result.text)
-        self._valid_branches |= result.branches
-        self._queue.rescore()
+        added = frozenset(result.branches - self._valid_branches)
+        self._valid_branches |= added
+        self._vbr_frozen = frozenset(self._valid_branches)
+        started = time.perf_counter()
+        self._queue.rescore(added)
+        self._phase_times["rescore"] += time.perf_counter() - started
         self._add_candidates(result, parents)
 
     def _add_candidates(self, result: RunResult, parents: int) -> None:
         """``addInputs``: one queue entry per satisfiable comparison."""
+        started = time.perf_counter()
         parent_branches = result.branches_for_heuristic()
         avg_stack = result.average_stack_size()
-        signature = self._path_signature(result)
+        signature = result.path_signature()
         for substitution in substitutions_for(result):
             if substitution.text in self._seen:
                 continue
@@ -173,6 +209,7 @@ class PFuzzer:
                     path_signature=signature,
                 )
             )
+        self._phase_times["substitute"] += time.perf_counter() - started
 
     def _random_char(self) -> str:
         return self._rng.choice(self.config.character_pool)
@@ -243,4 +280,5 @@ class PFuzzer:
         self._result.valid_branches = frozenset(self._valid_branches)
         self._result.wall_time = time.monotonic() - started
         self._result.queue_depth = len(self._queue)
+        self._result.phase_times = dict(self._phase_times)
         return self._result

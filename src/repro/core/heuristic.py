@@ -2,17 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet
 
 from repro.core.candidate import Candidate
 from repro.core.config import HeuristicWeights
 
-Arc = Tuple[str, int, int]
+
+def static_score(candidate: Candidate, weights: HeuristicWeights) -> float:
+    """The vBr-independent part of the score.
+
+    Everything except the new-branches term and the path-repetition penalty
+    depends only on the candidate itself, so the fuzzer computes it once and
+    caches it on the candidate (``Candidate.static_score``).
+    """
+    score = -weights.input_length * len(candidate.text)
+    score += weights.replacement_length * len(candidate.replacement)
+    score -= weights.stack_size * candidate.avg_stack
+    score += weights.parents * candidate.parents
+    return score
 
 
 def heuristic_score(
     candidate: Candidate,
-    valid_branches: FrozenSet[Arc],
+    valid_branches: FrozenSet[int],
     path_counts: Dict[int, int],
     weights: HeuristicWeights,
 ) -> float:
@@ -28,12 +40,12 @@ def heuristic_score(
     * parents term (prose: fewer parents rank higher);
     * minus a penalty for how often the parent's branch path was already
       executed (§3.2 path novelty).
+
+    This is the from-scratch reference; the fuzzer's hot path combines the
+    cached :func:`static_score` and ``Candidate.new_count`` instead.
     """
     new_branches = len(candidate.parent_branches - valid_branches)
     score = weights.new_branches * new_branches
-    score -= weights.input_length * len(candidate.text)
-    score += weights.replacement_length * len(candidate.replacement)
-    score -= weights.stack_size * candidate.avg_stack
-    score += weights.parents * candidate.parents
+    score += static_score(candidate, weights)
     score -= weights.path_repetition * path_counts.get(candidate.path_signature, 0)
     return score

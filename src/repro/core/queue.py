@@ -16,7 +16,7 @@ candidates.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.core.candidate import Candidate
 
@@ -57,8 +57,36 @@ class CandidateQueue:
             return None
         return heapq.heappop(self._heap)[2]
 
-    def rescore(self) -> None:
-        """Re-compute every score (Algorithm 1, Lines 40–43)."""
+    def rescore(self, added_branches: Optional[FrozenSet[int]] = None) -> None:
+        """Re-compute every score (Algorithm 1, Lines 40–43).
+
+        ``added_branches`` are the arcs the last emitted input newly added
+        to ``vBr``.  When given, each candidate's cached new-branch count
+        (``Candidate.new_count``) is decremented by its overlap with the
+        added arcs, so the score function never has to redo the
+        ``parent_branches - vBr`` set difference — only candidates whose
+        parents actually intersect the new arcs change.  The heap itself is
+        still rebuilt (the path-repetition penalty can shift any entry), but
+        each score is now O(1).
+        """
+        if added_branches:
+            for _, _, candidate in self._heap:
+                count = candidate.new_count
+                if not count:
+                    # None: never scored, the score function will compute it
+                    # from scratch.  0: cannot decrease further.
+                    continue
+                parent_branches = candidate.parent_branches
+                if len(added_branches) < len(parent_branches):
+                    overlap = sum(
+                        1 for arc in added_branches if arc in parent_branches
+                    )
+                else:
+                    overlap = sum(
+                        1 for arc in parent_branches if arc in added_branches
+                    )
+                if overlap:
+                    candidate.new_count = count - overlap
         self._heap = [
             (-self._score_fn(candidate), order, candidate)
             for _, order, candidate in self._heap

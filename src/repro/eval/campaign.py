@@ -75,6 +75,9 @@ class ToolOutput:
     wall_time: float = 0.0
     #: Final pFuzzer queue depth; ``None`` for tools without a queue.
     queue_depth: Optional[int] = None
+    #: Seconds per campaign phase (pFuzzer reports "execute" / "rescore" /
+    #: "substitute"); ``None`` for tools without a breakdown.
+    phase_times: Optional[Dict[str, float]] = None
 
 
 def validate_campaign(tool: str, subject_name: str) -> None:
@@ -114,6 +117,7 @@ def run_campaign(
         executions=outcome.executions,
         wall_time=outcome.wall_time,
         queue_depth=getattr(outcome, "queue_depth", None),
+        phase_times=getattr(outcome, "phase_times", None),
     )
 
 

@@ -15,15 +15,21 @@ from typing import Dict, Iterable, Sequence, Set, Tuple
 
 from repro.runtime.coverage import Line, line_coverage_percent, module_lines
 from repro.runtime.harness import run_subject
+from repro.runtime.owners import owner_map
 from repro.subjects.registry import load_subject
 
 
 def coverage_of_inputs(subject_name: str, inputs: Iterable[str]) -> float:
     """Line-coverage percentage achieved by re-running ``inputs``."""
     subject = load_subject(subject_name)
+    # Arcs are statement-owner normalised, so the universe must be too:
+    # counting a multi-line statement once in the numerator but once per
+    # physical line in the denominator would understate coverage.
     universe: Set[Line] = set()
     for module in subject.modules():
-        universe |= module_lines(module)
+        for filename, line in module_lines(module):
+            owners = owner_map(filename)
+            universe.add((filename, owners.get(line, line)))
     covered: Set[Line] = set()
     for text in inputs:
         result = run_subject(subject, text)
@@ -33,7 +39,8 @@ def coverage_of_inputs(subject_name: str, inputs: Iterable[str]) -> float:
 
 def _lines_of(result) -> Set[Line]:
     lines: Set[Line] = set()
-    for filename, previous, line in result.branches:
+    # Branches are interned ids; decode back to (filename, previous, line).
+    for filename, previous, line in result.decoded_branches():
         lines.add((filename, line))
         if previous != 0:
             lines.add((filename, previous))

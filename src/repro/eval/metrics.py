@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.eval.campaign import ToolOutput
 
@@ -39,6 +39,7 @@ FIELD_NAMES = (
     "queue_depth",
     "peak_rss_bytes",
     "wall_time",
+    "phase_times",
 )
 
 
@@ -66,6 +67,10 @@ class CampaignMetrics:
     queue_depth: Optional[int]
     peak_rss_bytes: int
     wall_time: float
+    #: Seconds per campaign phase ("execute" / "rescore" / "substitute"),
+    #: None for tools that do not report a breakdown.  Added within schema
+    #: version 1; absent in older records and read back as None.
+    phase_times: Optional[Dict[str, float]] = None
 
     @classmethod
     def from_output(
@@ -98,6 +103,7 @@ class CampaignMetrics:
             queue_depth=output.queue_depth,
             peak_rss_bytes=peak_rss_bytes,
             wall_time=wall,
+            phase_times=output.phase_times,
         )
 
     @classmethod
@@ -128,6 +134,7 @@ class CampaignMetrics:
             queue_depth=None,
             peak_rss_bytes=0,
             wall_time=wall_time,
+            phase_times=None,
         )
 
     def to_json_line(self) -> str:
@@ -155,6 +162,9 @@ class CampaignMetrics:
             raise ValueError(
                 f"unsupported metrics schema {version!r} (expected {SCHEMA_VERSION})"
             )
+        # phase_times was added within schema version 1: tolerate records
+        # written before it existed.
+        record.setdefault("phase_times", None)
         missing = [name for name in FIELD_NAMES if name not in record]
         if missing:
             raise ValueError(f"metrics line missing fields: {', '.join(missing)}")

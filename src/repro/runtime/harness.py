@@ -1,11 +1,23 @@
 """Run one input against one subject under full instrumentation.
 
 :func:`run_subject` is the equivalent of one execution of the paper's
-instrumented binary: it installs a fresh comparison recorder and coverage
-tracer, feeds the input through an :class:`~repro.runtime.stream.InputStream`
-and returns a :class:`RunResult` carrying the exit status, the comparison
-trace, the covered branches (line arcs) and the information needed by the
-search heuristic.
+instrumented binary: it installs a fresh comparison recorder and a coverage
+backend, feeds the input through an
+:class:`~repro.runtime.stream.InputStream` and returns a :class:`RunResult`
+carrying the exit status, the comparison trace, the covered branches (line
+arcs, interned to small ints) and the information needed by the search
+heuristic.
+
+Two coverage backends are available (``coverage_backend``):
+
+* ``"settrace"`` — the reference :class:`~repro.runtime.tracer.CoverageTracer`
+  (a per-line trace function);
+* ``"ast"`` — compiled-in instrumentation from
+  :mod:`repro.runtime.instrument`, several times faster per execution.
+
+Both intern arcs through the subject's shared
+:class:`~repro.runtime.arcs.ArcTable`, so their branch sets are directly
+comparable and equivalence is asserted in the test suite.
 """
 
 from __future__ import annotations
@@ -14,10 +26,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
+from repro.runtime.arcs import ArcTable, arc_table_for
 from repro.runtime.errors import HangError, ParseError, SubjectError
 from repro.runtime.stream import InputStream
-from repro.runtime.tracer import Arc, CoverageTracer
+from repro.runtime.tracer import CoverageTracer
 from repro.taint.recorder import Recorder, recording
+
+#: Supported values for ``coverage_backend``.
+COVERAGE_BACKENDS = ("settrace", "ast")
 
 
 class ExitStatus(enum.Enum):
@@ -36,17 +52,19 @@ class RunResult:
         text: the input that was executed.
         status: exit status (VALID / REJECTED / HANG).
         recorder: the full comparison + EOF trace.
-        arcs: all line arcs traversed, with first-traversal clocks.
+        arcs: interned arc id -> first-traversal clock.
         value: the subject's parse result (None unless VALID).
         error: rejection message (None when VALID).
+        arc_table: the subject's shared table that interned ``arcs``.
     """
 
     text: str
     status: ExitStatus
     recorder: Recorder
-    arcs: Dict[Arc, int] = field(default_factory=dict)
+    arcs: Dict[int, int] = field(default_factory=dict)
     value: object = None
     error: Optional[str] = None
+    arc_table: Optional[ArcTable] = None
 
     @property
     def valid(self) -> bool:
@@ -54,11 +72,17 @@ class RunResult:
         return self.status is ExitStatus.VALID
 
     @property
-    def branches(self) -> FrozenSet[Arc]:
-        """All branches (line arcs) the execution covered."""
+    def branches(self) -> FrozenSet[int]:
+        """All branches (interned line arcs) the execution covered."""
         return frozenset(self.arcs)
 
-    def branches_for_heuristic(self) -> FrozenSet[Arc]:
+    def decoded_branches(self) -> FrozenSet[tuple]:
+        """Branches decoded back to ``(filename, previous, line)`` tuples."""
+        if self.arc_table is None:
+            return frozenset()
+        return self.arc_table.decode(self.arcs)
+
+    def branches_for_heuristic(self) -> FrozenSet[int]:
         """Branches counted by the search heuristic.
 
         For rejected inputs the paper only counts coverage "up to the first
@@ -85,32 +109,64 @@ class RunResult:
         """The heuristic's ``avgStackSize()`` for this execution."""
         return self.recorder.average_stack_size()
 
+    def path_signature(self) -> int:
+        """Stable signature of the execution path (the set of arcs).
+
+        Built from per-arc blake2 digests, so it is identical across
+        interpreter runs (``PYTHONHASHSEED``), backends and intern orders.
+        """
+        if self.arc_table is None or not self.arcs:
+            return 0
+        return self.arc_table.signature(self.arcs)
+
 
 def run_subject(
     subject,
     text: str,
     trace_coverage: bool = True,
+    coverage_backend: str = "settrace",
 ) -> RunResult:
     """Execute ``subject`` on ``text`` under taint + coverage instrumentation.
 
     Args:
         subject: a :class:`~repro.subjects.base.Subject`.
         text: the candidate input.
-        trace_coverage: disable to skip the settrace tracer (much faster;
-            used by baselines that only need comparison events or only an
-            exit code).
+        trace_coverage: disable to skip branch coverage entirely (much
+            faster; used by baselines that only need comparison events or
+            only an exit code).
+        coverage_backend: ``"settrace"`` (reference tracer) or ``"ast"``
+            (compiled-in instrumentation; see
+            :mod:`repro.runtime.instrument`).
     """
     stream = InputStream(text)
-    if trace_coverage:
-        tracer: Optional[CoverageTracer] = CoverageTracer(subject.files)
+    table = arc_table_for(subject)
+    tracer: Optional[CoverageTracer] = None
+    collector = None
+    run_target = subject
+    if not trace_coverage:
+        recorder = Recorder()
+    elif coverage_backend == "ast":
+        from repro.runtime.instrument import instrumented_subject
+
+        run_target, collector = instrumented_subject(subject)
+        collector.reset()
+        recorder = Recorder(
+            depth_provider=collector.current_depth,
+            clock_provider=collector.current_clock,
+            stack_provider=collector.current_stack,
+        )
+    elif coverage_backend == "settrace":
+        tracer = CoverageTracer(subject.files)
         recorder = Recorder(
             depth_provider=tracer.current_depth,
             clock_provider=tracer.current_clock,
             stack_provider=tracer.current_stack,
         )
     else:
-        tracer = None
-        recorder = Recorder()
+        raise ValueError(
+            f"unknown coverage backend {coverage_backend!r}; "
+            f"expected one of {COVERAGE_BACKENDS}"
+        )
 
     status = ExitStatus.VALID
     value: object = None
@@ -119,9 +175,9 @@ def run_subject(
         try:
             if tracer is not None:
                 with tracer:
-                    value = subject.parse(stream)
+                    value = run_target.parse(stream)
             else:
-                value = subject.parse(stream)
+                value = run_target.parse(stream)
         except HangError as exc:
             status = ExitStatus.HANG
             error = str(exc)
@@ -132,10 +188,19 @@ def run_subject(
             status = ExitStatus.REJECTED
             error = str(exc)
 
-    arcs = dict(tracer.arcs) if tracer is not None else {}
+    if tracer is not None:
+        intern = table.intern
+        arcs = {intern(arc): clock for arc, clock in tracer.arcs.items()}
+    elif collector is not None:
+        arcs = dict(collector.arcs)
+    else:
+        arcs = {}
     # Table-driven parsers contribute table-element coverage (§7.1) through
     # the recorder's auxiliary channel; merge it into the branch set.
-    arcs.update(recorder.aux_branches)
+    if recorder.aux_branches:
+        intern = table.intern
+        for key, clock in recorder.aux_branches.items():
+            arcs[intern(key)] = clock
     return RunResult(
         text=text,
         status=status,
@@ -143,4 +208,5 @@ def run_subject(
         arcs=arcs,
         value=value,
         error=error,
+        arc_table=table,
     )

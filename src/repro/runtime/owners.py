@@ -1,0 +1,75 @@
+"""Statement ownership: map raw source lines to their owning statement.
+
+CPython's line-event stream is noisy at sub-statement granularity: a
+multi-line call fires one event per physical line it touches, a multi-line
+boolean condition fires extra "jump" events attributed to the ``if (`` line,
+and comprehension frames fire one event per produced item.  None of that
+noise is a *branch decision* — it is an artifact of how the compiler lays
+out line numbers.
+
+Both coverage backends therefore normalise events to **statement owners**:
+every physical line belongs to the innermost statement that contains it, and
+an event only counts when it lands on a different owner than the previous
+event in the same frame.  The settrace backend applies the mapping to raw
+``f_lineno`` values; the AST backend only ever emits events at owner points.
+Using the same table on both sides is what makes their arc sets equal by
+construction.
+
+Special cases baked into the table:
+
+* ``except`` clause header lines map to the ``try`` statement's head line —
+  exception dispatch fires one event per examined clause, which collapses to
+  a single "the try dispatched" event;
+* decorated ``def``/``class`` statements are owned by their first decorator
+  line (evaluation starts there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+#: filename -> (line -> owner line).  Owner maps are immutable per file.
+_CACHE: Dict[str, Dict[int, int]] = {}
+
+
+def statement_head(node: ast.stmt) -> int:
+    """The line a statement's execution is attributed to."""
+    decorators = getattr(node, "decorator_list", None)
+    if decorators:
+        return min(decorator.lineno for decorator in decorators)
+    return node.lineno
+
+
+def _build(tree: ast.AST) -> Dict[int, int]:
+    owners: Dict[int, int] = {}
+    # ast.walk is breadth-first, so parents assign their full spans before
+    # nested statements overwrite the sub-ranges they own.  Lines that only
+    # belong to a compound statement's header (an ``if`` test, a ``try:`` or
+    # ``except`` line) keep the compound statement as their owner.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        head = statement_head(node)
+        end = node.end_lineno or head
+        for line in range(head, end + 1):
+            owners[line] = head
+    return owners
+
+
+def owner_map(filename: str) -> Dict[int, int]:
+    """Line -> owning-statement-head map for ``filename``.
+
+    Unreadable or unparsable files get an empty map, which callers treat as
+    the identity mapping (``owners.get(line, line)``).
+    """
+    cached = _CACHE.get(filename)
+    if cached is None:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            cached = _build(ast.parse(source, filename))
+        except (OSError, SyntaxError, ValueError):
+            cached = {}
+        _CACHE[filename] = cached
+    return cached

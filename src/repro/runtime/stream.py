@@ -28,6 +28,10 @@ class InputStream:
         self.text = text
         self.pos = 0
         self._max_accessed = -1
+        # TChar is immutable, so each index's proxy can be built once and
+        # reused — peek-heavy parsers fetch the same character many times.
+        self._chars: list = [None] * len(text)
+        self._eof_char: TChar = None  # type: ignore[assignment]
 
     def __len__(self) -> int:
         return len(self.text)
@@ -37,14 +41,23 @@ class InputStream:
     # ------------------------------------------------------------------ #
 
     def _fetch(self, index: int) -> TChar:
-        if index >= len(self.text):
+        text = self.text
+        if index >= len(text):
             recorder = current_recorder()
             if recorder is not None:
-                recorder.record_eof(len(self.text))
-            self._max_accessed = max(self._max_accessed, len(self.text))
-            return TChar.eof(len(self.text))
-        self._max_accessed = max(self._max_accessed, index)
-        return TChar(self.text[index], index)
+                recorder.record_eof(len(text))
+            if self._max_accessed < len(text):
+                self._max_accessed = len(text)
+            char = self._eof_char
+            if char is None:
+                char = self._eof_char = TChar.eof(len(text))
+            return char
+        if self._max_accessed < index:
+            self._max_accessed = index
+        char = self._chars[index]
+        if char is None:
+            char = self._chars[index] = TChar(text[index], index)
+        return char
 
     def next_char(self) -> TChar:
         """Read and consume the next character (C ``getchar``).

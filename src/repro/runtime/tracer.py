@@ -9,15 +9,25 @@ basic blocks taken" (§4).  Here the same signals come from a
   equivalent of basic-block transitions;
 * **call depth** is maintained by counting call/return events in subject
   frames, giving the ``avgStackSize()`` input of the heuristic;
-* a monotonic **clock** (one tick per executed line) timestamps both arcs
-  and comparison events so the fuzzer can restrict coverage to "branches up
-  to the first comparison of the last character" (§3.1).
+* a monotonic **clock** (one tick per executed statement) timestamps both
+  arcs and comparison events so the fuzzer can restrict coverage to
+  "branches up to the first comparison of the last character" (§3.1).
+
+Raw line events are normalised to *statement owners* (see
+:mod:`repro.runtime.owners`): an event maps to the head line of the
+innermost statement containing it, and consecutive events on the same owner
+within a frame collapse into one.  This removes multi-line-statement and
+per-item comprehension noise, and makes the event stream identical to the
+one produced by the AST-instrumentation backend
+(:mod:`repro.runtime.instrument`).
 """
 
 from __future__ import annotations
 
 import sys
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.runtime.owners import owner_map
 
 Arc = Tuple[str, int, int]
 Line = Tuple[str, int]
@@ -44,6 +54,9 @@ class CoverageTracer:
 
     def __init__(self, files: Iterable[str]) -> None:
         self.files: FrozenSet[str] = frozenset(files)
+        self._owners: Dict[str, Dict[int, int]] = {
+            filename: owner_map(filename) for filename in self.files
+        }
         self.arcs: Dict[Arc, int] = {}
         self.clock = 0
         self.depth = 0
@@ -76,6 +89,14 @@ class CoverageTracer:
                 id(frame), (frame.f_code.co_filename, ENTRY)
             )
             line = frame.f_lineno
+            owners = self._owners.get(filename)
+            if owners:
+                line = owners.get(line, line)
+            if line == previous:
+                # Same statement as the previous event in this frame: a
+                # continuation line, loop-header re-check on a one-line
+                # body, or comprehension item — not a new statement.
+                return self._local_trace
             self.clock += 1
             arc = (filename, previous, line)
             if arc not in self.arcs:

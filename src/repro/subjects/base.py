@@ -47,6 +47,16 @@ class Subject(abc.ABC):
         """Modules whose code counts as "the subject" for coverage."""
         return (sys.modules[type(self).__module__],)
 
+    def instrument_modules(self) -> Tuple[types.ModuleType, ...]:
+        """Modules the AST coverage backend rewrites for this subject.
+
+        Defaults to :meth:`modules` — the same files the settrace backend
+        traces — which keeps the two backends equivalent.  Subjects may
+        override to exclude modules that the instrumenter cannot handle, at
+        the cost of losing that equivalence.
+        """
+        return self.modules()
+
     @property
     def files(self) -> FrozenSet[str]:
         """Source files traced for branch coverage."""

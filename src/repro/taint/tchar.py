@@ -47,7 +47,7 @@ class TChar:
         is_eof: True for the EOF sentinel.
     """
 
-    __slots__ = ("value", "index", "is_eof")
+    __slots__ = ("value", "index", "is_eof", "code")
 
     def __init__(self, value: str, index: int, is_eof: bool = False) -> None:
         if is_eof:
@@ -57,6 +57,10 @@ class TChar:
         self.value = value
         self.index = index
         self.is_eof = is_eof
+        #: Numeric character code; ``-1`` for EOF (as in C).  Precomputed:
+        #: every recorded comparison reads it, often several times per
+        #: fetched character.
+        self.code = -1 if is_eof else ord(value)
 
     @classmethod
     def eof(cls, index: int) -> "TChar":
@@ -66,11 +70,6 @@ class TChar:
     # ------------------------------------------------------------------ #
     # Recording plumbing
     # ------------------------------------------------------------------ #
-
-    @property
-    def code(self) -> int:
-        """Numeric character code; ``-1`` for EOF (as in C)."""
-        return -1 if self.is_eof else ord(self.value)
 
     def _indices(self) -> Tuple[int, ...]:
         return () if self.is_eof else (self.index,)

@@ -1,0 +1,96 @@
+"""Cross-backend and cross-process determinism of whole campaigns.
+
+Two guarantees are pinned here:
+
+* **Backend equivalence at campaign scale** — for the same seed, the
+  settrace and AST coverage backends must emit byte-identical campaigns
+  (same inputs, same emit order, same execution numbers).  Per-run arc
+  equality is covered by ``tests/runtime/test_instrument.py``; this is the
+  end-to-end corollary the acceptance criteria demand.
+
+* **Hash-seed independence** — path signatures are content-derived
+  (blake2b over interned arcs, see :meth:`ArcTable.signature`), never
+  ``hash()`` of a frozenset.  A campaign must therefore not change when
+  ``PYTHONHASHSEED`` changes, which the regression test checks in fresh
+  subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.registry import load_subject
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+_CAMPAIGN_SNIPPET = """\
+import json, sys
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.subjects.registry import load_subject
+
+result = PFuzzer(
+    load_subject("expr"),
+    FuzzerConfig(seed=3, max_executions=250, coverage_backend="settrace"),
+).run()
+print(json.dumps({
+    "valid_inputs": result.valid_inputs,
+    "emit_log": result.emit_log,
+    "executions": result.executions,
+    "rejected": result.rejected,
+}))
+"""
+
+
+def _campaign(subject_name: str, backend: str, seed: int, budget: int):
+    config = FuzzerConfig(
+        seed=seed, max_executions=budget, coverage_backend=backend
+    )
+    return PFuzzer(load_subject(subject_name), config).run()
+
+
+@pytest.mark.parametrize("subject_name,seed,budget", [
+    ("expr", 0, 400),
+    ("expr", 3, 400),
+    ("json", 3, 400),
+    ("ini", 1, 300),
+])
+def test_campaigns_identical_across_backends(subject_name, seed, budget):
+    traced = _campaign(subject_name, "settrace", seed, budget)
+    compiled = _campaign(subject_name, "ast", seed, budget)
+    assert traced.valid_inputs == compiled.valid_inputs
+    assert traced.emit_log == compiled.emit_log
+    assert traced.all_valid == compiled.all_valid
+    assert traced.executions == compiled.executions
+    assert traced.rejected == compiled.rejected
+    assert traced.hangs == compiled.hangs
+    assert traced.queue_depth == compiled.queue_depth
+    assert traced.valid_branches == compiled.valid_branches
+
+
+def _run_with_hashseed(hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CAMPAIGN_SNIPPET],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_campaign_independent_of_hash_seed():
+    """Same campaign under PYTHONHASHSEED=1 and =2 — byte-identical output.
+
+    Before path signatures became content-derived, ``hash(frozenset)`` of
+    the branch set leaked the interpreter's string-hash randomisation into
+    ``_path_counts`` and hence into scores and emit order.
+    """
+    assert _run_with_hashseed("1") == _run_with_hashseed("2")

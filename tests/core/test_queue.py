@@ -1,6 +1,10 @@
 """Priority queue: ordering, re-scoring, capping."""
 
+import random
+
 from repro.core.candidate import Candidate
+from repro.core.config import HeuristicWeights
+from repro.core.heuristic import heuristic_score
 from repro.core.queue import CandidateQueue
 
 
@@ -63,6 +67,61 @@ def test_limit_enforced_on_rescore():
     assert len(queue) == 2
     assert queue.pop().text == "abcd"
     assert queue.pop().text == "abc"
+
+
+def test_incremental_rescore_matches_reference_scoring():
+    """The new_count cache updated via rescore(added) must track the exact
+    |parent_branches \\ vBr| that heuristic_score computes from scratch."""
+    rng = random.Random(7)
+    weights = HeuristicWeights()
+    valid = set()
+
+    def cached_score(candidate):
+        # Mirrors PFuzzer._score: use the cache, fall back to a fresh diff.
+        if candidate.new_count is None:
+            candidate.new_count = len(candidate.parent_branches - valid)
+        return (
+            weights.new_branches * candidate.new_count
+            + weights.replacement_length * len(candidate.replacement)
+            - weights.input_length * len(candidate.text)
+            - weights.stack_size * candidate.avg_stack
+            + weights.parents * candidate.parents
+        )
+
+    queue = CandidateQueue(cached_score)
+    candidates = []
+    for index in range(60):
+        branches = frozenset(rng.sample(range(40), rng.randint(0, 12)))
+        candidate = Candidate(
+            text="x" * rng.randint(0, 5),
+            replacement="y" * rng.randint(0, 3),
+            parents=rng.randint(0, 4),
+            parent_branches=branches,
+            avg_stack=float(rng.randint(0, 6)),
+        )
+        candidates.append(candidate)
+        queue.push(candidate)
+
+    for _ in range(5):
+        added = frozenset(rng.sample(range(40), rng.randint(1, 8))) - valid
+        valid |= added
+        queue.rescore(frozenset(added))
+        for candidate in candidates:
+            expected = heuristic_score(
+                candidate, frozenset(valid), {}, weights
+            )
+            assert cached_score(candidate) == expected
+
+
+def test_rescore_without_arguments_still_rebuilds():
+    """rescore() with no added branches stays a full re-sort (legacy API)."""
+    bias = {"value": 1.0}
+    queue = CandidateQueue(lambda c: bias["value"] * len(c.text))
+    queue.push(Candidate("a"))
+    queue.push(Candidate("abcd"))
+    bias["value"] = -1.0
+    queue.rescore()
+    assert queue.pop().text == "a"
 
 
 def test_interleaved_push_pop():

@@ -79,8 +79,18 @@ def test_schema_field_order_is_stable(expr_metrics):
         "queue_depth",
         "peak_rss_bytes",
         "wall_time",
+        "phase_times",
     )
     assert tuple(json.loads(metrics.to_json_line()).keys()) == FIELD_NAMES
+
+
+def test_phase_times_absent_in_old_records_reads_as_none(expr_metrics):
+    """Records written before phase_times existed still parse (as None)."""
+    metrics, _ = expr_metrics
+    record = json.loads(metrics.to_json_line())
+    del record["phase_times"]
+    parsed = CampaignMetrics.from_json_line(json.dumps(record))
+    assert parsed.phase_times is None
 
 
 def test_wrong_schema_version_rejected(expr_metrics):

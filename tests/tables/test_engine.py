@@ -53,7 +53,7 @@ def test_instrumented_mode_records_cells(instrumented):
 
 def test_cells_merge_into_branches(instrumented):
     result = run_subject(instrumented, "1")
-    assert any(arc[0] == "table:expr" for arc in result.branches)
+    assert any(arc[0] == "table:expr" for arc in result.decoded_branches())
 
 
 def test_instrumented_row_scan_gives_substitutions(instrumented):
