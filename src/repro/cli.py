@@ -12,8 +12,10 @@ Subcommands mirror the workflows in the paper's evaluation:
 Examples::
 
     python -m repro fuzz json --budget 2000 --seed 3
+    python -m repro fuzz json --checkpoint-dir ck/ --resume --corpus corpus.jsonl
     python -m repro compare tinyc --budget 4000
     python -m repro compare json --jobs 4 --metrics metrics.jsonl
+    python -m repro compare json --jobs 4 --checkpoint-dir ck/ --corpus corpus.jsonl
     python -m repro tokens mjs
     python -m repro mine expr
 
@@ -63,6 +65,26 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock limit; timed-out runs are reported, not fatal",
     )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="durable snapshots: every grid cell checkpoints into its own "
+        "subdirectory of DIR and crashed/killed/timed-out cells resume "
+        "from their last snapshot",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N",
+        help="snapshot cadence in executions (default: the fuzzer's own)",
+    )
+    parser.add_argument(
+        "--resume-retries", type=int, default=2, metavar="N",
+        help="with --checkpoint-dir: extra resume attempts for timed-out "
+        "cells (default: 2)",
+    )
+    parser.add_argument(
+        "--corpus", metavar="PATH", default=None,
+        help="append every run's valid inputs (with path signatures) to "
+        "this persistent corpus store",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +108,25 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=COVERAGE_BACKENDS,
         default="settrace",
         help="coverage tracer: settrace (reference) or ast (compiled-in, faster)",
+    )
+    fuzz.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write durable campaign snapshots to DIR (see --resume)",
+    )
+    fuzz.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N",
+        help="snapshot every N executions (default: 500)",
+    )
+    fuzz.add_argument(
+        "--resume", action="store_true",
+        help="restore the newest valid snapshot from --checkpoint-dir "
+        "before fuzzing; the resumed campaign is byte-identical to an "
+        "uninterrupted one",
+    )
+    fuzz.add_argument(
+        "--corpus", metavar="PATH", default=None,
+        help="append the run's valid inputs (with path signatures) to "
+        "this persistent corpus store",
     )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
@@ -132,17 +173,45 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     subject = load_subject(args.subject)
+    durability = {}
+    if args.checkpoint_dir is not None:
+        durability["checkpoint_dir"] = args.checkpoint_dir
+        durability["resume"] = args.resume
+        if args.checkpoint_every is not None:
+            durability["checkpoint_every"] = args.checkpoint_every
+    elif args.resume:
+        print("# --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     config = FuzzerConfig(
         seed=args.seed,
         max_executions=args.budget,
         coverage_backend=args.coverage_backend,
+        **durability,
     )
     result = PFuzzer(subject, config).run()
     print(
         f"# {result.executions} executions, {result.rejected} rejected, "
-        f"{result.hangs} hangs, {result.wall_time:.1f}s",
+        f"{result.hangs} hangs, {result.wall_time:.1f}s"
+        + (f", {result.resumes} resumes" if result.resumes else ""),
         file=sys.stderr,
     )
+    if args.corpus is not None:
+        from repro.eval.corpus_store import CorpusRecord, CorpusStore
+
+        CorpusStore(args.corpus).add_records(
+            [
+                CorpusRecord(
+                    subject=args.subject,
+                    tool="pfuzzer",
+                    seed=args.seed,
+                    input=text,
+                    path_signature=signature,
+                )
+                for text, signature in zip(
+                    result.valid_inputs, result.valid_signatures
+                )
+            ]
+        )
     outputs = result.all_valid if args.all_valid else result.valid_inputs
     for text in outputs:
         print(repr(text))
@@ -152,7 +221,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     corpora = {}
     failed = 0
-    if args.jobs > 1 or args.metrics or args.timeout:
+    if (
+        args.jobs > 1
+        or args.metrics
+        or args.timeout
+        or args.checkpoint_dir
+        or args.corpus
+    ):
         from repro.eval.parallel import RunSpec, run_grid
 
         specs = [
@@ -160,7 +235,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             for tool in args.tools
         ]
         records = run_grid(
-            specs, jobs=args.jobs, timeout=args.timeout, metrics_path=args.metrics
+            specs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            metrics_path=args.metrics,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_retries=args.resume_retries,
+            corpus_path=args.corpus,
         )
         for record in records:
             tool = record.spec.tool
@@ -248,6 +330,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         metrics_path=args.metrics,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_retries=args.resume_retries,
+        corpus_path=args.corpus,
     )
     print(render_markdown(report))
     return 0

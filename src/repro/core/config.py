@@ -73,6 +73,16 @@ class FuzzerConfig:
             (compiled-in AST instrumentation, several times faster; see
             :mod:`repro.runtime.instrument`).  Both backends produce
             identical campaigns for the same seed.
+        checkpoint_dir: directory for durable campaign snapshots (see
+            :mod:`repro.eval.checkpoint`); None disables checkpointing.
+        checkpoint_every: write a snapshot every N subject executions
+            (checked at the iteration boundary, so the actual spacing can
+            overshoot by one iteration's executions).
+        checkpoint_keep: snapshot generations retained on disk; older ones
+            are deleted after each successful write.
+        resume: restore the newest valid snapshot from ``checkpoint_dir``
+            before fuzzing; a resumed campaign is byte-identical (modulo
+            timings) to an uninterrupted one with the same config.
     """
 
     seed: Optional[int] = None
@@ -84,6 +94,10 @@ class FuzzerConfig:
     weights: HeuristicWeights = field(default_factory=HeuristicWeights)
     trace_coverage: bool = True
     coverage_backend: str = "settrace"
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 500
+    checkpoint_keep: int = 2
+    resume: bool = False
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

@@ -23,9 +23,11 @@ O(1) work per candidate instead of a set difference per candidate.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.candidate import Candidate
@@ -33,8 +35,16 @@ from repro.core.config import FuzzerConfig
 from repro.core.heuristic import static_score
 from repro.core.queue import CandidateQueue
 from repro.core.substitute import substitutions_for
+from repro.runtime.arcs import arc_table_for
 from repro.runtime.harness import ExitStatus, RunResult, run_subject
 from repro.subjects.base import Subject
+
+#: Fault-injection hook for the durability test suite: when set, the
+#: process SIGKILLs itself as soon as the execution counter reaches this
+#: value — an uncatchable mid-campaign death, exactly what checkpoint
+#: resume must survive.  Set via ``repro.eval.parallel``'s ``kill-at``
+#: fault mode; never set in production.
+_TEST_KILL_AT: Optional[int] = None
 
 
 @dataclass
@@ -58,8 +68,14 @@ class FuzzingResult:
             ran out (observability: how much frontier the campaign had).
         phase_times: seconds spent per campaign phase — ``"execute"``
             (subject runs under instrumentation), ``"rescore"`` (queue
-            re-scoring after emits) and ``"substitute"`` (deriving and
-            queueing substitution candidates).
+            re-scoring after emits), ``"substitute"`` (deriving and
+            queueing substitution candidates) and ``"checkpoint"``
+            (writing durable snapshots, when enabled).
+        valid_signatures: stable path signature of each emitted input's
+            execution, aligned with ``valid_inputs`` (persisted alongside
+            the corpus; see :mod:`repro.eval.corpus_store`).
+        resumes: how many times this campaign was restored from a
+            checkpoint (0 for an uninterrupted run).
     """
 
     valid_inputs: List[str] = field(default_factory=list)
@@ -72,6 +88,8 @@ class FuzzingResult:
     wall_time: float = 0.0
     queue_depth: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
+    valid_signatures: List[int] = field(default_factory=list)
+    resumes: int = 0
 
 
 class PFuzzer:
@@ -104,7 +122,16 @@ class PFuzzer:
         self._all_valid_seen: Set[str] = set()
         self._result = FuzzingResult()
         self._queue = CandidateQueue(self._score, limit=self.config.queue_limit)
-        self._phase_times = {"execute": 0.0, "rescore": 0.0, "substitute": 0.0}
+        self._phase_times = {
+            "execute": 0.0,
+            "rescore": 0.0,
+            "substitute": 0.0,
+            "checkpoint": 0.0,
+        }
+        #: Wall seconds consumed by previous runs of a resumed campaign.
+        self._wall_consumed = 0.0
+        self._run_started: Optional[float] = None
+        self._last_checkpoint = 0
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -149,6 +176,8 @@ class PFuzzer:
         )
         self._phase_times["execute"] += time.perf_counter() - started
         self._result.executions += 1
+        if _TEST_KILL_AT is not None and self._result.executions >= _TEST_KILL_AT:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
         signature = result.path_signature()
         self._path_counts[signature] = self._path_counts.get(signature, 0) + 1
         if result.status is ExitStatus.REJECTED:
@@ -177,6 +206,7 @@ class PFuzzer:
     def _handle_valid(self, result: RunResult, parents: int) -> None:
         """``validInp``: emit, grow vBr, re-score the queue, keep extending."""
         self._result.valid_inputs.append(result.text)
+        self._result.valid_signatures.append(result.path_signature())
         self._result.emit_log.append((self._result.executions, result.text))
         if self.on_emit is not None:
             self.on_emit(self._result.executions, result.text)
@@ -228,7 +258,203 @@ class PFuzzer:
             text = self._random_char()
             if text not in self._seen:
                 return Candidate(text)
+        # 64 draws can all collide with already-seen characters while the
+        # pool still holds unseen ones; returning None here used to end the
+        # campaign with budget left.  Fall back to a deterministic pool
+        # scan so the campaign only stops once the pool is truly exhausted.
+        for char in self.config.character_pool:
+            if char not in self._seen:
+                return Candidate(char)
         return None
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (see repro.eval.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def _config_fingerprint(self) -> dict:
+        """Everything a snapshot's config must match to be resumable.
+
+        ``max_executions`` is deliberately excluded: resuming with a larger
+        budget is how a finished campaign is extended.
+        """
+        config = self.config
+        return {
+            "subject": type(self.subject).__name__,
+            "seed": config.seed,
+            "trace_coverage": config.trace_coverage,
+            "coverage_backend": config.coverage_backend,
+            "max_input_length": config.max_input_length,
+            "queue_limit": config.queue_limit,
+            "character_pool": config.character_pool,
+            "max_valid_inputs": config.max_valid_inputs,
+            "initial_inputs": list(config.initial_inputs),
+            "weights": asdict(config.weights),
+        }
+
+    @staticmethod
+    def _encode_candidate(candidate: Candidate, mapping: Dict[int, int]) -> dict:
+        return {
+            "text": candidate.text,
+            "replacement": candidate.replacement,
+            "parents": candidate.parents,
+            "parent_branches": sorted(
+                mapping[arc] for arc in candidate.parent_branches
+            ),
+            "avg_stack": candidate.avg_stack,
+            "path_signature": candidate.path_signature,
+            "static_score": candidate.static_score,
+            "new_count": candidate.new_count,
+        }
+
+    @staticmethod
+    def _decode_candidate(record: dict, unpacker) -> Candidate:
+        return Candidate(
+            text=record["text"],
+            replacement=record["replacement"],
+            parents=record["parents"],
+            parent_branches=unpacker.ids(record["parent_branches"]),
+            avg_stack=record["avg_stack"],
+            path_signature=record["path_signature"],
+            static_score=record["static_score"],
+            new_count=record["new_count"],
+        )
+
+    def snapshot(self) -> dict:
+        """Serialise the complete campaign state as a JSON-safe payload.
+
+        Branch arcs are decoded through the subject's shared arc table into
+        their stable tuple form (interned ids are process-local); the queue
+        is captured verbatim — stored priorities, FIFO order and score
+        caches included — so a restored campaign pops candidates in exactly
+        the order the original would have.
+        """
+        from repro.eval.checkpoint import pack_arc_ids
+
+        table = arc_table_for(self.subject)
+        entries, counter = self._queue.dump_entries()
+        id_sets = [self._valid_branches]
+        id_sets.extend(candidate.parent_branches for _, _, candidate in entries)
+        arcs, mapping = pack_arc_ids(id_sets, table)
+        rng_version, rng_internal, rng_gauss = self._rng.getstate()
+        elapsed = (
+            time.monotonic() - self._run_started
+            if self._run_started is not None
+            else 0.0
+        )
+        result = self._result
+        return {
+            "fingerprint": self._config_fingerprint(),
+            "executions": result.executions,
+            "rejected": result.rejected,
+            "hangs": result.hangs,
+            "valid_inputs": list(result.valid_inputs),
+            "all_valid": list(result.all_valid),
+            "valid_signatures": list(result.valid_signatures),
+            "emit_log": [list(entry) for entry in result.emit_log],
+            "resumes": result.resumes,
+            "seen": sorted(self._seen),
+            "all_valid_seen": sorted(self._all_valid_seen),
+            "path_counts": sorted(self._path_counts.items()),
+            "arcs": arcs,
+            "valid_branches": sorted(
+                mapping[arc] for arc in self._valid_branches
+            ),
+            "queue": {
+                "counter": counter,
+                "entries": [
+                    [priority, order, self._encode_candidate(candidate, mapping)]
+                    for priority, order, candidate in entries
+                ],
+            },
+            "rng": [rng_version, list(rng_internal), rng_gauss],
+            "wall_time": self._wall_consumed + elapsed,
+            "phase_times": dict(self._phase_times),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore a :meth:`snapshot` payload into this (fresh) fuzzer.
+
+        Raises:
+            repro.eval.checkpoint.CheckpointError: the snapshot was taken
+                under a different subject or campaign configuration.
+        """
+        from repro.eval.checkpoint import ArcUnpacker, CheckpointError
+
+        fingerprint = self._config_fingerprint()
+        stored = payload.get("fingerprint")
+        if stored != fingerprint:
+            mismatched = sorted(
+                key
+                for key in set(fingerprint) | set(stored or {})
+                if (stored or {}).get(key) != fingerprint.get(key)
+            )
+            raise CheckpointError(
+                "snapshot was taken under a different configuration "
+                f"(mismatched: {', '.join(mismatched) or 'all'})"
+            )
+        unpacker = ArcUnpacker(payload["arcs"], arc_table_for(self.subject))
+        self._valid_branches = set(unpacker.ids(payload["valid_branches"]))
+        self._vbr_frozen = frozenset(self._valid_branches)
+        self._path_counts = {
+            signature: count for signature, count in payload["path_counts"]
+        }
+        self._seen = set(payload["seen"])
+        self._all_valid_seen = set(payload["all_valid_seen"])
+        result = self._result
+        result.executions = payload["executions"]
+        result.rejected = payload["rejected"]
+        result.hangs = payload["hangs"]
+        result.valid_inputs = list(payload["valid_inputs"])
+        result.all_valid = list(payload["all_valid"])
+        result.valid_signatures = list(payload["valid_signatures"])
+        result.emit_log = [tuple(entry) for entry in payload["emit_log"]]
+        result.resumes = payload["resumes"]
+        queue = payload["queue"]
+        self._queue.restore_entries(
+            [
+                (priority, order, self._decode_candidate(record, unpacker))
+                for priority, order, record in queue["entries"]
+            ],
+            queue["counter"],
+        )
+        rng_version, rng_internal, rng_gauss = payload["rng"]
+        self._rng.setstate((rng_version, tuple(rng_internal), rng_gauss))
+        self._phase_times = dict(payload["phase_times"])
+        self._wall_consumed = payload["wall_time"]
+        self._last_checkpoint = result.executions
+
+    def _write_checkpoint(self) -> None:
+        from repro.eval.checkpoint import save_snapshot
+
+        started = time.perf_counter()
+        save_snapshot(
+            self.config.checkpoint_dir,
+            self.snapshot(),
+            keep=self.config.checkpoint_keep,
+        )
+        self._last_checkpoint = self._result.executions
+        self._phase_times["checkpoint"] += time.perf_counter() - started
+
+    def _maybe_checkpoint(self) -> None:
+        if self.config.checkpoint_dir is None:
+            return
+        if (
+            self._result.executions - self._last_checkpoint
+            < self.config.checkpoint_every
+        ):
+            return
+        self._write_checkpoint()
+
+    def _resume_from_checkpoint(self) -> None:
+        """Load the newest valid snapshot, if any (``config.resume``)."""
+        from repro.eval.checkpoint import load_latest
+
+        loaded = load_latest(self.config.checkpoint_dir)
+        if loaded is None:
+            return
+        _, payload = loaded
+        self.restore(payload)
+        self._result.resumes += 1
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -248,8 +474,21 @@ class PFuzzer:
         The loop starts from the empty input, exactly like Figure 1: the
         empty string is rejected with an EOF access, the random extension
         provides the first comparisons, and the queue takes over.
+
+        With ``config.checkpoint_dir`` set, a snapshot is written every
+        ``config.checkpoint_every`` executions at the iteration boundary
+        (queue intact, no candidate in flight), and ``config.resume``
+        restores the newest valid snapshot before fuzzing.  A resumed
+        campaign re-enters the loop at exactly the point the snapshot was
+        taken: the seed inputs and the empty-string start are skipped via
+        ``_seen``, so the first action is the same ``_next_candidate`` pop
+        (and the same RNG draws) the uninterrupted run performed there —
+        which is what makes resumed output byte-identical modulo timings.
         """
+        if self.config.checkpoint_dir is not None and self.config.resume:
+            self._resume_from_checkpoint()
         started = time.monotonic()
+        self._run_started = started
         for text in self.config.initial_inputs:
             if not self._budget_left() or text in self._seen:
                 continue
@@ -258,9 +497,11 @@ class PFuzzer:
                 self._handle_valid(seeded, parents=0)
             else:
                 self._add_candidates(seeded, parents=0)
-        current: Optional[Candidate] = (
-            Candidate("") if "" not in self._seen else self._next_candidate()
-        )
+        current: Optional[Candidate] = None
+        if self._budget_left():
+            current = (
+                Candidate("") if "" not in self._seen else self._next_candidate()
+            )
         while current is not None and self._budget_left():
             result = self._execute(current.text)
             if self._is_valid_new(result):
@@ -276,9 +517,18 @@ class PFuzzer:
                         self._handle_valid(extended_result, current.parents)
                     else:
                         self._add_candidates(extended_result, current.parents)
+            self._maybe_checkpoint()
+            if not self._budget_left():
+                # Don't pop (or draw restart characters) for an iteration
+                # that cannot run: the queue depth and RNG position must
+                # match the final checkpoint, so resuming a finished
+                # campaign reproduces its result exactly.
+                break
             current = self._next_candidate()
         self._result.valid_branches = frozenset(self._valid_branches)
-        self._result.wall_time = time.monotonic() - started
+        self._result.wall_time = self._wall_consumed + (time.monotonic() - started)
         self._result.queue_depth = len(self._queue)
         self._result.phase_times = dict(self._phase_times)
+        if self.config.checkpoint_dir is not None:
+            self._write_checkpoint()
         return self._result

@@ -72,9 +72,14 @@ class CandidateQueue:
         if added_branches:
             for _, _, candidate in self._heap:
                 count = candidate.new_count
-                if not count:
-                    # None: never scored, the score function will compute it
-                    # from scratch.  0: cannot decrease further.
+                if count is None or count == 0:
+                    # None: never scored against any vBr, so there is
+                    # nothing to decrement — the score function computes it
+                    # fresh against the *current* vBr during the rebuild
+                    # below.  0: cannot decrease further.  The two cases
+                    # must stay distinct: decrementing a None would crash,
+                    # and treating a 0 as unscored would resurrect branches
+                    # the candidate no longer covers newly.
                     continue
                 parent_branches = candidate.parent_branches
                 if len(added_branches) < len(parent_branches):
@@ -99,3 +104,29 @@ class CandidateQueue:
         """Drop everything beyond the best ``limit`` candidates."""
         self._heap = heapq.nsmallest(self._limit, self._heap)
         heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------ #
+    # Durable-campaign support (see repro.eval.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def dump_entries(self) -> Tuple[List[_Entry], int]:
+        """The raw heap entries and FIFO counter, verbatim.
+
+        Snapshots must capture the *stored* priorities, not re-derive them:
+        a heap entry's priority is the score at its push/rescore time, and
+        the path-repetition penalty drifts between re-scores, so re-scoring
+        on restore would reorder pops and break the resumed-equals-
+        uninterrupted contract.
+        """
+        return list(self._heap), self._counter
+
+    def restore_entries(self, entries: List[_Entry], counter: int) -> None:
+        """Replace the heap with previously dumped entries.
+
+        ``entries`` must be a valid heap (any ``dump_entries`` output is);
+        priorities and FIFO order numbers are restored verbatim so pop
+        order, tie-breaks and future compactions are byte-identical to the
+        campaign the snapshot was taken from.
+        """
+        self._heap = list(entries)
+        self._counter = counter

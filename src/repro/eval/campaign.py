@@ -22,27 +22,28 @@ from repro.subjects.base import Subject
 from repro.subjects.registry import ALL_SUBJECT_NAMES, load_subject
 
 
-def _run_pfuzzer(subject: Subject, seed: int, budget: int):
-    return PFuzzer(subject, FuzzerConfig(seed=seed, max_executions=budget)).run()
+def _run_pfuzzer(subject: Subject, seed: int, budget: int, durability: dict):
+    config = FuzzerConfig(seed=seed, max_executions=budget, **durability)
+    return PFuzzer(subject, config).run()
 
 
-def _run_afl(subject: Subject, seed: int, budget: int):
+def _run_afl(subject: Subject, seed: int, budget: int, durability: dict):
     return AFLFuzzer(subject, AFLConfig(seed=seed, max_executions=budget)).run()
 
 
-def _run_klee(subject: Subject, seed: int, budget: int):
+def _run_klee(subject: Subject, seed: int, budget: int, durability: dict):
     return KleeExplorer(subject, KleeConfig(seed=seed, max_executions=budget)).run()
 
 
-def _run_random(subject: Subject, seed: int, budget: int):
+def _run_random(subject: Subject, seed: int, budget: int, durability: dict):
     return RandomFuzzer(subject, RandomConfig(seed=seed, max_executions=budget)).run()
 
 
-def _run_steelix(subject: Subject, seed: int, budget: int):
+def _run_steelix(subject: Subject, seed: int, budget: int, durability: dict):
     return SteelixFuzzer(subject, SteelixConfig(seed=seed, max_executions=budget)).run()
 
 
-def _run_driller(subject: Subject, seed: int, budget: int):
+def _run_driller(subject: Subject, seed: int, budget: int, durability: dict):
     return DrillerFuzzer(subject, DrillerConfig(seed=seed, max_executions=budget)).run()
 
 
@@ -76,8 +77,14 @@ class ToolOutput:
     #: Final pFuzzer queue depth; ``None`` for tools without a queue.
     queue_depth: Optional[int] = None
     #: Seconds per campaign phase (pFuzzer reports "execute" / "rescore" /
-    #: "substitute"); ``None`` for tools without a breakdown.
+    #: "substitute" / "checkpoint"); ``None`` for tools without a breakdown.
     phase_times: Optional[Dict[str, float]] = None
+    #: Times the campaign was restored from a checkpoint (0 = never; only
+    #: pFuzzer campaigns are checkpointable).
+    resumes: int = 0
+    #: Stable path signature per valid input (pFuzzer only; parallel with
+    #: ``valid_inputs``), persisted by :mod:`repro.eval.corpus_store`.
+    valid_signatures: Optional[List[int]] = None
 
 
 def validate_campaign(tool: str, subject_name: str) -> None:
@@ -104,12 +111,38 @@ def run_campaign(
     subject_name: str,
     budget: int,
     seed: int = 0,
+    *,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
+    corpus_path: Optional[str] = None,
 ) -> ToolOutput:
-    """Run ``tool`` on ``subject_name`` with an execution ``budget``."""
+    """Run ``tool`` on ``subject_name`` with an execution ``budget``.
+
+    Args:
+        tool: one of :data:`TOOLS`.
+        subject_name: a registered subject.
+        budget: execution budget for the run.
+        seed: PRNG seed.
+        checkpoint_dir: enable durable snapshots there (pFuzzer only; the
+            baselines ignore durability options — they have no resumable
+            state worth snapshotting and restart from scratch instead).
+        checkpoint_every: snapshot cadence in executions (pFuzzer only).
+        resume: restore the newest valid snapshot before fuzzing.
+        corpus_path: append the run's valid inputs (with path signatures,
+            when the tool reports them) to this
+            :class:`~repro.eval.corpus_store.CorpusStore` file.
+    """
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
-    outcome = _RUNNERS[tool](subject, seed, budget)
-    return ToolOutput(
+    durability = {}
+    if checkpoint_dir is not None:
+        durability["checkpoint_dir"] = checkpoint_dir
+        durability["resume"] = resume
+        if checkpoint_every is not None:
+            durability["checkpoint_every"] = checkpoint_every
+    outcome = _RUNNERS[tool](subject, seed, budget, durability)
+    output = ToolOutput(
         tool=tool,
         subject=subject_name,
         seed=seed,
@@ -118,7 +151,15 @@ def run_campaign(
         wall_time=outcome.wall_time,
         queue_depth=getattr(outcome, "queue_depth", None),
         phase_times=getattr(outcome, "phase_times", None),
+        resumes=getattr(outcome, "resumes", 0),
+        valid_signatures=list(getattr(outcome, "valid_signatures", None) or [])
+        or None,
     )
+    if corpus_path is not None:
+        from repro.eval.corpus_store import CorpusStore
+
+        CorpusStore(corpus_path).add_output(output)
+    return output
 
 
 def best_of(

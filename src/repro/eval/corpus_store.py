@@ -1,0 +1,235 @@
+"""Persistent corpus store: append-only valid inputs with path signatures.
+
+Where :mod:`repro.eval.corpus` keeps one campaign's outputs greppable, this
+store is the *durable* corpus shared across tools, seeds and campaigns —
+the on-disk artifact that survives crashes and feeds future runs:
+
+* **append-only** — every record is one JSON line; appends never rewrite
+  existing data, so a crash mid-append loses at most the half-written
+  trailing line (which readers skip);
+* **path signatures** — pFuzzer records each emitted input's stable branch-
+  path signature (:meth:`repro.runtime.arcs.ArcTable.signature`), so later
+  analyses can reason about path diversity without re-executing the corpus;
+* **compaction** — duplicates accumulate as campaigns are resumed and
+  repeated; :meth:`CorpusStore.compact` atomically rewrites the file with
+  one record per distinct ``(subject, input)`` pair, keeping the first
+  occurrence (the earliest provenance).
+
+Records are tagged with subject, tool and seed, so one store file can hold
+an entire evaluation grid's corpus and still be filtered on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.eval.campaign import ToolOutput
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One stored valid input and its provenance."""
+
+    subject: str
+    tool: str
+    seed: int
+    input: str
+    #: Stable blake2b-based signature of the execution's branch path;
+    #: None for tools that do not report one.
+    path_signature: Optional[int] = None
+
+    def to_json_line(self) -> str:
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "tool": self.tool,
+                "seed": self.seed,
+                "input": self.input,
+                "path_signature": self.path_signature,
+            },
+            ensure_ascii=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> Optional["CorpusRecord"]:
+        """Parse one line; None for malformed/foreign lines (skipped)."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or "input" not in record:
+            return None
+        try:
+            return cls(
+                subject=str(record.get("subject", "")),
+                tool=str(record.get("tool", "")),
+                seed=int(record.get("seed", 0)),
+                input=record["input"],
+                path_signature=record.get("path_signature"),
+            )
+        except (TypeError, ValueError):
+            return None
+
+
+class CorpusStore:
+    """Append-only JSONL corpus shared across tools, seeds and campaigns."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    # -- writes --------------------------------------------------------- #
+
+    def add(
+        self,
+        subject: str,
+        tool: str,
+        seed: int,
+        text: str,
+        path_signature: Optional[int] = None,
+    ) -> None:
+        """Append one valid input."""
+        self.add_records(
+            [CorpusRecord(subject, tool, seed, text, path_signature)]
+        )
+
+    def add_records(self, records: List[CorpusRecord]) -> int:
+        """Append records in one write; returns the count appended."""
+        if not records:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = "".join(record.to_json_line() + "\n" for record in records)
+        with open(self.path, "a+b") as handle:
+            # A previous append may have been torn mid-line (crash before
+            # the newline); start on a fresh line so the torn tail corrupts
+            # only itself, never the records written after it.
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(text.encode("utf-8"))
+        return len(records)
+
+    def add_output(self, output: ToolOutput) -> int:
+        """Append one campaign's valid inputs; returns the count appended.
+
+        Path signatures ride along when the tool reports them (pFuzzer);
+        other tools store None.
+        """
+        signatures = output.valid_signatures or []
+        return self.add_records(
+            [
+                CorpusRecord(
+                    subject=output.subject,
+                    tool=output.tool,
+                    seed=output.seed,
+                    input=text,
+                    path_signature=(
+                        signatures[index] if index < len(signatures) else None
+                    ),
+                )
+                for index, text in enumerate(output.valid_inputs)
+            ]
+        )
+
+    # -- reads ---------------------------------------------------------- #
+
+    def records(
+        self,
+        subject: Optional[str] = None,
+        tool: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> Iterator[CorpusRecord]:
+        """Yield stored records in file order, optionally filtered.
+
+        Malformed lines — e.g. the half-written tail of an interrupted
+        append — are skipped, never fatal.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = CorpusRecord.from_json_line(line)
+                if record is None:
+                    continue
+                if subject is not None and record.subject != subject:
+                    continue
+                if tool is not None and record.tool != tool:
+                    continue
+                if seed is not None and record.seed != seed:
+                    continue
+                yield record
+
+    def inputs(
+        self,
+        subject: Optional[str] = None,
+        tool: Optional[str] = None,
+    ) -> List[str]:
+        """Stored input texts matching the filters, in file order."""
+        return [record.input for record in self.records(subject, tool)]
+
+    def initial_inputs(self, subject: str) -> Tuple[str, ...]:
+        """Distinct inputs for a subject, first-seen order — ready to pass
+        as :attr:`repro.core.config.FuzzerConfig.initial_inputs`."""
+        seen = set()
+        ordered = []
+        for record in self.records(subject=subject):
+            if record.input not in seen:
+                seen.add(record.input)
+                ordered.append(record.input)
+        return tuple(ordered)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # -- maintenance ---------------------------------------------------- #
+
+    def compact(self) -> Tuple[int, int]:
+        """Drop duplicate ``(subject, input)`` records, keeping the first.
+
+        The rewrite is atomic (temp file + ``os.replace``): readers never
+        observe a partially compacted store, and a crash mid-compaction
+        leaves the original file untouched.
+
+        Returns:
+            ``(kept, dropped)`` record counts.
+        """
+        if not self.path.exists():
+            return (0, 0)
+        kept: List[CorpusRecord] = []
+        seen = set()
+        dropped = 0
+        for record in self.records():
+            key = (record.subject, record.input)
+            if key in seen:
+                dropped += 1
+                continue
+            seen.add(key)
+            kept.append(record)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".corpus-tmp-", suffix=".jsonl", dir=self.path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in kept:
+                    handle.write(record.to_json_line() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return (len(kept), dropped)

@@ -70,20 +70,35 @@ def run_all(
     timeout: Optional[float] = None,
     metrics_path: Optional[str] = None,
     progress=None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_retries: int = 2,
+    corpus_path: Optional[str] = None,
 ) -> ExperimentReport:
     """Run the whole evaluation grid; best-of-``seeds`` per campaign.
 
-    With ``jobs > 1`` (or ``metrics_path``/``timeout``/``progress`` set)
-    the (subject, tool, seed) grid runs on the fault-isolated pool of
-    :mod:`repro.eval.parallel`; per-run determinism makes the report
-    identical to the sequential path for the same seeds.  Failed or
-    timed-out cells contribute an empty corpus instead of aborting the
-    grid.
+    With ``jobs > 1`` (or ``metrics_path``/``timeout``/``progress``/
+    ``checkpoint_dir``/``corpus_path`` set) the (subject, tool, seed) grid
+    runs on the fault-isolated pool of :mod:`repro.eval.parallel`; per-run
+    determinism makes the report identical to the sequential path for the
+    same seeds.  Failed or timed-out cells contribute an empty corpus
+    instead of aborting the grid.  ``checkpoint_dir`` makes the grid
+    durable (crashed/killed/timed-out cells resume from their last
+    snapshot; see :mod:`repro.eval.checkpoint`) and ``corpus_path``
+    persists every cell's valid inputs to a shared
+    :class:`~repro.eval.corpus_store.CorpusStore`.
     """
     budgets = {**DEFAULT_BUDGETS, **(budgets or {})}
     report = ExperimentReport(tuple(subjects), tuple(tools))
     parallel_outputs = None
-    if jobs > 1 or metrics_path is not None or timeout is not None or progress:
+    if (
+        jobs > 1
+        or metrics_path is not None
+        or timeout is not None
+        or progress
+        or checkpoint_dir is not None
+        or corpus_path is not None
+    ):
         from repro.eval.campaign import ToolOutput
         from repro.eval.parallel import RunSpec, run_grid
 
@@ -99,6 +114,10 @@ def run_all(
             timeout=timeout,
             metrics_path=metrics_path,
             progress=progress,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_retries=resume_retries,
+            corpus_path=corpus_path,
         )
         parallel_outputs = {
             (record.spec.subject, record.spec.tool, record.spec.seed): (

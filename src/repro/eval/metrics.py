@@ -40,6 +40,7 @@ FIELD_NAMES = (
     "peak_rss_bytes",
     "wall_time",
     "phase_times",
+    "resumes",
 )
 
 
@@ -67,10 +68,15 @@ class CampaignMetrics:
     queue_depth: Optional[int]
     peak_rss_bytes: int
     wall_time: float
-    #: Seconds per campaign phase ("execute" / "rescore" / "substitute"),
-    #: None for tools that do not report a breakdown.  Added within schema
-    #: version 1; absent in older records and read back as None.
+    #: Seconds per campaign phase ("execute" / "rescore" / "substitute" /
+    #: "checkpoint"), None for tools that do not report a breakdown.  Added
+    #: within schema version 1; absent in older records and read back as
+    #: None.
     phase_times: Optional[Dict[str, float]] = None
+    #: Times the run was restored from a durable checkpoint (0 = ran
+    #: uninterrupted).  Added within schema version 1; absent in older
+    #: records and read back as 0.
+    resumes: int = 0
 
     @classmethod
     def from_output(
@@ -104,6 +110,7 @@ class CampaignMetrics:
             peak_rss_bytes=peak_rss_bytes,
             wall_time=wall,
             phase_times=output.phase_times,
+            resumes=output.resumes,
         )
 
     @classmethod
@@ -162,9 +169,10 @@ class CampaignMetrics:
             raise ValueError(
                 f"unsupported metrics schema {version!r} (expected {SCHEMA_VERSION})"
             )
-        # phase_times was added within schema version 1: tolerate records
-        # written before it existed.
+        # phase_times and resumes were added within schema version 1:
+        # tolerate records written before they existed.
         record.setdefault("phase_times", None)
+        record.setdefault("resumes", 0)
         missing = [name for name in FIELD_NAMES if name not in record]
         if missing:
             raise ValueError(f"metrics line missing fields: {', '.join(missing)}")

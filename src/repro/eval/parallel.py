@@ -12,8 +12,16 @@ subject/tool, 3 repetitions, best run".  :func:`run_grid` fans a list of
   the backstop for hard hangs (workers past their deadline are killed and
   replaced);
 * **bounded retry with backoff** — crashed runs are retried up to
-  ``retries`` times with exponential backoff (timeouts are not retried:
-  a run that exhausted its budget once will again);
+  ``retries`` times with exponential backoff (timeouts are not retried
+  unless checkpointing is on: a run that exhausted its budget once will
+  again — but a *resumed* run continues from its snapshot instead of
+  restarting, so with ``checkpoint_dir`` set, timeouts retry up to
+  ``resume_retries`` times);
+* **durability** — with ``checkpoint_dir`` set, every pFuzzer cell
+  snapshots into its own ``<tool>-<subject>-s<seed>`` subdirectory and
+  every attempt resumes from the newest valid snapshot, so a crashed or
+  killed cell loses at most one checkpoint interval of work and the
+  resumed result is byte-identical to an uninterrupted run;
 * **deterministic ordering** — results come back in spec order regardless
   of completion order, so :func:`parallel_best_of` and the table/figure
   pipelines are byte-identical to the sequential path for the same seeds.
@@ -21,13 +29,19 @@ subject/tool, 3 repetitions, best run".  :func:`run_grid` fans a list of
 Observability rides along: every resolved cell yields a
 :class:`repro.eval.metrics.CampaignMetrics` record (written as JSONL when
 ``metrics_path`` is given) and an optional ``progress`` callback streams
-records in completion order.
+records in completion order.  With ``corpus_path`` set, the parent appends
+every successful cell's valid inputs to that
+:class:`~repro.eval.corpus_store.CorpusStore` in spec order (parent-side,
+after the grid resolves, so concurrent workers never interleave writes).
 
 Fault injection for the test suite goes through the ``_test_fail_on``
 hook: a mapping from ``(tool, subject, seed)`` to one of ``"crash"``
 (always die), ``"flaky"`` (die on the first attempt only), ``"hang"``
-(stall until the in-worker alarm fires) or ``"hang-hard"`` (stall with the
-alarm blocked, so only the parent watchdog can recover).
+(stall until the in-worker alarm fires), ``"hang-hard"`` (stall with the
+alarm blocked, so only the parent watchdog can recover) or
+``"kill-at-N"`` (SIGKILL the worker mid-campaign once the fuzzer reaches
+``N * (attempt + 1)`` executions; from the third attempt on the run is
+clean — exercising multiple resumes of one cell).
 """
 
 from __future__ import annotations
@@ -100,6 +114,18 @@ def _inject_fault(mode: str, attempt: int, timeout: Optional[float]) -> None:
     """Simulate a worker failure (test hook; see module docstring)."""
     if mode == "crash" or (mode == "flaky" and attempt == 0):
         os._exit(_CRASH_EXIT_CODE)
+    if mode.startswith("kill-at-"):
+        import repro.core.fuzzer as fuzzer_module
+
+        if attempt < 2:
+            # The fuzzer SIGKILLs its own process at the threshold — no
+            # cleanup, no atexit, exactly like the OOM killer.  Scaling the
+            # threshold by attempt lets a resumed run progress past the
+            # previous kill point before dying again.
+            fuzzer_module._TEST_KILL_AT = int(mode[len("kill-at-"):]) * (
+                attempt + 1
+            )
+        return
     if mode in ("hang", "hang-hard"):
         if mode == "hang-hard" and hasattr(signal, "pthread_sigmask"):
             signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
@@ -109,12 +135,18 @@ def _inject_fault(mode: str, attempt: int, timeout: Optional[float]) -> None:
             time.sleep(0.05)
 
 
+def _cell_checkpoint_dir(root: str, tool: str, subject: str, seed: int) -> str:
+    """Per-cell snapshot directory: cells never share generations."""
+    return os.path.join(root, f"{tool}-{subject}-s{seed}")
+
+
 def _worker_main(
     worker_id: int,
     inbox,
     results,
     timeout: Optional[float],
     fail_on: Optional[Dict[FaultKey, str]],
+    durability: Optional[Dict[str, object]],
 ) -> None:
     """Worker loop: take (task_id, spec, attempt) tasks until sentinel.
 
@@ -134,12 +166,27 @@ def _worker_main(
             return
         task_id, (tool, subject, budget, seed), attempt = item
         started = time.monotonic()
+        campaign_options: Dict[str, object] = {}
+        if durability is not None:
+            campaign_options["checkpoint_dir"] = _cell_checkpoint_dir(
+                str(durability["root"]), tool, subject, seed
+            )
+            # Every attempt resumes: the first finds no snapshot and starts
+            # fresh; retries continue from where the previous attempt died.
+            campaign_options["resume"] = True
+            if durability.get("every") is not None:
+                campaign_options["checkpoint_every"] = durability["every"]
         try:
             with time_limit(timeout):
+                import repro.core.fuzzer as fuzzer_module
+
+                fuzzer_module._TEST_KILL_AT = None
                 mode = (fail_on or {}).get((tool, subject, seed))
                 if mode:
                     _inject_fault(mode, attempt, timeout)
-                output = run_campaign(tool, subject, budget, seed=seed)
+                output = run_campaign(
+                    tool, subject, budget, seed=seed, **campaign_options
+                )
             results.send(
                 (
                     "ok",
@@ -194,6 +241,8 @@ class _GridExecutor:
         watchdog_grace: float,
         progress: Optional[Callable[[RunRecord], None]],
         fail_on: Optional[Dict[FaultKey, str]],
+        durability: Optional[Dict[str, object]] = None,
+        resume_retries: int = 0,
     ) -> None:
         self.specs = list(specs)
         self.jobs = jobs
@@ -203,6 +252,8 @@ class _GridExecutor:
         self.watchdog_grace = watchdog_grace
         self.progress = progress
         self.fail_on = dict(fail_on) if fail_on else None
+        self.durability = durability
+        self.resume_retries = resume_retries
         # fork keeps the child's hash seed identical to the parent's, which
         # the sequential-equivalence guarantee relies on (path signatures
         # hash branch sets); fall back to the platform default elsewhere.
@@ -229,7 +280,14 @@ class _GridExecutor:
         result_recv, result_send = self.ctx.Pipe(duplex=False)
         process = self.ctx.Process(
             target=_worker_main,
-            args=(worker_id, task_recv, result_send, self.timeout, self.fail_on),
+            args=(
+                worker_id,
+                task_recv,
+                result_send,
+                self.timeout,
+                self.fail_on,
+                self.durability,
+            ),
             daemon=True,
         )
         process.start()
@@ -302,8 +360,21 @@ class _GridExecutor:
         )
 
     def _timeout_task(self, task_id: int, attempt: int, wall: float) -> None:
-        """Timeouts are deterministic, so they are never retried."""
+        """Resolve (or, with checkpointing, retry) a timed-out cell.
+
+        Without checkpointing a timeout is deterministic — re-running would
+        exhaust the same budget again — so it is never retried.  With
+        ``checkpoint_dir`` set, the retry *resumes* from the last snapshot
+        instead of restarting, so each attempt makes fresh progress; such
+        timeouts retry up to ``resume_retries`` times.
+        """
         if self.records[task_id] is not None:  # pragma: no cover - raced twice
+            return
+        if self.durability is not None and attempt < self.resume_retries:
+            delay = self.backoff * (2**attempt)
+            heapq.heappush(
+                self.retry_heap, (time.monotonic() + delay, task_id, attempt + 1)
+            )
             return
         spec = self.specs[task_id]
         metrics = CampaignMetrics.for_failure(
@@ -461,6 +532,10 @@ def run_grid(
     watchdog_grace: float = 5.0,
     metrics_path: Optional[Union[str, "os.PathLike[str]"]] = None,
     progress: Optional[Callable[[RunRecord], None]] = None,
+    checkpoint_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_retries: int = 2,
+    corpus_path: Optional[Union[str, "os.PathLike[str]"]] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -469,13 +544,26 @@ def run_grid(
         specs: grid cells to run; results are returned in this order.
         jobs: worker processes (default ``os.cpu_count()``).
         timeout: per-run wall-clock limit in seconds (``None`` = unlimited).
-        retries: extra attempts for crashed runs (timeouts never retry).
+        retries: extra attempts for crashed runs (timeouts never retry
+            unless ``checkpoint_dir`` makes them resumable).
         backoff: base delay before a retry; doubles per attempt.
         watchdog_grace: extra seconds past ``timeout`` before the parent
             kills a hung worker (the in-worker alarm normally fires first).
         metrics_path: write one metrics JSONL line per cell, in spec order.
         progress: callback invoked with each :class:`RunRecord` as it
             resolves, in completion order (the live results stream).
+        checkpoint_dir: root directory for durable snapshots; each cell
+            snapshots into ``<tool>-<subject>-s<seed>/`` below it and every
+            attempt resumes from the newest valid snapshot there (pFuzzer
+            cells only; baseline tools ignore durability).
+        checkpoint_every: snapshot cadence in executions (pFuzzer default
+            when ``None``).
+        resume_retries: with ``checkpoint_dir`` set, extra attempts for
+            timed-out cells (each attempt resumes, so repeated attempts
+            make forward progress instead of re-burning the same budget).
+        corpus_path: append every successful cell's valid inputs to this
+            :class:`~repro.eval.corpus_store.CorpusStore` file, parent-side
+            in spec order after the grid resolves.
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -501,6 +589,10 @@ def run_grid(
         if metrics_path is not None:
             write_jsonl(metrics_path, [])
         return []
+    durability: Optional[Dict[str, object]] = None
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        durability = {"root": str(checkpoint_dir), "every": checkpoint_every}
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(
@@ -512,10 +604,19 @@ def run_grid(
         watchdog_grace,
         progress,
         dict(_test_fail_on) if _test_fail_on else None,
+        durability,
+        resume_retries,
     )
     records = executor.run()
     if metrics_path is not None:
         write_jsonl(metrics_path, [record.metrics for record in records])
+    if corpus_path is not None:
+        from repro.eval.corpus_store import CorpusStore
+
+        store = CorpusStore(corpus_path)
+        for record in records:
+            if record.output is not None:
+                store.add_output(record.output)
     return records
 
 

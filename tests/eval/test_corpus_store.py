@@ -1,0 +1,124 @@
+"""Persistent corpus store: appends, filtering, signatures, compaction."""
+
+import json
+
+from repro.eval.campaign import ToolOutput, run_campaign
+from repro.eval.corpus_store import CorpusRecord, CorpusStore
+
+
+def _store_with(tmp_path, records):
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add_records(records)
+    return store
+
+
+def test_add_and_read_back_in_order(tmp_path):
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add("ini", "pfuzzer", 0, "[s]\n", path_signature=123)
+    store.add("ini", "afl", 1, "k=v\n")
+    records = list(store.records())
+    assert [record.input for record in records] == ["[s]\n", "k=v\n"]
+    assert records[0].path_signature == 123
+    assert records[1].path_signature is None
+    assert len(store) == 2
+
+
+def test_filtering_by_subject_tool_seed(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "a"),
+            CorpusRecord("ini", "afl", 0, "b"),
+            CorpusRecord("csv", "pfuzzer", 1, "c"),
+        ],
+    )
+    assert store.inputs(subject="ini") == ["a", "b"]
+    assert store.inputs(subject="ini", tool="pfuzzer") == ["a"]
+    assert [r.input for r in store.records(seed=1)] == ["c"]
+
+
+def test_add_output_aligns_signatures_with_inputs(tmp_path):
+    output = ToolOutput(
+        tool="pfuzzer",
+        subject="expr",
+        seed=4,
+        valid_inputs=["1", "1+2"],
+        valid_signatures=[111, 222],
+    )
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    assert store.add_output(output) == 2
+    by_input = {r.input: r.path_signature for r in store.records()}
+    assert by_input == {"1": 111, "1+2": 222}
+
+
+def test_campaign_appends_to_corpus_store(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    output = run_campaign(
+        "pfuzzer", "expr", budget=200, seed=1, corpus_path=str(path)
+    )
+    store = CorpusStore(path)
+    assert store.inputs(subject="expr") == output.valid_inputs
+    signatures = [r.path_signature for r in store.records()]
+    assert signatures == output.valid_signatures
+
+
+def test_malformed_trailing_line_is_skipped(tmp_path):
+    store = _store_with(tmp_path, [CorpusRecord("ini", "pfuzzer", 0, "a")])
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write('{"subject": "ini", "tool": "pfu')  # torn append
+    assert store.inputs() == ["a"]
+    # The store stays appendable after the torn line.
+    store.add("ini", "pfuzzer", 0, "b")
+    assert store.inputs() == ["a", "b"]
+
+
+def test_compact_dedupes_keeping_first_occurrence(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "a", path_signature=1),
+            CorpusRecord("ini", "afl", 3, "a", path_signature=2),  # duplicate
+            CorpusRecord("csv", "pfuzzer", 0, "a"),  # other subject: kept
+            CorpusRecord("ini", "pfuzzer", 0, "b"),
+        ],
+    )
+    kept, dropped = store.compact()
+    assert (kept, dropped) == (3, 1)
+    records = list(store.records())
+    assert [(r.subject, r.input) for r in records] == [
+        ("ini", "a"),
+        ("csv", "a"),
+        ("ini", "b"),
+    ]
+    # First occurrence wins: provenance of the surviving "a" is pfuzzer/0.
+    assert records[0].tool == "pfuzzer" and records[0].path_signature == 1
+
+
+def test_compact_of_missing_store_is_a_noop(tmp_path):
+    store = CorpusStore(tmp_path / "never-written.jsonl")
+    assert store.compact() == (0, 0)
+    assert not store.path.exists()
+
+
+def test_initial_inputs_feed_a_new_campaign(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "[s]\n"),
+            CorpusRecord("ini", "pfuzzer", 1, "[s]\n"),  # deduped
+            CorpusRecord("ini", "afl", 0, "k=v\n"),
+        ],
+    )
+    assert store.initial_inputs("ini") == ("[s]\n", "k=v\n")
+
+
+def test_records_are_plain_json_lines(tmp_path):
+    store = _store_with(tmp_path, [CorpusRecord("ini", "pfuzzer", 7, "x", 9)])
+    (line,) = store.path.read_text().splitlines()
+    assert json.loads(line) == {
+        "subject": "ini",
+        "tool": "pfuzzer",
+        "seed": 7,
+        "input": "x",
+        "path_signature": 9,
+    }

@@ -80,6 +80,7 @@ def test_schema_field_order_is_stable(expr_metrics):
         "peak_rss_bytes",
         "wall_time",
         "phase_times",
+        "resumes",
     )
     assert tuple(json.loads(metrics.to_json_line()).keys()) == FIELD_NAMES
 
@@ -91,6 +92,15 @@ def test_phase_times_absent_in_old_records_reads_as_none(expr_metrics):
     del record["phase_times"]
     parsed = CampaignMetrics.from_json_line(json.dumps(record))
     assert parsed.phase_times is None
+
+
+def test_resumes_absent_in_old_records_reads_as_zero(expr_metrics):
+    """Records written before the resumes counter existed parse as 0."""
+    metrics, _ = expr_metrics
+    record = json.loads(metrics.to_json_line())
+    del record["resumes"]
+    parsed = CampaignMetrics.from_json_line(json.dumps(record))
+    assert parsed.resumes == 0
 
 
 def test_wrong_schema_version_rejected(expr_metrics):

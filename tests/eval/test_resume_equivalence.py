@@ -1,0 +1,245 @@
+"""Replay determinism: killed-and-resumed campaigns equal uninterrupted ones.
+
+The correctness contract of the durability subsystem (ISSUE: durable
+campaigns): a campaign killed at an arbitrary execution and resumed from
+its last checkpoint must produce a byte-identical ``FuzzingResult`` —
+inputs, emit log, coverage, counters — to a run that was never
+interrupted.  Only wall time, per-phase timings and the resume counter may
+differ.
+
+Three layers of evidence:
+
+* in-process: restore from an *intermediate* snapshot generation (exactly
+  what a killed process leaves behind) and finish the campaign — the
+  :func:`result_fingerprint` must match the uninterrupted reference, on
+  both coverage backends;
+* crash safety: corrupt the newest generation first — resume falls back to
+  the previous one and still converges to the same result;
+* out-of-process: SIGKILL grid workers mid-campaign at randomized
+  execution counts (the ``kill-at`` fault mode fires inside ``_execute``,
+  an uncatchable death) and compare the resumed grid's outputs against
+  sequential references.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.campaign import run_campaign
+from repro.eval.checkpoint import list_generations, result_fingerprint
+from repro.eval.parallel import RunSpec, RunStatus, run_grid
+from repro.runtime.arcs import arc_table_for
+from repro.subjects.registry import load_subject
+
+#: Subjects exercised by the quick split; the slow grid covers all six.
+QUICK_SUBJECTS = ("expr", "ini")
+ALL_SUBJECTS = ("expr", "ini", "csv", "json", "tinyc", "mjs")
+BACKENDS = ("settrace", "ast")
+
+
+def _reference_and_generations(subject_name, backend, tmp_path, budget=600):
+    """Uninterrupted run, keeping every snapshot generation it wrote."""
+    config = FuzzerConfig(
+        seed=7,
+        max_executions=budget,
+        coverage_backend=backend,
+        checkpoint_dir=str(tmp_path / "reference"),
+        checkpoint_every=100,
+        checkpoint_keep=1_000,
+    )
+    subject = load_subject(subject_name)
+    result = PFuzzer(subject, config).run()
+    generations = list_generations(config.checkpoint_dir)
+    assert len(generations) >= 3, "budget too small to exercise checkpoints"
+    return result, config, generations
+
+
+def _resume_from_generation(subject_name, config, generation, tmp_path):
+    """Start a campaign from one snapshot generation, as after a kill."""
+    resume_dir = tmp_path / f"resume-{generation}"
+    resume_dir.mkdir()
+    name = f"ckpt-{generation:08d}.json"
+    shutil.copy(f"{config.checkpoint_dir}/{name}", resume_dir / name)
+    resumed_config = FuzzerConfig(
+        seed=config.seed,
+        max_executions=config.max_executions,
+        coverage_backend=config.coverage_backend,
+        checkpoint_dir=str(resume_dir),
+        checkpoint_every=config.checkpoint_every,
+        checkpoint_keep=config.checkpoint_keep,
+        resume=True,
+    )
+    return PFuzzer(load_subject(subject_name), resumed_config).run()
+
+
+def _assert_equivalent(subject_name, reference, resumed):
+    table = arc_table_for(load_subject(subject_name))
+    assert result_fingerprint(resumed, table) == result_fingerprint(
+        reference, table
+    )
+
+
+# --------------------------------------------------------------------- #
+# In-process: resume from every intermediate generation
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", QUICK_SUBJECTS)
+def test_resume_from_any_generation_matches_uninterrupted(
+    subject_name, backend, tmp_path
+):
+    reference, config, generations = _reference_and_generations(
+        subject_name, backend, tmp_path
+    )
+    # Every generation is a point the campaign could have been killed at.
+    for generation in generations[:-1]:
+        resumed = _resume_from_generation(
+            subject_name, config, generation, tmp_path
+        )
+        assert resumed.resumes == 1
+        _assert_equivalent(subject_name, reference, resumed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", ALL_SUBJECTS)
+def test_resume_equivalence_all_subjects(subject_name, backend, tmp_path):
+    """The full six-subject grid of the acceptance criterion."""
+    reference, config, generations = _reference_and_generations(
+        subject_name, backend, tmp_path
+    )
+    middle = generations[len(generations) // 2]
+    resumed = _resume_from_generation(subject_name, config, middle, tmp_path)
+    _assert_equivalent(subject_name, reference, resumed)
+
+
+# --------------------------------------------------------------------- #
+# Crash safety: corrupt newest generation falls back and still converges
+# --------------------------------------------------------------------- #
+
+
+def test_resume_survives_corrupt_newest_generation(tmp_path):
+    reference, config, generations = _reference_and_generations(
+        "expr", "settrace", tmp_path
+    )
+    resume_dir = tmp_path / "resume-corrupt"
+    resume_dir.mkdir()
+    keep_generation, torn_generation = generations[1], generations[2]
+    for generation in (keep_generation, torn_generation):
+        name = f"ckpt-{generation:08d}.json"
+        shutil.copy(f"{config.checkpoint_dir}/{name}", resume_dir / name)
+    torn = resume_dir / f"ckpt-{torn_generation:08d}.json"
+    torn.write_text(torn.read_text()[: torn.stat().st_size // 2])
+    resumed_config = FuzzerConfig(
+        seed=config.seed,
+        max_executions=config.max_executions,
+        checkpoint_dir=str(resume_dir),
+        checkpoint_every=config.checkpoint_every,
+        resume=True,
+    )
+    resumed = PFuzzer(load_subject("expr"), resumed_config).run()
+    assert resumed.resumes == 1
+    _assert_equivalent("expr", reference, resumed)
+
+
+# --------------------------------------------------------------------- #
+# Out-of-process: SIGKILLed grid workers resume to the sequential result
+# --------------------------------------------------------------------- #
+
+
+def _assert_outputs_equal(output, reference):
+    assert output is not None
+    assert output.valid_inputs == reference.valid_inputs
+    assert output.valid_signatures == reference.valid_signatures
+    assert output.executions == reference.executions
+    assert output.queue_depth == reference.queue_depth
+
+
+def test_sigkilled_grid_cells_resume_to_sequential_result(tmp_path):
+    budget = 500
+    specs = [
+        RunSpec("pfuzzer", "expr", budget, seed=3),
+        RunSpec("pfuzzer", "ini", budget, seed=3),
+    ]
+    records = run_grid(
+        specs,
+        jobs=2,
+        retries=3,
+        checkpoint_dir=tmp_path / "grid",
+        checkpoint_every=60,
+        _test_fail_on={
+            # Killed at 150 executions, resumed, killed again at 300,
+            # resumed again, then allowed to finish: two kills per cell.
+            ("pfuzzer", "expr", 3): "kill-at-150",
+            ("pfuzzer", "ini", 3): "kill-at-150",
+        },
+    )
+    for record in records:
+        assert record.status is RunStatus.OK
+        assert record.attempts == 3
+        assert record.output.resumes == 2
+        assert record.metrics.resumes == 2
+        reference = run_campaign(
+            record.spec.tool, record.spec.subject, budget, seed=record.spec.seed
+        )
+        _assert_outputs_equal(record.output, reference)
+
+
+@pytest.mark.slow
+def test_sigkilled_grid_randomized_kill_points(tmp_path):
+    """Kill points vary per cell; every resumed cell matches its reference."""
+    import random
+
+    budget = 400
+    rng = random.Random(20260806)
+    specs = [
+        RunSpec("pfuzzer", subject, budget, seed=5)
+        for subject in ("expr", "ini", "csv")
+    ]
+    fail_on = {
+        spec.fault_key(): f"kill-at-{rng.randrange(40, budget - 40)}"
+        for spec in specs
+    }
+    records = run_grid(
+        specs,
+        jobs=3,
+        retries=3,
+        checkpoint_dir=tmp_path / "grid",
+        checkpoint_every=50,
+        _test_fail_on=fail_on,
+    )
+    for record in records:
+        assert record.status is RunStatus.OK
+        reference = run_campaign(
+            record.spec.tool, record.spec.subject, budget, seed=record.spec.seed
+        )
+        _assert_outputs_equal(record.output, reference)
+
+
+def test_timeouts_retry_only_when_checkpointing_makes_them_resumable(tmp_path):
+    """Without durability a timeout is terminal (attempts == 1); with
+    ``checkpoint_dir`` the cell is retried ``resume_retries`` extra times,
+    each attempt resuming instead of re-burning the same budget."""
+    spec = RunSpec("pfuzzer", "expr", 300, seed=2)
+    fail_on = {spec.fault_key(): "hang"}
+
+    (plain,) = run_grid(
+        [spec], jobs=1, timeout=0.3, retries=0, _test_fail_on=fail_on
+    )
+    assert plain.status is RunStatus.TIMEOUT
+    assert plain.attempts == 1
+
+    (durable,) = run_grid(
+        [spec],
+        jobs=1,
+        timeout=0.3,
+        retries=0,
+        resume_retries=2,
+        checkpoint_dir=tmp_path / "grid",
+        _test_fail_on=fail_on,
+    )
+    assert durable.status is RunStatus.TIMEOUT
+    assert durable.attempts == 3

@@ -167,3 +167,86 @@ def test_report_accepts_jobs_and_metrics(tmp_path, capsys):
     assert code == 0
     assert "# Evaluation report" in capsys.readouterr().out
     assert [record.seed for record in read_jsonl(metrics_path)] == [1, 2]
+
+
+# --------------------------------------------------------------------- #
+# Durable campaigns: --checkpoint-dir / --resume / --corpus
+# --------------------------------------------------------------------- #
+
+
+def test_fuzz_checkpoint_and_resume_extends_budget(tmp_path, capsys):
+    ck = str(tmp_path / "ck")
+    assert main(
+        ["fuzz", "expr", "--budget", "200", "--seed", "1",
+         "--checkpoint-dir", ck]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["fuzz", "expr", "--budget", "300", "--seed", "1",
+         "--checkpoint-dir", ck, "--resume"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "300 executions" in err
+    assert "1 resumes" in err
+
+
+def test_fuzz_resumed_output_matches_uninterrupted(tmp_path, capsys):
+    argv = ["fuzz", "expr", "--budget", "300", "--seed", "1"]
+    assert main(argv) == 0
+    uninterrupted = capsys.readouterr().out
+    ck = str(tmp_path / "ck")
+    assert main(
+        ["fuzz", "expr", "--budget", "150", "--seed", "1",
+         "--checkpoint-dir", ck]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["fuzz", "expr", "--budget", "300", "--seed", "1",
+         "--checkpoint-dir", ck, "--resume"]
+    ) == 0
+    assert capsys.readouterr().out == uninterrupted
+
+
+def test_fuzz_resume_without_checkpoint_dir_is_a_usage_error(capsys):
+    assert main(["fuzz", "expr", "--budget", "50", "--resume"]) == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+def test_fuzz_writes_corpus_store(tmp_path, capsys):
+    from repro.eval.corpus_store import CorpusStore
+
+    path = tmp_path / "corpus.jsonl"
+    assert main(
+        ["fuzz", "expr", "--budget", "200", "--seed", "1",
+         "--corpus", str(path)]
+    ) == 0
+    import ast
+
+    emitted = [
+        ast.literal_eval(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    store = CorpusStore(path)
+    assert store.inputs(subject="expr", tool="pfuzzer") == emitted
+    assert all(r.path_signature is not None for r in store.records())
+
+
+def test_compare_checkpoint_dir_and_corpus(tmp_path, capsys):
+    from repro.eval.corpus_store import CorpusStore
+
+    code = main(
+        [
+            "compare", "ini",
+            "--budget", "100",
+            "--tools", "random", "pfuzzer",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+            "--corpus", str(tmp_path / "corpus.jsonl"),
+        ]
+    )
+    assert code == 0
+    assert "Coverage by each tool" in capsys.readouterr().out
+    # The pfuzzer cell checkpointed into its own subdirectory...
+    assert (tmp_path / "ck" / "pfuzzer-ini-s3").is_dir()
+    # ...and both tools' valid inputs landed in the shared store.
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    assert set(r.tool for r in store.records()) <= {"random", "pfuzzer"}
