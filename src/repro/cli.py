@@ -7,7 +7,11 @@ Subcommands mirror the workflows in the paper's evaluation:
   the Figure 2 / Figure 3 style reports for one subject;
 * ``tokens``   — print a subject's token inventory (Tables 2–4);
 * ``mine``     — fuzz, mine a grammar from the valid inputs, and print it;
-* ``subjects`` — list the available subjects (Table 1).
+* ``subjects`` — list the available subjects (Table 1);
+* ``corpus``   — inspect or compact a persistent corpus store;
+* ``serve``    — run the resident campaign service (job queue, preemptive
+  scheduler, HTTP control plane);
+* ``submit`` / ``status`` / ``cancel`` — talk to a running service.
 
 Examples::
 
@@ -18,6 +22,9 @@ Examples::
     python -m repro compare json --jobs 4 --checkpoint-dir ck/ --corpus corpus.jsonl
     python -m repro tokens mjs
     python -m repro mine expr
+    python -m repro corpus corpus.jsonl --compact
+    python -m repro serve --state-dir service/ --port 8321 --workers 4
+    python -m repro submit json --budget 5000 --priority 2 --wait
 
 Exit codes: 0 on success, 1 when a parallel campaign cell failed or timed
 out (the rest of the grid still completes and prints), 2 on usage errors
@@ -46,9 +53,40 @@ from repro.subjects.registry import SUBJECT_NAMES, load_subject
 
 
 def _positive_int(text: str) -> int:
-    value = int(text)
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
     return value
 
 
@@ -62,7 +100,7 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         help="write one JSONL metrics record per campaign run to PATH",
     )
     parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="per-run wall-clock limit; timed-out runs are reported, not fatal",
     )
     parser.add_argument(
@@ -76,7 +114,7 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         help="snapshot cadence in executions (default: the fuzzer's own)",
     )
     parser.add_argument(
-        "--resume-retries", type=int, default=2, metavar="N",
+        "--resume-retries", type=_nonnegative_int, default=2, metavar="N",
         help="with --checkpoint-dir: extra resume attempts for timed-out "
         "cells (default: 2)",
     )
@@ -96,7 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fuzz = sub.add_parser("fuzz", help="run pFuzzer on a subject")
     fuzz.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
-    fuzz.add_argument("--budget", type=int, default=2_000, help="execution budget")
+    fuzz.add_argument(
+        "--budget", type=_positive_int, default=2_000, help="execution budget"
+    )
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument(
         "--all-valid",
@@ -131,7 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
-    compare.add_argument("--budget", type=int, default=2_000)
+    compare.add_argument("--budget", type=_positive_int, default=2_000)
     compare.add_argument("--seed", type=int, default=3)
     compare.add_argument(
         "--tools", nargs="+", choices=TOOLS, default=["afl", "klee", "pfuzzer"]
@@ -143,7 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     mine = sub.add_parser("mine", help="fuzz, then mine a grammar (§7.4)")
     mine.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
-    mine.add_argument("--budget", type=int, default=800)
+    mine.add_argument("--budget", type=_positive_int, default=800)
     mine.add_argument("--seed", type=int, default=1)
     mine.add_argument("--generate", type=int, default=0, metavar="N",
                       help="also generate N inputs from the mined grammar")
@@ -159,7 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report", help="run the full evaluation and print a markdown report"
     )
-    report.add_argument("--budget", type=int, default=None,
+    report.add_argument("--budget", type=_positive_int, default=None,
                         help="override every subject's execution budget")
     report.add_argument("--subjects", nargs="+", choices=SUBJECT_NAMES,
                         default=list(SUBJECT_NAMES))
@@ -168,6 +208,88 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seeds", nargs="+", type=int, default=[0, 3, 8])
     report.add_argument("--no-code-coverage", action="store_true")
     _add_parallel_options(report)
+
+    corpus = sub.add_parser(
+        "corpus", help="inspect or compact a persistent corpus store"
+    )
+    corpus.add_argument("path", metavar="PATH", help="corpus store JSONL file")
+    corpus.add_argument(
+        "--list", action="store_true", dest="list_inputs",
+        help="print one line per stored record instead of summary stats",
+    )
+    corpus.add_argument(
+        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        help="restrict to one subject",
+    )
+    corpus.add_argument(
+        "--compact", action="store_true",
+        help="drop duplicate (subject, input) records, keeping the first",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (job queue + HTTP control plane)"
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="journal and per-job checkpoints live here; restarting on the "
+        "same DIR resumes every unfinished job deterministically",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=_nonnegative_int, default=8321, metavar="PORT",
+        help="control-plane port (0 picks a free one; default: 8321)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="worker processes for campaign slices (default: 2)",
+    )
+    serve.add_argument(
+        "--slice-executions", type=_positive_int, default=250, metavar="N",
+        help="preempt a job after N executions per slice (default: 250)",
+    )
+    serve.add_argument(
+        "--slice-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="wall-clock limit per slice (default: none)",
+    )
+    serve.add_argument(
+        "--until-idle", action="store_true",
+        help="exit once every journalled job is terminal (for scripts/tests)",
+    )
+
+    submit = sub.add_parser("submit", help="submit a campaign job to a service")
+    submit.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
+    submit.add_argument("--url", default="http://127.0.0.1:8321",
+                        help="service base URL (default: %(default)s)")
+    submit.add_argument("--tool", choices=TOOLS, default="pfuzzer")
+    submit.add_argument("--budget", type=_positive_int, default=2_000)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority", type=_positive_int, default=1,
+        help="fair-share weight; higher gets proportionally more slices",
+    )
+    submit.add_argument(
+        "--coverage-backend", choices=COVERAGE_BACKENDS, default="settrace"
+    )
+    submit.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N"
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=_positive_float, default=300.0, metavar="SECONDS"
+    )
+
+    status = sub.add_parser(
+        "status", help="show service jobs (all, or one job's full record)"
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--url", default="http://127.0.0.1:8321")
+
+    cancel = sub.add_parser("cancel", help="cancel a service job")
+    cancel.add_argument("job_id")
+    cancel.add_argument("--url", default="http://127.0.0.1:8321")
     return parser
 
 
@@ -339,6 +461,145 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.eval.corpus_store import CorpusStore
+
+    store = CorpusStore(args.path)
+    if args.compact:
+        kept, dropped = store.compact()
+        print(f"# compacted: kept {kept}, dropped {dropped}", file=sys.stderr)
+    records = list(store.records(subject=args.subject))
+    if args.list_inputs:
+        for record in records:
+            signature = (
+                f"{record.path_signature:#x}"
+                if record.path_signature is not None
+                else "-"
+            )
+            print(
+                f"{record.subject}\t{record.tool}\t{record.seed}\t"
+                f"{signature}\t{record.input!r}"
+            )
+        return 0
+    subjects = sorted({record.subject for record in records})
+    signatures = {
+        record.path_signature
+        for record in records
+        if record.path_signature is not None
+    }
+    distinct = len({(record.subject, record.input) for record in records})
+    print(f"records:            {len(records)}")
+    print(f"distinct inputs:    {distinct}")
+    print(f"unique path sigs:   {len(signatures)}")
+    print(f"subjects:           {', '.join(subjects) if subjects else '-'}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.scheduler import SchedulerConfig
+    from repro.service.server import serve
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    serve(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        scheduler_config=SchedulerConfig(
+            workers=args.workers,
+            slice_executions=args.slice_executions,
+            slice_timeout=args.slice_timeout,
+        ),
+        stop=stop,
+        until_idle=args.until_idle,
+        on_bound=lambda host, port: print(
+            f"# serving on http://{host}:{port} (state: {args.state_dir})",
+            file=sys.stderr,
+            flush=True,
+        ),
+    )
+    return 0
+
+
+def _print_job(record: dict) -> None:
+    import json
+
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+def _service_call(url: str, operation) -> int:
+    """Run one client call; map service/connection errors to exit 1."""
+    import urllib.error
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(url)
+    try:
+        return operation(client)
+    except ServiceError as exc:
+        print(f"# {exc}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, ConnectionError, OSError) as exc:
+        print(f"# cannot reach service at {url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = {
+        "subject": args.subject,
+        "tool": args.tool,
+        "budget": args.budget,
+        "seed": args.seed,
+        "priority": args.priority,
+        "coverage_backend": args.coverage_backend,
+    }
+    if args.checkpoint_every is not None:
+        spec["checkpoint_every"] = args.checkpoint_every
+
+    def run(client) -> int:
+        record = client.submit(spec)
+        if args.wait:
+            record = client.wait(record["job_id"], timeout=args.wait_timeout)
+        _print_job(record)
+        return 0 if record["state"] in ("queued", "running", "done") else 1
+
+    return _service_call(args.url, run)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        if args.job_id is not None:
+            _print_job(client.job(args.job_id))
+            return 0
+        for record in client.jobs():
+            fingerprint = record.get("result_fingerprint") or "-"
+            print(
+                f"{record['job_id']}\t{record['state']}\t"
+                f"{record['spec']['tool']}:{record['spec']['subject']}\t"
+                f"{record['executions']}/{record['spec']['budget']}\t"
+                f"slices={record['slices']}\t{fingerprint[:12]}"
+            )
+        return 0
+
+    return _service_call(args.url, run)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        _print_job(client.cancel(args.job_id))
+        return 0
+
+    return _service_call(args.url, run)
+
+
 _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "compare": _cmd_compare,
@@ -346,6 +607,11 @@ _COMMANDS = {
     "mine": _cmd_mine,
     "subjects": _cmd_subjects,
     "report": _cmd_report,
+    "corpus": _cmd_corpus,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cancel": _cmd_cancel,
 }
 
 

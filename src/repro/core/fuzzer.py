@@ -76,6 +76,11 @@ class FuzzingResult:
             the corpus; see :mod:`repro.eval.corpus_store`).
         resumes: how many times this campaign was restored from a
             checkpoint (0 for an uninterrupted run).
+        preempted: True when the run stopped at an iteration boundary
+            because the ``should_preempt`` hook asked it to, with budget
+            still left — the campaign is paused, not finished, and a
+            resume continues it exactly where an uninterrupted run would
+            have been.
     """
 
     valid_inputs: List[str] = field(default_factory=list)
@@ -90,6 +95,7 @@ class FuzzingResult:
     phase_times: Dict[str, float] = field(default_factory=dict)
     valid_signatures: List[int] = field(default_factory=list)
     resumes: int = 0
+    preempted: bool = False
 
 
 class PFuzzer:
@@ -101,6 +107,13 @@ class PFuzzer:
         on_emit: optional callback invoked as ``on_emit(executions, text)``
             for every emitted valid input — the streaming equivalent of the
             paper's ``print(input)`` (Algorithm 1, Line 38).
+        should_preempt: optional callback polled once per loop iteration,
+            at the iteration boundary (no candidate in flight), as
+            ``should_preempt(run_executions, total_executions)``.  Returning
+            True stops the run there: with ``checkpoint_dir`` set the final
+            snapshot captures the paused state and a later ``resume``
+            continues byte-identically — the mechanism the campaign
+            service's time-slicing scheduler is built on.
     """
 
     def __init__(
@@ -108,10 +121,12 @@ class PFuzzer:
         subject: Subject,
         config: Optional[FuzzerConfig] = None,
         on_emit=None,
+        should_preempt=None,
     ) -> None:
         self.subject = subject
         self.config = config or FuzzerConfig()
         self.on_emit = on_emit
+        self.should_preempt = should_preempt
         self._rng = random.Random(self.config.seed)
         self._valid_branches: Set[int] = set()
         #: Cached ``frozenset(vBr)``, refreshed only when vBr grows —
@@ -487,6 +502,7 @@ class PFuzzer:
         """
         if self.config.checkpoint_dir is not None and self.config.resume:
             self._resume_from_checkpoint()
+        run_base = self._result.executions
         started = time.monotonic()
         self._run_started = started
         for text in self.config.initial_inputs:
@@ -523,6 +539,15 @@ class PFuzzer:
                 # that cannot run: the queue depth and RNG position must
                 # match the final checkpoint, so resuming a finished
                 # campaign reproduces its result exactly.
+                break
+            if self.should_preempt is not None and self.should_preempt(
+                self._result.executions - run_base, self._result.executions
+            ):
+                # Same boundary as the budget break above: no pop, no RNG
+                # draw, so the end-of-run snapshot is exactly the state an
+                # uninterrupted run passed through here and a resume
+                # continues it byte-identically.
+                self._result.preempted = True
                 break
             current = self._next_candidate()
         self._result.valid_branches = frozenset(self._valid_branches)

@@ -54,6 +54,35 @@ class CheckpointError(Exception):
     """A checkpoint file is missing, corrupt, or incompatible."""
 
 
+def atomic_write_text(
+    target: PathLike, text: str, *, encoding: str = "ascii"
+) -> Path:
+    """Write ``text`` to ``target`` with the crash-safe discipline.
+
+    Temporary file in the same directory, fsync, then ``os.replace`` — the
+    write either completes or never happens under the final name.  Shared
+    by snapshot writes here and the campaign service's journal compaction
+    (:mod:`repro.service.jobs`).
+    """
+    target = Path(target)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}-tmp-", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
 # --------------------------------------------------------------------- #
 # Arc translation
 # --------------------------------------------------------------------- #
@@ -164,22 +193,10 @@ def save_snapshot(
         "checksum": _payload_checksum(canonical),
         "payload": payload,
     }
-    target = _generation_path(directory, generation)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=".ckpt-tmp-", suffix=".json", dir=directory
+    target = atomic_write_text(
+        _generation_path(directory, generation),
+        json.dumps(envelope, ensure_ascii=True),
     )
-    try:
-        with os.fdopen(fd, "w", encoding="ascii") as handle:
-            json.dump(envelope, handle, ensure_ascii=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
     for old in existing:
         if old <= generation - keep:
             try:

@@ -14,6 +14,7 @@ from a different major schema rather than misinterpreting fields.
 from __future__ import annotations
 
 import json
+import socket
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
@@ -22,6 +23,14 @@ from repro.eval.campaign import ToolOutput
 
 #: Bumped on any field rename/retyping; additions keep the version.
 SCHEMA_VERSION = 1
+
+
+def _hostname() -> str:
+    """Best-effort machine name ("" rather than an exception)."""
+    try:
+        return socket.gethostname()
+    except OSError:  # pragma: no cover - pathological resolver setups
+        return ""
 
 #: Field order is part of the schema: JSONL lines keep this key order.
 FIELD_NAMES = (
@@ -41,6 +50,8 @@ FIELD_NAMES = (
     "wall_time",
     "phase_times",
     "resumes",
+    "hostname",
+    "peak_rss_kb",
 )
 
 
@@ -77,6 +88,14 @@ class CampaignMetrics:
     #: uninterrupted).  Added within schema version 1; absent in older
     #: records and read back as 0.
     resumes: int = 0
+    #: Machine that executed the run — one metrics stream can mix hosts
+    #: once campaigns are scheduled by the service.  Added within schema
+    #: version 1; absent in older records and read back as "".
+    hostname: str = ""
+    #: High-water RSS in kilobytes (``resource.getrusage``; 0 where the
+    #: ``resource`` module is unavailable).  Added within schema version 1;
+    #: absent in older records and read back as 0.
+    peak_rss_kb: int = 0
 
     @classmethod
     def from_output(
@@ -87,6 +106,7 @@ class CampaignMetrics:
         status: str = "ok",
         attempts: int = 1,
         peak_rss_bytes: int = 0,
+        hostname: Optional[str] = None,
     ) -> "CampaignMetrics":
         """Summarise one campaign's :class:`ToolOutput`."""
         wall = max(output.wall_time, 0.0)
@@ -111,6 +131,8 @@ class CampaignMetrics:
             wall_time=wall,
             phase_times=output.phase_times,
             resumes=output.resumes,
+            hostname=hostname if hostname is not None else _hostname(),
+            peak_rss_kb=peak_rss_bytes // 1024,
         )
 
     @classmethod
@@ -124,6 +146,7 @@ class CampaignMetrics:
         status: str,
         attempts: int,
         wall_time: float = 0.0,
+        hostname: Optional[str] = None,
     ) -> "CampaignMetrics":
         """Record for a run that produced no output (crash / timeout)."""
         return cls(
@@ -142,6 +165,7 @@ class CampaignMetrics:
             peak_rss_bytes=0,
             wall_time=wall_time,
             phase_times=None,
+            hostname=hostname if hostname is not None else _hostname(),
         )
 
     def to_json_line(self) -> str:
@@ -169,10 +193,12 @@ class CampaignMetrics:
             raise ValueError(
                 f"unsupported metrics schema {version!r} (expected {SCHEMA_VERSION})"
             )
-        # phase_times and resumes were added within schema version 1:
-        # tolerate records written before they existed.
+        # phase_times, resumes, hostname and peak_rss_kb were added within
+        # schema version 1: tolerate records written before they existed.
         record.setdefault("phase_times", None)
         record.setdefault("resumes", 0)
+        record.setdefault("hostname", "")
+        record.setdefault("peak_rss_kb", 0)
         missing = [name for name in FIELD_NAMES if name not in record]
         if missing:
             raise ValueError(f"metrics line missing fields: {', '.join(missing)}")

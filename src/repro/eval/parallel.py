@@ -156,11 +156,20 @@ def _worker_main(
     segfault, the parent watchdog's SIGTERM) can never orphan a lock or leave
     a half-written frame that would wedge its siblings.  The parent sees a
     dead worker's pipe as EOF and re-dispatches whatever it was assigned.
+
+    The EOF only fires if every copy of the inbox write-end is closed, and
+    siblings forked later inherit this worker's copy — so a SIGKILLed
+    parent would leave idle workers sleeping in ``recv`` forever.  Poll
+    with a timeout and exit once re-parented instead.
     """
+    parent = os.getppid()
     while True:
         try:
+            while not inbox.poll(1.0):
+                if os.getppid() != parent:
+                    return
             item = inbox.recv()
-        except EOFError:
+        except (EOFError, OSError):
             return
         if item is None:
             return
@@ -228,6 +237,121 @@ class _Worker:
     result_conn: multiprocessing.connection.Connection  # worker -> parent
 
 
+class WorkerPool:
+    """Bounded pool of pipe-connected worker processes.
+
+    The process/pipe mechanics shared by the evaluation grid
+    (:class:`_GridExecutor`) and the campaign service's time-slicing
+    scheduler (:mod:`repro.service.scheduler`): spawn workers running
+    ``target(worker_id, inbox, results, *extra_args)``, send them tasks,
+    drain their result messages, and detect/remove dead ones.  Task
+    semantics — what a task is, retry policy, deadlines — stay with the
+    caller; the pool only guarantees that a worker dying at any point
+    surfaces as EOF/exit-code, never as a wedged sibling (per-worker pipes,
+    no shared queues or locks).
+    """
+
+    def __init__(self, target, extra_args: Tuple = ()) -> None:
+        self._target = target
+        self._extra_args = tuple(extra_args)
+        # fork keeps the child's hash seed identical to the parent's, which
+        # the sequential-equivalence guarantee relies on (path signatures
+        # hash branch sets); fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        self.ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def worker_ids(self) -> List[int]:
+        return list(self._workers)
+
+    def spawn(self) -> int:
+        """Start one worker; returns its pool-unique id."""
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_recv, task_send = self.ctx.Pipe(duplex=False)
+        result_recv, result_send = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=self._target,
+            args=(worker_id, task_recv, result_send) + self._extra_args,
+            daemon=True,
+        )
+        process.start()
+        # Close the child's ends immediately: the parent must not hold a
+        # duplicate of result_send, or a dead worker's pipe would never
+        # reach EOF (and later forks must not inherit this worker's ends).
+        task_recv.close()
+        result_send.close()
+        self._workers[worker_id] = _Worker(
+            worker_id, process, task_send, result_recv
+        )
+        return worker_id
+
+    def send(self, worker_id: int, task) -> bool:
+        """Send one task; False when the worker died before delivery."""
+        try:
+            self._workers[worker_id].task_conn.send(task)
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def drain(self, timeout: float = 0.05) -> List[Tuple]:
+        """Collect every result message currently readable.
+
+        A worker that died mid-send leaves EOF (or a truncated frame) on
+        its pipe; that is silently skipped here — :meth:`reap` is where the
+        death itself is observed.
+        """
+        conns = [worker.result_conn for worker in self._workers.values()]
+        if not conns:  # pragma: no cover - only between respawns
+            time.sleep(min(timeout, 0.01))
+            return []
+        messages = []
+        for conn in multiprocessing.connection.wait(conns, timeout=timeout):
+            try:
+                messages.append(conn.recv())
+            except (EOFError, OSError):
+                continue
+        return messages
+
+    def reap(self) -> List[Tuple[int, Optional[int]]]:
+        """Remove dead workers; returns their ``(worker_id, exitcode)``."""
+        dead = []
+        for worker_id in list(self._workers):
+            worker = self._workers[worker_id]
+            if worker.process.is_alive():
+                continue
+            dead.append((worker_id, worker.process.exitcode))
+            self.remove(worker_id, terminate=False)
+        return dead
+
+    def remove(self, worker_id: int, terminate: bool) -> None:
+        worker = self._workers.pop(worker_id)
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():  # pragma: no cover - stubborn child
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
+        for conn in (worker.task_conn, worker.result_conn):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def shutdown(self) -> None:
+        """Send every worker the exit sentinel, then terminate stragglers."""
+        for worker_id in self.worker_ids():
+            self.send(worker_id, None)
+        for worker_id in self.worker_ids():
+            self.remove(worker_id, terminate=True)
+
+
 class _GridExecutor:
     """One run_grid invocation: pool, dispatch, watchdog, retry, collect."""
 
@@ -254,73 +378,16 @@ class _GridExecutor:
         self.fail_on = dict(fail_on) if fail_on else None
         self.durability = durability
         self.resume_retries = resume_retries
-        # fork keeps the child's hash seed identical to the parent's, which
-        # the sequential-equivalence guarantee relies on (path signatures
-        # hash branch sets); fall back to the platform default elsewhere.
-        methods = multiprocessing.get_all_start_methods()
-        self.ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
+        self.pool = WorkerPool(
+            _worker_main, (timeout, self.fail_on, durability)
         )
         self.records: List[Optional[RunRecord]] = [None] * len(self.specs)
         self.pending = deque(
             (task_id, 0) for task_id in range(len(self.specs))
         )
         self.retry_heap: List[Tuple[float, int, int]] = []
-        self.workers: Dict[int, _Worker] = {}
         self.assignments: Dict[int, Tuple[int, int, Optional[float]]] = {}
         self.unresolved = len(self.specs)
-        self._next_worker_id = 0
-
-    # -- pool management ------------------------------------------------ #
-
-    def _spawn_worker(self) -> None:
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        task_recv, task_send = self.ctx.Pipe(duplex=False)
-        result_recv, result_send = self.ctx.Pipe(duplex=False)
-        process = self.ctx.Process(
-            target=_worker_main,
-            args=(
-                worker_id,
-                task_recv,
-                result_send,
-                self.timeout,
-                self.fail_on,
-                self.durability,
-            ),
-            daemon=True,
-        )
-        process.start()
-        # Close the child's ends immediately: the parent must not hold a
-        # duplicate of result_send, or a dead worker's pipe would never
-        # reach EOF (and later forks must not inherit this worker's ends).
-        task_recv.close()
-        result_send.close()
-        self.workers[worker_id] = _Worker(worker_id, process, task_send, result_recv)
-
-    def _remove_worker(self, worker_id: int, terminate: bool) -> None:
-        worker = self.workers.pop(worker_id)
-        self.assignments.pop(worker_id, None)
-        if terminate and worker.process.is_alive():
-            worker.process.terminate()
-        worker.process.join(timeout=2.0)
-        if worker.process.is_alive():  # pragma: no cover - stubborn child
-            worker.process.kill()
-            worker.process.join(timeout=2.0)
-        for conn in (worker.task_conn, worker.result_conn):
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-
-    def _shutdown(self) -> None:
-        for worker in self.workers.values():
-            try:
-                worker.task_conn.send(None)
-            except (OSError, ValueError):  # pragma: no cover - worker gone
-                pass
-        for worker_id in list(self.workers):
-            self._remove_worker(worker_id, terminate=True)
 
     # -- task resolution ------------------------------------------------ #
 
@@ -409,7 +476,7 @@ class _GridExecutor:
             self.pending.append((task_id, attempt))
         idle = [
             worker_id
-            for worker_id in self.workers
+            for worker_id in self.pool.worker_ids()
             if worker_id not in self.assignments
         ]
         for worker_id in idle:
@@ -423,18 +490,16 @@ class _GridExecutor:
                 else None
             )
             self.assignments[worker_id] = (task_id, attempt, deadline)
-            try:
-                self.workers[worker_id].task_conn.send(
-                    (
-                        task_id,
-                        (spec.tool, spec.subject, spec.budget, spec.seed),
-                        attempt,
-                    )
-                )
-            except (OSError, ValueError):
-                # Worker died between spawn and dispatch; leave the
-                # assignment in place — _reap_dead_workers re-queues it.
-                pass
+            # A worker that died between spawn and dispatch keeps its
+            # assignment in place — _reap_dead_workers re-queues it.
+            self.pool.send(
+                worker_id,
+                (
+                    task_id,
+                    (spec.tool, spec.subject, spec.budget, spec.seed),
+                    attempt,
+                ),
+            )
 
     def _handle_message(self, message: Tuple) -> None:
         kind, worker_id = message[0], message[1]
@@ -460,28 +525,12 @@ class _GridExecutor:
             self._retry_or_fail(task_id, attempt, error, wall)
 
     def _drain_results(self) -> None:
-        conns = [worker.result_conn for worker in self.workers.values()]
-        if not conns:  # pragma: no cover - only between respawns
-            time.sleep(0.01)
-            return
-        for conn in multiprocessing.connection.wait(conns, timeout=0.05):
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
-                # Worker died, possibly mid-send; its pipe is at EOF (or
-                # holds a truncated frame).  _reap_dead_workers re-queues
-                # whatever it was assigned and closes the connection.
-                continue
+        for message in self.pool.drain(timeout=0.05):
             self._handle_message(message)
 
     def _reap_dead_workers(self) -> None:
-        for worker_id in list(self.workers):
-            worker = self.workers[worker_id]
-            if worker.process.is_alive():
-                continue
-            assignment = self.assignments.get(worker_id)
-            exit_code = worker.process.exitcode
-            self._remove_worker(worker_id, terminate=False)
+        for worker_id, exit_code in self.pool.reap():
+            assignment = self.assignments.pop(worker_id, None)
             if assignment is not None:
                 task_id, attempt, _ = assignment
                 self._retry_or_fail(
@@ -493,20 +542,21 @@ class _GridExecutor:
 
     def _enforce_deadlines(self) -> None:
         now = time.monotonic()
-        for worker_id in list(self.workers):
+        for worker_id in self.pool.worker_ids():
             assignment = self.assignments.get(worker_id)
             if assignment is None:
                 continue
             task_id, attempt, deadline = assignment
             if deadline is None or now < deadline:
                 continue
-            self._remove_worker(worker_id, terminate=True)
+            self.pool.remove(worker_id, terminate=True)
+            self.assignments.pop(worker_id, None)
             self._timeout_task(task_id, attempt, self.timeout or 0.0)
 
     def _ensure_capacity(self) -> None:
         wanted = min(self.jobs, self.unresolved)
-        while len(self.workers) < wanted:
-            self._spawn_worker()
+        while len(self.pool) < wanted:
+            self.pool.spawn()
 
     def run(self) -> List[RunRecord]:
         try:
@@ -518,7 +568,7 @@ class _GridExecutor:
                 self._enforce_deadlines()
                 self._ensure_capacity()
         finally:
-            self._shutdown()
+            self.pool.shutdown()
         return [record for record in self.records if record is not None]
 
 

@@ -103,3 +103,13 @@ def peak_rss_bytes() -> int:
     if sys.platform == "darwin":  # pragma: no cover - linux container
         return int(peak)
     return int(peak) * 1024
+
+
+def peak_rss_kb() -> int:
+    """High-water RSS in kilobytes (0 where ``resource`` is unavailable).
+
+    The unit campaign metrics report (:class:`repro.eval.metrics.
+    CampaignMetrics.peak_rss_kb`) and the service's ``/metrics`` endpoint
+    exports.
+    """
+    return peak_rss_bytes() // 1024

@@ -1,0 +1,32 @@
+"""Campaign service: resident fuzzing with a job queue and control plane.
+
+One-shot CLI grids (:mod:`repro.eval.parallel`) run a fixed spec list and
+exit; the service keeps running.  Campaigns are submitted as *jobs*, a
+fair-share scheduler time-slices them across a bounded worker pool by
+checkpointing at iteration boundaries (PR 3's byte-identical
+snapshot/resume), and a stdlib HTTP control plane exposes submission,
+status, cancellation, an NDJSON metrics stream and Prometheus metrics.
+
+* :mod:`repro.service.jobs` — job model, state machine, crash-safe journal;
+* :mod:`repro.service.scheduler` — preemptive fair-share scheduler;
+* :mod:`repro.service.server` — HTTP control plane and service facade;
+* :mod:`repro.service.client` — urllib client used by the CLI subcommands.
+
+The headline property: because resume is deterministic, a SIGKILLed server
+restarted on the same journal and checkpoint directory finishes every
+in-flight job byte-identical to a server that was never interrupted.
+"""
+
+from repro.service.jobs import JobRecord, JobSpec, JobState, JobStore
+from repro.service.scheduler import CampaignScheduler, SchedulerConfig
+from repro.service.server import CampaignService
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignService",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "SchedulerConfig",
+]

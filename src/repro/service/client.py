@@ -1,0 +1,134 @@
+"""Thin urllib client for the campaign service control plane.
+
+Used by the ``repro submit`` / ``repro status`` / ``repro cancel`` CLI
+subcommands and by tests; keeps the HTTP wire format in one place so the
+CLI never hand-rolls requests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Optional
+
+from repro.eval.metrics import CampaignMetrics
+from repro.service.jobs import TERMINAL_STATES, JobState
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, carrying its JSON ``error`` text."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service instance, e.g. ``ServiceClient("http://127.0.0.1:8321")``."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------- #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, ensure_ascii=True).encode("ascii")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw or exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    def _request_text(self, path: str) -> str:
+        request = urllib.request.Request(self.base_url + path)
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    # -- endpoints -------------------------------------------------------- #
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """POST a job spec; returns the created job record dict."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self) -> List[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self._request_text("/metrics")
+
+    def events(self) -> Iterator[CampaignMetrics]:
+        """The buffered /events backlog, parsed through the schema reader."""
+        request = urllib.request.Request(self.base_url + "/events")
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield CampaignMetrics.from_json_line(line)
+
+    # -- conveniences ----------------------------------------------------- #
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state.
+
+        Raises:
+            TimeoutError: still non-terminal after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if JobState(record["state"]) in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def wait_until_ready(self, timeout: float = 10.0, poll: float = 0.05) -> None:
+        """Poll /healthz until the server answers (for freshly spawned ones)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.base_url} not ready "
+                        f"after {timeout:.1f}s"
+                    ) from None
+                time.sleep(poll)

@@ -1,0 +1,459 @@
+"""Fair-share preemptive scheduler: time-slice campaigns over workers.
+
+The scheduler turns long campaigns into a sequence of bounded *slices*.
+One slice resumes a job from its newest checkpoint, runs until the
+preemption hook trips (``slice_executions`` more executions, checked at
+the iteration boundary — see ``PFuzzer.should_preempt``), snapshots, and
+reports back.  Because snapshot/resume is byte-identical, slicing is
+invisible to the campaign result: a job scheduled across many slices —
+or killed and rescheduled on a restarted service — finishes with exactly
+the result an uninterrupted run would have produced.
+
+Scheduling is stride-style fair share: each job accumulates virtual time
+``executions / priority``, and the runnable job with the least virtual
+time (ties: submission order) gets the next free worker.  A job that has
+never run has virtual time zero, so with N queued jobs no job waits more
+than one round of slices before its first — the no-starvation guarantee
+the service tests assert.
+
+Process management reuses the evaluation grid's machinery
+(:class:`repro.eval.parallel.WorkerPool`): per-worker pipes for fault
+isolation, a parent-side watchdog for hung slices, and bounded
+retry-with-backoff — a crashed worker fails only its own slice, and the
+job re-queues for another attempt that *resumes* rather than restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.eval.campaign import ToolOutput, run_campaign
+from repro.eval.metrics import CampaignMetrics
+from repro.eval.parallel import WorkerPool
+from repro.runtime.limits import RunTimeout, peak_rss_bytes, time_limit
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobState,
+    JobStore,
+)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the slicing scheduler.
+
+    Attributes:
+        workers: bounded worker-pool size.
+        slice_executions: preempt a pFuzzer slice after this many
+            executions (checked at iteration boundaries, so a slice can
+            overshoot by one iteration's executions).
+        slice_timeout: wall-clock limit per slice; None disables the
+            in-worker alarm (the watchdog then never fires either).
+        retries: extra attempts for a crashed/timed-out slice before the
+            job is FAILED; every attempt resumes from the newest snapshot.
+        backoff: base delay before re-queueing a failed slice; doubles
+            per consecutive failure.
+        watchdog_grace: extra seconds past ``slice_timeout`` before the
+            parent kills a hung worker.
+    """
+
+    workers: int = 2
+    slice_executions: int = 250
+    slice_timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    watchdog_grace: float = 5.0
+
+
+@dataclass
+class SliceResult:
+    """What one completed slice reports back to the scheduler."""
+
+    job_id: str
+    done: bool
+    output: ToolOutput
+    fingerprint: Optional[str]
+    peak_rss_bytes: int
+    slice_wall: float
+
+
+def _job_checkpoint_dir(state_dir: Path, job_id: str) -> str:
+    return str(state_dir / "jobs" / job_id)
+
+
+def _run_slice(task: dict) -> SliceResult:
+    """Execute one slice in the worker process.
+
+    pFuzzer jobs resume from the job's checkpoint directory and run with
+    the preemption hook armed; the end-of-run snapshot captures the
+    paused state.  Baseline tools have no resumable state: they run their
+    whole budget in this single slice.
+    """
+    started = time.monotonic()
+    if task["tool"] == "pfuzzer":
+        from repro.core.config import FuzzerConfig
+        from repro.core.fuzzer import PFuzzer
+        from repro.eval.checkpoint import result_fingerprint
+        from repro.runtime.arcs import arc_table_for
+        from repro.subjects.registry import load_subject
+
+        subject = load_subject(task["subject"])
+        durability = {}
+        if task["checkpoint_every"] is not None:
+            durability["checkpoint_every"] = task["checkpoint_every"]
+        config = FuzzerConfig(
+            seed=task["seed"],
+            max_executions=task["budget"],
+            coverage_backend=task["coverage_backend"],
+            checkpoint_dir=task["checkpoint_dir"],
+            resume=True,
+            **durability,
+        )
+        slice_cap = task["slice_executions"]
+        result = PFuzzer(
+            subject,
+            config,
+            should_preempt=lambda run_execs, _total: run_execs >= slice_cap,
+        ).run()
+        done = not result.preempted
+        # The canonical fingerprint is a full JSON document; journal the
+        # digest — equality is all the determinism contract needs.
+        fingerprint = (
+            hashlib.sha256(
+                result_fingerprint(result, arc_table_for(subject)).encode("ascii")
+            ).hexdigest()
+            if done
+            else None
+        )
+        output = ToolOutput(
+            tool="pfuzzer",
+            subject=task["subject"],
+            seed=task["seed"],
+            valid_inputs=list(result.valid_inputs),
+            executions=result.executions,
+            wall_time=result.wall_time,
+            queue_depth=result.queue_depth,
+            phase_times=result.phase_times,
+            resumes=result.resumes,
+            valid_signatures=list(result.valid_signatures) or None,
+        )
+    else:
+        output = run_campaign(
+            task["tool"], task["subject"], task["budget"], seed=task["seed"]
+        )
+        done = True
+        fingerprint = None
+    return SliceResult(
+        job_id=task["job_id"],
+        done=done,
+        output=output,
+        fingerprint=fingerprint,
+        peak_rss_bytes=peak_rss_bytes(),
+        slice_wall=time.monotonic() - started,
+    )
+
+
+def _slice_worker(worker_id: int, inbox, results) -> None:
+    """Worker loop: take slice tasks until the None sentinel (or EOF).
+
+    Siblings forked later inherit this worker's inbox write-end, so a
+    SIGKILLed parent does not EOF the pipe — idle workers would sleep in
+    ``recv`` forever, holding the service's listening socket open.  The
+    loop therefore polls with a timeout and exits once re-parented.
+    """
+    parent = os.getppid()
+    while True:
+        try:
+            while not inbox.poll(1.0):
+                if os.getppid() != parent:
+                    return
+            item = inbox.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        started = time.monotonic()
+        try:
+            with time_limit(item.get("slice_timeout")):
+                outcome = _run_slice(item)
+            results.send(("ok", worker_id, item["job_id"], outcome))
+        except RunTimeout:
+            results.send(
+                (
+                    "timeout",
+                    worker_id,
+                    item["job_id"],
+                    time.monotonic() - started,
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 - isolate, report, survive
+            results.send(
+                (
+                    "error",
+                    worker_id,
+                    item["job_id"],
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+
+#: Callback fired after every completed slice:
+#: ``on_slice(record, metrics, delta_executions, slice_wall_seconds)``.
+SliceCallback = Callable[[JobRecord, CampaignMetrics, int, float], None]
+
+
+class CampaignScheduler:
+    """Schedule every non-terminal job in ``store`` across a worker pool.
+
+    Drive it with :meth:`step` from a loop (the service does), or use
+    :meth:`run_until_idle` to drain the current queue — the
+    uninterrupted-reference path in the determinism tests.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        state_dir,
+        config: Optional[SchedulerConfig] = None,
+        on_slice: Optional[SliceCallback] = None,
+    ) -> None:
+        self.store = store
+        self.state_dir = Path(state_dir)
+        self.config = config or SchedulerConfig()
+        self.on_slice = on_slice
+        self.pool = WorkerPool(_slice_worker)
+        #: worker_id -> (job_id, watchdog deadline or None)
+        self.assignments: Dict[int, Tuple[str, Optional[float]]] = {}
+        #: job_id -> stride virtual time (executions / priority).
+        self._virtual: Dict[str, float] = {}
+        #: job_id -> monotonic time before which it must not re-dispatch.
+        self._backoff_until: Dict[str, float] = {}
+        #: Dispatch history (job ids, in dispatch order) — what the
+        #: fairness tests assert over.
+        self.dispatch_log: List[str] = []
+
+    # -- bookkeeping ----------------------------------------------------- #
+
+    def _assigned_jobs(self) -> set:
+        return {job_id for job_id, _ in self.assignments.values()}
+
+    def _runnable(self) -> List[JobRecord]:
+        now = time.monotonic()
+        assigned = self._assigned_jobs()
+        return [
+            record
+            for record in self.store.list()
+            if record.state in (JobState.QUEUED, JobState.PAUSED)
+            and record.job_id not in assigned
+            and self._backoff_until.get(record.job_id, 0.0) <= now
+        ]
+
+    def _virtual_time(self, record: JobRecord) -> float:
+        return self._virtual.setdefault(
+            record.job_id, record.executions / record.spec.priority
+        )
+
+    def has_work(self) -> bool:
+        """True while any job is non-terminal (running ones included)."""
+        return bool(self.store.active())
+
+    # -- slice completion ------------------------------------------------ #
+
+    def _charge(self, record: JobRecord, executions: int) -> int:
+        """Advance the job's virtual time; returns the execution delta."""
+        previous = record.executions
+        delta = max(0, executions - previous)
+        self._virtual[record.job_id] = (
+            self._virtual_time(record) + delta / record.spec.priority
+        )
+        return delta
+
+    def _handle_ok(self, outcome: SliceResult) -> None:
+        record = self.store.get(outcome.job_id)
+        if record.state in TERMINAL_STATES:
+            # Cancelled (or otherwise resolved) while the slice was in
+            # flight: drop the result, keep the snapshot on disk.
+            return
+        delta = self._charge(record, outcome.output.executions)
+        record.failures = 0
+        self._backoff_until.pop(record.job_id, None)
+        if outcome.done:
+            self.store.transition(
+                record.job_id,
+                JobState.DONE,
+                fingerprint=outcome.fingerprint,
+            )
+        else:
+            self.store.transition(record.job_id, JobState.PAUSED)
+        record = self.store.update_progress(
+            record.job_id,
+            executions=outcome.output.executions,
+            valid_inputs=len(outcome.output.valid_inputs),
+            resumes=outcome.output.resumes,
+            slices=record.slices + 1,
+            wall_time=outcome.output.wall_time,
+        )
+        if self.on_slice is not None:
+            metrics = CampaignMetrics.from_output(
+                outcome.output,
+                record.spec.budget,
+                status="ok" if outcome.done else "paused",
+                attempts=record.slices,
+                peak_rss_bytes=outcome.peak_rss_bytes,
+            )
+            self.on_slice(record, metrics, delta, outcome.slice_wall)
+
+    def _handle_failure(self, job_id: str, error: str) -> None:
+        """Crash/timeout path: bounded retry with backoff, else FAILED.
+
+        Every retry resumes from the job's newest snapshot, so repeated
+        attempts make forward progress instead of re-burning the budget.
+        """
+        try:
+            record = self.store.get(job_id)
+        except Exception:  # pragma: no cover - job table raced
+            return
+        if record.state in TERMINAL_STATES:
+            return
+        record.failures += 1
+        if record.failures > self.config.retries:
+            self.store.transition(job_id, JobState.FAILED, error=error)
+            return
+        delay = self.config.backoff * (2 ** (record.failures - 1))
+        self._backoff_until[job_id] = time.monotonic() + delay
+        if record.state is JobState.RUNNING:
+            self.store.transition(job_id, JobState.QUEUED, error=error)
+
+    def _handle_message(self, message: Tuple) -> None:
+        kind, worker_id = message[0], message[1]
+        self.assignments.pop(worker_id, None)
+        if kind == "ok":
+            self._handle_ok(message[3])
+        elif kind == "timeout":
+            self._handle_failure(
+                message[2],
+                f"slice exceeded {self.config.slice_timeout:g}s wall-clock limit"
+                if self.config.slice_timeout
+                else "slice timed out",
+            )
+        else:  # "error"
+            self._handle_failure(message[2], message[3])
+
+    # -- event loop ------------------------------------------------------ #
+
+    def _reap_dead_workers(self) -> None:
+        for worker_id, exit_code in self.pool.reap():
+            assignment = self.assignments.pop(worker_id, None)
+            if assignment is not None:
+                job_id, _ = assignment
+                self._handle_failure(
+                    job_id, f"worker died (exit code {exit_code})"
+                )
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker_id in self.pool.worker_ids():
+            assignment = self.assignments.get(worker_id)
+            if assignment is None:
+                continue
+            job_id, deadline = assignment
+            if deadline is None or now < deadline:
+                continue
+            self.pool.remove(worker_id, terminate=True)
+            self.assignments.pop(worker_id, None)
+            self._handle_failure(job_id, "slice hung past the watchdog deadline")
+
+    def _abort_cancelled(self) -> None:
+        """Kill workers whose job was cancelled mid-slice (snapshot kept)."""
+        for worker_id in self.pool.worker_ids():
+            assignment = self.assignments.get(worker_id)
+            if assignment is None:
+                continue
+            job_id, _ = assignment
+            try:
+                state = self.store.get(job_id).state
+            except Exception:  # pragma: no cover - job table raced
+                continue
+            if state is JobState.CANCELLED:
+                self.pool.remove(worker_id, terminate=True)
+                self.assignments.pop(worker_id, None)
+
+    def _dispatch_ready(self) -> None:
+        idle = [
+            worker_id
+            for worker_id in self.pool.worker_ids()
+            if worker_id not in self.assignments
+        ]
+        for worker_id in idle:
+            runnable = self._runnable()
+            if not runnable:
+                break
+            record = min(
+                runnable, key=lambda r: (self._virtual_time(r), r.seq)
+            )
+            self.store.transition(record.job_id, JobState.RUNNING)
+            self.dispatch_log.append(record.job_id)
+            deadline = (
+                time.monotonic()
+                + self.config.slice_timeout
+                + self.config.watchdog_grace
+                if self.config.slice_timeout is not None
+                else None
+            )
+            self.assignments[worker_id] = (record.job_id, deadline)
+            spec = record.spec
+            self.pool.send(
+                worker_id,
+                {
+                    "job_id": record.job_id,
+                    "tool": spec.tool,
+                    "subject": spec.subject,
+                    "budget": spec.budget,
+                    "seed": spec.seed,
+                    "coverage_backend": spec.coverage_backend,
+                    "checkpoint_every": spec.checkpoint_every,
+                    "checkpoint_dir": _job_checkpoint_dir(
+                        self.state_dir, record.job_id
+                    ),
+                    "slice_executions": self.config.slice_executions,
+                    "slice_timeout": self.config.slice_timeout,
+                },
+            )
+
+    def _ensure_capacity(self) -> None:
+        wanted = min(
+            self.config.workers,
+            len(self.assignments) + len(self._runnable()),
+        )
+        while len(self.pool) < wanted:
+            self.pool.spawn()
+
+    def step(self, drain_timeout: float = 0.05) -> None:
+        """One scheduling round: collect, recover, watchdog, dispatch."""
+        for message in self.pool.drain(timeout=drain_timeout):
+            self._handle_message(message)
+        self._reap_dead_workers()
+        self._enforce_deadlines()
+        self._abort_cancelled()
+        self._ensure_capacity()
+        self._dispatch_ready()
+
+    def run_until_idle(self) -> None:
+        """Drive :meth:`step` until every job reaches a terminal state."""
+        try:
+            while self.has_work():
+                self.step()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Kill the pool.  In-flight slices die; their snapshots survive,
+        and a journal replay re-queues their jobs as resumable."""
+        self.pool.shutdown()
+        self.assignments.clear()

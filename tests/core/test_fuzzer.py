@@ -153,3 +153,56 @@ def test_runs_without_coverage_tracing(expr_subject):
     assert result.valid_inputs  # gate degrades to first-seen, still emits
     for text in result.valid_inputs:
         assert expr_subject.accepts(text)
+
+
+# --------------------------------------------------------------------- #
+# Preemption hook (campaign service time slices)
+# --------------------------------------------------------------------- #
+
+
+def test_preemption_hook_stops_at_iteration_boundary(expr_subject):
+    result = PFuzzer(
+        expr_subject,
+        FuzzerConfig(seed=1, max_executions=300),
+        should_preempt=lambda run_execs, total: run_execs >= 60,
+    ).run()
+    assert result.preempted
+    assert 60 <= result.executions < 300
+
+
+def test_unpreempted_run_reports_preempted_false(expr_subject):
+    result = fuzz(expr_subject, max_executions=100)
+    assert not result.preempted
+
+
+def test_sliced_run_reassembles_uninterrupted_result(expr_subject, tmp_path):
+    """Run in preempt/resume slices; final result matches one whole run."""
+    from repro.eval.checkpoint import result_fingerprint
+    from repro.runtime.arcs import arc_table_for
+
+    reference = fuzz(expr_subject, max_executions=300)
+
+    config = FuzzerConfig(
+        seed=1,
+        max_executions=300,
+        checkpoint_dir=str(tmp_path / "ck"),
+        checkpoint_every=60,
+        resume=True,
+    )
+    slices = 0
+    while True:
+        result = PFuzzer(
+            expr_subject,
+            config,
+            should_preempt=lambda run_execs, total: run_execs >= 60,
+        ).run()
+        slices += 1
+        if not result.preempted:
+            break
+        assert slices < 20, "slicing made no progress"
+    assert slices > 1
+    assert result.resumes == slices - 1
+    table = arc_table_for(expr_subject)
+    assert result_fingerprint(result, table) == result_fingerprint(
+        reference, table
+    )

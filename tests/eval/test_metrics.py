@@ -81,6 +81,8 @@ def test_schema_field_order_is_stable(expr_metrics):
         "wall_time",
         "phase_times",
         "resumes",
+        "hostname",
+        "peak_rss_kb",
     )
     assert tuple(json.loads(metrics.to_json_line()).keys()) == FIELD_NAMES
 
@@ -101,6 +103,28 @@ def test_resumes_absent_in_old_records_reads_as_zero(expr_metrics):
     del record["resumes"]
     parsed = CampaignMetrics.from_json_line(json.dumps(record))
     assert parsed.resumes == 0
+
+
+def test_hostname_and_rss_absent_in_old_records_read_as_defaults(expr_metrics):
+    """Records written before hostname/peak_rss_kb existed still parse."""
+    metrics, _ = expr_metrics
+    record = json.loads(metrics.to_json_line())
+    del record["hostname"]
+    del record["peak_rss_kb"]
+    parsed = CampaignMetrics.from_json_line(json.dumps(record))
+    assert parsed.hostname == ""
+    assert parsed.peak_rss_kb == 0
+
+
+def test_parallel_records_carry_hostname_and_rss_kb():
+    import socket
+
+    from repro.eval.parallel import RunSpec, run_grid
+
+    (record,) = run_grid([RunSpec("random", "ini", 40, 0)], jobs=1)
+    assert record.metrics.hostname == socket.gethostname()
+    assert record.metrics.peak_rss_kb == record.metrics.peak_rss_bytes // 1024
+    assert record.metrics.peak_rss_kb > 0
 
 
 def test_wrong_schema_version_rejected(expr_metrics):

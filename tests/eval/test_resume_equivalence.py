@@ -243,3 +243,91 @@ def test_timeouts_retry_only_when_checkpointing_makes_them_resumable(tmp_path):
     )
     assert durable.status is RunStatus.TIMEOUT
     assert durable.attempts == 3
+
+
+# --------------------------------------------------------------------- #
+# Graceful shutdown: SIGTERM mid-grid leaves only valid checkpoints
+# --------------------------------------------------------------------- #
+
+
+_GRID_SCRIPT = """
+import sys
+from repro.eval.parallel import RunSpec, run_grid
+
+run_grid(
+    [
+        RunSpec("pfuzzer", "expr", 1_000_000, seed=3),
+        RunSpec("pfuzzer", "ini", 1_000_000, seed=3),
+    ],
+    jobs=2,
+    checkpoint_dir=sys.argv[1],
+    checkpoint_every=50,
+)
+"""
+
+
+def test_sigterm_mid_grid_leaves_valid_checkpoints_and_resumes_equal(tmp_path):
+    """SIGTERM a running grid (workers included): every cell's newest
+    snapshot must load, and rerunning the grid with the same checkpoint
+    directory must converge to the uninterrupted sequential result."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    import repro
+    from repro.eval.checkpoint import load_snapshot
+
+    checkpoint_root = tmp_path / "grid"
+    cells = {
+        "expr": checkpoint_root / "pfuzzer-expr-s3",
+        "ini": checkpoint_root / "pfuzzer-ini-s3",
+    }
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _GRID_SCRIPT, str(checkpoint_root)],
+        env=env,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while True:
+            if all(len(list_generations(cell)) >= 2 for cell in cells.values()):
+                break
+            assert time.monotonic() < deadline, "grid produced no checkpoints"
+            assert proc.poll() is None, "grid exited before the kill"
+            time.sleep(0.02)
+    finally:
+        os.killpg(proc.pid, signal.SIGTERM)
+        proc.wait()
+
+    # Atomic snapshot writes: the newest generation in every cell is
+    # complete and verifiable, SIGTERM or not.
+    for cell in cells.values():
+        generations = list_generations(cell)
+        assert generations
+        newest = generations[-1]
+        generation, payload = load_snapshot(cell / f"ckpt-{newest:08d}.json")
+        assert generation == newest
+        assert payload["executions"] > 0
+
+    # Rerun on the same checkpoint root with a finishable budget: each
+    # cell resumes from its snapshot and matches the sequential reference.
+    budget = 2_000
+    specs = [
+        RunSpec("pfuzzer", "expr", budget, seed=3),
+        RunSpec("pfuzzer", "ini", budget, seed=3),
+    ]
+    records = run_grid(
+        specs, jobs=2, checkpoint_dir=checkpoint_root, checkpoint_every=50
+    )
+    for record in records:
+        assert record.status is RunStatus.OK
+        assert record.output.resumes == 1
+        reference = run_campaign(
+            record.spec.tool, record.spec.subject, budget, seed=record.spec.seed
+        )
+        _assert_outputs_equal(record.output, reference)

@@ -66,3 +66,11 @@ def test_apply_rlimits_with_generous_cap():
         assert soft in (1 << 40, before[0])  # applied, or clamped to hard cap
     finally:
         resource.setrlimit(resource.RLIMIT_AS, before)
+
+
+def test_peak_rss_kb_is_the_byte_figure_in_kilobytes():
+    from repro.runtime.limits import peak_rss_kb
+
+    kb = peak_rss_kb()
+    assert kb > 0
+    assert abs(kb - peak_rss_bytes() // 1024) <= 1024  # RSS may grow between calls

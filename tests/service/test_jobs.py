@@ -1,0 +1,228 @@
+"""Job model: state machine, spec validation, crash-safe journal."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    JobError,
+    JobRecord,
+    JobSpec,
+    JobState,
+    JobStateError,
+    JobStore,
+    check_transition,
+)
+
+
+# --------------------------------------------------------------------- #
+# State machine
+# --------------------------------------------------------------------- #
+
+
+LEGAL_EDGES = [
+    (JobState.QUEUED, JobState.RUNNING),
+    (JobState.QUEUED, JobState.CANCELLED),
+    (JobState.RUNNING, JobState.PAUSED),
+    (JobState.RUNNING, JobState.QUEUED),
+    (JobState.RUNNING, JobState.DONE),
+    (JobState.RUNNING, JobState.FAILED),
+    (JobState.RUNNING, JobState.CANCELLED),
+    (JobState.PAUSED, JobState.RUNNING),
+    (JobState.PAUSED, JobState.CANCELLED),
+]
+
+
+@pytest.mark.parametrize("old,new", LEGAL_EDGES)
+def test_legal_transitions_pass(old, new):
+    check_transition(old, new)  # must not raise
+
+
+def test_every_other_transition_is_rejected():
+    legal = set(LEGAL_EDGES)
+    for old in JobState:
+        for new in JobState:
+            if (old, new) in legal:
+                continue
+            with pytest.raises(JobStateError, match="illegal job transition"):
+                check_transition(old, new)
+
+
+def test_terminal_states_have_no_outgoing_edges():
+    for terminal in TERMINAL_STATES:
+        for new in JobState:
+            with pytest.raises(JobStateError):
+                check_transition(terminal, new)
+
+
+# --------------------------------------------------------------------- #
+# Spec validation
+# --------------------------------------------------------------------- #
+
+
+def test_valid_spec_passes():
+    JobSpec(subject="expr", budget=100, seed=3, priority=2).validate()
+
+
+def test_invalid_spec_reports_every_problem_at_once():
+    spec = JobSpec(
+        subject="nope",
+        budget=0,
+        priority=0,
+        coverage_backend="magic",
+        checkpoint_every=-5,
+    )
+    with pytest.raises(JobError) as excinfo:
+        spec.validate()
+    message = str(excinfo.value)
+    for fragment in ("nope", "budget", "priority", "magic", "checkpoint_every"):
+        assert fragment in message
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(JobError, match="unknown job spec fields: frobnicate"):
+        JobSpec.from_dict({"subject": "expr", "frobnicate": 1})
+
+
+def test_from_dict_requires_subject():
+    with pytest.raises(JobError, match="subject"):
+        JobSpec.from_dict({"budget": 100})
+
+
+def test_from_dict_rejects_non_objects():
+    with pytest.raises(JobError, match="JSON object"):
+        JobSpec.from_dict(["expr"])
+
+
+def test_record_roundtrips_through_dict():
+    record = JobRecord(
+        job_id="job-0007",
+        spec=JobSpec(subject="ini", budget=50),
+        state=JobState.PAUSED,
+        seq=7,
+        executions=25,
+        slices=1,
+    )
+    assert JobRecord.from_dict(record.to_dict()) == record
+
+
+# --------------------------------------------------------------------- #
+# Journal: replay, recovery, torn tails, compaction
+# --------------------------------------------------------------------- #
+
+
+def _store(tmp_path):
+    return JobStore(tmp_path / "journal.jsonl")
+
+
+def test_submit_assigns_sequential_ids(tmp_path):
+    store = _store(tmp_path)
+    first = store.submit(JobSpec(subject="expr", budget=10))
+    second = store.submit(JobSpec(subject="ini", budget=10))
+    assert [first.job_id, second.job_id] == ["job-0000", "job-0001"]
+    assert [r.job_id for r in store.list()] == ["job-0000", "job-0001"]
+
+
+def test_invalid_spec_is_not_journalled(tmp_path):
+    store = _store(tmp_path)
+    with pytest.raises(JobError):
+        store.submit(JobSpec(subject="nope"))
+    assert not (tmp_path / "journal.jsonl").exists()
+
+
+def test_replay_restores_states_progress_and_next_seq(tmp_path):
+    store = _store(tmp_path)
+    done = store.submit(JobSpec(subject="expr", budget=10))
+    store.transition(done.job_id, JobState.RUNNING)
+    store.update_progress(
+        done.job_id,
+        executions=10,
+        valid_inputs=3,
+        resumes=1,
+        slices=2,
+        wall_time=0.5,
+    )
+    store.transition(done.job_id, JobState.DONE, fingerprint="abc123")
+    failed = store.submit(JobSpec(subject="ini", budget=10))
+    store.transition(failed.job_id, JobState.RUNNING)
+    store.transition(failed.job_id, JobState.FAILED, error="boom")
+
+    reloaded = JobStore(store.journal_path)
+    first, second = reloaded.list()
+    assert first.state is JobState.DONE
+    assert first.result_fingerprint == "abc123"
+    assert (first.executions, first.valid_inputs, first.resumes) == (10, 3, 1)
+    assert (first.slices, first.wall_time) == (2, 0.5)
+    assert second.state is JobState.FAILED
+    assert second.error == "boom"
+    # Ids keep increasing after a reload, never reusing one.
+    third = reloaded.submit(JobSpec(subject="csv", budget=10))
+    assert third.job_id == "job-0002"
+
+
+@pytest.mark.parametrize("interrupted", [JobState.RUNNING, JobState.PAUSED])
+def test_replay_requeues_jobs_a_dead_process_left_behind(tmp_path, interrupted):
+    store = _store(tmp_path)
+    record = store.submit(JobSpec(subject="expr", budget=10))
+    store.transition(record.job_id, JobState.RUNNING)
+    if interrupted is JobState.PAUSED:
+        store.transition(record.job_id, JobState.PAUSED)
+
+    reloaded = JobStore(store.journal_path)
+    assert reloaded.get(record.job_id).state is JobState.QUEUED
+    # The recovery is itself journalled: a second replay needs no repair.
+    again = JobStore(store.journal_path)
+    assert again.get(record.job_id).state is JobState.QUEUED
+
+
+def test_replay_skips_torn_tail_and_garbage_lines(tmp_path):
+    store = _store(tmp_path)
+    record = store.submit(JobSpec(subject="expr", budget=10))
+    with open(store.journal_path, "a", encoding="ascii") as handle:
+        handle.write('{"event":"state","job_id":"job-0000","sta')  # torn
+    reloaded = JobStore(store.journal_path)
+    assert reloaded.get(record.job_id).state is JobState.QUEUED
+    assert len(reloaded.list()) == 1
+
+
+def test_compact_shrinks_journal_and_preserves_records(tmp_path):
+    store = _store(tmp_path)
+    record = store.submit(JobSpec(subject="expr", budget=10))
+    store.transition(record.job_id, JobState.RUNNING)
+    for slice_index in range(20):
+        store.update_progress(
+            record.job_id,
+            executions=slice_index,
+            valid_inputs=0,
+            resumes=0,
+            slices=slice_index,
+            wall_time=0.0,
+        )
+    store.transition(record.job_id, JobState.DONE, fingerprint="ff")
+    before = store.journal_path.stat().st_size
+    assert store.compact() == 1
+    after = store.journal_path.stat().st_size
+    assert after < before
+    reloaded = JobStore(store.journal_path)
+    final = reloaded.get(record.job_id)
+    assert final.state is JobState.DONE
+    assert final.result_fingerprint == "ff"
+    assert final.executions == 19
+    # Compacted journal is pure JSONL.
+    for line in store.journal_path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_transition_on_unknown_job_raises(tmp_path):
+    store = _store(tmp_path)
+    with pytest.raises(JobError, match="unknown job"):
+        store.transition("job-9999", JobState.CANCELLED)
+
+
+def test_active_excludes_terminal_jobs(tmp_path):
+    store = _store(tmp_path)
+    keep = store.submit(JobSpec(subject="expr", budget=10))
+    gone = store.submit(JobSpec(subject="ini", budget=10))
+    store.transition(gone.job_id, JobState.CANCELLED)
+    assert [r.job_id for r in store.active()] == [keep.job_id]

@@ -1,0 +1,140 @@
+"""The headline durability property of the campaign service.
+
+A server SIGKILLed mid-flight — worker processes and all — and restarted
+on the same state directory must finish every in-flight job with exactly
+the ``result_fingerprint`` an uninterrupted server produces.  Nothing the
+kill destroys matters: job state is in the append-only journal, campaign
+state is in the per-job checkpoint directories, and both are written
+crash-safely.
+
+Covers two subjects on both coverage backends (the acceptance grid).
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobState
+from repro.service.scheduler import SchedulerConfig
+from repro.service.server import CampaignService
+
+SPECS = [
+    {"subject": "expr", "budget": 360, "seed": 3,
+     "coverage_backend": "settrace", "checkpoint_every": 40},
+    {"subject": "ini", "budget": 360, "seed": 3,
+     "coverage_backend": "settrace", "checkpoint_every": 40},
+    {"subject": "expr", "budget": 360, "seed": 5,
+     "coverage_backend": "ast", "checkpoint_every": 40},
+    {"subject": "ini", "budget": 360, "seed": 5,
+     "coverage_backend": "ast", "checkpoint_every": 40},
+]
+
+_CONFIG = SchedulerConfig(workers=2, slice_executions=60)
+
+
+def _spec_key(spec):
+    return (spec["subject"], spec["seed"], spec["coverage_backend"])
+
+
+def _start_server(state_dir):
+    """Run ``repro serve`` in its own process group (workers included)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir),
+            "--port", "0",
+            "--workers", str(_CONFIG.workers),
+            "--slice-executions", str(_CONFIG.slice_executions),
+        ],
+        stderr=subprocess.PIPE,
+        env=env,
+        start_new_session=True,
+        text=True,
+    )
+    line = proc.stderr.readline()
+    match = re.search(r"http://[\d.]+:\d+", line)
+    assert match, f"server did not announce its address: {line!r}"
+    return proc, match.group(0)
+
+
+def _reference_fingerprints(tmp_path):
+    """Fingerprints from a service that is never interrupted."""
+    service = CampaignService(tmp_path / "reference", _CONFIG)
+    for spec in SPECS:
+        service.submit(dict(spec))
+    service.run(until_idle=True)
+    records = service.store.list()
+    assert all(r.state is JobState.DONE for r in records)
+    return {_spec_key(r.spec.to_dict()): r.result_fingerprint for r in records}
+
+
+def test_sigkilled_server_restart_is_byte_identical(tmp_path):
+    state_dir = tmp_path / "state"
+    proc, url = _start_server(state_dir)
+    try:
+        client = ServiceClient(url)
+        client.wait_until_ready()
+        submitted = [client.submit(dict(spec)) for spec in SPECS]
+
+        # Let every job make real progress (at least one completed slice),
+        # then SIGKILL the whole process group: the server, its HTTP
+        # threads and every worker die without any chance to clean up.
+        deadline = time.monotonic() + 60
+        while True:
+            jobs = client.jobs()
+            if jobs and min(job["executions"] for job in jobs) >= 60:
+                break
+            assert time.monotonic() < deadline, "jobs made no progress"
+            time.sleep(0.02)
+        pre_kill = {job["job_id"]: job["state"] for job in client.jobs()}
+        assert any(
+            state not in ("done", "failed", "cancelled")
+            for state in pre_kill.values()
+        ), "every job already finished; the kill would prove nothing"
+    finally:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+        proc.stderr.close()
+
+    # Restart on the same state directory: the journal replay recovers
+    # every job (interrupted ones re-queued), and finishing them is a
+    # resume from their newest snapshots.
+    restarted = CampaignService(state_dir, _CONFIG)
+    records = restarted.store.list()
+    assert [r.job_id for r in records] == [r["job_id"] for r in submitted]
+    assert all(
+        r.state in (JobState.QUEUED, JobState.DONE) for r in records
+    )
+    restarted.run(until_idle=True)
+
+    finished = restarted.store.list()
+    assert all(r.state is JobState.DONE for r in finished)
+    reference = _reference_fingerprints(tmp_path)
+    for record in finished:
+        key = _spec_key(record.spec.to_dict())
+        assert record.result_fingerprint == reference[key], key
+        assert record.executions == record.spec.budget
+
+
+def test_restart_with_nothing_in_flight_is_a_quiet_no_op(tmp_path):
+    """A journal of finished jobs reloads without re-running anything."""
+    service = CampaignService(tmp_path / "state", _CONFIG)
+    service.submit({"subject": "expr", "budget": 100, "checkpoint_every": 50})
+    service.run(until_idle=True)
+    (before,) = service.store.list()
+
+    reloaded = CampaignService(tmp_path / "state", _CONFIG)
+    (after,) = reloaded.store.list()
+    assert after.state is JobState.DONE
+    assert after.result_fingerprint == before.result_fingerprint
+    assert not reloaded.scheduler.has_work()

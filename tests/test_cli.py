@@ -250,3 +250,123 @@ def test_compare_checkpoint_dir_and_corpus(tmp_path, capsys):
     # ...and both tools' valid inputs landed in the shared store.
     store = CorpusStore(tmp_path / "corpus.jsonl")
     assert set(r.tool for r in store.records()) <= {"random", "pfuzzer"}
+
+
+# --------------------------------------------------------------------- #
+# Numeric flag validation: every bad value is a usage error (exit 2)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["fuzz", "expr", "--budget", "0"],
+        ["fuzz", "expr", "--budget", "-5"],
+        ["fuzz", "expr", "--budget", "many"],
+        ["fuzz", "expr", "--checkpoint-every", "0"],
+        ["compare", "ini", "--budget", "0"],
+        ["compare", "ini", "--jobs", "0"],
+        ["compare", "ini", "--jobs", "-1"],
+        ["compare", "ini", "--timeout", "0"],
+        ["compare", "ini", "--timeout", "-1.5"],
+        ["compare", "ini", "--timeout", "soon"],
+        ["compare", "ini", "--checkpoint-every", "-1"],
+        ["compare", "ini", "--resume-retries", "-1"],
+        ["compare", "ini", "--resume-retries", "never"],
+        ["mine", "expr", "--budget", "0"],
+        ["report", "--budget", "0"],
+        ["submit", "expr", "--budget", "0"],
+        ["submit", "expr", "--priority", "0"],
+        ["serve", "--state-dir", "x", "--workers", "0"],
+        ["serve", "--state-dir", "x", "--slice-executions", "0"],
+    ],
+)
+def test_numeric_flag_validation_exits_two(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2, argv
+    err = capsys.readouterr().err
+    assert "expected a" in err, argv
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["compare", "ini", "--budget", "80", "--tools", "random",
+         "--resume-retries", "0"],
+        ["compare", "ini", "--budget", "80", "--tools", "random",
+         "--timeout", "30"],
+    ],
+)
+def test_boundary_values_are_accepted(argv):
+    assert main(argv) == 0
+
+
+# --------------------------------------------------------------------- #
+# repro corpus: stats, --list, --compact
+# --------------------------------------------------------------------- #
+
+
+def _populated_corpus(tmp_path, capsys):
+    path = tmp_path / "corpus.jsonl"
+    for _ in range(2):  # duplicate runs -> duplicate records
+        main(["fuzz", "expr", "--budget", "150", "--seed", "1",
+              "--corpus", str(path)])
+    capsys.readouterr()
+    return path
+
+
+def test_corpus_stats_counts_records_and_unique_signatures(tmp_path, capsys):
+    path = _populated_corpus(tmp_path, capsys)
+    assert main(["corpus", str(path)]) == 0
+    out = capsys.readouterr().out
+    records = dict(
+        line.split(":", 1) for line in out.strip().splitlines()
+    )
+    total = int(records["records"])
+    distinct = int(records["distinct inputs"])
+    unique_sigs = int(records["unique path sigs"])
+    assert total == 2 * distinct  # two identical runs
+    assert unique_sigs == distinct  # pfuzzer signs every input
+    assert records["subjects"].strip() == "expr"
+
+
+def test_corpus_list_prints_one_line_per_record(tmp_path, capsys):
+    path = _populated_corpus(tmp_path, capsys)
+    assert main(["corpus", str(path), "--list"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    from repro.eval.corpus_store import CorpusStore
+
+    assert len(lines) == len(list(CorpusStore(path).records()))
+    assert all(line.startswith("expr\tpfuzzer\t1\t0x") for line in lines)
+
+
+def test_corpus_compact_deduplicates(tmp_path, capsys):
+    path = _populated_corpus(tmp_path, capsys)
+    assert main(["corpus", str(path), "--compact"]) == 0
+    captured = capsys.readouterr()
+    assert "kept" in captured.err and "dropped" in captured.err
+    stats = dict(
+        line.split(":", 1) for line in captured.out.strip().splitlines()
+    )
+    assert int(stats["records"]) == int(stats["distinct inputs"])
+
+
+def test_corpus_on_missing_file_reports_empty(tmp_path, capsys):
+    assert main(["corpus", str(tmp_path / "nope.jsonl")]) == 0
+    assert "records:            0" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# Service subcommands: error paths that need no running server
+# --------------------------------------------------------------------- #
+
+
+def test_status_against_unreachable_service_exits_one(capsys):
+    assert main(["status", "--url", "http://127.0.0.1:9"]) == 1
+    assert "cannot reach service" in capsys.readouterr().err
+
+
+def test_cancel_against_unreachable_service_exits_one(capsys):
+    assert main(["cancel", "job-0000", "--url", "http://127.0.0.1:9"]) == 1
+    assert "cannot reach service" in capsys.readouterr().err
