@@ -9,6 +9,8 @@ Subcommands mirror the workflows in the paper's evaluation:
 * ``mine``     — fuzz, mine a grammar from the valid inputs, and print it;
 * ``subjects`` — list the available subjects (Table 1);
 * ``corpus``   — inspect or compact a persistent corpus store;
+* ``trace``    — query a campaign's NDJSON trace: derivation lineage of an
+  emitted input, Chrome-tracing export, or schema validation;
 * ``serve``    — run the resident campaign service (job queue, preemptive
   scheduler, HTTP control plane);
 * ``submit`` / ``status`` / ``cancel`` — talk to a running service.
@@ -17,14 +19,18 @@ Examples::
 
     python -m repro fuzz json --budget 2000 --seed 3
     python -m repro fuzz json --checkpoint-dir ck/ --resume --corpus corpus.jsonl
+    python -m repro fuzz json --trace trace.ndjson
     python -m repro compare tinyc --budget 4000
     python -m repro compare json --jobs 4 --metrics metrics.jsonl
     python -m repro compare json --jobs 4 --checkpoint-dir ck/ --corpus corpus.jsonl
     python -m repro tokens mjs
     python -m repro mine expr
     python -m repro corpus corpus.jsonl --compact
+    python -m repro trace lineage trace.ndjson '(9)'
+    python -m repro trace chrome trace.ndjson -o spans.json
+    python -m repro trace validate trace.ndjson
     python -m repro serve --state-dir service/ --port 8321 --workers 4
-    python -m repro submit json --budget 5000 --priority 2 --wait
+    python -m repro submit json --budget 5000 --priority 2 --wait --trace
 
 Exit codes: 0 on success, 1 when a parallel campaign cell failed or timed
 out (the rest of the grid still completes and prints), 2 on usage errors
@@ -123,6 +129,11 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
         help="append every run's valid inputs (with path signatures) to "
         "this persistent corpus store",
     )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="write each pFuzzer cell's NDJSON campaign trace to "
+        "<tool>-<subject>-s<seed>.ndjson under DIR",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,6 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--corpus", metavar="PATH", default=None,
         help="append the run's valid inputs (with path signatures) to "
         "this persistent corpus store",
+    )
+    fuzz.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured NDJSON campaign trace to PATH "
+        "(inspect it with 'repro trace ...')",
     )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
@@ -226,6 +242,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drop duplicate (subject, input) records, keeping the first",
     )
 
+    trace = sub.add_parser(
+        "trace", help="query a campaign's NDJSON trace file"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_lineage = trace_sub.add_parser(
+        "lineage",
+        help="print the derivation chain of an emitted input "
+        "(or every emitted input)",
+    )
+    trace_lineage.add_argument("trace_path", metavar="TRACE")
+    trace_lineage.add_argument(
+        "input", nargs="?", default=None, metavar="INPUT",
+        help="the emitted input to explain; omit for all emitted inputs",
+    )
+    trace_fmt = trace_lineage.add_mutually_exclusive_group()
+    trace_fmt.add_argument(
+        "--dot", action="store_true",
+        help="emit the chains as a Graphviz DOT graph",
+    )
+    trace_fmt.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the chains as a JSON document",
+    )
+
+    trace_chrome = trace_sub.add_parser(
+        "chrome",
+        help="export span/marker events as chrome://tracing JSON",
+    )
+    trace_chrome.add_argument("trace_path", metavar="TRACE")
+    trace_chrome.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the JSON there instead of stdout",
+    )
+
+    trace_validate = trace_sub.add_parser(
+        "validate",
+        help="check every event against the trace schema; print counts",
+    )
+    trace_validate.add_argument("trace_path", metavar="TRACE")
+    trace_validate.add_argument(
+        "--strict", action="store_true",
+        help="also fail on a torn final line (interrupted append)",
+    )
+
     serve = sub.add_parser(
         "serve", help="run the campaign service (job queue + HTTP control plane)"
     )
@@ -274,6 +335,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=_positive_int, default=None, metavar="N"
     )
     submit.add_argument(
+        "--trace", action="store_true",
+        help="record an NDJSON campaign trace in the job's state directory "
+        "(pFuzzer jobs only)",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="block until the job reaches a terminal state",
     )
@@ -308,6 +374,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_executions=args.budget,
         coverage_backend=args.coverage_backend,
+        trace_path=args.trace,
         **durability,
     )
     result = PFuzzer(subject, config).run()
@@ -349,6 +416,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         or args.timeout
         or args.checkpoint_dir
         or args.corpus
+        or args.trace_dir
     ):
         from repro.eval.parallel import RunSpec, run_grid
 
@@ -365,6 +433,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             resume_retries=args.resume_retries,
             corpus_path=args.corpus,
+            trace_dir=args.trace_dir,
         )
         for record in records:
             tool = record.spec.tool
@@ -456,6 +525,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume_retries=args.resume_retries,
         corpus_path=args.corpus,
+        trace_dir=args.trace_dir,
     )
     print(render_markdown(report))
     return 0
@@ -492,6 +562,98 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     print(f"distinct inputs:    {distinct}")
     print(f"unique path sigs:   {len(signatures)}")
     print(f"subjects:           {', '.join(subjects) if subjects else '-'}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.trace import read_trace
+
+    try:
+        events = read_trace(
+            args.trace_path, strict=getattr(args, "strict", False)
+        )
+    except OSError as exc:
+        print(f"# cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"# invalid trace: {exc}", file=sys.stderr)
+        return 1
+
+    if args.trace_command == "validate":
+        counts: dict = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        for kind in sorted(counts):
+            print(f"{kind}\t{counts[kind]}")
+        print(f"# {len(events)} events, schema ok", file=sys.stderr)
+        return 0
+
+    if args.trace_command == "chrome":
+        from repro.obs.export import chrome_trace
+
+        document = json.dumps(chrome_trace(events), ensure_ascii=True)
+        if args.output is not None:
+            with open(args.output, "w", encoding="ascii") as handle:
+                handle.write(document + "\n")
+            print(f"# wrote {args.output}", file=sys.stderr)
+        else:
+            print(document)
+        return 0
+
+    # lineage
+    from repro.obs.export import lineage_dot, lineage_json
+    from repro.obs.lineage import LineageError, LineageLog
+
+    log = LineageLog.from_trace_events(events)
+    emitted = [
+        event for event in events if event.get("type") == "input_emitted"
+    ]
+    if args.input is not None:
+        node_ids = [
+            event["lineage"] for event in emitted if event["text"] == args.input
+        ]
+        if not node_ids:
+            # Fall back to any lineage node with that text (inputs that
+            # executed but were never emitted still have a chain).
+            node_ids = log.find_by_text(args.input)
+        if not node_ids:
+            print(f"# no lineage for input {args.input!r}", file=sys.stderr)
+            return 1
+        node_ids = node_ids[:1]
+    else:
+        node_ids = [event["lineage"] for event in emitted]
+        if not node_ids:
+            print("# trace contains no emitted inputs", file=sys.stderr)
+            return 1
+    try:
+        if args.dot:
+            sys.stdout.write(lineage_dot(log, node_ids))
+            return 0
+        if args.as_json:
+            sys.stdout.write(lineage_json(log, node_ids))
+            return 0
+        for node_id in node_ids:
+            chain = log.chain(node_id)
+            replayed = log.replay(node_id)
+            print(f"# input {chain[-1].text!r} (node {node_id})")
+            for node in chain:
+                if node.op == "seed":
+                    detail = f"seed {node.replacement!r}"
+                elif node.op == "append":
+                    detail = f"append {node.replacement!r}"
+                else:
+                    detail = (
+                        f"substitute @{node.at_index} {node.replacement!r}"
+                        + (f" ({node.cmp_kind})" if node.cmp_kind else "")
+                    )
+                print(f"  #{node.node_id} {detail} -> {node.text!r}")
+            status = "ok" if replayed == chain[-1].text else "MISMATCH"
+            print(f"  replay: {status}")
+    except LineageError as exc:
+        print(f"# broken lineage: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -563,6 +725,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.checkpoint_every is not None:
         spec["checkpoint_every"] = args.checkpoint_every
+    if args.trace:
+        spec["trace"] = True
 
     def run(client) -> int:
         record = client.submit(spec)
@@ -608,6 +772,7 @@ _COMMANDS = {
     "subjects": _cmd_subjects,
     "report": _cmd_report,
     "corpus": _cmd_corpus,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,

@@ -35,6 +35,12 @@ class Candidate:
         new_count: cached ``len(parent_branches - vBr)``.  Filled on first
             scoring and decremented incrementally as ``vBr`` grows, so a
             re-score never redoes the set difference.
+        lineage: id of this candidate's node in the campaign's
+            :class:`~repro.obs.lineage.LineageLog` — the provenance link
+            that makes every emitted input replayable as a derivation
+            chain.  Excluded from equality: two candidates for the same
+            input are the same work item whichever parent queued them
+            first.
     """
 
     text: str
@@ -45,6 +51,7 @@ class Candidate:
     path_signature: int = 0
     static_score: Optional[float] = field(default=None, compare=False)
     new_count: Optional[int] = field(default=None, compare=False)
+    lineage: int = field(default=0, compare=False)
 
     def __repr__(self) -> str:
         return (

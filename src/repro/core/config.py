@@ -83,6 +83,12 @@ class FuzzerConfig:
         resume: restore the newest valid snapshot from ``checkpoint_dir``
             before fuzzing; a resumed campaign is byte-identical (modulo
             timings) to an uninterrupted one with the same config.
+        trace_path: write a structured NDJSON trace of the campaign to
+            this file (see :mod:`repro.obs.trace`); None disables tracing
+            (the null-recorder fast path).  Tracing never affects the
+            campaign's result: lineage ids are assigned identically with
+            tracing on or off, and ``trace_path`` is excluded from the
+            snapshot fingerprint so a resumed campaign may toggle it.
     """
 
     seed: Optional[int] = None
@@ -98,6 +104,7 @@ class FuzzerConfig:
     checkpoint_every: int = 500
     checkpoint_keep: int = 2
     resume: bool = False
+    trace_path: Optional[str] = None
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

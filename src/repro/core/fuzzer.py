@@ -35,6 +35,8 @@ from repro.core.config import FuzzerConfig
 from repro.core.heuristic import static_score
 from repro.core.queue import CandidateQueue
 from repro.core.substitute import substitutions_for
+from repro.obs.lineage import LineageLog
+from repro.obs.trace import NULL_RECORDER, JsonlTraceRecorder, PhaseTimer, TraceRecorder
 from repro.runtime.arcs import arc_table_for
 from repro.runtime.harness import ExitStatus, RunResult, run_subject
 from repro.subjects.base import Subject
@@ -74,6 +76,11 @@ class FuzzingResult:
         valid_signatures: stable path signature of each emitted input's
             execution, aligned with ``valid_inputs`` (persisted alongside
             the corpus; see :mod:`repro.eval.corpus_store`).
+        valid_lineage: lineage node id of each emitted input, aligned
+            with ``valid_inputs`` — the entry points into ``lineage`` for
+            replaying an input's derivation chain.
+        lineage: the campaign's full candidate lineage tree (see
+            :mod:`repro.obs.lineage`); always recorded, tracing or not.
         resumes: how many times this campaign was restored from a
             checkpoint (0 for an uninterrupted run).
         preempted: True when the run stopped at an iteration boundary
@@ -96,6 +103,8 @@ class FuzzingResult:
     valid_signatures: List[int] = field(default_factory=list)
     resumes: int = 0
     preempted: bool = False
+    valid_lineage: List[int] = field(default_factory=list)
+    lineage: Optional[LineageLog] = None
 
 
 class PFuzzer:
@@ -114,6 +123,13 @@ class PFuzzer:
             snapshot captures the paused state and a later ``resume``
             continues byte-identically — the mechanism the campaign
             service's time-slicing scheduler is built on.
+        tracer: optional :class:`~repro.obs.trace.TraceRecorder` receiving
+            the campaign's structured events.  When None, a
+            :class:`~repro.obs.trace.JsonlTraceRecorder` is created for
+            ``config.trace_path`` (and closed when :meth:`run` returns),
+            or the null recorder if no path is configured.  Tracing never
+            changes the campaign result: the lineage tree and its ids are
+            maintained identically either way.
     """
 
     def __init__(
@@ -122,11 +138,23 @@ class PFuzzer:
         config: Optional[FuzzerConfig] = None,
         on_emit=None,
         should_preempt=None,
+        tracer: Optional[TraceRecorder] = None,
     ) -> None:
         self.subject = subject
         self.config = config or FuzzerConfig()
         self.on_emit = on_emit
         self.should_preempt = should_preempt
+        self._owns_trace = tracer is None and self.config.trace_path is not None
+        if tracer is not None:
+            self._trace = tracer
+        elif self._owns_trace:
+            self._trace = JsonlTraceRecorder(self.config.trace_path)
+        else:
+            self._trace = NULL_RECORDER
+        #: Guard for event *construction* on the hot path: with tracing
+        #: disabled every emit site costs exactly this flag check.
+        self._trace_on = self._trace.enabled
+        self._lineage = LineageLog()
         self._rng = random.Random(self.config.seed)
         self._valid_branches: Set[int] = set()
         #: Cached ``frozenset(vBr)``, refreshed only when vBr grows —
@@ -137,12 +165,15 @@ class PFuzzer:
         self._all_valid_seen: Set[str] = set()
         self._result = FuzzingResult()
         self._queue = CandidateQueue(self._score, limit=self.config.queue_limit)
-        self._phase_times = {
-            "execute": 0.0,
-            "rescore": 0.0,
-            "substitute": 0.0,
-            "checkpoint": 0.0,
-        }
+        self._timer = PhaseTimer(
+            self._trace,
+            totals={
+                "execute": 0.0,
+                "rescore": 0.0,
+                "substitute": 0.0,
+                "checkpoint": 0.0,
+            },
+        )
         #: Wall seconds consumed by previous runs of a resumed campaign.
         self._wall_consumed = 0.0
         self._run_started: Optional[float] = None
@@ -180,16 +211,16 @@ class PFuzzer:
     # Execution bookkeeping
     # ------------------------------------------------------------------ #
 
-    def _execute(self, text: str) -> RunResult:
+    def _execute(self, text: str, lineage: int) -> RunResult:
         self._seen.add(text)
-        started = time.perf_counter()
+        started = self._timer.start()
         result = run_subject(
             self.subject,
             text,
             trace_coverage=self.config.trace_coverage,
             coverage_backend=self.config.coverage_backend,
         )
-        self._phase_times["execute"] += time.perf_counter() - started
+        self._timer.stop("execute", started)
         self._result.executions += 1
         if _TEST_KILL_AT is not None and self._result.executions >= _TEST_KILL_AT:
             os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
@@ -202,6 +233,13 @@ class PFuzzer:
         elif result.valid and text not in self._all_valid_seen:
             self._all_valid_seen.add(text)
             self._result.all_valid.append(text)
+        if self._trace_on:
+            self._trace.emit(
+                "candidate_executed",
+                lineage=lineage,
+                executions=self._result.executions,
+                status=result.status.name.lower(),
+            )
         return result
 
     def _is_valid_new(self, result: RunResult) -> bool:
@@ -218,32 +256,85 @@ class PFuzzer:
     # Algorithm 1 procedures
     # ------------------------------------------------------------------ #
 
-    def _handle_valid(self, result: RunResult, parents: int) -> None:
+    def _handle_valid(self, result: RunResult, parents: int, lineage: int) -> None:
         """``validInp``: emit, grow vBr, re-score the queue, keep extending."""
         self._result.valid_inputs.append(result.text)
         self._result.valid_signatures.append(result.path_signature())
+        self._result.valid_lineage.append(lineage)
         self._result.emit_log.append((self._result.executions, result.text))
+        if self._trace_on:
+            self._trace.emit(
+                "input_emitted",
+                lineage=lineage,
+                executions=self._result.executions,
+                text=result.text,
+                signature=result.path_signature(),
+            )
         if self.on_emit is not None:
             self.on_emit(self._result.executions, result.text)
         added = frozenset(result.branches - self._valid_branches)
         self._valid_branches |= added
         self._vbr_frozen = frozenset(self._valid_branches)
-        started = time.perf_counter()
+        started = self._timer.start()
         self._queue.rescore(added)
-        self._phase_times["rescore"] += time.perf_counter() - started
-        self._add_candidates(result, parents)
+        self._timer.stop("rescore", started)
+        self._add_candidates(result, parents, lineage)
 
-    def _add_candidates(self, result: RunResult, parents: int) -> None:
-        """``addInputs``: one queue entry per satisfiable comparison."""
-        started = time.perf_counter()
+    def _add_candidates(self, result: RunResult, parents: int, lineage: int) -> None:
+        """``addInputs``: one queue entry per satisfiable comparison.
+
+        ``lineage`` is the executed input's lineage node: every queued
+        substitution becomes its child, carrying the comparison that
+        caused the splice.
+        """
+        started = self._timer.start()
         parent_branches = result.branches_for_heuristic()
         avg_stack = result.average_stack_size()
         signature = result.path_signature()
+        trace_on = self._trace_on
         for substitution in substitutions_for(result):
             if substitution.text in self._seen:
+                if trace_on:
+                    self._trace.emit(
+                        "candidate_rejected",
+                        reason="duplicate",
+                        text=substitution.text,
+                    )
                 continue
             if len(substitution.text) > self.config.max_input_length:
+                if trace_on:
+                    self._trace.emit(
+                        "candidate_rejected",
+                        reason="too-long",
+                        text=substitution.text,
+                    )
                 continue
+            node = self._lineage.new_node(
+                lineage,
+                "substitute",
+                substitution.text,
+                replacement=substitution.replacement,
+                at_index=substitution.at_index,
+                cmp_kind=substitution.kind,
+            )
+            if trace_on:
+                self._trace.emit(
+                    "candidate_scheduled",
+                    lineage=node,
+                    parent=lineage,
+                    op="substitute",
+                    text=substitution.text,
+                    replacement=substitution.replacement,
+                )
+                self._trace.emit(
+                    "substitution_applied",
+                    lineage=node,
+                    parent=lineage,
+                    at_index=substitution.at_index,
+                    replacement=substitution.replacement,
+                    cmp_kind=substitution.kind,
+                    cmp_expected=substitution.expected,
+                )
             self._queue.push(
                 Candidate(
                     text=substitution.text,
@@ -252,12 +343,26 @@ class PFuzzer:
                     parent_branches=parent_branches,
                     avg_stack=avg_stack,
                     path_signature=signature,
+                    lineage=node,
                 )
             )
-        self._phase_times["substitute"] += time.perf_counter() - started
+        self._timer.stop("substitute", started)
 
     def _random_char(self) -> str:
         return self._rng.choice(self.config.character_pool)
+
+    def _seed_candidate(self, text: str) -> Candidate:
+        """A root candidate with a fresh ``"seed"`` lineage node."""
+        node = self._lineage.new_node(None, "seed", text, replacement=text)
+        if self._trace_on:
+            self._trace.emit(
+                "candidate_scheduled",
+                lineage=node,
+                parent=None,
+                op="seed",
+                text=text,
+            )
+        return Candidate(text, lineage=node)
 
     def _next_candidate(self) -> Optional[Candidate]:
         while True:
@@ -272,14 +377,14 @@ class PFuzzer:
         for _ in range(64):
             text = self._random_char()
             if text not in self._seen:
-                return Candidate(text)
+                return self._seed_candidate(text)
         # 64 draws can all collide with already-seen characters while the
         # pool still holds unseen ones; returning None here used to end the
         # campaign with budget left.  Fall back to a deterministic pool
         # scan so the campaign only stops once the pool is truly exhausted.
         for char in self.config.character_pool:
             if char not in self._seen:
-                return Candidate(char)
+                return self._seed_candidate(char)
         return None
 
     # ------------------------------------------------------------------ #
@@ -319,6 +424,7 @@ class PFuzzer:
             "path_signature": candidate.path_signature,
             "static_score": candidate.static_score,
             "new_count": candidate.new_count,
+            "lineage": candidate.lineage,
         }
 
     @staticmethod
@@ -332,6 +438,7 @@ class PFuzzer:
             path_signature=record["path_signature"],
             static_score=record["static_score"],
             new_count=record["new_count"],
+            lineage=record.get("lineage", 0),
         )
 
     def snapshot(self) -> dict:
@@ -383,7 +490,9 @@ class PFuzzer:
             },
             "rng": [rng_version, list(rng_internal), rng_gauss],
             "wall_time": self._wall_consumed + elapsed,
-            "phase_times": dict(self._phase_times),
+            "phase_times": dict(self._timer.totals),
+            "valid_lineage": list(result.valid_lineage),
+            "lineage": self._lineage.to_payload(),
         }
 
     def restore(self, payload: dict) -> None:
@@ -424,6 +533,11 @@ class PFuzzer:
         result.valid_signatures = list(payload["valid_signatures"])
         result.emit_log = [tuple(entry) for entry in payload["emit_log"]]
         result.resumes = payload["resumes"]
+        # Older snapshots predate lineage tracking; they restore with an
+        # empty tree and ids re-assigned from 1, which keeps the campaign
+        # itself deterministic even though old chains are unavailable.
+        result.valid_lineage = list(payload.get("valid_lineage", []))
+        self._lineage = LineageLog.from_payload(payload.get("lineage"))
         queue = payload["queue"]
         self._queue.restore_entries(
             [
@@ -434,21 +548,25 @@ class PFuzzer:
         )
         rng_version, rng_internal, rng_gauss = payload["rng"]
         self._rng.setstate((rng_version, tuple(rng_internal), rng_gauss))
-        self._phase_times = dict(payload["phase_times"])
+        self._timer.totals = dict(payload["phase_times"])
         self._wall_consumed = payload["wall_time"]
         self._last_checkpoint = result.executions
 
     def _write_checkpoint(self) -> None:
         from repro.eval.checkpoint import save_snapshot
 
-        started = time.perf_counter()
+        started = self._timer.start()
         save_snapshot(
             self.config.checkpoint_dir,
             self.snapshot(),
             keep=self.config.checkpoint_keep,
         )
         self._last_checkpoint = self._result.executions
-        self._phase_times["checkpoint"] += time.perf_counter() - started
+        self._timer.stop("checkpoint", started)
+        if self._trace_on:
+            self._trace.emit(
+                "checkpoint_written", executions=self._result.executions
+            )
 
     def _maybe_checkpoint(self) -> None:
         if self.config.checkpoint_dir is None:
@@ -470,6 +588,12 @@ class PFuzzer:
         _, payload = loaded
         self.restore(payload)
         self._result.resumes += 1
+        if self._trace_on:
+            self._trace.emit(
+                "resumed",
+                executions=self._result.executions,
+                resumes=self._result.resumes,
+            )
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -505,34 +629,62 @@ class PFuzzer:
         run_base = self._result.executions
         started = time.monotonic()
         self._run_started = started
+        if self._trace_on:
+            self._trace.emit(
+                "campaign_start",
+                subject=type(self.subject).__name__,
+                seed=self.config.seed,
+                budget=self.config.max_executions,
+                executions=self._result.executions,
+            )
         for text in self.config.initial_inputs:
             if not self._budget_left() or text in self._seen:
                 continue
-            seeded = self._execute(text)
+            seed = self._seed_candidate(text)
+            seeded = self._execute(text, seed.lineage)
             if self._is_valid_new(seeded):
-                self._handle_valid(seeded, parents=0)
+                self._handle_valid(seeded, parents=0, lineage=seed.lineage)
             else:
-                self._add_candidates(seeded, parents=0)
+                self._add_candidates(seeded, parents=0, lineage=seed.lineage)
         current: Optional[Candidate] = None
         if self._budget_left():
             current = (
-                Candidate("") if "" not in self._seen else self._next_candidate()
+                self._seed_candidate("")
+                if "" not in self._seen
+                else self._next_candidate()
             )
         while current is not None and self._budget_left():
-            result = self._execute(current.text)
+            result = self._execute(current.text, current.lineage)
             if self._is_valid_new(result):
-                self._handle_valid(result, current.parents)
+                self._handle_valid(result, current.parents, current.lineage)
             elif len(current.text) < self.config.max_input_length and self._budget_left():
-                extended = current.text + self._random_char()
+                char = self._random_char()
+                extended = current.text + char
                 if extended in self._seen:
                     extended_result = None
                 else:
-                    extended_result = self._execute(extended)
+                    node = self._lineage.new_node(
+                        current.lineage, "append", extended, replacement=char
+                    )
+                    if self._trace_on:
+                        self._trace.emit(
+                            "candidate_scheduled",
+                            lineage=node,
+                            parent=current.lineage,
+                            op="append",
+                            text=extended,
+                            replacement=char,
+                        )
+                    extended_result = self._execute(extended, node)
                 if extended_result is not None:
                     if self._is_valid_new(extended_result):
-                        self._handle_valid(extended_result, current.parents)
+                        self._handle_valid(
+                            extended_result, current.parents, node
+                        )
                     else:
-                        self._add_candidates(extended_result, current.parents)
+                        self._add_candidates(
+                            extended_result, current.parents, node
+                        )
             self._maybe_checkpoint()
             if not self._budget_left():
                 # Don't pop (or draw restart characters) for an iteration
@@ -548,12 +700,26 @@ class PFuzzer:
                 # uninterrupted run passed through here and a resume
                 # continues it byte-identically.
                 self._result.preempted = True
+                if self._trace_on:
+                    self._trace.emit(
+                        "preempted", executions=self._result.executions
+                    )
                 break
             current = self._next_candidate()
         self._result.valid_branches = frozenset(self._valid_branches)
         self._result.wall_time = self._wall_consumed + (time.monotonic() - started)
         self._result.queue_depth = len(self._queue)
-        self._result.phase_times = dict(self._phase_times)
+        self._result.phase_times = dict(self._timer.totals)
+        self._result.lineage = self._lineage
         if self.config.checkpoint_dir is not None:
             self._write_checkpoint()
+        if self._trace_on:
+            self._trace.emit(
+                "campaign_end",
+                executions=self._result.executions,
+                valid_inputs=len(self._result.valid_inputs),
+                wall_time=self._result.wall_time,
+            )
+        if self._owns_trace:
+            self._trace.close()
         return self._result

@@ -27,11 +27,19 @@ from repro.runtime.harness import RunResult
 
 @dataclass(frozen=True)
 class Substitution:
-    """One derived input: ``text`` came from splicing ``replacement`` in."""
+    """One derived input: ``text`` came from splicing ``replacement`` in.
+
+    ``kind`` and ``expected`` carry the comparison that caused the splice
+    (the operator's schema name, e.g. ``"strcmp"`` or ``"=="``, and the
+    value the parser compared against) — the provenance the lineage tree
+    records so every synthesised keyword is explainable.
+    """
 
     text: str
     replacement: str
     at_index: int
+    kind: str = ""
+    expected: str = ""
 
 
 def substitutions_for(result: RunResult) -> List[Substitution]:
@@ -55,5 +63,13 @@ def substitutions_for(result: RunResult) -> List[Substitution]:
             if new_text == text or new_text in seen:
                 continue
             seen.add(new_text)
-            out.append(Substitution(new_text, value, event.index))
+            out.append(
+                Substitution(
+                    new_text,
+                    value,
+                    event.index,
+                    event.kind.value,
+                    event.other_value,
+                )
+            )
     return out

@@ -116,6 +116,7 @@ def run_campaign(
     checkpoint_every: Optional[int] = None,
     resume: bool = False,
     corpus_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``.
 
@@ -132,6 +133,8 @@ def run_campaign(
         corpus_path: append the run's valid inputs (with path signatures,
             when the tool reports them) to this
             :class:`~repro.eval.corpus_store.CorpusStore` file.
+        trace_path: write an NDJSON campaign trace there (pFuzzer only;
+            see :mod:`repro.obs.trace`).
     """
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
@@ -141,6 +144,8 @@ def run_campaign(
         durability["resume"] = resume
         if checkpoint_every is not None:
             durability["checkpoint_every"] = checkpoint_every
+    if trace_path is not None:
+        durability["trace_path"] = trace_path
     outcome = _RUNNERS[tool](subject, seed, budget, durability)
     output = ToolOutput(
         tool=tool,

@@ -307,6 +307,7 @@ def result_fingerprint(result, arc_table: Optional[ArcTable] = None) -> str:
             "hangs": result.hangs,
             "emit_log": [list(entry) for entry in result.emit_log],
             "valid_signatures": list(result.valid_signatures),
+            "valid_lineage": list(getattr(result, "valid_lineage", [])),
             "valid_branches": branches,
             "queue_depth": result.queue_depth,
         },

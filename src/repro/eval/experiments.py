@@ -74,6 +74,7 @@ def run_all(
     checkpoint_every: Optional[int] = None,
     resume_retries: int = 2,
     corpus_path: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentReport:
     """Run the whole evaluation grid; best-of-``seeds`` per campaign.
 
@@ -98,6 +99,7 @@ def run_all(
         or progress
         or checkpoint_dir is not None
         or corpus_path is not None
+        or trace_dir is not None
     ):
         from repro.eval.campaign import ToolOutput
         from repro.eval.parallel import RunSpec, run_grid
@@ -118,6 +120,7 @@ def run_all(
             checkpoint_every=checkpoint_every,
             resume_retries=resume_retries,
             corpus_path=corpus_path,
+            trace_dir=trace_dir,
         )
         parallel_outputs = {
             (record.spec.subject, record.spec.tool, record.spec.seed): (

@@ -146,9 +146,16 @@ class CampaignMetrics:
         status: str,
         attempts: int,
         wall_time: float = 0.0,
+        resumes: int = 0,
         hostname: Optional[str] = None,
     ) -> "CampaignMetrics":
-        """Record for a run that produced no output (crash / timeout)."""
+        """Record for a run that produced no output (crash / timeout).
+
+        ``resumes`` counts checkpoint restores performed before the run
+        ultimately failed — with durable retries a failed cell can still
+        have made resumed progress, and dropping the count made failure
+        records claim the run never restarted.
+        """
         return cls(
             schema=SCHEMA_VERSION,
             tool=tool,
@@ -165,6 +172,7 @@ class CampaignMetrics:
             peak_rss_bytes=0,
             wall_time=wall_time,
             phase_times=None,
+            resumes=resumes,
             hostname=hostname if hostname is not None else _hostname(),
         )
 
@@ -219,10 +227,33 @@ def append_jsonl(path: Union[str, Path], record: CampaignMetrics) -> None:
         handle.write(record.to_json_line() + "\n")
 
 
-def read_jsonl(path: Union[str, Path]) -> List[CampaignMetrics]:
-    """Read every record from ``path``, skipping blank lines."""
+def read_jsonl(
+    path: Union[str, Path], *, strict: bool = False
+) -> List[CampaignMetrics]:
+    """Read every record from ``path``, skipping blank lines.
+
+    Metrics files are appended to while campaigns run, so a reader can
+    observe a torn final line (a crash or a concurrent ``append_jsonl``
+    mid-write).  By default such a trailing fragment is skipped — the same
+    discipline the corpus store and the service's job journal apply to
+    their append-only files.  Corruption anywhere *before* the final line
+    is never forgiven, and ``strict=True`` restores raise-on-anything
+    behaviour for integrity checks.
+
+    Raises:
+        ValueError: a malformed non-final line, or (with ``strict=True``)
+            any malformed line.
+    """
+    lines = [
+        line
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
     records: List[CampaignMetrics] = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
-        if line.strip():
+    for position, line in enumerate(lines):
+        try:
             records.append(CampaignMetrics.from_json_line(line))
+        except ValueError:
+            if strict or position != len(lines) - 1:
+                raise
     return records

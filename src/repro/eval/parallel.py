@@ -147,6 +147,7 @@ def _worker_main(
     timeout: Optional[float],
     fail_on: Optional[Dict[FaultKey, str]],
     durability: Optional[Dict[str, object]],
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Worker loop: take (task_id, spec, attempt) tasks until sentinel.
 
@@ -185,6 +186,12 @@ def _worker_main(
             campaign_options["resume"] = True
             if durability.get("every") is not None:
                 campaign_options["checkpoint_every"] = durability["every"]
+        if trace_dir is not None:
+            # Append-mode NDJSON: a retried attempt continues the same file,
+            # with its "resumed" event marking the seam.
+            campaign_options["trace_path"] = os.path.join(
+                trace_dir, f"{tool}-{subject}-s{seed}.ndjson"
+            )
         try:
             with time_limit(timeout):
                 import repro.core.fuzzer as fuzzer_module
@@ -367,6 +374,7 @@ class _GridExecutor:
         fail_on: Optional[Dict[FaultKey, str]],
         durability: Optional[Dict[str, object]] = None,
         resume_retries: int = 0,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.specs = list(specs)
         self.jobs = jobs
@@ -379,7 +387,7 @@ class _GridExecutor:
         self.durability = durability
         self.resume_retries = resume_retries
         self.pool = WorkerPool(
-            _worker_main, (timeout, self.fail_on, durability)
+            _worker_main, (timeout, self.fail_on, durability, trace_dir)
         )
         self.records: List[Optional[RunRecord]] = [None] * len(self.specs)
         self.pending = deque(
@@ -398,6 +406,15 @@ class _GridExecutor:
         self.unresolved -= 1
         if self.progress is not None:
             self.progress(record)
+
+    def _failure_resumes(self, attempt: int) -> int:
+        """Checkpoint restores a failed cell performed before giving up.
+
+        With durability on, every attempt after the first resumed from the
+        previous attempt's snapshot, so the 0-based ``attempt`` index *is*
+        the resume count.  Without durability nothing ever resumed.
+        """
+        return attempt if self.durability is not None else 0
 
     def _retry_or_fail(
         self, task_id: int, attempt: int, error: str, wall: float
@@ -420,6 +437,7 @@ class _GridExecutor:
             status=RunStatus.FAILED.value,
             attempts=attempt + 1,
             wall_time=wall,
+            resumes=self._failure_resumes(attempt),
         )
         self._finish(
             task_id,
@@ -452,6 +470,7 @@ class _GridExecutor:
             status=RunStatus.TIMEOUT.value,
             attempts=attempt + 1,
             wall_time=wall,
+            resumes=self._failure_resumes(attempt),
         )
         self._finish(
             task_id,
@@ -586,6 +605,7 @@ def run_grid(
     checkpoint_every: Optional[int] = None,
     resume_retries: int = 2,
     corpus_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+    trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -614,6 +634,9 @@ def run_grid(
         corpus_path: append every successful cell's valid inputs to this
             :class:`~repro.eval.corpus_store.CorpusStore` file, parent-side
             in spec order after the grid resolves.
+        trace_dir: write each cell's NDJSON campaign trace to
+            ``<tool>-<subject>-s<seed>.ndjson`` below this directory
+            (pFuzzer cells only; created if missing).
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -643,6 +666,9 @@ def run_grid(
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
         durability = {"root": str(checkpoint_dir), "every": checkpoint_every}
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_dir = str(trace_dir)
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(
@@ -656,6 +682,7 @@ def run_grid(
         dict(_test_fail_on) if _test_fail_on else None,
         durability,
         resume_retries,
+        trace_dir,
     )
     records = executor.run()
     if metrics_path is not None:

@@ -1,0 +1,46 @@
+"""Observability subsystem: structured tracing and candidate lineage.
+
+The paper's central claim is that every valid input is *explainable* — it
+was derived by a chain of comparison-driven substitutions.  This package
+makes that explanation a first-class artifact:
+
+* :mod:`repro.obs.trace` — a low-overhead structured trace bus emitting
+  typed NDJSON events (candidate scheduled/executed/rejected, substitution
+  applied with the comparison that caused it, input emitted, checkpoint
+  written, preemption) plus per-phase span timings;
+* :mod:`repro.obs.lineage` — the candidate lineage tree: every executed
+  input records its parent and the operation that produced it, so any
+  valid input replays as a derivation chain (``repro trace lineage``);
+* :mod:`repro.obs.export` — exporters: Chrome ``chrome://tracing`` JSON
+  for spans, lineage DOT/JSON dumps.
+
+Tracing is opt-in (``FuzzerConfig.trace_path`` / ``--trace``); when
+disabled, the fuzzer runs against :data:`repro.obs.trace.NULL_RECORDER`,
+whose emit path is a constant-false flag check.
+"""
+
+from repro.obs.lineage import LineageError, LineageLog, LineageNode
+from repro.obs.trace import (
+    NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
+    InMemoryTraceRecorder,
+    JsonlTraceRecorder,
+    PhaseTimer,
+    TraceRecorder,
+    read_trace,
+    validate_event,
+)
+
+__all__ = [
+    "LineageError",
+    "LineageLog",
+    "LineageNode",
+    "NULL_RECORDER",
+    "TRACE_SCHEMA_VERSION",
+    "InMemoryTraceRecorder",
+    "JsonlTraceRecorder",
+    "PhaseTimer",
+    "TraceRecorder",
+    "read_trace",
+    "validate_event",
+]

@@ -1,0 +1,133 @@
+"""Exporters: Chrome tracing JSON for spans, DOT/JSON dumps for lineage.
+
+All exporters consume the decoded event list of :func:`repro.obs.trace.
+read_trace` (or a :class:`~repro.obs.lineage.LineageLog`), never the
+fuzzer's live state — a trace file is the complete observability
+artifact of a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.lineage import LineageLog
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Convert span (and marker) events to Chrome's trace-event format.
+
+    The output loads directly into ``chrome://tracing`` / Perfetto:
+    ``span`` events become complete ("X") slices on one thread per
+    campaign phase; emit/checkpoint/resume markers become instant ("i")
+    events.  Timestamps are microseconds, as the format requires.
+    """
+    phases: Dict[str, int] = {}
+    out: List[dict] = []
+
+    def thread_for(phase: str) -> int:
+        if phase not in phases:
+            phases[phase] = len(phases) + 1
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": phases[phase],
+                    "args": {"name": phase},
+                }
+            )
+        return phases[phase]
+
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            out.append(
+                {
+                    "name": event["phase"],
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": round(event["start"] * 1e6, 3),
+                    "dur": round(event["dur"] * 1e6, 3),
+                    "pid": 1,
+                    "tid": thread_for(event["phase"]),
+                }
+            )
+        elif kind in ("input_emitted", "checkpoint_written", "resumed", "preempted"):
+            out.append(
+                {
+                    "name": kind,
+                    "cat": "campaign",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": round(event.get("ts", 0.0) * 1e6, 3),
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {
+                        key: value
+                        for key, value in event.items()
+                        if key not in ("v", "type", "ts")
+                    },
+                }
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def lineage_dot(
+    log: LineageLog, node_ids: Optional[Iterable[int]] = None
+) -> str:
+    """Render (a subtree of) the lineage tree as Graphviz DOT.
+
+    Args:
+        log: the lineage tree.
+        node_ids: restrict to these nodes and their ancestors; None
+            renders the whole tree.
+    """
+    if node_ids is None:
+        selected = set(log.nodes)
+    else:
+        selected = set()
+        for node_id in node_ids:
+            selected.update(node.node_id for node in log.chain(node_id))
+    lines = ["digraph lineage {", "  rankdir=TB;", "  node [shape=box];"]
+    for node_id in sorted(selected):
+        node = log.nodes[node_id]
+        label = f"#{node.node_id} {node.op}"
+        if node.op == "substitute":
+            label += f" @{node.at_index} {node.cmp_kind} {node.replacement!r}"
+        elif node.replacement:
+            label += f" {node.replacement!r}"
+        label += f"\\n{node.text!r}"
+        lines.append(f'  n{node.node_id} [label="{_dot_escape(label)}"];')
+    for node_id in sorted(selected):
+        node = log.nodes[node_id]
+        if node.parent_id is not None and node.parent_id in selected:
+            lines.append(f"  n{node.parent_id} -> n{node.node_id};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def lineage_json(
+    log: LineageLog, node_ids: Optional[Iterable[int]] = None
+) -> str:
+    """Dump (chains of) the lineage tree as a JSON document.
+
+    With ``node_ids``, the dump is a list of root-first chains (one per
+    requested node); without, it is every node in id order.
+    """
+    if node_ids is None:
+        payload = {
+            "nodes": [log.nodes[key]._asdict() for key in sorted(log.nodes)]
+        }
+    else:
+        payload = {
+            "chains": [
+                [node._asdict() for node in log.chain(node_id)]
+                for node_id in node_ids
+            ]
+        }
+    return json.dumps(payload, ensure_ascii=True, indent=2) + "\n"

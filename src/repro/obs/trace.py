@@ -1,0 +1,272 @@
+"""Structured trace bus: typed NDJSON events with per-phase span timing.
+
+One campaign's trace is an append-only NDJSON file, one event per line.
+Events are plain JSON objects with two envelope fields — ``"v"`` (the
+trace schema version) and ``"type"`` — plus per-type payload fields
+described by :data:`TRACE_SCHEMA`.  Appends follow the same torn-tail
+discipline as the corpus store and jobs journal: a SIGKILL mid-write
+corrupts at most the trailing line, which :func:`read_trace` skips.
+
+Event types:
+
+``campaign_start``
+    A campaign (or a resumed leg of one) entered its main loop.
+``candidate_scheduled``
+    A lineage node was created: a candidate entered the system via
+    ``op`` ``"seed"`` (random restart / initial input / empty start),
+    ``"append"`` (the random-character extension) or ``"substitute"``.
+``substitution_applied``
+    Companion detail for ``op == "substitute"`` nodes: the comparison
+    (STRCMP, character relation, class membership) that caused the
+    splice, with its operands and splice position.
+``candidate_rejected``
+    A derived candidate was discarded without executing (duplicate of an
+    already-seen input, or over the length cap).
+``candidate_executed``
+    One subject execution finished, with its exit status.
+``input_emitted``
+    A valid input with new coverage was emitted (Algorithm 1 Line 38).
+``span``
+    One timed occurrence of a campaign phase ("execute" / "rescore" /
+    "substitute" / "checkpoint"): wall-clock start offset and duration.
+``checkpoint_written``, ``resumed``, ``preempted``, ``campaign_end``
+    Durability and lifecycle markers.
+
+The recorder API is deliberately tiny: :class:`TraceRecorder` is the
+null implementation (``enabled`` False, ``emit`` a no-op), so the fuzzer
+hot path guards every event construction behind one attribute check and
+disabled tracing costs a single branch per would-be event.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Bumped on any envelope/payload field rename or retyping; additions
+#: keep the version.
+TRACE_SCHEMA_VERSION = 1
+
+#: Required payload fields per event type (the envelope fields ``v`` and
+#: ``type`` are required for every event; ``ts`` — seconds since the
+#: recorder was opened — is added by the recorders themselves).
+TRACE_SCHEMA: Dict[str, tuple] = {
+    "campaign_start": ("subject", "seed", "budget", "executions"),
+    "candidate_scheduled": ("lineage", "parent", "op", "text"),
+    "substitution_applied": (
+        "lineage",
+        "parent",
+        "at_index",
+        "replacement",
+        "cmp_kind",
+        "cmp_expected",
+    ),
+    "candidate_rejected": ("reason", "text"),
+    "candidate_executed": ("lineage", "executions", "status"),
+    "input_emitted": ("lineage", "executions", "text", "signature"),
+    "span": ("phase", "start", "dur"),
+    "checkpoint_written": ("executions",),
+    "resumed": ("executions", "resumes"),
+    "preempted": ("executions",),
+    "campaign_end": ("executions", "valid_inputs", "wall_time"),
+}
+
+#: ``op`` values legal on ``candidate_scheduled`` events.
+LINEAGE_OPS = ("seed", "append", "substitute")
+
+
+def validate_event(event: object) -> dict:
+    """Check one decoded trace event against :data:`TRACE_SCHEMA`.
+
+    Returns the event unchanged when valid.
+
+    Raises:
+        ValueError: not an object, wrong/missing schema version, unknown
+            type, missing payload fields, or an illegal lineage ``op``.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"trace event is not an object: {event!r}")
+    version = event.get("v")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {version!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    kind = event.get("type")
+    if kind not in TRACE_SCHEMA:
+        raise ValueError(f"unknown trace event type {kind!r}")
+    missing = [name for name in TRACE_SCHEMA[kind] if name not in event]
+    if missing:
+        raise ValueError(
+            f"{kind} event missing fields: {', '.join(missing)}"
+        )
+    if kind == "candidate_scheduled" and event["op"] not in LINEAGE_OPS:
+        raise ValueError(f"illegal lineage op {event['op']!r}")
+    return event
+
+
+class TraceRecorder:
+    """Null recorder: the disabled-tracing fast path.
+
+    ``enabled`` is the contract: callers guard event *construction* (not
+    just emission) behind it, so a disabled campaign pays one attribute
+    check per would-be event and nothing else.
+    """
+
+    enabled = False
+
+    def emit(self, type: str, **fields) -> None:  # noqa: A002 - schema name
+        """Record one event (no-op here)."""
+
+    def close(self) -> None:
+        """Release any resources (no-op here)."""
+
+
+#: Shared no-op recorder; stateless, safe to reuse across campaigns.
+NULL_RECORDER = TraceRecorder()
+
+
+class _CountingRecorder(TraceRecorder):
+    """Shared bookkeeping for real recorders: per-type event counts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self._origin = time.monotonic()
+
+    def _envelope(self, type: str, fields: dict) -> dict:  # noqa: A002
+        self.counts[type] = self.counts.get(type, 0) + 1
+        event = {
+            "v": TRACE_SCHEMA_VERSION,
+            "type": type,
+            "ts": round(time.monotonic() - self._origin, 6),
+        }
+        event.update(fields)
+        return event
+
+
+class InMemoryTraceRecorder(_CountingRecorder):
+    """Buffer events as dicts; for tests and in-process consumers."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[dict] = []
+
+    def emit(self, type: str, **fields) -> None:  # noqa: A002
+        self.events.append(self._envelope(type, fields))
+
+
+class JsonlTraceRecorder(_CountingRecorder):
+    """Append NDJSON events to a file.
+
+    The file is opened in append mode so a resumed campaign continues its
+    predecessor's trace; writes are line-buffered JSON (flushed every
+    ``flush_every`` events and on :meth:`close`), and a kill mid-write
+    tears at most the trailing line.
+    """
+
+    def __init__(self, path: PathLike, flush_every: int = 64) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._flush_every = max(1, flush_every)
+        self._unflushed = 0
+
+    def emit(self, type: str, **fields) -> None:  # noqa: A002
+        line = json.dumps(
+            self._envelope(type, fields),
+            ensure_ascii=True,
+            separators=(",", ":"),
+        )
+        self._handle.write(line + "\n")
+        self._unflushed += 1
+        if self._unflushed >= self._flush_every:
+            self._handle.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def read_trace(path: PathLike, *, strict: bool = False) -> List[dict]:
+    """Read and validate every event from an NDJSON trace file.
+
+    By default the torn tail of an interrupted append — a malformed
+    *final* line — is skipped, matching the corpus store and jobs
+    journal.  A malformed line anywhere else is always an error (it means
+    corruption, not a crash mid-append).
+
+    Args:
+        path: the NDJSON trace file.
+        strict: raise on a torn tail instead of skipping it.
+
+    Raises:
+        ValueError: malformed JSON (other than a tolerated torn tail), or
+            any event failing :func:`validate_event`.
+    """
+    lines = [
+        line
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    events: List[dict] = []
+    for position, line in enumerate(lines):
+        try:
+            events.append(validate_event(json.loads(line)))
+        except (json.JSONDecodeError, ValueError) as exc:
+            if not strict and position == len(lines) - 1:
+                break
+            raise ValueError(
+                f"{path}: line {position + 1}: {exc}"
+            ) from None
+    return events
+
+
+class PhaseTimer:
+    """Accumulate per-phase wall time, emitting one span event per stop.
+
+    Subsumes the fuzzer's previous ad-hoc ``phase_times`` dict: the
+    cumulative totals are still available as :attr:`totals` (and keep
+    feeding ``FuzzingResult.phase_times`` / campaign metrics), but every
+    timed occurrence additionally becomes a ``span`` trace event, which
+    is what the Chrome-trace exporter renders.
+
+    The hot path is two ``time.perf_counter()`` calls plus one dict add;
+    span construction is guarded by the recorder's ``enabled`` flag.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder = NULL_RECORDER,
+        totals: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.recorder = recorder
+        self.totals: Dict[str, float] = dict(totals or {})
+        self._origin = time.perf_counter()
+
+    @staticmethod
+    def start() -> float:
+        """Mark the start of a timed section."""
+        return time.perf_counter()
+
+    def stop(self, phase: str, started: float) -> float:
+        """Close a timed section; returns its duration in seconds."""
+        now = time.perf_counter()
+        duration = now - started
+        self.totals[phase] = self.totals.get(phase, 0.0) + duration
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "span",
+                phase=phase,
+                start=round(started - self._origin, 6),
+                dur=round(duration, 6),
+            )
+        return duration

@@ -96,6 +96,17 @@ class ServiceClient:
                 if line:
                     yield CampaignMetrics.from_json_line(line)
 
+    def trace_events(self) -> Iterator[dict]:
+        """The buffered /events?trace=1 backlog: raw campaign trace events
+        (see :mod:`repro.obs.trace`) from traced jobs, tagged with their
+        ``job_id``."""
+        request = urllib.request.Request(self.base_url + "/events?trace=1")
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+
     # -- conveniences ----------------------------------------------------- #
 
     def wait(

@@ -104,6 +104,9 @@ class JobSpec:
         coverage_backend: ``"settrace"`` or ``"ast"``.
         checkpoint_every: snapshot cadence in executions (pFuzzer default
             when None); slice boundaries always snapshot regardless.
+        trace: record a structured NDJSON campaign trace (pFuzzer only) to
+            ``trace.ndjson`` in the job's state directory; slices append to
+            it, so the file spans the whole campaign across preemptions.
     """
 
     subject: str
@@ -113,6 +116,7 @@ class JobSpec:
     priority: int = 1
     coverage_backend: str = "settrace"
     checkpoint_every: Optional[int] = None
+    trace: bool = False
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
@@ -141,6 +145,8 @@ class JobSpec:
                 "checkpoint_every must be a positive integer, "
                 f"got {self.checkpoint_every!r}"
             )
+        if not isinstance(self.trace, bool):
+            problems.append(f"trace must be a boolean, got {self.trace!r}")
         if problems:
             raise JobError("; ".join(problems))
 

@@ -81,6 +81,9 @@ class SliceResult:
     fingerprint: Optional[str]
     peak_rss_bytes: int
     slice_wall: float
+    #: Per-type count of trace events this slice emitted (empty when the
+    #: job is untraced) — what the service's Prometheus counters sum.
+    trace_events: Optional[Dict[str, int]] = None
 
 
 def _job_checkpoint_dir(state_dir: Path, job_id: str) -> str:
@@ -96,6 +99,7 @@ def _run_slice(task: dict) -> SliceResult:
     whole budget in this single slice.
     """
     started = time.monotonic()
+    trace_events: Optional[Dict[str, int]] = None
     if task["tool"] == "pfuzzer":
         from repro.core.config import FuzzerConfig
         from repro.core.fuzzer import PFuzzer
@@ -115,12 +119,28 @@ def _run_slice(task: dict) -> SliceResult:
             resume=True,
             **durability,
         )
+        tracer = None
+        if task.get("trace"):
+            from repro.obs.trace import JsonlTraceRecorder
+
+            # Append mode: every slice of the job continues one trace file
+            # next to its checkpoints, spanning the whole campaign.
+            tracer = JsonlTraceRecorder(
+                os.path.join(task["checkpoint_dir"], "trace.ndjson")
+            )
         slice_cap = task["slice_executions"]
-        result = PFuzzer(
-            subject,
-            config,
-            should_preempt=lambda run_execs, _total: run_execs >= slice_cap,
-        ).run()
+        try:
+            result = PFuzzer(
+                subject,
+                config,
+                should_preempt=lambda run_execs, _total: run_execs >= slice_cap,
+                tracer=tracer,
+            ).run()
+        finally:
+            if tracer is not None:
+                tracer.close()
+        if tracer is not None:
+            trace_events = dict(tracer.counts)
         done = not result.preempted
         # The canonical fingerprint is a full JSON document; journal the
         # digest — equality is all the determinism contract needs.
@@ -156,6 +176,7 @@ def _run_slice(task: dict) -> SliceResult:
         fingerprint=fingerprint,
         peak_rss_bytes=peak_rss_bytes(),
         slice_wall=time.monotonic() - started,
+        trace_events=trace_events,
     )
 
 
@@ -204,8 +225,12 @@ def _slice_worker(worker_id: int, inbox, results) -> None:
 
 
 #: Callback fired after every completed slice:
-#: ``on_slice(record, metrics, delta_executions, slice_wall_seconds)``.
-SliceCallback = Callable[[JobRecord, CampaignMetrics, int, float], None]
+#: ``on_slice(record, metrics, delta_executions, slice_wall_seconds,
+#: trace_events)`` — the last argument is the slice's per-type trace
+#: event counts, or None for untraced jobs.
+SliceCallback = Callable[
+    [JobRecord, CampaignMetrics, int, float, Optional[Dict[str, int]]], None
+]
 
 
 class CampaignScheduler:
@@ -307,7 +332,9 @@ class CampaignScheduler:
                 attempts=record.slices,
                 peak_rss_bytes=outcome.peak_rss_bytes,
             )
-            self.on_slice(record, metrics, delta, outcome.slice_wall)
+            self.on_slice(
+                record, metrics, delta, outcome.slice_wall, outcome.trace_events
+            )
 
     def _handle_failure(self, job_id: str, error: str) -> None:
         """Crash/timeout path: bounded retry with backoff, else FAILED.
@@ -423,6 +450,7 @@ class CampaignScheduler:
                     ),
                     "slice_executions": self.config.slice_executions,
                     "slice_timeout": self.config.slice_timeout,
+                    "trace": spec.trace,
                 },
             )
 

@@ -13,7 +13,9 @@ Endpoints::
     GET    /jobs/<id>   one job record
     DELETE /jobs/<id>   cancel (terminal; the job's snapshot is preserved)
     GET    /events      NDJSON stream of per-slice CampaignMetrics
-                        records (add ?follow=1 to keep streaming)
+                        records (add ?follow=1 to keep streaming; add
+                        ?trace=1 for raw campaign trace events from
+                        traced jobs instead)
     GET    /healthz     liveness + job counts
     GET    /metrics     Prometheus text format
 
@@ -52,6 +54,9 @@ _JOB_PATH_RE = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
 #: Per-slice metrics records kept for /events; old entries fall off.
 _EVENT_BUFFER = 4096
 
+#: Campaign trace events kept for /events?trace=1; old entries fall off.
+_TRACE_BUFFER = 8192
+
 
 class CampaignService:
     """The resident service: store + scheduler + event stream.
@@ -84,8 +89,47 @@ class CampaignService:
         self._slice_wall_total = 0.0
         self._slice_executions_total = 0
         self._worker_peak_rss_kb = 0
+        #: Cumulative trace-event counts by type, across every traced job.
+        self._trace_counts: Dict[str, int] = {}
+        #: Byte offset already ingested from each traced job's trace file.
+        self._trace_offsets: Dict[str, int] = {}
+        self._trace_events: deque = deque(maxlen=_TRACE_BUFFER)
+        self._trace_seen = 0
 
     # -- event stream ---------------------------------------------------- #
+
+    def _ingest_trace(self, job_id: str) -> List[dict]:
+        """New complete trace lines from the job's file since last slice.
+
+        Workers append NDJSON to ``jobs/<id>/trace.ndjson``; the service
+        tails it at slice boundaries, remembering the byte offset per job.
+        A torn final line (the worker was killed mid-append) stays behind
+        the offset and is retried — or skipped — on the next slice.
+        """
+        path = self.state_dir / "jobs" / job_id / "trace.ndjson"
+        offset = self._trace_offsets.get(job_id, 0)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return []
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        self._trace_offsets[job_id] = offset + end + 1
+        events: List[dict] = []
+        for line in data[:end].split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(event, dict):
+                event["job_id"] = job_id
+                events.append(event)
+        return events
 
     def _record_slice(
         self,
@@ -93,7 +137,9 @@ class CampaignService:
         metrics: CampaignMetrics,
         delta_executions: int,
         slice_wall: float,
+        trace_events: Optional[Dict[str, int]] = None,
     ) -> None:
+        fresh_trace = self._ingest_trace(record.job_id) if trace_events else []
         with self._events_cond:
             self._events.append(metrics)
             self._events_seen += 1
@@ -102,6 +148,14 @@ class CampaignService:
             self._worker_peak_rss_kb = max(
                 self._worker_peak_rss_kb, metrics.peak_rss_kb
             )
+            if trace_events:
+                for kind, count in trace_events.items():
+                    self._trace_counts[kind] = (
+                        self._trace_counts.get(kind, 0) + count
+                    )
+            for event in fresh_trace:
+                self._trace_events.append(event)
+            self._trace_seen += len(fresh_trace)
             self._events_cond.notify_all()
 
     def events_snapshot(self) -> Tuple[int, List[CampaignMetrics]]:
@@ -109,10 +163,21 @@ class CampaignService:
         with self._events_cond:
             return self._events_seen, list(self._events)
 
+    def trace_snapshot(self) -> Tuple[int, List[dict]]:
+        """(total trace events ever seen, buffered events oldest-first)."""
+        with self._events_cond:
+            return self._trace_seen, list(self._trace_events)
+
     def wait_for_events(self, seen: int, timeout: float) -> None:
         """Block until the event counter passes ``seen`` (or timeout)."""
         with self._events_cond:
             if self._events_seen <= seen:
+                self._events_cond.wait(timeout)
+
+    def wait_for_trace(self, seen: int, timeout: float) -> None:
+        """Block until the trace counter passes ``seen`` (or timeout)."""
+        with self._events_cond:
+            if self._trace_seen <= seen:
                 self._events_cond.wait(timeout)
 
     # -- control-plane operations ---------------------------------------- #
@@ -156,6 +221,7 @@ class CampaignService:
             wall = self._slice_wall_total
             sliced_execs = self._slice_executions_total
             worker_rss = self._worker_peak_rss_kb
+            trace_counts = dict(self._trace_counts)
         execs_per_second = sliced_execs / wall if wall > 0 else 0.0
         # Sum the newest cumulative phase_times per job (not per slice —
         # slices report campaign-cumulative timings).
@@ -205,6 +271,15 @@ class CampaignService:
             lines.append(
                 f'repro_service_phase_seconds{{phase="{phase}"}} '
                 f"{phase_totals[phase]:.6f}"
+            )
+        lines += [
+            "# HELP repro_service_trace_events_total Campaign trace events by type, across traced jobs.",
+            "# TYPE repro_service_trace_events_total counter",
+        ]
+        for kind in sorted(trace_counts):
+            lines.append(
+                f'repro_service_trace_events_total{{type="{kind}"}} '
+                f"{trace_counts[kind]}"
             )
         lines += [
             "# HELP repro_service_peak_rss_kb High-water RSS of the server process (kB).",
@@ -317,7 +392,10 @@ class _Handler(BaseHTTPRequestHandler):
             except JobError as exc:
                 self._send_error_json(str(exc), 404)
         elif route == "/events":
-            self._stream_events(follow=self._query_flag("follow"))
+            self._stream_events(
+                follow=self._query_flag("follow"),
+                trace=self._query_flag("trace"),
+            )
         else:
             self._send_error_json(f"no such endpoint: {route}", 404)
 
@@ -349,14 +427,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- /events ----------------------------------------------------------- #
 
-    def _stream_events(self, follow: bool) -> None:
+    def _stream_events(self, follow: bool, trace: bool = False) -> None:
         """NDJSON: the buffered backlog, then (with follow) live records.
 
-        Records are :meth:`CampaignMetrics.to_json_line` lines, so any
-        consumer of campaign metrics JSONL files can read the stream
-        unchanged.  Chunked transfer keeps HTTP/1.1 keep-alive correct
-        for the open-ended follow mode.
+        Default records are :meth:`CampaignMetrics.to_json_line` lines, so
+        any consumer of campaign metrics JSONL files can read the stream
+        unchanged; with ``trace`` they are raw campaign trace events (see
+        :mod:`repro.obs.trace`) tagged with their ``job_id``.  Chunked
+        transfer keeps HTTP/1.1 keep-alive correct for the open-ended
+        follow mode.
         """
+        if trace:
+            snapshot = self.service.trace_snapshot
+            wait = self.service.wait_for_trace
+            encode = lambda event: json.dumps(  # noqa: E731
+                event, ensure_ascii=True, separators=(",", ":")
+            )
+        else:
+            snapshot = self.service.events_snapshot
+            wait = self.service.wait_for_events
+            encode = lambda metrics: metrics.to_json_line()  # noqa: E731
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
@@ -369,16 +459,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.flush()
 
         try:
-            seen, backlog = self.service.events_snapshot()
-            for metrics in backlog:
-                write_chunk(metrics.to_json_line() + "\n")
+            seen, backlog = snapshot()
+            for record in backlog:
+                write_chunk(encode(record) + "\n")
             while follow:
-                self.service.wait_for_events(seen, timeout=0.25)
-                total, buffered = self.service.events_snapshot()
+                wait(seen, timeout=0.25)
+                total, buffered = snapshot()
                 fresh = total - seen
                 if fresh > 0:
-                    for metrics in buffered[-fresh:]:
-                        write_chunk(metrics.to_json_line() + "\n")
+                    for record in buffered[-fresh:]:
+                        write_chunk(encode(record) + "\n")
                     seen = total
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):

@@ -180,11 +180,29 @@ class TaintedStr:
             end -= 1
         return self[:end]
 
+    def _map_case(self, convert) -> "TaintedStr":
+        """Case-map per character, realigning taints when lengths change.
+
+        Unicode case mapping is not length-preserving (``"ß".upper()`` is
+        ``"SS"``, ``"İ".lower()`` is ``"i̇"``): converting the whole text and
+        reusing the old taint tuple would desynchronise — or crash the
+        constructor's length check.  Mapping one character at a time keeps
+        the alignment exact: every character an expansion produces
+        originated from the same input index, so the taint repeats.
+        """
+        pieces = []
+        taints = []
+        for char, taint in zip(self.text, self.taints):
+            converted = convert(char)
+            pieces.append(converted)
+            taints.extend((taint,) * len(converted))
+        return TaintedStr("".join(pieces), taints)
+
     def lower(self) -> "TaintedStr":
-        return TaintedStr(self.text.lower(), self.taints)
+        return self._map_case(str.lower)
 
     def upper(self) -> "TaintedStr":
-        return TaintedStr(self.text.upper(), self.taints)
+        return self._map_case(str.upper)
 
     def find_char(self, chars: str) -> int:
         """Index (in the buffer) of the first character from ``chars``.

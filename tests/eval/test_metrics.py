@@ -56,6 +56,35 @@ def test_read_skips_blank_lines(tmp_path, expr_metrics):
     assert len(read_jsonl(path)) == 2
 
 
+def test_read_tolerates_torn_final_line(tmp_path, expr_metrics):
+    """A SIGKILL mid-append tears at most the trailing line; reading the
+    journal must return every complete record instead of raising."""
+    metrics, _ = expr_metrics
+    path = tmp_path / "metrics.jsonl"
+    path.write_text(
+        metrics.to_json_line() + "\n" + metrics.to_json_line()[: 20]
+    )
+    assert read_jsonl(path) == [metrics]
+
+
+def test_read_strict_rejects_torn_final_line(tmp_path, expr_metrics):
+    metrics, _ = expr_metrics
+    path = tmp_path / "metrics.jsonl"
+    path.write_text(metrics.to_json_line() + "\n" + '{"torn')
+    with pytest.raises(ValueError):
+        read_jsonl(path, strict=True)
+
+
+def test_read_interior_corruption_still_raises(tmp_path, expr_metrics):
+    """Only the *final* line gets the torn-tail tolerance; corruption in
+    the middle of the journal is an error in either mode."""
+    metrics, _ = expr_metrics
+    path = tmp_path / "metrics.jsonl"
+    path.write_text('{"garbage\n' + metrics.to_json_line() + "\n")
+    with pytest.raises(ValueError):
+        read_jsonl(path)
+
+
 # --------------------------------------------------------------------- #
 # Schema stability
 # --------------------------------------------------------------------- #
@@ -178,6 +207,17 @@ def test_failure_record_has_zero_counters():
     assert record.executions_per_second == 0.0
     assert record.queue_depth is None
     assert record.attempts == 3
+    assert record.resumes == 0
+
+
+def test_failure_record_keeps_resumes():
+    """Regression: for_failure used to drop the resume count, so a cell
+    that resumed twice and then timed out reported resumes=0."""
+    record = CampaignMetrics.for_failure(
+        "pfuzzer", "json", 1, 2000, status="timeout", attempts=3, resumes=2
+    )
+    assert record.resumes == 2
+    assert CampaignMetrics.from_json_line(record.to_json_line()).resumes == 2
 
 
 def test_peak_rss_recorded_by_parallel_runs():

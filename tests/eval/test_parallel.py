@@ -204,6 +204,52 @@ def test_metrics_jsonl_written_in_spec_order(tmp_path):
     assert all(record.status == "ok" for record in records)
 
 
+def test_trace_dir_writes_per_cell_traces(tmp_path):
+    """Each traced pFuzzer cell leaves a valid NDJSON artifact whose
+    lineage replays every emitted input."""
+    from repro.obs.lineage import LineageLog
+    from repro.obs.trace import read_trace
+
+    trace_dir = tmp_path / "traces"
+    specs = [RunSpec("pfuzzer", "expr", 120, seed) for seed in (0, 1)]
+    records = run_grid(specs, jobs=2, trace_dir=trace_dir)
+    for record in records:
+        assert record.status is RunStatus.OK
+        path = trace_dir / f"pfuzzer-expr-s{record.spec.seed}.ndjson"
+        events = read_trace(path, strict=True)
+        emitted = [e for e in events if e["type"] == "input_emitted"]
+        assert [e["text"] for e in emitted] == record.output.valid_inputs
+        lineage = LineageLog.from_trace_events(events)
+        for event in emitted:
+            assert lineage.replay(event["lineage"]) == event["text"]
+
+
+def test_failure_records_carry_resume_counts(tmp_path):
+    """Regression: a durable cell that resumed before giving up used to
+    report resumes=0 in its failure metrics."""
+    spec = RunSpec("pfuzzer", "expr", 300, seed=2)
+    fail_on = {spec.fault_key(): "hang"}
+
+    (plain,) = run_grid(
+        [spec], jobs=1, timeout=0.3, retries=0, _test_fail_on=fail_on
+    )
+    assert plain.status is RunStatus.TIMEOUT
+    assert plain.metrics.resumes == 0
+
+    (durable,) = run_grid(
+        [spec],
+        jobs=1,
+        timeout=0.3,
+        retries=0,
+        resume_retries=2,
+        checkpoint_dir=tmp_path / "grid",
+        _test_fail_on=fail_on,
+    )
+    assert durable.status is RunStatus.TIMEOUT
+    assert durable.attempts == 3
+    assert durable.metrics.resumes == 2
+
+
 # --------------------------------------------------------------------- #
 # Property: equivalence holds under arbitrary small grids with faults
 # --------------------------------------------------------------------- #

@@ -1,0 +1,65 @@
+"""Exporters: Chrome trace JSON, lineage DOT/JSON dumps."""
+
+import json
+
+from repro.obs.export import chrome_trace, lineage_dot, lineage_json
+from repro.obs.lineage import LineageLog
+
+
+def _log():
+    log = LineageLog()
+    root = log.new_node(None, "seed", "", replacement="")
+    ext = log.new_node(root, "append", "a", replacement="a")
+    sub = log.new_node(
+        ext, "substitute", "ab", replacement="b", at_index=1, cmp_kind="==",
+    )
+    other = log.new_node(root, "append", "z", replacement="z")
+    return log, sub, other
+
+
+def test_chrome_trace_spans_and_markers():
+    events = [
+        {"v": 1, "type": "span", "ts": 0.1, "phase": "execute",
+         "start": 0.0, "dur": 0.1},
+        {"v": 1, "type": "span", "ts": 0.3, "phase": "rescore",
+         "start": 0.2, "dur": 0.1},
+        {"v": 1, "type": "input_emitted", "ts": 0.4, "lineage": 2,
+         "executions": 7, "text": "ab", "signature": 1},
+        {"v": 1, "type": "campaign_start", "ts": 0.0, "subject": "x",
+         "seed": 0, "budget": 1, "executions": 0},  # no chrome mapping
+    ]
+    document = chrome_trace(events)
+    assert document["displayTimeUnit"] == "ms"
+    kinds = [(e["ph"], e["name"]) for e in document["traceEvents"]]
+    # one metadata row per phase thread, slices in order, one instant
+    assert ("M", "thread_name") in kinds
+    assert ("X", "execute") in kinds and ("X", "rescore") in kinds
+    assert ("i", "input_emitted") in kinds
+    slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert slices[0]["ts"] == 0.0 and slices[0]["dur"] == 100000.0
+    # distinct phases land on distinct threads
+    assert slices[0]["tid"] != slices[1]["tid"]
+    instant = next(e for e in document["traceEvents"] if e["ph"] == "i")
+    assert instant["args"]["text"] == "ab"
+    json.dumps(document)  # must be serialisable as-is
+
+
+def test_lineage_dot_whole_tree_and_subtree():
+    log, sub, other = _log()
+    whole = lineage_dot(log)
+    assert whole.startswith("digraph lineage {")
+    assert f"n{other}" in whole
+    scoped = lineage_dot(log, [sub])
+    # the subtree keeps sub's ancestors, drops the sibling branch
+    assert f"n{sub}" in scoped and f"n{other}" not in scoped
+    assert "n0 -> n1;" in scoped and "n1 -> n2;" in scoped
+
+
+def test_lineage_json_modes():
+    log, sub, _ = _log()
+    everything = json.loads(lineage_json(log))
+    assert [node["node_id"] for node in everything["nodes"]] == [0, 1, 2, 3]
+    chains = json.loads(lineage_json(log, [sub]))
+    (chain,) = chains["chains"]
+    assert [node["node_id"] for node in chain] == [0, 1, sub]
+    assert chain[-1]["text"] == "ab"

@@ -1,0 +1,148 @@
+"""Campaign tracing end to end: lineage replay, NDJSON artifacts, resume."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.obs.lineage import LineageLog
+from repro.obs.trace import InMemoryTraceRecorder, read_trace
+from repro.subjects.expr import ExprSubject
+from repro.subjects.registry import load_subject
+
+
+def _run(subject, tracer=None, **kwargs):
+    defaults = dict(seed=1, max_executions=300)
+    defaults.update(kwargs)
+    return PFuzzer(subject, FuzzerConfig(**defaults), tracer=tracer).run()
+
+
+def _assert_chains_replay(result):
+    """Every emitted input's lineage chain re-derives its exact bytes."""
+    assert len(result.valid_lineage) == len(result.valid_inputs)
+    for node_id, text in zip(result.valid_lineage, result.valid_inputs):
+        assert result.lineage.replay(node_id) == text
+        assert result.lineage.get(node_id).text == text
+
+
+def test_lineage_recorded_without_tracer(expr_subject):
+    """The tree is always built; tracing only adds the NDJSON artifact."""
+    result = _run(expr_subject)
+    assert result.valid_inputs
+    assert len(result.lineage) > 0
+    _assert_chains_replay(result)
+
+
+def test_tracing_does_not_change_campaign_results(expr_subject):
+    plain = _run(expr_subject, seed=7)
+    traced = _run(expr_subject, tracer=InMemoryTraceRecorder(), seed=7)
+    assert traced.valid_inputs == plain.valid_inputs
+    assert traced.executions == plain.executions
+    assert traced.valid_lineage == plain.valid_lineage
+
+
+def test_trace_events_cover_campaign_lifecycle(expr_subject):
+    recorder = InMemoryTraceRecorder()
+    result = _run(expr_subject, tracer=recorder)
+    counts = recorder.counts
+    assert counts["campaign_start"] == 1
+    assert counts["campaign_end"] == 1
+    assert counts["candidate_executed"] == result.executions
+    assert counts["input_emitted"] == len(result.valid_inputs)
+    assert counts["span"] > 0
+    assert counts["candidate_scheduled"] == len(result.lineage)
+
+
+def test_trace_file_validates_and_rebuilds_lineage(tmp_path, expr_subject):
+    """The NDJSON file alone reconstructs every emitted input's chain."""
+    path = tmp_path / "trace.ndjson"
+    result = _run(expr_subject, trace_path=str(path))
+    events = read_trace(path, strict=True)
+    assert events, "trace file is empty"
+    rebuilt = LineageLog.from_trace_events(events)
+    emitted = [e for e in events if e["type"] == "input_emitted"]
+    assert [e["text"] for e in emitted] == result.valid_inputs
+    for event in emitted:
+        assert rebuilt.replay(event["lineage"]) == event["text"]
+
+
+def test_phase_times_survive_as_span_totals(expr_subject):
+    result = _run(expr_subject)
+    assert "execute" in result.phase_times
+    assert result.phase_times["execute"] > 0
+
+
+def test_lineage_survives_snapshot_restore(tmp_path):
+    """A resumed campaign keeps ids, chains, and replayability."""
+
+    def config(**kwargs):
+        base = dict(
+            seed=3,
+            max_executions=400,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=100,
+        )
+        base.update(kwargs)
+        return FuzzerConfig(**base)
+
+    reference = PFuzzer(ExprSubject(), config()).run()
+
+    # Interrupted leg: stop after 150 executions, then resume to the end.
+    ckpt2 = str(tmp_path / "ckpt2")
+    partial = PFuzzer(
+        ExprSubject(), config(max_executions=150, checkpoint_dir=ckpt2)
+    ).run()
+    assert partial.executions == 150
+    resumed = PFuzzer(
+        ExprSubject(), config(checkpoint_dir=ckpt2, resume=True)
+    ).run()
+    assert resumed.valid_inputs == reference.valid_inputs
+    assert resumed.valid_lineage == reference.valid_lineage
+    _assert_chains_replay(resumed)
+
+
+def test_resumed_trace_file_appends(tmp_path):
+    """trace_path appends across legs: one artifact for the campaign."""
+    path = tmp_path / "trace.ndjson"
+    kwargs = dict(
+        seed=3,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every=100,
+        trace_path=str(path),
+    )
+    PFuzzer(ExprSubject(), FuzzerConfig(max_executions=150, **kwargs)).run()
+    result = PFuzzer(
+        ExprSubject(),
+        FuzzerConfig(max_executions=400, resume=True, **kwargs),
+    ).run()
+    events = read_trace(path)
+    starts = [e for e in events if e["type"] == "campaign_start"]
+    assert len(starts) == 2  # one per leg
+    assert any(e["type"] == "resumed" for e in events)
+    rebuilt = LineageLog.from_trace_events(events)
+    emitted = [e for e in events if e["type"] == "input_emitted"]
+    assert sorted({e["text"] for e in emitted}) == sorted(result.valid_inputs)
+    for event in emitted:
+        assert rebuilt.replay(event["lineage"]) == event["text"]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_every_valid_input_chain_replays(seed):
+    """Property: each emitted input's derivation chain folds back to its
+    exact bytes, for arbitrary seeds."""
+    subject = ExprSubject()
+    result = PFuzzer(
+        subject, FuzzerConfig(seed=seed, max_executions=120)
+    ).run()
+    _assert_chains_replay(result)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=3, deadline=None)
+def test_every_valid_input_chain_replays_ini(seed):
+    subject = load_subject("ini")
+    result = PFuzzer(
+        subject, FuzzerConfig(seed=seed, max_executions=80)
+    ).run()
+    _assert_chains_replay(result)

@@ -1,0 +1,107 @@
+"""Lineage log: derivation chains, replay, snapshots, trace rebuild."""
+
+import pytest
+
+from repro.obs.lineage import LineageError, LineageLog, LineageNode
+
+
+def _while_chain(log):
+    """The paper's Figure 1 walkthrough: '' -> ... -> 'while'."""
+    root = log.new_node(None, "seed", "", replacement="")
+    ext = log.new_node(root, "append", "A", replacement="A")
+    sub = log.new_node(
+        ext, "substitute", "while", replacement="while",
+        at_index=0, cmp_kind="strcmp",
+    )
+    return root, ext, sub
+
+
+def test_chain_and_replay():
+    log = LineageLog()
+    root, ext, sub = _while_chain(log)
+    chain = log.chain(sub)
+    assert [node.node_id for node in chain] == [root, ext, sub]
+    assert chain[0].op == "seed"
+    assert log.replay(sub) == "while"
+    assert log.replay(ext) == "A"
+    assert log.replay(root) == ""
+
+
+def test_derive_ops():
+    assert LineageNode(0, None, "seed", "ab", replacement="ab").derive("") == "ab"
+    assert LineageNode(1, 0, "append", "abc", replacement="c").derive("ab") == "abc"
+    node = LineageNode(2, 1, "substitute", "aX", replacement="X", at_index=1)
+    assert node.derive("abc") == "aX"
+    with pytest.raises(LineageError):
+        LineageNode(3, 2, "mutate", "x").derive("x")
+
+
+def test_ids_are_monotonic_from_zero():
+    log = LineageLog()
+    assert [log.new_node(None, "seed", "a", replacement="a") for _ in range(3)] == [
+        0, 1, 2,
+    ]
+    assert log.next_id == 3
+    assert len(log) == 3
+
+
+def test_unknown_node_and_broken_chain():
+    log = LineageLog()
+    with pytest.raises(LineageError):
+        log.chain(7)
+    # orphaned node: parent id never recorded
+    log.nodes[5] = LineageNode(5, 4, "append", "xy", replacement="y")
+    with pytest.raises(LineageError):
+        log.chain(5)
+
+
+def test_cycle_detection():
+    log = LineageLog()
+    log.nodes[0] = LineageNode(0, 1, "append", "a", replacement="a")
+    log.nodes[1] = LineageNode(1, 0, "append", "b", replacement="b")
+    with pytest.raises(LineageError):
+        log.chain(0)
+
+
+def test_find_by_text():
+    log = LineageLog()
+    _while_chain(log)
+    assert log.find_by_text("while") == [2]
+    assert log.find_by_text("nope") == []
+
+
+def test_payload_round_trip():
+    log = LineageLog()
+    _, _, sub = _while_chain(log)
+    rebuilt = LineageLog.from_payload(log.to_payload())
+    assert rebuilt.nodes == log.nodes
+    assert rebuilt.next_id == log.next_id
+    assert rebuilt.replay(sub) == "while"
+    # old snapshots without lineage restore as an empty log
+    assert len(LineageLog.from_payload(None)) == 0
+    assert LineageLog.from_payload(None).next_id == 0
+
+
+def test_from_trace_events():
+    v = 1
+    events = [
+        {"v": v, "type": "campaign_start", "subject": "x", "seed": 0,
+         "budget": 1, "executions": 0},
+        {"v": v, "type": "candidate_scheduled", "lineage": 0, "parent": None,
+         "op": "seed", "text": "A"},
+        {"v": v, "type": "candidate_scheduled", "lineage": 1, "parent": 0,
+         "op": "append", "text": "Ab", "replacement": "b"},
+        {"v": v, "type": "candidate_scheduled", "lineage": 2, "parent": 1,
+         "op": "substitute", "text": "AZ", "replacement": "Z"},
+        {"v": v, "type": "substitution_applied", "lineage": 2, "parent": 1,
+         "at_index": 1, "replacement": "Z", "cmp_kind": "==",
+         "cmp_expected": "Z"},
+    ]
+    log = LineageLog.from_trace_events(events)
+    assert len(log) == 3
+    assert log.next_id == 3
+    # seed replacement falls back to the node text
+    assert log.get(0).replacement == "A"
+    assert log.get(2).at_index == 1
+    assert log.get(2).cmp_kind == "=="
+    assert log.replay(2) == "AZ"

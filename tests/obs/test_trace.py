@@ -1,0 +1,161 @@
+"""Trace bus: schema validation, recorders, NDJSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_RECORDER,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    InMemoryTraceRecorder,
+    JsonlTraceRecorder,
+    PhaseTimer,
+    TraceRecorder,
+    read_trace,
+    validate_event,
+)
+
+#: One representative payload per event type; keeps the schema tests in
+#: lockstep with TRACE_SCHEMA (a new type without an example fails below).
+EXAMPLES = {
+    "campaign_start": dict(subject="json", seed=0, budget=100, executions=0),
+    "candidate_scheduled": dict(lineage=1, parent=0, op="append", text="ab"),
+    "substitution_applied": dict(
+        lineage=2, parent=1, at_index=1, replacement="x",
+        cmp_kind="==", cmp_expected="x",
+    ),
+    "candidate_rejected": dict(reason="duplicate", text="ab"),
+    "candidate_executed": dict(lineage=1, executions=5, status="rejected"),
+    "input_emitted": dict(lineage=1, executions=5, text="ab", signature=3),
+    "span": dict(phase="execute", start=0.5, dur=0.001),
+    "checkpoint_written": dict(executions=50),
+    "resumed": dict(executions=50, resumes=1),
+    "preempted": dict(executions=70),
+    "campaign_end": dict(executions=100, valid_inputs=4, wall_time=1.25),
+}
+
+
+def test_examples_cover_schema():
+    assert set(EXAMPLES) == set(TRACE_SCHEMA)
+
+
+@pytest.mark.parametrize("kind", sorted(TRACE_SCHEMA))
+def test_schema_round_trip(kind):
+    """Every event type emits, serialises, and validates back."""
+    recorder = InMemoryTraceRecorder()
+    recorder.emit(kind, **EXAMPLES[kind])
+    (event,) = recorder.events
+    decoded = json.loads(json.dumps(event))
+    assert validate_event(decoded) == decoded
+    assert decoded["v"] == TRACE_SCHEMA_VERSION
+    assert decoded["type"] == kind
+    assert decoded["ts"] >= 0
+    assert recorder.counts == {kind: 1}
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        "not an object",
+        {"type": "span"},  # no version
+        {"v": 99, "type": "span", "phase": "x", "start": 0, "dur": 0},
+        {"v": TRACE_SCHEMA_VERSION, "type": "no_such_event"},
+        {"v": TRACE_SCHEMA_VERSION, "type": "span", "phase": "x"},  # missing
+        {
+            "v": TRACE_SCHEMA_VERSION,
+            "type": "candidate_scheduled",
+            "lineage": 1,
+            "parent": 0,
+            "op": "mutate",  # not a lineage op
+            "text": "a",
+        },
+    ],
+)
+def test_validate_event_rejects(event):
+    with pytest.raises(ValueError):
+        validate_event(event)
+
+
+def test_null_recorder_is_disabled_noop():
+    assert NULL_RECORDER.enabled is False
+    NULL_RECORDER.emit("span", phase="x", start=0, dur=0)
+    NULL_RECORDER.close()
+    assert isinstance(NULL_RECORDER, TraceRecorder)
+
+
+def test_jsonl_recorder_writes_readable_ndjson(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    recorder = JsonlTraceRecorder(path, flush_every=2)
+    recorder.emit("campaign_start", **EXAMPLES["campaign_start"])
+    recorder.emit("span", **EXAMPLES["span"])
+    recorder.emit("campaign_end", **EXAMPLES["campaign_end"])
+    recorder.close()
+    events = read_trace(path)
+    assert [e["type"] for e in events] == [
+        "campaign_start", "span", "campaign_end",
+    ]
+    assert recorder.counts == {
+        "campaign_start": 1, "span": 1, "campaign_end": 1,
+    }
+
+
+def test_jsonl_recorder_appends_across_legs(tmp_path):
+    """A resumed campaign reuses the file; events accumulate."""
+    path = tmp_path / "trace.ndjson"
+    first = JsonlTraceRecorder(path)
+    first.emit("campaign_start", **EXAMPLES["campaign_start"])
+    first.close()
+    second = JsonlTraceRecorder(path)
+    second.emit("resumed", **EXAMPLES["resumed"])
+    second.close()
+    assert [e["type"] for e in read_trace(path)] == [
+        "campaign_start", "resumed",
+    ]
+
+
+def test_read_trace_skips_torn_tail(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    recorder = JsonlTraceRecorder(path)
+    recorder.emit("campaign_start", **EXAMPLES["campaign_start"])
+    recorder.emit("span", **EXAMPLES["span"])
+    recorder.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "type": "camp')  # SIGKILL mid-append
+    events = read_trace(path)
+    assert [e["type"] for e in events] == ["campaign_start", "span"]
+    with pytest.raises(ValueError):
+        read_trace(path, strict=True)
+
+
+def test_read_trace_interior_corruption_always_raises(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    good = json.dumps(
+        {"v": TRACE_SCHEMA_VERSION, "type": "span", "ts": 0.0,
+         **EXAMPLES["span"]},
+    )
+    path.write_text("garbage\n" + good + "\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        read_trace(path)
+
+
+def test_phase_timer_totals_without_recorder():
+    timer = PhaseTimer()
+    started = timer.start()
+    duration = timer.stop("execute", started)
+    assert duration >= 0
+    timer.stop("execute", timer.start())
+    assert set(timer.totals) == {"execute"}
+    assert timer.totals["execute"] >= duration
+
+
+def test_phase_timer_emits_spans_when_enabled():
+    recorder = InMemoryTraceRecorder()
+    timer = PhaseTimer(recorder, totals={"execute": 1.0})
+    timer.stop("rescore", timer.start())
+    (event,) = recorder.events
+    assert event["type"] == "span"
+    assert event["phase"] == "rescore"
+    assert event["dur"] >= 0
+    # pre-existing totals (a resumed leg) are preserved
+    assert timer.totals["execute"] == 1.0

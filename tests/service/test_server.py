@@ -149,6 +149,47 @@ def test_queue_depth_counts_queued_and_paused(service):
     assert "repro_service_queue_depth 2" in text
 
 
+def test_traced_job_streams_events_and_counts(service):
+    """A --trace job leaves an NDJSON artifact the service tails into
+    /events?trace=1 and the repro_service_trace_events_total counters."""
+    from repro.obs.lineage import LineageLog
+    from repro.obs.trace import read_trace
+
+    svc, client = service
+    record = client.submit(
+        {"subject": "expr", "budget": 150, "checkpoint_every": 50,
+         "trace": True}
+    )
+    untraced = client.submit({"subject": "ini", "budget": 100})
+    svc.run(until_idle=True)
+
+    # The artifact sits next to the job's checkpoints and is valid NDJSON
+    # whose lineage replays every emitted input — even though the job ran
+    # as several preempted slices.
+    path = svc.state_dir / "jobs" / record["job_id"] / "trace.ndjson"
+    events = read_trace(path)
+    assert any(e["type"] == "preempted" for e in events)
+    lineage = LineageLog.from_trace_events(events)
+    emitted = [e for e in events if e["type"] == "input_emitted"]
+    assert emitted
+    for event in emitted:
+        assert lineage.replay(event["lineage"]) == event["text"]
+    untraced_dir = svc.state_dir / "jobs" / untraced["job_id"]
+    assert not (untraced_dir / "trace.ndjson").exists()
+
+    # The service tailed the file at slice boundaries: counters and the
+    # buffered event stream agree with the artifact.
+    text = client.metrics()
+    assert (
+        'repro_service_trace_events_total{type="input_emitted"} '
+        f"{len(emitted)}" in text
+    )
+    streamed = list(client.trace_events())
+    assert len(streamed) == len(events)
+    assert {e["job_id"] for e in streamed} == {record["job_id"]}
+    assert [e["type"] for e in streamed] == [e["type"] for e in events]
+
+
 def test_cli_submit_status_cancel_round_trip(service, capsys):
     """The repro submit/status/cancel subcommands against a live server."""
     import json

@@ -141,6 +141,26 @@ def test_case_transforms_keep_taints():
     assert buffer.upper().text == "AB"
 
 
+def test_case_transform_unicode_expansion():
+    """Regression: ``"ß".upper()`` is ``"SS"`` — case mapping must realign
+    taints instead of crashing on the length change."""
+    buffer = tainted("aß", 4)
+    upper = buffer.upper()
+    assert upper.text == "ASS"
+    # both expansion characters inherit the source character's taint
+    assert upper.taints == (4, 5, 5)
+    # round trip back down stays aligned
+    assert upper.lower().text == "ass"
+    assert upper.lower().taints == (4, 5, 5)
+
+
+def test_case_transform_unicode_lower_expansion():
+    buffer = tainted("İ", 9)  # dotted capital I lowers to 'i' + combining dot
+    lowered = buffer.lower()
+    assert lowered.text == "i̇"
+    assert lowered.taints == (9, 9)
+
+
 def test_find_char_records_in_events():
     recorder = Recorder()
     with recording(recorder):

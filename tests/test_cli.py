@@ -367,6 +367,88 @@ def test_status_against_unreachable_service_exits_one(capsys):
     assert "cannot reach service" in capsys.readouterr().err
 
 
+# --------------------------------------------------------------------- #
+# Tracing: fuzz --trace and the trace query subcommands
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def traced_campaign(tmp_path, capsys):
+    path = tmp_path / "trace.ndjson"
+    assert main(
+        ["fuzz", "expr", "--budget", "200", "--seed", "1",
+         "--trace", str(path)]
+    ) == 0
+    import ast
+
+    # fuzz prints each emitted input repr-quoted, one per line
+    emitted = [
+        ast.literal_eval(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    return path, emitted
+
+
+def test_trace_validate_counts_events(traced_campaign, capsys):
+    path, _ = traced_campaign
+    assert main(["trace", "validate", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "schema ok" in captured.err
+    counts = dict(
+        line.split("\t") for line in captured.out.strip().splitlines()
+    )
+    assert counts["campaign_start"] == "1"
+    assert counts["candidate_executed"] == "200"
+
+
+def test_trace_lineage_covers_every_emitted_input(traced_campaign, capsys):
+    path, emitted = traced_campaign
+    assert main(["trace", "lineage", str(path)]) == 0
+    out = capsys.readouterr().out
+    for text in emitted:
+        assert f"# input {text!r}" in out
+    assert "MISMATCH" not in out
+    assert out.count("replay: ok") == len(emitted)
+
+
+def test_trace_lineage_single_input_and_formats(traced_campaign, capsys):
+    import json
+
+    path, emitted = traced_campaign
+    target = emitted[-1]
+    assert main(["trace", "lineage", str(path), target]) == 0
+    assert "replay: ok" in capsys.readouterr().out
+    assert main(["trace", "lineage", str(path), target, "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph lineage {")
+    assert main(["trace", "lineage", str(path), target, "--json"]) == 0
+    (chain,) = json.loads(capsys.readouterr().out)["chains"]
+    assert chain[-1]["text"] == target
+
+
+def test_trace_lineage_unknown_input_exits_one(traced_campaign, capsys):
+    path, _ = traced_campaign
+    assert main(["trace", "lineage", str(path), "no such input"]) == 1
+    assert "no lineage" in capsys.readouterr().err
+
+
+def test_trace_chrome_export(traced_campaign, tmp_path, capsys):
+    import json
+
+    path, _ = traced_campaign
+    out_path = tmp_path / "spans.json"
+    assert main(["trace", "chrome", str(path), "-o", str(out_path)]) == 0
+    document = json.loads(out_path.read_text())
+    assert document["traceEvents"]
+    capsys.readouterr()
+    assert main(["trace", "chrome", str(path)]) == 0
+    assert json.loads(capsys.readouterr().out)["traceEvents"]
+
+
+def test_trace_on_missing_file_exits_one(tmp_path, capsys):
+    assert main(["trace", "validate", str(tmp_path / "nope.ndjson")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
 def test_cancel_against_unreachable_service_exits_one(capsys):
     assert main(["cancel", "job-0000", "--url", "http://127.0.0.1:9"]) == 1
     assert "cannot reach service" in capsys.readouterr().err
