@@ -8,7 +8,8 @@ Subcommands mirror the workflows in the paper's evaluation:
 * ``tokens``   — print a subject's token inventory (Tables 2–4);
 * ``mine``     — fuzz, mine a grammar from the valid inputs, and print it;
 * ``subjects`` — list the available subjects (Table 1);
-* ``corpus``   — inspect or compact a persistent corpus store;
+* ``corpus``   — persistent corpus stores: ``stats`` / ``list`` /
+  ``compact`` / ``distill`` (greedy arc-coverage-preserving minimisation);
 * ``trace``    — query a campaign's NDJSON trace: derivation lineage of an
   emitted input, Chrome-tracing export, or schema validation;
 * ``serve``    — run the resident campaign service (job queue, preemptive
@@ -19,18 +20,22 @@ Examples::
 
     python -m repro fuzz json --budget 2000 --seed 3
     python -m repro fuzz json --checkpoint-dir ck/ --resume --corpus corpus.jsonl
+    python -m repro fuzz json --shards 4 --budget 2000 --checkpoint-dir group/
     python -m repro fuzz json --trace trace.ndjson
     python -m repro compare tinyc --budget 4000
     python -m repro compare json --jobs 4 --metrics metrics.jsonl
     python -m repro compare json --jobs 4 --checkpoint-dir ck/ --corpus corpus.jsonl
     python -m repro tokens mjs
     python -m repro mine expr
-    python -m repro corpus corpus.jsonl --compact
+    python -m repro corpus stats corpus.jsonl
+    python -m repro corpus compact corpus.jsonl --collapse-signatures
+    python -m repro corpus distill corpus.jsonl --subject json
     python -m repro trace lineage trace.ndjson '(9)'
     python -m repro trace chrome trace.ndjson -o spans.json
     python -m repro trace validate trace.ndjson
     python -m repro serve --state-dir service/ --port 8321 --workers 4
     python -m repro submit json --budget 5000 --priority 2 --wait --trace
+    python -m repro submit json --budget 5000 --shards 4 --sync-every 250
 
 Exit codes: 0 on success, 1 when a parallel campaign cell failed or timed
 out (the rest of the grid still completes and prints), 2 on usage errors
@@ -40,6 +45,7 @@ out (the rest of the grid still completes and prints), 2 on usage errors
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -184,6 +190,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a structured NDJSON campaign trace to PATH "
         "(inspect it with 'repro trace ...')",
     )
+    fuzz.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="run N shard-aware campaigns in deterministic lockstep rounds, "
+        "sharing valid inputs through one corpus store (DESIGN.md §8); "
+        "shard i uses seed SEED+i",
+    )
+    fuzz.add_argument(
+        "--sync-every", type=_positive_int, default=None, metavar="N",
+        help="with --shards: corpus-sync cadence in executions "
+        "(default: once per round)",
+    )
+    fuzz.add_argument(
+        "--slice-executions", type=_positive_int, default=200, metavar="N",
+        help="with --shards: round length in executions (default: 200)",
+    )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
@@ -226,20 +247,58 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_parallel_options(report)
 
     corpus = sub.add_parser(
-        "corpus", help="inspect or compact a persistent corpus store"
+        "corpus", help="inspect, compact, or distill a persistent corpus store"
     )
-    corpus.add_argument("path", metavar="PATH", help="corpus store JSONL file")
-    corpus.add_argument(
-        "--list", action="store_true", dest="list_inputs",
-        help="print one line per stored record instead of summary stats",
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_stats = corpus_sub.add_parser(
+        "stats",
+        help="per-subject record / distinct-input / distinct-signature counts",
     )
-    corpus.add_argument(
+    corpus_stats.add_argument("path", metavar="PATH", help="corpus store JSONL file")
+    corpus_stats.add_argument(
         "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
         help="restrict to one subject",
     )
-    corpus.add_argument(
-        "--compact", action="store_true",
+
+    corpus_list = corpus_sub.add_parser(
+        "list", help="print one line per stored record"
+    )
+    corpus_list.add_argument("path", metavar="PATH", help="corpus store JSONL file")
+    corpus_list.add_argument(
+        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        help="restrict to one subject",
+    )
+
+    corpus_compact = corpus_sub.add_parser(
+        "compact",
         help="drop duplicate (subject, input) records, keeping the first",
+    )
+    corpus_compact.add_argument(
+        "path", metavar="PATH", help="corpus store JSONL file"
+    )
+    corpus_compact.add_argument(
+        "--collapse-signatures", action="store_true",
+        help="also keep only the first record per (subject, path signature): "
+        "different inputs that drive the parser down the same decision "
+        "path collapse to one representative",
+    )
+
+    corpus_distill = corpus_sub.add_parser(
+        "distill",
+        help="shrink each subject's records to a greedy minimal set "
+        "covering the same union of execution arcs",
+    )
+    corpus_distill.add_argument(
+        "path", metavar="PATH", help="corpus store JSONL file"
+    )
+    corpus_distill.add_argument(
+        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        help="distill only this subject (default: every subject in the store)",
+    )
+    corpus_distill.add_argument(
+        "--coverage-backend", choices=COVERAGE_BACKENDS, default="settrace",
+        help="tracer used to re-execute stored inputs (default: settrace)",
     )
 
     trace = sub.add_parser(
@@ -340,6 +399,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(pFuzzer jobs only)",
     )
     submit.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="submit a gang-scheduled group of N shard-aware jobs sharing "
+        "one corpus store (pFuzzer only); shard i uses seed SEED+i",
+    )
+    submit.add_argument(
+        "--sync-every", type=_positive_int, default=None, metavar="N",
+        help="corpus-sync cadence in executions for sharded jobs "
+        "(default: the service's slice length)",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="block until the job reaches a terminal state",
     )
@@ -359,7 +428,58 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_fuzz_sharded(args: argparse.Namespace) -> int:
+    """The --shards N>1 path: lockstep sharded group (DESIGN.md §8)."""
+    import tempfile
+
+    from repro.eval.shards import ShardPlan, run_sharded
+
+    if args.resume and args.checkpoint_dir is None:
+        print("# --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    root = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-shards-")
+    plan = ShardPlan(
+        subject=args.subject,
+        budget=args.budget,
+        shards=args.shards,
+        base_seed=args.seed,
+        slice_executions=args.slice_executions,
+        sync_every=args.sync_every,
+        checkpoint_every=args.checkpoint_every or 100,
+        coverage_backend=args.coverage_backend,
+    )
+    group = run_sharded(plan, root)
+    for shard in group.shards:
+        print(
+            f"# shard {shard.shard_id}: seed {shard.seed}, "
+            f"{shard.executions} executions -> "
+            f"{len(shard.valid_inputs)} valid inputs"
+            + (f", {shard.resumes} resumes" if shard.resumes else ""),
+            file=sys.stderr,
+        )
+    print(
+        f"# {group.rounds} rounds, store {group.store_path}, "
+        f"group fingerprint {group.group_fingerprint[:12]}",
+        file=sys.stderr,
+    )
+    if args.corpus is not None and args.corpus != group.store_path:
+        from repro.eval.corpus_store import CorpusStore
+
+        CorpusStore(args.corpus).add_records(
+            list(CorpusStore(group.store_path).records())
+        )
+    seen = set()
+    for shard in group.shards:
+        for text in shard.valid_inputs:
+            if text not in seen:
+                seen.add(text)
+                print(repr(text))
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _cmd_fuzz_sharded(args)
     subject = load_subject(args.subject)
     durability = {}
     if args.checkpoint_dir is not None:
@@ -535,12 +655,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.eval.corpus_store import CorpusStore
 
     store = CorpusStore(args.path)
-    if args.compact:
-        kept, dropped = store.compact()
-        print(f"# compacted: kept {kept}, dropped {dropped}", file=sys.stderr)
-    records = list(store.records(subject=args.subject))
-    if args.list_inputs:
-        for record in records:
+
+    if args.corpus_command == "list":
+        for record in store.records(subject=args.subject):
             signature = (
                 f"{record.path_signature:#x}"
                 if record.path_signature is not None
@@ -551,18 +668,61 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 f"{signature}\t{record.input!r}"
             )
         return 0
-    subjects = sorted({record.subject for record in records})
-    signatures = {
-        record.path_signature
-        for record in records
-        if record.path_signature is not None
-    }
-    distinct = len({(record.subject, record.input) for record in records})
-    print(f"records:            {len(records)}")
-    print(f"distinct inputs:    {distinct}")
-    print(f"unique path sigs:   {len(signatures)}")
-    print(f"subjects:           {', '.join(subjects) if subjects else '-'}")
+
+    if args.corpus_command == "compact":
+        kept, dropped = store.compact(
+            collapse_signatures=args.collapse_signatures
+        )
+        print(f"# compacted: kept {kept}, dropped {dropped}", file=sys.stderr)
+        _print_corpus_stats(store, subject=None)
+        return 0
+
+    if args.corpus_command == "distill":
+        from repro.eval.distill import distill_store
+
+        results = distill_store(
+            store,
+            subject=args.subject,
+            coverage_backend=args.coverage_backend,
+        )
+        for result in results:
+            print(
+                f"# {result.subject}: kept {result.kept}, "
+                f"dropped {result.dropped}, {result.arcs} arcs preserved",
+                file=sys.stderr,
+            )
+        if not results:
+            print("# nothing to distill", file=sys.stderr)
+        _print_corpus_stats(store, subject=args.subject)
+        return 0
+
+    # stats
+    _print_corpus_stats(store, subject=args.subject)
     return 0
+
+
+def _print_corpus_stats(store, subject: Optional[str]) -> None:
+    """The ``repro corpus stats`` table: per-subject record / distinct
+    input / distinct path-signature counts."""
+    stats = store.stats()
+    if subject is not None:
+        stats = {name: row for name, row in stats.items() if name == subject}
+    total = {"records": 0, "inputs": 0, "signatures": 0}
+    for name in sorted(stats):
+        row = stats[name]
+        print(
+            f"{name}\trecords={row['records']}\tinputs={row['inputs']}\t"
+            f"signatures={row['signatures']}"
+        )
+        for key in total:
+            total[key] += row[key]
+    print(f"records:              {total['records']}")
+    print(f"distinct inputs:      {total['inputs']}")
+    print(f"distinct signatures:  {total['signatures']}")
+    print(
+        f"subjects:             "
+        f"{', '.join(sorted(stats)) if stats else '-'}"
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -727,13 +887,34 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         spec["checkpoint_every"] = args.checkpoint_every
     if args.trace:
         spec["trace"] = True
+    if args.shards > 1:
+        spec["shards"] = args.shards
+    if args.sync_every is not None:
+        spec["sync_every"] = args.sync_every
 
     def run(client) -> int:
-        record = client.submit(spec)
+        response = client.submit(spec)
+        # Sharded submissions expand into a gang-scheduled group: the
+        # service answers {"shard_group": ..., "jobs": [...]}.
+        records = response["jobs"] if "jobs" in response else [response]
         if args.wait:
-            record = client.wait(record["job_id"], timeout=args.wait_timeout)
-        _print_job(record)
-        return 0 if record["state"] in ("queued", "running", "done") else 1
+            records = [
+                client.wait(record["job_id"], timeout=args.wait_timeout)
+                for record in records
+            ]
+        if "jobs" in response:
+            _print_job({"shard_group": response["shard_group"],
+                        "jobs": records})
+        else:
+            _print_job(records[0])
+        return (
+            0
+            if all(
+                record["state"] in ("queued", "running", "done")
+                for record in records
+            )
+            else 1
+        )
 
     return _service_call(args.url, run)
 
@@ -783,7 +964,15 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # `repro corpus list ... | head` closes stdout early; die the
+        # conventional way (128 + SIGPIPE) without a traceback.  stdout
+        # is re-pointed at devnull so the interpreter's exit-time flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -89,6 +89,31 @@ class FuzzerConfig:
             campaign's result: lineage ids are assigned identically with
             tracing on or off, and ``trace_path`` is excluded from the
             snapshot fingerprint so a resumed campaign may toggle it.
+        shard_id: this campaign's index within a sharded group (AFL's
+            ``-M/-S`` model; see DESIGN.md §8).  With ``shard_count`` > 1
+            the substitution/append candidate space is deterministically
+            partitioned: a shard only queues the substitutions it owns
+            and appends from its slice of the character pool.
+        shard_count: number of shards in the group.  The default of 1
+            disables partitioning entirely — a single-shard campaign is
+            byte-identical to a pre-sharding one.
+        shard_rotate_every: rotation cadence in executions.  Ownership is
+            keyed on ``(hash(text) + epoch) % shard_count`` where
+            ``epoch = executions // shard_rotate_every``, so the partition
+            rotates over time and no candidate is permanently orphaned on
+            a shard that never reaches it.
+        sync_store: path of a shared :class:`~repro.eval.corpus_store.
+            CorpusStore` JSONL file this shard pushes its valid inputs to
+            and imports other shards' inputs from; None disables corpus
+            sync.  Like ``checkpoint_dir``, the path is environmental and
+            excluded from the snapshot fingerprint.
+        sync_every: exchange inputs with ``sync_store`` every N subject
+            executions, checked at the iteration boundary (the same
+            cadence discipline as ``checkpoint_every``, which is also the
+            default when None).  Determinism contract: sync points are a
+            pure function of the executions counter, so a killed and
+            resumed shard syncs at exactly the points the uninterrupted
+            run would have.
     """
 
     seed: Optional[int] = None
@@ -105,6 +130,11 @@ class FuzzerConfig:
     checkpoint_keep: int = 2
     resume: bool = False
     trace_path: Optional[str] = None
+    shard_id: int = 0
+    shard_count: int = 1
+    shard_rotate_every: int = 200
+    sync_store: Optional[str] = None
+    sync_every: Optional[int] = None
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

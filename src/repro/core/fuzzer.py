@@ -23,6 +23,7 @@ O(1) work per candidate instead of a set difference per candidate.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 import signal
@@ -178,6 +179,32 @@ class PFuzzer:
         self._wall_consumed = 0.0
         self._run_started: Optional[float] = None
         self._last_checkpoint = 0
+        if self.config.shard_count < 1 or not (
+            0 <= self.config.shard_id < self.config.shard_count
+        ):
+            raise ValueError(
+                f"invalid shard {self.config.shard_id}/"
+                f"{self.config.shard_count}"
+            )
+        if self.config.shard_rotate_every < 1:
+            raise ValueError("shard_rotate_every must be positive")
+        self._syncer = None
+        if self.config.sync_store is not None:
+            from repro.eval.corpus_store import CorpusStore
+            from repro.eval.sync import CorpusSyncer
+
+            self._syncer = CorpusSyncer(
+                CorpusStore(self.config.sync_store),
+                subject=self.subject.name,
+                tool="pfuzzer",
+                seed=self.config.seed if self.config.seed is not None else 0,
+            )
+        self._sync_every = (
+            self.config.sync_every
+            if self.config.sync_every is not None
+            else self.config.checkpoint_every
+        )
+        self._last_sync = 0
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -206,6 +233,51 @@ class PFuzzer:
             candidate.path_signature, 0
         )
         return score
+
+    # ------------------------------------------------------------------ #
+    # Shard partition (DESIGN.md §8)
+    # ------------------------------------------------------------------ #
+
+    def _shard_epoch(self) -> int:
+        """Rotation epoch: advances every ``shard_rotate_every`` executions
+        so the ownership mapping drifts and no candidate is permanently
+        orphaned on a shard that never schedules it."""
+        return self._result.executions // self.config.shard_rotate_every
+
+    def _owns(self, text: str) -> bool:
+        """Does this shard own candidate ``text`` in the current epoch?
+
+        Ownership is ``(blake2b(text) + epoch) % shard_count == shard_id``
+        — stable across processes and PYTHONHASHSEED values, and a pure
+        function of (text, executions), so a resumed shard partitions
+        exactly as the uninterrupted run did.
+        """
+        if self.config.shard_count == 1:
+            return True
+        digest = hashlib.blake2b(
+            text.encode("utf-8", errors="surrogatepass"), digest_size=8
+        ).digest()
+        bucket = int.from_bytes(digest, "big") + self._shard_epoch()
+        return bucket % self.config.shard_count == self.config.shard_id
+
+    def _append_pool(self) -> str:
+        """This shard's slice of the character pool in the current epoch.
+
+        The slice rotates with the epoch; if it is empty (more shards than
+        pool characters) the full pool is the fallback, keeping restarts
+        and appends always possible.
+        """
+        if self.config.shard_count == 1:
+            return self.config.character_pool
+        epoch = self._shard_epoch()
+        shard_count = self.config.shard_count
+        shard_id = self.config.shard_id
+        pool = "".join(
+            char
+            for index, char in enumerate(self.config.character_pool)
+            if (index + epoch) % shard_count == shard_id
+        )
+        return pool or self.config.character_pool
 
     # ------------------------------------------------------------------ #
     # Execution bookkeeping
@@ -301,6 +373,17 @@ class PFuzzer:
                         text=substitution.text,
                     )
                 continue
+            if not self._owns(substitution.text):
+                # Another shard of the group owns this candidate in the
+                # current epoch; rotation re-offers it here later, and the
+                # owning shard's emission arrives via corpus sync.
+                if trace_on:
+                    self._trace.emit(
+                        "candidate_rejected",
+                        reason="other-shard",
+                        text=substitution.text,
+                    )
+                continue
             if len(substitution.text) > self.config.max_input_length:
                 if trace_on:
                     self._trace.emit(
@@ -349,7 +432,7 @@ class PFuzzer:
         self._timer.stop("substitute", started)
 
     def _random_char(self) -> str:
-        return self._rng.choice(self.config.character_pool)
+        return self._rng.choice(self._append_pool())
 
     def _seed_candidate(self, text: str) -> Candidate:
         """A root candidate with a fresh ``"seed"`` lineage node."""
@@ -388,6 +471,71 @@ class PFuzzer:
         return None
 
     # ------------------------------------------------------------------ #
+    # Corpus sync (see repro.eval.sync)
+    # ------------------------------------------------------------------ #
+
+    def _sync_point(self, pull: bool) -> None:
+        """Exchange valid inputs with the shared store.
+
+        Push first (own fresh emissions, one ``O_APPEND`` write), then —
+        for cadence syncs — pull other shards' records, queueing each
+        unseen input as a ``"sync"``-lineage root candidate.  Imports are
+        sorted by input text before queueing, so lineage ids and queue
+        order are independent of how other shards' pushes interleaved in
+        the store.
+        """
+        result = self._result
+        pushed = self._syncer.push(
+            result.valid_inputs, result.valid_signatures
+        )
+        imported = 0
+        if pull:
+            for record in self._syncer.pull():
+                if record.input in self._seen:
+                    continue
+                if len(record.input) > self.config.max_input_length:
+                    continue
+                node = self._lineage.new_node(
+                    None,
+                    "sync",
+                    record.input,
+                    replacement=record.input,
+                    cmp_kind=record.tool,
+                )
+                if self._trace_on:
+                    self._trace.emit(
+                        "candidate_scheduled",
+                        lineage=node,
+                        parent=None,
+                        op="sync",
+                        text=record.input,
+                    )
+                self._queue.push(Candidate(record.input, lineage=node))
+                imported += 1
+            self._last_sync = result.executions
+        if self._trace_on:
+            self._trace.emit(
+                "corpus_sync",
+                executions=result.executions,
+                pushed=pushed,
+                imported=imported,
+            )
+
+    def _maybe_sync(self) -> None:
+        """Cadence sync at the iteration boundary.
+
+        The trigger is a pure function of the executions counter (never
+        wall time), so sync points land at identical executions across
+        reruns and across kill+resume — the determinism invariant the
+        cross-shard harness checks.
+        """
+        if self._syncer is None:
+            return
+        if self._result.executions - self._last_sync < self._sync_every:
+            return
+        self._sync_point(pull=True)
+
+    # ------------------------------------------------------------------ #
     # Durable snapshots (see repro.eval.checkpoint)
     # ------------------------------------------------------------------ #
 
@@ -409,6 +557,13 @@ class PFuzzer:
             "max_valid_inputs": config.max_valid_inputs,
             "initial_inputs": list(config.initial_inputs),
             "weights": asdict(config.weights),
+            # Shard membership and cadence shape the campaign; the store
+            # path (like checkpoint_dir/trace_path) is environmental and
+            # deliberately excluded.
+            "shard_id": config.shard_id,
+            "shard_count": config.shard_count,
+            "shard_rotate_every": config.shard_rotate_every,
+            "sync_every": self._sync_every if self._syncer else None,
         }
 
     @staticmethod
@@ -493,6 +648,14 @@ class PFuzzer:
             "phase_times": dict(self._timer.totals),
             "valid_lineage": list(result.valid_lineage),
             "lineage": self._lineage.to_payload(),
+            "sync": (
+                None
+                if self._syncer is None
+                else {
+                    "cursor": self._syncer.to_payload(),
+                    "last_sync": self._last_sync,
+                }
+            ),
         }
 
     def restore(self, payload: dict) -> None:
@@ -551,6 +714,10 @@ class PFuzzer:
         self._timer.totals = dict(payload["phase_times"])
         self._wall_consumed = payload["wall_time"]
         self._last_checkpoint = result.executions
+        sync_state = payload.get("sync")
+        if self._syncer is not None and sync_state:
+            self._syncer.restore_payload(sync_state["cursor"])
+            self._last_sync = sync_state["last_sync"]
 
     def _write_checkpoint(self) -> None:
         from repro.eval.checkpoint import save_snapshot
@@ -685,6 +852,7 @@ class PFuzzer:
                         self._add_candidates(
                             extended_result, current.parents, node
                         )
+            self._maybe_sync()
             self._maybe_checkpoint()
             if not self._budget_left():
                 # Don't pop (or draw restart characters) for an iteration
@@ -711,6 +879,13 @@ class PFuzzer:
         self._result.queue_depth = len(self._queue)
         self._result.phase_times = dict(self._timer.totals)
         self._result.lineage = self._lineage
+        if self._syncer is not None:
+            # Push-only flush so the group sees this run's final inputs;
+            # no pull — importing here would depend on what other shards
+            # happened to have written by our finish time, which is wall
+            # clock, not schedule.  Runs before the final snapshot so the
+            # cursor state is durable.
+            self._sync_point(pull=False)
         if self.config.checkpoint_dir is not None:
             self._write_checkpoint()
         if self._trace_on:

@@ -7,13 +7,20 @@ the on-disk artifact that survives crashes and feeds future runs:
 * **append-only** — every record is one JSON line; appends never rewrite
   existing data, so a crash mid-append loses at most the half-written
   trailing line (which readers skip);
+* **multi-writer safe** — each flush is a single ``write()`` on an
+  ``O_APPEND`` descriptor, so concurrent appends from sharded campaigns
+  (see :mod:`repro.eval.sync`) land as contiguous byte runs and can never
+  interleave inside one another's lines;
 * **path signatures** — pFuzzer records each emitted input's stable branch-
   path signature (:meth:`repro.runtime.arcs.ArcTable.signature`), so later
   analyses can reason about path diversity without re-executing the corpus;
 * **compaction** — duplicates accumulate as campaigns are resumed and
   repeated; :meth:`CorpusStore.compact` atomically rewrites the file with
   one record per distinct ``(subject, input)`` pair, keeping the first
-  occurrence (the earliest provenance).
+  occurrence (the earliest provenance).  With ``collapse_signatures=True``
+  it additionally keeps only the first input per distinct
+  ``(subject, path_signature)`` — a cheap path-diversity reduction; the
+  coverage-exact version is :func:`repro.eval.distill.distill_store`.
 
 Records are tagged with subject, tool and seed, so one store file can hold
 an entire evaluation grid's corpus and still be filtered on read.
@@ -26,7 +33,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.eval.campaign import ToolOutput
 
@@ -101,20 +108,40 @@ class CorpusStore:
         )
 
     def add_records(self, records: List[CorpusRecord]) -> int:
-        """Append records in one write; returns the count appended."""
+        """Append records in one ``O_APPEND`` write; returns the count.
+
+        The whole batch is serialised into one buffer and pushed through a
+        single ``os.write`` on an ``O_APPEND`` descriptor: the kernel
+        appends it as one contiguous byte run, so concurrent writers —
+        shards syncing into a shared store — can interleave *between*
+        flushes but never *inside* one, and every line stays parseable.
+        """
         if not records:
             return 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        text = "".join(record.to_json_line() + "\n" for record in records)
-        with open(self.path, "a+b") as handle:
+        buffer = "".join(
+            record.to_json_line() + "\n" for record in records
+        ).encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
             # A previous append may have been torn mid-line (crash before
-            # the newline); start on a fresh line so the torn tail corrupts
-            # only itself, never the records written after it.
-            if handle.tell() > 0:
-                handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(text.encode("utf-8"))
+            # the newline).  O_APPEND forbids a seek-and-patch, so fold the
+            # fresh-line guard into the buffer itself; if a concurrent
+            # writer repairs the tail first, the extra newline is a blank
+            # line, which readers skip.
+            size = os.fstat(fd).st_size
+            if size > 0:
+                with open(self.path, "rb") as tail:
+                    tail.seek(size - 1)
+                    if tail.read(1) != b"\n":
+                        buffer = b"\n" + buffer
+            view = memoryview(buffer)
+            while view:  # one write in practice; loop guards short writes
+                view = view[os.write(fd, view) :]
+        finally:
+            os.close(fd)
         return len(records)
 
     def add_output(self, output: ToolOutput) -> int:
@@ -192,10 +219,43 @@ class CorpusStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.records())
 
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-subject corpus shape, in one pass over the file.
+
+        Returns a dict keyed by subject name, each value carrying
+        ``records`` (stored lines), ``inputs`` (distinct input texts) and
+        ``signatures`` (distinct non-None path signatures) — the numbers
+        ``repro corpus stats`` prints.
+        """
+        records: Dict[str, int] = {}
+        inputs: Dict[str, set] = {}
+        signatures: Dict[str, set] = {}
+        for record in self.records():
+            records[record.subject] = records.get(record.subject, 0) + 1
+            inputs.setdefault(record.subject, set()).add(record.input)
+            if record.path_signature is not None:
+                signatures.setdefault(record.subject, set()).add(
+                    record.path_signature
+                )
+        return {
+            subject: {
+                "records": records[subject],
+                "inputs": len(inputs[subject]),
+                "signatures": len(signatures.get(subject, ())),
+            }
+            for subject in sorted(records)
+        }
+
     # -- maintenance ---------------------------------------------------- #
 
-    def compact(self) -> Tuple[int, int]:
+    def compact(self, collapse_signatures: bool = False) -> Tuple[int, int]:
         """Drop duplicate ``(subject, input)`` records, keeping the first.
+
+        With ``collapse_signatures`` True, distinct inputs sharing a
+        ``(subject, path_signature)`` pair are also collapsed to the first
+        occurrence — inputs driving the parser down the same branch path
+        are redundant for path-diversity purposes.  Records without a
+        signature are never collapsed this way.
 
         The rewrite is atomic (temp file + ``os.replace``): readers never
         observe a partially compacted store, and a crash mid-compaction
@@ -208,12 +268,19 @@ class CorpusStore:
             return (0, 0)
         kept: List[CorpusRecord] = []
         seen = set()
+        seen_signatures = set()
         dropped = 0
         for record in self.records():
             key = (record.subject, record.input)
             if key in seen:
                 dropped += 1
                 continue
+            if collapse_signatures and record.path_signature is not None:
+                signature_key = (record.subject, record.path_signature)
+                if signature_key in seen_signatures:
+                    dropped += 1
+                    continue
+                seen_signatures.add(signature_key)
             seen.add(key)
             kept.append(record)
         fd, tmp_name = tempfile.mkstemp(

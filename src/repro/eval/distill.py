@@ -1,0 +1,174 @@
+"""Corpus distillation: a minimal record set preserving arc coverage.
+
+Sharded campaigns grow the shared corpus fast — every shard pushes every
+emitted input — and most records are coverage-redundant once the group
+has converged.  Distillation (AFL's ``cmin``, applied to this repo's
+JSONL store) re-executes each distinct stored input and keeps a greedy
+minimal subset whose *union of covered arcs equals the full corpus's*:
+
+1. collect distinct inputs per subject in file order (first occurrence
+   keeps the earliest provenance);
+2. execute each once under the requested coverage backend, recording its
+   branch set (interned arc ids; one process, so ids are comparable);
+3. greedy set cover — repeatedly keep the input adding the most
+   still-uncovered arcs, ties broken by file order, until every arc of
+   the full corpus is covered.
+
+The guarantee is coverage *equality*, not global minimality (greedy set
+cover is the standard log-factor approximation); the property test in
+``tests/eval/test_distill.py`` re-executes both sets and asserts equal
+arc unions on every subject.  The store rewrite is atomic and leaves
+other subjects' records untouched, so ``repro corpus distill --subject``
+is safe on a mixed store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.eval.corpus_store import CorpusRecord, CorpusStore
+from repro.runtime.harness import run_subject
+from repro.subjects.registry import load_subject
+
+
+@dataclass
+class DistillStats:
+    """Outcome of distilling one subject's records."""
+
+    subject: str
+    kept: int  # records kept
+    dropped: int  # records dropped (redundant inputs + duplicates)
+    arcs: int  # arcs covered by both the full and distilled sets
+
+
+def minimal_cover(
+    branch_sets: Sequence[FrozenSet[int]],
+) -> List[int]:
+    """Greedy set cover over ``branch_sets``; returns kept indices, sorted.
+
+    Deterministic: the next pick is the set adding the most uncovered
+    arcs, ties broken by the lowest index (file order).  Inputs covering
+    nothing new — including empty sets — are dropped.
+    """
+    target = frozenset().union(*branch_sets) if branch_sets else frozenset()
+    covered: set = set()
+    remaining = list(range(len(branch_sets)))
+    chosen: List[int] = []
+    while covered != set(target):
+        best_index = None
+        best_gain = 0
+        for index in remaining:
+            gain = len(branch_sets[index] - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_index = index
+        if best_index is None:  # pragma: no cover - covered==target first
+            break
+        chosen.append(best_index)
+        covered |= branch_sets[best_index]
+        remaining.remove(best_index)
+    return sorted(chosen)
+
+
+def distill_subject(
+    subject_name: str,
+    inputs: Sequence[str],
+    coverage_backend: str = "settrace",
+) -> Tuple[List[str], int]:
+    """Distill a list of inputs for one subject.
+
+    Returns ``(kept_inputs, arc_count)`` where ``kept_inputs`` preserves
+    the original order and covers exactly the arcs the full list covers.
+    """
+    subject = load_subject(subject_name)
+    branch_sets = [
+        run_subject(
+            subject, text, coverage_backend=coverage_backend
+        ).branches
+        for text in inputs
+    ]
+    chosen = minimal_cover(branch_sets)
+    arcs = len(frozenset().union(*branch_sets)) if branch_sets else 0
+    return ([inputs[index] for index in chosen], arcs)
+
+
+def distill_store(
+    store: CorpusStore,
+    subject: Optional[str] = None,
+    coverage_backend: str = "settrace",
+) -> List[DistillStats]:
+    """Distill a corpus store in place (atomic rewrite).
+
+    Args:
+        store: the JSONL store to distill.
+        subject: restrict to one subject; None distills every subject in
+            the store.  Records of other subjects pass through untouched.
+        coverage_backend: backend used for the re-executions.
+
+    Returns:
+        Per-subject :class:`DistillStats`, sorted by subject name.
+    """
+    all_records = list(store.records())
+    subjects = sorted(
+        {record.subject for record in all_records}
+        if subject is None
+        else {subject}
+    )
+    keep_inputs: Dict[str, set] = {}
+    stats: List[DistillStats] = []
+    for name in subjects:
+        distinct: List[str] = []
+        seen: set = set()
+        for record in all_records:
+            if record.subject == name and record.input not in seen:
+                seen.add(record.input)
+                distinct.append(record.input)
+        kept, arcs = distill_subject(name, distinct, coverage_backend)
+        keep_inputs[name] = set(kept)
+        total = sum(1 for record in all_records if record.subject == name)
+        stats.append(
+            DistillStats(
+                subject=name,
+                kept=len(kept),
+                dropped=total - len(kept),
+                arcs=arcs,
+            )
+        )
+    kept_records: List[CorpusRecord] = []
+    emitted: set = set()
+    for record in all_records:
+        if record.subject not in keep_inputs:
+            kept_records.append(record)
+            continue
+        key = (record.subject, record.input)
+        if record.input in keep_inputs[record.subject] and key not in emitted:
+            emitted.add(key)
+            kept_records.append(record)
+    _rewrite(store, kept_records)
+    return stats
+
+
+def _rewrite(store: CorpusStore, records: List[CorpusRecord]) -> None:
+    """Atomically replace the store's contents (same discipline as
+    :meth:`CorpusStore.compact`)."""
+    import os
+    import tempfile
+
+    store.path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".corpus-tmp-", suffix=".jsonl", dir=store.path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, store.path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -698,6 +698,53 @@ def run_grid(
 
 
 # --------------------------------------------------------------------- #
+# Sharded campaigns (see repro.eval.shards)
+# --------------------------------------------------------------------- #
+
+
+def run_sharded_campaign(
+    subject: str,
+    budget: int,
+    shards: int = 2,
+    *,
+    base_seed: int = 0,
+    slice_executions: int = 200,
+    sync_every: Optional[int] = None,
+    checkpoint_every: int = 100,
+    shard_rotate_every: int = 200,
+    coverage_backend: str = "settrace",
+    root: Union[str, "os.PathLike[str]", None] = None,
+):
+    """Grid-level entry point for a sharded campaign group.
+
+    Builds a :class:`~repro.eval.shards.ShardPlan` and runs it through
+    :func:`~repro.eval.shards.run_sharded`: ``shards`` shard-aware
+    pFuzzer campaigns on one subject, exchanging valid inputs through a
+    shared corpus store under ``root`` (a temporary directory when None
+    — pass a real one to make the group resumable).  Returns the
+    :class:`~repro.eval.shards.ShardGroupResult`.
+    """
+    import tempfile
+
+    from repro.eval.shards import ShardPlan, run_sharded
+
+    plan = ShardPlan(
+        subject=subject,
+        budget=budget,
+        shards=shards,
+        base_seed=base_seed,
+        slice_executions=slice_executions,
+        sync_every=sync_every,
+        checkpoint_every=checkpoint_every,
+        shard_rotate_every=shard_rotate_every,
+        coverage_backend=coverage_backend,
+    )
+    if root is None:
+        root = tempfile.mkdtemp(prefix="repro-shards-")
+    return run_sharded(plan, root)
+
+
+# --------------------------------------------------------------------- #
 # Sequential-API mirrors
 # --------------------------------------------------------------------- #
 

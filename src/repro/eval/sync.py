@@ -1,0 +1,166 @@
+"""Corpus-sync protocol for sharded campaigns (DESIGN.md §8).
+
+Shards exchange valid inputs through one shared
+:class:`~repro.eval.corpus_store.CorpusStore` JSONL file — AFL's
+``-M/-S`` sync directory collapsed into a single append-only log.  The
+protocol is two halves, both driven from the fuzzer's iteration boundary
+(:meth:`repro.core.fuzzer.PFuzzer._maybe_sync`):
+
+* **push** — the shard appends every valid input it has emitted since the
+  last sync as one batch (a single ``O_APPEND`` write, so concurrent
+  shard pushes never interleave bytes);
+* **pull** — the shard reads records appended by *other* shards since its
+  stored byte offset, dedupes by ``(subject, path_signature)`` against
+  everything it has already pushed or imported, and queues the survivors
+  as ``"sync"``-lineage candidates.
+
+Determinism invariants (verified by the cross-shard harness in
+``tests/eval/test_resume_equivalence.py``):
+
+1. Sync points are a pure function of the executions counter
+   (``sync_every`` cadence), never of wall time, so a killed and resumed
+   shard syncs exactly where the uninterrupted run did.
+2. Imported records are canonicalised — sorted by input text — before
+   queueing, so the import order is independent of the interleaving of
+   other shards' pushes within a sync window.
+3. The syncer's cursor (``seen signatures``, push watermark, read offset)
+   snapshots with the campaign, and a resumed shard that re-pushes inputs
+   already in the store is harmless: signature dedupe makes re-imports
+   no-ops on every other shard.
+4. A store shrink (``compact`` / ``distill`` ran underneath) is detected
+   by offset > file size; the cursor resets to 0 and signature dedupe
+   absorbs the re-read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.eval.corpus_store import CorpusRecord, CorpusStore
+
+
+class CorpusSyncer:
+    """One shard's cursor into a shared corpus store.
+
+    Args:
+        store: the shared JSONL store (one per shard group).
+        subject: subject name used to tag and filter records.
+        tool: provenance tag stored on pushed records.
+        seed: this shard's seed, stored on pushed records (provenance
+            only; pulls ignore it).
+    """
+
+    def __init__(
+        self, store: CorpusStore, subject: str, tool: str, seed: int
+    ) -> None:
+        self.store = store
+        self.subject = subject
+        self.tool = tool
+        self.seed = seed
+        #: Signatures this shard has pushed or imported; the dedupe set.
+        self.seen_signatures: Set[int] = set()
+        #: How many of the campaign's ``valid_inputs`` are already pushed.
+        self.pushed_count = 0
+        #: Byte offset up to which the store has been read.
+        self.read_offset = 0
+
+    # -- protocol halves ------------------------------------------------ #
+
+    def push(
+        self, valid_inputs: List[str], valid_signatures: List[int]
+    ) -> int:
+        """Append this shard's not-yet-pushed valid inputs; returns count.
+
+        Inputs whose signature was already pushed or imported are skipped
+        (they add no path diversity to the shared store), but the
+        watermark always advances to the end of ``valid_inputs``.
+        """
+        fresh: List[CorpusRecord] = []
+        for index in range(self.pushed_count, len(valid_inputs)):
+            signature = valid_signatures[index]
+            if signature in self.seen_signatures:
+                continue
+            self.seen_signatures.add(signature)
+            fresh.append(
+                CorpusRecord(
+                    subject=self.subject,
+                    tool=self.tool,
+                    seed=self.seed,
+                    input=valid_inputs[index],
+                    path_signature=signature,
+                )
+            )
+        self.pushed_count = len(valid_inputs)
+        if fresh:
+            self.store.add_records(fresh)
+        return len(fresh)
+
+    def pull(self) -> List[CorpusRecord]:
+        """Read records other shards appended since the last pull.
+
+        Returns the imported records sorted by input text (canonical
+        order, invariant 2), with signature dedupe already applied and
+        the dedupe set updated.  The caller decides what to do with them
+        (the fuzzer queues each as a ``"sync"`` candidate).
+        """
+        records, self.read_offset = self._read_from(self.read_offset)
+        imported: List[CorpusRecord] = []
+        for record in records:
+            if record.subject != self.subject:
+                continue
+            if record.path_signature is None:
+                continue
+            if record.path_signature in self.seen_signatures:
+                continue
+            self.seen_signatures.add(record.path_signature)
+            imported.append(record)
+        imported.sort(key=lambda record: record.input)
+        return imported
+
+    def _read_from(self, offset: int) -> Tuple[List[CorpusRecord], int]:
+        """Parse complete records from ``offset``; returns (records, new
+        offset).  The new offset stops before a torn trailing line so a
+        later pull re-reads it once complete."""
+        path = self.store.path
+        if not path.exists():
+            return ([], 0)
+        size = path.stat().st_size
+        if offset > size:
+            # The store shrank underneath us (compact/distill): restart
+            # from the top; signature dedupe absorbs the re-read.
+            offset = 0
+        if offset >= size:
+            return ([], offset)
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return ([], offset)
+        records: List[CorpusRecord] = []
+        for line in data[: end + 1].splitlines():
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            record = CorpusRecord.from_json_line(text)
+            if record is not None:
+                records.append(record)
+        return (records, offset + end + 1)
+
+    # -- snapshot integration (see repro.core.fuzzer) -------------------- #
+
+    def to_payload(self) -> dict:
+        """JSON-safe cursor state for campaign snapshots."""
+        return {
+            "seen_signatures": sorted(self.seen_signatures),
+            "pushed_count": self.pushed_count,
+            "read_offset": self.read_offset,
+        }
+
+    def restore_payload(self, payload: Optional[dict]) -> None:
+        """Restore :meth:`to_payload` state (None/missing -> fresh)."""
+        if not payload:
+            return
+        self.seen_signatures = set(payload["seen_signatures"])
+        self.pushed_count = payload["pushed_count"]
+        self.read_offset = payload["read_offset"]

@@ -14,6 +14,10 @@ node and the operation that produced it —
   ``addInputs``): ``parent_text[:at_index] + replacement``, where
   ``cmp_kind`` names the comparison kind (``strcmp``, ``==``, ``in``,
   ...) that produced it.
+* ``"sync"`` — a root imported from another shard's corpus during a
+  sync point (see :mod:`repro.eval.sync`).  Like ``"seed"``,
+  ``replacement`` holds the full text; ``cmp_kind`` carries the shared
+  store's provenance tag so cross-shard chains stay explainable.
 
 Because every operation is a pure function of the parent's text,
 :meth:`LineageLog.replay` can re-derive any node's input bytes from its
@@ -49,7 +53,7 @@ class LineageNode(NamedTuple):
 
     node_id: int
     parent_id: Optional[int]
-    op: str  # "seed" | "append" | "substitute"
+    op: str  # "seed" | "append" | "substitute" | "sync"
     text: str
     replacement: str = ""
     at_index: int = 0
@@ -57,7 +61,7 @@ class LineageNode(NamedTuple):
 
     def derive(self, parent_text: str) -> str:
         """Apply this node's operation to its parent's text."""
-        if self.op == "seed":
+        if self.op in ("seed", "sync"):
             return self.replacement
         if self.op == "append":
             return parent_text + self.replacement
@@ -194,7 +198,9 @@ class LineageLog:
                 text=event["text"],
                 replacement=detail.get(
                     "replacement",
-                    event["text"] if event["op"] == "seed" else event.get("replacement", ""),
+                    event["text"]
+                    if event["op"] in ("seed", "sync")
+                    else event.get("replacement", ""),
                 ),
                 at_index=detail.get("at_index", 0),
                 cmp_kind=detail.get("cmp_kind", ""),

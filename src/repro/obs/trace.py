@@ -29,6 +29,10 @@ Event types:
 ``span``
     One timed occurrence of a campaign phase ("execute" / "rescore" /
     "substitute" / "checkpoint"): wall-clock start offset and duration.
+``corpus_sync``
+    One corpus-sync point of a sharded campaign (see
+    :mod:`repro.eval.sync`): how many valid inputs were pushed to and
+    imported from the shared store at this execution count.
 ``checkpoint_written``, ``resumed``, ``preempted``, ``campaign_end``
     Durability and lifecycle markers.
 
@@ -69,6 +73,7 @@ TRACE_SCHEMA: Dict[str, tuple] = {
     "candidate_executed": ("lineage", "executions", "status"),
     "input_emitted": ("lineage", "executions", "text", "signature"),
     "span": ("phase", "start", "dur"),
+    "corpus_sync": ("executions", "pushed", "imported"),
     "checkpoint_written": ("executions",),
     "resumed": ("executions", "resumes"),
     "preempted": ("executions",),
@@ -76,7 +81,7 @@ TRACE_SCHEMA: Dict[str, tuple] = {
 }
 
 #: ``op`` values legal on ``candidate_scheduled`` events.
-LINEAGE_OPS = ("seed", "append", "substitute")
+LINEAGE_OPS = ("seed", "append", "substitute", "sync")
 
 
 def validate_event(event: object) -> dict:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from enum import Enum
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -107,6 +107,16 @@ class JobSpec:
         trace: record a structured NDJSON campaign trace (pFuzzer only) to
             ``trace.ndjson`` in the job's state directory; slices append to
             it, so the file spans the whole campaign across preemptions.
+        shards: submit-time group size.  ``shards`` > 1 expands the
+            submission into that many member jobs (one per shard, seeds
+            ``seed + shard_id``) sharing a group corpus store under the
+            service state directory (see :meth:`JobStore.submit_sharded`).
+        shard_id: this member's shard index; assigned by the service on
+            group expansion, never set by clients.
+        shard_group: the group id shared by all members; assigned by the
+            service on group expansion.
+        sync_every: corpus-sync cadence in executions for sharded jobs
+            (pFuzzer default — the checkpoint cadence — when None).
     """
 
     subject: str
@@ -117,6 +127,10 @@ class JobSpec:
     coverage_backend: str = "settrace"
     checkpoint_every: Optional[int] = None
     trace: bool = False
+    shards: int = 1
+    shard_id: Optional[int] = None
+    shard_group: Optional[str] = None
+    sync_every: Optional[int] = None
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
@@ -147,6 +161,38 @@ class JobSpec:
             )
         if not isinstance(self.trace, bool):
             problems.append(f"trace must be a boolean, got {self.trace!r}")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            problems.append(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+        elif self.shards > 1 and self.tool != "pfuzzer":
+            problems.append(
+                f"sharding requires the pfuzzer tool, got {self.tool!r}"
+            )
+        if self.shard_id is not None:
+            if not isinstance(self.shard_id, int) or not (
+                isinstance(self.shards, int)
+                and 0 <= self.shard_id < self.shards
+            ):
+                problems.append(
+                    f"shard_id {self.shard_id!r} outside 0..shards-1"
+                )
+            if self.shard_group is None:
+                problems.append("shard_id requires a shard_group")
+        if self.shard_group is not None:
+            if not isinstance(self.shard_group, str) or not self.shard_group:
+                problems.append(
+                    f"shard_group must be a non-empty string, "
+                    f"got {self.shard_group!r}"
+                )
+            if self.shard_id is None:
+                problems.append("shard_group requires a shard_id")
+        if self.sync_every is not None and (
+            not isinstance(self.sync_every, int) or self.sync_every < 1
+        ):
+            problems.append(
+                f"sync_every must be a positive integer, got {self.sync_every!r}"
+            )
         if problems:
             raise JobError("; ".join(problems))
 
@@ -401,6 +447,38 @@ class JobStore:
             self._records[record.job_id] = record
             self._order.append(record.job_id)
             return record
+
+    def submit_sharded(self, spec: JobSpec) -> List[JobRecord]:
+        """Submit a spec, expanding ``shards`` > 1 into a member group.
+
+        A group submission creates ``spec.shards`` member jobs — shard
+        ``i`` gets ``shard_id=i``, ``seed=spec.seed + i`` and the shared
+        ``shard_group`` id — journalled as ordinary submits, so journal
+        replay reconstructs the group with no extra event type.  A
+        single-shard spec degenerates to :meth:`submit`.
+
+        Raises:
+            JobError: invalid spec, or a client-supplied ``shard_group``
+                (group ids are assigned here, never by callers).
+        """
+        spec.validate()
+        if spec.shard_group is not None:
+            raise JobError("shard_group is assigned by the service")
+        if spec.shards <= 1:
+            return [self.submit(spec)]
+        with self._lock:
+            group = f"grp-{self._next_seq:04d}"
+            return [
+                self.submit(
+                    replace(
+                        spec,
+                        shard_id=shard_id,
+                        shard_group=group,
+                        seed=spec.seed + shard_id,
+                    )
+                )
+                for shard_id in range(spec.shards)
+            ]
 
     def get(self, job_id: str) -> JobRecord:
         """Raises :class:`JobError` for unknown ids."""

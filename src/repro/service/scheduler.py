@@ -16,6 +16,19 @@ never run has virtual time zero, so with N queued jobs no job waits more
 than one round of slices before its first — the no-starvation guarantee
 the service tests assert.
 
+Sharded job groups (``JobSpec.shard_group``) are *gang-aware*: all
+members of a group share one virtual-time account, so the fair-share
+winner is the whole group and its members — tied on the group's virtual
+time, ordered by fewest executions first, then submission — flow onto
+idle workers consecutively and rotate round-robin across slices.
+Shards of a group therefore advance in near-lockstep (no member racing
+a full budget ahead of its peers), which keeps their corpus-sync
+windows overlapping, while the group as a whole competes with ordinary
+jobs under the same stride accounting.  With a single worker the
+rotation is *exact* lockstep: the schedule reproduces the reference
+orchestrator (:func:`repro.eval.shards.run_sharded`) byte-for-byte,
+which the service shard tests assert by fingerprint.
+
 Process management reuses the evaluation grid's machinery
 (:class:`repro.eval.parallel.WorkerPool`): per-worker pipes for fault
 isolation, a parent-side watchdog for hung slices, and bounded
@@ -111,6 +124,13 @@ def _run_slice(task: dict) -> SliceResult:
         durability = {}
         if task["checkpoint_every"] is not None:
             durability["checkpoint_every"] = task["checkpoint_every"]
+        if task.get("shard_id") is not None:
+            # Member of a sharded group: partition the candidate space and
+            # sync through the group's shared corpus store.
+            durability["shard_id"] = task["shard_id"]
+            durability["shard_count"] = task["shard_count"]
+            durability["sync_store"] = task["sync_store"]
+            durability["sync_every"] = task["sync_every"]
         config = FuzzerConfig(
             seed=task["seed"],
             max_executions=task["budget"],
@@ -255,7 +275,10 @@ class CampaignScheduler:
         self.pool = WorkerPool(_slice_worker)
         #: worker_id -> (job_id, watchdog deadline or None)
         self.assignments: Dict[int, Tuple[str, Optional[float]]] = {}
-        #: job_id -> stride virtual time (executions / priority).
+        #: stride-account key -> virtual time (executions / priority).
+        #: The key is the job id, or the shard group id for gang members —
+        #: a group shares one account, so fair share treats it as one job
+        #: and its members dispatch consecutively.
         self._virtual: Dict[str, float] = {}
         #: job_id -> monotonic time before which it must not re-dispatch.
         self._backoff_until: Dict[str, float] = {}
@@ -279,9 +302,15 @@ class CampaignScheduler:
             and self._backoff_until.get(record.job_id, 0.0) <= now
         ]
 
+    @staticmethod
+    def _stride_key(record: JobRecord) -> str:
+        """The stride account this job charges: its group, else itself."""
+        return record.spec.shard_group or record.job_id
+
     def _virtual_time(self, record: JobRecord) -> float:
         return self._virtual.setdefault(
-            record.job_id, record.executions / record.spec.priority
+            self._stride_key(record),
+            record.executions / record.spec.priority,
         )
 
     def has_work(self) -> bool:
@@ -294,7 +323,7 @@ class CampaignScheduler:
         """Advance the job's virtual time; returns the execution delta."""
         previous = record.executions
         delta = max(0, executions - previous)
-        self._virtual[record.job_id] = (
+        self._virtual[self._stride_key(record)] = (
             self._virtual_time(record) + delta / record.spec.priority
         )
         return delta
@@ -422,7 +451,16 @@ class CampaignScheduler:
             if not runnable:
                 break
             record = min(
-                runnable, key=lambda r: (self._virtual_time(r), r.seq)
+                runnable,
+                # Gang members tie on their shared account; the extra
+                # executions term rotates the group round-robin (least
+                # progressed member first) instead of letting the lowest
+                # seq drain its whole budget before its peers start.
+                key=lambda r: (
+                    self._virtual_time(r),
+                    r.executions if r.spec.shard_group is not None else 0,
+                    r.seq,
+                ),
             )
             self.store.transition(record.job_id, JobState.RUNNING)
             self.dispatch_log.append(record.job_id)
@@ -451,6 +489,19 @@ class CampaignScheduler:
                     "slice_executions": self.config.slice_executions,
                     "slice_timeout": self.config.slice_timeout,
                     "trace": spec.trace,
+                    "shard_id": spec.shard_id,
+                    "shard_count": spec.shards,
+                    "sync_every": spec.sync_every,
+                    "sync_store": (
+                        str(
+                            self.state_dir
+                            / "groups"
+                            / spec.shard_group
+                            / "corpus.jsonl"
+                        )
+                        if spec.shard_group is not None
+                        else None
+                    ),
                 },
             )
 

@@ -8,7 +8,10 @@ the event buffer.
 
 Endpoints::
 
-    POST   /jobs        submit a JobSpec JSON -> job record (201)
+    POST   /jobs        submit a JobSpec JSON -> job record (201); with
+                        "shards": N > 1 the job expands into a gang-
+                        scheduled shard group and the response carries
+                        ``shard_group`` plus every member record
     GET    /jobs        every job record, submission order
     GET    /jobs/<id>   one job record
     DELETE /jobs/<id>   cancel (terminal; the job's snapshot is preserved)
@@ -182,9 +185,13 @@ class CampaignService:
 
     # -- control-plane operations ---------------------------------------- #
 
-    def submit(self, payload: dict) -> JobRecord:
-        """Raises :class:`JobError` on an invalid spec."""
-        return self.store.submit(JobSpec.from_dict(payload))
+    def submit(self, payload: dict) -> List[JobRecord]:
+        """Submit one job — or, with ``shards`` > 1, a shard group.
+
+        Returns the created records (one per shard; a single record for
+        ordinary jobs).  Raises :class:`JobError` on an invalid spec.
+        """
+        return self.store.submit_sharded(JobSpec.from_dict(payload))
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel a job; its snapshot directory is left untouched.
@@ -404,11 +411,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(f"no such endpoint: {self._route}", 404)
             return
         try:
-            record = self.service.submit(self._read_body_json())
+            records = self.service.submit(self._read_body_json())
         except JobError as exc:
             self._send_error_json(str(exc), 400)
             return
-        self._send_json(record.to_dict(), status=201)
+        if len(records) == 1 and records[0].spec.shard_group is None:
+            # Ordinary jobs keep the original single-record response.
+            self._send_json(records[0].to_dict(), status=201)
+        else:
+            self._send_json(
+                {
+                    "shard_group": records[0].spec.shard_group,
+                    "jobs": [record.to_dict() for record in records],
+                },
+                status=201,
+            )
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         match = _JOB_PATH_RE.match(self._route)

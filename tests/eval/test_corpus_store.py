@@ -122,3 +122,132 @@ def test_records_are_plain_json_lines(tmp_path):
         "input": "x",
         "path_signature": 9,
     }
+
+
+# --------------------------------------------------------------------- #
+# Multi-writer safety: the corpus-sync protocol's storage contract
+# --------------------------------------------------------------------- #
+
+
+def _writer_process(path, writer_id, batches, per_batch):
+    store = CorpusStore(path)
+    for batch in range(batches):
+        store.add_records(
+            [
+                CorpusRecord(
+                    subject="ini",
+                    tool=f"writer-{writer_id}",
+                    seed=writer_id,
+                    input=f"w{writer_id}-b{batch}-r{index}" + "x" * 64,
+                    path_signature=writer_id * 100_000 + batch * 100 + index,
+                )
+                for index in range(per_batch)
+            ]
+        )
+
+
+def test_eight_concurrent_writers_every_line_parses(tmp_path):
+    """Stress the single-write O_APPEND contract with 8 live processes.
+
+    Every line of the resulting file must parse as exactly one record —
+    concurrent flushes may interleave *between* batches but never inside
+    a line — and no record may be lost.
+    """
+    import multiprocessing
+
+    path = tmp_path / "corpus.jsonl"
+    ctx = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    writers, batches, per_batch = 8, 20, 5
+    processes = [
+        ctx.Process(
+            target=_writer_process, args=(str(path), i, batches, per_batch)
+        )
+        for i in range(writers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    raw_lines = [
+        line for line in path.read_text().splitlines() if line.strip()
+    ]
+    # Every non-blank line is a complete JSON record...
+    parsed = [CorpusRecord.from_json_line(line) for line in raw_lines]
+    assert all(record is not None for record in parsed)
+    # ...and nothing was lost or duplicated.
+    assert len(parsed) == writers * batches * per_batch
+    assert len({record.path_signature for record in parsed}) == len(parsed)
+
+
+def test_append_repairs_torn_tail_with_newline_guard(tmp_path):
+    store = _store_with(tmp_path, [CorpusRecord("ini", "pfuzzer", 0, "a")])
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write('{"torn": ')  # no trailing newline
+    store.add("ini", "pfuzzer", 0, "b")
+    # The guard newline terminated the torn line; the new record is intact.
+    assert store.inputs() == ["a", "b"]
+    lines = store.path.read_text().splitlines()
+    assert lines[-1] == CorpusRecord("ini", "pfuzzer", 0, "b").to_json_line()
+
+
+# --------------------------------------------------------------------- #
+# stats() and signature-collapsing compaction
+# --------------------------------------------------------------------- #
+
+
+def test_stats_reports_distinct_signature_counts(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "a", path_signature=1),
+            CorpusRecord("ini", "pfuzzer", 1, "a", path_signature=1),  # dup
+            CorpusRecord("ini", "pfuzzer", 0, "b", path_signature=2),
+            CorpusRecord("ini", "afl", 0, "c"),  # unsigned: not counted
+            CorpusRecord("csv", "pfuzzer", 0, "d", path_signature=1),
+        ],
+    )
+    assert store.stats() == {
+        "csv": {"records": 1, "inputs": 1, "signatures": 1},
+        "ini": {"records": 4, "inputs": 3, "signatures": 2},
+    }
+
+
+def test_stats_of_missing_store_is_empty(tmp_path):
+    assert CorpusStore(tmp_path / "nope.jsonl").stats() == {}
+
+
+def test_compact_collapse_signatures_keeps_one_input_per_path(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "a", path_signature=1),
+            # Different input, same path: redundant under the flag.
+            CorpusRecord("ini", "pfuzzer", 0, "a2", path_signature=1),
+            CorpusRecord("ini", "pfuzzer", 0, "b", path_signature=2),
+            # Unsigned records are never collapsed.
+            CorpusRecord("ini", "afl", 0, "c"),
+            CorpusRecord("ini", "afl", 0, "d"),
+            # Same signature under another subject: kept.
+            CorpusRecord("csv", "pfuzzer", 0, "e", path_signature=1),
+        ],
+    )
+    kept, dropped = store.compact(collapse_signatures=True)
+    assert (kept, dropped) == (5, 1)
+    assert store.inputs() == ["a", "b", "c", "d", "e"]
+
+
+def test_compact_without_flag_keeps_distinct_inputs_sharing_a_path(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("ini", "pfuzzer", 0, "a", path_signature=1),
+            CorpusRecord("ini", "pfuzzer", 0, "a2", path_signature=1),
+        ],
+    )
+    assert store.compact() == (2, 0)
+    assert store.inputs() == ["a", "a2"]

@@ -1,0 +1,153 @@
+"""Corpus distillation: greedy minimal sets that preserve arc coverage.
+
+The headline property — required by the distillation contract — is
+*arc-coverage equality*: re-executing the distilled corpus covers exactly
+the union of arcs the full corpus covers.  The quick split proves it on
+two subjects; the ``slow`` split proves it on all six.
+"""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.corpus_store import CorpusRecord, CorpusStore
+from repro.eval.distill import (
+    DistillStats,
+    distill_store,
+    distill_subject,
+    minimal_cover,
+)
+from repro.runtime.harness import run_subject
+from repro.subjects.registry import load_subject
+
+QUICK_SUBJECTS = ("expr", "ini")
+ALL_SUBJECTS = ("expr", "ini", "csv", "json", "tinyc", "mjs")
+BUDGETS = {"expr": 300, "ini": 300, "csv": 300, "json": 400,
+           "tinyc": 400, "mjs": 400}
+
+
+# --------------------------------------------------------------------- #
+# minimal_cover: the greedy set-cover kernel
+# --------------------------------------------------------------------- #
+
+
+def test_minimal_cover_empty():
+    assert minimal_cover([]) == []
+
+
+def test_minimal_cover_drops_redundant_sets():
+    sets = [
+        frozenset({1, 2, 3}),
+        frozenset({2, 3}),  # subset of 0: redundant
+        frozenset({4}),
+        frozenset(),  # empty: never chosen
+    ]
+    assert minimal_cover(sets) == [0, 2]
+
+
+def test_minimal_cover_ties_break_by_file_order():
+    sets = [frozenset({1, 2}), frozenset({3, 4}), frozenset({1, 2, 3, 4})]
+    # Index 2 covers everything in one pick.
+    assert minimal_cover(sets) == [2]
+    # With equal gains, the earliest index wins.
+    assert minimal_cover([frozenset({1}), frozenset({1})]) == [0]
+
+
+def test_minimal_cover_union_equality_is_invariant():
+    sets = [
+        frozenset({1, 2}),
+        frozenset({2, 3}),
+        frozenset({3, 4}),
+        frozenset({9}),
+    ]
+    chosen = minimal_cover(sets)
+    assert frozenset().union(*(sets[i] for i in chosen)) == frozenset(
+        {1, 2, 3, 4, 9}
+    )
+
+
+# --------------------------------------------------------------------- #
+# The arc-coverage-equality property, against real campaign corpora
+# --------------------------------------------------------------------- #
+
+
+def _campaign_inputs(subject_name, budget, seed=1):
+    subject = load_subject(subject_name)
+    result = PFuzzer(
+        subject, FuzzerConfig(seed=seed, max_executions=budget)
+    ).run()
+    return sorted(set(result.all_valid) | set(result.valid_inputs))
+
+
+def _arc_union(subject_name, inputs):
+    subject = load_subject(subject_name)
+    arcs = set()
+    for text in inputs:
+        arcs.update(run_subject(subject, text).decoded_branches())
+    return arcs
+
+
+def _assert_distilled_preserves_arcs(subject_name, budget):
+    inputs = _campaign_inputs(subject_name, budget)
+    assume_some = len(inputs) >= 1
+    assert assume_some, f"campaign produced no inputs for {subject_name}"
+    kept, arcs = distill_subject(subject_name, inputs)
+    assert set(kept) <= set(inputs)
+    # The property: identical decoded arc unions (decoded, so the check
+    # does not depend on interning order).
+    assert _arc_union(subject_name, kept) == _arc_union(subject_name, inputs)
+    assert arcs == len(_arc_union(subject_name, inputs))
+
+
+@pytest.mark.parametrize("subject_name", QUICK_SUBJECTS)
+def test_distilled_corpus_covers_same_arcs_quick(subject_name):
+    _assert_distilled_preserves_arcs(subject_name, BUDGETS[subject_name])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "subject_name", [s for s in ALL_SUBJECTS if s not in QUICK_SUBJECTS]
+)
+def test_distilled_corpus_covers_same_arcs_all_subjects(subject_name):
+    _assert_distilled_preserves_arcs(subject_name, BUDGETS[subject_name])
+
+
+# --------------------------------------------------------------------- #
+# distill_store: in-place store rewrite
+# --------------------------------------------------------------------- #
+
+
+def test_distill_store_keeps_other_subjects_untouched(tmp_path):
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    expr_inputs = _campaign_inputs("expr", 200)
+    store.add_records(
+        [CorpusRecord("expr", "pfuzzer", 1, text) for text in expr_inputs]
+        + [CorpusRecord("ini", "afl", 0, "[s]\nk=v\n")]
+    )
+    stats = distill_store(store, subject="expr")
+    assert [s.subject for s in stats] == ["expr"]
+    assert isinstance(stats[0], DistillStats)
+    assert stats[0].kept + stats[0].dropped == len(expr_inputs)
+    # The foreign subject's record survived verbatim.
+    assert store.inputs(subject="ini") == ["[s]\nk=v\n"]
+    # Re-distilling is idempotent: nothing more to drop.
+    again = distill_store(store, subject="expr")
+    assert again[0].dropped == 0
+    assert again[0].kept == stats[0].kept
+
+
+def test_distill_store_drops_duplicate_records(tmp_path):
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add_records(
+        [
+            CorpusRecord("expr", "pfuzzer", 1, "1"),
+            CorpusRecord("expr", "pfuzzer", 2, "1"),  # duplicate input
+        ]
+    )
+    stats = distill_store(store, subject="expr")
+    assert stats[0].kept == 1
+    assert store.inputs(subject="expr") == ["1"]
+
+
+def test_distill_store_on_empty_store(tmp_path):
+    assert distill_store(CorpusStore(tmp_path / "nope.jsonl")) == []

@@ -331,3 +331,120 @@ def test_sigterm_mid_grid_leaves_valid_checkpoints_and_resumes_equal(tmp_path):
             record.spec.tool, record.spec.subject, budget, seed=record.spec.seed
         )
         _assert_outputs_equal(record.output, reference)
+
+
+# --------------------------------------------------------------------- #
+# Cross-shard determinism harness (DESIGN.md §8)
+# --------------------------------------------------------------------- #
+#
+# A sharded campaign group under a fixed sync schedule must be a pure
+# function of (subject, seeds, schedule):
+#
+#   1. rerunning the same ShardPlan on a fresh root reproduces every
+#      shard's result fingerprint (and therefore the group fingerprint);
+#   2. SIGKILLing any shard mid-slice and resuming it from its checkpoint
+#      leaves the group fingerprint unchanged — sync points fall on the
+#      same execution counts, so every shard still imports the same
+#      inputs in the same order.
+#
+# The quick split proves both on two subjects x both backends at N=2 and
+# spot-checks N=4; the slow split runs all six subjects x both backends
+# x N in {2, 4}.
+
+
+def _shard_plan(subject_name, backend, shards=2, budget=400):
+    from repro.eval.shards import ShardPlan
+
+    return ShardPlan(
+        subject=subject_name,
+        budget=budget,
+        shards=shards,
+        base_seed=11,
+        slice_executions=150,
+        checkpoint_every=50,
+        coverage_backend=backend,
+    )
+
+
+def _run_plan(plan, tmp_path, name, kill_at=None):
+    from repro.eval.shards import run_sharded
+
+    return run_sharded(plan, tmp_path / name, kill_at=kill_at)
+
+
+def _assert_groups_equivalent(reference, other):
+    assert [s.fingerprint for s in other.shards] == [
+        s.fingerprint for s in reference.shards
+    ]
+    assert other.group_fingerprint == reference.group_fingerprint
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", QUICK_SUBJECTS)
+def test_sharded_group_is_deterministic_and_kill_stable(
+    subject_name, backend, tmp_path
+):
+    plan = _shard_plan(subject_name, backend)
+    reference = _run_plan(plan, tmp_path, "reference")
+    assert [s.executions for s in reference.shards] == [plan.budget] * 2
+
+    # (1) Same plan, fresh root: byte-identical group.
+    rerun = _run_plan(plan, tmp_path, "rerun")
+    _assert_groups_equivalent(reference, rerun)
+
+    # (2) SIGKILL every shard once, at different mid-slice points; the
+    # resumed group must still match the unkilled reference.
+    killed = _run_plan(
+        plan, tmp_path, "killed", kill_at={0: 180, 1: 320}
+    )
+    assert killed.kills == 2
+    assert all(s.resumes >= 1 for s in killed.shards)
+    _assert_groups_equivalent(reference, killed)
+
+
+def test_four_shard_group_is_deterministic(tmp_path):
+    """Acceptance spot-check: the harness holds at N=4 too."""
+    plan = _shard_plan("expr", "settrace", shards=4)
+    reference = _run_plan(plan, tmp_path, "reference")
+    rerun = _run_plan(plan, tmp_path, "rerun")
+    _assert_groups_equivalent(reference, rerun)
+    killed = _run_plan(plan, tmp_path, "killed", kill_at={2: 250})
+    assert killed.kills == 1
+    _assert_groups_equivalent(reference, killed)
+
+
+def test_shards_exchange_inputs_through_the_store(tmp_path):
+    """The sync protocol is live, not vacuous: the shared store ends up
+    holding inputs from more than one shard, and shards import them."""
+    from repro.eval.corpus_store import CorpusStore
+
+    plan = _shard_plan("expr", "settrace")
+    result = _run_plan(plan, tmp_path, "group")
+    store = CorpusStore(result.store_path)
+    seeds = {record.seed for record in store.records()}
+    assert len(seeds) == 2, "both shards should have pushed inputs"
+    # Imported inputs surface as 'sync' ops on the trace/lineage layer;
+    # here we check the cheap invariant: every shard saw the union.
+    union = set(store.inputs(subject=plan.subject))
+    for shard in result.shards:
+        assert set(shard.valid_inputs) <= union
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shards", (2, 4))
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", ALL_SUBJECTS)
+def test_sharded_determinism_all_subjects(
+    subject_name, backend, shards, tmp_path
+):
+    """The full acceptance grid: six subjects x two backends x N in
+    {2, 4}, each rerun-deterministic and kill-stable."""
+    plan = _shard_plan(subject_name, backend, shards=shards)
+    reference = _run_plan(plan, tmp_path, "reference")
+    rerun = _run_plan(plan, tmp_path, "rerun")
+    _assert_groups_equivalent(reference, rerun)
+    killed = _run_plan(
+        plan, tmp_path, "killed", kill_at={shards - 1: 230}
+    )
+    assert killed.kills == 1
+    _assert_groups_equivalent(reference, killed)

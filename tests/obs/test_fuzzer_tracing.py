@@ -146,3 +146,39 @@ def test_every_valid_input_chain_replays_ini(seed):
         subject, FuzzerConfig(seed=seed, max_executions=80)
     ).run()
     _assert_chains_replay(result)
+
+
+def test_corpus_sync_events_on_the_trace_bus(tmp_path, expr_subject):
+    """A syncing shard emits schema-valid ``corpus_sync`` events carrying
+    the executions counter and push/import counts, and every imported
+    input appears as a ``sync``-op candidate_scheduled event."""
+    from repro.eval.corpus_store import CorpusRecord, CorpusStore
+
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add_records(
+        [CorpusRecord("expr", "pfuzzer", 99, "1+2", path_signature=1)]
+    )
+    path = tmp_path / "trace.ndjson"
+    result = _run(
+        expr_subject,
+        trace_path=str(path),
+        sync_store=str(store.path),
+        sync_every=100,
+    )
+    events = read_trace(path, strict=True)  # schema-valid, corpus_sync included
+    syncs = [e for e in events if e["type"] == "corpus_sync"]
+    assert syncs, "cadence syncs must appear on the trace bus"
+    for event in syncs:
+        assert set(event) >= {"executions", "pushed", "imported"}
+        assert 0 <= event["executions"] <= result.executions
+    assert sum(e["imported"] for e in syncs) >= 1
+    sync_scheduled = [
+        e
+        for e in events
+        if e["type"] == "candidate_scheduled" and e.get("op") == "sync"
+    ]
+    assert {e["text"] for e in sync_scheduled} >= {"1+2"}
+    # The imported chain replays from the trace file alone.
+    log = LineageLog.from_trace_events(events)
+    for event in sync_scheduled:
+        assert log.replay(event["lineage"]) == event["text"]

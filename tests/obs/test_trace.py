@@ -29,6 +29,7 @@ EXAMPLES = {
     "candidate_executed": dict(lineage=1, executions=5, status="rejected"),
     "input_emitted": dict(lineage=1, executions=5, text="ab", signature=3),
     "span": dict(phase="execute", start=0.5, dur=0.001),
+    "corpus_sync": dict(executions=200, pushed=3, imported=2),
     "checkpoint_written": dict(executions=50),
     "resumed": dict(executions=50, resumes=1),
     "preempted": dict(executions=70),

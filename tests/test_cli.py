@@ -277,6 +277,11 @@ def test_compare_checkpoint_dir_and_corpus(tmp_path, capsys):
         ["report", "--budget", "0"],
         ["submit", "expr", "--budget", "0"],
         ["submit", "expr", "--priority", "0"],
+        ["submit", "expr", "--shards", "0"],
+        ["submit", "expr", "--sync-every", "0"],
+        ["fuzz", "expr", "--shards", "-1"],
+        ["fuzz", "expr", "--sync-every", "0"],
+        ["fuzz", "expr", "--slice-executions", "0"],
         ["serve", "--state-dir", "x", "--workers", "0"],
         ["serve", "--state-dir", "x", "--slice-executions", "0"],
     ],
@@ -303,7 +308,7 @@ def test_boundary_values_are_accepted(argv):
 
 
 # --------------------------------------------------------------------- #
-# repro corpus: stats, --list, --compact
+# repro corpus: stats / list / compact / distill
 # --------------------------------------------------------------------- #
 
 
@@ -316,24 +321,36 @@ def _populated_corpus(tmp_path, capsys):
     return path
 
 
-def test_corpus_stats_counts_records_and_unique_signatures(tmp_path, capsys):
-    path = _populated_corpus(tmp_path, capsys)
-    assert main(["corpus", str(path)]) == 0
-    out = capsys.readouterr().out
-    records = dict(
-        line.split(":", 1) for line in out.strip().splitlines()
+def _stats_totals(out):
+    """Parse the summary lines of ``repro corpus stats`` output."""
+    return dict(
+        (key.strip(), value.strip())
+        for key, value in (
+            line.split(":", 1)
+            for line in out.strip().splitlines()
+            if ":" in line
+        )
     )
-    total = int(records["records"])
-    distinct = int(records["distinct inputs"])
-    unique_sigs = int(records["unique path sigs"])
+
+
+def test_corpus_stats_counts_records_and_distinct_signatures(tmp_path, capsys):
+    path = _populated_corpus(tmp_path, capsys)
+    assert main(["corpus", "stats", str(path)]) == 0
+    out = capsys.readouterr().out
+    totals = _stats_totals(out)
+    total = int(totals["records"])
+    distinct = int(totals["distinct inputs"])
+    distinct_sigs = int(totals["distinct signatures"])
     assert total == 2 * distinct  # two identical runs
-    assert unique_sigs == distinct  # pfuzzer signs every input
-    assert records["subjects"].strip() == "expr"
+    assert distinct_sigs == distinct  # pfuzzer signs every input
+    assert totals["subjects"] == "expr"
+    # The per-subject breakdown reports the same numbers.
+    assert f"expr\trecords={total}\tinputs={distinct}" in out
 
 
 def test_corpus_list_prints_one_line_per_record(tmp_path, capsys):
     path = _populated_corpus(tmp_path, capsys)
-    assert main(["corpus", str(path), "--list"]) == 0
+    assert main(["corpus", "list", str(path)]) == 0
     lines = capsys.readouterr().out.strip().splitlines()
     from repro.eval.corpus_store import CorpusStore
 
@@ -343,18 +360,72 @@ def test_corpus_list_prints_one_line_per_record(tmp_path, capsys):
 
 def test_corpus_compact_deduplicates(tmp_path, capsys):
     path = _populated_corpus(tmp_path, capsys)
-    assert main(["corpus", str(path), "--compact"]) == 0
+    assert main(["corpus", "compact", str(path)]) == 0
     captured = capsys.readouterr()
     assert "kept" in captured.err and "dropped" in captured.err
-    stats = dict(
-        line.split(":", 1) for line in captured.out.strip().splitlines()
+    totals = _stats_totals(captured.out)
+    assert int(totals["records"]) == int(totals["distinct inputs"])
+
+
+def test_corpus_compact_collapse_signatures_flag(tmp_path, capsys):
+    path = _populated_corpus(tmp_path, capsys)
+    assert main(
+        ["corpus", "compact", str(path), "--collapse-signatures"]
+    ) == 0
+    totals = _stats_totals(capsys.readouterr().out)
+    # One record per distinct signature survives.
+    assert int(totals["records"]) == int(totals["distinct signatures"])
+
+
+def test_corpus_distill_preserves_arc_union(tmp_path, capsys):
+    from repro.eval.code_cov import coverage_of_inputs
+    from repro.eval.corpus_store import CorpusStore
+
+    path = _populated_corpus(tmp_path, capsys)
+    before = coverage_of_inputs("expr", CorpusStore(path).inputs("expr"))
+    assert main(["corpus", "distill", str(path), "--subject", "expr"]) == 0
+    captured = capsys.readouterr()
+    assert "arcs preserved" in captured.err
+    after_inputs = CorpusStore(path).inputs("expr")
+    assert coverage_of_inputs("expr", after_inputs) == before
+    assert len(after_inputs) == len(set(after_inputs))  # deduplicated
+
+
+def test_corpus_stats_on_missing_file_reports_empty(tmp_path, capsys):
+    assert main(["corpus", "stats", str(tmp_path / "nope.jsonl")]) == 0
+    totals = _stats_totals(capsys.readouterr().out)
+    assert totals["records"] == "0"
+    assert totals["subjects"] == "-"
+
+
+# --------------------------------------------------------------------- #
+# repro fuzz --shards: lockstep sharded groups from the CLI
+# --------------------------------------------------------------------- #
+
+
+def test_fuzz_shards_runs_group_and_shares_store(tmp_path, capsys):
+    import ast
+
+    from repro.eval.corpus_store import CorpusStore
+
+    root = tmp_path / "group"
+    code = main(
+        ["fuzz", "expr", "--budget", "300", "--seed", "1", "--shards", "2",
+         "--slice-executions", "150", "--checkpoint-dir", str(root)]
     )
-    assert int(stats["records"]) == int(stats["distinct inputs"])
-
-
-def test_corpus_on_missing_file_reports_empty(tmp_path, capsys):
-    assert main(["corpus", str(tmp_path / "nope.jsonl")]) == 0
-    assert "records:            0" in capsys.readouterr().out
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "# shard 0: seed 1" in captured.err
+    assert "# shard 1: seed 2" in captured.err
+    assert "group fingerprint" in captured.err
+    emitted = [
+        ast.literal_eval(line)
+        for line in captured.out.strip().splitlines()
+        if line
+    ]
+    # The shared store holds every shard's emitted inputs.
+    store = CorpusStore(root / "corpus.jsonl")
+    assert set(emitted) <= set(store.inputs(subject="expr"))
 
 
 # --------------------------------------------------------------------- #
