@@ -60,6 +60,7 @@ from repro.eval.report import (
     render_token_table,
 )
 from repro.eval.token_cov import figure3
+from repro.runtime.executor import EXECUTOR_MODES
 from repro.runtime.harness import COVERAGE_BACKENDS
 from repro.subjects.registry import SUBJECT_NAMES, load_subject
 
@@ -204,6 +205,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--slice-executions", type=_positive_int, default=200, metavar="N",
         help="with --shards: round length in executions (default: 200)",
+    )
+    fuzz.add_argument(
+        "--executor", choices=EXECUTOR_MODES, default="inline",
+        help="execution engine: inline (reference, in-process) or pooled "
+        "(persistent forked-worker executor; identical results, lower "
+        "per-candidate fixed cost — see DESIGN.md §9)",
+    )
+    fuzz.add_argument(
+        "--batch-size", type=_positive_int, default=1, metavar="N",
+        help="with --executor pooled: speculative candidates submitted per "
+        "round-trip (default: 1 — no speculation)",
     )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
@@ -409,6 +421,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: the service's slice length)",
     )
     submit.add_argument(
+        "--executor", choices=EXECUTOR_MODES, default="inline",
+        help="execution engine for the job's slices (pFuzzer only)",
+    )
+    submit.add_argument(
+        "--batch-size", type=_positive_int, default=1, metavar="N",
+        help="with --executor pooled: speculative candidates per round-trip",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="block until the job reaches a terminal state",
     )
@@ -495,6 +515,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_executions=args.budget,
         coverage_backend=args.coverage_backend,
         trace_path=args.trace,
+        executor=args.executor,
+        batch_size=args.batch_size,
         **durability,
     )
     result = PFuzzer(subject, config).run()
@@ -891,6 +913,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         spec["shards"] = args.shards
     if args.sync_every is not None:
         spec["sync_every"] = args.sync_every
+    if args.executor != "inline":
+        spec["executor"] = args.executor
+        spec["batch_size"] = args.batch_size
 
     def run(client) -> int:
         response = client.submit(spec)

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import Iterable, Optional
+
+#: Empty parent-branch buffer shared by every seed/append candidate —
+#: they are the common case and need no per-instance allocation.
+_NO_BRANCHES = array("I")
 
 
 @dataclass(slots=True)
@@ -25,7 +30,13 @@ class Candidate:
         parents: length of the substitution chain from the initial input.
         parent_branches: branches (interned arc ids) covered by the parent's
             execution, up to the first comparison of its last compared
-            character.
+            character.  Stored as a *sorted* ``array('I')``: 4 bytes per
+            arc instead of a frozenset's per-entry hash-table overhead,
+            and the sorted layout makes queue re-scoring a vectorised
+            bitmap count (see :meth:`CandidateQueue.rescore`) with the
+            largest id available in O(1) at ``parent_branches[-1]``.  Any
+            iterable of arc ids is accepted at construction and
+            normalised.
         avg_stack: the parent execution's ``avgStackSize()``.
         path_signature: identity of the parent's branch path, used for the
             path-novelty penalty.
@@ -46,15 +57,33 @@ class Candidate:
     text: str
     replacement: str = ""
     parents: int = 0
-    parent_branches: FrozenSet[int] = field(default_factory=frozenset)
+    parent_branches: "array[int]" = field(default_factory=lambda: _NO_BRANCHES)
     avg_stack: float = 0.0
     path_signature: int = 0
     static_score: Optional[float] = field(default=None, compare=False)
     new_count: Optional[int] = field(default=None, compare=False)
     lineage: int = field(default=0, compare=False)
 
+    def __post_init__(self) -> None:
+        branches = self.parent_branches
+        if type(branches) is not array:
+            self.parent_branches = (
+                array("I", sorted(branches)) if branches else _NO_BRANCHES
+            )
+
+    def branch_set(self) -> frozenset:
+        """The parent branches as a frozenset, for set-algebra callers."""
+        return frozenset(self.parent_branches)
+
     def __repr__(self) -> str:
         return (
             f"Candidate({self.text!r}, repl={self.replacement!r}, "
             f"parents={self.parents})"
         )
+
+
+def normalize_branches(branches: Iterable[int]) -> "array[int]":
+    """An iterable of interned arc ids as the canonical sorted array."""
+    if type(branches) is array:
+        return branches
+    return array("I", sorted(branches)) if branches else _NO_BRANCHES

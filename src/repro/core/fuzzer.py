@@ -17,8 +17,18 @@ Branches are interned arc ids (small ints, see
 :mod:`repro.runtime.arcs`), so ``vBr`` and the heuristic's set differences
 operate on int sets.  Scoring uses the caches on
 :class:`~repro.core.candidate.Candidate` (``static_score``, ``new_count``)
-plus one cached ``vBr`` frozenset, making a queue re-score O(queue) with
-O(1) work per candidate instead of a set difference per candidate.
+plus a bytearray bitmap of ``vBr`` indexed by arc id, making a queue
+re-score O(queue) with a vectorised membership count per candidate instead
+of a set difference per candidate.
+
+Execution is pluggable (``config.executor``): the default ``"inline"``
+engine calls :func:`~repro.runtime.harness.run_subject` in-process; the
+``"pooled"`` engine routes candidates through a persistent forked-worker
+executor (:mod:`repro.runtime.executor`) and — with ``config.batch_size``
+> 1 — speculatively submits the queue's likely next pops in the same
+round-trip.  Executions are a pure function of the input text, and all
+campaign bookkeeping (counters, path counts, lineage, RNG) happens here at
+consume time, so every engine produces byte-identical campaign results.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.core.candidate import Candidate
+from repro.core.candidate import Candidate, normalize_branches
 from repro.core.config import FuzzerConfig
 from repro.core.heuristic import static_score
 from repro.core.queue import CandidateQueue
@@ -39,6 +49,7 @@ from repro.core.substitute import substitutions_for
 from repro.obs.lineage import LineageLog
 from repro.obs.trace import NULL_RECORDER, JsonlTraceRecorder, PhaseTimer, TraceRecorder
 from repro.runtime.arcs import arc_table_for
+from repro.runtime.executor import EXECUTOR_MODES, ISOLATION_MODES
 from repro.runtime.harness import ExitStatus, RunResult, run_subject
 from repro.subjects.base import Subject
 
@@ -158,9 +169,13 @@ class PFuzzer:
         self._lineage = LineageLog()
         self._rng = random.Random(self.config.seed)
         self._valid_branches: Set[int] = set()
-        #: Cached ``frozenset(vBr)``, refreshed only when vBr grows —
-        #: scoring must not rebuild it per candidate.
+        #: Cached ``frozenset(vBr)``, grown *incrementally* (unioned with
+        #: each emit's added arcs) — never rebuilt from scratch.
         self._vbr_frozen: FrozenSet[int] = frozenset()
+        #: Bitmap of vBr indexed by interned arc id, grown on demand —
+        #: what first-time candidate scoring counts against (a C-level
+        #: ``sum(map(...))`` over the candidate's sorted arc array).
+        self._vbr_map = bytearray()
         self._path_counts: Dict[int, int] = {}
         self._seen: Set[str] = set()
         self._all_valid_seen: Set[str] = set()
@@ -188,6 +203,24 @@ class PFuzzer:
             )
         if self.config.shard_rotate_every < 1:
             raise ValueError("shard_rotate_every must be positive")
+        if self.config.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"unknown executor {self.config.executor!r}; "
+                f"expected one of {EXECUTOR_MODES}"
+            )
+        if self.config.executor_isolation not in ISOLATION_MODES:
+            raise ValueError(
+                f"unknown executor isolation "
+                f"{self.config.executor_isolation!r}; "
+                f"expected one of {ISOLATION_MODES}"
+            )
+        if self.config.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.config.executor_workers < 1:
+            raise ValueError("executor_workers must be positive")
+        #: The pooled execution engine, created for the duration of
+        #: :meth:`run`; None means the inline fast path.
+        self._executor = None
         self._syncer = None
         if self.config.sync_store is not None:
             from repro.eval.corpus_store import CorpusStore
@@ -222,7 +255,19 @@ class PFuzzer:
         weights = self.config.weights
         new_count = candidate.new_count
         if new_count is None:
-            new_count = len(candidate.parent_branches - self._vbr_frozen)
+            branches = candidate.parent_branches
+            if branches:
+                vbr_map = self._vbr_map
+                if branches[-1] >= len(vbr_map):
+                    # The sorted array's last entry is its max arc id;
+                    # grow the bitmap once instead of bounds-checking
+                    # every lookup.
+                    vbr_map.extend(bytes(branches[-1] + 1 - len(vbr_map)))
+                new_count = len(branches) - sum(
+                    map(vbr_map.__getitem__, branches)
+                )
+            else:
+                new_count = 0
             candidate.new_count = new_count
         cached_static = candidate.static_score
         if cached_static is None:
@@ -286,12 +331,20 @@ class PFuzzer:
     def _execute(self, text: str, lineage: int) -> RunResult:
         self._seen.add(text)
         started = self._timer.start()
-        result = run_subject(
-            self.subject,
-            text,
-            trace_coverage=self.config.trace_coverage,
-            coverage_backend=self.config.coverage_backend,
-        )
+        if self._executor is None:
+            result = run_subject(
+                self.subject,
+                text,
+                trace_coverage=self.config.trace_coverage,
+                coverage_backend=self.config.coverage_backend,
+            )
+        else:
+            # Pooled engine: the result may already be streaming in from a
+            # speculative prefetch; otherwise this is one round-trip.  All
+            # bookkeeping below happens here at consume time regardless of
+            # when (or on which worker) the execution actually ran, which
+            # is what keeps every engine byte-identical.
+            result = self._executor.execute(text)
         self._timer.stop("execute", started)
         self._result.executions += 1
         if _TEST_KILL_AT is not None and self._result.executions >= _TEST_KILL_AT:
@@ -313,6 +366,22 @@ class PFuzzer:
                 status=result.status.name.lower(),
             )
         return result
+
+    def _absorb_valid_branches(self, added: FrozenSet[int]) -> None:
+        """Grow vBr with ``added`` arcs across all three representations.
+
+        The frozenset cache is unioned incrementally — rebuilding it from
+        the full set on every coverage-growing input was O(|vBr|) per emit
+        — and the scoring bitmap flips just the added bits.
+        """
+        self._valid_branches |= added
+        self._vbr_frozen |= added
+        vbr_map = self._vbr_map
+        top = max(added)
+        if top >= len(vbr_map):
+            vbr_map.extend(bytes(top + 1 - len(vbr_map)))
+        for arc in added:
+            vbr_map[arc] = 1
 
     def _is_valid_new(self, result: RunResult) -> bool:
         """Algorithm 1 ``runCheck``: exit 0 and new branch coverage."""
@@ -344,9 +413,9 @@ class PFuzzer:
             )
         if self.on_emit is not None:
             self.on_emit(self._result.executions, result.text)
-        added = frozenset(result.branches - self._valid_branches)
-        self._valid_branches |= added
-        self._vbr_frozen = frozenset(self._valid_branches)
+        added = result.branches - self._valid_branches
+        if added:
+            self._absorb_valid_branches(added)
         started = self._timer.start()
         self._queue.rescore(added)
         self._timer.stop("rescore", started)
@@ -360,7 +429,9 @@ class PFuzzer:
         caused the splice.
         """
         started = self._timer.start()
-        parent_branches = result.branches_for_heuristic()
+        # Normalise to the canonical sorted arc array once; every queued
+        # sibling shares the same (immutable-by-convention) buffer.
+        parent_branches = normalize_branches(result.branches_for_heuristic())
         avg_stack = result.average_stack_size()
         signature = result.path_signature()
         trace_on = self._trace_on
@@ -543,7 +614,12 @@ class PFuzzer:
         """Everything a snapshot's config must match to be resumable.
 
         ``max_executions`` is deliberately excluded: resuming with a larger
-        budget is how a finished campaign is extended.
+        budget is how a finished campaign is extended.  The executor
+        fields (``executor``/``batch_size``/``executor_workers``/
+        ``executor_isolation``) are excluded like ``trace_path``: they are
+        environmental — every engine produces byte-identical campaigns,
+        so a resume may switch engines freely (the equivalence harness
+        asserts exactly this).
         """
         config = self.config
         return {
@@ -682,6 +758,11 @@ class PFuzzer:
         unpacker = ArcUnpacker(payload["arcs"], arc_table_for(self.subject))
         self._valid_branches = set(unpacker.ids(payload["valid_branches"]))
         self._vbr_frozen = frozenset(self._valid_branches)
+        self._vbr_map = bytearray(
+            max(self._valid_branches) + 1 if self._valid_branches else 0
+        )
+        for arc in self._valid_branches:
+            self._vbr_map[arc] = 1
         self._path_counts = {
             signature: count for signature, count in payload["path_counts"]
         }
@@ -774,6 +855,32 @@ class PFuzzer:
             return False
         return True
 
+    def _prefetch(self, head: Optional[str] = None) -> None:
+        """Speculatively submit the next likely executions to the engine.
+
+        ``head`` is the text about to execute; with ``batch_size`` > 1 the
+        queue's approximate next pops ride in the same round-trip.  Pure
+        overlap: results are cached by text and consumed (with all
+        bookkeeping) in :meth:`_execute`, so speculation — right or wrong
+        — never changes the campaign.  No-op on the inline engine.
+        """
+        executor = self._executor
+        if executor is None:
+            return
+        texts: List[str] = []
+        if head is not None:
+            texts.append(head)
+        want = self.config.batch_size - len(texts)
+        if want > 0:
+            seen = self._seen
+            for text in self._queue.peek_texts(want + 4):
+                if text not in seen and text != head:
+                    texts.append(text)
+                    if len(texts) >= self.config.batch_size:
+                        break
+        if texts:
+            executor.prefetch(texts)
+
     def run(self) -> FuzzingResult:
         """Run the campaign until the execution budget is exhausted.
 
@@ -790,7 +897,29 @@ class PFuzzer:
         ``_seen``, so the first action is the same ``_next_candidate`` pop
         (and the same RNG draws) the uninterrupted run performed there —
         which is what makes resumed output byte-identical modulo timings.
+
+        With ``config.executor="pooled"`` the persistent forked-worker
+        engine is spawned for the duration of this call and shut down on
+        the way out, crash or not.
         """
+        if self.config.executor == "pooled":
+            from repro.runtime.executor import PooledExecutor
+
+            self._executor = PooledExecutor(
+                self.subject,
+                coverage_backend=self.config.coverage_backend,
+                trace_coverage=self.config.trace_coverage,
+                workers=self.config.executor_workers,
+                isolation=self.config.executor_isolation,
+            )
+        try:
+            return self._run()
+        finally:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
+
+    def _run(self) -> FuzzingResult:
         if self.config.checkpoint_dir is not None and self.config.resume:
             self._resume_from_checkpoint()
         run_base = self._result.executions
@@ -804,9 +933,22 @@ class PFuzzer:
                 budget=self.config.max_executions,
                 executions=self._result.executions,
             )
-        for text in self.config.initial_inputs:
+        initial_inputs = list(self.config.initial_inputs)
+        for position, text in enumerate(initial_inputs):
             if not self._budget_left() or text in self._seen:
                 continue
+            if self._executor is not None:
+                # Seed replay is a known-ahead batch: ship the next slice
+                # of unseen seeds in one round-trip.
+                self._executor.prefetch(
+                    [
+                        seed_text
+                        for seed_text in initial_inputs[
+                            position : position + self.config.batch_size
+                        ]
+                        if seed_text not in self._seen
+                    ]
+                )
             seed = self._seed_candidate(text)
             seeded = self._execute(text, seed.lineage)
             if self._is_valid_new(seeded):
@@ -821,6 +963,7 @@ class PFuzzer:
                 else self._next_candidate()
             )
         while current is not None and self._budget_left():
+            self._prefetch(current.text)
             result = self._execute(current.text, current.lineage)
             if self._is_valid_new(result):
                 self._handle_valid(result, current.parents, current.lineage)

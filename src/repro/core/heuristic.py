@@ -44,7 +44,11 @@ def heuristic_score(
     This is the from-scratch reference; the fuzzer's hot path combines the
     cached :func:`static_score` and ``Candidate.new_count`` instead.
     """
-    new_branches = len(candidate.parent_branches - valid_branches)
+    # ``parent_branches`` is a sorted arc-id array, not a set; count the
+    # ids outside vBr directly instead of materialising a difference set.
+    new_branches = sum(
+        1 for arc in candidate.parent_branches if arc not in valid_branches
+    )
     score = weights.new_branches * new_branches
     score += static_score(candidate, weights)
     score -= weights.path_repetition * path_counts.get(candidate.path_signature, 0)

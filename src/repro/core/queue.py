@@ -11,12 +11,21 @@ and pops are O(log n); a re-score (which only happens when a new valid
 input is emitted) recomputes every priority and re-heapifies in O(n).  When
 the queue exceeds its capacity it is compacted to the best ``limit``
 candidates.
+
+Re-scoring is vectorised over the interned arc ids: candidates store
+their parent branches as sorted ``array('I')`` buffers
+(:class:`~repro.core.candidate.Candidate`), the freshly added arcs become
+a ``bytearray`` bitmap indexed by arc id, and each candidate's overlap
+with the new arcs is ``sum(map(bitmap.__getitem__, branches))`` — a
+single C-level pass per candidate, no per-arc set hashing.  The queue
+tracks the largest arc id it has ever stored so the bitmap is sized once
+per re-score, in O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.candidate import Candidate
 
@@ -34,6 +43,10 @@ class CandidateQueue:
         self._limit = limit
         self._heap: List[_Entry] = []
         self._counter = 0  # FIFO tiebreak for equal scores
+        #: Largest interned arc id any stored candidate references — the
+        #: bitmap bound for :meth:`rescore`.  Never shrinks on pop; an
+        #: over-sized bitmap is only slack bytes.
+        self._max_arc = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -42,9 +55,15 @@ class CandidateQueue:
         for _, _, candidate in self._heap:
             yield candidate
 
+    def _note_arcs(self, candidate: Candidate) -> None:
+        branches = candidate.parent_branches
+        if branches and branches[-1] > self._max_arc:
+            self._max_arc = branches[-1]
+
     def push(self, candidate: Candidate) -> None:
         """Insert a candidate, scoring it with the current score function."""
         self._counter += 1
+        self._note_arcs(candidate)
         heapq.heappush(
             self._heap, (-self._score_fn(candidate), self._counter, candidate)
         )
@@ -57,19 +76,44 @@ class CandidateQueue:
             return None
         return heapq.heappop(self._heap)[2]
 
-    def rescore(self, added_branches: Optional[FrozenSet[int]] = None) -> None:
+    def peek_texts(self, count: int) -> List[str]:
+        """Texts of (approximately) the next ``count`` candidates to pop.
+
+        Used for speculative batched execution: the executor warms these
+        while the current candidate's results are processed.  Exactness is
+        deliberately traded for cost — the true top-k of a binary heap can
+        sit anywhere in its first k levels, so this looks only at a
+        bounded window of the backing array.  A wrong guess costs a wasted
+        speculative execution, never a wrong campaign result (executions
+        are a pure function of the text).
+        """
+        if count <= 0 or not self._heap:
+            return []
+        window = self._heap[: max(64, 4 * count)]
+        return [entry[2].text for entry in heapq.nsmallest(count, window)]
+
+    def rescore(self, added_branches: Optional[Iterable[int]] = None) -> None:
         """Re-compute every score (Algorithm 1, Lines 40–43).
 
         ``added_branches`` are the arcs the last emitted input newly added
         to ``vBr``.  When given, each candidate's cached new-branch count
         (``Candidate.new_count``) is decremented by its overlap with the
         added arcs, so the score function never has to redo the
-        ``parent_branches - vBr`` set difference — only candidates whose
-        parents actually intersect the new arcs change.  The heap itself is
+        ``parent_branches - vBr`` set difference — the overlap is a bitmap
+        count over the candidate's sorted arc array.  The heap itself is
         still rebuilt (the path-repetition penalty can shift any entry), but
         each score is now O(1).
         """
         if added_branches:
+            # Bitmap of the added arcs, sized to cover both the additions
+            # and every arc id stored in the queue.  Arcs can enter vBr
+            # with ids older than anything queued (first covered by an
+            # invalid run long ago), so the bound takes the max of both.
+            limit = max(self._max_arc, max(added_branches)) + 1
+            added_map = bytearray(limit)
+            for arc in added_branches:
+                added_map[arc] = 1
+            lookup = added_map.__getitem__
             for _, _, candidate in self._heap:
                 count = candidate.new_count
                 if count is None or count == 0:
@@ -81,15 +125,7 @@ class CandidateQueue:
                     # and treating a 0 as unscored would resurrect branches
                     # the candidate no longer covers newly.
                     continue
-                parent_branches = candidate.parent_branches
-                if len(added_branches) < len(parent_branches):
-                    overlap = sum(
-                        1 for arc in added_branches if arc in parent_branches
-                    )
-                else:
-                    overlap = sum(
-                        1 for arc in parent_branches if arc in added_branches
-                    )
+                overlap = sum(map(lookup, candidate.parent_branches))
                 if overlap:
                     candidate.new_count = count - overlap
         self._heap = [
@@ -130,3 +166,5 @@ class CandidateQueue:
         """
         self._heap = list(entries)
         self._counter = counter
+        for _, _, candidate in self._heap:
+            self._note_arcs(candidate)

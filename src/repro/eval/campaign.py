@@ -117,6 +117,9 @@ def run_campaign(
     resume: bool = False,
     corpus_path: Optional[str] = None,
     trace_path: Optional[str] = None,
+    executor: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    executor_workers: Optional[int] = None,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``.
 
@@ -135,6 +138,11 @@ def run_campaign(
             :class:`~repro.eval.corpus_store.CorpusStore` file.
         trace_path: write an NDJSON campaign trace there (pFuzzer only;
             see :mod:`repro.obs.trace`).
+        executor: pFuzzer execution engine (``"inline"``/``"pooled"``;
+            see :mod:`repro.runtime.executor`).  None keeps the config
+            default.  Engine choice never changes the campaign result.
+        batch_size: speculative batch size for the pooled engine.
+        executor_workers: persistent worker count for the pooled engine.
     """
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
@@ -146,6 +154,12 @@ def run_campaign(
             durability["checkpoint_every"] = checkpoint_every
     if trace_path is not None:
         durability["trace_path"] = trace_path
+    if executor is not None:
+        durability["executor"] = executor
+    if batch_size is not None:
+        durability["batch_size"] = batch_size
+    if executor_workers is not None:
+        durability["executor_workers"] = executor_workers
     outcome = _RUNNERS[tool](subject, seed, budget, durability)
     output = ToolOutput(
         tool=tool,

@@ -148,6 +148,7 @@ def _worker_main(
     fail_on: Optional[Dict[FaultKey, str]],
     durability: Optional[Dict[str, object]],
     trace_dir: Optional[str] = None,
+    engine: Optional[Dict[str, object]] = None,
 ) -> None:
     """Worker loop: take (task_id, spec, attempt) tasks until sentinel.
 
@@ -192,6 +193,11 @@ def _worker_main(
             campaign_options["trace_path"] = os.path.join(
                 trace_dir, f"{tool}-{subject}-s{seed}.ndjson"
             )
+        if engine:
+            # Execution-engine knobs (executor/batch_size/executor_workers)
+            # are environmental, like trace_path: they never change a cell's
+            # result, only how fast it runs.
+            campaign_options.update(engine)
         try:
             with time_limit(timeout):
                 import repro.core.fuzzer as fuzzer_module
@@ -283,10 +289,14 @@ class WorkerPool:
         self._next_worker_id += 1
         task_recv, task_send = self.ctx.Pipe(duplex=False)
         result_recv, result_send = self.ctx.Pipe(duplex=False)
+        # daemon=False: workers host PooledExecutor children of their own
+        # (daemonic processes may not have children).  Orphan cleanup does
+        # not rely on the flag anyway — workers poll getppid and exit once
+        # re-parented, and shutdown() sends sentinels then terminates.
         process = self.ctx.Process(
             target=self._target,
             args=(worker_id, task_recv, result_send) + self._extra_args,
-            daemon=True,
+            daemon=False,
         )
         process.start()
         # Close the child's ends immediately: the parent must not hold a
@@ -375,6 +385,7 @@ class _GridExecutor:
         durability: Optional[Dict[str, object]] = None,
         resume_retries: int = 0,
         trace_dir: Optional[str] = None,
+        engine: Optional[Dict[str, object]] = None,
     ) -> None:
         self.specs = list(specs)
         self.jobs = jobs
@@ -387,7 +398,7 @@ class _GridExecutor:
         self.durability = durability
         self.resume_retries = resume_retries
         self.pool = WorkerPool(
-            _worker_main, (timeout, self.fail_on, durability, trace_dir)
+            _worker_main, (timeout, self.fail_on, durability, trace_dir, engine)
         )
         self.records: List[Optional[RunRecord]] = [None] * len(self.specs)
         self.pending = deque(
@@ -606,6 +617,8 @@ def run_grid(
     resume_retries: int = 2,
     corpus_path: Optional[Union[str, "os.PathLike[str]"]] = None,
     trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    executor: Optional[str] = None,
+    batch_size: Optional[int] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -637,6 +650,10 @@ def run_grid(
         trace_dir: write each cell's NDJSON campaign trace to
             ``<tool>-<subject>-s<seed>.ndjson`` below this directory
             (pFuzzer cells only; created if missing).
+        executor: execution engine for pFuzzer cells (``"inline"`` or
+            ``"pooled"``; see :mod:`repro.runtime.executor`).  Purely a
+            throughput knob — cell results are engine-independent.
+        batch_size: speculative batch size for the pooled engine.
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -669,6 +686,13 @@ def run_grid(
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
         trace_dir = str(trace_dir)
+    engine: Optional[Dict[str, object]] = None
+    if executor is not None or batch_size is not None:
+        engine = {}
+        if executor is not None:
+            engine["executor"] = executor
+        if batch_size is not None:
+            engine["batch_size"] = batch_size
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(
@@ -683,6 +707,7 @@ def run_grid(
         durability,
         resume_retries,
         trace_dir,
+        engine,
     )
     records = executor.run()
     if metrics_path is not None:

@@ -23,6 +23,7 @@ comparable and equivalence is asserted in the test suite.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
@@ -35,6 +36,12 @@ from repro.taint.recorder import Recorder, recording
 #: Supported values for ``coverage_backend``.
 COVERAGE_BACKENDS = ("settrace", "ast")
 
+#: Reserved backend names that are registered but not implemented yet.
+#: ``"monitoring"`` is the planned PEP 669 ``sys.monitoring`` backend —
+#: out of scope while CI runs Python 3.11; :func:`run_subject` raises a
+#: version-gated :class:`NotImplementedError` naming the follow-up.
+EXPERIMENTAL_BACKENDS = ("monitoring",)
+
 
 class ExitStatus(enum.Enum):
     """Outcome of one subject execution (the paper's process exit code)."""
@@ -44,9 +51,13 @@ class ExitStatus(enum.Enum):
     HANG = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Everything observed during one instrumented execution.
+
+    ``slots=True``: every campaign iteration builds up to two of these,
+    so they ride the hot loop alongside ``Candidate`` — no per-instance
+    ``__dict__``, and stray attribute writes fail loudly.
 
     Attributes:
         text: the input that was executed.
@@ -65,6 +76,12 @@ class RunResult:
     value: object = None
     error: Optional[str] = None
     arc_table: Optional[ArcTable] = None
+    #: Lazily built ``frozenset(arcs)``; ``branches`` is consulted up to
+    #: three times per execution (validity gate, vBr growth, heuristic),
+    #: and rebuilding the frozenset each time was measurable.
+    _branches: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def valid(self) -> bool:
@@ -74,7 +91,11 @@ class RunResult:
     @property
     def branches(self) -> FrozenSet[int]:
         """All branches (interned line arcs) the execution covered."""
-        return frozenset(self.arcs)
+        cached = self._branches
+        if cached is None:
+            cached = frozenset(self.arcs)
+            self._branches = cached
+        return cached
 
     def decoded_branches(self) -> FrozenSet[tuple]:
         """Branches decoded back to ``(filename, previous, line)`` tuples."""
@@ -161,6 +182,22 @@ def run_subject(
             depth_provider=tracer.current_depth,
             clock_provider=tracer.current_clock,
             stack_provider=tracer.current_stack,
+        )
+    elif coverage_backend == "monitoring":
+        # Version-gated stub for the PEP 669 backend (ROADMAP item 2's
+        # remainder): the name is reserved so the 3.12 follow-up slots in
+        # without a config migration, but no implementation ships while
+        # CI pins 3.11.
+        if sys.version_info < (3, 12):
+            raise NotImplementedError(
+                "the 'monitoring' coverage backend requires Python 3.12+ "
+                "(PEP 669 sys.monitoring); this interpreter is "
+                f"{sys.version_info.major}.{sys.version_info.minor} — "
+                "use 'ast' (fastest) or 'settrace' (reference)"
+            )
+        raise NotImplementedError(
+            "the 'monitoring' coverage backend is registered but not "
+            "implemented yet; use 'ast' (fastest) or 'settrace' (reference)"
         )
     else:
         raise ValueError(

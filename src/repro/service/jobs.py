@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.eval.campaign import validate_campaign
 from repro.eval.checkpoint import atomic_write_text
+from repro.runtime.executor import EXECUTOR_MODES
 from repro.runtime.harness import COVERAGE_BACKENDS
 
 PathLike = Union[str, Path]
@@ -117,6 +118,10 @@ class JobSpec:
             service on group expansion.
         sync_every: corpus-sync cadence in executions for sharded jobs
             (pFuzzer default — the checkpoint cadence — when None).
+        executor: pFuzzer execution engine (``"inline"`` or ``"pooled"``;
+            see :mod:`repro.runtime.executor`).  Environmental like
+            ``trace`` — the job's result is engine-independent.
+        batch_size: speculative batch size for the pooled engine.
     """
 
     subject: str
@@ -131,6 +136,8 @@ class JobSpec:
     shard_id: Optional[int] = None
     shard_group: Optional[str] = None
     sync_every: Optional[int] = None
+    executor: str = "inline"
+    batch_size: int = 1
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
@@ -192,6 +199,15 @@ class JobSpec:
         ):
             problems.append(
                 f"sync_every must be a positive integer, got {self.sync_every!r}"
+            )
+        if self.executor not in EXECUTOR_MODES:
+            problems.append(
+                f"unknown executor {self.executor!r}; "
+                f"valid executors: {', '.join(EXECUTOR_MODES)}"
+            )
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            problems.append(
+                f"batch_size must be a positive integer, got {self.batch_size!r}"
             )
         if problems:
             raise JobError("; ".join(problems))

@@ -131,6 +131,9 @@ def _run_slice(task: dict) -> SliceResult:
             durability["shard_count"] = task["shard_count"]
             durability["sync_store"] = task["sync_store"]
             durability["sync_every"] = task["sync_every"]
+        if task.get("executor"):
+            durability["executor"] = task["executor"]
+            durability["batch_size"] = task.get("batch_size") or 1
         config = FuzzerConfig(
             seed=task["seed"],
             max_executions=task["budget"],
@@ -492,6 +495,8 @@ class CampaignScheduler:
                     "shard_id": spec.shard_id,
                     "shard_count": spec.shards,
                     "sync_every": spec.sync_every,
+                    "executor": spec.executor,
+                    "batch_size": spec.batch_size,
                     "sync_store": (
                         str(
                             self.state_dir

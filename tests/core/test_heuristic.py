@@ -12,7 +12,8 @@ def score(candidate, valid=frozenset(), paths=None):
 
 
 def arcs(*ids):
-    return frozenset(("f", i, i + 1) for i in ids)
+    # Candidates carry interned arc *ids* (small ints), not raw arc tuples.
+    return frozenset(ids)
 
 
 def test_new_branches_raise_score():

@@ -79,7 +79,7 @@ def test_incremental_rescore_matches_reference_scoring():
     def cached_score(candidate):
         # Mirrors PFuzzer._score: use the cache, fall back to a fresh diff.
         if candidate.new_count is None:
-            candidate.new_count = len(candidate.parent_branches - valid)
+            candidate.new_count = len(candidate.branch_set() - valid)
         return (
             weights.new_branches * candidate.new_count
             + weights.replacement_length * len(candidate.replacement)

@@ -69,10 +69,10 @@ def _assert_cache_consistent(queue, vbr, path_counts, weights):
         reference = heuristic_score(candidate, vbr_frozen, path_counts, weights)
         cached_count = candidate.new_count
         assert cached_count is None or cached_count == len(
-            candidate.parent_branches - vbr_frozen
+            candidate.branch_set() - vbr_frozen
         ), (
             f"cached new_count {cached_count} != reference "
-            f"{len(candidate.parent_branches - vbr_frozen)} "
+            f"{len(candidate.branch_set() - vbr_frozen)} "
             f"for {candidate.text!r}"
         )
         if cached_count is not None and candidate.static_score is not None:
@@ -121,7 +121,7 @@ def test_rescore_does_not_resurrect_zero_counts():
     def score(candidate):
         count = candidate.new_count
         if count is None:
-            count = len(candidate.parent_branches - frozenset(vbr))
+            count = len(candidate.branch_set() - frozenset(vbr))
             candidate.new_count = count
         return float(count)
 
@@ -147,7 +147,7 @@ def test_unscored_candidates_score_fresh_against_current_vbr():
     def score(candidate):
         count = candidate.new_count
         if count is None:
-            count = len(candidate.parent_branches - frozenset(vbr))
+            count = len(candidate.branch_set() - frozenset(vbr))
             candidate.new_count = count
             scored_with.append(set(vbr))
         return float(count)
@@ -157,6 +157,7 @@ def test_unscored_candidates_score_fresh_against_current_vbr():
     candidate = Candidate("y", parent_branches=frozenset({5, 6}))
     candidate.new_count = None  # simulate a never-scored cache
     queue._heap.append((0.0, 0, candidate))  # bypass push's scoring
+    queue._note_arcs(candidate)  # ...but keep the rescore bitmap sized
     vbr.update({5})
     queue.rescore(frozenset({5}))
     assert candidate.new_count == 1  # scored fresh against vBr={5}

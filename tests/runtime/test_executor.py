@@ -1,0 +1,260 @@
+"""Unit tests of the persistent forked-worker execution engine.
+
+Covers the executor layer in isolation (campaign-level fingerprint
+equivalence lives in ``tests/eval/test_executor_equivalence.py``):
+wire-format round-trips, single-run field equivalence against the inline
+path, batch ordering, worker-death respawn, isolation modes, lifecycle,
+and the ``__slots__`` audit of the hot-loop dataclasses.
+"""
+
+import pytest
+
+import repro.runtime.executor as executor_module
+from repro.core.candidate import Candidate
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.core.substitute import Substitution
+from repro.runtime.executor import (
+    EXECUTOR_MODES,
+    ExecutorError,
+    InlineExecutor,
+    PooledExecutor,
+    _resolve_isolation,
+    create_executor,
+    rehydrate_run_result,
+    serialize_run_result,
+)
+from repro.runtime.harness import run_subject
+from repro.subjects.registry import load_subject
+
+#: Inputs spanning the interesting outcomes on the expr subject: valid,
+#: rejected-at-EOF, rejected mid-input, empty.
+EXPR_TEXTS = ["1+2", "(3*4)", "(1", "1+", "", "x", "((2))"]
+
+
+@pytest.fixture
+def pooled_expr():
+    executor = PooledExecutor(load_subject("expr"), isolation="none")
+    yield executor
+    executor.close()
+
+
+def _assert_results_match(inline, pooled):
+    assert pooled.text == inline.text
+    assert pooled.status is inline.status
+    assert pooled.error == inline.error
+    assert pooled.arcs == inline.arcs
+    assert pooled.branches == inline.branches
+    assert pooled.recorder.comparisons == inline.recorder.comparisons
+    assert pooled.recorder.eof_events == inline.recorder.eof_events
+    assert (
+        pooled.recorder.last_compared_index()
+        == inline.recorder.last_compared_index()
+    )
+    assert (
+        pooled.recorder.average_stack_size()
+        == inline.recorder.average_stack_size()
+    )
+
+
+# --------------------------------------------------------------------- #
+# Wire format
+# --------------------------------------------------------------------- #
+
+
+def test_serialize_rehydrate_round_trip():
+    subject = load_subject("expr")
+    for text in EXPR_TEXTS:
+        inline = run_subject(subject, text)
+        back = rehydrate_run_result(subject, text, serialize_run_result(inline))
+        _assert_results_match(inline, back)
+
+
+def test_wire_payload_is_pickleable():
+    import pickle
+
+    subject = load_subject("ini")
+    payload = serialize_run_result(run_subject(subject, "[a]\nk=v"))
+    assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+# --------------------------------------------------------------------- #
+# Single-run equivalence, both isolation modes
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("isolation", ["fork", "none"])
+def test_pooled_matches_inline_per_run(isolation):
+    subject = load_subject("expr")
+    with PooledExecutor(subject, isolation=isolation) as executor:
+        for text in EXPR_TEXTS:
+            _assert_results_match(run_subject(subject, text), executor.execute(text))
+
+
+def test_pooled_matches_inline_on_ast_backend():
+    subject = load_subject("ini")
+    texts = ["[s]\na=1", "[s", "", "x=y"]
+    with PooledExecutor(
+        subject, coverage_backend="ast", isolation="none"
+    ) as executor:
+        for text in texts:
+            _assert_results_match(
+                run_subject(subject, text, coverage_backend="ast"),
+                executor.execute(text),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Batching
+# --------------------------------------------------------------------- #
+
+
+def test_run_batch_preserves_order(pooled_expr):
+    results = pooled_expr.run_batch(EXPR_TEXTS)
+    assert [result.text for result in results] == EXPR_TEXTS
+
+
+def test_prefetch_then_execute_consumes_cache(pooled_expr):
+    pooled_expr.prefetch(EXPR_TEXTS)
+    subject = load_subject("expr")
+    for text in EXPR_TEXTS:
+        _assert_results_match(run_subject(subject, text), pooled_expr.execute(text))
+    assert not pooled_expr._ready
+    assert not pooled_expr._pending
+
+
+def test_duplicate_prefetch_is_free(pooled_expr):
+    pooled_expr.prefetch(["1+2", "1+2", "1+2"])
+    pooled_expr.prefetch(["1+2"])
+    assert pooled_expr.execute("1+2").text == "1+2"
+    # One submission total: batch ids advanced once.
+    assert pooled_expr._next_batch == 1
+
+
+def test_ready_cache_eviction_reruns_transparently():
+    subject = load_subject("expr")
+    with PooledExecutor(subject, isolation="none", max_ready=2) as executor:
+        executor.prefetch(EXPR_TEXTS)  # 7 results into a 2-slot cache
+        for text in EXPR_TEXTS:  # evicted ones silently re-run
+            _assert_results_match(run_subject(subject, text), executor.execute(text))
+
+
+def test_multi_worker_batches_land_correctly():
+    subject = load_subject("expr")
+    with PooledExecutor(subject, workers=2, isolation="none") as executor:
+        results = executor.run_batch(EXPR_TEXTS * 2)
+        assert [result.text for result in results] == EXPR_TEXTS * 2
+
+
+# --------------------------------------------------------------------- #
+# Fault tolerance
+# --------------------------------------------------------------------- #
+
+
+def test_worker_death_respawns_and_resubmits():
+    subject = load_subject("expr")
+    executor_module._TEST_WORKER_KILL_AFTER = 3
+    try:
+        with PooledExecutor(subject, isolation="none") as executor:
+            results = executor.run_batch(EXPR_TEXTS)
+            assert [result.text for result in results] == EXPR_TEXTS
+            assert executor.respawns >= 1
+            for inline, pooled in zip(
+                (run_subject(subject, text) for text in EXPR_TEXTS), results
+            ):
+                _assert_results_match(inline, pooled)
+    finally:
+        executor_module._TEST_WORKER_KILL_AFTER = None
+
+
+def test_kill_hook_is_consumed_by_spawn():
+    executor_module._TEST_WORKER_KILL_AFTER = 1
+    try:
+        with PooledExecutor(load_subject("expr"), isolation="none") as executor:
+            assert executor_module._TEST_WORKER_KILL_AFTER is None
+            # The respawned replacement runs clean: the whole batch lands.
+            assert len(executor.run_batch(EXPR_TEXTS)) == len(EXPR_TEXTS)
+    finally:
+        executor_module._TEST_WORKER_KILL_AFTER = None
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle and factories
+# --------------------------------------------------------------------- #
+
+
+def test_close_is_idempotent_and_execute_after_close_raises(pooled_expr):
+    pooled_expr.close()
+    pooled_expr.close()
+    with pytest.raises(ExecutorError):
+        pooled_expr.execute("1")
+
+
+def test_create_executor_modes():
+    subject = load_subject("expr")
+    assert isinstance(create_executor("inline", subject), InlineExecutor)
+    pooled = create_executor("pooled", subject, isolation="none")
+    try:
+        assert isinstance(pooled, PooledExecutor)
+    finally:
+        pooled.close()
+    with pytest.raises(ValueError, match="unknown executor mode"):
+        create_executor("warp", subject)
+
+
+def test_inline_executor_matches_run_subject():
+    subject = load_subject("expr")
+    executor = InlineExecutor(subject)
+    executor.prefetch(EXPR_TEXTS)  # no-op
+    for text in EXPR_TEXTS:
+        _assert_results_match(run_subject(subject, text), executor.execute(text))
+    executor.close()
+
+
+def test_resolve_isolation():
+    import os
+
+    assert _resolve_isolation("none") == "none"
+    expected = "fork" if hasattr(os, "fork") else "none"
+    assert _resolve_isolation("auto") == expected
+    assert _resolve_isolation("fork") == expected
+    with pytest.raises(ValueError, match="unknown executor isolation"):
+        _resolve_isolation("container")
+
+
+def test_fuzzer_rejects_bad_engine_config():
+    subject = load_subject("expr")
+    with pytest.raises(ValueError, match="unknown executor"):
+        PFuzzer(subject, FuzzerConfig(executor="warp"))
+    with pytest.raises(ValueError, match="unknown executor isolation"):
+        PFuzzer(subject, FuzzerConfig(executor_isolation="container"))
+    with pytest.raises(ValueError, match="batch_size"):
+        PFuzzer(subject, FuzzerConfig(batch_size=0))
+    with pytest.raises(ValueError, match="executor_workers"):
+        PFuzzer(subject, FuzzerConfig(executor_workers=0))
+    assert "inline" in EXECUTOR_MODES and "pooled" in EXECUTOR_MODES
+
+
+# --------------------------------------------------------------------- #
+# __slots__ audit of the hot-loop dataclasses
+# --------------------------------------------------------------------- #
+
+
+def test_hot_loop_dataclasses_reject_stray_attributes():
+    candidate = Candidate("x")
+    with pytest.raises(AttributeError):
+        candidate.stray = 1
+    result = run_subject(load_subject("expr"), "1")
+    with pytest.raises(AttributeError):
+        result.stray = 1
+    substitution = Substitution("a", "a", 0)
+    with pytest.raises(AttributeError):  # FrozenInstanceError
+        substitution.text = "b"
+    # Stray assignment on a frozen+slots dataclass raises TypeError on
+    # 3.11 (the generated __setattr__'s super(cls, self) quirk) and
+    # AttributeError elsewhere; either way the attribute never lands.
+    with pytest.raises((AttributeError, TypeError)):
+        substitution.stray = 1
+    for instance in (candidate, result, substitution):
+        assert not hasattr(instance, "__dict__")
+        assert hasattr(type(instance), "__slots__")
