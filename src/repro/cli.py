@@ -217,6 +217,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --executor pooled: speculative candidates submitted per "
         "round-trip (default: 1 — no speculation)",
     )
+    fuzz.add_argument(
+        "--cull-every", type=_positive_int, default=None, metavar="N",
+        help="drop dead/dominated queue entries every N executions "
+        "(queue hygiene; never changes the campaign result — "
+        "see DESIGN.md §10)",
+    )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
@@ -387,6 +393,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--until-idle", action="store_true",
         help="exit once every journalled job is terminal (for scripts/tests)",
     )
+    serve.add_argument(
+        "--adaptive", action="store_true",
+        help="weight each job's fair share by its coverage-gain posterior "
+        "and park plateaued jobs, probing them periodically "
+        "(DESIGN.md §10)",
+    )
+    serve.add_argument(
+        "--gain-threshold", type=_positive_float, default=None,
+        metavar="RATE",
+        help="with --adaptive: park a job once its posterior "
+        "discoveries-per-execution falls below RATE (default: 0.005)",
+    )
+    serve.add_argument(
+        "--probe-every", type=_positive_int, default=None, metavar="N",
+        help="with --adaptive: grant a parked job one probe slice after "
+        "the fleet advances N executions (default: 2000)",
+    )
+    serve.add_argument(
+        "--gain-decay", type=_positive_float, default=None, metavar="FACTOR",
+        help="with --adaptive: per-execution evidence decay in (0, 1] "
+        "(default: 0.999)",
+    )
 
     submit = sub.add_parser("submit", help="submit a campaign job to a service")
     submit.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
@@ -427,6 +455,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--batch-size", type=_positive_int, default=1, metavar="N",
         help="with --executor pooled: speculative candidates per round-trip",
+    )
+    submit.add_argument(
+        "--cull-every", type=_positive_int, default=None, metavar="N",
+        help="queue-hygiene cadence in executions (pFuzzer only; never "
+        "changes the job's result fingerprint)",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -517,6 +550,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         executor=args.executor,
         batch_size=args.batch_size,
+        cull_every=args.cull_every,
         **durability,
     )
     result = PFuzzer(subject, config).run()
@@ -843,6 +877,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.service.gain import GainConfig
     from repro.service.scheduler import SchedulerConfig
     from repro.service.server import serve
 
@@ -861,6 +896,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             slice_executions=args.slice_executions,
             slice_timeout=args.slice_timeout,
+            adaptive=args.adaptive,
+            gain=GainConfig(
+                **{
+                    name: value
+                    for name, value in (
+                        ("pause_threshold", args.gain_threshold),
+                        ("probe_every", args.probe_every),
+                        ("decay", args.gain_decay),
+                    )
+                    if value is not None
+                }
+            ),
         ),
         stop=stop,
         until_idle=args.until_idle,
@@ -916,6 +963,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.executor != "inline":
         spec["executor"] = args.executor
         spec["batch_size"] = args.batch_size
+    if args.cull_every is not None:
+        spec["cull_every"] = args.cull_every
 
     def run(client) -> int:
         response = client.submit(spec)

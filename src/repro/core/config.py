@@ -134,6 +134,17 @@ class FuzzerConfig:
             re-init fallback).  Fork isolation discards any state a run
             mutated; the in-process fallback relies on the harness's
             per-run reset and is equivalence-tested too.
+        cull_every: run :meth:`repro.core.queue.CandidateQueue.cull`
+            every N subject executions, checked at the iteration boundary
+            (the same cadence discipline as ``checkpoint_every`` /
+            ``sync_every``): dead entries (text already executed) and
+            dominated duplicates are dropped, keeping long campaigns'
+            re-scores proportional to the live frontier.  None disables
+            culling.  Environmental like ``trace_path``: culling never
+            changes the campaign result (the equivalence suite asserts
+            fingerprint identity with culling on and off), so it is
+            excluded from the snapshot fingerprint and a resumed campaign
+            may toggle it.
     """
 
     seed: Optional[int] = None
@@ -159,6 +170,7 @@ class FuzzerConfig:
     batch_size: int = 1
     executor_workers: int = 1
     executor_isolation: str = "auto"
+    cull_every: Optional[int] = None
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

@@ -78,8 +78,12 @@ class FuzzingResult:
         hangs: number of step-budget exhaustions.
         emit_log: (execution number, input) pairs for each emitted input.
         wall_time: campaign duration in seconds.
-        queue_depth: candidates left in the priority queue when the budget
-            ran out (observability: how much frontier the campaign had).
+        queue_depth: the queue's *live frontier* when the budget ran out —
+            candidates that could still produce an execution (dead and
+            dominated entries excluded; see
+            :meth:`repro.core.queue.CandidateQueue.live_depth`).  Cull-
+            invariant by construction: campaigns with and without
+            ``cull_every`` report the same depth.
         phase_times: seconds spent per campaign phase — ``"execute"``
             (subject runs under instrumentation), ``"rescore"`` (queue
             re-scoring after emits), ``"substitute"`` (deriving and
@@ -180,7 +184,9 @@ class PFuzzer:
         self._seen: Set[str] = set()
         self._all_valid_seen: Set[str] = set()
         self._result = FuzzingResult()
-        self._queue = CandidateQueue(self._score, limit=self.config.queue_limit)
+        self._queue = CandidateQueue(
+            self._score, limit=self.config.queue_limit, seen=self._seen
+        )
         self._timer = PhaseTimer(
             self._trace,
             totals={
@@ -218,6 +224,9 @@ class PFuzzer:
             raise ValueError("batch_size must be positive")
         if self.config.executor_workers < 1:
             raise ValueError("executor_workers must be positive")
+        if self.config.cull_every is not None and self.config.cull_every < 1:
+            raise ValueError("cull_every must be positive")
+        self._last_cull = 0
         #: The pooled execution engine, created for the duration of
         #: :meth:`run`; None means the inline fast path.
         self._executor = None
@@ -607,6 +616,37 @@ class PFuzzer:
         self._sync_point(pull=True)
 
     # ------------------------------------------------------------------ #
+    # Queue hygiene (see repro.core.queue.CandidateQueue.cull)
+    # ------------------------------------------------------------------ #
+
+    def _maybe_cull(self) -> None:
+        """Cadence cull at the iteration boundary.
+
+        Same discipline as :meth:`_maybe_sync`: the trigger is a pure
+        function of the executions counter.  Cull timing is nevertheless
+        result-invariant — culling only removes entries pop would have
+        discarded anyway — so ``_last_cull`` need not survive snapshots;
+        a resumed campaign just restarts its cadence from the resume
+        point and still finishes fingerprint-identical.
+        """
+        if self.config.cull_every is None:
+            return
+        if self._result.executions - self._last_cull < self.config.cull_every:
+            return
+        started = self._timer.start()
+        stats = self._queue.cull(self._seen)
+        self._last_cull = self._result.executions
+        self._timer.stop("rescore", started)
+        if self._trace_on:
+            self._trace.emit(
+                "queue_cull",
+                executions=self._result.executions,
+                dead=stats.dead,
+                dominated=stats.dominated,
+                kept=stats.kept,
+            )
+
+    # ------------------------------------------------------------------ #
     # Durable snapshots (see repro.eval.checkpoint)
     # ------------------------------------------------------------------ #
 
@@ -767,6 +807,9 @@ class PFuzzer:
             signature: count for signature, count in payload["path_counts"]
         }
         self._seen = set(payload["seen"])
+        # The queue's hygiene-aware compaction reads the seen set; keep
+        # it pointed at the restored object, not the pre-restore one.
+        self._queue.seen = self._seen
         self._all_valid_seen = set(payload["all_valid_seen"])
         result = self._result
         result.executions = payload["executions"]
@@ -795,6 +838,7 @@ class PFuzzer:
         self._timer.totals = dict(payload["phase_times"])
         self._wall_consumed = payload["wall_time"]
         self._last_checkpoint = result.executions
+        self._last_cull = result.executions
         sync_state = payload.get("sync")
         if self._syncer is not None and sync_state:
             self._syncer.restore_payload(sync_state["cursor"])
@@ -996,6 +1040,7 @@ class PFuzzer:
                             extended_result, current.parents, node
                         )
             self._maybe_sync()
+            self._maybe_cull()
             self._maybe_checkpoint()
             if not self._budget_left():
                 # Don't pop (or draw restart characters) for an iteration
@@ -1019,7 +1064,12 @@ class PFuzzer:
             current = self._next_candidate()
         self._result.valid_branches = frozenset(self._valid_branches)
         self._result.wall_time = self._wall_consumed + (time.monotonic() - started)
-        self._result.queue_depth = len(self._queue)
+        # Report the queue's *live frontier* (dead and dominated entries
+        # excluded, no mutation) rather than the raw heap length: the raw
+        # length depends on whether — and when — culls ran, while the
+        # frontier is identical with culling on or off, which keeps
+        # ``result_fingerprint`` cull-invariant.
+        self._result.queue_depth = self._queue.live_depth(self._seen)
         self._result.phase_times = dict(self._timer.totals)
         self._result.lineage = self._lineage
         if self._syncer is not None:

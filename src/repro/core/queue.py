@@ -25,7 +25,17 @@ per re-score, in O(1).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.candidate import Candidate
 
@@ -35,12 +45,58 @@ ScoreFn = Callable[[Candidate], float]
 _Entry = Tuple[float, int, Candidate]
 
 
+@dataclass(frozen=True)
+class CullStats:
+    """What one :meth:`CandidateQueue.cull` pass removed and kept."""
+
+    #: Entries whose text had already executed — pop would skip them.
+    dead: int
+    #: Later duplicates of an identical-metadata entry still queued.
+    dominated: int
+    #: Entries remaining in the queue after the pass.
+    kept: int
+
+
+def _dominance_key(candidate: Candidate) -> tuple:
+    """Everything that determines a candidate's score, now and forever.
+
+    Two entries sharing this key are the same work item: every rescore
+    gives them equal scores, so the one with the earliest FIFO counter
+    always pops first, executes, and turns the rest into dead entries
+    (``text`` enters the seen set).  ``lineage`` is deliberately absent —
+    it never feeds the score, and the earliest entry's lineage is the one
+    an uncull'd campaign would have propagated anyway.
+    """
+    return (
+        candidate.text,
+        candidate.replacement,
+        candidate.parents,
+        candidate.avg_stack,
+        candidate.path_signature,
+        candidate.parent_branches.tobytes(),
+    )
+
+
 class CandidateQueue:
     """Max-priority queue of :class:`~repro.core.candidate.Candidate`."""
 
-    def __init__(self, score_fn: ScoreFn, limit: int = 5_000) -> None:
+    def __init__(
+        self,
+        score_fn: ScoreFn,
+        limit: int = 5_000,
+        seen: Optional[AbstractSet[str]] = None,
+    ) -> None:
         self._score_fn = score_fn
         self._limit = limit
+        #: Texts already executed, shared (and mutated) by the owner.
+        #: When provided, capacity compaction becomes hygiene-aware: it
+        #: drops dead and dominated entries *before* truncating to the
+        #: best ``limit``, so capacity is never wasted on entries that
+        #: could not produce an execution anyway — and an explicit
+        #: :meth:`cull` pass stays result-invariant even across lossy
+        #: compactions (both the culled and unculled campaign compact to
+        #: the same live winner set).  None keeps the raw truncation.
+        self.seen = seen
         self._heap: List[_Entry] = []
         self._counter = 0  # FIFO tiebreak for equal scores
         #: Largest interned arc id any stored candidate references — the
@@ -68,7 +124,7 @@ class CandidateQueue:
             self._heap, (-self._score_fn(candidate), self._counter, candidate)
         )
         if len(self._heap) > 2 * self._limit:
-            self._compact()
+            self._compact(bound=2 * self._limit)
 
     def pop(self) -> Optional[Candidate]:
         """Remove and return the highest-scored candidate (None if empty)."""
@@ -136,10 +192,101 @@ class CandidateQueue:
         if len(self._heap) > self._limit:
             self._compact()
 
-    def _compact(self) -> None:
-        """Drop everything beyond the best ``limit`` candidates."""
-        self._heap = heapq.nsmallest(self._limit, self._heap)
+    def _compact(self, bound: Optional[int] = None) -> None:
+        """Enforce capacity; ``bound`` is the trigger that fired (the
+        rescore limit by default, ``2 * limit`` from :meth:`push`).
+
+        Without a ``seen`` set: truncate to the best ``limit`` entries
+        (the legacy lossy compaction).  With one, compaction is
+        hygiene-first: dead and dominated entries go before anything
+        live is sacrificed, and the lossy truncation to ``limit``
+        happens only if the *live* winner set itself exceeds ``bound``.
+
+        That live-exceeds-bound condition is what makes an explicit
+        :meth:`cull` cadence result-invariant across compactions.  The
+        culled and unculled campaign always share one live winner set;
+        raw heap lengths (what the push/rescore triggers test) are at
+        least the live count in either run, so whenever the live set
+        outgrows ``bound`` both runs' triggers fire on the same push or
+        rescore and both truncate the *same* live set to the same best
+        ``limit``.  When only the dead-inflated raw length crossed the
+        trigger, hygiene alone shrinks the heap and nothing live is
+        lost — in either run.
+        """
+        bound = self._limit if bound is None else bound
+        heap = self._heap
+        if self.seen is not None:
+            winners, dead, dominated = self._live_entries(self.seen)
+            if dead or dominated:
+                heap = winners
+            if len(heap) > bound:
+                heap = heapq.nsmallest(self._limit, heap)
+        elif len(heap) > self._limit:
+            heap = heapq.nsmallest(self._limit, heap)
+        self._heap = heap
         heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------ #
+    # Queue hygiene (DESIGN.md §10)
+    # ------------------------------------------------------------------ #
+
+    def _live_entries(
+        self, seen: AbstractSet[str]
+    ) -> Tuple[List[_Entry], int, int]:
+        """(winning entries, dead count, dominated count) — no mutation.
+
+        *Dead* entries (text already executed) are exactly what
+        :meth:`pop` callers skip; *dominated* entries are later pushes of
+        an identical-metadata candidate (see :func:`_dominance_key`) —
+        provably never the returned pop, because scores-from-metadata are
+        equal after every rescore and monotonically staler in between, so
+        the earliest FIFO counter wins every time.
+        """
+        dead = 0
+        winners: Dict[tuple, _Entry] = {}
+        for entry in self._heap:
+            candidate = entry[2]
+            if candidate.text in seen:
+                dead += 1
+                continue
+            key = _dominance_key(candidate)
+            kept = winners.get(key)
+            if kept is None or entry[1] < kept[1]:
+                winners[key] = entry
+        dominated = len(self._heap) - dead - len(winners)
+        return list(winners.values()), dead, dominated
+
+    def live_depth(self, seen: AbstractSet[str]) -> int:
+        """Candidates that could still produce an execution.
+
+        The non-mutating count :meth:`cull` would leave behind — the
+        queue's *frontier*.  ``FuzzingResult.queue_depth`` reports this
+        instead of the raw heap length so campaigns with and without
+        culling enabled finish with identical result fingerprints.
+        """
+        winners, _, _ = self._live_entries(seen)
+        return len(winners)
+
+    def cull(self, seen: AbstractSet[str]) -> CullStats:
+        """Drop entries that can never become a returned pop.
+
+        Removes *dead* entries (``text in seen`` — the pop loop discards
+        them unexecuted) and *dominated* duplicates (identical-metadata
+        entries beyond the earliest-pushed one, which always pops first
+        and kills its siblings by executing their shared text).  Stored
+        priorities, FIFO counters and the push counter are untouched, so
+        the sequence of *returned* pops — and therefore the campaign
+        result — is exactly what the uncull'd queue would have produced.
+        This holds across capacity compactions too, because a queue with
+        a ``seen`` set compacts hygiene-first (see :meth:`_compact`):
+        lossy truncation only ever applies to the live winner set, which
+        culling does not change.
+        """
+        winners, dead, dominated = self._live_entries(seen)
+        if dead or dominated:
+            self._heap = winners
+            heapq.heapify(self._heap)
+        return CullStats(dead=dead, dominated=dominated, kept=len(self._heap))
 
     # ------------------------------------------------------------------ #
     # Durable-campaign support (see repro.eval.checkpoint)

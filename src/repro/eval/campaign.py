@@ -120,6 +120,7 @@ def run_campaign(
     executor: Optional[str] = None,
     batch_size: Optional[int] = None,
     executor_workers: Optional[int] = None,
+    cull_every: Optional[int] = None,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``.
 
@@ -143,6 +144,9 @@ def run_campaign(
             default.  Engine choice never changes the campaign result.
         batch_size: speculative batch size for the pooled engine.
         executor_workers: persistent worker count for the pooled engine.
+        cull_every: queue-hygiene cadence in executions (pFuzzer only;
+            see :attr:`repro.core.config.FuzzerConfig.cull_every`).
+            Environmental like ``executor`` — never changes the result.
     """
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
@@ -160,6 +164,8 @@ def run_campaign(
         durability["batch_size"] = batch_size
     if executor_workers is not None:
         durability["executor_workers"] = executor_workers
+    if cull_every is not None:
+        durability["cull_every"] = cull_every
     outcome = _RUNNERS[tool](subject, seed, budget, durability)
     output = ToolOutput(
         tool=tool,

@@ -619,6 +619,7 @@ def run_grid(
     trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     executor: Optional[str] = None,
     batch_size: Optional[int] = None,
+    cull_every: Optional[int] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -654,6 +655,10 @@ def run_grid(
             ``"pooled"``; see :mod:`repro.runtime.executor`).  Purely a
             throughput knob — cell results are engine-independent.
         batch_size: speculative batch size for the pooled engine.
+        cull_every: queue-hygiene cadence in executions for pFuzzer cells
+            (:attr:`repro.core.config.FuzzerConfig.cull_every`).
+            Environmental like ``executor`` — cell results are
+            cull-independent, which the cull equivalence suite asserts.
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -687,12 +692,17 @@ def run_grid(
         os.makedirs(trace_dir, exist_ok=True)
         trace_dir = str(trace_dir)
     engine: Optional[Dict[str, object]] = None
-    if executor is not None or batch_size is not None:
+    if executor is not None or batch_size is not None or cull_every is not None:
+        # Environmental knobs, shipped to workers as extra campaign
+        # options: engine choice and cull cadence change how a cell runs,
+        # never what it produces.
         engine = {}
         if executor is not None:
             engine["executor"] = executor
         if batch_size is not None:
             engine["batch_size"] = batch_size
+        if cull_every is not None:
+            engine["cull_every"] = cull_every
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(

@@ -33,6 +33,14 @@ Event types:
     One corpus-sync point of a sharded campaign (see
     :mod:`repro.eval.sync`): how many valid inputs were pushed to and
     imported from the shared store at this execution count.
+``queue_cull``
+    One queue-hygiene pass (see
+    :meth:`repro.core.queue.CandidateQueue.cull`): how many dead and
+    dominated entries were dropped, and how many remain.
+``gain_update``
+    Service-side: the scheduler's coverage-gain posterior for one job
+    after a completed slice (see :mod:`repro.service.gain`), with the
+    dynamic stride weight and whether the job is parked.
 ``checkpoint_written``, ``resumed``, ``preempted``, ``campaign_end``
     Durability and lifecycle markers.
 
@@ -74,6 +82,8 @@ TRACE_SCHEMA: Dict[str, tuple] = {
     "input_emitted": ("lineage", "executions", "text", "signature"),
     "span": ("phase", "start", "dur"),
     "corpus_sync": ("executions", "pushed", "imported"),
+    "queue_cull": ("executions", "dead", "dominated", "kept"),
+    "gain_update": ("job_id", "executions", "posterior", "weight", "parked"),
     "checkpoint_written": ("executions",),
     "resumed": ("executions", "resumes"),
     "preempted": ("executions",),

@@ -1,0 +1,171 @@
+"""Per-job coverage-gain estimation for adaptive scheduling.
+
+The stride scheduler (DESIGN.md §7) time-slices campaigns fairly but
+blindly: a campaign that stopped discovering anything keeps receiving
+exactly its fair share.  This module estimates each job's probability of
+discovering something new on the next execution and turns it into a
+*dynamic* priority weight, so compute flows toward the jobs where
+coverage is actually arriving — the hypofuzz/bandit idea, driven by the
+per-slice discovery counts the scheduler already observes.
+
+The estimator is a Laplace-smoothed Bernoulli posterior over
+"this execution emits a new-coverage valid input"::
+
+    posterior = (discoveries + alpha) / (executions + alpha + beta)
+
+with exponential decay applied to both counts per observed execution, so
+a rich early history cannot keep a now-plateaued job's posterior high
+forever (recency matters; "Fast Failure Feedback" motivates treating
+diminishing feedback as the move-on signal).  The dynamic weight is the
+posterior normalised by the prior mean ``alpha / (alpha + beta)``:
+
+* a fresh job (no evidence) has posterior == prior, weight 1.0 — it
+  competes exactly as the blind scheduler would have scheduled it;
+* a productive job's weight rises above 1.0, shrinking its virtual-time
+  charge per execution;
+* a plateaued job's weight decays toward ``weight_floor`` and, once the
+  posterior falls below ``pause_threshold`` with at least
+  ``min_evidence`` decayed executions observed, :meth:`should_pause`
+  asks the scheduler to park it (periodic probe slices resurrect parked
+  jobs that start producing again; see ``CampaignScheduler``).
+
+Determinism contract: the estimator is pure state — identical
+observation sequences produce identical posteriors, weights and pause
+decisions.  No wall clock, no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GainConfig:
+    """Knobs of the coverage-gain estimator and the park/probe lifecycle.
+
+    Attributes:
+        alpha: Laplace prior pseudo-discoveries.  With ``beta`` it fixes
+            the prior mean ``alpha / (alpha + beta)`` every weight is
+            normalised against.
+        beta: Laplace prior pseudo-misses.
+        decay: per-execution exponential decay applied to both evidence
+            counts before absorbing a new observation; 1.0 disables
+            decay (the posterior then weights all history equally).
+        pause_threshold: park a job once its posterior discovery rate
+            falls below this (and ``min_evidence`` is met).
+        resume_margin: multiple of ``pause_threshold`` a probed job's
+            posterior must reach to unpark (hysteresis; 1.0 unparks at
+            the threshold itself).
+        min_evidence: decayed executions that must have been observed
+            before :meth:`GainEstimator.should_pause` may fire — a job
+            is never parked on its prior alone.
+        probe_every: while parked, grant one probe slice after the rest
+            of the fleet has advanced this many executions; the probe's
+            discoveries then decide between unparking and another wait.
+        weight_floor: lower bound on the dynamic weight, so an unparked
+            low-gain job still makes (slow) progress instead of starving
+            outright.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    decay: float = 0.999
+    pause_threshold: float = 0.005
+    resume_margin: float = 1.0
+    min_evidence: float = 200.0
+    probe_every: int = 2_000
+    weight_floor: float = 0.1
+
+    def validate(self) -> None:
+        """Raises ``ValueError`` naming the first invalid knob."""
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if not 0.0 <= self.pause_threshold < 1.0:
+            raise ValueError("pause_threshold must be in [0, 1)")
+        if self.resume_margin < 1.0:
+            raise ValueError("resume_margin must be >= 1")
+        if self.min_evidence < 0:
+            raise ValueError("min_evidence must be non-negative")
+        if self.probe_every < 1:
+            raise ValueError("probe_every must be positive")
+        if not 0.0 < self.weight_floor <= 1.0:
+            raise ValueError("weight_floor must be in (0, 1]")
+
+    @property
+    def prior_mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+
+class GainEstimator:
+    """Decayed Laplace posterior of discoveries-per-execution for one job.
+
+    One instance per stride account (per job; shard groups share one, the
+    same way they share a virtual-time account).  Feed it per-slice
+    observations with :meth:`observe`; read :meth:`posterior`,
+    :meth:`weight` and :meth:`should_pause`.
+    """
+
+    def __init__(self, config: GainConfig) -> None:
+        self.config = config
+        #: Decayed execution count (the Bernoulli trials).
+        self.executions = 0.0
+        #: Decayed discovery count (the Bernoulli successes).
+        self.discoveries = 0.0
+
+    def observe(self, executions: int, discoveries: int) -> None:
+        """Absorb one slice: ``executions`` trials, ``discoveries`` hits.
+
+        Existing evidence is decayed by ``decay ** executions`` first, so
+        the posterior's horizon is measured in executions, not slices —
+        a job sliced finely and one sliced coarsely see the same decay
+        for the same work.
+        """
+        if executions <= 0:
+            return
+        factor = self.config.decay**executions
+        self.executions = self.executions * factor + executions
+        self.discoveries = self.discoveries * factor + min(
+            discoveries, executions
+        )
+
+    def posterior(self) -> float:
+        """Smoothed probability the next execution discovers something."""
+        config = self.config
+        return (self.discoveries + config.alpha) / (
+            self.executions + config.alpha + config.beta
+        )
+
+    def weight(self) -> float:
+        """Dynamic stride weight: posterior over prior mean, floored.
+
+        Multiplies the job's static priority in the scheduler's
+        virtual-time charge — weight 2.0 halves the virtual cost of an
+        execution, weight 0.5 doubles it.
+        """
+        return max(
+            self.config.weight_floor, self.posterior() / self.config.prior_mean
+        )
+
+    def should_pause(self) -> bool:
+        """True once enough evidence shows the job has plateaued."""
+        return (
+            self.executions >= self.config.min_evidence
+            and self.posterior() < self.config.pause_threshold
+        )
+
+    def should_resume(self) -> bool:
+        """True when a probed job's posterior clears the hysteresis bar."""
+        return self.posterior() >= (
+            self.config.pause_threshold * self.config.resume_margin
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-safe view for ``/metrics`` and ``gain_update`` events."""
+        return {
+            "executions": round(self.executions, 6),
+            "discoveries": round(self.discoveries, 6),
+            "posterior": round(self.posterior(), 9),
+            "weight": round(self.weight(), 9),
+        }

@@ -122,6 +122,10 @@ class JobSpec:
             see :mod:`repro.runtime.executor`).  Environmental like
             ``trace`` — the job's result is engine-independent.
         batch_size: speculative batch size for the pooled engine.
+        cull_every: queue-hygiene cadence in executions (pFuzzer only;
+            see :attr:`repro.core.config.FuzzerConfig.cull_every`).
+            Environmental like ``executor`` — culling never changes the
+            job's result fingerprint.  None disables culling.
     """
 
     subject: str
@@ -138,6 +142,7 @@ class JobSpec:
     sync_every: Optional[int] = None
     executor: str = "inline"
     batch_size: int = 1
+    cull_every: Optional[int] = None
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
@@ -208,6 +213,12 @@ class JobSpec:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
             problems.append(
                 f"batch_size must be a positive integer, got {self.batch_size!r}"
+            )
+        if self.cull_every is not None and (
+            not isinstance(self.cull_every, int) or self.cull_every < 1
+        ):
+            problems.append(
+                f"cull_every must be a positive integer, got {self.cull_every!r}"
             )
         if problems:
             raise JobError("; ".join(problems))

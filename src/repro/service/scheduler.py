@@ -29,6 +29,19 @@ rotation is *exact* lockstep: the schedule reproduces the reference
 orchestrator (:func:`repro.eval.shards.run_sharded`) byte-for-byte,
 which the service shard tests assert by fingerprint.
 
+With ``SchedulerConfig.adaptive`` on, the stride charge is additionally
+weighted by a per-account coverage-gain posterior (see
+:mod:`repro.service.gain`): jobs still discovering new-coverage inputs
+pay less virtual time per execution and therefore receive more slices,
+plateaued jobs pay more, and an account whose posterior falls below the
+pause threshold is *parked* — skipped at dispatch until the rest of the
+fleet advances a probe window, then granted one probe slice whose
+outcome decides between resurrection and another wait.  The lifecycle is
+clocked on fleet executions, never wall time, so the adaptive schedule
+is a deterministic function of the slice-completion history; and because
+slicing is invisible to campaign results, a job's final fingerprint is
+identical under blind and adaptive scheduling.
+
 Process management reuses the evaluation grid's machinery
 (:class:`repro.eval.parallel.WorkerPool`): per-worker pipes for fault
 isolation, a parent-side watchdog for hung slices, and bounded
@@ -41,7 +54,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -49,6 +62,7 @@ from repro.eval.campaign import ToolOutput, run_campaign
 from repro.eval.metrics import CampaignMetrics
 from repro.eval.parallel import WorkerPool
 from repro.runtime.limits import RunTimeout, peak_rss_bytes, time_limit
+from repro.service.gain import GainConfig, GainEstimator
 from repro.service.jobs import (
     TERMINAL_STATES,
     JobRecord,
@@ -74,6 +88,14 @@ class SchedulerConfig:
             per consecutive failure.
         watchdog_grace: extra seconds past ``slice_timeout`` before the
             parent kills a hung worker.
+        adaptive: weight each job's stride charge by its coverage-gain
+            posterior (see :mod:`repro.service.gain`) and park jobs
+            whose posterior drops below the pause threshold, granting
+            parked jobs periodic probe slices.  Off by default: the
+            blind fair-share schedule is the reference behavior, and a
+            single job's result is fingerprint-identical either way
+            (scheduling order never changes campaign results).
+        gain: estimator and park/probe knobs used when ``adaptive``.
     """
 
     workers: int = 2
@@ -82,6 +104,8 @@ class SchedulerConfig:
     retries: int = 2
     backoff: float = 0.05
     watchdog_grace: float = 5.0
+    adaptive: bool = False
+    gain: GainConfig = field(default_factory=GainConfig)
 
 
 @dataclass
@@ -134,6 +158,8 @@ def _run_slice(task: dict) -> SliceResult:
         if task.get("executor"):
             durability["executor"] = task["executor"]
             durability["batch_size"] = task.get("batch_size") or 1
+        if task.get("cull_every") is not None:
+            durability["cull_every"] = task["cull_every"]
         config = FuzzerConfig(
             seed=task["seed"],
             max_executions=task["budget"],
@@ -274,6 +300,7 @@ class CampaignScheduler:
         self.store = store
         self.state_dir = Path(state_dir)
         self.config = config or SchedulerConfig()
+        self.config.gain.validate()
         self.on_slice = on_slice
         self.pool = WorkerPool(_slice_worker)
         #: worker_id -> (job_id, watchdog deadline or None)
@@ -288,6 +315,16 @@ class CampaignScheduler:
         #: Dispatch history (job ids, in dispatch order) — what the
         #: fairness tests assert over.
         self.dispatch_log: List[str] = []
+        #: stride-account key -> coverage-gain estimator (adaptive mode).
+        self._gain: Dict[str, GainEstimator] = {}
+        #: stride-account key -> fleet executions when it was parked; the
+        #: account earns a probe slice ``gain.probe_every`` fleet
+        #: executions later.
+        self._parked: Dict[str, int] = {}
+        #: Total executions charged across all jobs — the adaptive
+        #: lifecycle's clock (never wall time, so park/probe decisions
+        #: are a pure function of the slice-completion history).
+        self._fleet_executions = 0
 
     # -- bookkeeping ----------------------------------------------------- #
 
@@ -310,10 +347,34 @@ class CampaignScheduler:
         """The stride account this job charges: its group, else itself."""
         return record.spec.shard_group or record.job_id
 
+    def _effective_priority(self, record: JobRecord) -> float:
+        """Static fair-share weight times the dynamic gain weight.
+
+        The blind scheduler's priority is the spec's; in adaptive mode it
+        is scaled by the account's coverage-gain weight (1.0 until the
+        first observation), so productive jobs pay less virtual time per
+        execution and plateaued ones pay more.
+        """
+        priority = float(record.spec.priority)
+        if self.config.adaptive:
+            estimator = self._gain.get(self._stride_key(record))
+            if estimator is not None:
+                priority *= estimator.weight()
+        return priority
+
+    def _stride(self, record: JobRecord, executions: float) -> float:
+        """The one executions→virtual-time formula.
+
+        Both users — seeding a job's account from its resumed execution
+        count and charging a completed slice's delta — must divide by the
+        same effective priority, or a dynamic-weight change would bend
+        them apart; factoring it here keeps that impossible.
+        """
+        return executions / self._effective_priority(record)
+
     def _virtual_time(self, record: JobRecord) -> float:
         return self._virtual.setdefault(
-            self._stride_key(record),
-            record.executions / record.spec.priority,
+            self._stride_key(record), self._stride(record, record.executions)
         )
 
     def has_work(self) -> bool:
@@ -326,10 +387,65 @@ class CampaignScheduler:
         """Advance the job's virtual time; returns the execution delta."""
         previous = record.executions
         delta = max(0, executions - previous)
-        self._virtual[self._stride_key(record)] = (
-            self._virtual_time(record) + delta / record.spec.priority
-        )
+        self._virtual[self._stride_key(record)] = self._virtual_time(
+            record
+        ) + self._stride(record, delta)
+        self._fleet_executions += delta
         return delta
+
+    # -- adaptive gain lifecycle ----------------------------------------- #
+
+    def _observe_gain(self, record: JobRecord, delta: int, discoveries: int) -> None:
+        """Absorb a slice's outcome; park, re-park or unpark the account.
+
+        Driven entirely by (delta executions, discoveries) pairs in
+        completion order — no wall clock — so given the same event
+        history the adaptive schedule is deterministic.
+        """
+        key = self._stride_key(record)
+        estimator = self._gain.get(key)
+        if estimator is None:
+            estimator = self._gain[key] = GainEstimator(self.config.gain)
+        estimator.observe(delta, discoveries)
+        if key in self._parked:
+            if estimator.should_resume():
+                del self._parked[key]
+            else:
+                # Probe found nothing convincing: wait a full probe
+                # window again, measured from the fleet's current clock.
+                self._parked[key] = self._fleet_executions
+        elif estimator.should_pause():
+            self._parked[key] = self._fleet_executions
+
+    def _probe_eligible(self, record: JobRecord) -> bool:
+        """Not parked, or parked long enough to have earned a probe."""
+        parked_at = self._parked.get(self._stride_key(record))
+        if parked_at is None:
+            return True
+        return (
+            self._fleet_executions - parked_at >= self.config.gain.probe_every
+        )
+
+    def gain_snapshot(self) -> Dict[str, dict]:
+        """stride-account key -> estimator state (adaptive mode only).
+
+        What ``/metrics`` renders as gauges; each entry carries the
+        decayed evidence counts, posterior, weight and parked flag.
+        """
+        return {
+            key: {**estimator.snapshot(), "parked": key in self._parked}
+            for key, estimator in self._gain.items()
+        }
+
+    def gain_state(self, record: JobRecord) -> Optional[dict]:
+        """One job's gain state, or None when untracked/non-adaptive."""
+        if not self.config.adaptive:
+            return None
+        key = self._stride_key(record)
+        estimator = self._gain.get(key)
+        if estimator is None:
+            return None
+        return {**estimator.snapshot(), "parked": key in self._parked}
 
     def _handle_ok(self, outcome: SliceResult) -> None:
         record = self.store.get(outcome.job_id)
@@ -338,6 +454,15 @@ class CampaignScheduler:
             # flight: drop the result, keep the snapshot on disk.
             return
         delta = self._charge(record, outcome.output.executions)
+        if self.config.adaptive and record.spec.tool == "pfuzzer":
+            # Discoveries this slice: the growth of the cumulative
+            # emitted-inputs list over the record's last known count.
+            # Equals the slice's ``input_emitted`` trace count by
+            # construction, but needs no tracing to be observable.
+            discoveries = max(
+                0, len(outcome.output.valid_inputs) - record.valid_inputs
+            )
+            self._observe_gain(record, delta, discoveries)
         record.failures = 0
         self._backoff_until.pop(record.job_id, None)
         if outcome.done:
@@ -453,6 +578,14 @@ class CampaignScheduler:
             runnable = self._runnable()
             if not runnable:
                 break
+            if self.config.adaptive and self._parked:
+                unparked = [r for r in runnable if self._probe_eligible(r)]
+                # If every runnable account is parked inside its probe
+                # window, probe the fair-share winner immediately instead:
+                # idle workers over parked-only fleets would deadlock
+                # run_until_idle (and waste capacity in the service loop).
+                if unparked:
+                    runnable = unparked
             record = min(
                 runnable,
                 # Gang members tie on their shared account; the extra
@@ -497,6 +630,7 @@ class CampaignScheduler:
                     "sync_every": spec.sync_every,
                     "executor": spec.executor,
                     "batch_size": spec.batch_size,
+                    "cull_every": spec.cull_every,
                     "sync_store": (
                         str(
                             self.state_dir

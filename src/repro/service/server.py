@@ -143,6 +143,25 @@ class CampaignService:
         trace_events: Optional[Dict[str, int]] = None,
     ) -> None:
         fresh_trace = self._ingest_trace(record.job_id) if trace_events else []
+        gain = self.scheduler.gain_state(record)
+        if gain is not None:
+            # Synthesized service-side event: the adaptive scheduler's
+            # posterior for this job after the slice, interleaved into
+            # the trace stream so /events?trace=1 consumers see gain
+            # moves next to the campaign events that caused them.
+            from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+            fresh_trace.append(
+                {
+                    "v": TRACE_SCHEMA_VERSION,
+                    "type": "gain_update",
+                    "job_id": record.job_id,
+                    "executions": record.executions,
+                    "posterior": gain["posterior"],
+                    "weight": gain["weight"],
+                    "parked": gain["parked"],
+                }
+            )
         with self._events_cond:
             self._events.append(metrics)
             self._events_seen += 1
@@ -156,6 +175,10 @@ class CampaignService:
                     self._trace_counts[kind] = (
                         self._trace_counts.get(kind, 0) + count
                     )
+            if gain is not None:
+                self._trace_counts["gain_update"] = (
+                    self._trace_counts.get("gain_update", 0) + 1
+                )
             for event in fresh_trace:
                 self._trace_events.append(event)
             self._trace_seen += len(fresh_trace)
@@ -288,6 +311,35 @@ class CampaignService:
                 f'repro_service_trace_events_total{{type="{kind}"}} '
                 f"{trace_counts[kind]}"
             )
+        gain = self.scheduler.gain_snapshot()
+        if gain:
+            lines += [
+                "# HELP repro_service_gain_posterior Coverage-gain posterior per stride account.",
+                "# TYPE repro_service_gain_posterior gauge",
+            ]
+            for account in sorted(gain):
+                lines.append(
+                    f'repro_service_gain_posterior{{account="{account}"}} '
+                    f"{gain[account]['posterior']:.9f}"
+                )
+            lines += [
+                "# HELP repro_service_gain_weight Dynamic stride weight per stride account.",
+                "# TYPE repro_service_gain_weight gauge",
+            ]
+            for account in sorted(gain):
+                lines.append(
+                    f'repro_service_gain_weight{{account="{account}"}} '
+                    f"{gain[account]['weight']:.9f}"
+                )
+            lines += [
+                "# HELP repro_service_gain_parked Whether the account is parked (1) or schedulable (0).",
+                "# TYPE repro_service_gain_parked gauge",
+            ]
+            for account in sorted(gain):
+                lines.append(
+                    f'repro_service_gain_parked{{account="{account}"}} '
+                    f"{1 if gain[account]['parked'] else 0}"
+                )
         lines += [
             "# HELP repro_service_peak_rss_kb High-water RSS of the server process (kB).",
             "# TYPE repro_service_peak_rss_kb gauge",

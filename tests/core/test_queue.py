@@ -131,3 +131,119 @@ def test_interleaved_push_pop():
     queue.push(Candidate("a"))
     queue.push(Candidate("abcd"))
     assert queue.pop().text == "abcd"
+
+
+# --------------------------------------------------------------------- #
+# Queue hygiene: cull() and live_depth() (DESIGN.md §10)
+# --------------------------------------------------------------------- #
+
+
+def test_cull_drops_dead_entries():
+    queue = CandidateQueue(lambda c: float(len(c.text)))
+    queue.push(Candidate("seen"))
+    queue.push(Candidate("fresh"))
+    stats = queue.cull({"seen"})
+    assert (stats.dead, stats.dominated, stats.kept) == (1, 0, 1)
+    assert [c.text for c in queue] == ["fresh"]
+
+
+def test_cull_keeps_earliest_of_identical_metadata_duplicates():
+    queue = CandidateQueue(lambda c: 0.0)
+    first = Candidate("dup", replacement="r", parent_branches={1, 2})
+    second = Candidate("dup", replacement="r", parent_branches={1, 2})
+    queue.push(first)
+    queue.push(second)
+    stats = queue.cull(set())
+    assert (stats.dead, stats.dominated, stats.kept) == (0, 1, 1)
+    assert queue.pop() is first
+
+
+def test_cull_keeps_same_text_with_distinct_metadata():
+    # Same text but different replacement/branches: distinct work items
+    # until one of them executes — neither dominates the other.
+    queue = CandidateQueue(lambda c: 0.0)
+    queue.push(Candidate("x", replacement="a", parent_branches={1}))
+    queue.push(Candidate("x", replacement="b", parent_branches={2}))
+    stats = queue.cull(set())
+    assert (stats.dead, stats.dominated, stats.kept) == (0, 0, 2)
+
+
+def test_live_depth_counts_without_mutating():
+    queue = CandidateQueue(lambda c: 0.0)
+    queue.push(Candidate("seen"))
+    queue.push(Candidate("dup"))
+    queue.push(Candidate("dup"))
+    queue.push(Candidate("fresh"))
+    assert queue.live_depth({"seen"}) == 2  # dup (once) + fresh
+    assert len(queue) == 4  # untouched
+    stats = queue.cull({"seen"})
+    assert stats.kept == 2
+    assert queue.live_depth({"seen"}) == len(queue) == 2
+
+
+def test_cull_on_clean_queue_is_a_noop():
+    queue = CandidateQueue(lambda c: float(len(c.text)))
+    for text in ("a", "ab", "abc"):
+        queue.push(Candidate(text))
+    entries_before, counter_before = queue.dump_entries()
+    stats = queue.cull(set())
+    assert (stats.dead, stats.dominated, stats.kept) == (0, 0, 3)
+    entries_after, counter_after = queue.dump_entries()
+    assert entries_after == entries_before
+    assert counter_after == counter_before
+
+
+def test_cull_preserves_returned_pop_sequence():
+    """The safety contract: the sequence of pops the fuzzer *executes* is
+    identical with and without a cull.  Models the real pop loop — an
+    executed text joins the seen set, so later entries for it are skipped
+    whether or not a cull already removed them."""
+    rng = random.Random(13)
+    params = []
+    for i in range(24):
+        params.append(
+            (
+                f"t{i % 12}",
+                "r" * rng.randint(0, 2),
+                rng.randint(0, 3),
+                frozenset(rng.sample(range(8), 2)),
+            )
+        )
+    # Guarantee identical-metadata duplicates (dominated entries).
+    params.extend(params[::4])
+    seen = {f"t{i}" for i in range(0, 12, 3)}
+
+    def build():
+        queue = CandidateQueue(lambda c: float(c.parents))
+        for text, replacement, parents, branches in params:
+            queue.push(
+                Candidate(
+                    text,
+                    replacement=replacement,
+                    parents=parents,
+                    parent_branches=branches,
+                )
+            )
+        return queue
+
+    plain = build()
+    culled = build()
+    stats = culled.cull(seen)
+    assert stats.dominated > 0 and stats.dead > 0
+
+    def executed_pops(queue):
+        executed = set(seen)
+        pops = []
+        while True:
+            candidate = queue.pop()
+            if candidate is None:
+                return pops
+            if candidate.text in executed:
+                continue  # what the fuzzer's pop loop discards
+            executed.add(candidate.text)
+            pops.append(
+                (candidate.text, candidate.replacement, candidate.parents)
+            )
+        return pops
+
+    assert executed_pops(culled) == executed_pops(plain)

@@ -1,0 +1,200 @@
+"""Queue hygiene never changes campaign results (DESIGN.md §10).
+
+The cull safety contract: ``CandidateQueue.cull`` removes only entries
+that can never become a *returned* pop — dead entries (text already
+executed; the pop loop discards them) and dominated duplicates
+(identical-metadata entries beyond the earliest-pushed one).  A campaign
+run with any ``cull_every`` cadence must therefore finish with exactly
+the result fingerprint of a run without culling — inputs, emit order,
+coverage, counters and the (live) queue depth.
+
+Evidence layers, mirroring ``test_resume_equivalence``:
+
+* quick: culled vs unculled fingerprints on two subjects x both
+  coverage backends — one subject (tinyc) where culling provably
+  removes entries, one (expr) where the pass is a no-op;
+* liveness: the mechanism is not vacuous — on branch-heavy subjects the
+  ``queue_cull`` trace events record real removals;
+* durability: cull composes with checkpoint/resume — resuming an
+  interrupted culled campaign (including SIGKILLed grid workers)
+  converges to the unculled, uninterrupted reference;
+* slow: the full six-subject x two-backend acceptance grid.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.eval.campaign import run_campaign
+from repro.eval.checkpoint import list_generations, result_fingerprint
+from repro.eval.parallel import RunSpec, RunStatus, run_grid
+from repro.obs.trace import JsonlTraceRecorder, read_trace
+from repro.runtime.arcs import arc_table_for
+from repro.subjects.registry import load_subject
+
+#: Quick split: expr (cull is a no-op at this budget — the pass must
+#: still be invisible) and tinyc (dead entries accumulate — the pass
+#: must remove them without changing the result).
+QUICK_SUBJECTS = ("expr", "tinyc")
+ALL_SUBJECTS = ("expr", "ini", "csv", "json", "tinyc", "mjs")
+BACKENDS = ("settrace", "ast")
+BUDGETS = {"expr": 600, "ini": 600, "csv": 600, "json": 600,
+           "tinyc": 400, "mjs": 400}
+
+
+def _run(subject_name, backend, *, cull_every=None, tracer=None, **kwargs):
+    config = FuzzerConfig(
+        seed=7,
+        max_executions=BUDGETS[subject_name],
+        coverage_backend=backend,
+        cull_every=cull_every,
+        **kwargs,
+    )
+    return PFuzzer(load_subject(subject_name), config, tracer=tracer).run()
+
+
+def _fingerprint(subject_name, result):
+    return result_fingerprint(
+        result, arc_table_for(load_subject(subject_name))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Culled == unculled, fingerprint-exact
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", QUICK_SUBJECTS)
+def test_cull_preserves_result_fingerprint(subject_name, backend):
+    reference = _run(subject_name, backend)
+    for cadence in (50, 173):  # aligned and deliberately odd cadences
+        culled = _run(subject_name, backend, cull_every=cadence)
+        assert _fingerprint(subject_name, culled) == _fingerprint(
+            subject_name, reference
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", ALL_SUBJECTS)
+def test_cull_equivalence_all_subjects(subject_name, backend):
+    """The full acceptance grid of the cull-safety criterion."""
+    reference = _run(subject_name, backend)
+    culled = _run(subject_name, backend, cull_every=50)
+    assert _fingerprint(subject_name, culled) == _fingerprint(
+        subject_name, reference
+    )
+
+
+def test_cull_actually_removes_entries_and_traces_them(tmp_path):
+    """Liveness: on a branch-heavy subject the cadence fires, removes
+    dead entries, and every pass lands in the trace as a ``queue_cull``
+    event — while the result fingerprint still matches the unculled
+    reference and the reported queue depth is the shared live frontier."""
+    reference = _run("tinyc", "settrace")
+    tracer = JsonlTraceRecorder(tmp_path / "trace.ndjson")
+    try:
+        culled = _run(
+            "tinyc", "settrace", cull_every=100, tracer=tracer
+        )
+    finally:
+        tracer.close()
+    events = [
+        event
+        for event in read_trace(tmp_path / "trace.ndjson")
+        if event["type"] == "queue_cull"
+    ]
+    assert len(events) >= 3  # cadence fired throughout the campaign
+    assert sum(event["dead"] + event["dominated"] for event in events) > 0
+    for event in events:
+        assert event["executions"] > 0
+        assert event["kept"] >= 0
+    assert _fingerprint("tinyc", culled) == _fingerprint("tinyc", reference)
+    assert culled.queue_depth == reference.queue_depth
+
+
+def test_cull_every_validation():
+    with pytest.raises(ValueError, match="cull_every"):
+        PFuzzer(
+            load_subject("expr"),
+            FuzzerConfig(max_executions=10, cull_every=0),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Cull x durability: checkpoint, resume, SIGKILL
+# --------------------------------------------------------------------- #
+
+
+def test_culled_campaign_resumes_to_unculled_reference(tmp_path):
+    """Kill-and-resume a culled campaign at every intermediate snapshot
+    generation: each resume must converge to the *unculled*,
+    uninterrupted reference.  Cull timing is not persisted (it is
+    result-invariant), so the resumed cadence differs — and must not
+    matter."""
+    reference = _run("expr", "settrace")
+    checkpoint_dir = tmp_path / "culled"
+    culled = _run(
+        "expr",
+        "settrace",
+        cull_every=70,
+        checkpoint_dir=str(checkpoint_dir),
+        checkpoint_every=100,
+        checkpoint_keep=1_000,
+    )
+    assert _fingerprint("expr", culled) == _fingerprint("expr", reference)
+    generations = list_generations(str(checkpoint_dir))
+    assert len(generations) >= 3
+    for generation in generations[:-1]:
+        resume_dir = tmp_path / f"resume-{generation}"
+        resume_dir.mkdir()
+        name = f"ckpt-{generation:08d}.json"
+        shutil.copy(checkpoint_dir / name, resume_dir / name)
+        resumed = _run(
+            "expr",
+            "settrace",
+            cull_every=70,
+            checkpoint_dir=str(resume_dir),
+            checkpoint_every=100,
+            resume=True,
+        )
+        assert resumed.resumes == 1
+        assert _fingerprint("expr", resumed) == _fingerprint(
+            "expr", reference
+        )
+
+
+def test_sigkilled_culled_grid_resumes_to_uncull_sequential_result(tmp_path):
+    """The full stack at once: grid workers running culled campaigns are
+    SIGKILLed mid-flight, retried, and resumed — and still reproduce the
+    plain sequential (uncull'd, unkilled) reference outputs."""
+    budget = 500
+    specs = [
+        RunSpec("pfuzzer", "expr", budget, seed=3),
+        RunSpec("pfuzzer", "ini", budget, seed=3),
+    ]
+    records = run_grid(
+        specs,
+        jobs=2,
+        retries=3,
+        checkpoint_dir=tmp_path / "grid",
+        checkpoint_every=60,
+        cull_every=40,
+        _test_fail_on={
+            ("pfuzzer", "expr", 3): "kill-at-150",
+            ("pfuzzer", "ini", 3): "kill-at-150",
+        },
+    )
+    for record in records:
+        assert record.status is RunStatus.OK
+        assert record.output.resumes == 2
+        reference = run_campaign(
+            record.spec.tool, record.spec.subject, budget, seed=record.spec.seed
+        )
+        assert record.output.valid_inputs == reference.valid_inputs
+        assert record.output.valid_signatures == reference.valid_signatures
+        assert record.output.executions == reference.executions
+        assert record.output.queue_depth == reference.queue_depth

@@ -151,3 +151,66 @@ def test_distill_store_drops_duplicate_records(tmp_path):
 
 def test_distill_store_on_empty_store(tmp_path):
     assert distill_store(CorpusStore(tmp_path / "nope.jsonl")) == []
+
+
+# --------------------------------------------------------------------- #
+# Edge cases: empty corpus, all-duplicate signatures, one-input cover
+# --------------------------------------------------------------------- #
+
+
+def test_distill_subject_empty_corpus():
+    kept, arcs = distill_subject("expr", [])
+    assert kept == []
+    assert arcs == 0
+
+
+def test_distill_subject_all_duplicate_signatures():
+    """Distinct inputs whose executions cover identical arc sets: greedy
+    set cover keeps exactly one — the earliest in file order."""
+    inputs = ["2", "3", "5"]  # single digits: identical expr branch sets
+    subject = load_subject("expr")
+    signatures = {
+        frozenset(run_subject(subject, text).decoded_branches())
+        for text in inputs
+    }
+    assert len(signatures) == 1, "fixture drifted: not duplicates anymore"
+    kept, arcs = distill_subject("expr", inputs)
+    assert kept == ["2"]
+    assert arcs > 0
+    assert _arc_union("expr", kept) == _arc_union("expr", inputs)
+
+
+def test_distill_subject_single_input_covering_everything():
+    """When one input's arcs subsume every other input's, the distilled
+    corpus is exactly that input."""
+    rich = "1+2"  # addition plus every digit arc a bare literal covers
+    inputs = ["7", "3", rich]
+    subject = load_subject("expr")
+    union = _arc_union("expr", inputs)
+    rich_arcs = set(run_subject(subject, rich).decoded_branches())
+    assert rich_arcs == union, "fixture drifted: no longer a superset"
+    kept, _ = distill_subject("expr", inputs)
+    assert kept == [rich]
+
+
+def test_distill_store_all_duplicate_signatures_end_to_end(tmp_path):
+    """A store whose records all re-execute to the same signature shrinks
+    to a single record, keeping the earliest provenance."""
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add_records(
+        [
+            CorpusRecord("expr", "pfuzzer", 1, "4"),
+            CorpusRecord("expr", "pfuzzer", 2, "8"),
+            CorpusRecord("expr", "afl", 3, "9"),
+        ]
+    )
+    stats = distill_store(store, subject="expr")
+    assert stats[0].kept == 1
+    assert stats[0].dropped == 2
+    records = list(store.records())
+    assert [record.input for record in records] == ["4"]
+    assert records[0].seed == 1  # earliest provenance survives
+    # Re-distilling an already-minimal store changes nothing.
+    again = distill_store(store, subject="expr")
+    assert again[0].kept == 1
+    assert again[0].dropped == 0

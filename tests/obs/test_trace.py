@@ -30,6 +30,11 @@ EXAMPLES = {
     "input_emitted": dict(lineage=1, executions=5, text="ab", signature=3),
     "span": dict(phase="execute", start=0.5, dur=0.001),
     "corpus_sync": dict(executions=200, pushed=3, imported=2),
+    "queue_cull": dict(executions=300, dead=7, dominated=2, kept=41),
+    "gain_update": dict(
+        job_id="job-0000", executions=600, posterior=0.012,
+        weight=1.4, parked=False,
+    ),
     "checkpoint_written": dict(executions=50),
     "resumed": dict(executions=50, resumes=1),
     "preempted": dict(executions=70),

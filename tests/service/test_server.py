@@ -190,6 +190,70 @@ def test_traced_job_streams_events_and_counts(service):
     assert [e["type"] for e in streamed] == [e["type"] for e in events]
 
 
+@pytest.fixture
+def adaptive_service(tmp_path):
+    from repro.service.gain import GainConfig
+
+    svc = CampaignService(
+        tmp_path / "state",
+        SchedulerConfig(
+            workers=1,
+            slice_executions=60,
+            adaptive=True,
+            # Park aggressively so one short job exercises the lifecycle.
+            gain=GainConfig(
+                decay=0.99, min_evidence=30.0, pause_threshold=0.5,
+                probe_every=60,
+            ),
+        ),
+    )
+    httpd = make_server(svc)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        yield svc, client
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        svc.scheduler.shutdown()
+
+
+def test_adaptive_service_exposes_gain_gauges_and_events(adaptive_service):
+    """Adaptive mode surfaces per-account gain posteriors as Prometheus
+    gauges and interleaves synthesized gain_update events (one per
+    completed slice) into the trace stream."""
+    svc, client = adaptive_service
+    record = client.submit(
+        {"subject": "expr", "budget": 180, "checkpoint_every": 60}
+    )
+    svc.run(until_idle=True)
+
+    text = client.metrics()
+    account = record["job_id"]
+    for series in (
+        f'repro_service_gain_posterior{{account="{account}"}}',
+        f'repro_service_gain_weight{{account="{account}"}}',
+        f'repro_service_gain_parked{{account="{account}"}}',
+        'repro_service_trace_events_total{type="gain_update"} 3',
+    ):
+        assert series in text, series
+
+    updates = [
+        event
+        for event in client.trace_events()
+        if event["type"] == "gain_update"
+    ]
+    assert len(updates) == 3  # one per completed 60-execution slice
+    assert [event["executions"] for event in updates] == [60, 120, 180]
+    for event in updates:
+        assert event["job_id"] == account
+        assert 0.0 < event["posterior"] < 1.0
+        assert event["weight"] > 0.0
+        assert isinstance(event["parked"], bool)
+
+
 def test_cli_submit_status_cancel_round_trip(service, capsys):
     """The repro submit/status/cancel subcommands against a live server."""
     import json
