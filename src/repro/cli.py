@@ -223,6 +223,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "(queue hygiene; never changes the campaign result — "
         "see DESIGN.md §10)",
     )
+    fuzz.add_argument(
+        "--hybrid", action="store_true",
+        help="hybrid campaign mode: mine a grammar whenever the "
+        "coverage-gain posterior plateaus and flood compiled-generator "
+        "candidates back into the corpus (DESIGN.md §11)",
+    )
+    fuzz.add_argument(
+        "--mine-after", type=_positive_int, default=600, metavar="N",
+        help="with --hybrid: gain-evidence floor before a plateau may "
+        "trigger a mining phase, and the floor between phases "
+        "(default: 600)",
+    )
+    fuzz.add_argument(
+        "--gen-batch", type=_positive_int, default=32, metavar="N",
+        help="with --hybrid: maximum generated candidates injected per "
+        "generation flood (default: 32)",
+    )
+    fuzz.add_argument(
+        "--gen-depth", type=_positive_int, default=3, metavar="N",
+        help="with --hybrid: compiled-generator depth budget during "
+        "floods (default: 3; deeper floods suit subjects whose coverage "
+        "lives in deep input structure)",
+    )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
@@ -462,6 +485,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "changes the job's result fingerprint)",
     )
     submit.add_argument(
+        "--hybrid", action="store_true",
+        help="run the job as a hybrid mine/generate campaign "
+        "(pFuzzer only; see 'repro fuzz --hybrid')",
+    )
+    submit.add_argument(
+        "--mine-after", type=_positive_int, default=None, metavar="N",
+        help="with --hybrid: gain-evidence/inter-phase floor",
+    )
+    submit.add_argument(
+        "--gen-batch", type=_positive_int, default=None, metavar="N",
+        help="with --hybrid: generated candidates per flood",
+    )
+    submit.add_argument(
+        "--gen-depth", type=_positive_int, default=None, metavar="N",
+        help="with --hybrid: compiled-generator flood depth budget",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="block until the job reaches a terminal state",
     )
@@ -551,6 +591,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         executor=args.executor,
         batch_size=args.batch_size,
         cull_every=args.cull_every,
+        hybrid=args.hybrid,
+        mine_after=args.mine_after,
+        gen_batch=args.gen_batch,
+        gen_depth=args.gen_depth,
         **durability,
     )
     result = PFuzzer(subject, config).run()
@@ -664,7 +708,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         coverage_backend=args.coverage_backend,
     )
     result = PFuzzer(subject, config).run()
-    corpus = sorted(set(result.all_valid), key=len)[-40:]
+    # Ties broken lexicographically, not by set order: the mined grammar
+    # must be a pure function of the campaign, not of PYTHONHASHSEED.
+    corpus = sorted(set(result.all_valid), key=lambda t: (len(t), t))[-40:]
     print(f"# mined from {len(corpus)} valid inputs", file=sys.stderr)
     grammar = mine_grammar(subject, corpus)
     print(grammar)
@@ -965,6 +1011,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         spec["batch_size"] = args.batch_size
     if args.cull_every is not None:
         spec["cull_every"] = args.cull_every
+    if args.hybrid:
+        spec["hybrid"] = True
+        if args.mine_after is not None:
+            spec["mine_after"] = args.mine_after
+        if args.gen_batch is not None:
+            spec["gen_batch"] = args.gen_batch
+        if args.gen_depth is not None:
+            spec["gen_depth"] = args.gen_depth
 
     def run(client) -> int:
         response = client.submit(spec)

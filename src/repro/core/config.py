@@ -145,6 +145,27 @@ class FuzzerConfig:
             fingerprint identity with culling on and off), so it is
             excluded from the snapshot fingerprint and a resumed campaign
             may toggle it.
+        hybrid: run the campaign as a hybrid discover→learn→generate
+            loop (see :mod:`repro.hybrid`): parser-directed search runs
+            until the coverage-gain posterior plateaus, a grammar is
+            mined from the accumulated valid inputs (token boundaries
+            enriched from the lineage log), and the compiled generator
+            floods candidates that re-seed the corpus as ``"gen"``
+            lineage roots and reset ``vBr``.  Unlike the environmental
+            knobs above, hybrid mode *changes the campaign result*, so
+            it (and its three phase knobs) participates in the snapshot
+            fingerprint and must match on resume.
+        mine_after: decayed-execution evidence the gain estimator needs
+            before a plateau can trigger a mining phase (see
+            :class:`repro.hybrid.campaign.HybridConfig`); also the floor
+            between consecutive mining phases.
+        gen_batch: maximum generated candidates injected per generation
+            flood.
+        gen_depth: depth budget of the compiled generator during floods.
+            Shallow floods (the default) produce corpus-scale re-seed
+            roots whose structure deepens across mining rounds; subjects
+            whose coverage lives in deep input structure (tinyC programs)
+            benefit from flooding deeper directly.
     """
 
     seed: Optional[int] = None
@@ -171,6 +192,10 @@ class FuzzerConfig:
     executor_workers: int = 1
     executor_isolation: str = "auto"
     cull_every: Optional[int] = None
+    hybrid: bool = False
+    mine_after: int = 600
+    gen_batch: int = 32
+    gen_depth: int = 3
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

@@ -247,6 +247,20 @@ class PFuzzer:
             else self.config.checkpoint_every
         )
         self._last_sync = 0
+        #: The hybrid explore→learn→generate engine (None outside hybrid
+        #: mode) and the arcs folded out of ``vBr`` by generation-phase
+        #: resets — unioned back into the final ``result.valid_branches``
+        #: so total decoded coverage stays monotone across resets.
+        self._hybrid = None
+        self._hybrid_branches: Set[int] = set()
+        if self.config.hybrid:
+            # Imported lazily, like the checkpoint machinery: the core
+            # layer only depends on repro.hybrid when the mode is on.
+            from repro.hybrid.campaign import HybridConfig, HybridEngine
+
+            self._hybrid = HybridEngine(
+                HybridConfig.from_fuzzer(self.config), self.config.seed
+            )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -647,6 +661,111 @@ class PFuzzer:
             )
 
     # ------------------------------------------------------------------ #
+    # Hybrid campaigns (see repro.hybrid)
+    # ------------------------------------------------------------------ #
+
+    def _maybe_hybrid(self) -> None:
+        """Cadence hook of the hybrid alternation, iteration-boundary only.
+
+        Same discipline as :meth:`_maybe_sync`: the engine observes the
+        execution/emission deltas and the phase trigger is a pure
+        function of campaign counters and snapshot state — never wall
+        time — so hybrid phases land at identical executions across
+        reruns and across kill+resume.  Runs *before* the sync/cull/
+        checkpoint hooks: a phase changes the campaign (executions,
+        corpus, vBr), and the other cadences must see its effects the
+        same way in interrupted and uninterrupted runs.
+        """
+        engine = self._hybrid
+        if engine is None:
+            return
+        result = self._result
+        engine.observe_campaign(result.executions, len(result.valid_inputs))
+        if not engine.plateaued(result.executions, len(self._all_valid_seen)):
+            return
+        self._hybrid_phase(engine)
+
+    def _hybrid_phase(self, engine) -> None:
+        """One learn→generate phase: mine, reset ``vBr``, flood.
+
+        Mining replays each corpus input through the subject, so those
+        runs are charged to the execution budget like any other; the
+        charge happens whether or not budget remains, and the flood
+        checks the budget per candidate (generated texts an exhausted
+        budget cannot run are simply dropped — they were never queued,
+        so the end-of-run state matches what a resume reproduces).
+        """
+        from repro.hybrid.campaign import enrich_grammar, lineage_keywords
+        from repro.miner.mine import mine_grammar
+
+        result = self._result
+        phase = engine.phase + 1
+        corpus = sorted(self._all_valid_seen, key=lambda t: (len(t), t))
+        corpus = corpus[-engine.config.mine_corpus :]
+        started = self._timer.start()
+        grammar = mine_grammar(self.subject, corpus)
+        result.executions += len(corpus)
+        keywords = lineage_keywords(self._lineage, result.valid_lineage)
+        grammar = enrich_grammar(grammar, keywords)
+        engine.learn(grammar, keywords)
+        self._timer.stop("mine", started)
+        if self._trace_on:
+            self._trace.emit(
+                "grammar_mined",
+                executions=result.executions,
+                phase=phase,
+                corpus=len(corpus),
+                rules=len(grammar.rules),
+                keywords=len(keywords),
+            )
+        # Reset vBr so parser-directed search re-measures progress
+        # against the flooded corpus: fold the current set into the
+        # cumulative union, clear all three representations, and rescore
+        # the queue from zero (incremental decrements are meaningless
+        # across a reset).
+        self._hybrid_branches |= self._valid_branches
+        self._valid_branches = set()
+        self._vbr_frozen = frozenset()
+        self._vbr_map = bytearray()
+        started = self._timer.start()
+        self._queue.rescore_full()
+        self._timer.stop("rescore", started)
+        injected = 0
+        valid = 0
+        for text in engine.flood(
+            self.config.gen_batch, self._seen, self.config.max_input_length
+        ):
+            if not self._budget_left():
+                break
+            node = self._lineage.new_node(
+                None, "gen", text, replacement=text, cmp_kind=f"phase-{phase}"
+            )
+            if self._trace_on:
+                self._trace.emit(
+                    "candidate_scheduled",
+                    lineage=node,
+                    parent=None,
+                    op="gen",
+                    text=text,
+                )
+            run = self._execute(text, node)
+            injected += 1
+            if self._is_valid_new(run):
+                valid += 1
+                self._handle_valid(run, parents=0, lineage=node)
+            else:
+                self._add_candidates(run, parents=0, lineage=node)
+        if self._trace_on:
+            self._trace.emit(
+                "gen_phase",
+                executions=result.executions,
+                phase=phase,
+                injected=injected,
+                valid=valid,
+            )
+        engine.finish_phase(result.executions, len(result.valid_inputs))
+
+    # ------------------------------------------------------------------ #
     # Durable snapshots (see repro.eval.checkpoint)
     # ------------------------------------------------------------------ #
 
@@ -662,7 +781,7 @@ class PFuzzer:
         asserts exactly this).
         """
         config = self.config
-        return {
+        fingerprint = {
             "subject": type(self.subject).__name__,
             "seed": config.seed,
             "trace_coverage": config.trace_coverage,
@@ -681,6 +800,18 @@ class PFuzzer:
             "shard_rotate_every": config.shard_rotate_every,
             "sync_every": self._sync_every if self._syncer else None,
         }
+        if config.hybrid:
+            # Hybrid mode changes the campaign result (phases mine,
+            # reset vBr and flood), so it and its cadence knobs must
+            # match on resume.  Keyed only when on: non-hybrid
+            # fingerprints stay byte-identical to pre-hybrid snapshots,
+            # and a hybrid snapshot can never restore into a non-hybrid
+            # campaign (or vice versa) — the key sets differ.
+            fingerprint["hybrid"] = True
+            fingerprint["mine_after"] = config.mine_after
+            fingerprint["gen_batch"] = config.gen_batch
+            fingerprint["gen_depth"] = config.gen_depth
+        return fingerprint
 
     @staticmethod
     def _encode_candidate(candidate: Candidate, mapping: Dict[int, int]) -> dict:
@@ -725,7 +856,7 @@ class PFuzzer:
 
         table = arc_table_for(self.subject)
         entries, counter = self._queue.dump_entries()
-        id_sets = [self._valid_branches]
+        id_sets = [self._valid_branches, self._hybrid_branches]
         id_sets.extend(candidate.parent_branches for _, _, candidate in entries)
         arcs, mapping = pack_arc_ids(id_sets, table)
         rng_version, rng_internal, rng_gauss = self._rng.getstate()
@@ -735,7 +866,7 @@ class PFuzzer:
             else 0.0
         )
         result = self._result
-        return {
+        payload = {
             "fingerprint": self._config_fingerprint(),
             "executions": result.executions,
             "rejected": result.rejected,
@@ -773,6 +904,16 @@ class PFuzzer:
                 }
             ),
         }
+        if self._hybrid is not None:
+            # Engine state plus the cumulative reset-folded arcs, packed
+            # through the same mapping as vBr.  Keyed only in hybrid mode
+            # so non-hybrid snapshots keep their pre-hybrid shape.
+            hybrid_state = self._hybrid.to_payload()
+            hybrid_state["branches"] = sorted(
+                mapping[arc] for arc in self._hybrid_branches
+            )
+            payload["hybrid"] = hybrid_state
+        return payload
 
     def restore(self, payload: dict) -> None:
         """Restore a :meth:`snapshot` payload into this (fresh) fuzzer.
@@ -843,6 +984,14 @@ class PFuzzer:
         if self._syncer is not None and sync_state:
             self._syncer.restore_payload(sync_state["cursor"])
             self._last_sync = sync_state["last_sync"]
+        hybrid_state = payload.get("hybrid")
+        if self._hybrid is not None and hybrid_state:
+            # The fingerprint check above guarantees hybrid configs
+            # match, so engine presence and snapshot key always agree.
+            self._hybrid.restore_payload(hybrid_state)
+            self._hybrid_branches = set(
+                unpacker.ids(hybrid_state["branches"])
+            )
 
     def _write_checkpoint(self) -> None:
         from repro.eval.checkpoint import save_snapshot
@@ -1039,6 +1188,7 @@ class PFuzzer:
                         self._add_candidates(
                             extended_result, current.parents, node
                         )
+            self._maybe_hybrid()
             self._maybe_sync()
             self._maybe_cull()
             self._maybe_checkpoint()
@@ -1062,7 +1212,12 @@ class PFuzzer:
                     )
                 break
             current = self._next_candidate()
-        self._result.valid_branches = frozenset(self._valid_branches)
+        # Hybrid generation phases fold vBr into _hybrid_branches before
+        # each reset; the reported set is the union, so total decoded
+        # coverage stays monotone across resets (empty outside hybrid).
+        self._result.valid_branches = frozenset(
+            self._valid_branches | self._hybrid_branches
+        )
         self._result.wall_time = self._wall_consumed + (time.monotonic() - started)
         # Report the queue's *live frontier* (dead and dominated entries
         # excluded, no mutation) rather than the raw heap length: the raw

@@ -192,6 +192,19 @@ class CandidateQueue:
         if len(self._heap) > self._limit:
             self._compact()
 
+    def rescore_full(self) -> None:
+        """Invalidate every cached new-branch count and rescore from zero.
+
+        The hybrid campaign's generation phase resets ``vBr`` so
+        parser-directed search re-measures progress against the flooded
+        corpus roots; incremental decrements are meaningless across such
+        a reset, so every candidate is re-scored fresh against the new
+        (empty) valid-branch set.
+        """
+        for _, _, candidate in self._heap:
+            candidate.new_count = None
+        self.rescore()
+
     def _compact(self, bound: Optional[int] = None) -> None:
         """Enforce capacity; ``bound`` is the trigger that fired (the
         rescore limit by default, ``2 * limit`` from :meth:`push`).

@@ -121,6 +121,10 @@ def run_campaign(
     batch_size: Optional[int] = None,
     executor_workers: Optional[int] = None,
     cull_every: Optional[int] = None,
+    hybrid: bool = False,
+    mine_after: Optional[int] = None,
+    gen_batch: Optional[int] = None,
+    gen_depth: Optional[int] = None,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``.
 
@@ -147,6 +151,16 @@ def run_campaign(
         cull_every: queue-hygiene cadence in executions (pFuzzer only;
             see :attr:`repro.core.config.FuzzerConfig.cull_every`).
             Environmental like ``executor`` — never changes the result.
+        hybrid: run the pFuzzer campaign in hybrid mine/generate mode
+            (see :mod:`repro.hybrid`).  Unlike the environmental knobs
+            above this changes the campaign result and participates in
+            the snapshot fingerprint.
+        mine_after: hybrid gain-evidence/inter-phase floor (pFuzzer
+            default when None).
+        gen_batch: hybrid generated candidates per flood (pFuzzer
+            default when None).
+        gen_depth: hybrid compiled-generator flood depth budget (pFuzzer
+            default when None).
     """
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
@@ -166,6 +180,14 @@ def run_campaign(
         durability["executor_workers"] = executor_workers
     if cull_every is not None:
         durability["cull_every"] = cull_every
+    if hybrid:
+        durability["hybrid"] = True
+        if mine_after is not None:
+            durability["mine_after"] = mine_after
+        if gen_batch is not None:
+            durability["gen_batch"] = gen_batch
+        if gen_depth is not None:
+            durability["gen_depth"] = gen_depth
     outcome = _RUNNERS[tool](subject, seed, budget, durability)
     output = ToolOutput(
         tool=tool,

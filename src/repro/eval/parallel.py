@@ -620,6 +620,10 @@ def run_grid(
     executor: Optional[str] = None,
     batch_size: Optional[int] = None,
     cull_every: Optional[int] = None,
+    hybrid: bool = False,
+    mine_after: Optional[int] = None,
+    gen_batch: Optional[int] = None,
+    gen_depth: Optional[int] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -659,6 +663,13 @@ def run_grid(
             (:attr:`repro.core.config.FuzzerConfig.cull_every`).
             Environmental like ``executor`` — cell results are
             cull-independent, which the cull equivalence suite asserts.
+        hybrid: run pFuzzer cells in hybrid mine/generate mode (see
+            :mod:`repro.hybrid`).  Not environmental: it changes cell
+            results and participates in each cell's snapshot
+            fingerprint, so retries/resumes must (and do) keep it.
+        mine_after: hybrid gain-evidence/inter-phase floor.
+        gen_batch: hybrid generated candidates per flood.
+        gen_depth: hybrid compiled-generator flood depth budget.
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -703,6 +714,19 @@ def run_grid(
             engine["batch_size"] = batch_size
         if cull_every is not None:
             engine["cull_every"] = cull_every
+    if hybrid:
+        # Rides in the same per-worker options dict as the engine knobs,
+        # but is campaign state, not environment: a hybrid cell's
+        # checkpoints fingerprint the hybrid config, so every retry of
+        # the cell runs with the same options (they come from here).
+        engine = dict(engine or {})
+        engine["hybrid"] = True
+        if mine_after is not None:
+            engine["mine_after"] = mine_after
+        if gen_batch is not None:
+            engine["gen_batch"] = gen_batch
+        if gen_depth is not None:
+            engine["gen_depth"] = gen_depth
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(

@@ -1,0 +1,47 @@
+"""Hybrid campaigns: parser-directed discovery feeding compiled generation.
+
+The paper concedes in §7.4 that once pFuzzer has bootstrapped valid
+inputs "it is more efficient to ... mine the grammar and use the mined
+grammar for generating longer and more complex sequences".  This package
+closes that loop as a first-class campaign mode:
+
+* :mod:`repro.hybrid.compile` lowers a mined :class:`repro.miner.grammar.
+  Grammar` into pre-bound Python closures with precomputed min-cost
+  closing strings ("Building Fast Fuzzers"-style), replacing the
+  recursive :class:`repro.miner.generate.GrammarFuzzer` interpreter on
+  the generation hot path;
+* :mod:`repro.hybrid.campaign` runs the alternation: pFuzzer explores
+  until its coverage-gain posterior plateaus, the miner induces a
+  grammar from the accumulated valid inputs (token boundaries labelled
+  from the lineage log's comparison kinds), and the compiled generator
+  floods candidates that re-seed the corpus as ``"gen"``-lineage roots
+  and reset ``vBr`` before parser-directed search resumes.
+
+The engine plugs into :class:`repro.core.fuzzer.PFuzzer` behind
+``FuzzerConfig.hybrid`` and follows the iteration-boundary cadence
+discipline: every phase switch is a pure function of the executions
+counter and snapshot state, so hybrid campaigns keep the kill/resume
+fingerprint-equivalence guarantees.
+"""
+
+from repro.hybrid.compile import (
+    CompiledGrammar,
+    CompiledGenerator,
+    compile_grammar,
+)
+from repro.hybrid.campaign import (
+    HybridConfig,
+    HybridEngine,
+    enrich_grammar,
+    lineage_keywords,
+)
+
+__all__ = [
+    "CompiledGrammar",
+    "CompiledGenerator",
+    "compile_grammar",
+    "HybridConfig",
+    "HybridEngine",
+    "enrich_grammar",
+    "lineage_keywords",
+]

@@ -1,0 +1,351 @@
+"""The hybrid campaign engine: explore, learn, generate, repeat.
+
+The paper's §7.4 observation — once pFuzzer has bootstrapped valid
+inputs, grammar-based generation covers deeper structure faster than
+parser-directed search — becomes a campaign *mode* here.  One
+:class:`HybridEngine` rides inside a :class:`repro.core.fuzzer.PFuzzer`
+(behind ``FuzzerConfig.hybrid``) and alternates three phases:
+
+1. **Explore** — parser-directed search runs normally while the engine
+   feeds a decayed coverage-gain posterior
+   (:class:`repro.service.gain.GainEstimator`) with per-iteration
+   execution/emission deltas.
+2. **Learn** — once the posterior plateaus (and the inter-phase floor
+   has passed), the miner induces a grammar from the longest accumulated
+   valid inputs.  Token boundaries are labelled from the lineage log:
+   multi-character comparison replacements on emitted inputs' derivation
+   chains are the parser's own keywords (:func:`lineage_keywords`), and
+   :func:`enrich_grammar` splits every other multi-character terminal
+   into single characters so those keywords stay atomic choice points.
+3. **Generate** — the grammar is compiled
+   (:mod:`repro.hybrid.compile`) at a shallow depth budget and floods a
+   batch of fresh sentences into the campaign as ``"gen"``-lineage
+   roots.  The fuzzer resets ``vBr`` first, so parser-directed search
+   re-measures progress against the flooded corpus and extends the
+   generated structures instead of re-deriving them.
+
+The flood depth is deliberately shallow (``gen_depth``): flood
+candidates are corpus-scale re-seed roots, not coverage payloads — the
+closing tables supply complete minimal tails for every open structure,
+and structural depth accumulates across mining rounds as each phase
+mines the previous phase's extended outputs.
+
+Determinism contract: the engine is pure state driven by campaign
+counters — no wall clock, and its only randomness is a dedicated
+generation RNG seeded from the campaign seed and carried through
+snapshots.  Identical (seed, config) campaigns run identical phase
+schedules, which is what keeps hybrid campaigns inside the kill/resume
+fingerprint-equivalence guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Container, Iterable, List, Optional, Sequence
+
+from repro.hybrid.compile import CompiledGenerator, compile_grammar
+from repro.miner.grammar import Grammar, TERM, Symbol
+from repro.obs.lineage import LineageError, LineageLog
+from repro.service.gain import GainConfig, GainEstimator
+
+#: XOR'd into the campaign seed for the generation RNG so the flood
+#: stream is decorrelated from the append/restart stream without
+#: consuming draws from it.
+_GEN_SEED_SALT = 0x9E3779B9
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Knobs of the explore→learn→generate alternation.
+
+    Attributes:
+        mine_after: decayed-execution evidence the gain estimator needs
+            before a plateau may trigger a mining phase, and the floor
+            (in executions) between consecutive phases.
+        gen_batch: maximum generated sentences injected per flood.
+        mine_corpus: how many accumulated valid inputs feed the miner —
+            the longest ones, ties broken lexicographically, so the
+            slice is deterministic and biased toward structure.
+        gen_depth: depth budget of the compiled generator during
+            floods.  Shallow by design (see the module docstring): the
+            closing tables complete every open structure minimally, and
+            depth accumulates across phases.
+        pause_threshold: plateau bar on the posterior discovery rate.
+        decay: per-execution evidence decay of the gain posterior.
+    """
+
+    mine_after: int = 600
+    gen_batch: int = 32
+    mine_corpus: int = 40
+    gen_depth: int = 3
+    pause_threshold: float = 0.02
+    decay: float = 0.995
+
+    def validate(self) -> None:
+        """Raises ``ValueError`` naming the first invalid knob."""
+        if self.mine_after < 1:
+            raise ValueError("mine_after must be positive")
+        if self.gen_batch < 1:
+            raise ValueError("gen_batch must be positive")
+        if self.mine_corpus < 1:
+            raise ValueError("mine_corpus must be positive")
+        if self.gen_depth < 1:
+            raise ValueError("gen_depth must be positive")
+        if not 0.0 < self.pause_threshold < 1.0:
+            raise ValueError("pause_threshold must be in (0, 1)")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+
+    @classmethod
+    def from_fuzzer(cls, config) -> "HybridConfig":
+        """The engine knobs a :class:`~repro.core.config.FuzzerConfig`
+        exposes; the rest keep their defaults."""
+        return cls(
+            mine_after=config.mine_after,
+            gen_batch=config.gen_batch,
+            gen_depth=config.gen_depth,
+        )
+
+    def gain_config(self) -> GainConfig:
+        """The plateau detector's posterior configuration.
+
+        ``min_evidence`` keeps a fresh (or freshly reset) posterior from
+        firing on its prior alone.  Decayed execution counts saturate at
+        the decay horizon ``1 / (1 - decay)`` — an evidence floor above
+        it would never be met — so the estimator's bar is capped at half
+        the horizon; the full (undecayed) ``mine_after`` floor is
+        enforced separately by :meth:`HybridEngine.plateaued`.
+        """
+        horizon = (
+            1.0 / (1.0 - self.decay) if self.decay < 1.0 else float("inf")
+        )
+        return GainConfig(
+            decay=self.decay,
+            pause_threshold=self.pause_threshold,
+            min_evidence=min(float(self.mine_after), horizon / 2.0),
+        )
+
+
+def lineage_keywords(log: LineageLog, node_ids: Iterable[int]) -> List[str]:
+    """The parser's keywords, read off emitted inputs' derivation chains.
+
+    Every ``"substitute"`` node records the comparison-supplied
+    replacement that spliced it; multi-character replacements are
+    exactly the tokens the parser compared whole strings against
+    (``strcmp("true")``-style).  Collecting them over the chains of the
+    emitted inputs labels token boundaries for :func:`enrich_grammar`
+    without any grammar-specific knowledge.  Sorted for determinism;
+    chains broken by pre-lineage snapshots are skipped, not fatal.
+    """
+    found = set()
+    for node_id in node_ids:
+        try:
+            chain = log.chain(node_id)
+        except LineageError:
+            continue
+        for node in chain:
+            if node.op != "substitute":
+                continue
+            word = node.replacement.strip()
+            if len(word) >= 2:
+                found.add(word)
+    return sorted(found)
+
+
+def _split_terminal(text: str, keywords: Sequence[str]) -> List[Symbol]:
+    """Split one terminal run into keyword-atomic single-char pieces.
+
+    ``keywords`` must be ordered longest-first so overlapping keywords
+    resolve to the longest match, deterministically.
+    """
+    pieces: List[Symbol] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        for keyword in keywords:
+            if text.startswith(keyword, position):
+                pieces.append((TERM, keyword))
+                position += len(keyword)
+                break
+        else:
+            pieces.append((TERM, text[position]))
+            position += 1
+    return pieces
+
+
+def enrich_grammar(grammar: Grammar, keywords: Iterable[str]) -> Grammar:
+    """Re-tokenise a mined grammar around lineage-derived keywords.
+
+    Multi-character terminals are split into single characters — except
+    substrings matching a known keyword, which stay atomic.  The miner
+    records terminals as whatever contiguous text a parser frame
+    consumed, which can fuse a keyword with surrounding punctuation;
+    splitting restores character-level choice points (the compiler's
+    terminal merging re-fuses unconditional runs at build time) while
+    keywords survive as indivisible tokens, so generation never emits a
+    half keyword.
+    """
+    ordered = sorted(
+        {keyword for keyword in keywords if len(keyword) >= 2},
+        key=lambda keyword: (-len(keyword), keyword),
+    )
+    out = Grammar(grammar.start)
+    for name, expansions in grammar.rules.items():
+        for expansion in expansions:
+            symbols: List[Symbol] = []
+            for kind, value in expansion:
+                if kind == TERM and len(value) > 1:
+                    symbols.extend(_split_terminal(value, ordered))
+                else:
+                    symbols.append((kind, value))
+            out.add_rule(name, symbols)
+    return out
+
+
+class HybridEngine:
+    """Phase state of one hybrid campaign, owned by its ``PFuzzer``.
+
+    The fuzzer calls :meth:`observe_campaign` at every iteration
+    boundary, checks :meth:`plateaued`, and on a plateau runs one
+    learn→generate phase through :meth:`learn`, :meth:`flood` and
+    :meth:`finish_phase`.  All state (phase counter, watermarks, gain
+    evidence, grammar, generation RNG) serialises via
+    :meth:`to_payload` / :meth:`restore_payload` into campaign
+    snapshots.
+    """
+
+    def __init__(self, config: HybridConfig, seed: Optional[int]) -> None:
+        config.validate()
+        self.config = config
+        #: Completed learn→generate phases.
+        self.phase = 0
+        #: Executions counter at the end of the last phase (0 before the
+        #: first), the anchor of the inter-phase floor.
+        self.mined_at = 0
+        self.grammar: Optional[Grammar] = None
+        self.keywords: List[str] = []
+        self._gain = GainEstimator(config.gain_config())
+        self._last_executions = 0
+        self._last_emits = 0
+        self._gen_rng = random.Random(
+            (seed if seed is not None else 0) ^ _GEN_SEED_SALT
+        )
+        self._generator: Optional[CompiledGenerator] = None
+
+    # ------------------------------------------------------------------ #
+    # Explore: plateau detection
+    # ------------------------------------------------------------------ #
+
+    def observe_campaign(self, executions: int, emitted: int) -> None:
+        """Absorb the campaign's progress since the last observation.
+
+        Called with the *cumulative* counters; the engine keeps its own
+        watermarks so the posterior sees per-iteration deltas.
+        """
+        self._gain.observe(
+            executions - self._last_executions, emitted - self._last_emits
+        )
+        self._last_executions = executions
+        self._last_emits = emitted
+
+    def plateaued(self, executions: int, distinct_valid: int) -> bool:
+        """Should a learn→generate phase run now?
+
+        Requires at least two distinct valid inputs (one-sentence
+        corpora mine degenerate grammars whose floods cannot produce
+        anything new), the inter-phase execution floor, and the gain
+        posterior below its plateau bar with enough decayed evidence.
+        """
+        return (
+            distinct_valid >= 2
+            and executions - self.mined_at >= self.config.mine_after
+            and self._gain.should_pause()
+        )
+
+    def gain_snapshot(self) -> dict:
+        """JSON-safe posterior view for traces and ``/metrics``."""
+        return self._gain.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Learn / generate
+    # ------------------------------------------------------------------ #
+
+    def learn(self, grammar: Grammar, keywords: Sequence[str]) -> None:
+        """Install a freshly mined (already enriched) grammar.
+
+        Recompiles the generator at the flood depth budget; the
+        generation RNG stream continues across phases — the new
+        closures bind the same ``Random`` instance.
+        """
+        self.grammar = grammar
+        self.keywords = list(keywords)
+        compiled = compile_grammar(grammar, max_depth=self.config.gen_depth)
+        self._generator = CompiledGenerator(compiled, rng=self._gen_rng)
+
+    def flood(
+        self, limit: int, avoid: Container[str], max_length: int
+    ) -> List[str]:
+        """Up to ``limit`` fresh sentences for the generation phase.
+
+        Deduplicated against ``avoid`` (the campaign's seen set) and
+        each other, draw-bounded so a tiny grammar never spins, and
+        filtered to the campaign's input-length cap.
+        """
+        if self._generator is None:
+            return []
+        sentences = self._generator.generate_many(limit, avoid=avoid)
+        return [text for text in sentences if len(text) <= max_length]
+
+    def finish_phase(self, executions: int, emitted: int) -> None:
+        """Close one learn→generate phase and reset the plateau clock.
+
+        The gain estimator restarts empty: post-flood exploration is
+        measured on its own evidence, not the pre-plateau history, and
+        ``min_evidence`` guarantees a full observation window before
+        the next phase may fire.
+        """
+        self.phase += 1
+        self.mined_at = executions
+        self._last_executions = executions
+        self._last_emits = emitted
+        self._gain = GainEstimator(self.config.gain_config())
+
+    # ------------------------------------------------------------------ #
+    # Snapshot serialisation (see repro.eval.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def to_payload(self) -> dict:
+        """JSON-safe engine state for campaign snapshots.
+
+        Gain evidence is stored as raw floats (JSON round-trips Python
+        floats exactly), the grammar through its sorted payload form,
+        and the generation RNG verbatim — everything a resumed campaign
+        needs to schedule and replay the remaining phases identically.
+        """
+        version, internal, gauss = self._gen_rng.getstate()
+        return {
+            "phase": self.phase,
+            "mined_at": self.mined_at,
+            "last_executions": self._last_executions,
+            "last_emits": self._last_emits,
+            "gain": [self._gain.executions, self._gain.discoveries],
+            "grammar": None if self.grammar is None else self.grammar.to_payload(),
+            "keywords": list(self.keywords),
+            "gen_rng": [version, list(internal), gauss],
+        }
+
+    def restore_payload(self, payload: dict) -> None:
+        """Restore :meth:`to_payload` state into this (fresh) engine."""
+        self.phase = payload["phase"]
+        self.mined_at = payload["mined_at"]
+        self._last_executions = payload["last_executions"]
+        self._last_emits = payload["last_emits"]
+        self._gain = GainEstimator(self.config.gain_config())
+        self._gain.executions, self._gain.discoveries = payload["gain"]
+        version, internal, gauss = payload["gen_rng"]
+        self._gen_rng.setstate((version, tuple(internal), gauss))
+        if payload["grammar"] is not None:
+            self.learn(
+                Grammar.from_payload(payload["grammar"]), payload["keywords"]
+            )

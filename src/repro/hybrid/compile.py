@@ -1,0 +1,791 @@
+"""Compiling mined grammars into wire-speed generators.
+
+The recursive :class:`repro.miner.generate.GrammarFuzzer` interprets the
+grammar on every expansion: it materialises each rule's alternative set,
+draws from it, and — past the depth budget — recomputes every
+alternative's closing cost before descending into the cheapest one.
+That is fine for printing a handful of samples and far too slow for a
+generation *phase* that floods thousands of candidates into a campaign.
+
+This module lowers a :class:`repro.miner.grammar.Grammar` once, ahead of
+time ("Building Fast Fuzzers"-style):
+
+1. **Normalise** — drop references to undefined nonterminals, inline
+   single-alternative non-recursive rules (mined grammars are full of
+   them: every parser helper that was called one way becomes one), and
+   merge adjacent terminals, so the remaining tables only contain real
+   choice points.
+2. **Precompute the min-cost closing** — the classic fixpoint gives each
+   nonterminal its minimal expansion depth; from it every nonterminal
+   gets a *canonical closing string* (cheapest alternative, ties broken
+   deterministically) and every cheapest alternative gets its fully
+   closed terminal text.  Past the depth budget, closing a nonterminal
+   is then one random pick among precomputed strings — no descent, no
+   cost recomputation.
+3. **Generate closures** — one Python function per remaining
+   nonterminal *per depth level* ("Building Fast Fuzzers"-style
+   supercompilation): each clone calls its children's next-level clones
+   directly, so the hot path carries no depth argument and performs no
+   depth check, and clones at the last interior level constant-fold
+   their children's closings into plain terminal runs — an alternative
+   whose symbols all fold collapses to a single precomputed string, and
+   a rule whose alternatives all collapse dispatches through one string
+   table.  The RNG's ``random()`` is pre-bound and alternatives are
+   dispatched by an if/elif ladder over one uniform draw (a tuple of
+   per-alternative closures beyond a ladder-friendly fan-out); clones
+   build their sentence as a returned ``+``-concatenation expression,
+   small clones inline into their callers as walrus-bound ternary
+   chains under a size budget, and the batch entry point expands the
+   whole-sentence expression inside one list comprehension — the
+   common case costs zero Python call frames per sentence.  Grammars
+   with unclosable rules (or pathological name-times-depth products)
+   fall back to a single depth-parameterised function per nonterminal
+   appending terminal runs to a shared buffer, with a hard recursion
+   bail.
+
+Determinism contract: the compiled tables are a pure function of the
+grammar (alternatives are sorted, never iterated in set order), and a
+:class:`CompiledGenerator`'s output is a pure function of its RNG state
+— seedable from campaign RNG state via ``getstate``/``setstate``, which
+is what lets hybrid campaigns snapshot mid-phase and resume
+fingerprint-identically.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.miner.grammar import Expansion, Grammar, NONTERM, TERM
+
+#: Alternative fan-out beyond which codegen dispatches through a tuple of
+#: per-alternative closures instead of an if/elif ladder.
+_LADDER_LIMIT = 16
+
+#: Hard recursion bail for grammars containing nonterminals with no
+#: finite closing expansion (impossible for grammars mined from real
+#: inputs, possible for hand-built ones): past ``max_depth`` plus this
+#: slack the generator emits the canonical closing string and stops.
+_HARD_SLACK = 64
+
+#: Cap on ``len(names) * max_depth`` beyond which codegen skips the
+#: per-depth specialisation and falls back to one depth-parameterised
+#: function per nonterminal (bounds generated-source size).
+_UNROLL_LIMIT = 2048
+
+#: Character budget for inlining a clone into its callers as one
+#: conditional expression instead of a call.  Applied per level, so the
+#: generated source stays linear in the grammar even though inlining
+#: cascades bottom-up.
+_INLINE_LIMIT = 800
+
+
+class GrammarCompileError(ValueError):
+    """The grammar cannot be compiled (e.g. it defines no start rule)."""
+
+
+def _sorted_rules(grammar: Grammar) -> Dict[str, List[Expansion]]:
+    """The grammar's rules with set order replaced by sorted order.
+
+    Everything downstream iterates these lists, never the underlying
+    sets, so the compiled artifact is independent of PYTHONHASHSEED.
+    """
+    return {name: sorted(expansions) for name, expansions in grammar.rules.items()}
+
+
+def _drop_undefined(rules: Dict[str, List[Expansion]]) -> Dict[str, List[Expansion]]:
+    """Remove references to nonterminals that have no rules (cf. prune)."""
+    defined = set(rules)
+    cleaned: Dict[str, List[Expansion]] = {}
+    for name, expansions in rules.items():
+        seen: Set[Expansion] = set()
+        kept: List[Expansion] = []
+        for expansion in expansions:
+            filtered = tuple(
+                symbol
+                for symbol in expansion
+                if symbol[0] == TERM or symbol[1] in defined
+            )
+            if filtered not in seen:
+                seen.add(filtered)
+                kept.append(filtered)
+        cleaned[name] = kept
+    return cleaned
+
+
+def _recursive_names(rules: Dict[str, List[Expansion]]) -> Set[str]:
+    """Nonterminals that can (transitively) expand to themselves."""
+    reachable: Dict[str, Set[str]] = {}
+
+    def reach(name: str) -> Set[str]:
+        cached = reachable.get(name)
+        if cached is not None:
+            return cached
+        reachable[name] = set()  # cycle guard: mid-computation, assume empty
+        out: Set[str] = set()
+        for expansion in rules.get(name, ()):
+            for kind, value in expansion:
+                if kind == NONTERM:
+                    out.add(value)
+                    out |= reach(value)
+        reachable[name] = out
+        return out
+
+    return {name for name in rules if name in reach(name)}
+
+
+def _merge_terminals(expansion: Sequence[Tuple[str, str]]) -> Expansion:
+    """Concatenate adjacent terminal symbols into single runs."""
+    merged: List[Tuple[str, str]] = []
+    for kind, value in expansion:
+        if kind == TERM and merged and merged[-1][0] == TERM:
+            merged[-1] = (TERM, merged[-1][1] + value)
+        else:
+            merged.append((kind, value))
+    return tuple(symbol for symbol in merged if symbol != (TERM, ""))
+
+
+def _inline_single_alts(
+    rules: Dict[str, List[Expansion]], start: str
+) -> Dict[str, List[Expansion]]:
+    """Splice single-alternative non-recursive rules into their callers.
+
+    Mined grammars nest one rule per parser function; chains of helpers
+    with exactly one observed expansion contribute no choice, only call
+    overhead.  Inlining them (and re-merging terminals) leaves a table
+    of genuine decision points.  The start rule always survives.
+    """
+    recursive = _recursive_names(rules)
+    while True:
+        candidates = {
+            name: expansions[0]
+            for name, expansions in rules.items()
+            if name != start and name not in recursive and len(expansions) == 1
+        }
+        # Defer candidates whose bodies reference other candidates: they
+        # inline on a later pass, after their references were spliced —
+        # otherwise a chain like s->a b, a->"[" b "]", b->"x" would splice
+        # a's body (still naming b) while deleting b in the same pass.
+        # The candidate reference graph is acyclic (recursive rules are
+        # excluded), so some candidate is always reference-free.
+        inlinable = {
+            name: expansion
+            for name, expansion in candidates.items()
+            if not any(
+                symbol[0] == NONTERM and symbol[1] in candidates
+                for symbol in expansion
+            )
+        }
+        if not inlinable:
+            return rules
+        next_rules: Dict[str, List[Expansion]] = {}
+        for name, expansions in rules.items():
+            if name in inlinable:
+                continue
+            rewritten: List[Expansion] = []
+            seen: Set[Expansion] = set()
+            for expansion in expansions:
+                out: List[Tuple[str, str]] = []
+                for symbol in expansion:
+                    if symbol[0] == NONTERM and symbol[1] in inlinable:
+                        out.extend(inlinable[symbol[1]])
+                    else:
+                        out.append(symbol)
+                merged = _merge_terminals(out)
+                if merged not in seen:
+                    seen.add(merged)
+                    rewritten.append(merged)
+            next_rules[name] = rewritten
+        rules = next_rules
+        # Inlined bodies may themselves reference inlinable rules; loop
+        # until a pass removes nothing.  Termination: every pass deletes
+        # at least one rule.
+
+
+def _min_costs(rules: Dict[str, List[Expansion]]) -> Dict[str, float]:
+    """Minimal expansion depth per nonterminal (the standard fixpoint)."""
+    infinity = float("inf")
+    costs = {name: infinity for name in rules}
+    changed = True
+    while changed:
+        changed = False
+        for name, expansions in rules.items():
+            for expansion in expansions:
+                cost = 1.0
+                for kind, value in expansion:
+                    if kind == NONTERM:
+                        cost = max(cost, 1.0 + costs.get(value, infinity))
+                if cost < costs[name]:
+                    costs[name] = cost
+                    changed = True
+    return costs
+
+
+def _expansion_cost(expansion: Expansion, costs: Dict[str, float]) -> float:
+    cost = 1.0
+    for kind, value in expansion:
+        if kind == NONTERM:
+            cost = max(cost, 1.0 + costs.get(value, float("inf")))
+    return cost
+
+
+def _closing_strings(
+    rules: Dict[str, List[Expansion]], costs: Dict[str, float]
+) -> Dict[str, str]:
+    """One canonical minimal closing string per nonterminal.
+
+    The cheapest alternative is taken at every level (first in sorted
+    order on ties), memoised; a nonterminal with no finite closing cost
+    closes as the empty string — generation still terminates, which is
+    strictly better than the interpreter's unbounded descent.
+    """
+    closed: Dict[str, str] = {}
+
+    def close(name: str) -> str:
+        cached = closed.get(name)
+        if cached is not None:
+            return cached
+        closed[name] = ""  # cycle guard for infinite-cost grammars
+        expansions = rules.get(name, ())
+        if not expansions or costs.get(name, float("inf")) == float("inf"):
+            return ""
+        best = min(expansions, key=lambda e: (_expansion_cost(e, costs), e))
+        pieces = [
+            value if kind == TERM else close(value) for kind, value in best
+        ]
+        text = "".join(pieces)
+        closed[name] = text
+        return text
+
+    for name in rules:
+        close(name)
+    return closed
+
+
+class CompiledGrammar:
+    """The lowered form of one mined grammar: flat tables plus source.
+
+    Attributes:
+        start: the start nonterminal's name.
+        names: surviving nonterminal names, sorted (index = compiled id).
+        alts: per nonterminal, the sorted alternatives as merged symbol
+            tuples — the flat choice tables the closures are generated
+            from.
+        cheap_closings: per nonterminal, the precomputed fully-closed
+            terminal strings of its minimal-cost alternatives (what the
+            generator appends past the depth budget).
+        costs: minimal expansion depth per nonterminal.
+        source: the generated Python source (one function per
+            nonterminal and depth level, or per nonterminal in the
+            fallback form), kept for inspection and tests.
+        inlined: how many single-alternative rules were spliced away.
+        max_depth: depth budget baked into the generated dispatch.
+        unrolled: whether codegen specialised per depth level (False
+            for unclosable grammars and pathological name-times-depth
+            products, which take the depth-parameterised fallback).
+    """
+
+    def __init__(self, grammar: Grammar, max_depth: int = 12) -> None:
+        if max_depth < 1:
+            raise GrammarCompileError("max_depth must be positive")
+        rules = _drop_undefined(_sorted_rules(grammar))
+        if grammar.start not in rules or not rules[grammar.start]:
+            raise GrammarCompileError(
+                f"grammar defines no expansions for start rule "
+                f"{grammar.start!r}"
+            )
+        total_rules = len(rules)
+        rules = {
+            name: [_merge_terminals(expansion) for expansion in expansions]
+            for name, expansions in rules.items()
+        }
+        rules = _inline_single_alts(rules, grammar.start)
+        self.start = grammar.start
+        self.names: List[str] = sorted(rules)
+        self.alts: Dict[str, List[Expansion]] = rules
+        self.costs = _min_costs(rules)
+        self.inlined = total_rules - len(rules)
+        self.max_depth = max_depth
+        closings = _closing_strings(rules, self.costs)
+        self.cheap_closings: Dict[str, List[str]] = {}
+        for name, expansions in rules.items():
+            cheapest = min(
+                (_expansion_cost(e, self.costs) for e in expansions),
+                default=float("inf"),
+            )
+            strings: List[str] = []
+            seen: Set[str] = set()
+            for expansion in expansions:
+                if _expansion_cost(expansion, self.costs) > cheapest:
+                    continue
+                text = "".join(
+                    value if kind == TERM else closings.get(value, "")
+                    for kind, value in expansion
+                )
+                if text not in seen:
+                    seen.add(text)
+                    strings.append(text)
+            self.cheap_closings[name] = strings or [""]
+        self.source = self._generate_source()
+
+    # -- codegen -------------------------------------------------------- #
+
+    def _function_name(self, name: str) -> str:
+        return f"_gen_{self.names.index(name)}"
+
+    def _body_lines(self, expansion: Expansion, indent: str) -> List[str]:
+        lines: List[str] = []
+        for kind, value in expansion:
+            if kind == TERM:
+                lines.append(f"{indent}_out({value!r})")
+            else:
+                lines.append(f"{indent}{self._function_name(value)}(d1)")
+        if not lines:
+            lines.append(f"{indent}pass")
+        return lines
+
+    def _dispatch_lines(
+        self, name: str, expansions: List[Expansion], indent: str
+    ) -> List[str]:
+        """An if/elif ladder over one uniform draw (or a closure table)."""
+        lines: List[str] = []
+        count = len(expansions)
+        if count == 1:
+            return self._body_lines(expansions[0], indent)
+        if count > _LADDER_LIMIT:
+            lines.append(
+                f"{indent}_alts_{self.names.index(name)}"
+                f"[_int(_r() * {count})](d1)"
+            )
+            return lines
+        lines.append(f"{indent}r = _r()")
+        for position, expansion in enumerate(expansions):
+            if position == 0:
+                lines.append(f"{indent}if r < {1.0 / count!r}:")
+            elif position == count - 1:
+                lines.append(f"{indent}else:")
+            else:
+                lines.append(f"{indent}elif r < {(position + 1) / count!r}:")
+            lines.extend(self._body_lines(expansion, indent + "    "))
+        return lines
+
+    def _closing_lines(self, name: str, indent: str) -> List[str]:
+        strings = self.cheap_closings[name]
+        if len(strings) == 1:
+            return [f"{indent}_out({strings[0]!r})"]
+        return [
+            f"{indent}_out(_close_{self.names.index(name)}"
+            f"[_int(_r() * {len(strings)})])"
+        ]
+
+    def _generate_source(self) -> str:
+        """Pick the codegen strategy; see the module docstring."""
+        has_infinite = any(
+            cost == float("inf") for cost in self.costs.values()
+        )
+        if has_infinite or len(self.names) * self.max_depth > _UNROLL_LIMIT:
+            self.unrolled = False
+            return self._generate_source_looped(has_infinite)
+        self.unrolled = True
+        return self._generate_source_unrolled()
+
+    def _generate_source_looped(self, has_infinite: bool) -> str:
+        """Fallback form: one depth-parameterised function per rule."""
+        hard = self.max_depth + _HARD_SLACK
+        lines: List[str] = []
+        for name in self.names:
+            expansions = self.alts[name]
+            fn = self._function_name(name)
+            lines.append(f"def {fn}(d):")
+            if has_infinite:
+                # Grammars with unclosable rules get a hard bail so the
+                # generated closures always terminate.
+                lines.append(f"    if d > {hard}:")
+                lines.extend(self._closing_lines(name, "        "))
+                lines.append("        return")
+            lines.append(f"    if d < {self.max_depth}:")
+            lines.append("        d1 = d + 1")
+            lines.extend(self._dispatch_lines(name, expansions, "        "))
+            lines.append("    else:")
+            lines.extend(self._closing_lines(name, "        "))
+            lines.append("")
+        for name in self.names:
+            if len(self.alts[name]) > _LADDER_LIMIT:
+                index = self.names.index(name)
+                lines.append(f"def _table_{index}():")
+                for position, expansion in enumerate(self.alts[name]):
+                    lines.append(f"    def _alt_{position}(d1):")
+                    lines.extend(
+                        self._body_lines(expansion, "        ")
+                    )
+                    lines.append("")
+                members = ", ".join(
+                    f"_alt_{position}"
+                    for position in range(len(self.alts[name]))
+                )
+                lines.append(f"    return ({members},)")
+                lines.append(f"_alts_{index} = _table_{index}()")
+                lines.append("")
+        lines.append("def _entry():")
+        lines.append(f"    {self._function_name(self.start)}(0)")
+        lines.append("    text = ''.join(_buf)")
+        lines.append("    del _buf[:]")
+        lines.append("    return text")
+        lines.append("")
+        lines.append("def _many(n):")
+        lines.append("    return [_entry() for _ in range(n)]")
+        return "\n".join(lines)
+
+    # -- depth-specialised codegen -------------------------------------- #
+
+    def _closing_piece(self, name: str) -> Optional[str]:
+        """The child's closing as a constant, or None when it's a draw."""
+        strings = self.cheap_closings[name]
+        return strings[0] if len(strings) == 1 else None
+
+    def _unrolled_pieces(
+        self, expansion: Expansion, depth: int
+    ) -> List[Tuple[str, str]]:
+        """One alternative at ``depth`` as ``("const", text)`` /
+        ``("code", statement)`` pieces, closings constant-folded.
+
+        Adjacent terminals and single-closing children merge into one
+        constant run; only genuine draws (next-level calls and
+        multi-closing picks) survive as separate statements.
+        """
+        pieces: List[Tuple[str, str]] = []
+        constant = ""
+
+        def walk(expansion: Expansion, depth: int) -> None:
+            nonlocal constant
+            closing_level = depth + 1 >= self.max_depth
+            for kind, value in expansion:
+                if kind == TERM:
+                    constant += value
+                    continue
+                if closing_level:
+                    piece = self._closing_piece(value)
+                    if piece is not None:
+                        constant += piece
+                        continue
+                else:
+                    folded = self._const_clones.get((value, depth + 1))
+                    if folded is not None:
+                        # The child's clone produces one deterministic
+                        # string: merge it into this constant run (and
+                        # let the fold cascade another level up).
+                        constant += folded
+                        continue
+                    if len(self.alts[value]) == 1:
+                        # A choice-free child contributes no draw of its
+                        # own at this level: splice its body inline
+                        # (depth still advances, so recursion stays
+                        # bounded and the draw stream is unchanged).
+                        walk(self.alts[value][0], depth + 1)
+                        continue
+                if constant:
+                    pieces.append(("const", constant))
+                    constant = ""
+                index = self.names.index(value)
+                if closing_level:
+                    count = len(self.cheap_closings[value])
+                    pieces.append(
+                        ("expr", f"_close_{index}[_int(_r() * {count})]")
+                    )
+                    continue
+                table = self._table_clones.get((value, depth + 1))
+                if table is not None:
+                    # The child's clone is a string table behind one
+                    # draw: inline the lookup, skipping the call frame.
+                    pieces.append(
+                        (
+                            "expr",
+                            f"_alts_{index}_{depth + 1}"
+                            f"[_int(_r() * {len(table)})]",
+                        )
+                    )
+                    continue
+                inline = self._inline_exprs.get((value, depth + 1))
+                if inline is not None:
+                    # Small clone: splice its conditional expression
+                    # in place of the call (same draws, same order).
+                    pieces.append(("expr", inline))
+                else:
+                    pieces.append(("expr", f"_gen_{index}_{depth + 1}()"))
+
+        walk(expansion, depth)
+        if constant:
+            pieces.append(("const", constant))
+        return pieces
+
+    def _unrolled_expr(self, expansion: Expansion, depth: int) -> str:
+        """The alternative as one string-valued expression.
+
+        Left-to-right ``+`` evaluation is depth-first order, so the
+        draw stream matches the statement form symbol for symbol.
+        """
+        pieces = self._unrolled_pieces(expansion, depth)
+        if not pieces:
+            return "''"
+        return " + ".join(
+            f"{text!r}" if kind == "const" else text for kind, text in pieces
+        )
+
+    def _fold_constant(self, expansion: Expansion, depth: int) -> Optional[str]:
+        """The alternative's full text when it folds to one constant."""
+        pieces = self._unrolled_pieces(expansion, depth)
+        if not pieces:
+            return ""
+        if len(pieces) == 1 and pieces[0][0] == "const":
+            return pieces[0][1]
+        return None
+
+    def _clone_expr(self, name: str, depth: int) -> Optional[str]:
+        """The clone as one expression, for inlining into callers.
+
+        Multi-alternative clones become a parenthesised conditional over
+        one named walrus draw (``r_<id>_<depth>`` — unique per clone, so
+        nested inlines never collide); the bucket thresholds match the
+        ladder form exactly, keeping the draw stream identical.  Clones
+        past the ladder limit dispatch through their closure table.
+        Returns None when the expression would blow the inline budget.
+        """
+        expansions = self.alts[name]
+        index = self.names.index(name)
+        count = len(expansions)
+        if count == 1:
+            return self._unrolled_expr(expansions[0], depth)
+        if count > _LADDER_LIMIT:
+            return f"_alts_{index}_{depth}[_int(_r() * {count})]()"
+        draw = f"r_{index}_{depth}"
+        branches: List[str] = []
+        for position, expansion in enumerate(expansions):
+            expr = self._unrolled_expr(expansion, depth)
+            if len(expr) > _INLINE_LIMIT:
+                return None
+            if position == 0:
+                branches.append(
+                    f"{expr} if ({draw} := _r()) < {1.0 / count!r}"
+                )
+            elif position == count - 1:
+                branches.append(expr)
+            else:
+                branches.append(
+                    f"{expr} if {draw} < {(position + 1) / count!r}"
+                )
+        return "(" + " else ".join(branches) + ")"
+
+    def _generate_source_unrolled(self) -> str:
+        """One function per (nonterminal, depth); see module docstring.
+
+        A bottom-up classification pass first finds the clones that
+        collapse — to one deterministic string (``_const_clones``) or to
+        a string table behind a single draw (``_table_clones``) — so
+        parents can merge or inline them instead of calling.  Dispatch
+        through a table is ladder-equivalent (``int(r * n)`` picks the
+        ladder's bucket), so collapsing never changes the draw stream.
+        """
+        self._const_clones: Dict[Tuple[str, int], str] = {}
+        self._table_clones: Dict[Tuple[str, int], List[str]] = {}
+        self._inline_exprs: Dict[Tuple[str, int], str] = {}
+        for depth in range(self.max_depth - 1, -1, -1):
+            for name in self.names:
+                folded = [
+                    self._fold_constant(expansion, depth)
+                    for expansion in self.alts[name]
+                ]
+                if all(text is not None for text in folded):
+                    if len(folded) == 1:
+                        self._const_clones[(name, depth)] = folded[0]
+                    else:
+                        self._table_clones[(name, depth)] = folded
+                    continue
+                expr = self._clone_expr(name, depth)
+                if expr is not None and len(expr) <= _INLINE_LIMIT:
+                    self._inline_exprs[(name, depth)] = expr
+        lines: List[str] = []
+        tables: List[str] = []
+        for name in self.names:
+            expansions = self.alts[name]
+            index = self.names.index(name)
+            count = len(expansions)
+            for depth in range(self.max_depth):
+                fn = f"_gen_{index}_{depth}"
+                lines.append(f"def {fn}():")
+                constant = self._const_clones.get((name, depth))
+                if constant is not None:
+                    lines.append(f"    return {constant!r}")
+                    lines.append("")
+                    continue
+                table_strings = self._table_clones.get((name, depth))
+                if table_strings is not None:
+                    table = f"_alts_{index}_{depth}"
+                    members = ", ".join(
+                        f"{text!r}" for text in table_strings
+                    )
+                    tables.append(f"{table} = ({members},)")
+                    lines.append(f"    return {table}[_int(_r() * {count})]")
+                    lines.append("")
+                    continue
+                if count == 1:
+                    expr = self._unrolled_expr(expansions[0], depth)
+                    lines.append(f"    return {expr}")
+                    lines.append("")
+                    continue
+                if count > _LADDER_LIMIT:
+                    table = f"_alts_{index}_{depth}"
+                    tables.append(f"def _table_{index}_{depth}():")
+                    for position, expansion in enumerate(expansions):
+                        expr = self._unrolled_expr(expansion, depth)
+                        tables.append(f"    def _alt_{position}():")
+                        tables.append(f"        return {expr}")
+                        tables.append("")
+                    members = ", ".join(
+                        f"_alt_{position}" for position in range(count)
+                    )
+                    tables.append(f"    return ({members},)")
+                    tables.append(f"{table} = _table_{index}_{depth}()")
+                    tables.append("")
+                    lines.append(f"    return {table}[_int(_r() * {count})]()")
+                    lines.append("")
+                    continue
+                lines.append("    r = _r()")
+                for position, expansion in enumerate(expansions):
+                    if position == 0:
+                        lines.append(f"    if r < {1.0 / count!r}:")
+                    elif position == count - 1:
+                        lines.append("    else:")
+                    else:
+                        lines.append(
+                            f"    elif r < {(position + 1) / count!r}:"
+                        )
+                    expr = self._unrolled_expr(expansion, depth)
+                    lines.append(f"        return {expr}")
+                lines.append("")
+        target_name, target_depth = self.start, 0
+        start_pieces = (
+            self._unrolled_pieces(self.alts[self.start][0], 0)
+            if len(self.alts[self.start]) == 1
+            else None
+        )
+        if start_pieces is not None and len(start_pieces) == 1:
+            # The start clone only forwards to another clone: skip its
+            # call frame on every sentence by aliasing the entry point.
+            # Only a plain clone call qualifies — an inlined dispatch
+            # expression draws from the RNG, so aliasing it would fix
+            # the draw at definition time.
+            forward = re.fullmatch(r"_gen_(\d+)_(\d+)\(\)", start_pieces[0][1])
+            if start_pieces[0][0] == "expr" and forward:
+                target_name = self.names[int(forward.group(1))]
+                target_depth = int(forward.group(2))
+        entry = f"_gen_{self.names.index(target_name)}_{target_depth}"
+        out = tables + lines
+        out.append(f"_entry = {entry}")
+        out.append("")
+        many_expr = self._clone_expr(target_name, target_depth)
+        if many_expr is not None and len(many_expr) <= 8 * _INLINE_LIMIT:
+            # The whole-sentence expression fits a sane budget: the
+            # batch loop needs no Python call frames at all.  Walrus
+            # draws bind in _many's scope, fresh per element.
+            out.append("def _many(n):")
+            out.append(f"    return [{many_expr} for _ in range(n)]")
+        else:
+            out.append("def _many(n):")
+            out.append("    return [_entry() for _ in range(n)]")
+        return "\n".join(out)
+
+
+def compile_grammar(grammar: Grammar, max_depth: int = 12) -> CompiledGrammar:
+    """Lower ``grammar`` into flat tables and generated closure source."""
+    return CompiledGrammar(grammar, max_depth=max_depth)
+
+
+class CompiledGenerator:
+    """Executes a :class:`CompiledGrammar` against one RNG stream.
+
+    Args:
+        compiled: a :class:`CompiledGrammar` (or a raw
+            :class:`~repro.miner.grammar.Grammar`, compiled on the fly
+            with the default depth budget).
+        seed: PRNG seed; ignored when ``rng`` is given.
+        rng: an existing ``random.Random`` to draw from — how hybrid
+            campaigns seed generation from campaign RNG state.
+
+    Output is a pure function of the RNG state: :meth:`getstate` /
+    :meth:`setstate` round-trip through campaign snapshots.
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledGrammar | Grammar",
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if isinstance(compiled, Grammar):
+            compiled = compile_grammar(compiled)
+        self.compiled = compiled
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._buffer: List[str] = []
+        namespace: Dict[str, object] = {
+            "_r": self._rng.random,
+            "_out": self._buffer.append,
+            "_buf": self._buffer,
+            "_int": int,
+        }
+        for name in compiled.names:
+            index = compiled.names.index(name)
+            strings = compiled.cheap_closings[name]
+            if len(strings) > 1:
+                namespace[f"_close_{index}"] = tuple(strings)
+        exec(compiled.source, namespace)  # noqa: S102 - our own codegen
+        self._start = namespace["_entry"]
+        self._many = namespace["_many"]
+
+    def getstate(self):
+        """The underlying RNG state (``random.Random.getstate`` form)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore an RNG state captured by :meth:`getstate`."""
+        self._rng.setstate(state)
+
+    def generate(self) -> str:
+        """One random sentence from the compiled grammar."""
+        return self._start()
+
+    def generate_many(
+        self,
+        count: int,
+        *,
+        avoid=None,
+        max_attempts: Optional[int] = None,
+    ) -> List[str]:
+        """Up to ``count`` sentences, optionally deduplicated.
+
+        With ``avoid`` given (any container supporting ``in``), only
+        sentences outside it — and distinct from each other — are
+        returned, and the number of draws is bounded by ``max_attempts``
+        (default ``4 * count + 16``) so a tiny grammar that can only
+        produce a handful of sentences never spins: the result is then
+        simply shorter than ``count``.  Without ``avoid``, exactly
+        ``count`` sentences are drawn (duplicates possible).
+        """
+        if avoid is None:
+            # Batch fast path: the generated _many comprehension inlines
+            # the whole-sentence expression, so drawing a batch spends
+            # no Python call frames per sentence.
+            return self._many(count)
+        if max_attempts is None:
+            max_attempts = 4 * count + 16
+        out: List[str] = []
+        produced: Set[str] = set()
+        attempts = 0
+        while len(out) < count and attempts < max_attempts:
+            attempts += 1
+            text = self.generate()
+            if text in produced or text in avoid:
+                continue
+            produced.add(text)
+            out.append(text)
+        return out

@@ -11,24 +11,46 @@ sequences").
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Container, List, Optional, Set
 
 from repro.miner.grammar import Expansion, Grammar, NONTERM, TERM
 
 
 class GrammarFuzzer:
-    """Random-expansion generation from a mined grammar."""
+    """Random-expansion generation from a mined grammar.
+
+    This is the reference interpreter: it walks ``grammar.rules``
+    directly on every expansion, so it stays correct when the grammar is
+    still being built up (``GrammarMiner`` mutates grammars between
+    ``add_input`` calls).  The hot generation path lives in
+    :mod:`repro.hybrid.compile`, which presorts and lowers the grammar
+    once instead.
+
+    Output is a pure function of the RNG state: pass ``rng`` to draw
+    from an existing stream (how hybrid campaigns seed generation from
+    campaign RNG state), or ``seed`` for a fresh one.  ``getstate`` /
+    ``setstate`` expose the stream for snapshots.
+    """
 
     def __init__(
         self,
         grammar: Grammar,
         seed: Optional[int] = None,
         max_depth: int = 12,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.grammar = grammar
         self.max_depth = max_depth
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self._costs = self._min_costs()
+
+    def getstate(self):
+        """The underlying RNG state (``random.Random.getstate`` form)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore an RNG state captured by :meth:`getstate`."""
+        self._rng.setstate(state)
 
     def _min_costs(self) -> dict:
         """Minimum expansion depth per nonterminal (fixpoint).
@@ -65,16 +87,49 @@ class GrammarFuzzer:
         name = start if start is not None else self.grammar.start
         return "".join(self._expand(name, 0))
 
-    def generate_many(self, count: int, start: Optional[str] = None) -> List[str]:
-        """``count`` random sentences (duplicates possible)."""
-        return [self.generate(start) for _ in range(count)]
+    def generate_many(
+        self,
+        count: int,
+        start: Optional[str] = None,
+        *,
+        avoid: Optional[Container[str]] = None,
+        max_attempts: Optional[int] = None,
+    ) -> List[str]:
+        """Up to ``count`` random sentences, optionally deduplicated.
+
+        Without ``avoid``, exactly ``count`` sentences are drawn
+        (duplicates possible).  With ``avoid`` (any container supporting
+        ``in``), only sentences outside it — and distinct from each
+        other — are returned, and total draws are bounded by
+        ``max_attempts`` (default ``4 * count + 16``): a tiny grammar
+        that can only produce a handful of sentences yields a short
+        result instead of spinning forever.
+        """
+        if avoid is None:
+            return [self.generate(start) for _ in range(count)]
+        if max_attempts is None:
+            max_attempts = 4 * count + 16
+        out: List[str] = []
+        produced: Set[str] = set()
+        attempts = 0
+        while len(out) < count and attempts < max_attempts:
+            attempts += 1
+            text = self.generate(start)
+            if text in produced or text in avoid:
+                continue
+            produced.add(text)
+            out.append(text)
+        return out
 
     # ------------------------------------------------------------------ #
     # Expansion
     # ------------------------------------------------------------------ #
 
     def _expand(self, name: str, depth: int) -> List[str]:
-        alternatives = list(self.grammar.rules.get(name, ()))
+        # Sorted, not set order: rng.choice over a hash-ordered list
+        # would make output depend on PYTHONHASHSEED.  Sorting here (not
+        # cached) keeps mutation of self.grammar safe.
+        alternatives = sorted(self.grammar.rules.get(name, ()))
         if not alternatives:
             return []
         expansion = self._choose(alternatives, depth)

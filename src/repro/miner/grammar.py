@@ -70,6 +70,34 @@ class Grammar:
                 )
             self.rules[name] = cleaned
 
+    def to_payload(self) -> dict:
+        """A JSON-serialisable snapshot of the grammar.
+
+        Expansions are sorted so the payload (and therefore checkpoint
+        checksums) is independent of set iteration order.
+        """
+        return {
+            "start": self.start,
+            "rules": {
+                name: [
+                    [[kind, value] for kind, value in expansion]
+                    for expansion in sorted(expansions)
+                ]
+                for name, expansions in sorted(self.rules.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Grammar":
+        """Rebuild a grammar from :meth:`to_payload` output."""
+        grammar = cls(payload["start"])
+        for name, expansions in payload["rules"].items():
+            for expansion in expansions:
+                grammar.add_rule(
+                    name, tuple((kind, value) for kind, value in expansion)
+                )
+        return grammar
+
     def __str__(self) -> str:
         lines: List[str] = []
         for name in sorted(self.rules):

@@ -49,6 +49,11 @@ class GrammarMiner:
         accesses = result.recorder.accesses
         root = _build_tree(accesses)
         if root is None:
+            # Valid but traceless (e.g. whitespace-only or empty inputs a
+            # subject accepts without reading through instrumented
+            # frames): record the raw text so the grammar still derives
+            # it instead of silently dropping the observation.
+            self.grammar.add_rule(self.grammar.start, ((TERM, text),))
             return True
         _emit_rules(self.grammar, root, text)
         self.grammar.add_rule(
@@ -57,8 +62,16 @@ class GrammarMiner:
         return True
 
     def finish(self) -> Grammar:
-        """Prune and return the mined grammar."""
+        """Prune and return the mined grammar.
+
+        Always well-formed: even with no (or no valid) inputs the start
+        symbol has at least one expansion — the trivial empty sentence —
+        so downstream consumers (generation, export, compilation) never
+        trip over a missing start rule.
+        """
         self.grammar.prune()
+        if not self.grammar.rules.get(self.grammar.start):
+            self.grammar.add_rule(self.grammar.start, ())
         return self.grammar
 
 

@@ -18,6 +18,11 @@ node and the operation that produced it —
   sync point (see :mod:`repro.eval.sync`).  Like ``"seed"``,
   ``replacement`` holds the full text; ``cmp_kind`` carries the shared
   store's provenance tag so cross-shard chains stay explainable.
+* ``"gen"`` — a root flooded by the compiled grammar generator during a
+  hybrid campaign's generation phase (see :mod:`repro.hybrid`).  Like
+  ``"seed"``, ``replacement`` holds the full text; ``cmp_kind`` carries
+  the generation phase tag (``"phase-N"``) so corpus entries remain
+  attributable to the grammar that produced them.
 
 Because every operation is a pure function of the parent's text,
 :meth:`LineageLog.replay` can re-derive any node's input bytes from its
@@ -53,7 +58,7 @@ class LineageNode(NamedTuple):
 
     node_id: int
     parent_id: Optional[int]
-    op: str  # "seed" | "append" | "substitute" | "sync"
+    op: str  # "seed" | "append" | "substitute" | "sync" | "gen"
     text: str
     replacement: str = ""
     at_index: int = 0
@@ -61,7 +66,7 @@ class LineageNode(NamedTuple):
 
     def derive(self, parent_text: str) -> str:
         """Apply this node's operation to its parent's text."""
-        if self.op in ("seed", "sync"):
+        if self.op in ("seed", "sync", "gen"):
             return self.replacement
         if self.op == "append":
             return parent_text + self.replacement
@@ -199,7 +204,7 @@ class LineageLog:
                 replacement=detail.get(
                     "replacement",
                     event["text"]
-                    if event["op"] in ("seed", "sync")
+                    if event["op"] in ("seed", "sync", "gen")
                     else event.get("replacement", ""),
                 ),
                 at_index=detail.get("at_index", 0),

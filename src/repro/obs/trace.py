@@ -37,6 +37,14 @@ Event types:
     One queue-hygiene pass (see
     :meth:`repro.core.queue.CandidateQueue.cull`): how many dead and
     dominated entries were dropped, and how many remain.
+``grammar_mined``
+    A hybrid campaign induced a grammar from its accumulated valid
+    inputs (see :mod:`repro.hybrid`): corpus slice size, rule count, and
+    how many lineage-derived keywords enriched the token boundaries.
+``gen_phase``
+    One generation flood of a hybrid campaign: how many compiled-grammar
+    candidates were injected and how many survived as valid
+    ``"gen"``-lineage corpus roots after the ``vBr`` reset.
 ``gain_update``
     Service-side: the scheduler's coverage-gain posterior for one job
     after a completed slice (see :mod:`repro.service.gain`), with the
@@ -83,6 +91,8 @@ TRACE_SCHEMA: Dict[str, tuple] = {
     "span": ("phase", "start", "dur"),
     "corpus_sync": ("executions", "pushed", "imported"),
     "queue_cull": ("executions", "dead", "dominated", "kept"),
+    "grammar_mined": ("executions", "phase", "corpus", "rules", "keywords"),
+    "gen_phase": ("executions", "phase", "injected", "valid"),
     "gain_update": ("job_id", "executions", "posterior", "weight", "parked"),
     "checkpoint_written": ("executions",),
     "resumed": ("executions", "resumes"),
@@ -91,7 +101,7 @@ TRACE_SCHEMA: Dict[str, tuple] = {
 }
 
 #: ``op`` values legal on ``candidate_scheduled`` events.
-LINEAGE_OPS = ("seed", "append", "substitute", "sync")
+LINEAGE_OPS = ("seed", "append", "substitute", "sync", "gen")
 
 
 def validate_event(event: object) -> dict:

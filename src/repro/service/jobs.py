@@ -126,6 +126,17 @@ class JobSpec:
             see :attr:`repro.core.config.FuzzerConfig.cull_every`).
             Environmental like ``executor`` — culling never changes the
             job's result fingerprint.  None disables culling.
+        hybrid: run the job as a hybrid mine/generate campaign (pFuzzer
+            only; see :mod:`repro.hybrid`).  *Not* environmental: hybrid
+            mode changes the job's result, participates in the campaign
+            snapshot fingerprint, and must stay fixed across the job's
+            slices — which it does, because specs are immutable.
+        mine_after: hybrid gain-evidence/inter-phase floor (pFuzzer
+            default when None).
+        gen_batch: hybrid generated candidates per flood (pFuzzer
+            default when None).
+        gen_depth: hybrid compiled-generator flood depth budget (pFuzzer
+            default when None).
     """
 
     subject: str
@@ -143,6 +154,10 @@ class JobSpec:
     executor: str = "inline"
     batch_size: int = 1
     cull_every: Optional[int] = None
+    hybrid: bool = False
+    mine_after: Optional[int] = None
+    gen_batch: Optional[int] = None
+    gen_depth: Optional[int] = None
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
@@ -220,6 +235,25 @@ class JobSpec:
             problems.append(
                 f"cull_every must be a positive integer, got {self.cull_every!r}"
             )
+        if not isinstance(self.hybrid, bool):
+            problems.append(f"hybrid must be a boolean, got {self.hybrid!r}")
+        elif self.hybrid and self.tool != "pfuzzer":
+            problems.append(
+                f"hybrid mode requires the pfuzzer tool, got {self.tool!r}"
+            )
+        for name, value in (
+            ("mine_after", self.mine_after),
+            ("gen_batch", self.gen_batch),
+            ("gen_depth", self.gen_depth),
+        ):
+            if value is None:
+                continue
+            if not isinstance(value, int) or value < 1:
+                problems.append(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+            elif not self.hybrid:
+                problems.append(f"{name} requires hybrid mode")
         if problems:
             raise JobError("; ".join(problems))
 

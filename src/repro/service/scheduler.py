@@ -160,6 +160,18 @@ def _run_slice(task: dict) -> SliceResult:
             durability["batch_size"] = task.get("batch_size") or 1
         if task.get("cull_every") is not None:
             durability["cull_every"] = task["cull_every"]
+        if task.get("hybrid"):
+            # Hybrid mode is fingerprinted campaign state, not an
+            # environmental knob: every slice of the job must run with
+            # the same hybrid config or the checkpoint restore rejects
+            # the snapshot — which is exactly the protection wanted.
+            durability["hybrid"] = True
+            if task.get("mine_after") is not None:
+                durability["mine_after"] = task["mine_after"]
+            if task.get("gen_batch") is not None:
+                durability["gen_batch"] = task["gen_batch"]
+            if task.get("gen_depth") is not None:
+                durability["gen_depth"] = task["gen_depth"]
         config = FuzzerConfig(
             seed=task["seed"],
             max_executions=task["budget"],
@@ -631,6 +643,10 @@ class CampaignScheduler:
                     "executor": spec.executor,
                     "batch_size": spec.batch_size,
                     "cull_every": spec.cull_every,
+                    "hybrid": spec.hybrid,
+                    "mine_after": spec.mine_after,
+                    "gen_batch": spec.gen_batch,
+                    "gen_depth": spec.gen_depth,
                     "sync_store": (
                         str(
                             self.state_dir

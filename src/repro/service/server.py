@@ -340,6 +340,18 @@ class CampaignService:
                     f'repro_service_gain_parked{{account="{account}"}} '
                     f"{1 if gain[account]['parked'] else 0}"
                 )
+        hybrid_jobs = sum(1 for record in records if record.spec.hybrid)
+        lines += [
+            "# HELP repro_service_hybrid_jobs Jobs in hybrid mine/generate mode.",
+            "# TYPE repro_service_hybrid_jobs gauge",
+            f"repro_service_hybrid_jobs {hybrid_jobs}",
+            "# HELP repro_service_hybrid_mines_total grammar_mined events across traced jobs.",
+            "# TYPE repro_service_hybrid_mines_total counter",
+            f"repro_service_hybrid_mines_total {trace_counts.get('grammar_mined', 0)}",
+            "# HELP repro_service_hybrid_floods_total gen_phase events across traced jobs.",
+            "# TYPE repro_service_hybrid_floods_total counter",
+            f"repro_service_hybrid_floods_total {trace_counts.get('gen_phase', 0)}",
+        ]
         lines += [
             "# HELP repro_service_peak_rss_kb High-water RSS of the server process (kB).",
             "# TYPE repro_service_peak_rss_kb gauge",

@@ -430,6 +430,126 @@ def test_shards_exchange_inputs_through_the_store(tmp_path):
         assert set(shard.valid_inputs) <= union
 
 
+# --------------------------------------------------------------------- #
+# Hybrid campaigns: kill/resume across mining-phase boundaries
+# --------------------------------------------------------------------- #
+#
+# Hybrid mode adds campaign state a snapshot must carry faithfully — the
+# engine's phase counter, gain evidence, mined grammar, and generation
+# RNG — and phase boundaries a resumed run must re-schedule identically
+# (a checkpoint can land between a plateau and the flood it triggered on
+# the reference run's timeline).  Same contract, same evidence layers:
+# in-process resume from every intermediate generation, and SIGKILLed
+# grid workers, on json + ini across both coverage backends.
+
+#: Hybrid knobs sized so a budget-900 campaign crosses at least one
+#: learn->generate phase on json and ini under both backends.
+HYBRID_KNOBS = dict(hybrid=True, mine_after=200, gen_batch=16)
+HYBRID_SUBJECTS = ("json", "ini")
+
+
+def _hybrid_config(backend, checkpoint_dir, budget=900, resume=False):
+    return FuzzerConfig(
+        seed=7,
+        max_executions=budget,
+        coverage_backend=backend,
+        checkpoint_dir=str(checkpoint_dir),
+        checkpoint_every=100,
+        checkpoint_keep=1_000,
+        resume=resume,
+        **HYBRID_KNOBS,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("subject_name", HYBRID_SUBJECTS)
+def test_hybrid_resume_from_any_generation_matches_uninterrupted(
+    subject_name, backend, tmp_path
+):
+    config = _hybrid_config(backend, tmp_path / "reference")
+    reference = PFuzzer(load_subject(subject_name), config).run()
+    assert any(
+        node.op == "gen" for node in reference.lineage.nodes.values()
+    ), "no mining phase fired; the harness would not cross a phase boundary"
+    generations = list_generations(config.checkpoint_dir)
+    assert len(generations) >= 3, "budget too small to exercise checkpoints"
+    for generation in generations[:-1]:
+        resume_dir = tmp_path / f"resume-{generation}"
+        resume_dir.mkdir()
+        name = f"ckpt-{generation:08d}.json"
+        shutil.copy(f"{config.checkpoint_dir}/{name}", resume_dir / name)
+        resumed = PFuzzer(
+            load_subject(subject_name),
+            _hybrid_config(backend, resume_dir, resume=True),
+        ).run()
+        assert resumed.resumes == 1
+        _assert_equivalent(subject_name, reference, resumed)
+
+
+def test_hybrid_snapshots_reject_mismatched_hybrid_config(tmp_path):
+    """The hybrid knobs are campaign state, not environment: restoring a
+    hybrid snapshot into a non-hybrid campaign (or with different phase
+    knobs) is rejected like any other config mismatch, naming the keys."""
+    from repro.eval.checkpoint import CheckpointError
+
+    config = _hybrid_config("ast", tmp_path / "ckpt")
+    PFuzzer(load_subject("ini"), config).run()
+
+    plain_config = FuzzerConfig(
+        seed=7,
+        max_executions=900,
+        coverage_backend="ast",
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every=100,
+        resume=True,
+    )
+    with pytest.raises(CheckpointError, match="hybrid"):
+        PFuzzer(load_subject("ini"), plain_config).run()
+
+    import dataclasses
+
+    retuned = dataclasses.replace(
+        _hybrid_config("ast", tmp_path / "ckpt", resume=True), mine_after=300
+    )
+    with pytest.raises(CheckpointError, match="mine_after"):
+        PFuzzer(load_subject("ini"), retuned).run()
+
+
+def test_sigkilled_hybrid_grid_cells_resume_to_sequential_result(tmp_path):
+    budget = 900
+    specs = [
+        RunSpec("pfuzzer", "json", budget, seed=7),
+        RunSpec("pfuzzer", "ini", budget, seed=7),
+    ]
+    records = run_grid(
+        specs,
+        jobs=2,
+        retries=3,
+        checkpoint_dir=tmp_path / "grid",
+        checkpoint_every=100,
+        **HYBRID_KNOBS,
+        _test_fail_on={
+            # SIGKILLed at 300 executions, resumed, killed again at 600,
+            # resumed again, then allowed to finish — both kill windows
+            # bracket the first mining phase.
+            ("pfuzzer", "json", 7): "kill-at-300",
+            ("pfuzzer", "ini", 7): "kill-at-300",
+        },
+    )
+    for record in records:
+        assert record.status is RunStatus.OK
+        assert record.attempts == 3
+        assert record.output.resumes == 2
+        reference = run_campaign(
+            record.spec.tool,
+            record.spec.subject,
+            budget,
+            seed=record.spec.seed,
+            **HYBRID_KNOBS,
+        )
+        _assert_outputs_equal(record.output, reference)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("shards", (2, 4))
 @pytest.mark.parametrize("backend", BACKENDS)

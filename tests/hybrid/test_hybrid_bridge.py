@@ -1,0 +1,134 @@
+"""Miner -> tables -> compiled-generator bridge (§7.4 meets §7.1).
+
+The hybrid loop only works if the artifacts compose: grammars mined from
+campaign corpora must convert to the table engine's CFG form (round-trip
+or a diagnosed :class:`LL1Conflict`), and what the compiled generator
+produces must overwhelmingly re-parse valid on the subject the grammar
+was mined from.  Not *always*: mining over-approximates — an input
+truncated at EOF mines alternatives that are only valid in final
+position, and generation may splice them mid-sentence.  That is safe
+(floods are executed through the subject like any candidate, so a
+rejected generation costs budget but never enters the corpus) but a
+generator whose output mostly misses would waste the phase, so the
+property here is a validity-rate floor.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.hybrid.campaign import enrich_grammar, lineage_keywords
+from repro.hybrid.compile import CompiledGenerator, compile_grammar
+from repro.miner.export import terminal_alphabet, to_cfg
+from repro.miner.grammar import Grammar, TERM
+from repro.miner.mine import mine_grammar
+from repro.runtime.stream import InputStream
+from repro.subjects.registry import load_subject
+from repro.tables.engine import TableParser
+from repro.tables.grammar import LL1Conflict, build_table
+
+
+def _campaign_corpus(subject, seed, budget, keep=30):
+    result = PFuzzer(
+        subject,
+        FuzzerConfig(seed=seed, max_executions=budget, coverage_backend="ast"),
+    ).run()
+    corpus = sorted(set(result.all_valid), key=lambda t: (len(t), t))[-keep:]
+    return result, corpus
+
+
+# --------------------------------------------------------------------- #
+# Mined grammar -> CFG round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_mined_ini_grammar_round_trips_through_to_cfg(ini_subject):
+    _, corpus = _campaign_corpus(ini_subject, seed=3, budget=600)
+    assert len(corpus) >= 2
+    mined = mine_grammar(ini_subject, corpus)
+    cfg = to_cfg(mined)
+    assert cfg.start == mined.start
+    # Character-splitting preserves the terminal alphabet exactly.
+    cfg_terminals = {
+        symbol
+        for production in cfg.productions
+        for symbol in production.body
+        if symbol not in cfg.nonterminals
+    }
+    assert cfg_terminals == terminal_alphabet(mined)
+    try:
+        table = build_table(cfg)
+    except LL1Conflict:
+        return  # acceptable: mined grammars need not be LL(1)
+    for text in corpus:
+        assert table is not None
+        TableParser(table).parse(InputStream(text))
+
+
+def test_common_prefix_alternatives_surface_as_ll1_conflict():
+    """A mined grammar whose alternatives share a first character is not
+    LL(1); the bridge reports that as a diagnosis, not a crash."""
+    grammar = Grammar("start")
+    grammar.add_rule("start", ((TERM, "ab"),))
+    grammar.add_rule("start", ((TERM, "ac"),))
+    cfg = to_cfg(grammar)
+    try:
+        build_table(cfg)
+    except LL1Conflict as conflict:
+        assert "start" in str(conflict) or "a" in str(conflict)
+    else:
+        raise AssertionError("expected an LL1Conflict diagnosis")
+
+
+# --------------------------------------------------------------------- #
+# Property: compiled-generator output re-parses valid at a high rate
+# --------------------------------------------------------------------- #
+
+#: Worst observed rate across ini mining seeds is ~0.87 (EOF-truncated
+#: alternatives spliced mid-sentence); most seeds generate 100% valid.
+MIN_VALID_RATE = 0.8
+
+
+def _assert_generated_reparse_valid(subject, grammar, draws=60):
+    for depth in (3, 6):
+        generator = CompiledGenerator(
+            compile_grammar(grammar, max_depth=depth), seed=1
+        )
+        texts = generator.generate_many(draws)
+        valid = sum(1 for text in texts if subject.accepts(text))
+        assert valid >= MIN_VALID_RATE * len(texts), (
+            f"only {valid}/{len(texts)} generated inputs re-parse on "
+            f"{subject.name} (depth {depth}; floor {MIN_VALID_RATE:.0%})"
+        )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=4, deadline=None)
+def test_generated_expr_inputs_reparse_valid(seed):
+    subject = load_subject("expr")
+    _, corpus = _campaign_corpus(subject, seed=seed, budget=300)
+    if len(corpus) < 2:
+        return
+    _assert_generated_reparse_valid(subject, mine_grammar(subject, corpus))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=3, deadline=None)
+def test_generated_ini_inputs_reparse_valid(seed):
+    subject = load_subject("ini")
+    _, corpus = _campaign_corpus(subject, seed=seed, budget=400)
+    if len(corpus) < 2:
+        return
+    _assert_generated_reparse_valid(subject, mine_grammar(subject, corpus))
+
+
+def test_enriched_json_grammar_generates_valid_inputs(json_subject):
+    """The full learn-phase pipeline — mine, label keywords from lineage,
+    enrich, compile — still clears the validity-rate floor."""
+    result, corpus = _campaign_corpus(json_subject, seed=1, budget=1_000)
+    assert len(corpus) >= 2
+    grammar = mine_grammar(json_subject, corpus)
+    keywords = lineage_keywords(result.lineage, result.valid_lineage)
+    enriched = enrich_grammar(grammar, keywords)
+    _assert_generated_reparse_valid(json_subject, enriched, draws=100)

@@ -1,0 +1,305 @@
+"""The hybrid engine: plateau detection, enrichment, floods, snapshots."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.hybrid.campaign import (
+    HybridConfig,
+    HybridEngine,
+    enrich_grammar,
+    lineage_keywords,
+)
+from repro.miner.grammar import Grammar, NONTERM, TERM
+from repro.obs.lineage import LineageLog
+from repro.obs.trace import read_trace
+
+
+def small_config(**overrides):
+    base = dict(mine_after=50, gen_batch=8, mine_corpus=10, gen_depth=3)
+    base.update(overrides)
+    return HybridConfig(**base)
+
+
+def parens_grammar():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "("), (NONTERM, "s"), (TERM, ")")))
+    grammar.add_rule("s", ((TERM, "x"),))
+    return grammar
+
+
+# --------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "overrides,match",
+    [
+        (dict(mine_after=0), "mine_after"),
+        (dict(gen_batch=0), "gen_batch"),
+        (dict(mine_corpus=0), "mine_corpus"),
+        (dict(gen_depth=0), "gen_depth"),
+        (dict(pause_threshold=0.0), "pause_threshold"),
+        (dict(pause_threshold=1.0), "pause_threshold"),
+        (dict(decay=0.0), "decay"),
+        (dict(decay=1.5), "decay"),
+    ],
+)
+def test_config_validation_names_the_bad_knob(overrides, match):
+    with pytest.raises(ValueError, match=match):
+        HybridConfig(**overrides).validate()
+
+
+def test_gain_evidence_floor_is_capped_below_the_decay_horizon():
+    """Decayed execution counts saturate at 1 / (1 - decay); an evidence
+    floor above the horizon would never be met and the plateau would
+    never fire.  The estimator's bar caps at half the horizon; the full
+    undecayed floor is enforced by the engine's inter-phase clock."""
+    config = HybridConfig(mine_after=600, decay=0.995)  # horizon = 200
+    assert config.gain_config().min_evidence == pytest.approx(100.0)
+    # Small floors below the horizon pass through unchanged.
+    assert HybridConfig(mine_after=50, decay=0.995).gain_config().min_evidence == 50.0
+    # decay=1.0 disables decay: no horizon, the floor passes through.
+    assert (
+        HybridConfig(mine_after=600, decay=1.0).gain_config().min_evidence
+        == 600.0
+    )
+
+
+def test_from_fuzzer_takes_the_exposed_knobs():
+    fuzzer_config = FuzzerConfig(
+        hybrid=True, mine_after=123, gen_batch=9, gen_depth=7
+    )
+    config = HybridConfig.from_fuzzer(fuzzer_config)
+    assert config.mine_after == 123
+    assert config.gen_batch == 9
+    assert config.gen_depth == 7
+    assert config.mine_corpus == HybridConfig.mine_corpus
+
+
+# --------------------------------------------------------------------- #
+# Lineage-derived keywords and grammar enrichment
+# --------------------------------------------------------------------- #
+
+
+def test_lineage_keywords_collects_multichar_substitutions():
+    log = LineageLog()
+    root = log.new_node(None, "seed", "")
+    grown = log.new_node(root, "append", "t")
+    spliced = log.new_node(
+        grown, "substitute", "true", replacement="true", cmp_kind="strcmp"
+    )
+    tweaked = log.new_node(
+        spliced, "substitute", "truex", replacement="x", at_index=4
+    )
+    leaf = log.new_node(tweaked, "append", "truex!")
+    # Multi-character replacements along the chain surface; the
+    # single-character splice does not.
+    assert lineage_keywords(log, [leaf]) == ["true"]
+
+
+def test_lineage_keywords_strips_and_sorts():
+    log = LineageLog()
+    root = log.new_node(None, "seed", "")
+    first = log.new_node(root, "substitute", "b", replacement=" while ")
+    leaf = log.new_node(first, "substitute", "a", replacement="if")
+    assert lineage_keywords(log, [leaf]) == ["if", "while"]
+
+
+def test_lineage_keywords_tolerates_broken_chains():
+    log = LineageLog()
+    node = log.new_node(None, "substitute", "x", replacement="word")
+    assert lineage_keywords(log, [node, 999]) == ["word"]
+
+
+def test_enrich_splits_terminals_around_keywords():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "x=true"), (NONTERM, "t")))
+    grammar.add_rule("t", ((TERM, "!"),))
+    enriched = enrich_grammar(grammar, ["true"])
+    (expansion,) = enriched.rules["s"]
+    assert expansion == (
+        (TERM, "x"),
+        (TERM, "="),
+        (TERM, "true"),
+        (NONTERM, "t"),
+    )
+    # Single-character terminals pass through untouched.
+    assert enriched.rules["t"] == {((TERM, "!"),)}
+
+
+def test_enrich_prefers_the_longest_keyword_on_overlap():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "init"),))
+    enriched = enrich_grammar(grammar, ["in", "init"])
+    assert enriched.rules["s"] == {((TERM, "init"),)}
+
+
+def test_enrich_ignores_single_character_keywords():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "ab"),))
+    enriched = enrich_grammar(grammar, ["a"])
+    assert enriched.rules["s"] == {((TERM, "a"), (TERM, "b"))}
+
+
+# --------------------------------------------------------------------- #
+# Engine: plateau detection and phase lifecycle
+# --------------------------------------------------------------------- #
+
+
+def test_plateau_fires_only_with_evidence_floor_and_corpus():
+    engine = HybridEngine(small_config(), seed=1)
+    # Fresh engine: no evidence, never plateaued.
+    assert not engine.plateaued(0, 10)
+    executions = 0
+    while executions < 60:
+        executions += 20
+        engine.observe_campaign(executions, 0)  # zero discoveries
+    assert engine.plateaued(executions, 2)
+    # ... but not with a degenerate (sub-2) valid corpus,
+    assert not engine.plateaued(executions, 1)
+    # ... and not before the inter-phase execution floor.
+    assert not engine.plateaued(engine.mined_at + 10, 2)
+
+
+def test_discoveries_hold_the_plateau_off():
+    engine = HybridEngine(small_config(), seed=1)
+    executions = 0
+    for _ in range(10):
+        executions += 20
+        engine.observe_campaign(executions, executions // 2)
+    assert not engine.plateaued(executions, 5)
+
+
+def test_finish_phase_resets_the_plateau_clock():
+    engine = HybridEngine(small_config(), seed=1)
+    executions = 0
+    while not engine.plateaued(executions, 2):
+        executions += 20
+        engine.observe_campaign(executions, 0)
+    engine.finish_phase(executions, 0)
+    assert engine.phase == 1
+    assert engine.mined_at == executions
+    # The gain estimator restarted empty: the same counters no longer
+    # satisfy the evidence floor until a fresh window accumulates.
+    assert not engine.plateaued(executions + engine.config.mine_after, 2)
+
+
+def test_flood_is_deduplicated_and_length_capped():
+    engine = HybridEngine(small_config(gen_depth=4), seed=3)
+    assert engine.flood(5, set(), 100) == []  # nothing learned yet
+    engine.learn(parens_grammar(), [])
+    sentences = engine.flood(8, {"x"}, 5)
+    assert sentences
+    assert len(sentences) == len(set(sentences))
+    assert "x" not in sentences
+    assert all(len(text) <= 5 for text in sentences)
+
+
+# --------------------------------------------------------------------- #
+# Engine: snapshot round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_payload_round_trip_resumes_the_generation_stream():
+    first = HybridEngine(small_config(), seed=7)
+    first.observe_campaign(120, 3)
+    first.learn(parens_grammar(), ["true"])
+    first.flood(4, set(), 200)
+    first.finish_phase(120, 3)
+    payload = first.to_payload()
+
+    # A different seed: restore must overwrite every moving part.
+    second = HybridEngine(small_config(), seed=99)
+    second.restore_payload(payload)
+    assert second.to_payload() == payload
+    assert second.phase == 1
+    assert second.keywords == ["true"]
+    # The generation RNG continues exactly where the snapshot left it.
+    assert first.flood(6, set(), 200) == second.flood(6, set(), 200)
+
+
+def test_payload_round_trip_before_any_learning():
+    engine = HybridEngine(small_config(), seed=5)
+    payload = engine.to_payload()
+    assert payload["grammar"] is None
+    restored = HybridEngine(small_config(), seed=6)
+    restored.restore_payload(payload)
+    assert restored.to_payload() == payload
+    assert restored.flood(3, set(), 100) == []
+
+
+# --------------------------------------------------------------------- #
+# Full campaigns: determinism, trace schema, gen lineage
+# --------------------------------------------------------------------- #
+
+
+def _hybrid_config(**overrides):
+    base = dict(
+        seed=1,
+        max_executions=800,
+        coverage_backend="ast",
+        hybrid=True,
+        mine_after=200,
+        gen_batch=16,
+    )
+    base.update(overrides)
+    return FuzzerConfig(**base)
+
+
+def _fingerprint(result, subject):
+    from repro.eval.checkpoint import result_fingerprint
+    from repro.runtime.arcs import arc_table_for
+
+    return result_fingerprint(result, arc_table_for(subject))
+
+
+def test_hybrid_campaign_mines_floods_and_stays_deterministic(
+    tmp_path, ini_subject
+):
+    path = tmp_path / "trace.ndjson"
+    result = PFuzzer(
+        ini_subject, _hybrid_config(trace_path=str(path))
+    ).run()
+
+    # The hybrid events are schema-valid on the NDJSON artifact.
+    events = read_trace(path, strict=True)
+    mined = [e for e in events if e["type"] == "grammar_mined"]
+    floods = [e for e in events if e["type"] == "gen_phase"]
+    assert mined and floods
+    for event in mined:
+        assert event["rules"] >= 1
+        assert event["corpus"] >= 2
+    for event in floods:
+        assert 0 <= event["valid"] <= event["injected"] <= 16
+
+    # Flood roots carry "gen" lineage and replay to their exact bytes.
+    gen_nodes = [
+        node for node in result.lineage.nodes.values() if node.op == "gen"
+    ]
+    assert gen_nodes
+    for node in gen_nodes:
+        assert node.parent_id is None
+        assert result.lineage.replay(node.node_id) == node.text
+
+    # Identical (seed, config) reruns are byte-identical.
+    rerun = PFuzzer(ini_subject, _hybrid_config()).run()
+    assert _fingerprint(rerun, ini_subject) == _fingerprint(
+        result, ini_subject
+    )
+    # Mining replays charge the corpus against the execution budget.
+    assert result.executions <= 800
+
+
+def test_hybrid_flag_participates_in_the_config_fingerprint(ini_subject):
+    plain = PFuzzer(ini_subject, FuzzerConfig(seed=1))._config_fingerprint()
+    hybrid = PFuzzer(ini_subject, _hybrid_config())._config_fingerprint()
+    # Non-hybrid fingerprints stay byte-identical to pre-hybrid
+    # snapshots; hybrid campaigns key their phase-schedule knobs in.
+    assert "hybrid" not in plain
+    assert "gen_depth" not in plain
+    assert hybrid["hybrid"] is True
+    assert hybrid["mine_after"] == 200
+    assert hybrid["gen_batch"] == 16
+    assert hybrid["gen_depth"] == 3

@@ -1,0 +1,245 @@
+"""The grammar compiler: lowering, codegen, and the determinism contract."""
+
+import random
+
+import pytest
+
+from repro.hybrid.compile import (
+    CompiledGenerator,
+    GrammarCompileError,
+    compile_grammar,
+)
+from repro.miner.grammar import Grammar, NONTERM, TERM
+
+
+def finite_grammar():
+    """start -> "a" | "b" "c": a two-sentence language."""
+    grammar = Grammar("start")
+    grammar.add_rule("start", ((TERM, "a"),))
+    grammar.add_rule("start", ((TERM, "b"), (TERM, "c")))
+    return grammar
+
+
+def recursive_grammar():
+    """Balanced parens around an atom: (^n x )^n for n >= 0."""
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "("), (NONTERM, "s"), (TERM, ")")))
+    grammar.add_rule("s", ((TERM, "x"),))
+    return grammar
+
+
+def chain_grammar():
+    """A single-alternative helper chain, as mined grammars produce."""
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((NONTERM, "a"), (NONTERM, "b")))
+    grammar.add_rule("a", ((TERM, "["), (NONTERM, "b"), (TERM, "]")))
+    grammar.add_rule("b", ((TERM, "x"),))
+    return grammar
+
+
+def parens_language(max_nesting):
+    return {"(" * n + "x" + ")" * n for n in range(max_nesting + 1)}
+
+
+# --------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------- #
+
+
+def test_compile_rejects_missing_start_rule():
+    with pytest.raises(GrammarCompileError, match="start"):
+        compile_grammar(Grammar("s"))
+
+
+def test_compile_rejects_nonpositive_depth():
+    with pytest.raises(GrammarCompileError, match="max_depth"):
+        compile_grammar(finite_grammar(), max_depth=0)
+
+
+def test_single_alternative_chains_are_inlined():
+    compiled = compile_grammar(chain_grammar())
+    # "a" and "b" contribute no choice; only the start rule survives.
+    assert compiled.names == ["s"]
+    assert compiled.inlined == 2
+    (expansion,) = compiled.alts["s"]
+    # Inlining re-merges the now-adjacent terminals into one run.
+    assert expansion == ((TERM, "[x]x"),)
+
+
+def test_adjacent_terminals_merge():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "ab"), (TERM, "cd"), (NONTERM, "t")))
+    grammar.add_rule("t", ((TERM, "!"),))
+    grammar.add_rule("t", ((TERM, "?"),))
+    compiled = compile_grammar(grammar)
+    assert ((TERM, "abcd"), (NONTERM, "t")) in compiled.alts["s"]
+
+
+def test_undefined_nonterminals_are_dropped():
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "a"), (NONTERM, "ghost")))
+    compiled = compile_grammar(grammar)
+    generator = CompiledGenerator(compiled, seed=0)
+    assert generator.generate() == "a"
+
+
+def test_min_costs_and_closings():
+    compiled = compile_grammar(recursive_grammar())
+    assert compiled.costs["s"] == 1.0
+    # The canonical minimal closing of <s> is its terminal alternative.
+    assert compiled.cheap_closings["s"] == ["x"]
+
+
+# --------------------------------------------------------------------- #
+# Generated output
+# --------------------------------------------------------------------- #
+
+
+def test_compiled_output_stays_inside_the_language():
+    generator = CompiledGenerator(compile_grammar(finite_grammar()), seed=5)
+    sentences = {generator.generate() for _ in range(200)}
+    assert sentences == {"a", "bc"}
+
+
+def test_recursive_output_is_balanced_and_depth_bounded():
+    depth = 4
+    generator = CompiledGenerator(
+        compile_grammar(recursive_grammar(), max_depth=depth), seed=9
+    )
+    language = parens_language(depth + 1)
+    sentences = {generator.generate() for _ in range(300)}
+    assert sentences <= language
+    assert len(sentences) > 1, "recursion never taken"
+
+
+def test_compiled_language_matches_interpreter_language():
+    """Compiled and interpreted generation agree on the language (the
+    streams differ — draw layouts are different by design)."""
+    from repro.miner.generate import GrammarFuzzer
+
+    grammar = recursive_grammar()
+    interpreted = {
+        GrammarFuzzer(grammar, seed=seed, max_depth=3).generate()
+        for seed in range(120)
+    }
+    generator = CompiledGenerator(compile_grammar(grammar, max_depth=3), seed=1)
+    compiled = {generator.generate() for _ in range(300)}
+    assert compiled <= parens_language(8)
+    assert interpreted <= parens_language(8)
+    # Both reach the same shallow core.
+    assert {"x", "(x)"} <= compiled
+    assert {"x", "(x)"} <= interpreted
+
+
+def test_wide_grammar_dispatches_through_closure_table():
+    grammar = Grammar("s")
+    terminals = [chr(ord("a") + i) for i in range(20)]  # > _LADDER_LIMIT
+    for terminal in terminals:
+        grammar.add_rule("s", ((TERM, terminal), (NONTERM, "t")))
+    grammar.add_rule("t", ((TERM, "!"),))
+    grammar.add_rule("t", ((TERM, "?"),))
+    compiled = compile_grammar(grammar)
+    assert "_alts_" in compiled.source, "expected closure-table dispatch"
+    generator = CompiledGenerator(compiled, seed=3)
+    sentences = {generator.generate() for _ in range(400)}
+    assert sentences <= {t + p for t in terminals for p in "!?"}
+    assert len(sentences) > 20, "table dispatch should reach most alternatives"
+
+
+def test_unclosable_grammar_terminates_via_hard_bail():
+    """A rule with no finite closing (s -> "(" s) must still terminate."""
+    grammar = Grammar("s")
+    grammar.add_rule("s", ((TERM, "("), (NONTERM, "s")))
+    compiled = compile_grammar(grammar, max_depth=3)
+    assert compiled.costs["s"] == float("inf")
+    generator = CompiledGenerator(compiled, seed=0)
+    text = generator.generate()
+    assert set(text) == {"("}
+    assert len(text) < 200
+
+
+# --------------------------------------------------------------------- #
+# Determinism and RNG plumbing
+# --------------------------------------------------------------------- #
+
+
+def test_same_seed_same_stream():
+    compiled = compile_grammar(recursive_grammar(), max_depth=6)
+    first = CompiledGenerator(compiled, seed=11)
+    second = CompiledGenerator(compiled, seed=11)
+    assert [first.generate() for _ in range(50)] == [
+        second.generate() for _ in range(50)
+    ]
+
+
+def test_state_round_trip_resumes_the_stream():
+    generator = CompiledGenerator(
+        compile_grammar(recursive_grammar(), max_depth=6), seed=4
+    )
+    generator.generate()
+    state = generator.getstate()
+    expected = [generator.generate() for _ in range(20)]
+    generator.setstate(state)
+    assert [generator.generate() for _ in range(20)] == expected
+
+
+def test_generator_draws_from_a_shared_campaign_rng():
+    """Passing ``rng`` makes output a pure function of that stream — the
+    hybrid-campaign seeding path."""
+    compiled = compile_grammar(recursive_grammar(), max_depth=6)
+    rng = random.Random(99)
+    state = rng.getstate()
+    first = [CompiledGenerator(compiled, rng=rng).generate() for _ in range(10)]
+    fresh = random.Random(0)
+    fresh.setstate(state)
+    second = [
+        CompiledGenerator(compiled, rng=fresh).generate() for _ in range(10)
+    ]
+    assert first == second
+    # ... and the seed argument is ignored when rng is given.
+    fresh.setstate(state)
+    third = CompiledGenerator(compiled, seed=123456, rng=fresh)
+    assert [third.generate() for _ in range(10)] == first
+
+
+def test_compiled_tables_are_hash_order_independent():
+    """Insertion order must not leak into the compiled artifact."""
+    forward = finite_grammar()
+    backward = Grammar("start")
+    backward.add_rule("start", ((TERM, "b"), (TERM, "c")))
+    backward.add_rule("start", ((TERM, "a"),))
+    assert compile_grammar(forward).source == compile_grammar(backward).source
+    assert [
+        CompiledGenerator(compile_grammar(forward), seed=2).generate()
+        for _ in range(30)
+    ] == [
+        CompiledGenerator(compile_grammar(backward), seed=2).generate()
+        for _ in range(30)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# generate_many
+# --------------------------------------------------------------------- #
+
+
+def test_generate_many_without_avoid_draws_exactly_count():
+    generator = CompiledGenerator(compile_grammar(finite_grammar()), seed=1)
+    assert len(generator.generate_many(25)) == 25
+
+
+def test_generate_many_dedup_is_draw_bounded():
+    """A two-sentence grammar cannot fill a large request; the bounded
+    retry loop returns what exists instead of spinning."""
+    generator = CompiledGenerator(compile_grammar(finite_grammar()), seed=1)
+    out = generator.generate_many(50, avoid=set())
+    assert sorted(out) == ["a", "bc"]
+    avoided = generator.generate_many(50, avoid={"a"})
+    assert avoided == ["bc"]
+    assert generator.generate_many(50, avoid={"a", "bc"}) == []
+
+
+def test_generate_many_respects_max_attempts():
+    generator = CompiledGenerator(compile_grammar(finite_grammar()), seed=1)
+    out = generator.generate_many(10, avoid=set(), max_attempts=1)
+    assert len(out) == 1

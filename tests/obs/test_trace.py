@@ -31,6 +31,10 @@ EXAMPLES = {
     "span": dict(phase="execute", start=0.5, dur=0.001),
     "corpus_sync": dict(executions=200, pushed=3, imported=2),
     "queue_cull": dict(executions=300, dead=7, dominated=2, kept=41),
+    "grammar_mined": dict(
+        executions=400, phase=1, corpus=12, rules=5, keywords=2,
+    ),
+    "gen_phase": dict(executions=420, phase=1, injected=16, valid=9),
     "gain_update": dict(
         job_id="job-0000", executions=600, posterior=0.012,
         weight=1.4, parked=False,
