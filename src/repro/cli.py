@@ -62,7 +62,13 @@ from repro.eval.report import (
 from repro.eval.token_cov import figure3
 from repro.runtime.executor import EXECUTOR_MODES
 from repro.runtime.harness import COVERAGE_BACKENDS
-from repro.subjects.registry import SUBJECT_NAMES, load_subject
+from repro.subjects.registry import (
+    SUBJECT_NAMES,
+    available_subjects,
+    is_known_subject,
+    load_subject,
+    load_subject_module,
+)
 
 
 def _positive_int(text: str) -> int:
@@ -151,7 +157,19 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fuzz = sub.add_parser("fuzz", help="run pFuzzer on a subject")
-    fuzz.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
+    # An open string, not choices=: plugin subjects (registered by
+    # --subject-module or entry points) are validated after imports run.
+    fuzz.add_argument(
+        "subject", metavar="SUBJECT",
+        help="a built-in subject "
+        f"({', '.join(SUBJECT_NAMES + ('expr',))}) or a plugin subject "
+        "(see --subject-module)",
+    )
+    fuzz.add_argument(
+        "--subject-module", metavar="MODULE", default=None,
+        help="import MODULE first; modules register plugin subjects via "
+        "repro.subjects.registry.register_subject at import time",
+    )
     fuzz.add_argument(
         "--budget", type=_positive_int, default=2_000, help="execution budget"
     )
@@ -246,6 +264,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "floods (default: 3; deeper floods suit subjects whose coverage "
         "lives in deep input structure)",
     )
+    fuzz.add_argument(
+        "--hunt-crashes", action="store_true",
+        help="record crashing inputs as findings: deduplicated by "
+        "failure-site signature, stored as 'crash'-kind corpus records "
+        "with --corpus, and emitted as crash_found trace events",
+    )
 
     compare = sub.add_parser("compare", help="pFuzzer vs AFL vs KLEE on one subject")
     compare.add_argument("subject", choices=SUBJECT_NAMES)
@@ -297,8 +321,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-subject record / distinct-input / distinct-signature counts",
     )
     corpus_stats.add_argument("path", metavar="PATH", help="corpus store JSONL file")
+    # --subject is an open string for all corpus subcommands: stores may
+    # hold records for plugin subjects the current process never imported.
     corpus_stats.add_argument(
-        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        "--subject", default=None, metavar="SUBJECT",
         help="restrict to one subject",
     )
 
@@ -307,8 +333,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     corpus_list.add_argument("path", metavar="PATH", help="corpus store JSONL file")
     corpus_list.add_argument(
-        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        "--subject", default=None, metavar="SUBJECT",
         help="restrict to one subject",
+    )
+    corpus_list.add_argument(
+        "--crashes", action="store_true",
+        help="list only crash findings (records written by --hunt-crashes), "
+        "with their failure-site signatures",
     )
 
     corpus_compact = corpus_sub.add_parser(
@@ -334,12 +365,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "path", metavar="PATH", help="corpus store JSONL file"
     )
     corpus_distill.add_argument(
-        "--subject", default=None, choices=SUBJECT_NAMES + ("expr",),
+        "--subject", default=None, metavar="SUBJECT",
         help="distill only this subject (default: every subject in the store)",
     )
     corpus_distill.add_argument(
         "--coverage-backend", choices=COVERAGE_BACKENDS, default="settrace",
         help="tracer used to re-execute stored inputs (default: settrace)",
+    )
+    corpus_distill.add_argument(
+        "--subject-module", metavar="MODULE", default=None,
+        help="import MODULE first so plugin subjects in the store resolve "
+        "for the re-executions",
     )
 
     trace = sub.add_parser(
@@ -440,7 +476,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     submit = sub.add_parser("submit", help="submit a campaign job to a service")
-    submit.add_argument("subject", choices=SUBJECT_NAMES + ("expr",))
+    # Open string like `fuzz`: plugin subjects are validated server-side
+    # (the spec's subject_module is imported before validation).
+    submit.add_argument(
+        "subject", metavar="SUBJECT",
+        help="a built-in subject "
+        f"({', '.join(SUBJECT_NAMES + ('expr',))}) or a plugin subject "
+        "(see --subject-module)",
+    )
+    submit.add_argument(
+        "--subject-module", metavar="MODULE", default=None,
+        help="module the service must import before resolving SUBJECT "
+        "(must be importable inside the service's workers)",
+    )
     submit.add_argument("--url", default="http://127.0.0.1:8321",
                         help="service base URL (default: %(default)s)")
     submit.add_argument("--tool", choices=TOOLS, default="pfuzzer")
@@ -500,6 +548,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--gen-depth", type=_positive_int, default=None, metavar="N",
         help="with --hybrid: compiled-generator flood depth budget",
+    )
+    submit.add_argument(
+        "--hunt-crashes", action="store_true",
+        help="run the job in crash-hunting mode (pFuzzer only; see "
+        "'repro fuzz --hunt-crashes')",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -571,6 +624,15 @@ def _cmd_fuzz_sharded(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.subject_module is not None:
+        load_subject_module(args.subject_module)
+    if not is_known_subject(args.subject):
+        print(
+            f"# unknown subject {args.subject!r}; available subjects: "
+            f"{', '.join(available_subjects())}",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards > 1:
         return _cmd_fuzz_sharded(args)
     subject = load_subject(args.subject)
@@ -595,32 +657,49 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         mine_after=args.mine_after,
         gen_batch=args.gen_batch,
         gen_depth=args.gen_depth,
+        hunt_crashes=args.hunt_crashes,
         **durability,
     )
     result = PFuzzer(subject, config).run()
     print(
         f"# {result.executions} executions, {result.rejected} rejected, "
         f"{result.hangs} hangs, {result.wall_time:.1f}s"
-        + (f", {result.resumes} resumes" if result.resumes else ""),
+        + (f", {result.resumes} resumes" if result.resumes else "")
+        + (f", {result.crashes} crashes" if result.crashes else ""),
         file=sys.stderr,
     )
     if args.corpus is not None:
         from repro.eval.corpus_store import CorpusRecord, CorpusStore
 
-        CorpusStore(args.corpus).add_records(
-            [
-                CorpusRecord(
-                    subject=args.subject,
-                    tool="pfuzzer",
-                    seed=args.seed,
-                    input=text,
-                    path_signature=signature,
-                )
-                for text, signature in zip(
-                    result.valid_inputs, result.valid_signatures
-                )
-            ]
+        records = [
+            CorpusRecord(
+                subject=args.subject,
+                tool="pfuzzer",
+                seed=args.seed,
+                input=text,
+                path_signature=signature,
+            )
+            for text, signature in zip(
+                result.valid_inputs, result.valid_signatures
+            )
+        ]
+        records.extend(
+            CorpusRecord(
+                subject=args.subject,
+                tool="pfuzzer",
+                seed=args.seed,
+                input=text,
+                path_signature=signature,
+                kind="crash",
+                crash_signature=tuple(crash_signature),
+            )
+            for text, signature, crash_signature in zip(
+                result.crash_inputs,
+                result.crash_path_signatures,
+                result.crash_signatures,
+            )
         )
+        CorpusStore(args.corpus).add_records(records)
     outputs = result.all_valid if args.all_valid else result.valid_inputs
     for text in outputs:
         print(repr(text))
@@ -759,16 +838,25 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     store = CorpusStore(args.path)
 
     if args.corpus_command == "list":
-        for record in store.records(subject=args.subject):
+        kind = "crash" if args.crashes else None
+        for record in store.records(subject=args.subject, kind=kind):
             signature = (
                 f"{record.path_signature:#x}"
                 if record.path_signature is not None
                 else "-"
             )
-            print(
+            line = (
                 f"{record.subject}\t{record.tool}\t{record.seed}\t"
                 f"{signature}\t{record.input!r}"
             )
+            if record.kind != "valid":
+                site = (
+                    ":".join(str(part) for part in record.crash_signature)
+                    if record.crash_signature
+                    else "-"
+                )
+                line += f"\t{record.kind}\t{site}"
+            print(line)
         return 0
 
     if args.corpus_command == "compact":
@@ -782,11 +870,17 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.corpus_command == "distill":
         from repro.eval.distill import distill_store
 
-        results = distill_store(
-            store,
-            subject=args.subject,
-            coverage_backend=args.coverage_backend,
-        )
+        if args.subject_module is not None:
+            load_subject_module(args.subject_module)
+        try:
+            results = distill_store(
+                store,
+                subject=args.subject,
+                coverage_backend=args.coverage_backend,
+            )
+        except KeyError as error:
+            print(f"# {error.args[0]}", file=sys.stderr)
+            return 2
         for result in results:
             print(
                 f"# {result.subject}: kept {result.kept}, "
@@ -809,18 +903,23 @@ def _print_corpus_stats(store, subject: Optional[str]) -> None:
     stats = store.stats()
     if subject is not None:
         stats = {name: row for name, row in stats.items() if name == subject}
-    total = {"records": 0, "inputs": 0, "signatures": 0}
+    total = {"records": 0, "inputs": 0, "signatures": 0, "crashes": 0}
     for name in sorted(stats):
         row = stats[name]
-        print(
+        line = (
             f"{name}\trecords={row['records']}\tinputs={row['inputs']}\t"
             f"signatures={row['signatures']}"
         )
+        if row.get("crashes"):
+            line += f"\tcrashes={row['crashes']}"
+        print(line)
         for key in total:
-            total[key] += row[key]
+            total[key] += row.get(key, 0)
     print(f"records:              {total['records']}")
     print(f"distinct inputs:      {total['inputs']}")
     print(f"distinct signatures:  {total['signatures']}")
+    if total["crashes"]:
+        print(f"distinct crash sites: {total['crashes']}")
     print(
         f"subjects:             "
         f"{', '.join(sorted(stats)) if stats else '-'}"
@@ -1019,6 +1118,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             spec["gen_batch"] = args.gen_batch
         if args.gen_depth is not None:
             spec["gen_depth"] = args.gen_depth
+    if args.hunt_crashes:
+        spec["hunt_crashes"] = True
+    if args.subject_module is not None:
+        spec["subject_module"] = args.subject_module
 
     def run(client) -> int:
         response = client.submit(spec)

@@ -166,6 +166,16 @@ class FuzzerConfig:
             roots whose structure deepens across mining rounds; subjects
             whose coverage lives in deep input structure (tinyC programs)
             benefit from flooding deeper directly.
+        hunt_crashes: treat crashes as campaign findings: crashing inputs
+            are recorded (deduplicated by failure-site signature, see
+            :func:`repro.runtime.harness.failure_site`), emitted as
+            ``crash_found`` trace events, and surface in
+            ``FuzzingResult.crash_inputs`` for the corpus store.  Off,
+            crashes are still counted and kept alive-but-ignored (the
+            status fix) — hunting only changes what is *recorded*, but
+            recorded findings join the result, so like ``hybrid`` the
+            flag participates in the snapshot fingerprint and must match
+            on resume.
     """
 
     seed: Optional[int] = None
@@ -196,6 +206,7 @@ class FuzzerConfig:
     mine_after: int = 600
     gen_batch: int = 32
     gen_depth: int = 3
+    hunt_crashes: bool = False
     #: Optional seed corpus.  pFuzzer needs none (the paper's point), but a
     #: previous campaign's corpus can be resumed from here; seeds are
     #: processed before the empty-string start.

@@ -76,6 +76,17 @@ class FuzzingResult:
             emitted valid inputs (the final ``vBr``).
         rejected: number of rejected executions.
         hangs: number of step-budget exhaustions.
+        crashes: number of CRASH executions (unexpected subject
+            exceptions, classified by the harness) — counted in every
+            campaign, hunting or not.
+        crash_inputs: with ``config.hunt_crashes``, the first input to
+            reach each distinct failure site, in discovery order
+            (deduplicated by failure-site signature; empty otherwise).
+        crash_signatures: ``(exception_type, filename, line)`` failure
+            sites, aligned with ``crash_inputs``.
+        crash_path_signatures: stable path signature of each recorded
+            crashing execution, aligned with ``crash_inputs`` (persisted
+            alongside the corpus, like ``valid_signatures``).
         emit_log: (execution number, input) pairs for each emitted input.
         wall_time: campaign duration in seconds.
         queue_depth: the queue's *live frontier* when the budget ran out —
@@ -112,6 +123,10 @@ class FuzzingResult:
     valid_branches: FrozenSet[int] = frozenset()
     rejected: int = 0
     hangs: int = 0
+    crashes: int = 0
+    crash_inputs: List[str] = field(default_factory=list)
+    crash_signatures: List[tuple] = field(default_factory=list)
+    crash_path_signatures: List[int] = field(default_factory=list)
     emit_log: List[Tuple[int, str]] = field(default_factory=list)
     wall_time: float = 0.0
     queue_depth: int = 0
@@ -183,6 +198,8 @@ class PFuzzer:
         self._path_counts: Dict[int, int] = {}
         self._seen: Set[str] = set()
         self._all_valid_seen: Set[str] = set()
+        #: Failure-site signatures already recorded (crash-hunting dedupe).
+        self._crash_seen: Set[tuple] = set()
         self._result = FuzzingResult()
         self._queue = CandidateQueue(
             self._score, limit=self.config.queue_limit, seen=self._seen
@@ -378,6 +395,9 @@ class PFuzzer:
             self._result.rejected += 1
         elif result.status is ExitStatus.HANG:
             self._result.hangs += 1
+        elif result.status is ExitStatus.CRASH:
+            self._result.crashes += 1
+            self._record_crash(result, signature, lineage)
         elif result.valid and text not in self._all_valid_seen:
             self._all_valid_seen.add(text)
             self._result.all_valid.append(text)
@@ -389,6 +409,34 @@ class PFuzzer:
                 status=result.status.name.lower(),
             )
         return result
+
+    def _record_crash(
+        self, result: RunResult, path_signature: int, lineage: int
+    ) -> None:
+        """Crash-hunting bookkeeping for one CRASH execution.
+
+        Only the *first* input to reach each failure site is recorded
+        (the site signature is the dedupe key, "Fuzzing with Fast
+        Failure Feedback" style); without ``config.hunt_crashes`` the
+        execution is counted but nothing is recorded.
+        """
+        if not self.config.hunt_crashes:
+            return
+        signature = result.crash_signature
+        if signature is None or signature in self._crash_seen:
+            return
+        self._crash_seen.add(signature)
+        self._result.crash_inputs.append(result.text)
+        self._result.crash_signatures.append(signature)
+        self._result.crash_path_signatures.append(path_signature)
+        if self._trace_on:
+            self._trace.emit(
+                "crash_found",
+                lineage=lineage,
+                executions=self._result.executions,
+                text=result.text,
+                signature=list(signature),
+            )
 
     def _absorb_valid_branches(self, added: FrozenSet[int]) -> None:
         """Grow vBr with ``added`` arcs across all three representations.
@@ -811,6 +859,12 @@ class PFuzzer:
             fingerprint["mine_after"] = config.mine_after
             fingerprint["gen_batch"] = config.gen_batch
             fingerprint["gen_depth"] = config.gen_depth
+        if config.hunt_crashes:
+            # Hunting changes what the campaign *records* (crash findings
+            # join the result), so it must match on resume.  Keyed only
+            # when on, same discipline as ``hybrid``: crash-free configs
+            # keep their pre-hunting fingerprints.
+            fingerprint["hunt_crashes"] = True
         return fingerprint
 
     @staticmethod
@@ -871,6 +925,7 @@ class PFuzzer:
             "executions": result.executions,
             "rejected": result.rejected,
             "hangs": result.hangs,
+            "crashes": result.crashes,
             "valid_inputs": list(result.valid_inputs),
             "all_valid": list(result.all_valid),
             "valid_signatures": list(result.valid_signatures),
@@ -913,6 +968,16 @@ class PFuzzer:
                 mapping[arc] for arc in self._hybrid_branches
             )
             payload["hybrid"] = hybrid_state
+        if self.config.hunt_crashes:
+            # Keyed only when hunting (crash-free configs keep their
+            # pre-hunting snapshot shape); signatures serialise as lists.
+            payload["crash_inputs"] = list(result.crash_inputs)
+            payload["crash_signatures"] = [
+                list(sig) for sig in result.crash_signatures
+            ]
+            payload["crash_path_signatures"] = list(
+                result.crash_path_signatures
+            )
         return payload
 
     def restore(self, payload: dict) -> None:
@@ -961,6 +1026,17 @@ class PFuzzer:
         result.valid_signatures = list(payload["valid_signatures"])
         result.emit_log = [tuple(entry) for entry in payload["emit_log"]]
         result.resumes = payload["resumes"]
+        # Tolerant restore: snapshots written before crash tracking (or
+        # with hunting off) simply lack these keys.
+        result.crashes = payload.get("crashes", 0)
+        result.crash_inputs = list(payload.get("crash_inputs", []))
+        result.crash_signatures = [
+            tuple(sig) for sig in payload.get("crash_signatures", [])
+        ]
+        result.crash_path_signatures = list(
+            payload.get("crash_path_signatures", [])
+        )
+        self._crash_seen = set(result.crash_signatures)
         # Older snapshots predate lineage tracking; they restore with an
         # empty tree and ids re-assigned from 1, which keeps the campaign
         # itself deterministic even though old chains are unavailable.

@@ -19,7 +19,12 @@ from repro.baselines.steelix import SteelixConfig, SteelixFuzzer
 from repro.core.config import FuzzerConfig
 from repro.core.fuzzer import PFuzzer
 from repro.subjects.base import Subject
-from repro.subjects.registry import ALL_SUBJECT_NAMES, load_subject
+from repro.subjects.registry import (
+    available_subjects,
+    is_known_subject,
+    load_subject,
+    load_subject_module,
+)
 
 
 def _run_pfuzzer(subject: Subject, seed: int, budget: int, durability: dict):
@@ -85,6 +90,19 @@ class ToolOutput:
     #: Stable path signature per valid input (pFuzzer only; parallel with
     #: ``valid_inputs``), persisted by :mod:`repro.eval.corpus_store`.
     valid_signatures: Optional[List[int]] = None
+    #: Subject executions that crashed (raised something other than the
+    #: subject's declared rejection exceptions).  Always counted; the
+    #: fields below are populated only in crash-hunting mode.
+    crashes: int = 0
+    #: Deduplicated crashing inputs (one per distinct failure site;
+    #: pFuzzer crash-hunting mode only).
+    crash_inputs: List[str] = field(default_factory=list)
+    #: Failure-site signatures parallel with ``crash_inputs`` (see
+    #: :func:`repro.runtime.harness.failure_site`).
+    crash_signatures: List[tuple] = field(default_factory=list)
+    #: Path signatures parallel with ``crash_inputs``, persisted as
+    #: ``"crash"``-kind corpus records.
+    crash_path_signatures: List[int] = field(default_factory=list)
 
 
 def validate_campaign(tool: str, subject_name: str) -> None:
@@ -97,10 +115,10 @@ def validate_campaign(tool: str, subject_name: str) -> None:
     problems = []
     if tool not in _RUNNERS:
         problems.append(f"unknown tool {tool!r}; valid tools: {', '.join(TOOLS)}")
-    if subject_name not in ALL_SUBJECT_NAMES:
+    if not is_known_subject(subject_name):
         problems.append(
             f"unknown subject {subject_name!r}; valid subjects: "
-            f"{', '.join(ALL_SUBJECT_NAMES)}"
+            f"{', '.join(available_subjects())}"
         )
     if problems:
         raise ValueError("; ".join(problems))
@@ -125,6 +143,8 @@ def run_campaign(
     mine_after: Optional[int] = None,
     gen_batch: Optional[int] = None,
     gen_depth: Optional[int] = None,
+    hunt_crashes: bool = False,
+    subject_module: Optional[str] = None,
 ) -> ToolOutput:
     """Run ``tool`` on ``subject_name`` with an execution ``budget``.
 
@@ -161,7 +181,18 @@ def run_campaign(
             default when None).
         gen_depth: hybrid compiled-generator flood depth budget (pFuzzer
             default when None).
+        hunt_crashes: record crashing inputs as campaign findings
+            (pFuzzer only; see
+            :attr:`repro.core.config.FuzzerConfig.hunt_crashes`).  Like
+            ``hybrid`` this changes the result and participates in the
+            snapshot fingerprint.
+        subject_module: import this module before resolving
+            ``subject_name``, so plugin subjects registered via
+            :func:`repro.subjects.registry.register_subject` at import
+            time are available (the ``--subject-module`` CLI flag).
     """
+    if subject_module is not None:
+        load_subject_module(subject_module)
     validate_campaign(tool, subject_name)
     subject = load_subject(subject_name)
     durability = {}
@@ -188,6 +219,8 @@ def run_campaign(
             durability["gen_batch"] = gen_batch
         if gen_depth is not None:
             durability["gen_depth"] = gen_depth
+    if hunt_crashes:
+        durability["hunt_crashes"] = True
     outcome = _RUNNERS[tool](subject, seed, budget, durability)
     output = ToolOutput(
         tool=tool,
@@ -201,6 +234,14 @@ def run_campaign(
         resumes=getattr(outcome, "resumes", 0),
         valid_signatures=list(getattr(outcome, "valid_signatures", None) or [])
         or None,
+        crashes=getattr(outcome, "crashes", 0),
+        crash_inputs=list(getattr(outcome, "crash_inputs", [])),
+        crash_signatures=[
+            tuple(sig) for sig in getattr(outcome, "crash_signatures", [])
+        ],
+        crash_path_signatures=list(
+            getattr(outcome, "crash_path_signatures", [])
+        ),
     )
     if corpus_path is not None:
         from repro.eval.corpus_store import CorpusStore

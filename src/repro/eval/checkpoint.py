@@ -305,6 +305,11 @@ def result_fingerprint(result, arc_table: Optional[ArcTable] = None) -> str:
             "executions": result.executions,
             "rejected": result.rejected,
             "hangs": result.hangs,
+            "crashes": getattr(result, "crashes", 0),
+            "crash_inputs": list(getattr(result, "crash_inputs", [])),
+            "crash_signatures": [
+                list(sig) for sig in getattr(result, "crash_signatures", [])
+            ],
             "emit_log": [list(entry) for entry in result.emit_log],
             "valid_signatures": list(result.valid_signatures),
             "valid_lineage": list(getattr(result, "valid_lineage", [])),

@@ -51,19 +51,30 @@ class CorpusRecord:
     #: Stable blake2b-based signature of the execution's branch path;
     #: None for tools that do not report one.
     path_signature: Optional[int] = None
+    #: ``"valid"`` (the default — a parser-accepted input) or ``"crash"``
+    #: (a crash-hunting finding; see
+    #: :attr:`repro.core.config.FuzzerConfig.hunt_crashes`).
+    kind: str = "valid"
+    #: Failure-site signature for ``"crash"`` records, as the
+    #: ``(exception_type, file, line)`` tuple of
+    #: :func:`repro.runtime.harness.failure_site`; None for valid records.
+    crash_signature: Optional[tuple] = None
 
     def to_json_line(self) -> str:
-        return json.dumps(
-            {
-                "subject": self.subject,
-                "tool": self.tool,
-                "seed": self.seed,
-                "input": self.input,
-                "path_signature": self.path_signature,
-            },
-            ensure_ascii=True,
-            separators=(",", ":"),
-        )
+        record = {
+            "subject": self.subject,
+            "tool": self.tool,
+            "seed": self.seed,
+            "input": self.input,
+            "path_signature": self.path_signature,
+        }
+        # Valid records keep their pre-crash-hunting byte shape; only
+        # crash findings carry the extra keys.
+        if self.kind != "valid":
+            record["kind"] = self.kind
+            if self.crash_signature is not None:
+                record["crash_signature"] = list(self.crash_signature)
+        return json.dumps(record, ensure_ascii=True, separators=(",", ":"))
 
     @classmethod
     def from_json_line(cls, line: str) -> Optional["CorpusRecord"]:
@@ -74,6 +85,7 @@ class CorpusRecord:
             return None
         if not isinstance(record, dict) or "input" not in record:
             return None
+        crash_signature = record.get("crash_signature")
         try:
             return cls(
                 subject=str(record.get("subject", "")),
@@ -81,6 +93,12 @@ class CorpusRecord:
                 seed=int(record.get("seed", 0)),
                 input=record["input"],
                 path_signature=record.get("path_signature"),
+                kind=str(record.get("kind", "valid")),
+                crash_signature=(
+                    tuple(crash_signature)
+                    if isinstance(crash_signature, list)
+                    else None
+                ),
             )
         except (TypeError, ValueError):
             return None
@@ -148,23 +166,45 @@ class CorpusStore:
         """Append one campaign's valid inputs; returns the count appended.
 
         Path signatures ride along when the tool reports them (pFuzzer);
-        other tools store None.
+        other tools store None.  Crash-hunting findings (deduplicated
+        crashing inputs) are appended as ``"crash"``-kind records with
+        their failure-site signatures.
         """
         signatures = output.valid_signatures or []
-        return self.add_records(
-            [
-                CorpusRecord(
-                    subject=output.subject,
-                    tool=output.tool,
-                    seed=output.seed,
-                    input=text,
-                    path_signature=(
-                        signatures[index] if index < len(signatures) else None
-                    ),
-                )
-                for index, text in enumerate(output.valid_inputs)
-            ]
+        records = [
+            CorpusRecord(
+                subject=output.subject,
+                tool=output.tool,
+                seed=output.seed,
+                input=text,
+                path_signature=(
+                    signatures[index] if index < len(signatures) else None
+                ),
+            )
+            for index, text in enumerate(output.valid_inputs)
+        ]
+        crash_inputs = getattr(output, "crash_inputs", None) or []
+        crash_signatures = getattr(output, "crash_signatures", None) or []
+        crash_paths = getattr(output, "crash_path_signatures", None) or []
+        records.extend(
+            CorpusRecord(
+                subject=output.subject,
+                tool=output.tool,
+                seed=output.seed,
+                input=text,
+                path_signature=(
+                    crash_paths[index] if index < len(crash_paths) else None
+                ),
+                kind="crash",
+                crash_signature=(
+                    tuple(crash_signatures[index])
+                    if index < len(crash_signatures)
+                    else None
+                ),
+            )
+            for index, text in enumerate(crash_inputs)
         )
+        return self.add_records(records)
 
     # -- reads ---------------------------------------------------------- #
 
@@ -173,11 +213,13 @@ class CorpusStore:
         subject: Optional[str] = None,
         tool: Optional[str] = None,
         seed: Optional[int] = None,
+        kind: Optional[str] = None,
     ) -> Iterator[CorpusRecord]:
         """Yield stored records in file order, optionally filtered.
 
         Malformed lines — e.g. the half-written tail of an interrupted
-        append — are skipped, never fatal.
+        append — are skipped, never fatal.  ``kind`` filters on record
+        kind (``"valid"`` / ``"crash"``); None yields every kind.
         """
         if not self.path.exists():
             return
@@ -195,6 +237,8 @@ class CorpusStore:
                     continue
                 if seed is not None and record.seed != seed:
                     continue
+                if kind is not None and record.kind != kind:
+                    continue
                 yield record
 
     def inputs(
@@ -210,7 +254,9 @@ class CorpusStore:
         as :attr:`repro.core.config.FuzzerConfig.initial_inputs`."""
         seen = set()
         ordered = []
-        for record in self.records(subject=subject):
+        # Only parser-accepted inputs seed future campaigns; crash
+        # findings are repro artifacts, not seeds.
+        for record in self.records(subject=subject, kind="valid"):
             if record.input not in seen:
                 seen.add(record.input)
                 ordered.append(record.input)
@@ -223,13 +269,15 @@ class CorpusStore:
         """Per-subject corpus shape, in one pass over the file.
 
         Returns a dict keyed by subject name, each value carrying
-        ``records`` (stored lines), ``inputs`` (distinct input texts) and
-        ``signatures`` (distinct non-None path signatures) — the numbers
-        ``repro corpus stats`` prints.
+        ``records`` (stored lines), ``inputs`` (distinct input texts),
+        ``signatures`` (distinct non-None path signatures) and
+        ``crashes`` (distinct failure sites among ``"crash"`` records) —
+        the numbers ``repro corpus stats`` prints.
         """
         records: Dict[str, int] = {}
         inputs: Dict[str, set] = {}
         signatures: Dict[str, set] = {}
+        crashes: Dict[str, set] = {}
         for record in self.records():
             records[record.subject] = records.get(record.subject, 0) + 1
             inputs.setdefault(record.subject, set()).add(record.input)
@@ -237,11 +285,16 @@ class CorpusStore:
                 signatures.setdefault(record.subject, set()).add(
                     record.path_signature
                 )
+            if record.kind == "crash":
+                crashes.setdefault(record.subject, set()).add(
+                    record.crash_signature or record.input
+                )
         return {
             subject: {
                 "records": records[subject],
                 "inputs": len(inputs[subject]),
                 "signatures": len(signatures.get(subject, ())),
+                "crashes": len(crashes.get(subject, ())),
             }
             for subject in sorted(records)
         }
@@ -271,12 +324,18 @@ class CorpusStore:
         seen_signatures = set()
         dropped = 0
         for record in self.records():
-            key = (record.subject, record.input)
+            # Kind-qualified keys: a crash finding never collapses into a
+            # valid record that happens to share its text (or vice versa).
+            key = (record.subject, record.kind, record.input)
             if key in seen:
                 dropped += 1
                 continue
             if collapse_signatures and record.path_signature is not None:
-                signature_key = (record.subject, record.path_signature)
+                signature_key = (
+                    record.subject,
+                    record.kind,
+                    record.path_signature,
+                )
                 if signature_key in seen_signatures:
                     dropped += 1
                     continue

@@ -20,6 +20,10 @@ cover is the standard log-factor approximation); the property test in
 arc unions on every subject.  The store rewrite is atomic and leaves
 other subjects' records untouched, so ``repro corpus distill --subject``
 is safe on a mixed store.
+
+Crash findings (``kind="crash"`` records written by ``--hunt-crashes``)
+are findings, not coverage seeds: they pass through every distillation
+untouched and never compete with valid records for set-cover picks.
 """
 
 from __future__ import annotations
@@ -121,12 +125,20 @@ def distill_store(
         distinct: List[str] = []
         seen: set = set()
         for record in all_records:
-            if record.subject == name and record.input not in seen:
+            if (
+                record.subject == name
+                and record.kind == "valid"
+                and record.input not in seen
+            ):
                 seen.add(record.input)
                 distinct.append(record.input)
         kept, arcs = distill_subject(name, distinct, coverage_backend)
         keep_inputs[name] = set(kept)
-        total = sum(1 for record in all_records if record.subject == name)
+        total = sum(
+            1
+            for record in all_records
+            if record.subject == name and record.kind == "valid"
+        )
         stats.append(
             DistillStats(
                 subject=name,
@@ -138,7 +150,7 @@ def distill_store(
     kept_records: List[CorpusRecord] = []
     emitted: set = set()
     for record in all_records:
-        if record.subject not in keep_inputs:
+        if record.subject not in keep_inputs or record.kind != "valid":
             kept_records.append(record)
             continue
         key = (record.subject, record.input)

@@ -52,6 +52,7 @@ FIELD_NAMES = (
     "resumes",
     "hostname",
     "peak_rss_kb",
+    "crashes",
 )
 
 
@@ -96,6 +97,10 @@ class CampaignMetrics:
     #: ``resource`` module is unavailable).  Added within schema version 1;
     #: absent in older records and read back as 0.
     peak_rss_kb: int = 0
+    #: Subject executions that crashed (raised outside the subject's
+    #: declared rejection exceptions).  Added within schema version 1;
+    #: absent in older records and read back as 0.
+    crashes: int = 0
 
     @classmethod
     def from_output(
@@ -133,6 +138,7 @@ class CampaignMetrics:
             resumes=output.resumes,
             hostname=hostname if hostname is not None else _hostname(),
             peak_rss_kb=peak_rss_bytes // 1024,
+            crashes=getattr(output, "crashes", 0),
         )
 
     @classmethod
@@ -207,6 +213,7 @@ class CampaignMetrics:
         record.setdefault("resumes", 0)
         record.setdefault("hostname", "")
         record.setdefault("peak_rss_kb", 0)
+        record.setdefault("crashes", 0)
         missing = [name for name in FIELD_NAMES if name not in record]
         if missing:
             raise ValueError(f"metrics line missing fields: {', '.join(missing)}")

@@ -624,6 +624,8 @@ def run_grid(
     mine_after: Optional[int] = None,
     gen_batch: Optional[int] = None,
     gen_depth: Optional[int] = None,
+    hunt_crashes: bool = False,
+    subject_module: Optional[str] = None,
     _test_fail_on: Optional[Mapping[FaultKey, str]] = None,
 ) -> List[RunRecord]:
     """Execute every spec across a worker pool; records come back in order.
@@ -670,6 +672,14 @@ def run_grid(
         mine_after: hybrid gain-evidence/inter-phase floor.
         gen_batch: hybrid generated candidates per flood.
         gen_depth: hybrid compiled-generator flood depth budget.
+        hunt_crashes: run pFuzzer cells in crash-hunting mode (see
+            :attr:`repro.core.config.FuzzerConfig.hunt_crashes`).  Like
+            ``hybrid``, not environmental: it changes cell results and
+            participates in snapshot fingerprints, so retries keep it.
+        subject_module: import this module (registering its plugin
+            subjects) before validation, and again inside every worker
+            before the cell runs — workers may be spawned rather than
+            forked, so the parent's import does not always carry over.
         _test_fail_on: fault-injection hook for the test suite; see the
             module docstring.
 
@@ -677,6 +687,10 @@ def run_grid(
         ValueError: any spec names an unknown tool or subject (checked up
             front, before any worker starts).
     """
+    if subject_module is not None:
+        from repro.subjects.registry import load_subject_module
+
+        load_subject_module(subject_module)
     specs = [
         spec if isinstance(spec, RunSpec) else RunSpec(*spec) for spec in specs
     ]
@@ -727,6 +741,16 @@ def run_grid(
             engine["gen_batch"] = gen_batch
         if gen_depth is not None:
             engine["gen_depth"] = gen_depth
+    if hunt_crashes:
+        # Same discipline as hybrid: hunting is campaign state and every
+        # retry of a cell must keep it (checkpoints fingerprint it).
+        engine = dict(engine or {})
+        engine["hunt_crashes"] = True
+    if subject_module is not None:
+        # run_campaign re-imports the module inside the worker, covering
+        # spawn-start platforms where the parent's import is not inherited.
+        engine = dict(engine or {})
+        engine["subject_module"] = subject_module
     effective_jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
     effective_jobs = min(effective_jobs, len(specs))
     executor = _GridExecutor(

@@ -49,6 +49,13 @@ Event types:
     Service-side: the scheduler's coverage-gain posterior for one job
     after a completed slice (see :mod:`repro.service.gain`), with the
     dynamic stride weight and whether the job is parked.
+``crash_found``
+    A crash-hunting campaign recorded a crashing input at a failure site
+    not seen before (see
+    :attr:`repro.core.config.FuzzerConfig.hunt_crashes`); ``signature``
+    is the ``(exception_type, file, line)`` failure-site triple of
+    :func:`repro.runtime.harness.failure_site`.  Emitted at most once
+    per distinct site.
 ``checkpoint_written``, ``resumed``, ``preempted``, ``campaign_end``
     Durability and lifecycle markers.
 
@@ -94,6 +101,7 @@ TRACE_SCHEMA: Dict[str, tuple] = {
     "grammar_mined": ("executions", "phase", "corpus", "rules", "keywords"),
     "gen_phase": ("executions", "phase", "injected", "valid"),
     "gain_update": ("job_id", "executions", "posterior", "weight", "parked"),
+    "crash_found": ("lineage", "executions", "text", "signature"),
     "checkpoint_written": ("executions",),
     "resumed": ("executions", "resumes"),
     "preempted": ("executions",),

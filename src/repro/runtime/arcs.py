@@ -78,14 +78,24 @@ class ArcTable:
         return int.from_bytes(hasher.digest(), "big")
 
 
-#: One table per subject class; both backends intern through the same table.
-_TABLES: Dict[type, ArcTable] = {}
+#: One table per subject identity; both backends intern through the same
+#: table.  The key is normally the subject class, but adapter subjects that
+#: wrap arbitrary callables (one class, many distinct parsers — see
+#: :class:`repro.subjects.function.FunctionSubject`) publish an
+#: ``arc_table_key`` attribute so each wrapped parser gets its own table.
+_TABLES: Dict[object, ArcTable] = {}
 
 
 def arc_table_for(subject) -> ArcTable:
-    """The shared per-subject-class arc table (created on first use)."""
-    cls = type(subject)
-    table = _TABLES.get(cls)
+    """The shared per-subject arc table (created on first use).
+
+    Keyed by the subject's ``arc_table_key`` attribute when present,
+    falling back to the subject class.
+    """
+    key = getattr(subject, "arc_table_key", None)
+    if key is None:
+        key = type(subject)
+    table = _TABLES.get(key)
     if table is None:
-        table = _TABLES[cls] = ArcTable()
+        table = _TABLES[key] = ArcTable()
     return table

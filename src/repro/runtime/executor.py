@@ -18,14 +18,17 @@ fallback is equivalence-tested, not best-effort.
 
 Wire format: interned arc ids are process-local, so results cross the
 pipe *decoded* — ``(status, error, [(arc_tuple, clock), ...],
-comparisons, eof_events)`` — and :func:`rehydrate_run_result` re-interns
-them through the parent's arc table.  Comparison/EOF events are plain
-NamedTuples of primitives and pickle as-is.  Two :class:`RunResult`
-fields do not cross the pipe: ``value`` (the subject's parse result —
-unused by the fuzzing loop) and ``Recorder.accesses`` (consumed only by
-the grammar miner, which runs its own executions).  A subject exception
-that ``run_subject`` would propagate inline surfaces as
-:class:`ExecutorError` carrying the original message.
+comparisons, eof_events, crash_signature)`` — and
+:func:`rehydrate_run_result` re-interns them through the parent's arc
+table (tolerating the historical 5-tuple without the crash field).
+Comparison/EOF events are plain NamedTuples of primitives and pickle
+as-is.  Two :class:`RunResult` fields do not cross the pipe: ``value``
+(the subject's parse result — unused by the fuzzing loop) and
+``Recorder.accesses`` (consumed only by the grammar miner, which runs
+its own executions).  Unexpected subject exceptions are CRASH *results*
+(``run_subject`` classifies them), so they ride the normal result path;
+:class:`ExecutorError` is reserved for harness-infrastructure failures
+(a result that cannot pickle, a fork child that died without sending).
 
 Batching: :meth:`PooledExecutor.prefetch` submits a slice of candidate
 texts in one round-trip per worker; the worker streams results back as
@@ -110,6 +113,7 @@ def serialize_run_result(result: RunResult) -> tuple:
         arcs,
         recorder.comparisons,
         recorder.eof_events,
+        result.crash_signature,
     )
 
 
@@ -122,7 +126,9 @@ def rehydrate_run_result(subject, text: str, payload: tuple) -> RunResult:
     ``average_stack_size``, ``comparisons_touching``) reads only the
     recorded events, which crossed the pipe verbatim.
     """
-    status_name, error, arcs, comparisons, eof_events = payload
+    status_name, error, arcs, comparisons, eof_events = payload[:5]
+    # Tolerant tail: payloads predating the CRASH status are 5-tuples.
+    crash_signature = payload[5] if len(payload) > 5 else None
     table = arc_table_for(subject)
     intern = table.intern
     recorder = Recorder()
@@ -136,6 +142,7 @@ def rehydrate_run_result(subject, text: str, payload: tuple) -> RunResult:
         value=None,
         error=error,
         arc_table=table,
+        crash_signature=tuple(crash_signature) if crash_signature else None,
     )
 
 

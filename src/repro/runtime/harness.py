@@ -49,6 +49,34 @@ class ExitStatus(enum.Enum):
     VALID = 0
     REJECTED = 1
     HANG = 2
+    #: The subject raised something other than its declared rejection
+    #: exceptions — the Python analogue of a segfault.  Crashes are
+    #: first-class results: the campaign keeps running and the failure
+    #: site counts as coverage (see :func:`run_subject`).
+    CRASH = 3
+
+
+def failure_site(exc: BaseException, files) -> tuple:
+    """Deterministic failure-site signature for a crash.
+
+    Returns ``(exception_type, filename, line)`` where the location is the
+    *deepest subject-owned frame* of the traceback — the crash site as the
+    subject sees it, independent of harness frames above and of library
+    frames below.  For a recursive crash (``RecursionError`` out of a
+    self-call) the deepest subject frame repeats the same line whatever the
+    baseline stack depth was, so the signature is stable across the inline,
+    pooled and batched engines.
+    """
+    filename = "<unknown>"
+    line = 0
+    trace = exc.__traceback__
+    while trace is not None:
+        frame_file = trace.tb_frame.f_code.co_filename
+        if frame_file in files:
+            filename = frame_file
+            line = trace.tb_lineno
+        trace = trace.tb_next
+    return (type(exc).__name__, filename, line)
 
 
 @dataclass(slots=True)
@@ -67,6 +95,8 @@ class RunResult:
         value: the subject's parse result (None unless VALID).
         error: rejection message (None when VALID).
         arc_table: the subject's shared table that interned ``arcs``.
+        crash_signature: ``(exception_type, filename, line)`` failure-site
+            signature (None unless CRASH); see :func:`failure_site`.
     """
 
     text: str
@@ -76,6 +106,7 @@ class RunResult:
     value: object = None
     error: Optional[str] = None
     arc_table: Optional[ArcTable] = None
+    crash_signature: Optional[tuple] = None
     #: Lazily built ``frozenset(arcs)``; ``branches`` is consulted up to
     #: three times per execution (validity gate, vBr growth, heuristic),
     #: and rebuilding the frozenset each time was measurable.
@@ -87,6 +118,11 @@ class RunResult:
     def valid(self) -> bool:
         """True when the subject accepted the input (exit code 0)."""
         return self.status is ExitStatus.VALID
+
+    @property
+    def crashed(self) -> bool:
+        """True when the subject raised an undeclared exception."""
+        return self.status is ExitStatus.CRASH
 
     @property
     def branches(self) -> FrozenSet[int]:
@@ -208,6 +244,7 @@ def run_subject(
     status = ExitStatus.VALID
     value: object = None
     error: Optional[str] = None
+    crash_signature: Optional[tuple] = None
     with recording(recorder):
         try:
             if tracer is not None:
@@ -224,6 +261,14 @@ def run_subject(
         except SubjectError as exc:
             status = ExitStatus.REJECTED
             error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - crashes are results here
+            # Anything else out of the subject is the Python analogue of a
+            # segfault.  Propagating it would kill the campaign (and, under
+            # the pooled engine, look like a worker death and trigger a
+            # respawn loop), so classify it as a CRASH result instead.
+            status = ExitStatus.CRASH
+            crash_signature = failure_site(exc, subject.files)
+            error = f"{crash_signature[0]}: {exc}"
 
     if tracer is not None:
         intern = table.intern
@@ -238,6 +283,11 @@ def run_subject(
         intern = table.intern
         for key, clock in recorder.aux_branches.items():
             arcs[intern(key)] = clock
+    # Distinct failure sites count as coverage ("Fuzzing with Fast Failure
+    # Feedback"): intern the crash site as an auxiliary arc, shared by both
+    # backends through the subject's table.
+    if crash_signature is not None:
+        arcs[table.intern(("crash",) + crash_signature)] = recorder.clock_provider()
     return RunResult(
         text=text,
         status=status,
@@ -246,4 +296,5 @@ def run_subject(
         value=value,
         error=error,
         arc_table=table,
+        crash_signature=crash_signature,
     )

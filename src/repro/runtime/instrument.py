@@ -781,23 +781,43 @@ def _build(subject) -> Tuple[Dict[str, list], Collector]:
     return registry, collector
 
 
-#: One build (cloned modules + collector) per subject class.
-_BUILDS: Dict[type, Tuple[Dict[str, list], Collector]] = {}
+#: One build (cloned modules + collector) per subject identity — the
+#: subject class, or its ``arc_table_key`` when it publishes one (adapter
+#: subjects wrap many distinct parsers under one class; see
+#: :func:`repro.runtime.arcs.arc_table_for`).
+_BUILDS: Dict[object, Tuple[Dict[str, list], Collector]] = {}
 
 
 def instrumented_subject(subject) -> Tuple[object, Collector]:
     """An instrumented clone of ``subject`` plus its (shared) collector.
 
     The expensive part — parsing, rewriting and compiling the subject's
-    modules — runs once per subject class and is cached; per call only a
-    fresh subject instance is materialised from the cloned class with the
-    original instance's configuration.
+    modules — runs once per subject identity and is cached; per call only
+    a fresh subject instance is materialised from the cloned class with
+    the original instance's configuration.
+
+    Subjects that delegate to captured callables rather than methods on
+    their own class (adapters like
+    :class:`~repro.subjects.function.FunctionSubject`) implement
+    ``rebind_instrumented(resolve)`` — called with a ``module name ->
+    clone module`` resolver, returning the clone subject with its
+    captured state rebound into the cloned modules.
     """
-    cls = type(subject)
-    build = _BUILDS.get(cls)
+    key = getattr(subject, "arc_table_key", None)
+    if key is None:
+        key = type(subject)
+    build = _BUILDS.get(key)
     if build is None:
-        build = _BUILDS[cls] = _build(subject)
+        build = _BUILDS[key] = _build(subject)
     registry, collector = build
+
+    def resolve(name: str) -> types.ModuleType:
+        return registry[name][0]
+
+    rebind = getattr(subject, "rebind_instrumented", None)
+    if rebind is not None:
+        return rebind(resolve), collector
+    cls = type(subject)
     clone_module = registry[cls.__module__][0]
     clone_cls = getattr(clone_module, cls.__name__)
     clone = clone_cls.__new__(clone_cls)

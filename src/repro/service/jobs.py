@@ -137,6 +137,15 @@ class JobSpec:
             default when None).
         gen_depth: hybrid compiled-generator flood depth budget (pFuzzer
             default when None).
+        hunt_crashes: run the job in crash-hunting mode (pFuzzer only;
+            see :attr:`repro.core.config.FuzzerConfig.hunt_crashes`).
+            Like ``hybrid``, not environmental: it changes the result
+            and participates in the snapshot fingerprint, so it must —
+            and, being spec-immutable, does — stay fixed across slices.
+        subject_module: module imported (registering its plugin
+            subjects via :func:`repro.subjects.registry.register_subject`)
+            before the subject name is resolved — in every worker, since
+            plugin registrations are per-process.
     """
 
     subject: str
@@ -158,10 +167,32 @@ class JobSpec:
     mine_after: Optional[int] = None
     gen_batch: Optional[int] = None
     gen_depth: Optional[int] = None
+    hunt_crashes: bool = False
+    subject_module: Optional[str] = None
 
     def validate(self) -> None:
         """Raises :class:`JobError` naming every invalid field."""
         problems: List[str] = []
+        if self.subject_module is not None and (
+            not isinstance(self.subject_module, str) or not self.subject_module
+        ):
+            problems.append(
+                f"subject_module must be a non-empty string, "
+                f"got {self.subject_module!r}"
+            )
+        elif self.subject_module is not None:
+            # Import up front so plugin subjects the module registers are
+            # visible to the subject-name check below; a module that fails
+            # to import is a spec problem, not a worker crash later.
+            from repro.subjects.registry import load_subject_module
+
+            try:
+                load_subject_module(self.subject_module)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(
+                    f"subject_module {self.subject_module!r} failed to "
+                    f"import: {type(exc).__name__}: {exc}"
+                )
         try:
             validate_campaign(self.tool, self.subject)
         except ValueError as exc:
@@ -254,6 +285,14 @@ class JobSpec:
                 )
             elif not self.hybrid:
                 problems.append(f"{name} requires hybrid mode")
+        if not isinstance(self.hunt_crashes, bool):
+            problems.append(
+                f"hunt_crashes must be a boolean, got {self.hunt_crashes!r}"
+            )
+        elif self.hunt_crashes and self.tool != "pfuzzer":
+            problems.append(
+                f"crash hunting requires the pfuzzer tool, got {self.tool!r}"
+            )
         if problems:
             raise JobError("; ".join(problems))
 
@@ -300,6 +339,9 @@ class JobRecord:
     #: Consecutive failed slice attempts (crashes/timeouts); reset on any
     #: successful slice.
     failures: int = 0
+    #: Subject-level crashes observed by the campaign so far (the
+    #: *subject* raising, not the worker dying — that is ``failures``).
+    crashes: int = 0
     wall_time: float = 0.0
     error: Optional[str] = None
     #: Canonical result fingerprint, set when the job reaches DONE
@@ -377,12 +419,16 @@ class JobStore:
             record = self._records.get(event["job_id"])
             if record is None:
                 return
+            # "crashes" was added within the journal format; tolerant
+            # replay keeps pre-crash-tracking journals loading (the key
+            # is simply absent from their progress events).
             for name in (
                 "executions",
                 "valid_inputs",
                 "resumes",
                 "slices",
                 "wall_time",
+                "crashes",
             ):
                 if name in event:
                     setattr(record, name, event[name])
@@ -473,6 +519,7 @@ class JobStore:
                             "resumes": record.resumes,
                             "slices": record.slices,
                             "wall_time": record.wall_time,
+                            "crashes": record.crashes,
                         },
                         ensure_ascii=True,
                         separators=(",", ":"),
@@ -596,6 +643,7 @@ class JobStore:
         resumes: int,
         slices: int,
         wall_time: float,
+        crashes: int = 0,
     ) -> JobRecord:
         """Record slice-boundary progress counters, journalling them."""
         with self._lock:
@@ -605,6 +653,7 @@ class JobStore:
             record.resumes = resumes
             record.slices = slices
             record.wall_time = wall_time
+            record.crashes = crashes
             self._append_event(
                 {
                     "event": "progress",
@@ -614,6 +663,7 @@ class JobStore:
                     "resumes": resumes,
                     "slices": slices,
                     "wall_time": wall_time,
+                    "crashes": crashes,
                 }
             )
             return record

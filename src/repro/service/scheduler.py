@@ -142,8 +142,12 @@ def _run_slice(task: dict) -> SliceResult:
         from repro.core.fuzzer import PFuzzer
         from repro.eval.checkpoint import result_fingerprint
         from repro.runtime.arcs import arc_table_for
-        from repro.subjects.registry import load_subject
+        from repro.subjects.registry import load_subject, load_subject_module
 
+        if task.get("subject_module"):
+            # Plugin registrations are per-process; the worker must import
+            # the module itself before the name resolves.
+            load_subject_module(task["subject_module"])
         subject = load_subject(task["subject"])
         durability = {}
         if task["checkpoint_every"] is not None:
@@ -172,6 +176,10 @@ def _run_slice(task: dict) -> SliceResult:
                 durability["gen_batch"] = task["gen_batch"]
             if task.get("gen_depth") is not None:
                 durability["gen_depth"] = task["gen_depth"]
+        if task.get("hunt_crashes"):
+            # Like hybrid: fingerprinted campaign state, so every slice
+            # of the job runs with hunting on (the spec is immutable).
+            durability["hunt_crashes"] = True
         config = FuzzerConfig(
             seed=task["seed"],
             max_executions=task["budget"],
@@ -223,6 +231,10 @@ def _run_slice(task: dict) -> SliceResult:
             phase_times=result.phase_times,
             resumes=result.resumes,
             valid_signatures=list(result.valid_signatures) or None,
+            crashes=result.crashes,
+            crash_inputs=list(result.crash_inputs),
+            crash_signatures=list(result.crash_signatures),
+            crash_path_signatures=list(result.crash_path_signatures),
         )
     else:
         output = run_campaign(
@@ -492,6 +504,7 @@ class CampaignScheduler:
             resumes=outcome.output.resumes,
             slices=record.slices + 1,
             wall_time=outcome.output.wall_time,
+            crashes=getattr(outcome.output, "crashes", 0),
         )
         if self.on_slice is not None:
             metrics = CampaignMetrics.from_output(
@@ -647,6 +660,8 @@ class CampaignScheduler:
                     "mine_after": spec.mine_after,
                     "gen_batch": spec.gen_batch,
                     "gen_depth": spec.gen_depth,
+                    "hunt_crashes": spec.hunt_crashes,
+                    "subject_module": spec.subject_module,
                     "sync_store": (
                         str(
                             self.state_dir

@@ -247,6 +247,7 @@ class CampaignService:
         executions = sum(record.executions for record in records)
         resumes = sum(record.resumes for record in records)
         slices = sum(record.slices for record in records)
+        crashes = sum(record.crashes for record in records)
         with self._events_cond:
             wall = self._slice_wall_total
             sliced_execs = self._slice_executions_total
@@ -351,6 +352,18 @@ class CampaignService:
             "# HELP repro_service_hybrid_floods_total gen_phase events across traced jobs.",
             "# TYPE repro_service_hybrid_floods_total counter",
             f"repro_service_hybrid_floods_total {trace_counts.get('gen_phase', 0)}",
+        ]
+        hunting_jobs = sum(1 for record in records if record.spec.hunt_crashes)
+        lines += [
+            "# HELP repro_service_crash_hunting_jobs Jobs in crash-hunting mode.",
+            "# TYPE repro_service_crash_hunting_jobs gauge",
+            f"repro_service_crash_hunting_jobs {hunting_jobs}",
+            "# HELP repro_service_crashes_total Subject crashes observed across all jobs.",
+            "# TYPE repro_service_crashes_total counter",
+            f"repro_service_crashes_total {crashes}",
+            "# HELP repro_service_crash_sites_total crash_found events (distinct failure sites) across traced jobs.",
+            "# TYPE repro_service_crash_sites_total counter",
+            f"repro_service_crash_sites_total {trace_counts.get('crash_found', 0)}",
         ]
         lines += [
             "# HELP repro_service_peak_rss_kb High-water RSS of the server process (kB).",

@@ -1,0 +1,17 @@
+"""Bundled plugin-style subjects — real-world parsers beyond Table 1.
+
+Each module here onboards one parser through the public plugin API
+(:func:`repro.subjects.registry.register_subject` around a
+:class:`~repro.subjects.function.FunctionSubject`), exactly the way an
+external ``--subject-module`` would.  They are *not* part of the paper's
+evaluation grid; they exist to exercise the pluggable subject API and the
+crash-hunting mode on inputs with realistic structure:
+
+* :mod:`~repro.subjects.contrib.urlp` — RFC-3986-flavoured URL parser;
+* :mod:`~repro.subjects.contrib.httpreq` — HTTP/1.x request-line parser;
+* :mod:`~repro.subjects.contrib.isodate` — ISO-8601 date/time parser.
+
+The registry imports these lazily by name (``load_subject("url")``), or
+they can be loaded explicitly with ``--subject-module
+repro.subjects.contrib.urlp``.
+"""

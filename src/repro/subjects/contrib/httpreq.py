@@ -1,0 +1,100 @@
+"""HTTP/1.x request-line parser, onboarded through the plugin API.
+
+``METHOD SP request-target SP HTTP/DIGIT.DIGIT CRLF`` in the style of a
+C server's hand-rolled request-line scanner: the method is matched with
+recorded string comparisons (the ``strncmp(buf, "GET", 3)`` idiom), the
+version with character comparisons.  Registered as subject ``httpreq``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.taint.tstr import TaintedStr
+
+#: RFC 9110 common methods, checked in the order a C dispatcher would.
+_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "TRACE", "PATCH")
+
+#: Visible ASCII minus space (request-target characters, no validation of
+#: the target's inner structure — servers routinely defer that).
+_TARGET_CHARS = "".join(chr(code) for code in range(0x21, 0x7F))
+
+
+def _is_method_char(char) -> bool:
+    return char.isalpha()
+
+
+def _is_target_char(char) -> bool:
+    return char.in_set(_TARGET_CHARS)
+
+
+def parse_request_line(stream: InputStream) -> dict:
+    """Parse one request line; returns method/target/version."""
+    token = stream.read_while(_is_method_char)
+    method = _match_method(token)
+    _expect(stream, " ")
+    target = stream.read_while(_is_target_char)
+    if not target.text:
+        bad = stream.peek()
+        raise ParseError(f"empty request target at {bad.index}", bad.index)
+    _expect(stream, " ")
+    for expected in "HTTP/":
+        _expect(stream, expected)
+    major = _expect_digit(stream)
+    _expect(stream, ".")
+    minor = _expect_digit(stream)
+    _expect(stream, "\r")
+    _expect(stream, "\n")
+    if not stream.peek().is_eof:
+        bad = stream.peek()
+        raise ParseError(f"trailing bytes at {bad.index}", bad.index)
+    return {
+        "method": method,
+        "target": target.text,
+        "version": (major, minor),
+    }
+
+
+def _match_method(token: TaintedStr) -> str:
+    for method in _METHODS:
+        if token == method:
+            return method
+    raise ParseError(f"unknown method {token.text!r}", token.first_index() or 0)
+
+
+def _expect(stream: InputStream, expected: str) -> None:
+    char = stream.peek()
+    if char.is_eof or char != expected:
+        raise ParseError(f"expected {expected!r} at {char.index}", char.index)
+    stream.next_char()
+
+
+def _expect_digit(stream: InputStream) -> int:
+    char = stream.peek()
+    if char.is_eof or not char.isdigit():
+        raise ParseError(f"expected a digit at {char.index}", char.index)
+    stream.next_char()
+    return int(char.value)
+
+
+def _make_subject():
+    from repro.subjects.function import FunctionSubject
+
+    return FunctionSubject(
+        parse_request_line, name="httpreq", description="HTTP/1.x request-line parser"
+    )
+
+
+def register() -> None:
+    """Register the ``httpreq`` subject (idempotent)."""
+    from repro.subjects.registry import register_subject
+
+    register_subject("httpreq", _make_subject, replace=True)
+
+
+# The AST coverage backend re-executes an instrumented clone of this
+# module; the clone must not re-register itself (its factory would hand
+# out clone-bound subjects to everyone).  Clone namespaces carry the
+# coverage hooks, so their absence identifies the real import.
+if "__cov_line__" not in globals():
+    register()

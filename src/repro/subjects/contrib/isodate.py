@@ -1,0 +1,102 @@
+"""ISO-8601 date/time parser, onboarded through the plugin API.
+
+``YYYY-MM-DD`` with an optional ``THH:MM:SS`` time part and optional
+trailing ``Z``, validated field by field the way a hand-rolled C
+``sscanf``-replacement would: every digit is a recorded character
+comparison and every range check rejects with a :class:`ParseError`.
+Registered as subject ``isodate``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def parse_isodate(stream: InputStream) -> dict:
+    """Parse one ISO-8601 date[time]; returns its numeric fields."""
+    year = _read_number(stream, 4, "year")
+    _expect(stream, "-")
+    month = _read_number(stream, 2, "month")
+    if month < 1 or month > 12:
+        raise ParseError(f"month {month:02d} out of range", stream.pos)
+    _expect(stream, "-")
+    day = _read_number(stream, 2, "day")
+    limit = _DAYS_IN_MONTH[month - 1]
+    if month == 2 and _is_leap(year):
+        limit = 29
+    if day < 1 or day > limit:
+        raise ParseError(f"day {day:02d} out of range", stream.pos)
+    result = {"year": year, "month": month, "day": day}
+    char = stream.peek()
+    if not char.is_eof and char == "T":
+        stream.next_char()
+        hour = _read_number(stream, 2, "hour")
+        if hour > 23:
+            raise ParseError(f"hour {hour:02d} out of range", stream.pos)
+        _expect(stream, ":")
+        minute = _read_number(stream, 2, "minute")
+        if minute > 59:
+            raise ParseError(f"minute {minute:02d} out of range", stream.pos)
+        _expect(stream, ":")
+        second = _read_number(stream, 2, "second")
+        if second > 60:  # leap second
+            raise ParseError(f"second {second:02d} out of range", stream.pos)
+        result.update(hour=hour, minute=minute, second=second)
+        char = stream.peek()
+    if not char.is_eof and char == "Z":
+        stream.next_char()
+        result["utc"] = True
+    if not stream.peek().is_eof:
+        bad = stream.peek()
+        raise ParseError(f"trailing bytes at {bad.index}", bad.index)
+    return result
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _read_number(stream: InputStream, width: int, what: str) -> int:
+    value = 0
+    for _ in range(width):
+        char = stream.peek()
+        if char.is_eof or not char.isdigit():
+            raise ParseError(
+                f"expected a {what} digit at {char.index}", char.index
+            )
+        stream.next_char()
+        value = value * 10 + int(char.value)
+    return value
+
+
+def _expect(stream: InputStream, expected: str) -> None:
+    char = stream.peek()
+    if char.is_eof or char != expected:
+        raise ParseError(f"expected {expected!r} at {char.index}", char.index)
+    stream.next_char()
+
+
+def _make_subject():
+    from repro.subjects.function import FunctionSubject
+
+    return FunctionSubject(
+        parse_isodate, name="isodate", description="ISO-8601 date/time parser"
+    )
+
+
+def register() -> None:
+    """Register the ``isodate`` subject (idempotent)."""
+    from repro.subjects.registry import register_subject
+
+    register_subject("isodate", _make_subject, replace=True)
+
+
+# The AST coverage backend re-executes an instrumented clone of this
+# module; the clone must not re-register itself (its factory would hand
+# out clone-bound subjects to everyone).  Clone namespaces carry the
+# coverage hooks, so their absence identifies the real import.
+if "__cov_line__" not in globals():
+    register()

@@ -1,0 +1,138 @@
+"""RFC-3986-flavoured URL parser, onboarded through the plugin API.
+
+A character-by-character ``scheme://host[:port][/path][?query][#fragment]``
+parser in the style of a hand-rolled C URL splitter: every check is a
+recorded character comparison, so the fuzzer can synthesise URLs from
+scratch.  Registered as subject ``url``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.taint.tstr import TaintedStr
+
+_SCHEME_EXTRA = "+-."
+_HOST_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-"
+#: pchar-ish set for path/query/fragment (no percent-decoding).
+_PATH_CHARS = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "-._~!$&'()*+,;=:@/%"
+)
+
+
+# read_while predicates as named module-level functions: the AST coverage
+# backend cannot instrument lambdas.
+def _is_scheme_char(char) -> bool:
+    return char.isalpha() or char.isdigit() or char.in_set(_SCHEME_EXTRA)
+
+
+def _is_host_char(char) -> bool:
+    return char.in_set(_HOST_CHARS)
+
+
+def _is_digit(char) -> bool:
+    return char.isdigit()
+
+
+def _is_path_char(char) -> bool:
+    return char.in_set(_PATH_CHARS)
+
+
+def _is_query_char(char) -> bool:
+    return char.in_set(_PATH_CHARS + "?")
+
+
+def parse_url(stream: InputStream) -> dict:
+    """Parse one URL; returns its components as a dict."""
+    scheme = _parse_scheme(stream)
+    _expect(stream, ":")
+    _expect(stream, "/")
+    _expect(stream, "/")
+    host = _parse_host(stream)
+    port = None
+    if not stream.peek().is_eof and stream.peek() == ":":
+        stream.next_char()
+        port = _parse_port(stream)
+    path = TaintedStr.empty()
+    if not stream.peek().is_eof and stream.peek() == "/":
+        path = stream.read_while(_is_path_char)
+    query = None
+    fragment = None
+    char = stream.peek()
+    if not char.is_eof and char == "?":
+        stream.next_char()
+        # "?" may recur inside the query (RFC 3986 query = *( pchar / "/" / "?" )).
+        query = stream.read_while(_is_query_char).text
+        char = stream.peek()
+    if not char.is_eof and char == "#":
+        stream.next_char()
+        fragment = stream.read_while(_is_query_char).text
+    if not stream.peek().is_eof:
+        bad = stream.peek()
+        raise ParseError(f"unexpected character at {bad.index}", bad.index)
+    return {
+        "scheme": scheme.text,
+        "host": host.text,
+        "port": port,
+        "path": path.text,
+        "query": query,
+        "fragment": fragment,
+    }
+
+
+def _expect(stream: InputStream, expected: str) -> None:
+    char = stream.peek()
+    if char.is_eof or char != expected:
+        raise ParseError(
+            f"expected {expected!r} at {char.index}", char.index
+        )
+    stream.next_char()
+
+
+def _parse_scheme(stream: InputStream) -> TaintedStr:
+    first = stream.peek()
+    if first.is_eof or not first.isalpha():
+        raise ParseError("scheme must start with a letter", first.index)
+    return stream.read_while(_is_scheme_char)
+
+
+def _parse_host(stream: InputStream) -> TaintedStr:
+    host = stream.read_while(_is_host_char)
+    if not host.text:
+        bad = stream.peek()
+        raise ParseError(f"empty host at {bad.index}", bad.index)
+    return host
+
+
+def _parse_port(stream: InputStream) -> int:
+    digits = stream.read_while(_is_digit)
+    if not digits.text:
+        bad = stream.peek()
+        raise ParseError(f"empty port at {bad.index}", bad.index)
+    if len(digits.text) > 5 or int(digits.text) > 65535:
+        raise ParseError(f"port {digits.text} out of range", stream.pos)
+    return int(digits.text)
+
+
+def _make_subject():
+    from repro.subjects.function import FunctionSubject
+
+    return FunctionSubject(
+        parse_url, name="url", description="RFC-3986-flavoured URL parser"
+    )
+
+
+def register() -> None:
+    """Register the ``url`` subject (idempotent)."""
+    from repro.subjects.registry import register_subject
+
+    register_subject("url", _make_subject, replace=True)
+
+
+# The AST coverage backend re-executes an instrumented clone of this
+# module; the clone must not re-register itself (its factory would hand
+# out clone-bound subjects to everyone).  Clone namespaces carry the
+# coverage hooks, so their absence identifies the real import.
+if "__cov_line__" not in globals():
+    register()

@@ -1,0 +1,84 @@
+"""Adapter turning any parsing callable into a :class:`Subject`.
+
+The plugin API's workhorse: wrap a ``Callable[[InputStream], object]`` and
+it fuzzes like a built-in subject — the module defining the callable is
+what gets traced/instrumented for coverage, and each wrapped parser gets
+its own arc table (one adapter class, many distinct parsers) through the
+``arc_table_key`` hook in :func:`repro.runtime.arcs.arc_table_for`.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.runtime.stream import InputStream
+from repro.subjects.base import Subject
+
+
+class FunctionSubject(Subject):
+    """A subject defined by a single parsing function.
+
+    Args:
+        func: the parser; reads from the stream, raises
+            :class:`~repro.runtime.errors.ParseError` on rejection,
+            returns a result object on acceptance.  Anything else it
+            raises is recorded as a CRASH by the harness.
+        name: registry name; defaults to the function's ``__name__``.
+        modules: modules whose code counts as the subject for coverage;
+            defaults to the module that defines ``func``.
+        description: one-line description for reports.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[InputStream], object],
+        name: Optional[str] = None,
+        modules: Optional[Sequence[types.ModuleType]] = None,
+        description: str = "",
+    ) -> None:
+        self._func = func
+        self.name = name or getattr(func, "__name__", "function")
+        if description:
+            self.description = description
+        elif func.__doc__:
+            self.description = func.__doc__.strip().splitlines()[0]
+        else:
+            self.description = ""
+        if modules is not None:
+            self._modules: Tuple[types.ModuleType, ...] = tuple(modules)
+        else:
+            module = sys.modules.get(getattr(func, "__module__", None))
+            self._modules = (module,) if module is not None else ()
+        # One adapter class wraps many distinct parsers; key each parser's
+        # arc table by name so their branch/signature spaces stay separate.
+        self.arc_table_key = ("function-subject", self.name)
+
+    def parse(self, stream: InputStream) -> object:
+        return self._func(stream)
+
+    def modules(self) -> Tuple[types.ModuleType, ...]:
+        return self._modules
+
+    def rebind_instrumented(self, resolve) -> "FunctionSubject":
+        """Clone for the AST backend, parser rebound into the clone module.
+
+        The instrumenter clones and re-executes the parser's module; the
+        adapter must then call the *clone's* function, not the original
+        (the class-clone path would keep ``self._func`` pointing at
+        uninstrumented code).  ``resolve`` maps a module name to its
+        instrumented clone.
+        """
+        clone_module = resolve(self._func.__module__)
+        clone_func = getattr(clone_module, self._func.__name__)
+        clone = FunctionSubject(
+            clone_func,
+            name=self.name,
+            modules=(clone_module,),
+            description=self.description,
+        )
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<FunctionSubject {self.name}>"

@@ -1,12 +1,28 @@
-"""Subject registry and size accounting (Table 1).
+"""Subject registry, plugin API and size accounting (Table 1).
 
 ``load_subject(name)`` builds a fresh subject instance; fresh instances keep
 fuzzing campaigns independent (subjects hold no cross-run state, but the
 registry still hands out new objects to be safe).
+
+Beyond the built-in paper subjects, the registry is pluggable — the paper's
+premise is that parser-directed fuzzing works on *any* program reading
+input character by character, so third-party parsers onboard three ways:
+
+* :func:`register_subject` — register a factory programmatically (usually
+  a :class:`~repro.subjects.function.FunctionSubject` around a plain
+  parsing callable);
+* ``--subject-module`` / :func:`load_subject_module` — import a module
+  whose import-time side effect is one or more ``register_subject`` calls;
+* ``importlib.metadata`` entry points in the ``repro.subjects`` group —
+  installed distributions advertise factories that are discovered lazily.
+
+The bundled contrib subjects (:mod:`repro.subjects.contrib`) use the
+module-registration path and double as the plugin API's reference users.
 """
 
 from __future__ import annotations
 
+import importlib
 import inspect
 from typing import Callable, Dict, Tuple
 
@@ -58,10 +74,15 @@ _FACTORIES: Dict[str, Callable[[], Subject]] = {
     "mjs": _make_mjs,
 }
 
-#: The five paper subjects, in Table 1 order, plus the §2 demo subject.
+#: The five paper subjects, in Table 1 order.  The §2 demo subject
+#: ``expr`` is deliberately excluded — evaluation grids iterate this
+#: tuple; :data:`ALL_SUBJECT_NAMES` adds ``expr`` back for loading.
 SUBJECT_NAMES: Tuple[str, ...] = ("ini", "csv", "json", "tinyc", "mjs")
 
-#: Every loadable subject, including the §2 demo subject ``expr``.
+#: Every built-in loadable subject: the §2 demo subject ``expr`` plus the
+#: five paper subjects.  Plugin and contrib subjects are *not* listed here
+#: (the tuple is part of the stable evaluation surface); use
+#: :func:`available_subjects` for the full loadable set.
 ALL_SUBJECT_NAMES: Tuple[str, ...] = ("expr",) + SUBJECT_NAMES
 
 #: Upstream C sizes from Table 1, for the size-comparison report.
@@ -73,18 +94,165 @@ PAPER_LOC: Dict[str, int] = {
     "mjs": 10920,
 }
 
+#: Plugin factories registered at runtime (register_subject / modules /
+#: entry points).  Kept separate from the built-ins so re-registration
+#: can never shadow a paper subject.
+_PLUGIN_FACTORIES: Dict[str, Callable[[], Subject]] = {}
+
+#: Bundled plugin-style subjects, registered lazily on first reference so
+#: ``import repro`` stays lean.  Importing any of these modules calls
+#: :func:`register_subject` as its import-time side effect — the same
+#: path an external ``--subject-module`` takes.
+_CONTRIB_MODULES: Dict[str, str] = {
+    "url": "repro.subjects.contrib.urlp",
+    "httpreq": "repro.subjects.contrib.httpreq",
+    "isodate": "repro.subjects.contrib.isodate",
+}
+
+#: ``importlib.metadata`` entry-point group scanned for subject factories.
+ENTRY_POINT_GROUP = "repro.subjects"
+
+_entry_points_scanned = False
+
+
+class SubjectRegistrationError(ValueError):
+    """A plugin registration was invalid (name clash, bad factory)."""
+
+
+def register_subject(
+    name: str,
+    factory: Callable[[], Subject],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register a plugin subject factory under ``name``.
+
+    Args:
+        name: registry key; must not collide with a built-in subject.
+        factory: zero-argument callable returning a fresh
+            :class:`~repro.subjects.base.Subject` per call.
+        replace: allow re-registering an existing plugin name (built-ins
+            can never be replaced).
+
+    Raises:
+        SubjectRegistrationError: empty name, built-in collision, or a
+            duplicate plugin name without ``replace=True``.
+    """
+    if not isinstance(name, str) or not name:
+        raise SubjectRegistrationError(
+            f"subject name must be a non-empty string, got {name!r}"
+        )
+    if name in _FACTORIES:
+        raise SubjectRegistrationError(
+            f"cannot register {name!r}: it is a built-in subject"
+        )
+    if name in _PLUGIN_FACTORIES and not replace:
+        raise SubjectRegistrationError(
+            f"subject {name!r} is already registered (pass replace=True "
+            "to overwrite)"
+        )
+    if not callable(factory):
+        raise SubjectRegistrationError(
+            f"factory for {name!r} must be callable, got {factory!r}"
+        )
+    _PLUGIN_FACTORIES[name] = factory
+
+
+def load_subject_module(module_name: str) -> Tuple[str, ...]:
+    """Import a plugin module, returning the names it registered.
+
+    The module's import-time side effect is expected to be one or more
+    :func:`register_subject` calls (re-imports are no-ops, so the module
+    should pass ``replace=True`` or guard against double registration).
+
+    Raises:
+        SubjectRegistrationError: the module could not be imported.
+    """
+    before = set(_PLUGIN_FACTORIES)
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SubjectRegistrationError(
+            f"cannot import subject module {module_name!r}: {exc}"
+        ) from exc
+    registered = tuple(sorted(set(_PLUGIN_FACTORIES) - before))
+    if not registered and hasattr(module, "register"):
+        # Re-import of an already-loaded module: let it re-register.
+        module.register()
+        registered = tuple(sorted(set(_PLUGIN_FACTORIES) - before))
+    return registered
+
+
+def _scan_entry_points() -> None:
+    """Register factories advertised in the ``repro.subjects`` group."""
+    global _entry_points_scanned
+    if _entry_points_scanned:
+        return
+    _entry_points_scanned = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py3.7 fallback not shipped
+        return
+    try:
+        group = entry_points(group=ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - pre-3.10 select API
+        group = entry_points().get(ENTRY_POINT_GROUP, ())
+    for entry in group:
+        if entry.name in _FACTORIES or entry.name in _PLUGIN_FACTORIES:
+            continue
+        try:
+            factory = entry.load()
+        except Exception:  # noqa: BLE001 - a broken plugin must not
+            continue  # take the registry down with it
+        if callable(factory):
+            _PLUGIN_FACTORIES[entry.name] = factory
+
+
+def available_subjects() -> Tuple[str, ...]:
+    """Every loadable subject name: built-ins, plugins and contrib.
+
+    Built-ins come first in their canonical order; plugin and contrib
+    names follow sorted.
+    """
+    _scan_entry_points()
+    extra = set(_PLUGIN_FACTORIES) | set(_CONTRIB_MODULES)
+    return ALL_SUBJECT_NAMES + tuple(
+        sorted(extra - set(ALL_SUBJECT_NAMES))
+    )
+
+
+def is_known_subject(name: str) -> bool:
+    """True when :func:`load_subject` would succeed for ``name``."""
+    if name in _FACTORIES or name in _PLUGIN_FACTORIES:
+        return True
+    if name in _CONTRIB_MODULES:
+        return True
+    _scan_entry_points()
+    return name in _PLUGIN_FACTORIES
+
 
 def load_subject(name: str) -> Subject:
     """Instantiate a subject by registry name.
 
+    Resolution order: built-ins, registered plugins, bundled contrib
+    modules (imported lazily), then ``repro.subjects`` entry points.
+
     Raises:
-        KeyError: unknown subject name.
+        KeyError: unknown subject name; the message lists every
+            available name, plugins included.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
-        raise KeyError(f"unknown subject {name!r}; known subjects: {known}") from None
+    factory = _FACTORIES.get(name) or _PLUGIN_FACTORIES.get(name)
+    if factory is None and name in _CONTRIB_MODULES:
+        load_subject_module(_CONTRIB_MODULES[name])
+        factory = _PLUGIN_FACTORIES.get(name)
+    if factory is None:
+        _scan_entry_points()
+        factory = _PLUGIN_FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(available_subjects())
+        raise KeyError(
+            f"unknown subject {name!r}; available subjects: {known}"
+        )
     return factory()
 
 

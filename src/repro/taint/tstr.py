@@ -164,19 +164,30 @@ class TaintedStr:
     # Taint-preserving string operations
     # ------------------------------------------------------------------ #
 
-    def strip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+    @staticmethod
+    def _strippable(char: str, chars: Optional[str]) -> bool:
+        """``str.strip`` semantics: None means *any* Unicode whitespace
+        (``str.isspace``), not a hardcoded ASCII set — U+00A0, U+2028 and
+        friends strip exactly as they would from a plain ``str``."""
+        if chars is None:
+            return char.isspace()
+        return char in chars
+
+    def strip(self, chars: Optional[str] = None) -> "TaintedStr":
         """Strip from both ends, keeping taints aligned."""
         return self.lstrip(chars).rstrip(chars)
 
-    def lstrip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+    def lstrip(self, chars: Optional[str] = None) -> "TaintedStr":
         start = 0
-        while start < len(self.text) and self.text[start] in chars:
+        while start < len(self.text) and self._strippable(
+            self.text[start], chars
+        ):
             start += 1
         return self[start:]
 
-    def rstrip(self, chars: str = " \t\n\r\v\f") -> "TaintedStr":
+    def rstrip(self, chars: Optional[str] = None) -> "TaintedStr":
         end = len(self.text)
-        while end > 0 and self.text[end - 1] in chars:
+        while end > 0 and self._strippable(self.text[end - 1], chars):
             end -= 1
         return self[:end]
 

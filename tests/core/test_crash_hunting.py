@@ -1,0 +1,169 @@
+"""Crash hunting: CRASH results as findings, not campaign killers.
+
+The headline bugfix (ISSUE: unexpected subject exceptions kill
+campaigns): a subject raising something other than ParseError/HangError
+used to propagate out of ``run_subject`` and abort the whole campaign.
+Now it is classified as ``ExitStatus.CRASH`` with a deterministic
+failure-site signature, the campaign completes its budget, and with
+``hunt_crashes`` the crashing inputs are recorded as deduplicated
+findings (corpus records, ``crash_found`` trace events, counters).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import PFuzzer
+from repro.obs.trace import InMemoryTraceRecorder
+from repro.runtime.harness import ExitStatus, failure_site, run_subject
+from repro.subjects.registry import load_subject, load_subject_module
+
+HELPERS = str(Path(__file__).resolve().parent.parent / "helpers")
+if HELPERS not in sys.path:
+    sys.path.insert(0, HELPERS)
+load_subject_module("crashy_plugin")
+
+import crashy_plugin  # noqa: E402  (needs sys.path above)
+
+CRASHING_INPUT = "(" * (crashy_plugin.CRASH_DEPTH + 1)
+
+
+def _campaign(tracer=None, **overrides):
+    defaults = dict(seed=7, max_executions=400, hunt_crashes=True)
+    defaults.update(overrides)
+    return PFuzzer(
+        load_subject("crashy"), FuzzerConfig(**defaults), tracer=tracer
+    ).run()
+
+
+# --------------------------------------------------------------------- #
+# Harness level: classification and failure sites
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ("settrace", "ast"))
+def test_unexpected_exception_becomes_crash_status(backend):
+    result = run_subject(
+        load_subject("crashy"), CRASHING_INPUT, coverage_backend=backend
+    )
+    assert result.status is ExitStatus.CRASH
+    assert not result.valid
+    assert result.crashed
+    exc_type, filename, line = result.crash_signature
+    assert exc_type == "RecursionError"
+    assert filename.endswith("crashy_plugin.py")
+    assert line > 0
+    assert result.error.startswith("RecursionError")
+
+
+def test_failure_site_picks_deepest_subject_frame():
+    from repro.runtime.stream import InputStream
+
+    subject = load_subject("crashy")
+    try:
+        subject.parse(InputStream(CRASHING_INPUT))
+    except RecursionError as exc:
+        site = failure_site(exc, subject.files)
+    assert site[0] == "RecursionError"
+    assert site[1].endswith("crashy_plugin.py")
+
+
+@pytest.mark.parametrize("backend", ("settrace", "ast"))
+def test_crash_signatures_identical_across_backends(backend):
+    reference = run_subject(load_subject("crashy"), CRASHING_INPUT)
+    other = run_subject(
+        load_subject("crashy"), CRASHING_INPUT, coverage_backend=backend
+    )
+    assert other.crash_signature == reference.crash_signature
+
+
+def test_parse_and_hang_errors_are_not_crashes():
+    rejected = run_subject(load_subject("crashy"), "x")
+    assert rejected.status is ExitStatus.REJECTED
+    assert rejected.crash_signature is None
+    hang = run_subject(load_subject("tinyc"), "while(9);")
+    assert hang.status is ExitStatus.HANG
+    assert hang.crash_signature is None
+
+
+# --------------------------------------------------------------------- #
+# Campaign level: the budget survives the crash
+# --------------------------------------------------------------------- #
+
+
+def test_campaign_survives_crashes_and_completes_budget():
+    recorder = InMemoryTraceRecorder()
+    result = _campaign(tracer=recorder)
+    assert result.crashes >= 1
+    # The campaign ran on well past the first crash (it used to die on
+    # the spot); it ends only at its budget or queue exhaustion.
+    first_crash = next(
+        e["executions"]
+        for e in recorder.events
+        if e["type"] == "crash_found"
+    )
+    assert result.executions > first_crash
+    # Dedupe: many crashing executions, one recorded finding per site.
+    assert len(result.crash_signatures) == len(set(result.crash_signatures))
+    assert len(result.crash_signatures) >= 1
+    assert len(result.crash_inputs) == len(result.crash_signatures)
+    assert len(result.crash_path_signatures) == len(result.crash_signatures)
+    exc_type, filename, _ = result.crash_signatures[0]
+    assert exc_type == "RecursionError"
+    assert filename.endswith("crashy_plugin.py")
+
+
+def test_crashes_counted_but_not_recorded_without_hunting():
+    result = _campaign(hunt_crashes=False)
+    assert result.crashes >= 1
+    assert result.crash_inputs == []
+    assert result.crash_signatures == []
+
+
+def test_crash_found_trace_events_are_deduplicated():
+    recorder = InMemoryTraceRecorder()
+    result = _campaign(tracer=recorder)
+    found = [e for e in recorder.events if e["type"] == "crash_found"]
+    assert len(found) == len(result.crash_signatures)
+    for event, signature in zip(found, result.crash_signatures):
+        assert tuple(event["signature"]) == signature
+        assert event["text"] in result.crash_inputs
+
+
+def test_hunting_does_not_change_the_campaign_itself():
+    """Hunting only adds recording; the fuzzing trajectory is identical."""
+    hunting = _campaign()
+    plain = _campaign(hunt_crashes=False)
+    assert hunting.valid_inputs == plain.valid_inputs
+    assert hunting.executions == plain.executions
+    assert hunting.crashes == plain.crashes
+
+
+# --------------------------------------------------------------------- #
+# Durability: snapshots carry the crash findings
+# --------------------------------------------------------------------- #
+
+
+def test_resume_preserves_crash_findings(tmp_path):
+    reference = _campaign(
+        checkpoint_dir=str(tmp_path / "ck"),
+        checkpoint_every=100,
+        checkpoint_keep=1_000,
+    )
+    assert reference.crash_signatures
+    resumed = _campaign(
+        checkpoint_dir=str(tmp_path / "ck"),
+        checkpoint_every=100,
+        resume=True,
+        max_executions=500,
+    )
+    assert resumed.resumes == 1
+    # The resumed leg starts from the reference's findings and keeps
+    # deduplicating against them: no site is recorded twice.
+    assert set(reference.crash_signatures) <= set(resumed.crash_signatures)
+    assert len(resumed.crash_signatures) == len(
+        set(resumed.crash_signatures)
+    )
+    assert resumed.crashes >= reference.crashes

@@ -212,8 +212,8 @@ def test_stats_reports_distinct_signature_counts(tmp_path):
         ],
     )
     assert store.stats() == {
-        "csv": {"records": 1, "inputs": 1, "signatures": 1},
-        "ini": {"records": 4, "inputs": 3, "signatures": 2},
+        "csv": {"records": 1, "inputs": 1, "signatures": 1, "crashes": 0},
+        "ini": {"records": 4, "inputs": 3, "signatures": 2, "crashes": 0},
     }
 
 
@@ -251,3 +251,89 @@ def test_compact_without_flag_keeps_distinct_inputs_sharing_a_path(tmp_path):
     )
     assert store.compact() == (2, 0)
     assert store.inputs() == ["a", "a2"]
+
+
+# --------------------------------------------------------------------- #
+# Crash findings ("crash"-kind records)
+# --------------------------------------------------------------------- #
+
+
+SITE = ("RecursionError", "parser.py", 12)
+
+
+def _crash_record(text="((", signature=SITE, path=9):
+    return CorpusRecord(
+        "crashy", "pfuzzer", 7, text,
+        path_signature=path, kind="crash", crash_signature=signature,
+    )
+
+
+def test_valid_records_keep_their_byte_shape(tmp_path):
+    """The pre-crash-hunting serialization is unchanged for valid records."""
+    line = CorpusRecord("ini", "pfuzzer", 0, "a", path_signature=1).to_json_line()
+    assert "kind" not in json.loads(line)
+    assert "crash_signature" not in json.loads(line)
+
+
+def test_crash_record_round_trips(tmp_path):
+    store = _store_with(tmp_path, [_crash_record()])
+    (record,) = store.records()
+    assert record.kind == "crash"
+    assert record.crash_signature == SITE
+
+
+def test_records_filter_by_kind(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [CorpusRecord("crashy", "pfuzzer", 7, "a"), _crash_record()],
+    )
+    assert [r.input for r in store.records(kind="crash")] == ["(("]
+    assert [r.input for r in store.records(kind="valid")] == ["a"]
+    assert len(list(store.records())) == 2
+
+
+def test_crash_findings_never_seed_future_campaigns(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [CorpusRecord("crashy", "pfuzzer", 7, "a"), _crash_record()],
+    )
+    assert store.initial_inputs("crashy") == ("a",)
+
+
+def test_add_output_appends_crash_findings(tmp_path):
+    output = ToolOutput(
+        tool="pfuzzer", subject="crashy", seed=7,
+        valid_inputs=["a"], valid_signatures=[1],
+        crashes=3, crash_inputs=["(("], crash_signatures=[SITE],
+        crash_path_signatures=[9],
+    )
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    assert store.add_output(output) == 2
+    crash = next(iter(store.records(kind="crash")))
+    assert crash.crash_signature == SITE
+    assert crash.path_signature == 9
+
+
+def test_stats_count_distinct_crash_sites(tmp_path):
+    store = _store_with(
+        tmp_path,
+        [
+            _crash_record("((", SITE),
+            _crash_record("(((", SITE),  # same site: one crash
+            _crash_record("[[", ("TypeError", "parser.py", 30), path=10),
+        ],
+    )
+    assert store.stats()["crashy"]["crashes"] == 2
+
+
+def test_compaction_keys_are_kind_qualified(tmp_path):
+    """A crashing input equal to a valid one is not its duplicate."""
+    store = _store_with(
+        tmp_path,
+        [
+            CorpusRecord("crashy", "pfuzzer", 7, "((", path_signature=9),
+            _crash_record("((", SITE, path=9),
+        ],
+    )
+    assert store.compact(collapse_signatures=True) == (2, 0)
+    assert len(list(store.records())) == 2

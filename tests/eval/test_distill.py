@@ -214,3 +214,26 @@ def test_distill_store_all_duplicate_signatures_end_to_end(tmp_path):
     again = distill_store(store, subject="expr")
     assert again[0].kept == 1
     assert again[0].dropped == 0
+
+
+def test_distill_passes_crash_findings_through_untouched(tmp_path):
+    """Crash findings are findings, not coverage seeds: distillation
+    neither drops them nor lets them claim set-cover picks."""
+    site = ("RecursionError", "expr.py", 3)
+    store = CorpusStore(tmp_path / "corpus.jsonl")
+    store.add_records(
+        [
+            CorpusRecord("expr", "pfuzzer", 1, "4"),
+            CorpusRecord("expr", "pfuzzer", 2, "8"),  # redundant: dropped
+            CorpusRecord(
+                "expr", "pfuzzer", 1, "4",
+                kind="crash", crash_signature=site,
+            ),
+        ]
+    )
+    stats = distill_store(store, subject="expr")
+    assert stats[0].kept == 1
+    assert stats[0].dropped == 1  # only the redundant *valid* record
+    records = list(store.records())
+    assert [record.kind for record in records] == ["valid", "crash"]
+    assert records[1].crash_signature == site

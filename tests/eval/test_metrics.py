@@ -112,6 +112,7 @@ def test_schema_field_order_is_stable(expr_metrics):
         "resumes",
         "hostname",
         "peak_rss_kb",
+        "crashes",
     )
     assert tuple(json.loads(metrics.to_json_line()).keys()) == FIELD_NAMES
 

@@ -1,0 +1,57 @@
+"""A plugin subject with a planted crash, for the crash-hunting tests.
+
+A recursive-descent parser for the Dyck-style language ``(^n a )^n`` that
+raises :class:`RecursionError` once nesting exceeds a fixed depth — the
+classic stack-exhaustion bug class, made deterministic by checking the
+depth explicitly so the failure site is the same line on every engine
+and backend.  pFuzzer reaches the bug on its own: each ``(`` appends a
+valid prefix, so the campaign keeps nesting until the parser blows up.
+
+Also the ``--subject-module`` smoke target in CI: importing this module
+registers the ``crashy`` subject (the README walkthrough follows the
+same recipe).
+"""
+
+from repro.runtime.errors import ParseError
+from repro.runtime.stream import InputStream
+from repro.subjects.function import FunctionSubject
+from repro.subjects.registry import register_subject
+
+#: Depth at which the planted RecursionError fires.
+CRASH_DEPTH = 12
+
+
+def parse_paren(stream: InputStream, depth: int) -> int:
+    if depth > CRASH_DEPTH:
+        raise RecursionError("paren nesting too deep")
+    char = stream.next_char()
+    if char == "(":
+        inner = parse_paren(stream, depth + 1)
+        closing = stream.next_char()
+        if closing != ")":
+            raise ParseError("expected ')'", closing.index)
+        return inner + 1
+    if char == "a":
+        return 0
+    raise ParseError("expected '(' or 'a'", char.index)
+
+
+def parse_crashy(stream: InputStream) -> int:
+    """Parse one paren tree; crashes past CRASH_DEPTH nesting levels."""
+    value = parse_paren(stream, 0)
+    trailing = stream.peek()
+    if not trailing.is_eof:
+        raise ParseError(f"trailing bytes at {trailing.index}", trailing.index)
+    return value
+
+
+def _make_subject() -> FunctionSubject:
+    return FunctionSubject(parse_crashy, name="crashy")
+
+
+def register() -> None:
+    register_subject("crashy", _make_subject, replace=True)
+
+
+if "__cov_line__" not in globals():
+    register()

@@ -39,6 +39,10 @@ EXAMPLES = {
         job_id="job-0000", executions=600, posterior=0.012,
         weight=1.4, parked=False,
     ),
+    "crash_found": dict(
+        lineage=1, executions=5, text="((",
+        signature=["RecursionError", "parser.py", 12],
+    ),
     "checkpoint_written": dict(executions=50),
     "resumed": dict(executions=50, resumes=1),
     "preempted": dict(executions=70),

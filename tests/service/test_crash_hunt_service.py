@@ -1,0 +1,139 @@
+"""Crash hunting through the service: specs, scheduling, /metrics.
+
+End-to-end path of the ISSUE's service slice: a submitted job can name a
+plugin subject (``subject_module`` imported spec-side and worker-side),
+opt into crash hunting, have its crash count journalled across slices,
+and surface in the Prometheus exposition as
+``repro_service_crashes_total`` / ``repro_service_crash_hunting_jobs``.
+"""
+
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobError, JobSpec
+from repro.service.scheduler import SchedulerConfig
+from repro.service.server import CampaignService, make_server
+
+HELPERS = str(Path(__file__).resolve().parent.parent / "helpers")
+if HELPERS not in sys.path:
+    sys.path.insert(0, HELPERS)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = CampaignService(
+        tmp_path / "state",
+        SchedulerConfig(workers=2, slice_executions=150),
+    )
+    httpd = make_server(svc)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        yield svc, client
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        svc.scheduler.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Spec validation
+# --------------------------------------------------------------------- #
+
+
+def test_hunt_crashes_must_be_boolean():
+    with pytest.raises(JobError, match="hunt_crashes must be a boolean"):
+        JobSpec(subject="expr", hunt_crashes="yes").validate()
+
+
+def test_hunt_crashes_is_pfuzzer_only():
+    with pytest.raises(JobError, match="requires the pfuzzer tool"):
+        JobSpec(subject="expr", tool="afl", hunt_crashes=True).validate()
+
+
+def test_unimportable_subject_module_is_a_spec_problem():
+    with pytest.raises(JobError, match="failed to import"):
+        JobSpec(
+            subject="expr", subject_module="no_such_plugin_module"
+        ).validate()
+
+
+def test_subject_module_makes_plugin_subject_valid():
+    spec = JobSpec(
+        subject="crashy",
+        subject_module="crashy_plugin",
+        hunt_crashes=True,
+        budget=200,
+    )
+    spec.validate()  # must not raise
+    # Round-trips through the journal dict form.
+    restored = JobSpec.from_dict(spec.to_dict())
+    assert restored.hunt_crashes is True
+    assert restored.subject_module == "crashy_plugin"
+
+
+def test_plugin_subject_without_module_is_rejected_with_names():
+    import repro.subjects.registry as registry
+
+    saved = dict(registry._PLUGIN_FACTORIES)
+    registry._PLUGIN_FACTORIES.pop("notloaded", None)
+    try:
+        with pytest.raises(JobError, match="valid subjects"):
+            JobSpec(subject="notloaded").validate()
+    finally:
+        registry._PLUGIN_FACTORIES.clear()
+        registry._PLUGIN_FACTORIES.update(saved)
+
+
+# --------------------------------------------------------------------- #
+# End to end: hunted plugin job through the scheduler and /metrics
+# --------------------------------------------------------------------- #
+
+
+def test_hunted_plugin_job_counts_crashes_in_metrics(service):
+    svc, client = service
+    record = client.submit(
+        {
+            "subject": "crashy",
+            "subject_module": "crashy_plugin",
+            "hunt_crashes": True,
+            "budget": 400,
+            "seed": 7,
+        }
+    )
+    svc.run(until_idle=True)
+    finished = client.job(record["job_id"])
+    assert finished["state"] == "done"
+    assert finished["crashes"] >= 1
+    text = client.metrics()
+    assert "repro_service_crash_hunting_jobs 1" in text
+    crashes_line = next(
+        line
+        for line in text.splitlines()
+        if line.startswith("repro_service_crashes_total ")
+    )
+    assert float(crashes_line.split()[-1]) >= 1
+
+
+def test_unhunted_jobs_report_zero_crash_metrics(service):
+    svc, client = service
+    client.submit({"subject": "expr", "budget": 100})
+    svc.run(until_idle=True)
+    text = client.metrics()
+    assert "repro_service_crash_hunting_jobs 0" in text
+    assert "repro_service_crashes_total 0" in text
+    assert "repro_service_crash_sites_total 0" in text
+
+
+def test_rejected_hunt_spec_is_a_400(service):
+    svc, client = service
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"subject": "expr", "tool": "afl", "hunt_crashes": True})
+    assert excinfo.value.status == 400
+    assert "pfuzzer" in excinfo.value.message

@@ -66,9 +66,13 @@ def test_report(capsys):
     assert "Figure 3" in out
 
 
-def test_unknown_subject_rejected():
-    with pytest.raises(SystemExit):
-        main(["fuzz", "nope"])
+def test_unknown_subject_rejected(capsys):
+    # No longer an argparse SystemExit: the subject argument is an open
+    # string (plugin subjects), validated after --subject-module imports.
+    assert main(["fuzz", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown subject 'nope'" in err
+    assert "available subjects" in err
 
 
 def test_missing_command_rejected():
@@ -523,3 +527,62 @@ def test_trace_on_missing_file_exits_one(tmp_path, capsys):
 def test_cancel_against_unreachable_service_exits_one(capsys):
     assert main(["cancel", "job-0000", "--url", "http://127.0.0.1:9"]) == 1
     assert "cannot reach service" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Plugin subjects and crash hunting
+# --------------------------------------------------------------------- #
+
+
+def test_fuzz_contrib_subject_by_name(capsys):
+    assert main(["fuzz", "url", "--budget", "100", "--seed", "2"]) == 0
+    assert "executions" in capsys.readouterr().err
+
+
+def test_fuzz_hunt_crashes_records_findings(tmp_path, capsys):
+    import sys
+    from pathlib import Path
+
+    helpers = str(Path(__file__).resolve().parent / "helpers")
+    if helpers not in sys.path:
+        sys.path.insert(0, helpers)
+    corpus = tmp_path / "corpus.jsonl"
+    assert main([
+        "fuzz", "crashy",
+        "--subject-module", "crashy_plugin",
+        "--hunt-crashes",
+        "--budget", "400", "--seed", "7",
+        "--corpus", str(corpus),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "crashes" in err
+
+    assert main(["corpus", "list", str(corpus), "--crashes"]) == 0
+    listing = capsys.readouterr().out
+    assert "RecursionError" in listing
+    assert "crash" in listing
+
+    assert main(["corpus", "stats", str(corpus)]) == 0
+    stats = capsys.readouterr().out
+    assert "crashes=1" in stats
+    assert "distinct crash sites: 1" in stats
+
+    # Distilling the hunted corpus needs the plugin for re-executions and
+    # must pass the crash finding through untouched.
+    assert main([
+        "corpus", "distill", str(corpus),
+        "--subject", "crashy", "--subject-module", "crashy_plugin",
+    ]) == 0
+    assert main(["corpus", "list", str(corpus), "--crashes"]) == 0
+    assert "RecursionError" in capsys.readouterr().out
+
+
+def test_corpus_distill_unknown_subject_exits_2(tmp_path, capsys):
+    from repro.eval.corpus_store import CorpusRecord, CorpusStore
+
+    corpus = tmp_path / "corpus.jsonl"
+    CorpusStore(corpus).add_records(
+        [CorpusRecord("notloaded", "pfuzzer", 0, "x")]
+    )
+    assert main(["corpus", "distill", str(corpus)]) == 2
+    assert "unknown subject" in capsys.readouterr().err
